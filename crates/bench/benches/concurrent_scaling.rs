@@ -1,0 +1,42 @@
+//! Multi-threaded read throughput of the sharded index wrapper, original vs.
+//! CSV-enhanced shards (the scalability dimension SALI targets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csv_common::key::identity_records;
+use csv_concurrent::{run_read_throughput, ShardedIndex, ShardingConfig};
+use csv_core::{CsvConfig, CsvOptimizer};
+use csv_datasets::{Dataset, ReadOnlyWorkload};
+use csv_lipp::LippIndex;
+use std::hint::black_box;
+use std::time::Duration;
+
+const KEYS: usize = 200_000;
+const QUERIES: usize = 100_000;
+
+fn bench_concurrent_scaling(c: &mut Criterion) {
+    let keys = Dataset::Genome.generate(KEYS, 3);
+    let records = identity_records(&keys);
+    let queries = ReadOnlyWorkload::uniform(keys.clone(), QUERIES, 9).queries;
+
+    let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
+    let enhanced = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
+    enhanced.with_shards_mut(|shard| {
+        CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(shard);
+    });
+
+    let mut group = c.benchmark_group("concurrent_read_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    for &threads in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("lipp_sharded", threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_read_throughput(&plain, &queries, t)));
+        });
+        group.bench_with_input(BenchmarkId::new("lipp_sharded_csv", threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_read_throughput(&enhanced, &queries, t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_scaling);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the CSV pre-processing pipeline itself
+//! (the microscopic view of Tables 3 and 4): bulk load + Algorithm 2 at
+//! different smoothing thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csv_bench::IndexKind;
+use csv_common::key::identity_records;
+use csv_common::traits::LearnedIndex;
+use csv_core::cost::CostModel;
+use csv_core::{CsvConfig, CsvOptimizer};
+use csv_datasets::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+const NUM_KEYS: usize = 100_000;
+
+fn bench_csv_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csv_preprocessing");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let keys = Dataset::Genome.generate(NUM_KEYS, 17);
+    let records = identity_records(&keys);
+    for &alpha in &[0.05, 0.1, 0.4] {
+        group.bench_with_input(BenchmarkId::new("lipp", alpha), &alpha, |b, &alpha| {
+            b.iter_batched(
+                || csv_lipp::LippIndex::bulk_load(&records),
+                |mut index| {
+                    black_box(CsvOptimizer::new(CsvConfig::for_lipp(alpha)).optimize(&mut index))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("alex", alpha), &alpha, |b, &alpha| {
+            b.iter_batched(
+                || csv_alex::AlexIndex::bulk_load(&records),
+                |mut index| {
+                    let config = CsvConfig::for_alex(alpha, CostModel::default());
+                    black_box(CsvOptimizer::new(config).optimize(&mut index))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let keys = Dataset::Facebook.generate(NUM_KEYS, 19);
+    for kind in IndexKind::all() {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(csv_bench::build_plain(kind, &keys)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csv_preprocessing, bench_bulk_load);
+criterion_main!(benches);

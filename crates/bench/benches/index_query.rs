@@ -1,0 +1,76 @@
+//! Criterion benchmarks for point-lookup latency: every index in the
+//! workspace, original vs CSV-enhanced (the microscopic view of Figs. 6–7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csv_bench::{build_enhanced, build_plain, IndexKind};
+use csv_btree::BPlusTree;
+use csv_common::key::identity_records;
+use csv_common::rng::XorShift64;
+use csv_common::traits::LearnedIndex;
+use csv_common::Key;
+use csv_datasets::Dataset;
+use csv_pgm::PgmIndex;
+use std::hint::black_box;
+use std::time::Duration;
+
+const NUM_KEYS: usize = 200_000;
+const NUM_QUERIES: usize = 2_000;
+
+fn queries(keys: &[Key]) -> Vec<Key> {
+    let mut rng = XorShift64::new(99);
+    (0..NUM_QUERIES).map(|_| keys[rng.next_below(keys.len() as u64) as usize]).collect()
+}
+
+fn bench_learned_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_lookup");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let keys = Dataset::Genome.generate(NUM_KEYS, 5);
+    let qs = queries(&keys);
+    for kind in IndexKind::all() {
+        let plain = build_plain(kind, &keys);
+        group.bench_with_input(BenchmarkId::new("original", kind.name()), &qs, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    black_box(plain.get(q));
+                }
+            });
+        });
+        let (enhanced, _) = build_enhanced(kind, &keys, 0.1);
+        group.bench_with_input(BenchmarkId::new("csv_enhanced", kind.name()), &qs, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    black_box(enhanced.get(q));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_lookup_baselines");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let keys = Dataset::Genome.generate(NUM_KEYS, 5);
+    let qs = queries(&keys);
+    let records = identity_records(&keys);
+    let btree = BPlusTree::bulk_load(&records);
+    let pgm = PgmIndex::bulk_load(&records);
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            for &q in &qs {
+                black_box(btree.get(q));
+            }
+        })
+    });
+    group.bench_function("pgm", |b| {
+        b.iter(|| {
+            for &q in &qs {
+                black_box(pgm.get(q));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_learned_indexes, bench_baselines);
+criterion_main!(benches);

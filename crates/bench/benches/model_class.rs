@@ -1,0 +1,46 @@
+//! Ablation benches for the smoothing model class and the poisoning dual.
+//!
+//! * `smoothing_model_class` — Algorithm 1 with the paper's linear indexing
+//!   functions vs. the quadratic extension (§1) on easy and hard dataset
+//!   analogues, same budget.
+//! * `poisoning_attack` — cost of the greedy poisoning attack (§2.3) that
+//!   motivated CDF smoothing, for context on the pre-processing budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csv_core::poisoning::{poison_segment, PoisoningConfig};
+use csv_core::{smooth_segment, smooth_segment_quadratic, QuadraticSmoothingConfig, SmoothingConfig};
+use csv_datasets::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_model_class(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smoothing_model_class");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for dataset in [Dataset::Covid, Dataset::Genome] {
+        let keys = dataset.generate(1_024, 7);
+        group.bench_with_input(BenchmarkId::new("linear", dataset.name()), &keys, |b, keys| {
+            b.iter(|| black_box(smooth_segment(keys, &SmoothingConfig::with_alpha(0.1))));
+        });
+        group.bench_with_input(BenchmarkId::new("quadratic", dataset.name()), &keys, |b, keys| {
+            b.iter(|| {
+                black_box(smooth_segment_quadratic(keys, &QuadraticSmoothingConfig::with_alpha(0.1)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisoning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisoning_attack");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &size in &[512usize, 2_048] {
+        let keys = Dataset::Osm.generate(size, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &keys, |b, keys| {
+            b.iter(|| black_box(poison_segment(keys, &PoisoningConfig::with_alpha(0.05))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_class, bench_poisoning);
+criterion_main!(benches);

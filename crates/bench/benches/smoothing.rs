@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for Algorithm 1 (single-segment CDF smoothing):
+//! throughput vs segment size and the Rescan vs Lazy greedy-driver ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csv_core::{smooth_segment, GreedyMode, SmoothingConfig};
+use csv_datasets::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_smoothing_segment_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smooth_segment_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &size in &[256usize, 1024, 4096] {
+        let keys = Dataset::Genome.generate(size, 7);
+        group.bench_with_input(BenchmarkId::new("alpha_0.1", size), &keys, |b, keys| {
+            b.iter(|| black_box(smooth_segment(keys, &SmoothingConfig::with_alpha(0.1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_mode_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_mode_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let keys = Dataset::Osm.generate(2048, 11);
+    for (label, mode) in [("rescan", GreedyMode::Rescan), ("lazy", GreedyMode::Lazy)] {
+        group.bench_function(label, |b| {
+            let config = SmoothingConfig { mode, ..SmoothingConfig::with_alpha(0.2) };
+            b.iter(|| black_box(smooth_segment(&keys, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smoothing_alpha");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let keys = Dataset::Genome.generate(1024, 3);
+    for &alpha in &[0.05, 0.2, 0.8] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| black_box(smooth_segment(&keys, &SmoothingConfig::with_alpha(alpha))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_smoothing_segment_size, bench_greedy_mode_ablation, bench_alpha_scaling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! Usage:
+//!   experiments <name> [--size N] [--queries Q] [--seed S]
+//!   experiments all --size 200000
+//!
+//! `<name>` is one of: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//! table1 table2 table3 table4 all (fig6/fig7/fig8 share one α sweep).
+
+use csv_bench::{run_experiment, ExperimentConfig, EXPERIMENT_NAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExperimentConfig::default();
+    let mut name: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                config.num_keys = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.num_keys);
+                i += 2;
+            }
+            "--queries" => {
+                config.num_queries =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.num_queries);
+                i += 2;
+            }
+            "--seed" => {
+                config.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.seed);
+                i += 2;
+            }
+            other if name.is_none() && !other.starts_with("--") => {
+                name = Some(other.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                i += 1;
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("usage: experiments <name> [--size N] [--queries Q] [--seed S]");
+        eprintln!("experiments: {}", EXPERIMENT_NAMES.join(" "));
+        std::process::exit(2);
+    };
+    eprintln!(
+        "# experiment={name} num_keys={} num_queries={} seed={}",
+        config.num_keys, config.num_queries, config.seed
+    );
+    if !run_experiment(&name, &config) {
+        eprintln!("unknown experiment '{name}'; available: {}", EXPERIMENT_NAMES.join(" "));
+        std::process::exit(2);
+    }
+}

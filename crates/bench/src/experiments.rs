@@ -1,0 +1,435 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! Every function prints a tab-separated table to stdout; the `experiments`
+//! binary dispatches on the experiment name. Scales are configurable via
+//! [`ExperimentConfig`]; the defaults are laptop-sized (see DESIGN.md §3).
+
+use crate::harness::{
+    build_enhanced, build_plain, key_levels, measure_inserts, measure_queries, promoted_keys,
+    IndexKind,
+};
+use csv_common::key::identity_records;
+use csv_common::rng::XorShift64;
+use csv_common::traits::LearnedIndex;
+use csv_common::Key;
+use csv_core::competitors::GapInsertionLayout;
+use csv_core::exhaustive_smooth;
+use csv_core::paper_example::{fig2_keys, reported, FIG2_ALPHA};
+use csv_core::segment::SegmentState;
+use csv_core::{smooth_segment, CsvConfig, CsvOptimizer, SmoothingConfig};
+use csv_datasets::{cdf::ZoomedWindow, downsample::cardinality_chain, CdfStats, Dataset, ReadWriteWorkload};
+use csv_lipp::LippIndex;
+use std::time::Instant;
+
+/// Names accepted by [`run_experiment`] (and the `experiments` binary).
+pub const EXPERIMENT_NAMES: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "fig6", "fig7", "fig8", "table3",
+    "table4", "fig9", "fig10", "all",
+];
+
+/// Scale parameters shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Keys per dataset (the paper uses 200 M; default here is 400 k).
+    pub num_keys: usize,
+    /// Lookups per measurement.
+    pub num_queries: usize,
+    /// RNG seed for dataset generation and query sampling.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self { num_keys: 400_000, num_queries: 20_000, seed: 42 }
+    }
+}
+
+/// The smoothing thresholds swept by the α experiments (paper §6.2.1).
+pub const ALPHAS: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.8];
+
+/// Runs one experiment by name. Unknown names return `false`.
+pub fn run_experiment(name: &str, config: &ExperimentConfig) -> bool {
+    match name {
+        "fig1" => fig1_level_latency(config),
+        "fig2" => fig2_running_example(),
+        "fig3" => fig3_loss_curve(),
+        "fig4" => fig4_derivative_curve(),
+        "fig5" => fig5_dataset_cdfs(config),
+        "table1" => table1_technique_comparison(config),
+        "table2" => table2_approximation_quality(),
+        "fig6" | "fig7" | "fig8" => alpha_sweep(config),
+        "table3" => table3_4_preprocessing(config, IndexKind::Lipp),
+        "table4" => table3_4_preprocessing(config, IndexKind::Alex),
+        "fig9" => fig9_cardinality(config),
+        "fig10" => fig10_read_write(config),
+        "all" => {
+            for name in EXPERIMENT_NAMES.iter().filter(|n| **n != "all") {
+                println!("\n############ {name} ############");
+                run_experiment(name, config);
+            }
+            true
+        }
+        _ => return false,
+    };
+    true
+}
+
+fn sample_queries(keys: &[Key], count: usize, seed: u64) -> Vec<Key> {
+    let mut rng = XorShift64::new(seed);
+    (0..count).map(|_| keys[rng.next_below(keys.len() as u64) as usize]).collect()
+}
+
+/// Fig. 1 — average query time per level of the (plain) LIPP index.
+pub fn fig1_level_latency(config: &ExperimentConfig) -> bool {
+    println!("dataset\tlevel\tkeys_at_level\tavg_ns\tavg_abstract_cost");
+    for dataset in Dataset::paper_datasets() {
+        let keys = dataset.generate(config.num_keys, config.seed);
+        let index = LippIndex::bulk_load(&identity_records(&keys));
+        let stats = csv_common::traits::LearnedIndex::stats(&index);
+        // Bucket a query sample by the level of the queried key.
+        let queries = sample_queries(&keys, config.num_queries, config.seed ^ 1);
+        let mut buckets: Vec<Vec<Key>> = vec![Vec::new(); stats.height + 1];
+        for q in queries {
+            if let Some(l) = csv_common::traits::LearnedIndex::level_of_key(&index, q) {
+                buckets[l].push(q);
+            }
+        }
+        for (level, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let m = measure_queries(&index, bucket);
+            println!(
+                "{}\t{}\t{}\t{:.1}\t{:.2}",
+                dataset.name(),
+                level,
+                stats.level_histogram.at(level),
+                m.avg_ns,
+                m.avg_cost
+            );
+        }
+    }
+    true
+}
+
+/// Fig. 2 — the running example's loss before/after smoothing.
+pub fn fig2_running_example() -> bool {
+    let keys = fig2_keys();
+    let result = smooth_segment(&keys, &SmoothingConfig::with_alpha(FIG2_ALPHA));
+    println!("metric\tmeasured\tpaper");
+    println!("loss_before\t{:.3}\t{:.2}", result.loss_before, reported::LOSS_BEFORE);
+    println!("loss_after_real\t{:.3}\t{:.2}", result.loss_after_real, reported::LOSS_AFTER_REAL);
+    println!("loss_after_all\t{:.3}\t{:.2}", result.loss_after_all, reported::LOSS_AFTER_ALL);
+    println!("virtual_points\t{}\t5", result.virtual_points.len());
+    true
+}
+
+/// Fig. 3 — loss as a function of the candidate virtual-point value.
+pub fn fig3_loss_curve() -> bool {
+    let keys = fig2_keys();
+    let state = SegmentState::from_keys(&keys);
+    println!("candidate_value\tloss");
+    println!("original\t{:.4}", state.loss());
+    let (min, max) = (*keys.first().unwrap(), *keys.last().unwrap());
+    for v in (min + 1)..max {
+        if !state.contains(v) {
+            println!("{v}\t{:.4}", state.candidate_loss(v));
+        }
+    }
+    true
+}
+
+/// Fig. 4 — first derivative of the loss w.r.t. the candidate value.
+pub fn fig4_derivative_curve() -> bool {
+    let keys = fig2_keys();
+    let state = SegmentState::from_keys(&keys);
+    println!("candidate_value\tloss_derivative");
+    let (min, max) = (*keys.first().unwrap(), *keys.last().unwrap());
+    for v in (min + 1)..max {
+        if !state.contains(v) {
+            println!("{v}\t{:.6}", state.candidate_loss_derivative(v));
+        }
+    }
+    true
+}
+
+/// Fig. 5 — CDF linearity of the datasets, globally and zoomed in.
+pub fn fig5_dataset_cdfs(config: &ExperimentConfig) -> bool {
+    println!("dataset\tscope\tnormalized_rmse\tnormalized_max_error\tr_squared");
+    for dataset in Dataset::paper_datasets() {
+        let keys = dataset.generate(config.num_keys, config.seed);
+        let global = CdfStats::of(&keys);
+        let window = ZoomedWindow::paper_default(keys.len());
+        let local = window.stats(&keys);
+        println!(
+            "{}\tglobal\t{:.6}\t{:.6}\t{:.6}",
+            dataset.name(),
+            global.normalized_rmse,
+            global.normalized_max_error,
+            global.r_squared
+        );
+        println!(
+            "{}\tzoomed\t{:.6}\t{:.6}\t{:.6}",
+            dataset.name(),
+            local.normalized_rmse,
+            local.normalized_max_error,
+            local.r_squared
+        );
+    }
+    true
+}
+
+/// Table 1 — qualitative technique comparison, backed by measured storage
+/// overheads for CSV and the Gap-Insertion competitor.
+pub fn table1_technique_comparison(config: &ExperimentConfig) -> bool {
+    let keys = Dataset::Genome.generate(config.num_keys.min(200_000), config.seed);
+    let mut index = LippIndex::bulk_load(&identity_records(&keys));
+    let before = csv_common::traits::LearnedIndex::stats(&index).size_bytes as f64;
+    CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut index);
+    let csv_overhead =
+        (csv_common::traits::LearnedIndex::stats(&index).size_bytes as f64 / before - 1.0) * 100.0;
+    let gi = GapInsertionLayout::build(&keys, 1.8);
+    println!("technique\tquery_transform\tstorage_overhead_pct\tintegrable\trobust");
+    println!("CSV\tno\t{csv_overhead:.1}\tyes\tyes");
+    println!("NFL\tyes\t(not reproduced: generative flow)\tyes\tno");
+    println!("GI\tno\t{:.1}\tno\tyes", gi.storage_overhead_percent());
+    true
+}
+
+/// Table 2 — approximation quality and runtime of greedy CSV vs exhaustive.
+pub fn table2_approximation_quality() -> bool {
+    let keys = fig2_keys();
+    let start = Instant::now();
+    let greedy = smooth_segment(&keys, &SmoothingConfig::with_alpha(FIG2_ALPHA));
+    let greedy_time = start.elapsed();
+    let start = Instant::now();
+    let exact = exhaustive_smooth(&keys, FIG2_ALPHA, 64).expect("example is small");
+    let exact_time = start.elapsed();
+    println!("method\tloss\ttime_ns\tpaper_loss");
+    println!("Original\t{:.3}\t-\t{:.3}", greedy.loss_before, reported::TABLE2_ORIGINAL);
+    println!("CSV (greedy)\t{:.3}\t{}\t{:.3}", greedy.loss_after_all, greedy_time.as_nanos(), reported::TABLE2_CSV);
+    println!("Exhaustive\t{:.3}\t{}\t{:.3}", exact.loss_after_all, exact_time.as_nanos(), reported::TABLE2_EXHAUSTIVE);
+    true
+}
+
+/// Figs. 6, 7 and 8 plus the storage/node metrics: sweep the smoothing
+/// threshold α for all three indexes and all four datasets.
+pub fn alpha_sweep(config: &ExperimentConfig) -> bool {
+    println!(
+        "index\tdataset\talpha\ttotal_time_saved_ns\tquery_improvement_pct\tpromoted_pct\t\
+         storage_increase_pct\tnode_reduction_pct\tpreprocessing_s"
+    );
+    for kind in IndexKind::all() {
+        for dataset in Dataset::paper_datasets() {
+            let keys = dataset.generate(config.num_keys, config.seed);
+            for alpha in ALPHAS {
+                let row = alpha_sweep_row(kind, dataset, &keys, alpha, config);
+                println!("{row}");
+            }
+        }
+    }
+    true
+}
+
+fn alpha_sweep_row(
+    kind: IndexKind,
+    dataset: Dataset,
+    keys: &[Key],
+    alpha: f64,
+    config: &ExperimentConfig,
+) -> String {
+    let plain = build_plain(kind, keys);
+    let plain_stats = plain.stats();
+    let levels_before = key_levels(plain.as_ref(), keys);
+
+    let (enhanced, report) = build_enhanced(kind, keys, alpha);
+    let enhanced_stats = enhanced.stats();
+    let levels_after = key_levels(enhanced.as_ref(), keys);
+
+    let (promoted, promotable) = promoted_keys(keys, &levels_before, &levels_after);
+    let promoted_pct =
+        if promotable == 0 { 0.0 } else { promoted.len() as f64 / promotable as f64 * 100.0 };
+
+    // Query improvement measured over the promoted keys (the paper's focus).
+    let sample: Vec<Key> = if promoted.is_empty() {
+        Vec::new()
+    } else {
+        let mut rng = XorShift64::new(config.seed ^ 77);
+        (0..config.num_queries.min(promoted.len() * 4))
+            .map(|_| promoted[rng.next_below(promoted.len() as u64) as usize])
+            .collect()
+    };
+    let (saved_total, improvement_pct) = if sample.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let before = measure_queries(plain.as_ref(), &sample);
+        let after = measure_queries(enhanced.as_ref(), &sample);
+        let per_query_saved = before.avg_ns - after.avg_ns;
+        (per_query_saved * promoted.len() as f64, per_query_saved / before.avg_ns * 100.0)
+    };
+
+    let storage_increase = (enhanced_stats.size_bytes as f64 / plain_stats.size_bytes as f64 - 1.0) * 100.0;
+    let node_reduction = if plain_stats.deep_node_count == 0 {
+        0.0
+    } else {
+        (plain_stats.node_count.saturating_sub(enhanced_stats.node_count)) as f64
+            / plain_stats.deep_node_count as f64
+            * 100.0
+    };
+
+    format!(
+        "{}\t{}\t{}\t{:.0}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.3}",
+        kind.name(),
+        dataset.name(),
+        alpha,
+        saved_total,
+        improvement_pct,
+        promoted_pct,
+        storage_increase,
+        node_reduction,
+        report.preprocessing_time.as_secs_f64()
+    )
+}
+
+/// Tables 3 and 4 — CSV pre-processing time per dataset and α.
+pub fn table3_4_preprocessing(config: &ExperimentConfig, kind: IndexKind) -> bool {
+    println!("index\tdataset\talpha\tpreprocessing_s\tsubtrees_rebuilt\tvirtual_points");
+    for dataset in Dataset::paper_datasets() {
+        let keys = dataset.generate(config.num_keys, config.seed);
+        for alpha in ALPHAS {
+            let (_, report) = build_enhanced(kind, &keys, alpha);
+            println!(
+                "{}\t{}\t{}\t{:.3}\t{}\t{}",
+                kind.name(),
+                dataset.name(),
+                alpha,
+                report.preprocessing_time.as_secs_f64(),
+                report.subtrees_rebuilt,
+                report.virtual_points_added
+            );
+        }
+    }
+    true
+}
+
+/// Fig. 9 — total time saved vs dataset cardinality (α = 0.1).
+pub fn fig9_cardinality(config: &ExperimentConfig) -> bool {
+    println!("index\tdataset\tnum_keys\ttotal_time_saved_ns\tpromoted_keys");
+    for kind in IndexKind::all() {
+        for dataset in Dataset::paper_datasets() {
+            let full = dataset.generate(config.num_keys, config.seed);
+            for keys in cardinality_chain(&full, 4) {
+                let plain = build_plain(kind, &keys);
+                let levels_before = key_levels(plain.as_ref(), &keys);
+                let (enhanced, _) = build_enhanced(kind, &keys, 0.1);
+                let levels_after = key_levels(enhanced.as_ref(), &keys);
+                let (promoted, _) = promoted_keys(&keys, &levels_before, &levels_after);
+                let saved = if promoted.is_empty() {
+                    0.0
+                } else {
+                    let sample: Vec<Key> =
+                        promoted.iter().copied().take(config.num_queries).collect();
+                    let before = measure_queries(plain.as_ref(), &sample);
+                    let after = measure_queries(enhanced.as_ref(), &sample);
+                    (before.avg_ns - after.avg_ns) * promoted.len() as f64
+                };
+                println!(
+                    "{}\t{}\t{}\t{:.0}\t{}",
+                    kind.name(),
+                    dataset.name(),
+                    keys.len(),
+                    saved,
+                    promoted.len()
+                );
+            }
+        }
+    }
+    true
+}
+
+/// Fig. 10 — read-write workload: query time saved, storage increase and
+/// insert-time change per insertion batch (LIPP and ALEX, α = 0.1).
+pub fn fig10_read_write(config: &ExperimentConfig) -> bool {
+    println!(
+        "index\tdataset\tbatch\ttotal_time_saved_ns\tstorage_increase_pct\tinsert_time_increase_pct"
+    );
+    for kind in [IndexKind::Lipp, IndexKind::Alex] {
+        for dataset in Dataset::paper_datasets() {
+            let keys = dataset.generate(config.num_keys, config.seed);
+            let workload = ReadWriteWorkload::split(&keys, 5, 0.1, config.num_queries, config.seed ^ 3);
+
+            let mut plain = build_plain(kind, &workload.initial_keys);
+            let levels_before = key_levels(plain.as_ref(), &workload.initial_keys);
+            let (mut enhanced, _) = build_enhanced(kind, &workload.initial_keys, 0.1);
+            let levels_after = key_levels(enhanced.as_ref(), &workload.initial_keys);
+            let (promoted, _) = promoted_keys(&workload.initial_keys, &levels_before, &levels_after);
+            let sample: Vec<Key> = promoted.iter().copied().take(config.num_queries).collect();
+
+            for (batch_idx, batch) in workload.insert_batches.iter().enumerate() {
+                let plain_insert = measure_inserts(plain.as_mut(), batch);
+                let enhanced_insert = measure_inserts(enhanced.as_mut(), batch);
+                let saved = if sample.is_empty() {
+                    0.0
+                } else {
+                    let before = measure_queries(plain.as_ref(), &sample);
+                    let after = measure_queries(enhanced.as_ref(), &sample);
+                    (before.avg_ns - after.avg_ns) * promoted.len() as f64
+                };
+                let storage = (enhanced.stats().size_bytes as f64
+                    / plain.stats().size_bytes as f64
+                    - 1.0)
+                    * 100.0;
+                let insert_increase = if plain_insert.as_nanos() == 0 {
+                    0.0
+                } else {
+                    (enhanced_insert.as_nanos() as f64 / plain_insert.as_nanos() as f64 - 1.0) * 100.0
+                };
+                println!(
+                    "{}\t{}\t{}\t{:.0}\t{:.1}\t{:.1}",
+                    kind.name(),
+                    dataset.name(),
+                    batch_idx + 1,
+                    saved,
+                    storage,
+                    insert_increase
+                );
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { num_keys: 20_000, num_queries: 1_000, seed: 1 }
+    }
+
+    #[test]
+    fn small_experiments_run() {
+        assert!(run_experiment("fig2", &tiny()));
+        assert!(run_experiment("fig3", &tiny()));
+        assert!(run_experiment("fig4", &tiny()));
+        assert!(run_experiment("table2", &tiny()));
+        assert!(run_experiment("fig5", &tiny()));
+        assert!(!run_experiment("nonsense", &tiny()));
+    }
+
+    #[test]
+    fn fig1_and_alpha_row_run_at_small_scale() {
+        let cfg = tiny();
+        assert!(fig1_level_latency(&cfg));
+        let keys = Dataset::Genome.generate(cfg.num_keys, cfg.seed);
+        let row = alpha_sweep_row(IndexKind::Lipp, Dataset::Genome, &keys, 0.1, &cfg);
+        assert!(row.starts_with("LIPP\tGenome\t0.1"));
+    }
+
+    #[test]
+    fn experiment_names_cover_every_paper_artifact() {
+        for required in ["fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "table4"] {
+            assert!(EXPERIMENT_NAMES.contains(&required), "{required} missing");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared measurement helpers used by the experiment binary and the
+//! Criterion benches.
+
+use csv_alex::AlexIndex;
+use csv_common::key::identity_records;
+use csv_common::metrics::CostCounters;
+use csv_common::traits::LearnedIndex;
+use csv_common::Key;
+use csv_core::cost::CostModel;
+use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer, CsvReport};
+use csv_lipp::LippIndex;
+use csv_sali::SaliIndex;
+use std::time::{Duration, Instant};
+
+/// The three indexes the paper integrates CSV with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// LIPP (precise positions, no leaf search).
+    Lipp,
+    /// SALI (LIPP + workload-aware flattening).
+    Sali,
+    /// ALEX (gapped arrays + exponential search).
+    Alex,
+}
+
+impl IndexKind {
+    /// All three, in the order the paper's figures list them.
+    pub fn all() -> [IndexKind; 3] {
+        [IndexKind::Lipp, IndexKind::Sali, IndexKind::Alex]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Lipp => "LIPP",
+            IndexKind::Sali => "SALI",
+            IndexKind::Alex => "ALEX",
+        }
+    }
+
+    /// The CSV configuration the paper uses for this index family.
+    pub fn csv_config(&self, alpha: f64) -> CsvConfig {
+        match self {
+            IndexKind::Lipp => CsvConfig::for_lipp(alpha),
+            IndexKind::Sali => CsvConfig::for_sali(alpha),
+            IndexKind::Alex => CsvConfig::for_alex(alpha, CostModel::default()),
+        }
+    }
+}
+
+/// An index built over a key set, behind one trait object so the experiment
+/// loops can treat LIPP/SALI/ALEX uniformly.
+pub trait CsvTarget: LearnedIndex + CsvIntegrable {}
+impl<T: LearnedIndex + CsvIntegrable> CsvTarget for T {}
+
+/// Builds the plain (un-optimised) index of the given kind.
+pub fn build_plain(kind: IndexKind, keys: &[Key]) -> Box<dyn CsvTarget> {
+    let records = identity_records(keys);
+    match kind {
+        IndexKind::Lipp => Box::new(LippIndex::bulk_load(&records)),
+        IndexKind::Sali => Box::new(SaliIndex::bulk_load(&records)),
+        IndexKind::Alex => Box::new(AlexIndex::bulk_load(&records)),
+    }
+}
+
+/// Builds the index and applies CSV with the given smoothing threshold;
+/// returns the optimised index together with the CSV run report.
+pub fn build_enhanced(kind: IndexKind, keys: &[Key], alpha: f64) -> (Box<dyn CsvTarget>, CsvReport) {
+    let mut index = build_plain(kind, keys);
+    let report = CsvOptimizer::new(kind.csv_config(alpha)).optimize_boxed(&mut index);
+    (index, report)
+}
+
+/// Extension so the optimizer can run on a boxed trait object.
+trait OptimizeBoxed {
+    fn optimize_boxed(&self, index: &mut Box<dyn CsvTarget>) -> CsvReport;
+}
+
+impl OptimizeBoxed for CsvOptimizer {
+    fn optimize_boxed(&self, index: &mut Box<dyn CsvTarget>) -> CsvReport {
+        struct Shim<'a>(&'a mut dyn CsvTarget);
+        impl CsvIntegrable for Shim<'_> {
+            fn csv_max_level(&self) -> usize {
+                self.0.csv_max_level()
+            }
+            fn csv_subtrees_at_level(&self, level: usize) -> Vec<csv_core::csv::SubtreeRef> {
+                self.0.csv_subtrees_at_level(level)
+            }
+            fn csv_collect_keys(&self, s: &csv_core::csv::SubtreeRef) -> Vec<Key> {
+                self.0.csv_collect_keys(s)
+            }
+            fn csv_subtree_cost(&self, s: &csv_core::csv::SubtreeRef) -> csv_core::cost::SubtreeCostStats {
+                self.0.csv_subtree_cost(s)
+            }
+            fn csv_rebuild_subtree(
+                &mut self,
+                s: &csv_core::csv::SubtreeRef,
+                l: &csv_core::layout::SmoothedLayout,
+            ) -> bool {
+                self.0.csv_rebuild_subtree(s, l)
+            }
+        }
+        let mut shim = Shim(index.as_mut());
+        self.optimize(&mut shim)
+    }
+}
+
+/// The result of timing a query batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMeasurement {
+    /// Number of lookups issued.
+    pub queries: usize,
+    /// Average wall-clock nanoseconds per lookup.
+    pub avg_ns: f64,
+    /// Average machine-independent abstract cost (nodes + comparisons).
+    pub avg_cost: f64,
+}
+
+/// Times `queries` lookups (all of which must hit) against an index.
+pub fn measure_queries(index: &dyn LearnedIndex, queries: &[Key]) -> QueryMeasurement {
+    if queries.is_empty() {
+        return QueryMeasurement { queries: 0, avg_ns: 0.0, avg_cost: 0.0 };
+    }
+    let mut counters = CostCounters::new();
+    let start = Instant::now();
+    let mut found = 0usize;
+    for &q in queries {
+        if index.get_counted(q, &mut counters).is_some() {
+            found += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(found, queries.len(), "{}: a query key was missing", index.name());
+    QueryMeasurement {
+        queries: queries.len(),
+        avg_ns: elapsed.as_nanos() as f64 / queries.len() as f64,
+        avg_cost: counters.abstract_cost() as f64 / queries.len() as f64,
+    }
+}
+
+/// Per-key levels of a key sample (index of the vec = index into `keys`).
+pub fn key_levels(index: &dyn LearnedIndex, keys: &[Key]) -> Vec<u8> {
+    keys.iter()
+        .map(|&k| index.level_of_key(k).unwrap_or(u8::MAX as usize).min(u8::MAX as usize) as u8)
+        .collect()
+}
+
+/// Keys that moved to a strictly shallower level between two level snapshots,
+/// together with the number of "promotable" keys (level ≥ 3 before) — the
+/// denominators/numerators of the paper's "promoted data (%)" metric.
+pub fn promoted_keys(keys: &[Key], before: &[u8], after: &[u8]) -> (Vec<Key>, usize) {
+    let mut promoted = Vec::new();
+    let mut promotable = 0usize;
+    for ((&k, &b), &a) in keys.iter().zip(before.iter()).zip(after.iter()) {
+        if b >= 3 {
+            promotable += 1;
+        }
+        if a < b {
+            promoted.push(k);
+        }
+    }
+    (promoted, promotable)
+}
+
+/// Measures average insert latency over a batch.
+pub fn measure_inserts(index: &mut dyn CsvTarget, batch: &[Key]) -> Duration {
+    let start = Instant::now();
+    for &k in batch {
+        index.insert(k, k);
+    }
+    if batch.is_empty() {
+        Duration::ZERO
+    } else {
+        start.elapsed() / batch.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csv_datasets::Dataset;
+
+    #[test]
+    fn build_and_measure_roundtrip() {
+        let keys = Dataset::Genome.generate(20_000, 3);
+        for kind in IndexKind::all() {
+            let plain = build_plain(kind, &keys);
+            assert_eq!(plain.name(), kind.name());
+            let queries: Vec<_> = keys.iter().copied().step_by(100).collect();
+            let m = measure_queries(plain.as_ref(), &queries);
+            assert_eq!(m.queries, queries.len());
+            assert!(m.avg_cost >= 1.0);
+
+            let (enhanced, report) = build_enhanced(kind, &keys, 0.1);
+            assert_eq!(enhanced.len(), keys.len());
+            assert!(report.subtrees_considered >= report.subtrees_rebuilt);
+        }
+    }
+
+    #[test]
+    fn promotion_accounting() {
+        let keys = vec![1u64, 2, 3, 4];
+        let before = vec![2u8, 3, 4, 5];
+        let after = vec![2u8, 2, 2, 5];
+        let (promoted, promotable) = promoted_keys(&keys, &before, &after);
+        assert_eq!(promoted, vec![2, 3]);
+        assert_eq!(promotable, 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the CSV paper's
+//! evaluation (§6), plus shared helpers for the Criterion micro-benchmarks.
+//!
+//! Each `fig*` / `table*` function prints a tab-separated table whose rows
+//! correspond to the series of the original figure; EXPERIMENTS.md records
+//! the paper-reported values next to values measured with this harness. The
+//! harness is deliberately scale-parametric: the paper uses 200 M keys on a
+//! large server, the default here is a laptop-friendly subset (see
+//! DESIGN.md §3 for the substitution rationale).
+
+pub mod experiments;
+pub mod harness;
+
+pub use experiments::{run_experiment, ExperimentConfig, EXPERIMENT_NAMES};
+pub use harness::{build_enhanced, build_plain, measure_queries, promoted_keys, IndexKind, QueryMeasurement};

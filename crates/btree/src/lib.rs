@@ -1,0 +1,55 @@
+//! A classic in-memory B+-tree, used as the traditional baseline index that
+//! the paper's learned indexes are compared against (§6.1 notes that ALEX,
+//! LIPP and SALI all outperform the B+-tree; we reproduce it so the benches
+//! can show the same ordering).
+//!
+//! The tree is arena-allocated: nodes live in a `Vec` and children are
+//! referenced by index, which keeps the structure cache-friendly and makes
+//! level-of-key queries trivial.
+
+mod node;
+
+pub use node::BPlusTree;
+
+#[cfg(test)]
+mod proptests {
+    use super::BPlusTree;
+    use csv_common::key::identity_records;
+    use csv_common::traits::LearnedIndex;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Bulk-loaded trees answer every membership query like a sorted vec.
+        #[test]
+        fn lookup_matches_oracle(mut keys in prop::collection::vec(0u64..1_000_000, 1..400)) {
+            keys.sort_unstable();
+            keys.dedup();
+            let tree = BPlusTree::bulk_load(&identity_records(&keys));
+            prop_assert_eq!(tree.len(), keys.len());
+            for &k in &keys {
+                prop_assert_eq!(tree.get(k), Some(k));
+            }
+            for probe in [0u64, 17, 999_999, 1_000_001] {
+                let expected = keys.binary_search(&probe).is_ok();
+                prop_assert_eq!(tree.get(probe).is_some(), expected);
+            }
+        }
+
+        /// Random insert sequences keep the tree consistent with a BTreeMap.
+        #[test]
+        fn inserts_match_btreemap(ops in prop::collection::vec((0u64..10_000, 0u64..1000), 1..300)) {
+            let mut tree = BPlusTree::bulk_load(&[]);
+            let mut oracle = std::collections::BTreeMap::new();
+            for (k, v) in ops {
+                tree.insert(k, v);
+                oracle.insert(k, v);
+            }
+            prop_assert_eq!(tree.len(), oracle.len());
+            for (&k, &v) in &oracle {
+                prop_assert_eq!(tree.get(k), Some(v));
+            }
+        }
+    }
+}

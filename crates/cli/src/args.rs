@@ -1,0 +1,283 @@
+//! Hand-rolled argument parsing for the `csv-index` tool (no external
+//! dependencies beyond the workspace crates).
+
+use csv_datasets::Dataset;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Which index implementation to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexChoice {
+    /// ALEX (gapped arrays + exponential search).
+    Alex,
+    /// LIPP (precise positions).
+    Lipp,
+    /// SALI (LIPP + workload-aware flattening).
+    Sali,
+    /// PGM baseline.
+    Pgm,
+    /// B+-tree baseline.
+    Btree,
+}
+
+impl IndexChoice {
+    /// Parses an index name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "alex" => Ok(Self::Alex),
+            "lipp" => Ok(Self::Lipp),
+            "sali" => Ok(Self::Sali),
+            "pgm" => Ok(Self::Pgm),
+            "btree" | "b+tree" => Ok(Self::Btree),
+            other => Err(CliError::new(format!("unknown index '{other}' (expected alex|lipp|sali|pgm|btree)"))),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Alex => "ALEX",
+            Self::Lipp => "LIPP",
+            Self::Sali => "SALI",
+            Self::Pgm => "PGM",
+            Self::Btree => "B+Tree",
+        }
+    }
+
+    /// `true` when CSV (Algorithm 2) can be applied to the index.
+    pub fn supports_csv(&self) -> bool {
+        matches!(self, Self::Alex | Self::Lipp | Self::Sali)
+    }
+}
+
+/// Which workload to replay after construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadChoice {
+    /// Point lookups over every loaded key (uniform).
+    ReadOnly,
+    /// YCSB-A: 50% reads / 50% updates, Zipfian popularity.
+    YcsbA,
+    /// YCSB-B: 95% reads / 5% updates, Zipfian popularity.
+    YcsbB,
+    /// YCSB-E: 95% short scans / 5% inserts.
+    YcsbE,
+    /// Mixed churn: reads, inserts, removes and scans.
+    Churn,
+}
+
+impl WorkloadChoice {
+    /// Parses a workload name.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "read-only" | "readonly" | "ycsb-c" => Ok(Self::ReadOnly),
+            "ycsb-a" => Ok(Self::YcsbA),
+            "ycsb-b" => Ok(Self::YcsbB),
+            "ycsb-e" => Ok(Self::YcsbE),
+            "churn" => Ok(Self::Churn),
+            other => Err(CliError::new(format!(
+                "unknown workload '{other}' (expected read-only|ycsb-a|ycsb-b|ycsb-e|churn)"
+            ))),
+        }
+    }
+}
+
+/// A parse/validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// The message printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Index to build.
+    pub index: IndexChoice,
+    /// Synthetic dataset analogue (ignored when `dataset_file` is given).
+    pub dataset: Dataset,
+    /// Optional SOSD file to load keys from instead of generating them.
+    pub dataset_file: Option<PathBuf>,
+    /// Number of keys to generate.
+    pub size: usize,
+    /// Smoothing threshold α; 0 disables CSV.
+    pub alpha: f64,
+    /// Workload to replay.
+    pub workload: WorkloadChoice,
+    /// Number of workload operations.
+    pub ops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            index: IndexChoice::Lipp,
+            dataset: Dataset::Genome,
+            dataset_file: None,
+            size: 200_000,
+            alpha: 0.1,
+            workload: WorkloadChoice::ReadOnly,
+            ops: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+impl CliArgs {
+    /// The usage string printed on `--help` or a parse error.
+    pub fn usage() -> &'static str {
+        "csv-index [--index alex|lipp|sali|pgm|btree] [--dataset facebook|covid|osm|genome]\n\
+         \u{20}         [--dataset-file PATH.sosd] [--size N] [--alpha A] \n\
+         \u{20}         [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn] [--ops N] [--seed S]\n\
+         \n\
+         Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
+         smoothing (alpha > 0), replays the workload and prints structure and latency reports."
+    }
+
+    /// Parses `--flag value` style arguments (anything after the program
+    /// name). Returns an error carrying a user-facing message on unknown
+    /// flags, missing values or malformed numbers.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut out = Self::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if flag == "--help" || flag == "-h" {
+                return Err(CliError::new(Self::usage()));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::new(format!("flag {flag} expects a value")))?;
+            match flag.as_str() {
+                "--index" => out.index = IndexChoice::parse(value)?,
+                "--dataset" => out.dataset = parse_dataset(value)?,
+                "--dataset-file" => out.dataset_file = Some(PathBuf::from(value)),
+                "--size" => out.size = parse_number(flag, value)? as usize,
+                "--ops" => out.ops = parse_number(flag, value)? as usize,
+                "--seed" => out.seed = parse_number(flag, value)?,
+                "--alpha" => {
+                    out.alpha = value
+                        .parse::<f64>()
+                        .map_err(|_| CliError::new(format!("--alpha expects a number, got '{value}'")))?;
+                    if !(0.0..=1.0).contains(&out.alpha) {
+                        return Err(CliError::new("--alpha must be in [0, 1]"));
+                    }
+                }
+                "--workload" => out.workload = WorkloadChoice::parse(value)?,
+                other => return Err(CliError::new(format!("unknown flag '{other}'\n\n{}", Self::usage()))),
+            }
+        }
+        if out.size < 2 && out.dataset_file.is_none() {
+            return Err(CliError::new("--size must be at least 2"));
+        }
+        Ok(out)
+    }
+}
+
+fn parse_dataset(value: &str) -> Result<Dataset, CliError> {
+    match value.to_ascii_lowercase().as_str() {
+        "facebook" | "fb" => Ok(Dataset::Facebook),
+        "covid" => Ok(Dataset::Covid),
+        "osm" => Ok(Dataset::Osm),
+        "genome" => Ok(Dataset::Genome),
+        other => Err(CliError::new(format!(
+            "unknown dataset '{other}' (expected facebook|covid|osm|genome)"
+        ))),
+    }
+}
+
+fn parse_number(flag: &str, value: &str) -> Result<u64, CliError> {
+    value
+        .replace('_', "")
+        .parse::<u64>()
+        .map_err(|_| CliError::new(format!("{flag} expects an integer, got '{value}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, CliError> {
+        CliArgs::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_when_no_flags_given() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, CliArgs::default());
+    }
+
+    #[test]
+    fn full_flag_set_round_trips() {
+        let args = parse(&[
+            "--index", "alex", "--dataset", "osm", "--size", "50_000", "--alpha", "0.4",
+            "--workload", "ycsb-b", "--ops", "9000", "--seed", "7",
+        ])
+        .unwrap();
+        assert_eq!(args.index, IndexChoice::Alex);
+        assert_eq!(args.dataset, Dataset::Osm);
+        assert_eq!(args.size, 50_000);
+        assert!((args.alpha - 0.4).abs() < 1e-12);
+        assert_eq!(args.workload, WorkloadChoice::YcsbB);
+        assert_eq!(args.ops, 9_000);
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn every_index_and_workload_name_parses() {
+        for (name, expected) in [
+            ("alex", IndexChoice::Alex),
+            ("LIPP", IndexChoice::Lipp),
+            ("sali", IndexChoice::Sali),
+            ("pgm", IndexChoice::Pgm),
+            ("b+tree", IndexChoice::Btree),
+        ] {
+            assert_eq!(IndexChoice::parse(name).unwrap(), expected);
+            assert!(!expected.name().is_empty());
+        }
+        for (name, expected) in [
+            ("read-only", WorkloadChoice::ReadOnly),
+            ("ycsb-a", WorkloadChoice::YcsbA),
+            ("YCSB-B", WorkloadChoice::YcsbB),
+            ("ycsb-e", WorkloadChoice::YcsbE),
+            ("churn", WorkloadChoice::Churn),
+        ] {
+            assert_eq!(WorkloadChoice::parse(name).unwrap(), expected);
+        }
+        assert!(IndexChoice::Alex.supports_csv());
+        assert!(!IndexChoice::Btree.supports_csv());
+    }
+
+    #[test]
+    fn errors_carry_useful_messages() {
+        assert!(parse(&["--index", "nope"]).unwrap_err().message.contains("unknown index"));
+        assert!(parse(&["--bogus", "1"]).unwrap_err().message.contains("unknown flag"));
+        assert!(parse(&["--size"]).unwrap_err().message.contains("expects a value"));
+        assert!(parse(&["--alpha", "3.0"]).unwrap_err().message.contains("[0, 1]"));
+        assert!(parse(&["--size", "1"]).unwrap_err().message.contains("at least 2"));
+        assert!(parse(&["--help"]).unwrap_err().message.contains("csv-index"));
+        assert!(parse(&["--ops", "abc"]).unwrap_err().message.contains("integer"));
+        assert!(parse(&["--dataset", "mars"]).unwrap_err().message.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn dataset_file_flag_is_recorded() {
+        let args = parse(&["--dataset-file", "/tmp/keys.sosd"]).unwrap();
+        assert_eq!(args.dataset_file, Some(PathBuf::from("/tmp/keys.sosd")));
+    }
+}

@@ -1,0 +1,17 @@
+//! Library backing the `csv-index` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; keeping the argument parsing
+//! and the driver logic in a library makes the whole tool unit-testable
+//! without spawning processes.
+//!
+//! ```text
+//! csv-index --index lipp --dataset genome --size 200000 --alpha 0.1 \
+//!           --workload ycsb-b --ops 100000
+//! csv-index --index alex --dataset-file keys.sosd --alpha 0.2 --workload read-only
+//! ```
+
+pub mod args;
+pub mod driver;
+
+pub use args::{CliArgs, CliError, IndexChoice, WorkloadChoice};
+pub use driver::{run, RunSummary};

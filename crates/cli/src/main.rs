@@ -1,0 +1,26 @@
+//! `csv-index` — build a learned index over a synthetic or SOSD dataset,
+//! optionally apply CSV smoothing, replay a workload and print a report.
+
+use csv_cli::{run, CliArgs};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match CliArgs::parse(&raw) {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

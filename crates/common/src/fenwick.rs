@@ -1,0 +1,156 @@
+//! Fenwick (binary indexed) tree over `f64` values.
+//!
+//! The CDF-smoothing algorithm needs, for every candidate virtual point, the
+//! sum of the keys whose rank is at least the candidate's insertion rank
+//! (Eq. 14 of the paper). Maintaining the key layout in a Fenwick tree turns
+//! that suffix sum into an O(log n) query and keeps it cheap to update as
+//! virtual points are inserted one by one.
+
+/// A Fenwick tree supporting point updates and prefix/suffix sums over `f64`.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<f64>,
+    len: usize,
+    total: f64,
+}
+
+impl Fenwick {
+    /// Creates an empty tree with capacity for `len` positions (0-indexed).
+    pub fn new(len: usize) -> Self {
+        Self { tree: vec![0.0; len + 1], len, total: 0.0 }
+    }
+
+    /// Builds a tree whose position `i` initially holds `values[i]`.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut fw = Self::new(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            fw.add(i, v);
+        }
+        fw
+    }
+
+    /// Number of addressable positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree has no addressable positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum over every position.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Adds `delta` at position `i`.
+    pub fn add(&mut self, i: usize, delta: f64) {
+        assert!(i < self.len, "fenwick index {i} out of bounds ({})", self.len);
+        self.total += delta;
+        let mut i = i + 1;
+        while i <= self.len {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (inclusive prefix sum). `prefix(len-1)` is
+    /// the total.
+    pub fn prefix(&self, i: usize) -> f64 {
+        let mut i = (i + 1).min(self.len);
+        let mut acc = 0.0;
+        while i > 0 {
+            acc += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+
+    /// Sum of positions `from..len` (suffix sum starting at `from`).
+    pub fn suffix(&self, from: usize) -> f64 {
+        if from == 0 {
+            self.total
+        } else if from >= self.len {
+            0.0
+        } else {
+            self.total - self.prefix(from - 1)
+        }
+    }
+
+    /// Sum over the half-open range `lo..hi`.
+    pub fn range(&self, lo: usize, hi: usize) -> f64 {
+        if lo >= hi {
+            return 0.0;
+        }
+        let upper = self.prefix(hi - 1);
+        if lo == 0 {
+            upper
+        } else {
+            upper - self.prefix(lo - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn prefix_and_suffix_sums() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let fw = Fenwick::from_values(&values);
+        assert!(close(fw.total(), 15.0));
+        assert!(close(fw.prefix(0), 1.0));
+        assert!(close(fw.prefix(2), 6.0));
+        assert!(close(fw.prefix(4), 15.0));
+        assert!(close(fw.suffix(0), 15.0));
+        assert!(close(fw.suffix(3), 9.0));
+        assert!(close(fw.suffix(5), 0.0));
+        assert!(close(fw.range(1, 4), 9.0));
+        assert!(close(fw.range(2, 2), 0.0));
+    }
+
+    #[test]
+    fn updates_are_reflected() {
+        let mut fw = Fenwick::new(4);
+        assert!(fw.is_empty() == (fw.len() == 0));
+        fw.add(0, 10.0);
+        fw.add(3, 5.0);
+        assert!(close(fw.prefix(3), 15.0));
+        fw.add(3, -5.0);
+        assert!(close(fw.suffix(1), 0.0));
+        assert!(close(fw.total(), 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_add_panics() {
+        let mut fw = Fenwick::new(2);
+        fw.add(2, 1.0);
+    }
+
+    #[test]
+    fn matches_naive_sums_on_random_data() {
+        // Small deterministic pseudo-random exercise.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64
+        };
+        let values: Vec<f64> = (0..257).map(|_| next()).collect();
+        let fw = Fenwick::from_values(&values);
+        for i in (0..values.len()).step_by(17) {
+            let naive: f64 = values[..=i].iter().sum();
+            assert!(close(fw.prefix(i), naive));
+            let naive_s: f64 = values[i..].iter().sum();
+            assert!(close(fw.suffix(i), naive_s));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Key and value types used throughout the workspace.
+//!
+//! The paper (§3) assumes one-dimensional integer index keys; real-valued
+//! keys are assumed to be scaled to integers. We therefore fix [`Key`] to
+//! `u64`, which matches the SOSD-style datasets (Facebook IDs, tweet IDs,
+//! S2 cell IDs, genome loci) used in the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// A search key. All datasets in the paper's evaluation are 64-bit unsigned
+/// integers after de-duplication.
+pub type Key = u64;
+
+/// The payload associated with a key. The evaluation only measures lookup
+/// and insert performance, so a fixed-width payload is sufficient.
+pub type Value = u64;
+
+/// A `(key, value)` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct KeyValue {
+    /// The search key.
+    pub key: Key,
+    /// The payload stored for the key.
+    pub value: Value,
+}
+
+impl KeyValue {
+    /// Creates a record.
+    #[inline]
+    pub fn new(key: Key, value: Value) -> Self {
+        Self { key, value }
+    }
+
+    /// Creates a record whose value is derived from the key (the convention
+    /// used by the examples, tests and benchmarks: `value = key`).
+    #[inline]
+    pub fn identity(key: Key) -> Self {
+        Self { key, value: key }
+    }
+}
+
+impl From<(Key, Value)> for KeyValue {
+    #[inline]
+    fn from((key, value): (Key, Value)) -> Self {
+        Self { key, value }
+    }
+}
+
+/// Turns a sorted, de-duplicated key slice into identity records.
+pub fn identity_records(keys: &[Key]) -> Vec<KeyValue> {
+    keys.iter().copied().map(KeyValue::identity).collect()
+}
+
+/// Sorts and de-duplicates a key vector in place.
+///
+/// The paper removes duplicates from every dataset because LIPP and SALI
+/// require unique keys; we apply the same normalisation everywhere.
+pub fn normalize_keys(keys: &mut Vec<Key>) {
+    keys.sort_unstable();
+    keys.dedup();
+}
+
+/// Returns `true` when the slice is strictly increasing (sorted and unique).
+pub fn is_strictly_increasing(keys: &[Key]) -> bool {
+    keys.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_value_constructors() {
+        let kv = KeyValue::new(42, 7);
+        assert_eq!(kv.key, 42);
+        assert_eq!(kv.value, 7);
+        let kv = KeyValue::identity(13);
+        assert_eq!(kv.key, kv.value);
+        let kv: KeyValue = (1u64, 2u64).into();
+        assert_eq!(kv, KeyValue::new(1, 2));
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut keys = vec![5, 3, 5, 1, 3, 9];
+        normalize_keys(&mut keys);
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert!(is_strictly_increasing(&keys));
+    }
+
+    #[test]
+    fn strictly_increasing_detects_duplicates() {
+        assert!(is_strictly_increasing(&[]));
+        assert!(is_strictly_increasing(&[7]));
+        assert!(is_strictly_increasing(&[1, 2, 3]));
+        assert!(!is_strictly_increasing(&[1, 1, 2]));
+        assert!(!is_strictly_increasing(&[3, 2]));
+    }
+
+    #[test]
+    fn identity_records_match_keys() {
+        let recs = identity_records(&[1, 4, 9]);
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|r| r.key == r.value));
+        assert_eq!(recs[2].key, 9);
+    }
+}

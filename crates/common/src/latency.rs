@@ -1,0 +1,266 @@
+//! Log-bucketed latency histogram.
+//!
+//! The paper reports mean per-query latencies; production index evaluations
+//! (and the read-write experiments here) also need tail behaviour. This is a
+//! small HdrHistogram-style recorder: nanosecond samples land in
+//! logarithmically spaced buckets (fixed memory, no per-sample allocation),
+//! and percentiles are interpolated from the bucket boundaries. It is used by
+//! the experiment harness and the mixed-workload example; [`Summary`]
+//! (exact, but O(n log n) memory/time) remains available for small sample
+//! sets.
+//!
+//! [`Summary`]: crate::metrics::Summary
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Number of buckets per power of two (higher = finer resolution).
+const SUB_BUCKETS: usize = 16;
+/// log2 of [`SUB_BUCKETS`].
+const LOG_SUB: usize = 4;
+/// Number of powers of two covered (2^0 .. 2^63 nanoseconds).
+const POWERS: usize = 64;
+/// Total number of reachable buckets.
+const NUM_BUCKETS: usize = (POWERS - LOG_SUB + 1) * SUB_BUCKETS;
+
+/// A fixed-memory latency histogram with logarithmic buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Bucket index of a nanosecond value.
+    fn bucket_of(ns: u64) -> usize {
+        if ns < SUB_BUCKETS as u64 {
+            return ns as usize;
+        }
+        // The leading power of two selects the coarse bucket; the next
+        // log2(SUB_BUCKETS) bits select the sub-bucket.
+        let power = 63 - ns.leading_zeros() as usize;
+        let shift = power.saturating_sub(LOG_SUB);
+        let sub = ((ns >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((power + 1 - LOG_SUB) * SUB_BUCKETS + sub).min(NUM_BUCKETS - 1)
+    }
+
+    /// Representative (lower-bound) nanosecond value of a bucket.
+    fn bucket_floor(bucket: usize) -> u64 {
+        if bucket < SUB_BUCKETS {
+            return bucket as u64;
+        }
+        let power = (bucket / SUB_BUCKETS + LOG_SUB - 1).min(63);
+        let sub = bucket % SUB_BUCKETS;
+        (1u64 << power).saturating_add((sub as u64) << (power - LOG_SUB))
+    }
+
+    /// Records one nanosecond sample.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Records a [`Duration`] sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]`, in nanoseconds. The value is the
+    /// lower bound of the bucket holding the q-th sample (so the error is at
+    /// most one sub-bucket width, ~6% with 16 sub-buckets), clamped to the
+    /// recorded min/max.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Self::bucket_floor(bucket).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        if other.total > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "n={} mean={:.0}ns p50={}ns p99={}ns max={}ns",
+            self.total,
+            self.mean_ns(),
+            self.p50_ns(),
+            self.p99_ns(),
+            self.max_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = LatencyHistogram::new();
+        for ns in [3u64, 5, 5, 7, 9] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_ns(), 3);
+        assert_eq!(h.max_ns(), 9);
+        assert!((h.mean_ns() - 5.8).abs() < 1e-9);
+        assert_eq!(h.p50_ns(), 5);
+        assert_eq!(h.quantile_ns(1.0), 9);
+        assert_eq!(h.quantile_ns(0.0), 3);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=100_000u64 {
+            h.record_ns(ns);
+        }
+        let p50 = h.p50_ns() as f64;
+        let p99 = h.p99_ns() as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.10, "p50 {p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.10, "p99 {p99}");
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.max_ns(), 100_000);
+        assert_eq!(h.min_ns(), 1);
+    }
+
+    #[test]
+    fn handles_large_values_without_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(u64::MAX);
+        h.record_ns(1);
+        h.record(Duration::from_secs(2));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ns(), u64::MAX);
+        assert!(h.quantile_ns(1.0) >= 2_000_000_000);
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1_000u64 {
+            let ns = 100 + i * 17 % 5_000;
+            if i % 2 == 0 {
+                a.record_ns(ns);
+            } else {
+                b.record_ns(ns);
+            }
+            all.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.p50_ns(), all.p50_ns());
+        assert_eq!(a.p99_ns(), all.p99_ns());
+        assert_eq!(a.min_ns(), all.min_ns());
+        assert_eq!(a.max_ns(), all.max_ns());
+        assert!(!a.summary_line().is_empty());
+    }
+
+    #[test]
+    fn bucket_floor_is_monotone_and_consistent() {
+        let mut last_floor = 0u64;
+        for bucket in 0..NUM_BUCKETS {
+            let floor = LatencyHistogram::bucket_floor(bucket);
+            assert!(floor >= last_floor, "bucket {bucket}: {floor} < {last_floor}");
+            last_floor = floor;
+        }
+        // A value always lands in a bucket whose floor is <= the value.
+        for ns in [0u64, 1, 15, 16, 17, 1_000, 123_456, 1 << 40, u64::MAX / 2] {
+            let bucket = LatencyHistogram::bucket_of(ns);
+            assert!(LatencyHistogram::bucket_floor(bucket) <= ns, "ns={ns}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared building blocks for the CSV (CDF Smoothing via Virtual points)
+//! learned-index reproduction.
+//!
+//! This crate contains everything that more than one of the higher-level
+//! crates needs:
+//!
+//! * [`key`] — the key/value types used throughout the workspace,
+//! * [`linear`] — ordinary-least-squares linear models mapping keys to ranks,
+//! * [`pla`] — optimal ε-bounded piecewise linear approximation (used by the
+//!   PGM baseline and by SALI's hot sub-tree flattening),
+//! * [`search`] — bounded binary and exponential search with cost counters,
+//! * [`fenwick`] — a Fenwick (binary indexed) tree used for incremental
+//!   suffix-sum maintenance during CDF smoothing,
+//! * [`traits`] — the [`traits::LearnedIndex`] abstraction plus the
+//!   structural statistics every index reports ([`traits::IndexStats`]),
+//! * [`metrics`] — machine-independent cost counters and simple timing /
+//!   aggregation helpers used by the experiment harness,
+//! * [`latency`] — a log-bucketed latency histogram for tail-latency
+//!   reporting,
+//! * [`quadratic`] — quadratic indexing functions used by the smoothing
+//!   extension to richer model classes,
+//! * [`rng`] — tiny deterministic RNG primitives (SplitMix64 / xorshift) so
+//!   dataset generation and property tests are reproducible.
+
+pub mod fenwick;
+pub mod key;
+pub mod latency;
+pub mod linear;
+pub mod metrics;
+pub mod pla;
+pub mod quadratic;
+pub mod rng;
+pub mod search;
+pub mod traits;
+
+pub use fenwick::Fenwick;
+pub use key::{Key, KeyValue, Value};
+pub use latency::LatencyHistogram;
+pub use linear::LinearModel;
+pub use metrics::{CostCounters, Summary};
+pub use pla::{Segment, SegmentationBuilder};
+pub use quadratic::{QuadFitStats, QuadraticModel};
+pub use search::{binary_search_bounded, exponential_search, SearchOutcome};
+pub use traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};

@@ -1,0 +1,386 @@
+//! Ordinary-least-squares linear models mapping keys to positions.
+//!
+//! Every learned index in this workspace uses linear indexing functions
+//! `f(k) = w·k + b` (the paper restricts itself to linear functions for
+//! efficiency, §3). Models are fitted either from explicit `(key, rank)`
+//! pairs or from running sufficient statistics, which is what the smoothing
+//! algorithm in `csv-core` relies on.
+
+use crate::key::Key;
+use serde::{Deserialize, Serialize};
+
+/// A linear indexing function `f(k) = slope · k + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Slope `w` of the indexing function.
+    pub slope: f64,
+    /// Intercept `b` of the indexing function.
+    pub intercept: f64,
+}
+
+impl Default for LinearModel {
+    fn default() -> Self {
+        Self { slope: 0.0, intercept: 0.0 }
+    }
+}
+
+impl LinearModel {
+    /// Creates a model from explicit parameters.
+    #[inline]
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        Self { slope, intercept }
+    }
+
+    /// Predicts the (real-valued) position of `key`.
+    #[inline]
+    pub fn predict_f64(&self, key: Key) -> f64 {
+        self.slope * key as f64 + self.intercept
+    }
+
+    /// Predicts a position clamped to `[0, upper)` and rounded to the nearest
+    /// slot, which is how the indexes turn model output into an array slot.
+    #[inline]
+    pub fn predict_clamped(&self, key: Key, upper: usize) -> usize {
+        if upper == 0 {
+            return 0;
+        }
+        let p = self.predict_f64(key);
+        if p <= 0.0 {
+            0
+        } else {
+            let p = p.round() as usize;
+            p.min(upper - 1)
+        }
+    }
+
+    /// Fits the least-squares line through `(keys[i], positions[i])`.
+    ///
+    /// Keys are centred on the first key before accumulating the sufficient
+    /// statistics: real datasets (e.g. Snowflake-style tweet IDs) combine a
+    /// huge absolute offset with a comparatively small spread, and fitting on
+    /// raw values would lose the entire signal to floating-point
+    /// cancellation. Returns a flat model through the mean position when the
+    /// keys carry no variance (all equal, or fewer than two points).
+    pub fn fit_points(keys: &[Key], positions: &[f64]) -> Self {
+        debug_assert_eq!(keys.len(), positions.len());
+        let n = keys.len();
+        if n == 0 {
+            return Self::default();
+        }
+        if n == 1 {
+            return Self::new(0.0, positions[0]);
+        }
+        let origin = keys[0];
+        let mut stats = FitStats::default();
+        for (&k, &y) in keys.iter().zip(positions.iter()) {
+            stats.push((k - origin) as f64, y);
+        }
+        stats.fit().uncenter(origin)
+    }
+
+    /// Fits the least-squares line through `(keys[i], i)` — the model of the
+    /// empirical CDF of a sorted key slice. Keys are centred on the first
+    /// key before fitting (see [`LinearModel::fit_points`]).
+    pub fn fit_cdf(keys: &[Key]) -> Self {
+        let n = keys.len();
+        if n == 0 {
+            return Self::default();
+        }
+        if n == 1 {
+            return Self::new(0.0, 0.0);
+        }
+        let origin = keys[0];
+        let mut stats = FitStats::default();
+        for (i, &k) in keys.iter().enumerate() {
+            stats.push((k - origin) as f64, i as f64);
+        }
+        stats.fit().uncenter(origin)
+    }
+
+    /// Converts a model fitted on `key - origin` back to absolute keys:
+    /// `w·(k − o) + b = w·k + (b − w·o)`.
+    #[inline]
+    pub fn uncenter(self, origin: Key) -> Self {
+        Self { slope: self.slope, intercept: self.intercept - self.slope * origin as f64 }
+    }
+
+    /// Sum of squared errors of this model over `(keys[i], positions[i])`.
+    pub fn sse(&self, keys: &[Key], positions: &[f64]) -> f64 {
+        keys.iter()
+            .zip(positions.iter())
+            .map(|(&k, &y)| {
+                let e = self.predict_f64(k) - y;
+                e * e
+            })
+            .sum()
+    }
+
+    /// Sum of squared errors of this model against the empirical CDF of a
+    /// sorted key slice (position of `keys[i]` is `i`).
+    pub fn sse_cdf(&self, keys: &[Key]) -> f64 {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let e = self.predict_f64(k) - i as f64;
+                e * e
+            })
+            .sum()
+    }
+
+    /// Maximum absolute prediction error against the empirical CDF.
+    pub fn max_abs_error_cdf(&self, keys: &[Key]) -> f64 {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| (self.predict_f64(k) - i as f64).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Running sufficient statistics for a least-squares fit of `y` on `x`.
+///
+/// Collecting `n, Σx, Σy, Σx², Σy², Σxy` is enough to produce the OLS slope,
+/// intercept and SSE in O(1); the CDF-smoothing algorithm in `csv-core`
+/// maintains exactly these quantities incrementally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FitStats {
+    /// Number of points.
+    pub n: f64,
+    /// Sum of x.
+    pub sum_x: f64,
+    /// Sum of y.
+    pub sum_y: f64,
+    /// Sum of x².
+    pub sum_xx: f64,
+    /// Sum of y².
+    pub sum_yy: f64,
+    /// Sum of x·y.
+    pub sum_xy: f64,
+}
+
+impl FitStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a point.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1.0;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_yy += y * y;
+        self.sum_xy += x * y;
+    }
+
+    /// Removes a previously added point.
+    #[inline]
+    pub fn remove(&mut self, x: f64, y: f64) {
+        self.n -= 1.0;
+        self.sum_x -= x;
+        self.sum_y -= y;
+        self.sum_xx -= x * x;
+        self.sum_yy -= y * y;
+        self.sum_xy -= x * y;
+    }
+
+    /// Merges another set of statistics into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &FitStats) {
+        self.n += other.n;
+        self.sum_x += other.sum_x;
+        self.sum_y += other.sum_y;
+        self.sum_xx += other.sum_xx;
+        self.sum_yy += other.sum_yy;
+        self.sum_xy += other.sum_xy;
+    }
+
+    /// Mean of x, or 0 when empty.
+    #[inline]
+    pub fn mean_x(&self) -> f64 {
+        if self.n > 0.0 {
+            self.sum_x / self.n
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of y, or 0 when empty.
+    #[inline]
+    pub fn mean_y(&self) -> f64 {
+        if self.n > 0.0 {
+            self.sum_y / self.n
+        } else {
+            0.0
+        }
+    }
+
+    /// OLS fit of `y = slope·x + intercept`. Degenerate inputs (no x
+    /// variance) produce a flat line through the mean.
+    pub fn fit(&self) -> LinearModel {
+        if self.n < 2.0 {
+            return LinearModel::new(0.0, self.mean_y());
+        }
+        let sxx = self.sum_xx - self.sum_x * self.sum_x / self.n;
+        if sxx.abs() < f64::EPSILON || !sxx.is_finite() {
+            return LinearModel::new(0.0, self.mean_y());
+        }
+        let sxy = self.sum_xy - self.sum_x * self.sum_y / self.n;
+        let slope = sxy / sxx;
+        let intercept = self.mean_y() - slope * self.mean_x();
+        LinearModel::new(slope, intercept)
+    }
+
+    /// Sum of squared errors of the OLS fit, computed directly from the
+    /// sufficient statistics (no pass over the data).
+    pub fn sse_of_fit(&self) -> f64 {
+        if self.n < 2.0 {
+            return 0.0;
+        }
+        let sxx = self.sum_xx - self.sum_x * self.sum_x / self.n;
+        let syy = self.sum_yy - self.sum_y * self.sum_y / self.n;
+        if sxx.abs() < f64::EPSILON {
+            return syy.max(0.0);
+        }
+        let sxy = self.sum_xy - self.sum_x * self.sum_y / self.n;
+        let sse = syy - sxy * sxy / sxx;
+        sse.max(0.0)
+    }
+
+    /// SSE of an arbitrary (not necessarily OLS) model over the accumulated
+    /// points, again in O(1):
+    /// `Σ(w·x + b − y)² = w²Σx² + 2wbΣx − 2wΣxy + n b² − 2bΣy + Σy²`.
+    pub fn sse_of_model(&self, model: &LinearModel) -> f64 {
+        let w = model.slope;
+        let b = model.intercept;
+        let sse = w * w * self.sum_xx + 2.0 * w * b * self.sum_x - 2.0 * w * self.sum_xy
+            + self.n * b * b
+            - 2.0 * b * self.sum_y
+            + self.sum_yy;
+        sse.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn fit_exact_line() {
+        let keys: Vec<Key> = (0..100).map(|i| i * 3 + 7).collect();
+        let model = LinearModel::fit_cdf(&keys);
+        assert!(close(model.slope, 1.0 / 3.0), "slope {}", model.slope);
+        assert!(close(model.sse_cdf(&keys), 0.0));
+        assert_eq!(model.predict_clamped(7, 100), 0);
+        assert_eq!(model.predict_clamped(7 + 3 * 99, 100), 99);
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert_eq!(LinearModel::fit_cdf(&[]), LinearModel::default());
+        let m = LinearModel::fit_cdf(&[5]);
+        assert_eq!(m.predict_clamped(5, 1), 0);
+        // All-equal x values: flat model through mean of y.
+        let m = LinearModel::fit_points(&[4, 4, 4], &[0.0, 1.0, 2.0]);
+        assert!(close(m.slope, 0.0));
+        assert!(close(m.intercept, 1.0));
+    }
+
+    #[test]
+    fn predict_clamps_to_range() {
+        let m = LinearModel::new(2.0, -5.0);
+        assert_eq!(m.predict_clamped(0, 10), 0);
+        assert_eq!(m.predict_clamped(100, 10), 9);
+        assert_eq!(m.predict_clamped(4, 10), 3);
+        assert_eq!(m.predict_clamped(4, 0), 0);
+    }
+
+    #[test]
+    fn stats_fit_matches_direct_fit() {
+        let keys: Vec<Key> = vec![2, 3, 5, 9, 14, 20, 26, 27, 29, 30];
+        let direct = LinearModel::fit_cdf(&keys);
+        let mut stats = FitStats::new();
+        for (i, &k) in keys.iter().enumerate() {
+            stats.push(k as f64, i as f64);
+        }
+        let from_stats = stats.fit();
+        assert!(close(direct.slope, from_stats.slope));
+        assert!(close(direct.intercept, from_stats.intercept));
+        assert!(close(direct.sse_cdf(&keys), stats.sse_of_fit()));
+        assert!(close(stats.sse_of_model(&from_stats), stats.sse_of_fit()));
+    }
+
+    #[test]
+    fn stats_push_remove_roundtrip() {
+        let mut stats = FitStats::new();
+        stats.push(1.0, 2.0);
+        stats.push(3.0, 4.0);
+        stats.push(5.0, 5.0);
+        let before = stats;
+        stats.push(10.0, 11.0);
+        stats.remove(10.0, 11.0);
+        assert!(close(before.sum_xy, stats.sum_xy));
+        assert!(close(before.sum_yy, stats.sum_yy));
+        assert_eq!(before.n, stats.n);
+    }
+
+    #[test]
+    fn merge_equals_pushing_everything() {
+        let mut a = FitStats::new();
+        let mut b = FitStats::new();
+        let mut all = FitStats::new();
+        for i in 0..10 {
+            let (x, y) = (i as f64, (i * i) as f64);
+            if i % 2 == 0 {
+                a.push(x, y);
+            } else {
+                b.push(x, y);
+            }
+            all.push(x, y);
+        }
+        a.merge(&b);
+        assert!(close(a.sse_of_fit(), all.sse_of_fit()));
+    }
+
+    #[test]
+    fn max_abs_error_reflects_worst_key() {
+        let keys: Vec<Key> = vec![0, 1, 2, 3, 1000];
+        let m = LinearModel::fit_cdf(&keys);
+        assert!(m.max_abs_error_cdf(&keys) > 0.5);
+    }
+
+    #[test]
+    fn fit_is_stable_under_huge_key_offsets() {
+        // Snowflake-ID-like keys: offset ~6.6e14 with a spread of ~2.5e7.
+        // Without centring, the OLS sums cancel catastrophically.
+        let offset: Key = 665_600_000_000_000;
+        let keys: Vec<Key> = (0..10_000u64).map(|i| offset + i * 1285 + (i % 7)).collect();
+        let model = LinearModel::fit_cdf(&keys);
+        let max_err = model.max_abs_error_cdf(&keys);
+        assert!(max_err < 1.0, "max error {max_err} should be < 1 rank");
+        let m2 = LinearModel::fit_points(&keys, &(0..10_000).map(|i| i as f64).collect::<Vec<_>>());
+        assert!((m2.slope - model.slope).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure2_loss_value() {
+        // Fig. 2a: fitting the 10-key example with a single linear function
+        // yields a loss (SSE) of 8.33. The exact key set is not listed in the
+        // paper; the canonical example reconstructed in csv-core reproduces
+        // the value. Here we only check that SSE through FitStats equals SSE
+        // computed point-wise for an irregular set.
+        let keys: Vec<Key> = vec![1, 2, 3, 4, 5, 6, 7, 20, 26, 30];
+        let m = LinearModel::fit_cdf(&keys);
+        let direct = m.sse_cdf(&keys);
+        let mut stats = FitStats::new();
+        for (i, &k) in keys.iter().enumerate() {
+            stats.push(k as f64, i as f64);
+        }
+        assert!(close(direct, stats.sse_of_fit()));
+    }
+}

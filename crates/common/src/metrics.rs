@@ -1,0 +1,164 @@
+//! Machine-independent cost counters and small statistics helpers used by the
+//! experiment harness.
+//!
+//! Absolute nanosecond latencies cannot be matched across hardware, so every
+//! index also charges its traversal and search work to [`CostCounters`]; the
+//! harness reports both wall-clock times and these counters.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters charged during a (counted) lookup or insert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostCounters {
+    /// Number of index nodes visited (traversal length).
+    pub nodes_visited: usize,
+    /// Number of key comparisons / slot probes during leaf-node search.
+    pub comparisons: usize,
+    /// Number of model evaluations.
+    pub model_evals: usize,
+    /// Number of elements shifted (inserts into gapped arrays / leaves).
+    pub shifts: usize,
+}
+
+impl CostCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds another counter set to this one.
+    pub fn add(&mut self, other: &CostCounters) {
+        self.nodes_visited += other.nodes_visited;
+        self.comparisons += other.comparisons;
+        self.model_evals += other.model_evals;
+        self.shifts += other.shifts;
+    }
+
+    /// A single scalar "abstract cost": one unit per node visited plus one
+    /// per comparison. Used when the harness needs to rank configurations in
+    /// a hardware-independent way.
+    pub fn abstract_cost(&self) -> usize {
+        self.nodes_visited + self.comparisons
+    }
+}
+
+/// Aggregate summary (mean / min / max / percentiles) of a sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarises a sample slice. Returns the default (all zeros) for an
+    /// empty slice.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(count - 1)]
+        };
+        Self {
+            count,
+            mean: sum / count as f64,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+
+    /// Summarises a duration slice in nanoseconds.
+    pub fn of_durations(samples: &[Duration]) -> Self {
+        let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        Self::of(&ns)
+    }
+}
+
+/// Relative change `(new - old) / old` in percent; 0 when `old` is 0.
+pub fn percent_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+/// Relative improvement `(old - new) / old` in percent (positive = faster).
+pub fn percent_improvement(old: f64, new: f64) -> f64 {
+    -percent_change(old, new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut a = CostCounters::new();
+        a.nodes_visited = 2;
+        a.comparisons = 5;
+        let mut b = CostCounters::new();
+        b.nodes_visited = 1;
+        b.model_evals = 3;
+        b.shifts = 4;
+        a.add(&b);
+        assert_eq!(a.nodes_visited, 3);
+        assert_eq!(a.comparisons, 5);
+        assert_eq!(a.model_evals, 3);
+        assert_eq!(a.shifts, 4);
+        assert_eq!(a.abstract_cost(), 8);
+        a.reset();
+        assert_eq!(a, CostCounters::default());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p50 >= 49.0 && s.p50 <= 52.0);
+        assert!(s.p99 >= 98.0);
+    }
+
+    #[test]
+    fn summary_of_durations_converts_to_ns() {
+        let s = Summary::of_durations(&[Duration::from_nanos(100), Duration::from_nanos(300)]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_helpers() {
+        assert!((percent_change(100.0, 110.0) - 10.0).abs() < 1e-12);
+        assert!((percent_improvement(100.0, 66.0) - 34.0).abs() < 1e-12);
+        assert_eq!(percent_change(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Tiny deterministic random number primitives.
+//!
+//! Dataset generation and the experiment harness must be reproducible across
+//! runs and machines, so they are seeded through these primitives rather than
+//! through OS entropy. (The `rand` crate is still used where distributions
+//! are convenient; it is seeded from [`SplitMix64`] output.)
+
+/// SplitMix64: a tiny, high-quality 64-bit generator, mainly used to derive
+/// independent seeds from a single user-provided seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Modulo bias is negligible for the bounds used here (<< 2^64).
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn next_in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+}
+
+/// Xorshift64*: slightly faster generator used in hot loops (query sampling).
+#[derive(Debug, Clone, Copy)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a non-zero seed (zero seeds are remapped).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let v = rng.next_in_range(10, 20);
+            assert!((10..=20).contains(&v));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert_eq!(rng.next_below(0), 0);
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_remapped() {
+        let mut rng = XorShift64::new(0);
+        let v1 = rng.next_u64();
+        let v2 = rng.next_u64();
+        assert_ne!(v1, 0);
+        assert_ne!(v1, v2);
+        assert!((0.0..1.0).contains(&rng.next_f64()));
+        assert_eq!(rng.next_below(0), 0);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SplitMix64::new(123);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[(rng.next_f64() * 10.0) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 700 && b < 1300, "bucket {b} far from uniform");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Local search routines used after a model prediction.
+//!
+//! Learned indexes predict an approximate position and then recover from the
+//! prediction error with a bounded local search. ALEX uses exponential
+//! search around the predicted slot; PGM searches a `±ε` window with binary
+//! search. Both report how many probes they needed so the experiment harness
+//! can expose machine-independent cost counters.
+
+use crate::key::Key;
+
+/// The result of a local search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Index of the slot where the key was found, or where it would be
+    /// inserted to keep the slice sorted (lower bound) when not found.
+    pub position: usize,
+    /// Whether the key was found exactly.
+    pub found: bool,
+    /// Number of key comparisons performed.
+    pub comparisons: usize,
+}
+
+/// Binary search over `keys[lo..hi]` (sorted ascending) for `target`.
+///
+/// Returns the lower-bound position within the *whole* slice together with
+/// the number of comparisons made.
+pub fn binary_search_bounded(keys: &[Key], target: Key, lo: usize, hi: usize) -> SearchOutcome {
+    let mut lo = lo.min(keys.len());
+    let mut hi = hi.min(keys.len());
+    let mut comparisons = 0;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        comparisons += 1;
+        if keys[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let found = lo < keys.len() && keys[lo] == target;
+    if lo < keys.len() {
+        comparisons += 1;
+    }
+    SearchOutcome { position: lo, found, comparisons }
+}
+
+/// Exponential search around a predicted position `hint` in a sorted slice.
+///
+/// Doubles the search radius until the target is bracketed, then finishes
+/// with a bounded binary search. The number of comparisons grows with
+/// `log2(|hint − true position|)`, which is exactly the quantity ALEX's cost
+/// model tracks.
+pub fn exponential_search(keys: &[Key], target: Key, hint: usize) -> SearchOutcome {
+    let n = keys.len();
+    if n == 0 {
+        return SearchOutcome { position: 0, found: false, comparisons: 0 };
+    }
+    let hint = hint.min(n - 1);
+    let mut comparisons = 1;
+    if keys[hint] == target {
+        return SearchOutcome { position: hint, found: true, comparisons };
+    }
+    if keys[hint] < target {
+        // Search to the right.
+        let mut bound = 1usize;
+        let mut prev = hint;
+        loop {
+            let next = hint.saturating_add(bound).min(n - 1);
+            if next == prev {
+                break;
+            }
+            comparisons += 1;
+            if keys[next] >= target {
+                let mut out = binary_search_bounded(keys, target, prev + 1, next + 1);
+                out.comparisons += comparisons;
+                return out;
+            }
+            prev = next;
+            if next == n - 1 {
+                break;
+            }
+            bound <<= 1;
+        }
+        SearchOutcome { position: n, found: false, comparisons }
+    } else {
+        // Search to the left.
+        let mut bound = 1usize;
+        let mut prev = hint;
+        loop {
+            let next = hint.saturating_sub(bound);
+            comparisons += 1;
+            if keys[next] <= target {
+                let mut out = binary_search_bounded(keys, target, next, prev);
+                out.comparisons += comparisons;
+                return out;
+            }
+            prev = next;
+            if next == 0 {
+                break;
+            }
+            bound <<= 1;
+        }
+        SearchOutcome { position: 0, found: false, comparisons }
+    }
+}
+
+/// Number of exponential-search iterations expected for a prediction error of
+/// `err` slots: `log2(err) + 1`, the quantity used by ALEX's cost model and
+/// by Eq. 22 of the paper to estimate the expected number of searches.
+pub fn expected_search_iterations(err: f64) -> f64 {
+    let err = err.abs();
+    if err <= 1.0 {
+        1.0
+    } else {
+        err.log2() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_search_finds_and_lower_bounds() {
+        let keys = [2u64, 4, 6, 8, 10];
+        let out = binary_search_bounded(&keys, 6, 0, keys.len());
+        assert!(out.found);
+        assert_eq!(out.position, 2);
+        let out = binary_search_bounded(&keys, 7, 0, keys.len());
+        assert!(!out.found);
+        assert_eq!(out.position, 3);
+        let out = binary_search_bounded(&keys, 1, 0, keys.len());
+        assert_eq!(out.position, 0);
+        let out = binary_search_bounded(&keys, 11, 0, keys.len());
+        assert_eq!(out.position, 5);
+        assert!(!out.found);
+    }
+
+    #[test]
+    fn binary_search_respects_bounds() {
+        let keys = [1u64, 3, 5, 7, 9, 11];
+        let out = binary_search_bounded(&keys, 1, 2, 5);
+        assert_eq!(out.position, 2); // clamped to the window
+        assert!(!out.found);
+        let out = binary_search_bounded(&keys, 7, 2, 5);
+        assert!(out.found);
+        assert_eq!(out.position, 3);
+    }
+
+    #[test]
+    fn exponential_search_with_good_and_bad_hints() {
+        let keys: Vec<Key> = (0..1000).map(|i| i * 2).collect();
+        for &target in &[0u64, 2, 500, 998, 1500, 1998] {
+            for &hint in &[0usize, 10, 250, 500, 750, 999] {
+                let out = exponential_search(&keys, target, hint);
+                let expect = keys.binary_search(&target);
+                match expect {
+                    Ok(pos) => {
+                        assert!(out.found, "target {target} hint {hint}");
+                        assert_eq!(out.position, pos);
+                    }
+                    Err(pos) => {
+                        assert!(!out.found, "target {target} hint {hint}");
+                        assert_eq!(out.position, pos);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_search_missing_keys() {
+        let keys = [10u64, 20, 30, 40];
+        let out = exponential_search(&keys, 5, 3);
+        assert!(!out.found);
+        assert_eq!(out.position, 0);
+        let out = exponential_search(&keys, 45, 0);
+        assert!(!out.found);
+        assert_eq!(out.position, 4);
+        let out = exponential_search(&keys, 25, 1);
+        assert!(!out.found);
+        assert_eq!(out.position, 2);
+        let out = exponential_search(&[], 1, 0);
+        assert_eq!(out.position, 0);
+    }
+
+    #[test]
+    fn near_hints_use_few_comparisons() {
+        let keys: Vec<Key> = (0..10_000).collect();
+        let exact = exponential_search(&keys, 5000, 5000);
+        assert_eq!(exact.comparisons, 1);
+        let near = exponential_search(&keys, 5003, 5000);
+        let far = exponential_search(&keys, 9999, 0);
+        assert!(near.comparisons < far.comparisons);
+    }
+
+    #[test]
+    fn expected_iterations_monotone() {
+        assert_eq!(expected_search_iterations(0.0), 1.0);
+        assert_eq!(expected_search_iterations(1.0), 1.0);
+        assert!(expected_search_iterations(8.0) > expected_search_iterations(2.0));
+        assert!((expected_search_iterations(8.0) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,21 @@
+//! Sharded concurrent access to the workspace's learned indexes.
+//!
+//! The paper's SALI substrate is explicitly designed for scalable concurrent
+//! workloads (its evaluation is multi-threaded), and the benchmark framework
+//! the paper builds on drives indexes from several threads. The
+//! single-threaded index implementations in this workspace are wrapped by
+//! [`ShardedIndex`], which partitions the key space into contiguous shards at
+//! bulk-load time and protects each shard with a [`parking_lot::RwLock`]:
+//! point lookups and range scans take shared locks (readers scale across
+//! cores), while inserts and removals lock only the one shard that owns the
+//! key.
+//!
+//! The wrapper is index-agnostic — any [`LearnedIndex`] (ALEX, LIPP, SALI,
+//! PGM, B+-tree) can be sharded, including CSV-optimised instances (optimise
+//! each shard via [`ShardedIndex::with_shards_mut`] after construction).
+
+pub mod sharded;
+pub mod throughput;
+
+pub use sharded::{ShardedIndex, ShardingConfig};
+pub use throughput::{run_read_throughput, ThroughputReport};

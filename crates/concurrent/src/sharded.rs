@@ -1,0 +1,284 @@
+//! The sharded concurrent index wrapper.
+
+use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
+use csv_common::{Key, KeyValue, Value};
+use parking_lot::RwLock;
+
+/// How the key space is partitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardingConfig {
+    /// Number of shards. Each shard owns a contiguous key range and is
+    /// protected by its own reader–writer lock.
+    pub num_shards: usize,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        Self { num_shards: 16 }
+    }
+}
+
+/// A contiguous key-range shard.
+struct Shard<I> {
+    /// Smallest key routed to this shard (the first shard owns everything
+    /// below its boundary too).
+    lower_bound: Key,
+    index: RwLock<I>,
+}
+
+/// A concurrent index assembled from per-key-range shards of a
+/// single-threaded index type.
+///
+/// Shard boundaries are chosen from the bulk-load records so every shard
+/// starts with the same number of keys; later inserts are routed by key, so
+/// heavy skew can grow one shard faster than the others (the same behaviour
+/// a range-partitioned distributed index exhibits).
+pub struct ShardedIndex<I> {
+    shards: Vec<Shard<I>>,
+}
+
+impl<I: LearnedIndex> ShardedIndex<I> {
+    /// Builds a sharded index over sorted, de-duplicated records.
+    pub fn bulk_load(records: &[KeyValue], config: ShardingConfig) -> Self {
+        let num_shards = config.num_shards.max(1);
+        let per_shard = records.len().div_ceil(num_shards).max(1);
+        let mut shards = Vec::with_capacity(num_shards);
+        if records.is_empty() {
+            shards.push(Shard { lower_bound: 0, index: RwLock::new(I::bulk_load(&[])) });
+            return Self { shards };
+        }
+        for chunk in records.chunks(per_shard) {
+            shards.push(Shard {
+                lower_bound: chunk[0].key,
+                index: RwLock::new(I::bulk_load(chunk)),
+            });
+        }
+        // The first shard also owns every key below its smallest loaded key.
+        shards[0].lower_bound = 0;
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Index of the shard owning `key`.
+    fn shard_of(&self, key: Key) -> usize {
+        // Shards are sorted by lower bound; the owner is the last shard whose
+        // lower bound is <= key.
+        self.shards.partition_point(|s| s.lower_bound <= key).saturating_sub(1)
+    }
+
+    /// Point lookup (shared lock on one shard).
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.shards[self.shard_of(key)].index.read().get(key)
+    }
+
+    /// Inserts or overwrites a record (exclusive lock on one shard). Returns
+    /// `true` when the key was new.
+    pub fn insert(&self, key: Key, value: Value) -> bool {
+        self.shards[self.shard_of(key)].index.write().insert(key, value)
+    }
+
+    /// Total number of stored keys (takes shared locks shard by shard, so the
+    /// result is a consistent-per-shard snapshot, not a global atomic one).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.read().len()).sum()
+    }
+
+    /// `true` when no shard stores any key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated structural statistics across shards.
+    pub fn stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for shard in &self.shards {
+            let s = shard.index.read().stats();
+            for (level, count) in s.level_histogram.iter() {
+                total.level_histogram.record(level, count);
+            }
+            total.node_count += s.node_count;
+            total.deep_node_count += s.deep_node_count;
+            total.height = total.height.max(s.height);
+            total.size_bytes += s.size_bytes;
+            total.num_keys += s.num_keys;
+        }
+        total
+    }
+
+    /// Runs `f` on every shard's inner index with an exclusive lock — used to
+    /// apply CSV optimisation (or SALI workload flattening) shard by shard.
+    pub fn with_shards_mut<F: FnMut(&mut I)>(&self, mut f: F) {
+        for shard in &self.shards {
+            f(&mut shard.index.write());
+        }
+    }
+
+    /// Runs `f` on every shard's inner index with a shared lock and collects
+    /// the results (diagnostics, per-shard statistics).
+    pub fn map_shards<T, F: FnMut(&I) -> T>(&self, mut f: F) -> Vec<T> {
+        self.shards.iter().map(|s| f(&s.index.read())).collect()
+    }
+}
+
+impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
+    /// Range scan `[lo, hi]` across every shard that overlaps the range
+    /// (shared locks, taken in key order).
+    pub fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        let first = self.shard_of(lo);
+        for (i, shard) in self.shards.iter().enumerate().skip(first) {
+            if i > first && shard.lower_bound > hi {
+                break;
+            }
+            out.extend(shard.index.read().range(lo, hi));
+        }
+        out
+    }
+}
+
+impl<I: LearnedIndex + RemovableIndex> ShardedIndex<I> {
+    /// Removes `key` (exclusive lock on one shard).
+    pub fn remove(&self, key: Key) -> Option<Value> {
+        self.shards[self.shard_of(key)].index.write().remove(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csv_btree::BPlusTree;
+    use csv_common::key::identity_records;
+    use csv_datasets::Dataset;
+    use csv_lipp::LippIndex;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sharded_lookups_match_the_flat_index() {
+        let keys = Dataset::Osm.generate(40_000, 3);
+        let records = identity_records(&keys);
+        let flat = LippIndex::bulk_load(&records);
+        let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig::default());
+        assert_eq!(sharded.num_shards(), 16);
+        assert_eq!(sharded.len(), flat.len());
+        for &k in keys.iter().step_by(37) {
+            assert_eq!(sharded.get(k), flat.get(k));
+        }
+        assert_eq!(sharded.get(keys[0].wrapping_sub(1)), None);
+        assert_eq!(sharded.get(*keys.last().unwrap() + 1), None);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty = ShardedIndex::<BPlusTree>::bulk_load(&[], ShardingConfig { num_shards: 4 });
+        assert!(empty.is_empty());
+        assert_eq!(empty.get(7), None);
+        assert_eq!(empty.num_shards(), 1);
+        let tiny = ShardedIndex::<BPlusTree>::bulk_load(
+            &identity_records(&[5, 9]),
+            ShardingConfig { num_shards: 64 },
+        );
+        assert_eq!(tiny.len(), 2);
+        assert_eq!(tiny.get(5), Some(5));
+        assert_eq!(tiny.get(9), Some(9));
+    }
+
+    #[test]
+    fn mutations_and_ranges_match_an_oracle() {
+        let keys = Dataset::Facebook.generate(20_000, 9);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
+        let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
+
+        // Inserts and removals route to the right shard.
+        for (i, &k) in keys.iter().enumerate().step_by(3) {
+            if i % 2 == 0 {
+                assert_eq!(sharded.remove(k), oracle.remove(&k));
+            } else {
+                let v = k ^ 0xFFFF;
+                assert_eq!(sharded.insert(k, v), oracle.insert(k, v).is_none());
+            }
+        }
+        assert_eq!(sharded.len(), oracle.len());
+        // Cross-shard range scans.
+        let lo = keys[100];
+        let hi = keys[15_000];
+        let got = sharded.range(lo, hi);
+        let expected: Vec<KeyValue> =
+            oracle.range(lo..=hi).map(|(&k, &v)| KeyValue::new(k, v)).collect();
+        assert_eq!(got, expected);
+        assert!(sharded.range(10, 5).is_empty());
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let keys = Dataset::Genome.generate(30_000, 5);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 8 });
+        let stats = sharded.stats();
+        assert_eq!(stats.num_keys, keys.len());
+        assert_eq!(stats.level_histogram.total(), keys.len());
+        assert!(stats.node_count >= 8);
+        let per_shard = sharded.map_shards(|i| i.len());
+        assert_eq!(per_shard.iter().sum::<usize>(), keys.len());
+        assert_eq!(per_shard.len(), 8);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree_with_an_oracle() {
+        let keys = Dataset::Covid.generate(30_000, 11);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
+
+        // Writers insert disjoint fresh keys; readers hammer existing keys.
+        let fresh_base = *keys.last().unwrap() + 1;
+        crossbeam::thread::scope(|scope| {
+            for writer in 0..4u64 {
+                let sharded = &sharded;
+                scope.spawn(move |_| {
+                    for i in 0..2_000u64 {
+                        let k = fresh_base + writer * 1_000_000 + i;
+                        assert!(sharded.insert(k, k));
+                    }
+                });
+            }
+            for reader in 0..4usize {
+                let sharded = &sharded;
+                let keys = &keys;
+                scope.spawn(move |_| {
+                    for &k in keys.iter().skip(reader).step_by(7) {
+                        assert_eq!(sharded.get(k), Some(k));
+                    }
+                });
+            }
+        })
+        .expect("threads must not panic");
+
+        assert_eq!(sharded.len(), keys.len() + 4 * 2_000);
+        for writer in 0..4u64 {
+            for i in (0..2_000u64).step_by(191) {
+                let k = fresh_base + writer * 1_000_000 + i;
+                assert_eq!(sharded.get(k), Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn with_shards_mut_applies_to_every_shard() {
+        let keys = Dataset::Osm.generate(10_000, 21);
+        let sharded =
+            ShardedIndex::<LippIndex>::bulk_load(&identity_records(&keys), ShardingConfig { num_shards: 4 });
+        let mut touched = 0usize;
+        sharded.with_shards_mut(|shard| {
+            touched += 1;
+            assert!(shard.len() > 0);
+        });
+        assert_eq!(touched, 4);
+    }
+}

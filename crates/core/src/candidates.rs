@@ -1,0 +1,225 @@
+//! Candidate virtual-point filtering (§4.2 of the paper).
+//!
+//! Candidate virtual points are integer values strictly between adjacent
+//! stored keys, bounded to `(min K, max K)`: points before the minimum shift
+//! every rank equally and points after the maximum shift nothing, so neither
+//! can improve the fit. Every candidate inside one gap shares the same
+//! insertion rank, and the refitted loss is convex in the candidate value on
+//! the gap, so per gap it suffices to inspect the loss derivative at the two
+//! endpoints (same sign → an endpoint is optimal; opposite signs → the
+//! closed-form interior stationary point is optimal).
+
+use crate::segment::SegmentState;
+use csv_common::Key;
+
+/// A gap between two adjacent stored keys that can host virtual points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapBounds {
+    /// Smallest candidate value in the gap (`lower stored key + 1`).
+    pub lo: Key,
+    /// Largest candidate value in the gap (`upper stored key − 1`).
+    pub hi: Key,
+    /// Insertion rank shared by every candidate in the gap.
+    pub rank: usize,
+}
+
+impl GapBounds {
+    /// Number of integer candidates in the gap.
+    pub fn width(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+}
+
+/// A concrete candidate virtual point together with the loss it would yield.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate key value.
+    pub value: Key,
+    /// Insertion rank of the candidate.
+    pub rank: usize,
+    /// Refitted loss `L(K ∪ V ∪ {value})`.
+    pub loss: f64,
+}
+
+/// Enumerates every gap of the segment, in key order.
+pub fn enumerate_gaps(state: &SegmentState) -> Vec<GapBounds> {
+    let entries = state.entries();
+    let mut gaps = Vec::new();
+    for (i, pair) in entries.windows(2).enumerate() {
+        let lo_key = pair[0].key();
+        let hi_key = pair[1].key();
+        if hi_key > lo_key + 1 {
+            gaps.push(GapBounds { lo: lo_key + 1, hi: hi_key - 1, rank: i + 1 });
+        }
+    }
+    gaps
+}
+
+/// Finds the loss-minimising candidate within one gap, following the
+/// derivative-sign filtering of §4.2.
+pub fn best_candidate_in_gap(state: &SegmentState, gap: &GapBounds) -> Option<Candidate> {
+    if gap.hi < gap.lo {
+        return None;
+    }
+    let coeffs = state.gap_coefficients(gap.rank);
+    let eval = |v: Key| Candidate { value: v, rank: gap.rank, loss: coeffs.loss(v as f64) };
+    let width = gap.width();
+
+    if width <= 2 {
+        // Few candidates: evaluate them all (Algorithm 1, lines 7–8).
+        let mut best = eval(gap.lo);
+        if width == 2 {
+            let other = eval(gap.hi);
+            if other.loss < best.loss {
+                best = other;
+            }
+        }
+        return Some(best);
+    }
+
+    let d_lo = coeffs.loss_derivative(gap.lo as f64);
+    let d_hi = coeffs.loss_derivative(gap.hi as f64);
+
+    if d_lo.signum() == d_hi.signum() || d_lo == 0.0 || d_hi == 0.0 {
+        // No interior minimum: the best candidate is one of the endpoints
+        // (Algorithm 1, line 17).
+        let lo = eval(gap.lo);
+        let hi = eval(gap.hi);
+        return Some(if lo.loss <= hi.loss { lo } else { hi });
+    }
+
+    // Opposite signs: the convex loss attains its minimum strictly inside the
+    // gap; locate the stationary point in closed form and snap it to the
+    // neighbouring integers (Algorithm 1, lines 20–22).
+    let v_star = coeffs
+        .interior_minimum()
+        .filter(|v| v.is_finite() && *v > gap.lo as f64 && *v < gap.hi as f64)
+        .unwrap_or_else(|| bisect_derivative(&coeffs, gap.lo as f64, gap.hi as f64));
+    let floor = (v_star.floor() as Key).clamp(gap.lo, gap.hi);
+    let ceil = (v_star.ceil() as Key).clamp(gap.lo, gap.hi);
+    let a = eval(floor);
+    let b = eval(ceil);
+    Some(if a.loss <= b.loss { a } else { b })
+}
+
+/// Robust fallback root finder for the loss derivative on `[lo, hi]` when the
+/// closed form is numerically degenerate. The derivative changes sign on the
+/// interval by construction, so bisection converges.
+fn bisect_derivative(coeffs: &crate::segment::GapCoefficients, mut lo: f64, mut hi: f64) -> f64 {
+    let mut d_lo = coeffs.loss_derivative(lo);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        let d_mid = coeffs.loss_derivative(mid);
+        if d_mid == 0.0 {
+            return mid;
+        }
+        if d_mid.signum() == d_lo.signum() {
+            lo = mid;
+            d_lo = d_mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 0.25 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Scans every gap and returns the globally best candidate, if any candidate
+/// improves on `current_loss`.
+pub fn best_candidate(state: &SegmentState) -> Option<Candidate> {
+    let gaps = enumerate_gaps(state);
+    let mut best: Option<Candidate> = None;
+    for gap in &gaps {
+        if let Some(c) = best_candidate_in_gap(state, gap) {
+            match &best {
+                Some(b) if b.loss <= c.loss => {}
+                _ => best = Some(c),
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_keys() -> Vec<Key> {
+        vec![2, 3, 5, 9, 14, 20, 26, 27, 29, 30]
+    }
+
+    #[test]
+    fn gap_enumeration_covers_interior_only() {
+        let state = SegmentState::from_keys(&example_keys());
+        let gaps = enumerate_gaps(&state);
+        // Gaps: (3,5)->4, (5,9)->6..8, (9,14)->10..13, (14,20)->15..19, (20,26)->21..25,
+        // (27,29)->28.
+        assert_eq!(gaps.len(), 6);
+        assert_eq!(gaps[0], GapBounds { lo: 4, hi: 4, rank: 2 });
+        assert_eq!(gaps[4], GapBounds { lo: 21, hi: 25, rank: 6 });
+        assert_eq!(gaps[5], GapBounds { lo: 28, hi: 28, rank: 8 });
+        // No gap before the minimum or after the maximum key.
+        assert!(gaps.iter().all(|g| g.lo > 2 && g.hi < 30));
+    }
+
+    #[test]
+    fn no_gaps_for_dense_keys() {
+        let state = SegmentState::from_keys(&[5, 6, 7, 8]);
+        assert!(enumerate_gaps(&state).is_empty());
+        assert!(best_candidate(&state).is_none());
+    }
+
+    #[test]
+    fn per_gap_best_matches_brute_force() {
+        let state = SegmentState::from_keys(&example_keys());
+        for gap in enumerate_gaps(&state) {
+            let best = best_candidate_in_gap(&state, &gap).unwrap();
+            let mut brute_v = gap.lo;
+            let mut brute_loss = f64::INFINITY;
+            for v in gap.lo..=gap.hi {
+                let l = state.candidate_loss(v);
+                if l < brute_loss {
+                    brute_loss = l;
+                    brute_v = v;
+                }
+            }
+            assert!(
+                (best.loss - brute_loss).abs() < 1e-6 * (1.0 + brute_loss),
+                "gap {gap:?}: filtered {} ({}), brute {brute_v} ({brute_loss})",
+                best.value,
+                best.loss
+            );
+        }
+    }
+
+    #[test]
+    fn global_best_matches_brute_force() {
+        let keys = example_keys();
+        let state = SegmentState::from_keys(&keys);
+        let best = best_candidate(&state).unwrap();
+        let mut brute_loss = f64::INFINITY;
+        let mut brute_v = 0;
+        for v in 3..30u64 {
+            if state.contains(v) {
+                continue;
+            }
+            let l = state.candidate_loss(v);
+            if l < brute_loss {
+                brute_loss = l;
+                brute_v = v;
+            }
+        }
+        assert_eq!(best.value, brute_v);
+        assert!((best.loss - brute_loss).abs() < 1e-9 * (1.0 + brute_loss));
+        // The best candidate must actually reduce the loss.
+        assert!(best.loss < state.loss());
+    }
+
+    #[test]
+    fn gap_width() {
+        assert_eq!(GapBounds { lo: 5, hi: 5, rank: 1 }.width(), 1);
+        assert_eq!(GapBounds { lo: 5, hi: 9, rank: 1 }.width(), 5);
+    }
+}

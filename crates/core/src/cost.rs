@@ -1,0 +1,210 @@
+//! The cost model balancing traversal savings against extra leaf-node search
+//! work (§5.1, Eq. 22 of the paper).
+//!
+//! CSV merges a sub-tree into a single flat node. For indexes without a
+//! leaf-search component (LIPP, SALI) a successful smoothing is always
+//! beneficial, so the cost condition reduces to "did the loss improve?". For
+//! ALEX-style indexes the merged node holds more keys and therefore needs
+//! more exponential-search iterations per lookup, so Eq. 22 weighs the
+//! expected number of searches against the traversal levels saved:
+//!
+//! ```text
+//! cost = search_constant · Δ expected_number_of_searches
+//!      + traversal_constant · Δ index_level
+//! ```
+//!
+//! Both deltas are "after − before"; a negative cost means the rebuilt node
+//! is expected to answer queries faster, and the rebuild is performed only if
+//! `cost < c` for a threshold `c ≤ 0`.
+
+use crate::layout::SmoothedLayout;
+use csv_common::search::expected_search_iterations;
+use serde::{Deserialize, Serialize};
+
+/// Hardware-calibrated constants of Eq. 22.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Time (or abstract cost units) per leaf-node search iteration.
+    pub search_constant: f64,
+    /// Time (or abstract cost units) per traversed index level.
+    pub traversal_constant: f64,
+    /// Rebuild threshold `c`; the paper recommends a value ≤ 0.
+    pub threshold: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Defaults correspond to the common observation that one level of
+        // pointer chasing costs roughly as much as 2–3 search iterations in
+        // a cache-resident node; they can be re-calibrated via `calibrate`.
+        Self { search_constant: 1.0, traversal_constant: 2.5, threshold: 0.0 }
+    }
+}
+
+impl CostModel {
+    /// Creates a model from measured per-search and per-level costs.
+    pub fn new(search_constant: f64, traversal_constant: f64, threshold: f64) -> Self {
+        Self { search_constant, traversal_constant, threshold }
+    }
+
+    /// Builds a model from sampled measurements: the average time (in any
+    /// consistent unit) spent per leaf-search iteration and per traversed
+    /// level, as suggested by the paper to stay hardware-independent.
+    pub fn calibrate(avg_search_time: f64, avg_level_time: f64, threshold: f64) -> Self {
+        Self {
+            search_constant: avg_search_time.max(f64::MIN_POSITIVE),
+            traversal_constant: avg_level_time.max(f64::MIN_POSITIVE),
+            threshold,
+        }
+    }
+
+    /// Eq. 22 evaluated on before/after statistics of a sub-tree.
+    pub fn cost_delta(&self, before: &SubtreeCostStats, after: &SubtreeCostStats) -> f64 {
+        let d_search = after.expected_searches - before.expected_searches;
+        let d_level = after.mean_key_depth - before.mean_key_depth;
+        self.search_constant * d_search + self.traversal_constant * d_level
+    }
+
+    /// `true` when the rebuild passes the threshold test (`cost < c`).
+    pub fn accepts(&self, before: &SubtreeCostStats, after: &SubtreeCostStats) -> bool {
+        self.cost_delta(before, after) < self.threshold
+    }
+}
+
+/// Per-sub-tree query-cost statistics used by the cost condition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubtreeCostStats {
+    /// Number of real keys in the sub-tree.
+    pub num_keys: usize,
+    /// Mean depth (in levels, 1 = the sub-tree root) at which a key is found.
+    pub mean_key_depth: f64,
+    /// Mean expected number of leaf-search iterations per lookup.
+    pub expected_searches: f64,
+}
+
+impl SubtreeCostStats {
+    /// Statistics of a *flattened* sub-tree rebuilt from a smoothed layout:
+    /// every key sits in the (single) root node, and the expected number of
+    /// searches follows ALEX's `log2`-error model evaluated against the
+    /// layout's refitted linear model.
+    pub fn of_layout(layout: &SmoothedLayout) -> Self {
+        let mut total_iters = 0.0;
+        let mut real = 0usize;
+        for (rank, entry) in layout.entries().iter().enumerate() {
+            if entry.is_real() {
+                let err = layout.model().predict_f64(entry.key()) - rank as f64;
+                total_iters += expected_search_iterations(err);
+                real += 1;
+            }
+        }
+        let expected_searches = if real == 0 { 0.0 } else { total_iters / real as f64 };
+        Self { num_keys: real, mean_key_depth: 1.0, expected_searches }
+    }
+}
+
+/// The rebuild decision rule used by CSV for a given index family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostCondition {
+    /// LIPP/SALI-style: rebuild whenever smoothing reduced the loss by at
+    /// least the given relative fraction (0.0 = any improvement).
+    LossBased {
+        /// Minimum relative loss improvement required, in `[0, 1]`.
+        min_relative_improvement: f64,
+    },
+    /// ALEX-style: rebuild when Eq. 22 evaluates below the model's threshold.
+    Model(CostModel),
+}
+
+impl Default for CostCondition {
+    fn default() -> Self {
+        CostCondition::LossBased { min_relative_improvement: 0.0 }
+    }
+}
+
+impl CostCondition {
+    /// Decides whether a sub-tree should be rebuilt.
+    ///
+    /// * `loss_before` / `loss_after` — segment loss before/after smoothing;
+    /// * `before` / `after` — query-cost statistics before/after the rebuild.
+    pub fn should_rebuild(
+        &self,
+        loss_before: f64,
+        loss_after: f64,
+        before: &SubtreeCostStats,
+        after: &SubtreeCostStats,
+    ) -> bool {
+        match *self {
+            CostCondition::LossBased { min_relative_improvement } => {
+                if loss_before <= 0.0 {
+                    return false;
+                }
+                let gain = (loss_before - loss_after) / loss_before;
+                gain > min_relative_improvement
+            }
+            CostCondition::Model(model) => model.accepts(before, after),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::{smooth_segment, SmoothingConfig};
+    use csv_common::Key;
+
+    fn stats(depth: f64, searches: f64) -> SubtreeCostStats {
+        SubtreeCostStats { num_keys: 100, mean_key_depth: depth, expected_searches: searches }
+    }
+
+    #[test]
+    fn cost_delta_weights_both_terms() {
+        let m = CostModel::new(1.0, 2.0, 0.0);
+        // Depth drops by 1 level, searches grow by 1 iteration: net −1.
+        let c = m.cost_delta(&stats(2.0, 1.0), &stats(1.0, 2.0));
+        assert!((c - (-1.0)).abs() < 1e-12);
+        assert!(m.accepts(&stats(2.0, 1.0), &stats(1.0, 2.0)));
+        // Searches grow by 3: net +1, rejected.
+        assert!(!m.accepts(&stats(2.0, 1.0), &stats(1.0, 4.0)));
+    }
+
+    #[test]
+    fn negative_threshold_is_stricter() {
+        let lenient = CostModel::new(1.0, 2.0, 0.0);
+        let strict = CostModel::new(1.0, 2.0, -1.5);
+        let before = stats(2.0, 1.0);
+        let after = stats(1.0, 2.0); // cost −1
+        assert!(lenient.accepts(&before, &after));
+        assert!(!strict.accepts(&before, &after));
+    }
+
+    #[test]
+    fn calibration_guards_against_zero() {
+        let m = CostModel::calibrate(0.0, 0.0, -0.1);
+        assert!(m.search_constant > 0.0);
+        assert!(m.traversal_constant > 0.0);
+        assert_eq!(m.threshold, -0.1);
+    }
+
+    #[test]
+    fn layout_stats_reflect_model_quality() {
+        let hard: Vec<Key> = vec![1, 2, 3, 4, 5, 1000, 2000, 3000, 3001, 3002];
+        let smoothed = smooth_segment(&hard, &SmoothingConfig::with_alpha(0.8));
+        let before = SubtreeCostStats::of_layout(&crate::layout::SmoothedLayout::identity(&hard));
+        let after = SubtreeCostStats::of_layout(&smoothed.layout);
+        assert_eq!(before.num_keys, after.num_keys);
+        assert!(after.expected_searches <= before.expected_searches + 1e-9);
+        assert_eq!(after.mean_key_depth, 1.0);
+    }
+
+    #[test]
+    fn loss_based_condition() {
+        let cond = CostCondition::LossBased { min_relative_improvement: 0.1 };
+        let b = stats(2.0, 1.0);
+        let a = stats(1.0, 1.0);
+        assert!(cond.should_rebuild(10.0, 5.0, &b, &a));
+        assert!(!cond.should_rebuild(10.0, 9.5, &b, &a));
+        assert!(!cond.should_rebuild(0.0, 0.0, &b, &a));
+        let model_cond = CostCondition::Model(CostModel::default());
+        assert!(model_cond.should_rebuild(1.0, 1.0, &stats(3.0, 1.0), &stats(1.0, 1.5)));
+    }
+}

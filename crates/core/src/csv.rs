@@ -1,0 +1,394 @@
+//! Algorithm 2 — **CSV**, CDF smoothing for hierarchical learned indexes.
+//!
+//! CSV walks a built index bottom-up. At every level it visits each node
+//! that roots a sub-tree, collects the keys stored in the node and its
+//! descendants, smooths that key segment with Algorithm 1, and — if the cost
+//! condition of §5.1 is satisfied — rebuilds the sub-tree as a single flat
+//! node laid out according to the smoothed ranks (virtual points become
+//! gaps). Keys that used to live several levels deep are thereby *promoted*
+//! to upper levels, cutting traversal time; the cost model prevents merges
+//! that would pay for the promotion with excessive leaf-node search time.
+//!
+//! The coupling to a concrete index goes through [`CsvIntegrable`], which the
+//! ALEX, LIPP and SALI crates implement.
+
+use crate::cost::{CostCondition, SubtreeCostStats};
+use crate::layout::SmoothedLayout;
+use crate::single::{smooth_segment, SmoothingConfig, SmoothingResult};
+use csv_common::Key;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// A reference to a sub-tree of a hierarchical index: the arena id of its
+/// root node plus that node's 1-based level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubtreeRef {
+    /// Index-specific node identifier (arena slot).
+    pub node_id: usize,
+    /// 1-based level of the node (1 = index root).
+    pub level: usize,
+}
+
+/// The hooks an index must expose so CSV can optimise it.
+pub trait CsvIntegrable {
+    /// Deepest level that contains nodes with sub-trees (i.e. internal
+    /// nodes whose children exist). Returns 0/1 for a flat index.
+    fn csv_max_level(&self) -> usize;
+
+    /// The sub-tree roots at `level` that are candidates for merging: nodes
+    /// at that level which have at least one child node.
+    fn csv_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef>;
+
+    /// Collects every (real) key stored in the sub-tree, in ascending order.
+    fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key>;
+
+    /// Query-cost statistics of the sub-tree as currently structured.
+    fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats;
+
+    /// Replaces the sub-tree with a single flat node laid out according to
+    /// `layout`. Returns `false` when the index declines the rebuild (e.g.
+    /// the layout exceeds a node-capacity limit).
+    fn csv_rebuild_subtree(&mut self, subtree: &SubtreeRef, layout: &SmoothedLayout) -> bool;
+}
+
+/// Where CSV starts its bottom-up sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartLevel {
+    /// Start at the deepest level containing sub-trees (ALEX behaviour).
+    Deepest,
+    /// Start at a fixed level (the paper starts LIPP/SALI at level 2 so each
+    /// smoothing step benefits more keys).
+    Fixed(usize),
+}
+
+/// Configuration of a CSV run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsvConfig {
+    /// Parameters forwarded to Algorithm 1 for every sub-tree.
+    pub smoothing: SmoothingConfig,
+    /// Rebuild decision rule.
+    pub condition: CostCondition,
+    /// First level of the bottom-up sweep.
+    pub start_level: StartLevel,
+    /// Last level processed (inclusive); the paper stops at level 2 so the
+    /// root itself is never merged.
+    pub stop_level: usize,
+    /// Sub-trees with more keys than this are skipped (guards the O(λ·n)
+    /// smoothing cost on pathological sub-trees).
+    pub max_subtree_keys: usize,
+}
+
+impl CsvConfig {
+    /// Default configuration for LIPP-style indexes (no leaf search): sweep
+    /// only level 2 sub-trees with a loss-based condition.
+    pub fn for_lipp(alpha: f64) -> Self {
+        Self {
+            smoothing: SmoothingConfig::with_alpha(alpha),
+            condition: CostCondition::LossBased { min_relative_improvement: 0.0 },
+            start_level: StartLevel::Fixed(2),
+            stop_level: 2,
+            max_subtree_keys: 1 << 20,
+        }
+    }
+
+    /// Default configuration for SALI (shares LIPP's structure).
+    pub fn for_sali(alpha: f64) -> Self {
+        Self::for_lipp(alpha)
+    }
+
+    /// Default configuration for ALEX-style indexes: full bottom-up sweep
+    /// with the Eq. 22 cost model.
+    pub fn for_alex(alpha: f64, model: crate::cost::CostModel) -> Self {
+        Self {
+            smoothing: SmoothingConfig::with_alpha(alpha),
+            condition: CostCondition::Model(model),
+            start_level: StartLevel::Deepest,
+            stop_level: 2,
+            max_subtree_keys: 1 << 20,
+        }
+    }
+
+    /// The smoothing threshold α.
+    pub fn alpha(&self) -> f64 {
+        self.smoothing.alpha
+    }
+}
+
+impl Default for CsvConfig {
+    fn default() -> Self {
+        Self::for_lipp(0.1)
+    }
+}
+
+/// What happened to one inspected sub-tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeOutcome {
+    /// The sub-tree that was inspected.
+    pub subtree: SubtreeRef,
+    /// Number of keys collected from the sub-tree.
+    pub num_keys: usize,
+    /// Loss before smoothing.
+    pub loss_before: f64,
+    /// Loss (over real + virtual points) after smoothing.
+    pub loss_after: f64,
+    /// Number of virtual points the smoothing inserted.
+    pub virtual_points: usize,
+    /// Whether the sub-tree was rebuilt.
+    pub rebuilt: bool,
+}
+
+/// Aggregate report of a CSV run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CsvReport {
+    /// Per-sub-tree outcomes, in processing order.
+    pub outcomes: Vec<NodeOutcome>,
+    /// Sub-trees inspected.
+    pub subtrees_considered: usize,
+    /// Sub-trees rebuilt as flat nodes.
+    pub subtrees_rebuilt: usize,
+    /// Real keys contained in rebuilt sub-trees.
+    pub keys_rebuilt: usize,
+    /// Virtual points added across all rebuilt sub-trees.
+    pub virtual_points_added: usize,
+    /// Wall-clock pre-processing time of the whole CSV run.
+    pub preprocessing_time: Duration,
+}
+
+impl CsvReport {
+    /// Fraction of inspected sub-trees that were rebuilt.
+    pub fn rebuild_rate(&self) -> f64 {
+        if self.subtrees_considered == 0 {
+            0.0
+        } else {
+            self.subtrees_rebuilt as f64 / self.subtrees_considered as f64
+        }
+    }
+}
+
+/// Drives Algorithm 2 over any [`CsvIntegrable`] index.
+#[derive(Debug, Clone, Default)]
+pub struct CsvOptimizer {
+    config: CsvConfig,
+}
+
+impl CsvOptimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: CsvConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CsvConfig {
+        &self.config
+    }
+
+    /// Runs CSV on `index` and returns the run report.
+    pub fn optimize<I: CsvIntegrable>(&self, index: &mut I) -> CsvReport {
+        let started = Instant::now();
+        let mut report = CsvReport::default();
+
+        let max_level = index.csv_max_level();
+        if max_level < self.config.stop_level {
+            report.preprocessing_time = started.elapsed();
+            return report;
+        }
+        let start_level = match self.config.start_level {
+            StartLevel::Deepest => max_level,
+            StartLevel::Fixed(l) => l.min(max_level),
+        };
+        if start_level < self.config.stop_level {
+            report.preprocessing_time = started.elapsed();
+            return report;
+        }
+
+        // Bottom-up sweep: deepest level first (Algorithm 2, lines 5–15).
+        for level in (self.config.stop_level..=start_level).rev() {
+            let subtrees = index.csv_subtrees_at_level(level);
+            for subtree in subtrees {
+                report.subtrees_considered += 1;
+                let keys = index.csv_collect_keys(&subtree);
+                if keys.len() < 2 || keys.len() > self.config.max_subtree_keys {
+                    continue;
+                }
+                let before_cost = index.csv_subtree_cost(&subtree);
+                let smoothed: SmoothingResult = smooth_segment(&keys, &self.config.smoothing);
+                let after_cost = SubtreeCostStats::of_layout(&smoothed.layout);
+                let rebuild = self.config.condition.should_rebuild(
+                    smoothed.loss_before,
+                    smoothed.loss_after_all,
+                    &before_cost,
+                    &after_cost,
+                );
+                let mut rebuilt = false;
+                if rebuild {
+                    rebuilt = index.csv_rebuild_subtree(&subtree, &smoothed.layout);
+                    if rebuilt {
+                        report.subtrees_rebuilt += 1;
+                        report.keys_rebuilt += keys.len();
+                        report.virtual_points_added += smoothed.virtual_points.len();
+                    }
+                }
+                report.outcomes.push(NodeOutcome {
+                    subtree,
+                    num_keys: keys.len(),
+                    loss_before: smoothed.loss_before,
+                    loss_after: smoothed.loss_after_all,
+                    virtual_points: smoothed.virtual_points.len(),
+                    rebuilt,
+                });
+            }
+        }
+        report.preprocessing_time = started.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    /// A miniature two-level "index": a root with child nodes, each child
+    /// holding a key segment. Used to exercise the optimizer without pulling
+    /// in a real index crate.
+    struct ToyIndex {
+        children: Vec<Vec<Key>>,
+        flattened: Vec<Option<SmoothedLayout>>,
+        capacity_limit: usize,
+    }
+
+    impl ToyIndex {
+        fn new(children: Vec<Vec<Key>>) -> Self {
+            let n = children.len();
+            Self { children, flattened: vec![None; n], capacity_limit: usize::MAX }
+        }
+    }
+
+    impl CsvIntegrable for ToyIndex {
+        fn csv_max_level(&self) -> usize {
+            2
+        }
+        fn csv_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+            if level != 2 {
+                return Vec::new();
+            }
+            (0..self.children.len())
+                .filter(|&i| self.flattened[i].is_none())
+                .map(|i| SubtreeRef { node_id: i, level: 2 })
+                .collect()
+        }
+        fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key> {
+            self.children[subtree.node_id].clone()
+        }
+        fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats {
+            SubtreeCostStats {
+                num_keys: self.children[subtree.node_id].len(),
+                mean_key_depth: 2.0,
+                expected_searches: 3.0,
+            }
+        }
+        fn csv_rebuild_subtree(&mut self, subtree: &SubtreeRef, layout: &SmoothedLayout) -> bool {
+            if layout.num_slots() > self.capacity_limit {
+                return false;
+            }
+            self.flattened[subtree.node_id] = Some(layout.clone());
+            true
+        }
+    }
+
+    fn skewed_segment(offset: Key) -> Vec<Key> {
+        // A hard-to-fit segment: dense run then large jumps.
+        let mut keys: Vec<Key> = (0..40).map(|i| offset + i).collect();
+        keys.extend((1..10).map(|i| offset + 100 + i * 97));
+        keys
+    }
+
+    #[test]
+    fn optimizer_rebuilds_improvable_subtrees() {
+        let mut index = ToyIndex::new(vec![skewed_segment(0), skewed_segment(10_000)]);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        let report = optimizer.optimize(&mut index);
+        assert_eq!(report.subtrees_considered, 2);
+        assert_eq!(report.subtrees_rebuilt, 2);
+        assert!(report.virtual_points_added > 0);
+        assert!(report.keys_rebuilt > 0);
+        assert!((report.rebuild_rate() - 1.0).abs() < 1e-12);
+        assert!(index.flattened.iter().all(|f| f.is_some()));
+        for outcome in &report.outcomes {
+            assert!(outcome.loss_after <= outcome.loss_before);
+            assert!(outcome.rebuilt);
+        }
+    }
+
+    #[test]
+    fn linear_subtrees_are_left_alone() {
+        let linear: Vec<Key> = (0..50).map(|i| i * 10).collect();
+        let mut index = ToyIndex::new(vec![linear]);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        let report = optimizer.optimize(&mut index);
+        assert_eq!(report.subtrees_rebuilt, 0);
+        assert!(index.flattened[0].is_none());
+    }
+
+    #[test]
+    fn capacity_refusal_is_reported() {
+        let mut index = ToyIndex::new(vec![skewed_segment(0)]);
+        index.capacity_limit = 10; // refuse every rebuild
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        let report = optimizer.optimize(&mut index);
+        assert_eq!(report.subtrees_rebuilt, 0);
+        assert!(!report.outcomes[0].rebuilt);
+    }
+
+    #[test]
+    fn cost_model_condition_can_reject() {
+        let mut index = ToyIndex::new(vec![skewed_segment(0)]);
+        // A sub-tree whose current cost is already excellent: claim depth 1
+        // and 1 expected search, so flattening cannot help.
+        struct CheapIndex(ToyIndex);
+        impl CsvIntegrable for CheapIndex {
+            fn csv_max_level(&self) -> usize {
+                self.0.csv_max_level()
+            }
+            fn csv_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+                self.0.csv_subtrees_at_level(level)
+            }
+            fn csv_collect_keys(&self, s: &SubtreeRef) -> Vec<Key> {
+                self.0.csv_collect_keys(s)
+            }
+            fn csv_subtree_cost(&self, _s: &SubtreeRef) -> SubtreeCostStats {
+                SubtreeCostStats { num_keys: 49, mean_key_depth: 1.0, expected_searches: 1.0 }
+            }
+            fn csv_rebuild_subtree(&mut self, s: &SubtreeRef, l: &SmoothedLayout) -> bool {
+                self.0.csv_rebuild_subtree(s, l)
+            }
+        }
+        let mut cheap = CheapIndex(ToyIndex::new(vec![skewed_segment(0)]));
+        let config = CsvConfig::for_alex(0.2, CostModel::new(1.0, 2.5, -0.5));
+        let optimizer = CsvOptimizer::new(config);
+        let report = optimizer.optimize(&mut cheap);
+        assert_eq!(report.subtrees_rebuilt, 0, "already-cheap sub-tree must not be merged");
+
+        // The same configuration on the expensive toy index does rebuild.
+        let report = optimizer.optimize(&mut index);
+        assert_eq!(report.subtrees_rebuilt, 1);
+    }
+
+    #[test]
+    fn stop_level_above_max_level_is_a_noop() {
+        let mut index = ToyIndex::new(vec![skewed_segment(0)]);
+        let config = CsvConfig { stop_level: 5, ..CsvConfig::for_lipp(0.2) };
+        let report = CsvOptimizer::new(config).optimize(&mut index);
+        assert_eq!(report.subtrees_considered, 0);
+    }
+
+    #[test]
+    fn oversized_subtrees_are_skipped() {
+        let mut index = ToyIndex::new(vec![skewed_segment(0)]);
+        let config = CsvConfig { max_subtree_keys: 10, ..CsvConfig::for_lipp(0.2) };
+        let report = CsvOptimizer::new(config).optimize(&mut index);
+        assert_eq!(report.subtrees_rebuilt, 0);
+        assert_eq!(report.subtrees_considered, 1);
+        assert!(report.outcomes.is_empty());
+    }
+}

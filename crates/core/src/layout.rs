@@ -1,0 +1,195 @@
+//! The smoothed key layout produced by CDF smoothing.
+//!
+//! Smoothing a key segment yields an ordered sequence of slots: each slot is
+//! either a **real** key of the original segment or a **virtual** point. The
+//! slot position *is* the (smoothed) rank, so an index node rebuilt from a
+//! layout places real keys exactly at their slot and leaves virtual slots as
+//! gaps. The gaps both make the node's linear model accurate and act as
+//! landing space for future inserts (§4, §6.3 of the paper).
+
+use csv_common::{Key, LinearModel};
+use serde::{Deserialize, Serialize};
+
+/// One slot of a smoothed layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutEntry {
+    /// A real key from the original segment.
+    Real(Key),
+    /// A virtual point inserted by the smoothing algorithm; the slot is left
+    /// empty (a gap) when an index node is rebuilt from the layout.
+    Virtual(Key),
+}
+
+impl LayoutEntry {
+    /// The key value stored in the slot (real or virtual).
+    #[inline]
+    pub fn key(&self) -> Key {
+        match *self {
+            LayoutEntry::Real(k) | LayoutEntry::Virtual(k) => k,
+        }
+    }
+
+    /// `true` for a real key.
+    #[inline]
+    pub fn is_real(&self) -> bool {
+        matches!(self, LayoutEntry::Real(_))
+    }
+}
+
+/// The ordered result of smoothing a key segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmoothedLayout {
+    entries: Vec<LayoutEntry>,
+    model: LinearModel,
+}
+
+impl SmoothedLayout {
+    /// Creates a layout from its slots and the model refitted over them.
+    pub fn new(entries: Vec<LayoutEntry>, model: LinearModel) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].key() < w[1].key()),
+            "layout keys must be strictly increasing"
+        );
+        Self { entries, model }
+    }
+
+    /// A layout containing only the original keys (no smoothing).
+    pub fn identity(keys: &[Key]) -> Self {
+        let entries = keys.iter().copied().map(LayoutEntry::Real).collect();
+        Self { entries, model: LinearModel::fit_cdf(keys) }
+    }
+
+    /// All slots in rank order.
+    pub fn entries(&self) -> &[LayoutEntry] {
+        &self.entries
+    }
+
+    /// The model refitted over real + virtual points.
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+
+    /// Total number of slots (real + virtual).
+    pub fn num_slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of real keys.
+    pub fn num_real(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_real()).count()
+    }
+
+    /// Number of virtual points.
+    pub fn num_virtual(&self) -> usize {
+        self.num_slots() - self.num_real()
+    }
+
+    /// The real keys, in order.
+    pub fn real_keys(&self) -> Vec<Key> {
+        self.entries.iter().filter(|e| e.is_real()).map(|e| e.key()).collect()
+    }
+
+    /// The virtual points, in order.
+    pub fn virtual_keys(&self) -> Vec<Key> {
+        self.entries.iter().filter(|e| !e.is_real()).map(|e| e.key()).collect()
+    }
+
+    /// Sum of squared errors of the layout's model over **real keys only**,
+    /// evaluated at their smoothed ranks — the paper's `L_f'(K)` in Fig. 2b.
+    pub fn loss_real(&self) -> f64 {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_real())
+            .map(|(rank, e)| {
+                let err = self.model.predict_f64(e.key()) - rank as f64;
+                err * err
+            })
+            .sum()
+    }
+
+    /// Sum of squared errors over all slots (real and virtual) — the paper's
+    /// `L_f'(K ∪ V)`.
+    pub fn loss_all(&self) -> f64 {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(rank, e)| {
+                let err = self.model.predict_f64(e.key()) - rank as f64;
+                err * err
+            })
+            .sum()
+    }
+
+    /// Ratio of slots to real keys; `1.0` means no space overhead.
+    pub fn expansion_factor(&self) -> f64 {
+        if self.num_real() == 0 {
+            1.0
+        } else {
+            self.num_slots() as f64 / self.num_real() as f64
+        }
+    }
+
+    /// Maximum absolute prediction error of the model over real keys at
+    /// their smoothed ranks.
+    pub fn max_abs_error(&self) -> f64 {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_real())
+            .map(|(rank, e)| (self.model.predict_f64(e.key()) - rank as f64).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_layout_has_no_virtual_points() {
+        let keys = vec![1u64, 5, 9, 20];
+        let layout = SmoothedLayout::identity(&keys);
+        assert_eq!(layout.num_slots(), 4);
+        assert_eq!(layout.num_real(), 4);
+        assert_eq!(layout.num_virtual(), 0);
+        assert_eq!(layout.real_keys(), keys);
+        assert!(layout.virtual_keys().is_empty());
+        assert!((layout.expansion_factor() - 1.0).abs() < 1e-12);
+        assert!(layout.loss_real() >= 0.0);
+        assert!((layout.loss_real() - layout.loss_all()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_layout_accounting() {
+        let entries = vec![
+            LayoutEntry::Real(2),
+            LayoutEntry::Virtual(4),
+            LayoutEntry::Real(6),
+            LayoutEntry::Virtual(8),
+            LayoutEntry::Real(10),
+        ];
+        let keys_and_ranks: Vec<(Key, f64)> =
+            entries.iter().enumerate().map(|(i, e)| (e.key(), i as f64)).collect();
+        let ks: Vec<Key> = keys_and_ranks.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = keys_and_ranks.iter().map(|p| p.1).collect();
+        let model = LinearModel::fit_points(&ks, &ys);
+        let layout = SmoothedLayout::new(entries, model);
+        assert_eq!(layout.num_real(), 3);
+        assert_eq!(layout.num_virtual(), 2);
+        assert_eq!(layout.real_keys(), vec![2, 6, 10]);
+        assert_eq!(layout.virtual_keys(), vec![4, 8]);
+        // Perfectly linear layout: essentially zero loss.
+        assert!(layout.loss_all() < 1e-18);
+        assert!(layout.max_abs_error() < 1e-9);
+        assert!((layout.expansion_factor() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_accessors() {
+        assert_eq!(LayoutEntry::Real(3).key(), 3);
+        assert_eq!(LayoutEntry::Virtual(4).key(), 4);
+        assert!(LayoutEntry::Real(3).is_real());
+        assert!(!LayoutEntry::Virtual(3).is_real());
+    }
+}

@@ -1,0 +1,450 @@
+//! CDF smoothing under a quadratic indexing function.
+//!
+//! The paper (§1) notes that CDF smoothing "can naturally extend to more
+//! complex (e.g., quadratic) functions"; this module carries out that
+//! extension for parabolic indexing functions `f(k) = a·k² + b·k + c`.
+//!
+//! The structure mirrors Algorithm 1: a greedy loop inserts up to `λ = ⌊α·n⌋`
+//! virtual points, each iteration picking the candidate whose insertion (with
+//! the quadratic model refitted) minimises the sum of squared errors.
+//! The incremental bookkeeping follows §4.1 exactly, just with higher-order
+//! moments: the segment keeps `n, Σx, Σx², Σx³, Σx⁴, Σy, Σxy, Σx²y, Σy²`
+//! plus prefix sums of the keys and squared keys, so evaluating a candidate
+//! (which shifts every rank at or above its insertion rank by one) is O(1).
+//!
+//! One difference from the linear case: the per-gap loss as a function of the
+//! candidate value is no longer guaranteed to be convex, so the derivative
+//! sign test of §4.2 does not apply. Instead each gap proposes its two
+//! endpoints plus a small set of evenly spaced interior probes
+//! ([`QuadraticSmoothingConfig::probes_per_gap`]); this keeps the per-gap
+//! work constant while catching interior minima in practice (the ablation
+//! bench `smoothing_model_class` quantifies the remaining gap to brute
+//! force).
+
+use crate::layout::LayoutEntry;
+use csv_common::quadratic::{QuadFitStats, QuadraticModel};
+use csv_common::Key;
+
+/// Configuration of the quadratic smoothing extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadraticSmoothingConfig {
+    /// Smoothing threshold `α ∈ (0, 1]`: the budget is `⌊α·n⌋` points.
+    pub alpha: f64,
+    /// Optional hard cap on the number of virtual points regardless of `α`.
+    pub max_budget: Option<usize>,
+    /// Number of evenly spaced interior candidates evaluated per gap in
+    /// addition to the gap's endpoints.
+    pub probes_per_gap: usize,
+}
+
+impl Default for QuadraticSmoothingConfig {
+    fn default() -> Self {
+        Self { alpha: 0.1, max_budget: None, probes_per_gap: 3 }
+    }
+}
+
+impl QuadraticSmoothingConfig {
+    /// Creates a configuration with the given smoothing threshold.
+    pub fn with_alpha(alpha: f64) -> Self {
+        Self { alpha, ..Self::default() }
+    }
+
+    /// The smoothing budget λ for a segment of `n` keys.
+    pub fn budget(&self, n: usize) -> usize {
+        let lambda = (self.alpha * n as f64).floor() as usize;
+        match self.max_budget {
+            Some(cap) => lambda.min(cap),
+            None => lambda,
+        }
+    }
+}
+
+/// The outcome of smoothing one segment under a quadratic model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticSmoothingResult {
+    /// Entries (real keys + virtual points) in rank order.
+    pub entries: Vec<LayoutEntry>,
+    /// Quadratic model fitted to the original segment.
+    pub model_before: QuadraticModel,
+    /// Quadratic model refitted over real + virtual points.
+    pub model_after: QuadraticModel,
+    /// Loss of the original segment under its own quadratic OLS fit.
+    pub loss_before: f64,
+    /// Loss of the refitted model over real + virtual points.
+    pub loss_after_all: f64,
+    /// Loss of the refitted model over the real keys only (at their smoothed
+    /// ranks).
+    pub loss_after_real: f64,
+    /// The virtual points inserted, in insertion order.
+    pub virtual_points: Vec<Key>,
+    /// The budget λ that was available.
+    pub budget: usize,
+}
+
+impl QuadraticSmoothingResult {
+    /// Relative loss improvement over the real keys, in percent.
+    pub fn improvement_percent(&self) -> f64 {
+        if self.loss_before <= 0.0 {
+            0.0
+        } else {
+            (self.loss_before - self.loss_after_real) / self.loss_before * 100.0
+        }
+    }
+}
+
+/// Incremental state of a segment being smoothed under a quadratic model.
+#[derive(Debug, Clone)]
+struct QuadSegmentState {
+    entries: Vec<LayoutEntry>,
+    origin: Key,
+    /// `prefix_x[i]` = sum of the first `i` shifted keys.
+    prefix_x: Vec<f64>,
+    /// `prefix_x2[i]` = sum of the first `i` shifted squared keys.
+    prefix_x2: Vec<f64>,
+    stats: QuadFitStats,
+}
+
+impl QuadSegmentState {
+    fn from_keys(keys: &[Key]) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+        let origin = keys.first().copied().unwrap_or(0);
+        let entries = keys.iter().copied().map(LayoutEntry::Real).collect();
+        let mut state = Self {
+            entries,
+            origin,
+            prefix_x: Vec::new(),
+            prefix_x2: Vec::new(),
+            stats: QuadFitStats::with_origin(origin),
+        };
+        state.refresh();
+        state
+    }
+
+    #[inline]
+    fn shift(&self, key: Key) -> f64 {
+        if key >= self.origin {
+            (key - self.origin) as f64
+        } else {
+            -((self.origin - key) as f64)
+        }
+    }
+
+    fn refresh(&mut self) {
+        let m = self.entries.len();
+        self.prefix_x.clear();
+        self.prefix_x2.clear();
+        self.prefix_x.reserve(m + 1);
+        self.prefix_x2.reserve(m + 1);
+        self.prefix_x.push(0.0);
+        self.prefix_x2.push(0.0);
+        self.stats = QuadFitStats::with_origin(self.origin);
+        let (mut acc_x, mut acc_x2) = (0.0, 0.0);
+        for (rank, entry) in self.entries.iter().enumerate() {
+            let x = self.shift(entry.key());
+            acc_x += x;
+            acc_x2 += x * x;
+            self.prefix_x.push(acc_x);
+            self.prefix_x2.push(acc_x2);
+            self.stats.push(x, rank as f64);
+        }
+    }
+
+    fn rank_of(&self, v: Key) -> usize {
+        self.entries.partition_point(|e| e.key() < v)
+    }
+
+    #[cfg(test)]
+    fn contains(&self, v: Key) -> bool {
+        let r = self.rank_of(v);
+        r < self.entries.len() && self.entries[r].key() == v
+    }
+
+    fn model(&self) -> QuadraticModel {
+        self.stats.fit()
+    }
+
+    fn loss(&self) -> f64 {
+        self.stats.sse_of_fit()
+    }
+
+    fn loss_real_only(&self) -> f64 {
+        let model = self.model();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_real())
+            .map(|(rank, e)| {
+                let err = model.predict_f64(e.key()) - rank as f64;
+                err * err
+            })
+            .sum()
+    }
+
+    /// Statistics after hypothetically inserting value `v` (not present) at
+    /// its rank, with every rank at or above it shifted up by one — O(1).
+    fn stats_with_candidate(&self, v: Key) -> QuadFitStats {
+        let rank = self.rank_of(v);
+        let m = self.entries.len();
+        let t = (m - rank) as f64; // entries whose rank shifts by one
+        // Sum of the shifted ranks rank..m-1.
+        let shifted_rank_sum = if t > 0.0 { (rank as f64 + m as f64 - 1.0) * t / 2.0 } else { 0.0 };
+        let suffix_x = self.prefix_x[m] - self.prefix_x[rank];
+        let suffix_x2 = self.prefix_x2[m] - self.prefix_x2[rank];
+        let x = self.shift(v);
+        let (x2, y) = (x * x, rank as f64);
+
+        let mut s = self.stats;
+        // Rank shift of existing entries: y_i -> y_i + 1 for ranks >= rank.
+        s.sum_y += t;
+        s.sum_yy += 2.0 * shifted_rank_sum + t;
+        s.sum_xy += suffix_x;
+        s.sum_x2y += suffix_x2;
+        // The candidate itself.
+        s.n += 1.0;
+        s.sum_x += x;
+        s.sum_x2 += x2;
+        s.sum_x3 += x2 * x;
+        s.sum_x4 += x2 * x2;
+        s.sum_y += y;
+        s.sum_yy += y * y;
+        s.sum_xy += x * y;
+        s.sum_x2y += x2 * y;
+        s
+    }
+
+    fn candidate_loss(&self, v: Key) -> f64 {
+        self.stats_with_candidate(v).sse_of_fit()
+    }
+
+    /// Naive recomputation used by tests to validate the O(1) path.
+    #[cfg(test)]
+    fn naive_candidate_loss(&self, v: Key) -> f64 {
+        let mut keys: Vec<Key> = self.entries.iter().map(|e| e.key()).collect();
+        keys.insert(self.rank_of(v), v);
+        QuadraticModel::fit_cdf(&keys).sse_cdf(&keys)
+    }
+
+    fn insert_virtual(&mut self, v: Key) {
+        let rank = self.rank_of(v);
+        assert!(
+            rank >= self.entries.len() || self.entries[rank].key() != v,
+            "virtual point {v} already present"
+        );
+        self.entries.insert(rank, LayoutEntry::Virtual(v));
+        self.refresh();
+    }
+
+    /// Candidate values proposed by one gap: its endpoints plus up to
+    /// `probes` evenly spaced interior values.
+    fn gap_candidates(lo: Key, hi: Key, probes: usize) -> Vec<Key> {
+        let mut out = vec![lo];
+        if hi > lo {
+            let width = hi - lo;
+            for i in 1..=probes as u64 {
+                let v = lo + width * i / (probes as u64 + 1);
+                if v > lo && v < hi {
+                    out.push(v);
+                }
+            }
+            out.push(hi);
+        }
+        out.dedup();
+        out
+    }
+
+    /// The candidate with the smallest refitted loss across all gaps.
+    fn best_candidate(&self, probes: usize) -> Option<(Key, f64)> {
+        let mut best: Option<(Key, f64)> = None;
+        for pair in self.entries.windows(2) {
+            let (lo_key, hi_key) = (pair[0].key(), pair[1].key());
+            if hi_key <= lo_key + 1 {
+                continue;
+            }
+            for v in Self::gap_candidates(lo_key + 1, hi_key - 1, probes) {
+                let loss = self.candidate_loss(v);
+                match best {
+                    Some((_, b)) if b <= loss => {}
+                    _ => best = Some((v, loss)),
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Runs the quadratic variant of Algorithm 1 on a strictly increasing key
+/// slice.
+pub fn smooth_segment_quadratic(
+    keys: &[Key],
+    config: &QuadraticSmoothingConfig,
+) -> QuadraticSmoothingResult {
+    let model_before = QuadraticModel::fit_cdf(keys);
+    let loss_before = model_before.sse_cdf(keys);
+    let budget = config.budget(keys.len());
+    let mut state = QuadSegmentState::from_keys(keys);
+    let mut virtual_points = Vec::new();
+
+    if keys.len() >= 3 {
+        while virtual_points.len() < budget {
+            let Some((value, loss)) = state.best_candidate(config.probes_per_gap) else { break };
+            if loss >= state.loss() {
+                break;
+            }
+            state.insert_virtual(value);
+            virtual_points.push(value);
+        }
+    }
+
+    let loss_after_all = state.loss();
+    let loss_after_real = state.loss_real_only();
+    let model_after = state.model();
+    QuadraticSmoothingResult {
+        entries: state.entries,
+        model_before,
+        model_after,
+        loss_before,
+        loss_after_all,
+        loss_after_real,
+        virtual_points,
+        budget,
+    }
+}
+
+/// Convenience comparison of the linear and quadratic smoothing extensions on
+/// the same segment and budget; returns `(linear_loss, quadratic_loss)`
+/// measured over real + virtual points after smoothing.
+pub fn compare_model_classes(keys: &[Key], alpha: f64) -> (f64, f64) {
+    let linear = crate::single::smooth_segment(keys, &crate::single::SmoothingConfig::with_alpha(alpha));
+    let quadratic = smooth_segment_quadratic(keys, &QuadraticSmoothingConfig::with_alpha(alpha));
+    (linear.loss_after_all, quadratic.loss_after_all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_keys() -> Vec<Key> {
+        vec![2, 3, 5, 9, 14, 20, 26, 27, 29, 30]
+    }
+
+    /// Keys whose CDF is genuinely curved (rank ≈ sqrt of the key offset).
+    fn curved_keys(n: u64) -> Vec<Key> {
+        (0..n).map(|i| 1_000 + i * i).collect()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn candidate_loss_matches_naive_recomputation() {
+        let keys = example_keys();
+        let state = QuadSegmentState::from_keys(&keys);
+        for v in 1..=31u64 {
+            if state.contains(v) {
+                continue;
+            }
+            let fast = state.candidate_loss(v);
+            let naive = state.naive_candidate_loss(v);
+            assert!(close(fast, naive), "v={v}: fast {fast} naive {naive}");
+        }
+    }
+
+    #[test]
+    fn candidate_loss_matches_naive_after_insertions() {
+        let keys = example_keys();
+        let mut state = QuadSegmentState::from_keys(&keys);
+        state.insert_virtual(23);
+        state.insert_virtual(11);
+        for v in [4u64, 7, 12, 17, 22, 25, 28] {
+            if state.contains(v) {
+                continue;
+            }
+            let fast = state.candidate_loss(v);
+            let naive = state.naive_candidate_loss(v);
+            assert!(close(fast, naive), "v={v}: fast {fast} naive {naive}");
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_loss_and_respects_budget() {
+        let keys = example_keys();
+        for alpha in [0.1, 0.5, 0.8] {
+            let cfg = QuadraticSmoothingConfig::with_alpha(alpha);
+            let result = smooth_segment_quadratic(&keys, &cfg);
+            assert!(result.virtual_points.len() <= cfg.budget(keys.len()));
+            assert!(
+                result.loss_after_all <= result.loss_before + 1e-9,
+                "alpha {alpha}: {} vs {}",
+                result.loss_after_all,
+                result.loss_before
+            );
+            let real: Vec<Key> =
+                result.entries.iter().filter(|e| e.is_real()).map(|e| e.key()).collect();
+            assert_eq!(real, keys, "real keys must be preserved in order");
+        }
+    }
+
+    #[test]
+    fn quadratic_baseline_beats_linear_on_curved_cdf() {
+        let keys = curved_keys(120);
+        let quad = QuadraticModel::fit_cdf(&keys).sse_cdf(&keys);
+        let lin = csv_common::LinearModel::fit_cdf(&keys).sse_cdf(&keys);
+        assert!(quad < lin * 0.5, "quadratic {quad} should be well below linear {lin}");
+    }
+
+    #[test]
+    fn quadratic_smoothing_not_worse_than_linear_smoothing_on_curved_cdf() {
+        let keys = curved_keys(80);
+        let (linear, quadratic) = compare_model_classes(&keys, 0.2);
+        assert!(
+            quadratic <= linear + 1e-6,
+            "quadratic smoothing ({quadratic}) should not lose to linear ({linear}) on a curved CDF"
+        );
+    }
+
+    #[test]
+    fn virtual_points_fall_inside_key_range() {
+        let keys = example_keys();
+        let result = smooth_segment_quadratic(&keys, &QuadraticSmoothingConfig::with_alpha(0.8));
+        let (min, max) = (keys[0], *keys.last().unwrap());
+        for &v in &result.virtual_points {
+            assert!(v > min && v < max);
+            assert!(!keys.contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let cfg = QuadraticSmoothingConfig::with_alpha(0.5);
+        let r = smooth_segment_quadratic(&[], &cfg);
+        assert!(r.entries.is_empty());
+        let r = smooth_segment_quadratic(&[5], &cfg);
+        assert_eq!(r.entries.len(), 1);
+        let r = smooth_segment_quadratic(&[5, 6], &cfg);
+        assert!(r.virtual_points.is_empty());
+        // Dense segment: no gaps, nothing to insert.
+        let dense: Vec<Key> = (10..40).collect();
+        let r = smooth_segment_quadratic(&dense, &cfg);
+        assert!(r.virtual_points.is_empty());
+        assert!(r.loss_before < 1e-9);
+    }
+
+    #[test]
+    fn improvement_percent_reported() {
+        let keys = example_keys();
+        let r = smooth_segment_quadratic(&keys, &QuadraticSmoothingConfig::with_alpha(0.5));
+        assert!(r.improvement_percent() >= 0.0);
+        assert!(r.improvement_percent() <= 100.0);
+    }
+
+    #[test]
+    fn gap_candidates_are_within_bounds_and_unique() {
+        let cands = QuadSegmentState::gap_candidates(10, 30, 3);
+        assert!(cands.iter().all(|&v| (10..=30).contains(&v)));
+        let mut sorted = cands.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cands.len());
+        assert_eq!(QuadSegmentState::gap_candidates(7, 7, 3), vec![7]);
+    }
+}

@@ -1,0 +1,468 @@
+//! Incremental loss bookkeeping for one key segment (§4.1 of the paper).
+//!
+//! The greedy smoothing algorithm repeatedly asks: *if I inserted a virtual
+//! point with value `v`, what would the refitted model's loss be?* Answering
+//! that naïvely costs a pass over the segment per candidate. Following the
+//! paper, [`SegmentState`] separates the terms that only depend on the
+//! current key set (sufficient statistics plus prefix key sums) from the
+//! terms contributed by the candidate, so each candidate evaluation is O(1)
+//! and the derivative of the loss with respect to the candidate value
+//! (Eq. 17–21) is available in closed form.
+//!
+//! Rank bookkeeping: ranks are the positions `0..m-1` of the current entries
+//! (original keys plus previously inserted virtual points). Inserting a
+//! candidate at rank `r` shifts every rank `>= r` up by one; the effect of
+//! that shift on the sufficient statistics only needs the suffix key sum at
+//! `r` (Eq. 14), which the prefix-sum array provides in O(1).
+
+use crate::layout::{LayoutEntry, SmoothedLayout};
+use csv_common::linear::FitStats;
+use csv_common::{Key, LinearModel};
+
+/// Closed-form coefficients describing how the refitted loss varies with the
+/// value `v` of a candidate virtual point inserted at a fixed rank.
+///
+/// With `n1 = m + 1` points after insertion, the centred moments become
+/// `A(v) = a2·v² + a1·v + a0` (the x-variance term), `B(v) = b1·v + b0`
+/// (the xy-covariance term) and a constant `c_yy` (the y-variance term), so
+/// the refitted sum of squared errors is `loss(v) = c_yy − B(v)²/A(v)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapCoefficients {
+    /// Insertion rank shared by every candidate in the gap.
+    pub rank: usize,
+    /// Key-space origin: the coefficients operate on `v − origin` so that
+    /// datasets with huge absolute key values (e.g. Snowflake IDs) do not
+    /// lose the fit signal to floating-point cancellation.
+    pub origin: Key,
+    /// Constant term of `A(v)`.
+    pub a0: f64,
+    /// Linear term of `A(v)`.
+    pub a1: f64,
+    /// Quadratic term of `A(v)`.
+    pub a2: f64,
+    /// Constant term of `B(v)`.
+    pub b0: f64,
+    /// Linear term of `B(v)`.
+    pub b1: f64,
+    /// Centred sum of squares of the ranks after insertion (`S_yy`).
+    pub c_yy: f64,
+}
+
+impl GapCoefficients {
+    #[inline]
+    fn shift(&self, v: f64) -> f64 {
+        v - self.origin as f64
+    }
+
+    /// `A(v)`, the centred x-variance after inserting (absolute) value `v`.
+    #[inline]
+    pub fn a(&self, v: f64) -> f64 {
+        let v = self.shift(v);
+        self.a2 * v * v + self.a1 * v + self.a0
+    }
+
+    /// `B(v)`, the centred xy-covariance after inserting (absolute) value `v`.
+    #[inline]
+    pub fn b(&self, v: f64) -> f64 {
+        self.b1 * self.shift(v) + self.b0
+    }
+
+    /// Refitted loss `L(K ∪ {v})` (Eq. 5 with the refit of Eq. 15/16).
+    #[inline]
+    pub fn loss(&self, v: f64) -> f64 {
+        let a = self.a(v);
+        if a <= f64::EPSILON {
+            return self.c_yy.max(0.0);
+        }
+        let b = self.b(v);
+        (self.c_yy - b * b / a).max(0.0)
+    }
+
+    /// First derivative of the loss with respect to the candidate value
+    /// (the quantity plotted in Fig. 4 / Eq. 17).
+    #[inline]
+    pub fn loss_derivative(&self, v: f64) -> f64 {
+        let a = self.a(v);
+        if a <= f64::EPSILON {
+            return 0.0;
+        }
+        let b = self.b(v);
+        let vs = self.shift(v);
+        let a_prime = 2.0 * self.a2 * vs + self.a1;
+        let b_prime = self.b1;
+        -(2.0 * b_prime * b * a - b * b * a_prime) / (a * a)
+    }
+
+    /// The (absolute) candidate value minimising the loss on the real line,
+    /// if the closed-form stationary point exists.
+    ///
+    /// Setting the derivative to zero factors as
+    /// `B(v)·[(2·b1·a0 − a1·b0) + (2·b1·a1 − 2·a2·b0 − a1·b1)·v] = 0`;
+    /// the root of `B` is a loss *maximum* (the covariance vanishes there),
+    /// so the interesting root comes from the linear factor.
+    pub fn interior_minimum(&self) -> Option<f64> {
+        let denom = 2.0 * self.b1 * self.a1 - 2.0 * self.a2 * self.b0 - self.a1 * self.b1;
+        if denom.abs() < 1e-30 || !denom.is_finite() {
+            return None;
+        }
+        let num = 2.0 * self.b1 * self.a0 - self.a1 * self.b0;
+        let v = -num / denom;
+        if v.is_finite() {
+            Some(v + self.origin as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// The evolving state of a key segment during smoothing.
+#[derive(Debug, Clone)]
+pub struct SegmentState {
+    entries: Vec<LayoutEntry>,
+    /// `prefix_key_sums[i]` = sum of the first `i` (origin-shifted) keys.
+    prefix_key_sums: Vec<f64>,
+    /// Sufficient statistics over (origin-shifted key, rank).
+    stats: FitStats,
+    /// Key-space origin (the smallest key); all floating-point arithmetic is
+    /// carried out on `key − origin` for numerical stability.
+    origin: Key,
+}
+
+impl SegmentState {
+    /// Creates the state for a strictly increasing key slice.
+    pub fn from_keys(keys: &[Key]) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+        let entries: Vec<LayoutEntry> = keys.iter().copied().map(LayoutEntry::Real).collect();
+        let origin = keys.first().copied().unwrap_or(0);
+        let mut state =
+            Self { entries, prefix_key_sums: Vec::new(), stats: FitStats::new(), origin };
+        state.refresh();
+        state
+    }
+
+    #[inline]
+    fn shift(&self, key: Key) -> f64 {
+        (key - self.origin) as f64
+    }
+
+    fn refresh(&mut self) {
+        let m = self.entries.len();
+        self.prefix_key_sums.clear();
+        self.prefix_key_sums.reserve(m + 1);
+        self.prefix_key_sums.push(0.0);
+        self.stats = FitStats::new();
+        let mut acc = 0.0;
+        for (rank, entry) in self.entries.iter().enumerate() {
+            let k = self.shift(entry.key());
+            acc += k;
+            self.prefix_key_sums.push(acc);
+            self.stats.push(k, rank as f64);
+        }
+    }
+
+    /// Number of entries (real + virtual) currently in the segment.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the segment holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current entries in rank order.
+    pub fn entries(&self) -> &[LayoutEntry] {
+        &self.entries
+    }
+
+    /// Number of virtual points inserted so far.
+    pub fn num_virtual(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_real()).count()
+    }
+
+    /// The OLS model refitted over the current entries (in absolute key
+    /// coordinates).
+    pub fn model(&self) -> LinearModel {
+        self.stats.fit().uncenter(self.origin)
+    }
+
+    /// Loss (SSE of the refitted model) over the current entries, i.e.
+    /// `L(K ∪ V)` for the virtual points inserted so far.
+    pub fn loss(&self) -> f64 {
+        self.stats.sse_of_fit()
+    }
+
+    /// Loss of the refitted model restricted to the real keys only
+    /// (`L_{f'}(K)` in the paper's Fig. 2).
+    pub fn loss_real_only(&self) -> f64 {
+        let model = self.model();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_real())
+            .map(|(rank, e)| {
+                let err = model.predict_f64(e.key()) - rank as f64;
+                err * err
+            })
+            .sum()
+    }
+
+    /// Smallest key currently stored.
+    pub fn min_key(&self) -> Option<Key> {
+        self.entries.first().map(|e| e.key())
+    }
+
+    /// Largest key currently stored.
+    pub fn max_key(&self) -> Option<Key> {
+        self.entries.last().map(|e| e.key())
+    }
+
+    /// Insertion rank of a value: the number of entries with a key `< v`.
+    pub fn rank_of(&self, v: Key) -> usize {
+        self.entries.partition_point(|e| e.key() < v)
+    }
+
+    /// `true` when `v` is already present (as a real key or virtual point).
+    pub fn contains(&self, v: Key) -> bool {
+        let r = self.rank_of(v);
+        r < self.entries.len() && self.entries[r].key() == v
+    }
+
+    /// Closed-form loss coefficients for a candidate inserted at `rank`.
+    pub fn gap_coefficients(&self, rank: usize) -> GapCoefficients {
+        let m = self.stats.n;
+        let n1 = m + 1.0;
+        let t = m - rank as f64; // number of shifted entries
+        // Sum of the shifted ranks  r .. m-1.
+        let shifted_rank_sum = if t > 0.0 { (rank as f64 + m - 1.0) * t / 2.0 } else { 0.0 };
+        let suffix_key_sum = self.prefix_key_sums[self.entries.len()] - self.prefix_key_sums[rank];
+
+        let sum_y = self.stats.sum_y + t + rank as f64;
+        let sum_yy = self.stats.sum_yy + 2.0 * shifted_rank_sum + t + (rank as f64) * (rank as f64);
+        let sum_xy_base = self.stats.sum_xy + suffix_key_sum;
+        let sum_x_base = self.stats.sum_x;
+        let sum_xx_base = self.stats.sum_xx;
+        let origin = self.origin;
+
+        // A(v) = (sum_xx + v²) − (sum_x + v)²/n1
+        let a0 = sum_xx_base - sum_x_base * sum_x_base / n1;
+        let a1 = -2.0 * sum_x_base / n1;
+        let a2 = 1.0 - 1.0 / n1;
+        // B(v) = (sum_xy_base + r·v) − (sum_x + v)·sum_y/n1
+        let b0 = sum_xy_base - sum_x_base * sum_y / n1;
+        let b1 = rank as f64 - sum_y / n1;
+        // C = sum_yy − sum_y²/n1
+        let c_yy = sum_yy - sum_y * sum_y / n1;
+
+        GapCoefficients { rank, origin, a0, a1, a2, b0, b1, c_yy }
+    }
+
+    /// Loss after inserting candidate value `v` (not currently present) and
+    /// refitting the model — O(1) thanks to the cached statistics.
+    pub fn candidate_loss(&self, v: Key) -> f64 {
+        let rank = self.rank_of(v);
+        self.gap_coefficients(rank).loss(v as f64)
+    }
+
+    /// Derivative of the loss with respect to the candidate value at `v`.
+    pub fn candidate_loss_derivative(&self, v: Key) -> f64 {
+        let rank = self.rank_of(v);
+        self.gap_coefficients(rank).loss_derivative(v as f64)
+    }
+
+    /// Inserts a virtual point with value `v`. Panics if `v` already exists.
+    pub fn insert_virtual(&mut self, v: Key) {
+        let rank = self.rank_of(v);
+        assert!(
+            rank >= self.entries.len() || self.entries[rank].key() != v,
+            "virtual point {v} already present"
+        );
+        self.entries.insert(rank, LayoutEntry::Virtual(v));
+        // O(m) refresh; the greedy driver already scans all gaps each
+        // iteration, so this does not change the asymptotic cost.
+        self.refresh();
+    }
+
+    /// Finalises the segment into a [`SmoothedLayout`].
+    pub fn into_layout(self) -> SmoothedLayout {
+        let model = self.stats.fit().uncenter(self.origin);
+        SmoothedLayout::new(self.entries, model)
+    }
+
+    /// Naive loss recomputation (used by tests to validate the O(1) path).
+    pub fn naive_candidate_loss(&self, v: Key) -> f64 {
+        let mut keys: Vec<Key> = self.entries.iter().map(|e| e.key()).collect();
+        let rank = self.rank_of(v);
+        keys.insert(rank, v);
+        let model = LinearModel::fit_cdf(&keys);
+        model.sse_cdf(&keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn example_keys() -> Vec<Key> {
+        vec![2, 3, 5, 9, 14, 20, 26, 27, 29, 30]
+    }
+
+    #[test]
+    fn initial_loss_matches_direct_fit() {
+        let keys = example_keys();
+        let state = SegmentState::from_keys(&keys);
+        let model = LinearModel::fit_cdf(&keys);
+        assert!(close(state.loss(), model.sse_cdf(&keys)));
+        assert!(close(state.loss(), state.loss_real_only()));
+        assert_eq!(state.len(), keys.len());
+        assert_eq!(state.min_key(), Some(2));
+        assert_eq!(state.max_key(), Some(30));
+        assert_eq!(state.num_virtual(), 0);
+        assert!(!state.is_empty());
+    }
+
+    #[test]
+    fn candidate_loss_matches_naive_recomputation() {
+        let keys = example_keys();
+        let state = SegmentState::from_keys(&keys);
+        for v in 1..=31u64 {
+            if state.contains(v) {
+                continue;
+            }
+            let fast = state.candidate_loss(v);
+            let naive = state.naive_candidate_loss(v);
+            assert!(close(fast, naive), "v={v}: fast {fast} naive {naive}");
+        }
+    }
+
+    #[test]
+    fn candidate_loss_matches_naive_after_insertions() {
+        let keys = example_keys();
+        let mut state = SegmentState::from_keys(&keys);
+        state.insert_virtual(23);
+        state.insert_virtual(11);
+        assert_eq!(state.num_virtual(), 2);
+        for v in [4u64, 7, 12, 17, 22, 25, 28] {
+            if state.contains(v) {
+                continue;
+            }
+            let fast = state.candidate_loss(v);
+            let naive = state.naive_candidate_loss(v);
+            assert!(close(fast, naive), "v={v}: fast {fast} naive {naive}");
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let keys = example_keys();
+        let state = SegmentState::from_keys(&keys);
+        for v in [11u64, 16, 22, 24] {
+            let rank = state.rank_of(v);
+            let coeffs = state.gap_coefficients(rank);
+            let h = 1e-4;
+            let numeric = (coeffs.loss(v as f64 + h) - coeffs.loss(v as f64 - h)) / (2.0 * h);
+            let analytic = state.candidate_loss_derivative(v);
+            assert!(
+                (numeric - analytic).abs() < 1e-3 * (1.0 + analytic.abs()),
+                "v={v}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_minimum_is_a_stationary_point() {
+        let keys = example_keys();
+        let state = SegmentState::from_keys(&keys);
+        // Gap between 20 and 26 (candidates 21..=25).
+        let rank = state.rank_of(21);
+        let coeffs = state.gap_coefficients(rank);
+        if let Some(v_star) = coeffs.interior_minimum() {
+            let d = coeffs.loss_derivative(v_star);
+            assert!(d.abs() < 1e-6, "derivative at interior minimum = {d}");
+        } else {
+            panic!("expected an interior stationary point");
+        }
+    }
+
+    #[test]
+    fn inserting_best_candidate_reduces_loss() {
+        let keys = example_keys();
+        let mut state = SegmentState::from_keys(&keys);
+        let before = state.loss();
+        // Find the best integer candidate by brute force.
+        let (mut best_v, mut best_loss) = (0u64, f64::INFINITY);
+        for v in 3..30u64 {
+            if state.contains(v) {
+                continue;
+            }
+            let l = state.candidate_loss(v);
+            if l < best_loss {
+                best_loss = l;
+                best_v = v;
+            }
+        }
+        state.insert_virtual(best_v);
+        assert!(close(state.loss(), best_loss));
+        assert!(state.loss() < before);
+    }
+
+    #[test]
+    fn huge_key_offsets_stay_numerically_stable() {
+        // Snowflake-ID-like segment: large offset, small spread, one outlier.
+        let offset: Key = 665_600_000_000_000;
+        let mut keys: Vec<Key> = (0..64u64).map(|i| offset + i * 1000).collect();
+        keys.push(offset + 500_000);
+        let state = SegmentState::from_keys(&keys);
+        for v in [offset + 1500, offset + 70_000, offset + 200_000, offset + 400_000] {
+            if state.contains(v) {
+                continue;
+            }
+            let fast = state.candidate_loss(v);
+            let naive = state.naive_candidate_loss(v);
+            assert!(
+                (fast - naive).abs() < 1e-3 * (1.0 + naive),
+                "v={v}: fast {fast} naive {naive}"
+            );
+        }
+        // The initial loss must match the centred direct fit.
+        let model = LinearModel::fit_cdf(&keys);
+        assert!(close(state.loss(), model.sse_cdf(&keys)));
+    }
+
+    #[test]
+    fn rank_and_contains() {
+        let state = SegmentState::from_keys(&[10, 20, 30]);
+        assert_eq!(state.rank_of(5), 0);
+        assert_eq!(state.rank_of(10), 0);
+        assert_eq!(state.rank_of(11), 1);
+        assert_eq!(state.rank_of(35), 3);
+        assert!(state.contains(20));
+        assert!(!state.contains(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_virtual_point_panics() {
+        let mut state = SegmentState::from_keys(&[10, 20, 30]);
+        state.insert_virtual(20);
+    }
+
+    #[test]
+    fn into_layout_preserves_real_and_virtual_keys() {
+        let keys = example_keys();
+        let mut state = SegmentState::from_keys(&keys);
+        state.insert_virtual(23);
+        state.insert_virtual(11);
+        let loss_all = state.loss();
+        let layout = state.into_layout();
+        assert_eq!(layout.num_real(), keys.len());
+        assert_eq!(layout.num_virtual(), 2);
+        assert_eq!(layout.real_keys(), keys);
+        assert_eq!(layout.virtual_keys(), vec![11, 23]);
+        assert!(close(layout.loss_all(), loss_all));
+    }
+}

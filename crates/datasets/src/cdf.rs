@@ -1,0 +1,117 @@
+//! CDF shape statistics (Fig. 5 of the paper).
+//!
+//! Fig. 5 plots each dataset's full CDF and a zoomed-in window of a thousand
+//! keys starting at the 100-millionth key, showing that the "easy" datasets
+//! are near-linear at both scales while the "hard" ones deviate locally.
+//! This module computes the numeric counterparts of those plots: the linear
+//! fit quality of the full CDF and of zoomed windows.
+
+use csv_common::{Key, LinearModel};
+use serde::{Deserialize, Serialize};
+
+/// Linear-fit quality of a key sequence's empirical CDF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfStats {
+    /// Number of keys measured.
+    pub n: usize,
+    /// Root mean squared rank error of the best single linear fit,
+    /// normalised by `n` (0 = perfectly linear CDF, 1 = maximal deviation).
+    pub normalized_rmse: f64,
+    /// Maximum absolute rank error of the fit, normalised by `n`.
+    pub normalized_max_error: f64,
+    /// R² of the fit (1 = perfectly linear).
+    pub r_squared: f64,
+}
+
+impl CdfStats {
+    /// Computes the statistics for a sorted key slice.
+    pub fn of(keys: &[Key]) -> Self {
+        let n = keys.len();
+        if n < 2 {
+            return Self { n, normalized_rmse: 0.0, normalized_max_error: 0.0, r_squared: 1.0 };
+        }
+        let model = LinearModel::fit_cdf(keys);
+        let sse = model.sse_cdf(keys);
+        let max_err = model.max_abs_error_cdf(keys);
+        let mean_rank = (n as f64 - 1.0) / 2.0;
+        let syy: f64 = (0..n).map(|i| (i as f64 - mean_rank).powi(2)).sum();
+        let r_squared = if syy > 0.0 { (1.0 - sse / syy).max(0.0) } else { 1.0 };
+        Self {
+            n,
+            normalized_rmse: (sse / n as f64).sqrt() / n as f64,
+            normalized_max_error: max_err / n as f64,
+            r_squared,
+        }
+    }
+}
+
+/// A zoomed-in window of the CDF: `count` consecutive keys starting at a
+/// given rank (the paper uses the 100-millionth key and the next thousand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoomedWindow {
+    /// Rank of the first key of the window.
+    pub start_rank: usize,
+    /// Number of keys in the window.
+    pub count: usize,
+}
+
+impl ZoomedWindow {
+    /// The paper's window scaled to a dataset of `n` keys: starts at the
+    /// middle of the key space and spans 1000 keys (or fewer for tiny sets).
+    pub fn paper_default(n: usize) -> Self {
+        let count = 1000.min(n.max(1));
+        let start_rank = (n / 2).min(n.saturating_sub(count));
+        Self { start_rank, count }
+    }
+
+    /// Computes the CDF statistics of this window of `keys`.
+    pub fn stats(&self, keys: &[Key]) -> CdfStats {
+        let end = (self.start_rank + self.count).min(keys.len());
+        let start = self.start_rank.min(end);
+        CdfStats::of(&keys[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Dataset;
+
+    #[test]
+    fn perfectly_linear_keys_have_zero_error() {
+        let keys: Vec<Key> = (0..1000u64).map(|i| i * 17).collect();
+        let stats = CdfStats::of(&keys);
+        assert!(stats.normalized_rmse < 1e-9);
+        assert!(stats.normalized_max_error < 1e-9);
+        assert!((stats.r_squared - 1.0).abs() < 1e-9);
+        let tiny = CdfStats::of(&[5]);
+        assert_eq!(tiny.r_squared, 1.0);
+    }
+
+    #[test]
+    fn hard_datasets_show_worse_local_linearity() {
+        // Fig. 5 (zoomed): Covid stays near-linear locally, Genome deviates.
+        let n = 50_000;
+        let covid = Dataset::Covid.generate(n, 3);
+        let genome = Dataset::Genome.generate(n, 3);
+        let window = ZoomedWindow::paper_default(n);
+        let covid_local = window.stats(&covid);
+        let genome_local = window.stats(&genome);
+        assert!(
+            covid_local.normalized_rmse <= genome_local.normalized_rmse,
+            "covid local rmse {} vs genome {}",
+            covid_local.normalized_rmse,
+            genome_local.normalized_rmse
+        );
+    }
+
+    #[test]
+    fn window_is_clamped_to_dataset() {
+        let keys: Vec<Key> = (0..100).collect();
+        let w = ZoomedWindow { start_rank: 90, count: 1000 };
+        let stats = w.stats(&keys);
+        assert_eq!(stats.n, 10);
+        let w = ZoomedWindow::paper_default(100);
+        assert!(w.start_rank + w.count <= 100);
+    }
+}

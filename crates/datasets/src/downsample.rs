@@ -1,0 +1,75 @@
+//! Down-sampling used by the cardinality sweep (Fig. 9).
+//!
+//! The paper creates smaller datasets by "eliminating every j-th key from the
+//! sorted datasets in order to remove n/j data points". This module applies
+//! the same rule so the cardinality experiment preserves the distribution's
+//! shape rather than resampling it.
+
+use csv_common::Key;
+
+/// Removes every `j`-th key (1-based positions `j, 2j, 3j, …`), shrinking the
+/// dataset by `⌊n / j⌋` keys. `j == 0` returns the input unchanged.
+pub fn downsample_every_jth(keys: &[Key], j: usize) -> Vec<Key> {
+    if j == 0 {
+        return keys.to_vec();
+    }
+    keys.iter()
+        .enumerate()
+        .filter(|(i, _)| (i + 1) % j != 0)
+        .map(|(_, &k)| k)
+        .collect()
+}
+
+/// Repeatedly halves a dataset by removing every 2nd key until it reaches (at
+/// most) `target` keys, mimicking the 200M → 100M → 50M → 25M → 12.5M chain
+/// of Fig. 9. Returns the sequence of datasets from smallest to largest,
+/// including the original.
+pub fn cardinality_chain(keys: &[Key], steps: usize) -> Vec<Vec<Key>> {
+    let mut chain = Vec::with_capacity(steps + 1);
+    chain.push(keys.to_vec());
+    let mut current = keys.to_vec();
+    for _ in 0..steps {
+        current = downsample_every_jth(&current, 2);
+        chain.push(current.clone());
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_expected_number_of_keys() {
+        let keys: Vec<Key> = (0..100).collect();
+        let half = downsample_every_jth(&keys, 2);
+        assert_eq!(half.len(), 50);
+        assert!(half.iter().all(|k| k % 2 == 0));
+        let fifth_removed = downsample_every_jth(&keys, 5);
+        assert_eq!(fifth_removed.len(), 80);
+        assert_eq!(downsample_every_jth(&keys, 0), keys);
+        assert_eq!(downsample_every_jth(&keys, 1).len(), 0);
+    }
+
+    #[test]
+    fn preserves_order_and_uniqueness() {
+        let keys: Vec<Key> = (0..1000).map(|i| i * 3 + 1).collect();
+        let sampled = downsample_every_jth(&keys, 7);
+        assert!(sampled.windows(2).all(|w| w[0] < w[1]));
+        assert!(sampled.iter().all(|k| keys.binary_search(k).is_ok()));
+    }
+
+    #[test]
+    fn chain_produces_halving_sizes() {
+        let keys: Vec<Key> = (0..1600).collect();
+        let chain = cardinality_chain(&keys, 4);
+        assert_eq!(chain.len(), 5);
+        let sizes: Vec<usize> = chain.iter().map(|c| c.len()).collect();
+        assert_eq!(*sizes.last().unwrap(), 1600);
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "chain must grow: {sizes:?}");
+            assert!((w[1] as f64 / w[0] as f64 - 2.0).abs() < 0.1);
+        }
+    }
+}

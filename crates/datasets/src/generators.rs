@@ -1,0 +1,285 @@
+//! Deterministic generators for the four dataset analogues used throughout
+//! the evaluation, plus generic distributions for unit tests and ablations.
+//!
+//! Every generator produces a sorted, de-duplicated `Vec<Key>` of exactly the
+//! requested size (matching the paper's de-duplication step for LIPP/SALI),
+//! and is fully determined by `(dataset, size, seed)`.
+
+use csv_common::key::normalize_keys;
+use csv_common::rng::SplitMix64;
+use csv_common::Key;
+
+/// The four dataset analogues of the paper's evaluation (§6.1) plus a
+/// uniform control distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Facebook-like user IDs: block-allocated IDs, globally near-linear with
+    /// a few dense registration bursts. "Easy" dataset.
+    Facebook,
+    /// Covid-like tweet IDs: Snowflake-style timestamp-derived IDs, the most
+    /// linear CDF of the four. "Easy" dataset.
+    Covid,
+    /// OSM-like cell IDs: hierarchically clustered spatial cell IDs with
+    /// strong local irregularity. "Hard" dataset.
+    Osm,
+    /// Genome-like loci: bursty dense runs separated by heavy-tailed jumps.
+    /// "Hard" dataset.
+    Genome,
+    /// Uniform random keys over the full 63-bit range (control).
+    Uniform,
+}
+
+impl Dataset {
+    /// All four paper datasets, in the order the paper lists them.
+    pub fn paper_datasets() -> [Dataset; 4] {
+        [Dataset::Facebook, Dataset::Covid, Dataset::Osm, Dataset::Genome]
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Facebook => "Facebook",
+            Dataset::Covid => "Covid",
+            Dataset::Osm => "OSM",
+            Dataset::Genome => "Genome",
+            Dataset::Uniform => "Uniform",
+        }
+    }
+
+    /// Whether the paper classifies the dataset as hard to learn.
+    pub fn is_hard(&self) -> bool {
+        matches!(self, Dataset::Osm | Dataset::Genome)
+    }
+
+    /// Generates `n` sorted, unique keys with the given seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Key> {
+        DatasetSpec::new(*self, n, seed).generate()
+    }
+}
+
+/// A fully specified dataset instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatasetSpec {
+    /// Which distribution to draw from.
+    pub dataset: Dataset,
+    /// Number of keys to produce.
+    pub size: usize,
+    /// RNG seed; the same spec always produces the same keys.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Creates a spec.
+    pub fn new(dataset: Dataset, size: usize, seed: u64) -> Self {
+        Self { dataset, size, seed }
+    }
+
+    /// Generates the keys: sorted, unique, exactly `size` of them (the
+    /// generators oversample and truncate to absorb duplicate collisions).
+    pub fn generate(&self) -> Vec<Key> {
+        let n = self.size;
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut keys: Vec<Key> = Vec::with_capacity(n + n / 8 + 16);
+        let mut rng = SplitMix64::new(self.seed ^ dataset_salt(self.dataset));
+        let mut attempt = 0u32;
+        loop {
+            let target = n + n / 8 + 16;
+            match self.dataset {
+                Dataset::Facebook => facebook_like(&mut rng, target, &mut keys),
+                Dataset::Covid => covid_like(&mut rng, target, &mut keys),
+                Dataset::Osm => osm_like(&mut rng, target, &mut keys),
+                Dataset::Genome => genome_like(&mut rng, target, &mut keys),
+                Dataset::Uniform => uniform(&mut rng, target, &mut keys),
+            }
+            normalize_keys(&mut keys);
+            if keys.len() >= n || attempt > 4 {
+                break;
+            }
+            attempt += 1;
+        }
+        keys.truncate(n);
+        keys
+    }
+}
+
+fn dataset_salt(d: Dataset) -> u64 {
+    match d {
+        Dataset::Facebook => 0xFACE_B00C,
+        Dataset::Covid => 0xC0_71D,
+        Dataset::Osm => 0x05_1234,
+        Dataset::Genome => 0x6E_0E,
+        Dataset::Uniform => 0x0,
+    }
+}
+
+/// Facebook-like IDs: the bulk of keys are spread over large, uniformly
+/// allocated ID blocks, with ~15 % of keys concentrated in a handful of
+/// dense "registration burst" blocks. Globally near-linear, locally mildly
+/// irregular.
+fn facebook_like(rng: &mut SplitMix64, n: usize, out: &mut Vec<Key>) {
+    out.clear();
+    let span: u64 = (n as u64).saturating_mul(1_000).max(1 << 20);
+    let num_bursts = 8 + (n / 100_000);
+    let burst_keys = n * 15 / 100;
+    let uniform_keys = n - burst_keys;
+    for _ in 0..uniform_keys {
+        out.push(rng.next_below(span));
+    }
+    for _ in 0..num_bursts.max(1) {
+        let center = rng.next_below(span);
+        let width = 1 + rng.next_below((span / (n as u64 * 4)).max(8));
+        let per_burst = burst_keys / num_bursts.max(1) + 1;
+        for _ in 0..per_burst {
+            out.push(center.saturating_add(rng.next_below(width.max(1) * per_burst as u64)));
+        }
+    }
+}
+
+/// Covid-like tweet IDs: Snowflake IDs are `timestamp << 22 | worker | seq`;
+/// sampling tweets over a time window yields an almost perfectly linear CDF
+/// with small per-millisecond jitter.
+fn covid_like(rng: &mut SplitMix64, n: usize, out: &mut Vec<Key>) {
+    out.clear();
+    let mut ts: u64 = 1_300_000_000_000; // epoch-millis-like origin
+    for _ in 0..n {
+        // Advance by 1–4 ms between sampled tweets.
+        ts += 1 + rng.next_below(4);
+        let worker = rng.next_below(32);
+        let seq = rng.next_below(16);
+        out.push((ts << 9) | (worker << 4) | seq);
+    }
+}
+
+/// OSM-like cell IDs: three-level cluster hierarchy (continent → city →
+/// street) over the 62-bit cell-ID space, with widely varying densities.
+/// Produces strong local non-linearity, like S2-cell-mapped coordinates.
+fn osm_like(rng: &mut SplitMix64, n: usize, out: &mut Vec<Key>) {
+    out.clear();
+    let space: u64 = 1 << 56;
+    let l1 = 12usize;
+    let l2_per_l1 = 24usize;
+    // Pre-draw the cluster centres.
+    let mut centres: Vec<(u64, u64)> = Vec::new(); // (centre, spread)
+    for _ in 0..l1 {
+        let c1 = rng.next_below(space);
+        let spread1 = space / (64 + rng.next_below(192));
+        for _ in 0..l2_per_l1 {
+            let c2 = c1.saturating_add(rng.next_below(spread1.max(1)));
+            // Street-level spread varies over four orders of magnitude.
+            let exp = 8 + rng.next_below(20);
+            let spread2 = 1u64 << exp;
+            centres.push((c2, spread2));
+        }
+    }
+    // Zipf-ish popularity: cluster i receives weight ∝ 1/(i+1).
+    let total_weight: f64 = (0..centres.len()).map(|i| 1.0 / (i + 1) as f64).sum();
+    for (i, &(centre, spread)) in centres.iter().enumerate() {
+        let weight = (1.0 / (i + 1) as f64) / total_weight;
+        let count = ((n as f64) * weight).ceil() as usize;
+        for _ in 0..count {
+            out.push(centre.saturating_add(rng.next_below(spread)));
+        }
+        if out.len() >= n {
+            break;
+        }
+    }
+    while out.len() < n {
+        out.push(rng.next_below(space));
+    }
+}
+
+/// Genome-like loci: dense runs of nearly consecutive positions (contact
+/// regions) separated by heavy-tailed jumps, mimicking loci-pair encodings.
+fn genome_like(rng: &mut SplitMix64, n: usize, out: &mut Vec<Key>) {
+    out.clear();
+    let mut cursor: u64 = 10_000;
+    while out.len() < n {
+        // Run length: 16–4096 loci.
+        let run_len = 16 + rng.next_below(4080) as usize;
+        let stride = 1 + rng.next_below(4);
+        for _ in 0..run_len.min(n - out.len()) {
+            cursor = cursor.saturating_add(stride + rng.next_below(2));
+            out.push(cursor);
+        }
+        // Heavy-tailed jump between runs: 2^10 .. 2^34.
+        let exp = 10 + rng.next_below(25);
+        cursor = cursor.saturating_add(1u64 << exp).saturating_add(rng.next_below(1 << 10));
+    }
+}
+
+/// Uniform random keys over `[0, 2^62)`.
+fn uniform(rng: &mut SplitMix64, n: usize, out: &mut Vec<Key>) {
+    out.clear();
+    for _ in 0..n {
+        out.push(rng.next_below(1 << 62));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csv_common::key::is_strictly_increasing;
+    use csv_common::LinearModel;
+
+    #[test]
+    fn generators_produce_requested_sizes() {
+        for dataset in [
+            Dataset::Facebook,
+            Dataset::Covid,
+            Dataset::Osm,
+            Dataset::Genome,
+            Dataset::Uniform,
+        ] {
+            for &n in &[0usize, 1, 100, 10_000] {
+                let keys = dataset.generate(n, 42);
+                assert_eq!(keys.len(), n, "{dataset:?} size {n}");
+                assert!(is_strictly_increasing(&keys), "{dataset:?} not sorted/unique");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for dataset in Dataset::paper_datasets() {
+            let a = dataset.generate(5_000, 7);
+            let b = dataset.generate(5_000, 7);
+            let c = dataset.generate(5_000, 8);
+            assert_eq!(a, b);
+            assert_ne!(a, c, "{dataset:?} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn easy_datasets_fit_better_than_hard_ones() {
+        // The substitution fidelity check: relative SSE of a single linear
+        // model (normalised by n²·n, i.e. mean squared relative rank error)
+        // must be markedly smaller for Facebook/Covid than for OSM/Genome.
+        let n = 20_000usize;
+        let fit_quality = |d: Dataset| -> f64 {
+            let keys = d.generate(n, 11);
+            let model = LinearModel::fit_cdf(&keys);
+            model.sse_cdf(&keys) / (n as f64 * n as f64 * n as f64)
+        };
+        let facebook = fit_quality(Dataset::Facebook);
+        let covid = fit_quality(Dataset::Covid);
+        let osm = fit_quality(Dataset::Osm);
+        let genome = fit_quality(Dataset::Genome);
+        assert!(covid < osm, "covid {covid} vs osm {osm}");
+        assert!(covid < genome, "covid {covid} vs genome {genome}");
+        assert!(facebook < osm, "facebook {facebook} vs osm {osm}");
+        assert!(facebook < genome, "facebook {facebook} vs genome {genome}");
+    }
+
+    #[test]
+    fn names_and_classification() {
+        assert_eq!(Dataset::Facebook.name(), "Facebook");
+        assert_eq!(Dataset::Osm.name(), "OSM");
+        assert!(Dataset::Osm.is_hard());
+        assert!(Dataset::Genome.is_hard());
+        assert!(!Dataset::Covid.is_hard());
+        assert!(!Dataset::Facebook.is_hard());
+        assert_eq!(Dataset::paper_datasets().len(), 4);
+    }
+}

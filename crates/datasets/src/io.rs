@@ -1,0 +1,126 @@
+//! Binary dataset files in the SOSD format.
+//!
+//! The paper's datasets come from the SOSD / "Benchmarking learned indexes"
+//! suites, which store each dataset as a little-endian `u64` count followed
+//! by that many little-endian `u64` keys. Writing the same format means the
+//! synthetic analogues generated here can be inspected with the upstream
+//! tooling, and real SOSD files (when available) can be dropped in and loaded
+//! by the experiment harness via `--dataset-file`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use csv_common::Key;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialises keys into the SOSD binary layout (`u64` count + keys, little
+/// endian).
+pub fn encode_keys(keys: &[Key]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + keys.len() * 8);
+    buf.put_u64_le(keys.len() as u64);
+    for &k in keys {
+        buf.put_u64_le(k);
+    }
+    buf.freeze()
+}
+
+/// Parses keys from the SOSD binary layout.
+///
+/// Returns an error when the buffer is truncated or the count header does not
+/// match the payload length.
+pub fn decode_keys(mut data: &[u8]) -> io::Result<Vec<Key>> {
+    if data.len() < 8 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing SOSD count header"));
+    }
+    let count = data.get_u64_le() as usize;
+    if data.len() != count * 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("SOSD header says {count} keys but payload holds {} bytes", data.len()),
+        ));
+    }
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        keys.push(data.get_u64_le());
+    }
+    Ok(keys)
+}
+
+/// Writes keys to `path` in the SOSD binary format.
+pub fn save_keys(path: &Path, keys: &[Key]) -> io::Result<()> {
+    fs::write(path, encode_keys(keys))
+}
+
+/// Loads keys from a SOSD binary file.
+pub fn load_keys(path: &Path) -> io::Result<Vec<Key>> {
+    let data = fs::read(path)?;
+    decode_keys(&data)
+}
+
+/// Loads keys from a SOSD binary file and normalises them the way the paper
+/// does (sort ascending, drop duplicates) so they can be fed straight into
+/// any index's bulk loader.
+pub fn load_keys_normalized(path: &Path) -> io::Result<Vec<Key>> {
+    let mut keys = load_keys(path)?;
+    csv_common::key::normalize_keys(&mut keys);
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Dataset;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("csv_repro_io_{}_{name}.sosd", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let keys = Dataset::Genome.generate(10_000, 3);
+        let bytes = encode_keys(&keys);
+        assert_eq!(bytes.len(), 8 + keys.len() * 8);
+        let decoded = decode_keys(&bytes).unwrap();
+        assert_eq!(decoded, keys);
+        // Empty key sets round-trip too.
+        assert_eq!(decode_keys(&encode_keys(&[])).unwrap(), Vec::<Key>::new());
+    }
+
+    #[test]
+    fn file_roundtrip_and_normalisation() {
+        let keys = Dataset::Osm.generate(5_000, 7);
+        let path = temp_file("roundtrip");
+        save_keys(&path, &keys).unwrap();
+        let loaded = load_keys(&path).unwrap();
+        assert_eq!(loaded, keys);
+
+        // A file with unsorted duplicates is normalised on load.
+        let messy = vec![9u64, 3, 9, 1, 3];
+        save_keys(&path, &messy).unwrap();
+        let normalized = load_keys_normalized(&path).unwrap();
+        assert_eq!(normalized, vec![1, 3, 9]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(decode_keys(&[1, 2, 3]).is_err(), "short header");
+        let mut bytes = encode_keys(&[1, 2, 3]).to_vec();
+        bytes.truncate(bytes.len() - 4);
+        assert!(decode_keys(&bytes).is_err(), "truncated payload");
+        let mut bytes = encode_keys(&[1, 2, 3]).to_vec();
+        bytes[0] = 99; // header claims 99 keys
+        assert!(decode_keys(&bytes).is_err(), "count mismatch");
+        assert!(load_keys(Path::new("/nonexistent/csv_repro.sosd")).is_err());
+    }
+
+    #[test]
+    fn extreme_key_values_survive_the_roundtrip() {
+        let keys = vec![0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        let decoded = decode_keys(&encode_keys(&keys)).unwrap();
+        assert_eq!(decoded, keys);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic SOSD-style datasets and workload builders.
+//!
+//! The paper evaluates on four real 200-million-key datasets (Facebook user
+//! IDs, Covid tweet IDs, OSM cell IDs and Genome loci). Those datasets are
+//! not redistributable here, so this crate provides deterministic synthetic
+//! generators tuned to reproduce the property that drives the paper's
+//! results: Facebook and Covid have globally and locally near-linear CDFs
+//! ("easy"), while OSM and Genome have heavy local irregularity ("hard") and
+//! therefore force deep learned-index hierarchies (see DESIGN.md §3 for the
+//! substitution rationale).
+//!
+//! Modules:
+//!
+//! * [`generators`] — the four dataset analogues plus generic distributions,
+//! * [`cdf`] — CDF shape statistics used to regenerate Fig. 5,
+//! * [`downsample`] — every-j-th down-sampling used by the cardinality sweep
+//!   (Fig. 9),
+//! * [`workload`] — read-only and read-write workload builders (§6.1),
+//! * [`zipf`] — Zipfian (skewed) query sampling,
+//! * [`mixed`] — YCSB-style mixed-operation workloads (reads / inserts /
+//!   removals / scans),
+//! * [`io`] — SOSD-format binary dataset files (save / load).
+
+pub mod cdf;
+pub mod downsample;
+pub mod generators;
+pub mod io;
+pub mod mixed;
+pub mod workload;
+pub mod zipf;
+
+pub use cdf::{CdfStats, ZoomedWindow};
+pub use downsample::downsample_every_jth;
+pub use generators::{Dataset, DatasetSpec};
+pub use mixed::{MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity};
+pub use workload::{QueryMix, ReadOnlyWorkload, ReadWriteWorkload};
+pub use zipf::Zipfian;

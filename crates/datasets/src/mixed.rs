@@ -1,0 +1,316 @@
+//! YCSB-style mixed-operation workloads.
+//!
+//! The paper evaluates read-only and batched read-write workloads (§6.1);
+//! a downstream user of a learned index usually also cares about steady-state
+//! mixes of point lookups, inserts, removals and short range scans (the
+//! YCSB A/B/C/E workload shapes). This module generates deterministic
+//! operation sequences with a configurable mix and either uniform or Zipfian
+//! key popularity, which the `mixed_workload` bench and the
+//! `readwrite_workload` example drive against every index in the workspace.
+
+use crate::zipf::Zipfian;
+use csv_common::rng::XorShift64;
+use csv_common::Key;
+use serde::{Deserialize, Serialize};
+
+/// One operation of a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Point lookup of a (probably present) key.
+    Read(Key),
+    /// Insert (or overwrite) of a key.
+    Insert(Key),
+    /// Removal of a (probably present) key.
+    Remove(Key),
+    /// Range scan `[lo, hi]`.
+    Scan(Key, Key),
+}
+
+impl Operation {
+    /// A short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Operation::Read(_) => "read",
+            Operation::Insert(_) => "insert",
+            Operation::Remove(_) => "remove",
+            Operation::Scan(_, _) => "scan",
+        }
+    }
+}
+
+/// Ratios of the four operation kinds; they need not sum to 1, the generator
+/// normalises them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperationMix {
+    /// Share of point lookups.
+    pub reads: f64,
+    /// Share of inserts.
+    pub inserts: f64,
+    /// Share of removals.
+    pub removes: f64,
+    /// Share of range scans.
+    pub scans: f64,
+}
+
+impl OperationMix {
+    /// YCSB-A: 50% reads, 50% updates (modelled as inserts of existing keys).
+    pub fn ycsb_a() -> Self {
+        Self { reads: 0.5, inserts: 0.5, removes: 0.0, scans: 0.0 }
+    }
+
+    /// YCSB-B: 95% reads, 5% updates.
+    pub fn ycsb_b() -> Self {
+        Self { reads: 0.95, inserts: 0.05, removes: 0.0, scans: 0.0 }
+    }
+
+    /// YCSB-C: read-only.
+    pub fn ycsb_c() -> Self {
+        Self { reads: 1.0, inserts: 0.0, removes: 0.0, scans: 0.0 }
+    }
+
+    /// YCSB-E: 95% short scans, 5% inserts.
+    pub fn ycsb_e() -> Self {
+        Self { reads: 0.0, inserts: 0.05, removes: 0.0, scans: 0.95 }
+    }
+
+    /// A write-heavy mix with deletions, exercising every mutation path.
+    pub fn churn() -> Self {
+        Self { reads: 0.4, inserts: 0.3, removes: 0.2, scans: 0.1 }
+    }
+
+    fn normalised(&self) -> [f64; 4] {
+        let total = (self.reads + self.inserts + self.removes + self.scans).max(f64::MIN_POSITIVE);
+        [self.reads / total, self.inserts / total, self.removes / total, self.scans / total]
+    }
+}
+
+/// How query keys are drawn from the loaded key population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Popularity {
+    /// Every loaded key is equally likely.
+    Uniform,
+    /// Zipfian popularity with the given skew θ (YCSB default: 0.99).
+    Zipfian(f64),
+}
+
+/// Configuration of a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedWorkloadSpec {
+    /// Number of operations to generate.
+    pub num_operations: usize,
+    /// Operation mix.
+    pub mix: OperationMix,
+    /// Key popularity of reads/removes/scan starts.
+    pub popularity: Popularity,
+    /// Maximum number of keys a scan may cover (the generated `hi` is the key
+    /// `scan_width` positions after `lo` in the loaded order).
+    pub scan_width: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MixedWorkloadSpec {
+    fn default() -> Self {
+        Self {
+            num_operations: 10_000,
+            mix: OperationMix::ycsb_b(),
+            popularity: Popularity::Uniform,
+            scan_width: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated mixed workload.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    /// The sorted keys the index is bulk-loaded with.
+    pub loaded_keys: Vec<Key>,
+    /// The operation sequence.
+    pub operations: Vec<Operation>,
+}
+
+impl MixedWorkload {
+    /// Generates a workload over `loaded_keys` (sorted, unique). Inserts use
+    /// fresh keys drawn from the gaps of the loaded key space so they are
+    /// guaranteed not to collide with loaded keys.
+    pub fn generate(loaded_keys: &[Key], spec: &MixedWorkloadSpec) -> Self {
+        assert!(loaded_keys.len() >= 2, "need at least two loaded keys");
+        let mut rng = XorShift64::new(spec.seed);
+        let mut zipf = match spec.popularity {
+            Popularity::Zipfian(theta) => Some(Zipfian::new(loaded_keys.len(), theta, spec.seed ^ 0xA5A5)),
+            Popularity::Uniform => None,
+        };
+        let [p_read, p_insert, p_remove, _p_scan] = spec.mix.normalised();
+        let mut operations = Vec::with_capacity(spec.num_operations);
+        let mut fresh_counter = 0u64;
+
+        let pick_index = |rng: &mut XorShift64, zipf: &mut Option<Zipfian>| -> usize {
+            match zipf {
+                Some(z) => {
+                    let rank = z.next_rank() as u64;
+                    (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % loaded_keys.len() as u64) as usize
+                }
+                None => rng.next_below(loaded_keys.len() as u64) as usize,
+            }
+        };
+
+        for _ in 0..spec.num_operations {
+            let dice = rng.next_f64();
+            if dice < p_read {
+                let i = pick_index(&mut rng, &mut zipf);
+                operations.push(Operation::Read(loaded_keys[i]));
+            } else if dice < p_read + p_insert {
+                // A fresh key strictly between two adjacent loaded keys, when
+                // such a gap exists; otherwise fall back to overwriting.
+                let i = rng.next_below(loaded_keys.len() as u64 - 1) as usize;
+                let (lo, hi) = (loaded_keys[i], loaded_keys[i + 1]);
+                let key = if hi > lo + 1 {
+                    lo + 1 + (fresh_counter % (hi - lo - 1))
+                } else {
+                    lo
+                };
+                fresh_counter += 1;
+                operations.push(Operation::Insert(key));
+            } else if dice < p_read + p_insert + p_remove {
+                let i = pick_index(&mut rng, &mut zipf);
+                operations.push(Operation::Remove(loaded_keys[i]));
+            } else {
+                let i = pick_index(&mut rng, &mut zipf);
+                let width = 1 + rng.next_below(spec.scan_width.max(1) as u64) as usize;
+                let hi_idx = (i + width).min(loaded_keys.len() - 1);
+                operations.push(Operation::Scan(loaded_keys[i], loaded_keys[hi_idx]));
+            }
+        }
+        Self { loaded_keys: loaded_keys.to_vec(), operations }
+    }
+
+    /// Number of operations of each kind, as `(reads, inserts, removes,
+    /// scans)`.
+    pub fn op_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for op in &self.operations {
+            match op {
+                Operation::Read(_) => counts.0 += 1,
+                Operation::Insert(_) => counts.1 += 1,
+                Operation::Remove(_) => counts.2 += 1,
+                Operation::Scan(_, _) => counts.3 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Dataset;
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        let keys = Dataset::Facebook.generate(5_000, 1);
+        let spec = MixedWorkloadSpec {
+            num_operations: 20_000,
+            mix: OperationMix::churn(),
+            ..MixedWorkloadSpec::default()
+        };
+        let wl = MixedWorkload::generate(&keys, &spec);
+        assert_eq!(wl.operations.len(), 20_000);
+        let (reads, inserts, removes, scans) = wl.op_counts();
+        let share = |c: usize| c as f64 / 20_000.0;
+        assert!((share(reads) - 0.4).abs() < 0.03, "reads {}", share(reads));
+        assert!((share(inserts) - 0.3).abs() < 0.03, "inserts {}", share(inserts));
+        assert!((share(removes) - 0.2).abs() < 0.03, "removes {}", share(removes));
+        assert!((share(scans) - 0.1).abs() < 0.03, "scans {}", share(scans));
+    }
+
+    #[test]
+    fn ycsb_presets_have_expected_shape() {
+        assert_eq!(OperationMix::ycsb_c().normalised(), [1.0, 0.0, 0.0, 0.0]);
+        let a = OperationMix::ycsb_a().normalised();
+        assert!((a[0] - 0.5).abs() < 1e-12 && (a[1] - 0.5).abs() < 1e-12);
+        let e = OperationMix::ycsb_e().normalised();
+        assert!(e[3] > 0.9);
+        // Degenerate all-zero mixes do not divide by zero.
+        let z = OperationMix { reads: 0.0, inserts: 0.0, removes: 0.0, scans: 0.0 }.normalised();
+        assert!(z.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn reads_and_scans_reference_loaded_keys() {
+        let keys = Dataset::Osm.generate(3_000, 5);
+        let spec = MixedWorkloadSpec {
+            num_operations: 5_000,
+            mix: OperationMix::ycsb_e(),
+            scan_width: 50,
+            ..MixedWorkloadSpec::default()
+        };
+        let wl = MixedWorkload::generate(&keys, &spec);
+        for op in &wl.operations {
+            match op {
+                Operation::Read(k) | Operation::Remove(k) => {
+                    assert!(keys.binary_search(k).is_ok());
+                }
+                Operation::Scan(lo, hi) => {
+                    assert!(lo <= hi);
+                    assert!(keys.binary_search(lo).is_ok());
+                    assert!(keys.binary_search(hi).is_ok());
+                }
+                Operation::Insert(k) => {
+                    assert!(*k >= keys[0] && *k <= *keys.last().unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_popularity_concentrates_reads() {
+        let keys = Dataset::Covid.generate(4_000, 9);
+        let spec = |popularity| MixedWorkloadSpec {
+            num_operations: 30_000,
+            mix: OperationMix::ycsb_c(),
+            popularity,
+            ..MixedWorkloadSpec::default()
+        };
+        let distinct = |wl: &MixedWorkload| {
+            let mut ks: Vec<Key> = wl
+                .operations
+                .iter()
+                .filter_map(|op| match op {
+                    Operation::Read(k) => Some(*k),
+                    _ => None,
+                })
+                .collect();
+            ks.sort_unstable();
+            ks.dedup();
+            ks.len()
+        };
+        let uniform = MixedWorkload::generate(&keys, &spec(Popularity::Uniform));
+        let skewed = MixedWorkload::generate(&keys, &spec(Popularity::Zipfian(0.99)));
+        assert!(
+            distinct(&skewed) < distinct(&uniform),
+            "zipfian reads should touch fewer distinct keys ({} vs {})",
+            distinct(&skewed),
+            distinct(&uniform)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let keys = Dataset::Genome.generate(2_000, 3);
+        let spec = MixedWorkloadSpec::default();
+        let a = MixedWorkload::generate(&keys, &spec);
+        let b = MixedWorkload::generate(&keys, &spec);
+        assert_eq!(a.operations, b.operations);
+        let c = MixedWorkload::generate(&keys, &MixedWorkloadSpec { seed: 43, ..spec });
+        assert_ne!(a.operations, c.operations);
+    }
+
+    #[test]
+    fn operation_labels() {
+        assert_eq!(Operation::Read(1).label(), "read");
+        assert_eq!(Operation::Insert(1).label(), "insert");
+        assert_eq!(Operation::Remove(1).label(), "remove");
+        assert_eq!(Operation::Scan(1, 2).label(), "scan");
+    }
+}

@@ -1,0 +1,172 @@
+//! Workload builders matching the paper's evaluation protocol (§6.1).
+//!
+//! * **Read-only**: the index is built over the full dataset, CSV is applied,
+//!   and point lookups are issued; the paper focuses its measurements on the
+//!   keys CSV promoted, so the workload can be restricted to a key subset.
+//! * **Read-write**: the index is built over a random half of the dataset,
+//!   CSV is applied once, and the other half is inserted in random batches of
+//!   `0.1·n`, with lookups after every batch.
+
+use csv_common::rng::{SplitMix64, XorShift64};
+use csv_common::Key;
+
+/// How read-only queries are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMix {
+    /// Uniformly over all keys of the dataset.
+    UniformOverKeys,
+    /// Uniformly over a provided subset (e.g. the promoted keys).
+    SubsetOnly,
+}
+
+/// A read-only workload: a dataset plus a sequence of query keys.
+#[derive(Debug, Clone)]
+pub struct ReadOnlyWorkload {
+    /// The sorted, unique dataset keys.
+    pub keys: Vec<Key>,
+    /// The lookup sequence.
+    pub queries: Vec<Key>,
+}
+
+impl ReadOnlyWorkload {
+    /// Builds a workload of `num_queries` lookups drawn uniformly from
+    /// `keys` (every query is guaranteed to hit an existing key, as in the
+    /// paper's query protocol).
+    pub fn uniform(keys: Vec<Key>, num_queries: usize, seed: u64) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let queries = (0..num_queries)
+            .map(|_| keys[rng.next_below(keys.len() as u64) as usize])
+            .collect();
+        Self { keys, queries }
+    }
+
+    /// Builds a workload whose queries are drawn uniformly from `subset`.
+    pub fn over_subset(keys: Vec<Key>, subset: &[Key], num_queries: usize, seed: u64) -> Self {
+        if subset.is_empty() {
+            return Self { keys, queries: Vec::new() };
+        }
+        let mut rng = XorShift64::new(seed);
+        let queries = (0..num_queries)
+            .map(|_| subset[rng.next_below(subset.len() as u64) as usize])
+            .collect();
+        Self { keys, queries }
+    }
+}
+
+/// A read-write workload: an initial bulk-load half plus insert batches.
+#[derive(Debug, Clone)]
+pub struct ReadWriteWorkload {
+    /// Sorted keys the index is bulk-loaded with (a random half).
+    pub initial_keys: Vec<Key>,
+    /// Insert batches, each of size `0.1 · n` (last batch may be smaller),
+    /// in insertion order (shuffled).
+    pub insert_batches: Vec<Vec<Key>>,
+    /// Query keys issued after every batch (drawn from the initial half so
+    /// results are comparable across batches).
+    pub queries: Vec<Key>,
+}
+
+impl ReadWriteWorkload {
+    /// Splits `keys` into a random half for bulk loading and `num_batches`
+    /// insert batches of `batch_fraction · n` keys each, following §6.1's
+    /// read-write protocol (`batch_fraction = 0.1`, 5 batches).
+    pub fn split(
+        keys: &[Key],
+        num_batches: usize,
+        batch_fraction: f64,
+        num_queries: usize,
+        seed: u64,
+    ) -> Self {
+        let n = keys.len();
+        let mut rng = SplitMix64::new(seed);
+        // Random half selection via a Fisher–Yates-style index shuffle.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let half = n / 2;
+        let mut initial: Vec<Key> = order[..half].iter().map(|&i| keys[i]).collect();
+        initial.sort_unstable();
+        let rest: Vec<Key> = order[half..].iter().map(|&i| keys[i]).collect();
+
+        let batch_size = ((n as f64) * batch_fraction).round() as usize;
+        let batch_size = batch_size.max(1);
+        let mut insert_batches = Vec::new();
+        let mut cursor = 0usize;
+        for _ in 0..num_batches {
+            if cursor >= rest.len() {
+                break;
+            }
+            let end = (cursor + batch_size).min(rest.len());
+            insert_batches.push(rest[cursor..end].to_vec());
+            cursor = end;
+        }
+
+        let mut qrng = XorShift64::new(seed ^ 0xDEAD_BEEF);
+        let queries = (0..num_queries)
+            .map(|_| initial[qrng.next_below(initial.len() as u64) as usize])
+            .collect();
+
+        Self { initial_keys: initial, insert_batches, queries }
+    }
+
+    /// Total number of keys across all insert batches.
+    pub fn total_inserts(&self) -> usize {
+        self.insert_batches.iter().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Dataset;
+
+    #[test]
+    fn uniform_queries_hit_existing_keys() {
+        let keys = Dataset::Covid.generate(2_000, 1);
+        let wl = ReadOnlyWorkload::uniform(keys.clone(), 500, 9);
+        assert_eq!(wl.queries.len(), 500);
+        assert!(wl.queries.iter().all(|q| keys.binary_search(q).is_ok()));
+    }
+
+    #[test]
+    fn subset_queries_stay_in_subset() {
+        let keys = Dataset::Facebook.generate(2_000, 1);
+        let subset: Vec<Key> = keys.iter().copied().step_by(10).collect();
+        let wl = ReadOnlyWorkload::over_subset(keys.clone(), &subset, 300, 5);
+        assert!(wl.queries.iter().all(|q| subset.binary_search(q).is_ok()));
+        let empty = ReadOnlyWorkload::over_subset(keys, &[], 300, 5);
+        assert!(empty.queries.is_empty());
+    }
+
+    #[test]
+    fn read_write_split_partitions_the_keys() {
+        let keys = Dataset::Genome.generate(5_000, 2);
+        let wl = ReadWriteWorkload::split(&keys, 5, 0.1, 200, 77);
+        assert_eq!(wl.initial_keys.len(), 2_500);
+        assert!(wl.initial_keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(wl.insert_batches.len(), 5);
+        assert_eq!(wl.total_inserts(), 2_500);
+        for batch in &wl.insert_batches {
+            assert!(batch.len() <= 500);
+            for k in batch {
+                assert!(wl.initial_keys.binary_search(k).is_err(), "insert {k} already loaded");
+                assert!(keys.binary_search(k).is_ok());
+            }
+        }
+        assert_eq!(wl.queries.len(), 200);
+        assert!(wl.queries.iter().all(|q| wl.initial_keys.binary_search(q).is_ok()));
+    }
+
+    #[test]
+    fn read_write_split_is_deterministic() {
+        let keys = Dataset::Osm.generate(3_000, 4);
+        let a = ReadWriteWorkload::split(&keys, 5, 0.1, 100, 1);
+        let b = ReadWriteWorkload::split(&keys, 5, 0.1, 100, 1);
+        assert_eq!(a.initial_keys, b.initial_keys);
+        assert_eq!(a.insert_batches, b.insert_batches);
+        let c = ReadWriteWorkload::split(&keys, 5, 0.1, 100, 2);
+        assert_ne!(a.initial_keys, c.initial_keys);
+    }
+}

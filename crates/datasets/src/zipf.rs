@@ -1,0 +1,185 @@
+//! Zipfian (power-law) query sampling.
+//!
+//! The paper's read-only protocol queries keys uniformly, but skewed access
+//! is exactly the regime SALI's probability models target and the regime in
+//! which CSV's promotion of frequently visited deep keys pays off most. This
+//! module provides a deterministic Zipfian sampler over key ranks so the
+//! harness and examples can also evaluate skewed workloads.
+//!
+//! Sampling uses the classic rejection-free inversion method of Gray et al.
+//! ("Quickly generating billion-record synthetic databases", SIGMOD '94),
+//! which needs only two precomputed constants per (n, θ) pair and O(1) work
+//! per sample.
+
+use csv_common::rng::XorShift64;
+use csv_common::Key;
+
+/// A Zipfian distribution over ranks `0..n` with skew parameter `theta`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta_theta: f64,
+    rng: XorShift64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `n` ranks with skew `theta ∈ (0, 1)`.
+    /// `theta = 0.99` matches YCSB's default "zipfian" setting; values close
+    /// to 0 degrade towards uniform.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipfian needs at least one rank");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1), got {theta}");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
+        Self { n, theta, alpha, zeta_n, eta, zeta_theta, rng: XorShift64::new(seed) }
+    }
+
+    /// The generalised harmonic number `Σ_{i=1..n} 1/i^theta`.
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws the next rank in `0..n`; rank 0 is the most popular.
+    pub fn next_rank(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws `count` query keys from `keys` (the i-th most popular key is
+    /// `keys[scramble(i)]`, so popularity is spread over the key space rather
+    /// than concentrated at the smallest keys).
+    pub fn sample_keys(&mut self, keys: &[Key], count: usize) -> Vec<Key> {
+        assert!(!keys.is_empty(), "cannot sample from an empty key set");
+        (0..count)
+            .map(|_| {
+                let rank = self.next_rank();
+                // Multiplicative scramble so the hot set is not one contiguous
+                // key range (which would make every index look artificially
+                // cache-friendly).
+                let scrambled = (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % keys.len();
+                keys[scrambled]
+            })
+            .collect()
+    }
+
+    /// Access probability of the most popular rank (a closed-form property of
+    /// the distribution, useful for assertions and for sizing SALI's
+    /// hot-probability threshold).
+    pub fn top_rank_probability(&self) -> f64 {
+        1.0 / self.zeta_n
+    }
+
+    /// The (unused but documented) harmonic constant for rank 2, exposed for
+    /// diagnostics.
+    pub fn zeta_theta(&self) -> f64 {
+        self.zeta_theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_stay_in_bounds_and_skew_towards_zero() {
+        let mut z = Zipfian::new(10_000, 0.99, 7);
+        let mut counts = vec![0usize; 10_000];
+        for _ in 0..100_000 {
+            let r = z.next_rank();
+            assert!(r < 10_000);
+            counts[r] += 1;
+        }
+        // Rank 0 must be the most popular by a wide margin.
+        let max_rest = counts[1..].iter().copied().max().unwrap();
+        assert!(counts[0] > max_rest, "rank 0 hit {} vs max other {}", counts[0], max_rest);
+        // The head dominates: the top 1% of ranks should absorb well over a
+        // third of the accesses at theta = 0.99.
+        let head: usize = counts[..100].iter().sum();
+        assert!(head as f64 > 0.35 * 100_000.0, "head share {head}");
+    }
+
+    #[test]
+    fn lower_theta_is_closer_to_uniform() {
+        let head_share = |theta: f64| {
+            let mut z = Zipfian::new(1_000, theta, 3);
+            let mut head = 0usize;
+            for _ in 0..50_000 {
+                if z.next_rank() < 10 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        let skewed = head_share(0.99);
+        let flat = head_share(0.2);
+        assert!(skewed > flat, "theta=0.99 head {skewed} vs theta=0.2 head {flat}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let keys: Vec<Key> = (0..5_000u64).map(|i| i * 3 + 11).collect();
+        let a = Zipfian::new(keys.len(), 0.9, 42).sample_keys(&keys, 1_000);
+        let b = Zipfian::new(keys.len(), 0.9, 42).sample_keys(&keys, 1_000);
+        let c = Zipfian::new(keys.len(), 0.9, 43).sample_keys(&keys, 1_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|k| keys.binary_search(k).is_ok()));
+    }
+
+    #[test]
+    fn top_rank_probability_matches_empirical_frequency() {
+        let mut z = Zipfian::new(500, 0.8, 9);
+        let expected = z.top_rank_probability();
+        let mut hits = 0usize;
+        let trials = 200_000;
+        for _ in 0..trials {
+            if z.next_rank() == 0 {
+                hits += 1;
+            }
+        }
+        let observed = hits as f64 / trials as f64;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "observed {observed:.4} vs expected {expected:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_rejected() {
+        Zipfian::new(10, 1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_domain_rejected() {
+        Zipfian::new(0, 0.5, 1);
+    }
+}

@@ -1,0 +1,637 @@
+//! The LIPP index: bulk loading, precise-position lookups, inserts with
+//! conflict-driven child creation, and adjustment (sub-tree rebuilds).
+
+use crate::node::{LippNodeView, Node, Slot};
+use csv_common::metrics::CostCounters;
+use csv_common::traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
+use csv_common::{Key, KeyValue, LinearModel, Value};
+
+/// Construction/adjustment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LippConfig {
+    /// Slots allocated per key when building a node (LIPP uses a sparse slot
+    /// array so inserts usually find an empty slot).
+    pub expansion: f64,
+    /// Minimum node capacity.
+    pub min_capacity: usize,
+    /// A sub-tree is rebuilt once it has absorbed more than
+    /// `subtree_keys / 2` inserts and holds at least this many keys.
+    pub adjust_min_keys: usize,
+}
+
+impl Default for LippConfig {
+    fn default() -> Self {
+        Self { expansion: 2.0, min_capacity: 8, adjust_min_keys: 64 }
+    }
+}
+
+/// The LIPP learned index (see the crate docs for the reproduction notes).
+#[derive(Debug, Clone)]
+pub struct LippIndex {
+    pub(crate) nodes: Vec<Node>,
+    free: Vec<usize>,
+    pub(crate) root: usize,
+    len: usize,
+    config: LippConfig,
+}
+
+impl LippIndex {
+    /// Builds an index with a custom configuration.
+    pub fn with_config(records: &[KeyValue], config: LippConfig) -> Self {
+        debug_assert!(
+            records.windows(2).all(|w| w[0].key < w[1].key),
+            "records must be sorted by key and unique"
+        );
+        let mut index = Self { nodes: Vec::new(), free: Vec::new(), root: 0, len: records.len(), config };
+        index.root = index.build_subtree(records, 1);
+        index
+    }
+
+    /// The configuration used to build this index.
+    pub fn config(&self) -> &LippConfig {
+        &self.config
+    }
+
+    pub(crate) fn push_free(&mut self, id: usize) {
+        self.free.push(id);
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node) -> usize {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Returns descendant node ids (not including `node_id` itself) to the
+    /// free list.
+    pub(crate) fn free_descendants(&mut self, node_id: usize) {
+        let mut stack: Vec<usize> = self.nodes[node_id]
+            .slots
+            .iter()
+            .filter_map(|s| if let Slot::Child(c) = s { Some(*c) } else { None })
+            .collect();
+        while let Some(id) = stack.pop() {
+            for slot in &self.nodes[id].slots {
+                if let Slot::Child(c) = slot {
+                    stack.push(*c);
+                }
+            }
+            self.nodes[id] = Node::empty(1, 0);
+            self.free.push(id);
+        }
+    }
+
+    /// Recursively builds a node over sorted records; returns its arena id.
+    pub(crate) fn build_subtree(&mut self, records: &[KeyValue], level: usize) -> usize {
+        let n = records.len();
+        if n == 0 {
+            let node = Node::empty(self.config.min_capacity, level);
+            return self.alloc(node);
+        }
+        if n == 1 {
+            let mut node = Node::empty(self.config.min_capacity, level);
+            // A constant model maps every key to slot 0.
+            node.model = LinearModel::new(0.0, 0.0);
+            node.slots[0] = Slot::Data(records[0].key, records[0].value);
+            node.subtree_keys = 1;
+            return self.alloc(node);
+        }
+        let capacity = ((n as f64 * self.config.expansion) as usize).max(self.config.min_capacity);
+        let keys: Vec<Key> = records.iter().map(|r| r.key).collect();
+        let model = Self::conflict_aware_model(&keys, capacity);
+        self.build_with_model(records, level, capacity, model)
+    }
+
+    /// Builds a node with a caller-supplied capacity and model (used both by
+    /// the normal build path and by the CSV rebuild). The model is given in
+    /// absolute key coordinates and converted to the node's offset
+    /// coordinates internally.
+    pub(crate) fn build_with_model(
+        &mut self,
+        records: &[KeyValue],
+        level: usize,
+        capacity: usize,
+        model: LinearModel,
+    ) -> usize {
+        let n = records.len();
+        let mut node = Node::empty(capacity, level);
+        node.key_offset = records[0].key;
+        // predict(k) = slope·k + b  ==  slope·(k − off) + (b + slope·off)
+        node.model =
+            LinearModel::new(model.slope, model.intercept + model.slope * node.key_offset as f64);
+        node.subtree_keys = n;
+        // Group consecutive records by their predicted slot.
+        let mut groups: Vec<(usize, usize, usize)> = Vec::new(); // (slot, start, end)
+        let mut start = 0usize;
+        while start < n {
+            let slot = node.predict_slot(records[start].key);
+            let mut end = start + 1;
+            while end < n && node.predict_slot(records[end].key) == slot {
+                end += 1;
+            }
+            groups.push((slot, start, end));
+            start = end;
+        }
+        // Degenerate model: everything predicted into one slot. Fall back to
+        // a spread model mapping [min, max] onto the full slot range. The
+        // model is expressed in offset coordinates directly (offset = min),
+        // and set in place rather than recursing, so the fallback cannot
+        // loop.
+        if groups.len() == 1 && n > 1 {
+            let min = records[0].key;
+            let max = records[n - 1].key;
+            if max > min {
+                let slope = (capacity - 1) as f64 / (max - min) as f64;
+                node.model = LinearModel::new(slope, 0.0);
+                debug_assert_eq!(node.key_offset, min);
+                groups.clear();
+                let mut start = 0usize;
+                while start < n {
+                    let slot = node.predict_slot(records[start].key);
+                    let mut end = start + 1;
+                    while end < n && node.predict_slot(records[end].key) == slot {
+                        end += 1;
+                    }
+                    groups.push((slot, start, end));
+                    start = end;
+                }
+            }
+        }
+        let node_id = self.alloc(node);
+        for (slot, start, end) in groups {
+            if end - start == 1 {
+                self.nodes[node_id].slots[slot] = Slot::Data(records[start].key, records[start].value);
+            } else {
+                let child = self.build_subtree(&records[start..end], level + 1);
+                self.nodes[node_id].slots[slot] = Slot::Child(child);
+            }
+        }
+        node_id
+    }
+
+    /// A least-squares CDF model rescaled to the slot range — LIPP's FMCD
+    /// model search is approximated by this fit, which already minimises the
+    /// squared slot-prediction error and hence most conflicts.
+    fn conflict_aware_model(keys: &[Key], capacity: usize) -> LinearModel {
+        let n = keys.len();
+        let positions: Vec<f64> = (0..n)
+            .map(|i| i as f64 * (capacity - 1) as f64 / (n - 1) as f64)
+            .collect();
+        LinearModel::fit_points(keys, &positions)
+    }
+
+    /// Collects the records of a sub-tree in ascending key order.
+    pub(crate) fn collect_records(&self, node_id: usize) -> Vec<KeyValue> {
+        let mut out = Vec::with_capacity(self.nodes[node_id].subtree_keys);
+        self.collect_into(node_id, &mut out);
+        out.sort_unstable_by_key(|r| r.key);
+        out
+    }
+
+    fn collect_into(&self, node_id: usize, out: &mut Vec<KeyValue>) {
+        for slot in &self.nodes[node_id].slots {
+            match slot {
+                Slot::Empty => {}
+                Slot::Data(k, v) => out.push(KeyValue::new(*k, *v)),
+                Slot::Child(c) => self.collect_into(*c, out),
+            }
+        }
+    }
+
+    /// Rebuilds the sub-tree rooted at `node_id` in place from its own
+    /// records (the adjustment step triggered by inserts).
+    pub(crate) fn rebuild_in_place(&mut self, node_id: usize) {
+        let records = self.collect_records(node_id);
+        let level = self.nodes[node_id].level;
+        self.free_descendants(node_id);
+        let temp = self.build_subtree(&records, level);
+        self.nodes.swap(node_id, temp);
+        self.nodes[temp] = Node::empty(1, 0);
+        self.free.push(temp);
+    }
+
+    /// Depth-first views of every reachable node (diagnostics / experiments).
+    pub fn node_views(&self) -> Vec<LippNodeView> {
+        let mut views = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            views.push(LippNodeView {
+                node_id: id,
+                level: node.level,
+                capacity: node.capacity(),
+                local_keys: node.local_keys(),
+                children: node.child_count(),
+                subtree_keys: node.subtree_keys,
+            });
+            for slot in &node.slots {
+                if let Slot::Child(c) = slot {
+                    stack.push(*c);
+                }
+            }
+        }
+        views
+    }
+
+    /// The deepest level of any reachable node.
+    pub fn height(&self) -> usize {
+        self.node_views().iter().map(|v| v.level).max().unwrap_or(1)
+    }
+
+    /// Average slot occupancy over reachable nodes (diagnostics).
+    pub fn occupancy(&self) -> f64 {
+        let views = self.node_views();
+        let slots: usize = views.iter().map(|v| v.capacity).sum();
+        let keys: usize = views.iter().map(|v| v.local_keys).sum();
+        if slots == 0 {
+            0.0
+        } else {
+            keys as f64 / slots as f64
+        }
+    }
+}
+
+impl LearnedIndex for LippIndex {
+    fn name(&self) -> &'static str {
+        "LIPP"
+    }
+
+    fn bulk_load(records: &[KeyValue]) -> Self {
+        Self::with_config(records, LippConfig::default())
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let mut node_id = self.root;
+        loop {
+            let node = &self.nodes[node_id];
+            match node.slots[node.predict_slot(key)] {
+                Slot::Empty => return None,
+                Slot::Data(k, v) => return if k == key { Some(v) } else { None },
+                Slot::Child(c) => node_id = c,
+            }
+        }
+    }
+
+    fn get_counted(&self, key: Key, counters: &mut CostCounters) -> Option<Value> {
+        let mut node_id = self.root;
+        loop {
+            counters.nodes_visited += 1;
+            counters.model_evals += 1;
+            let node = &self.nodes[node_id];
+            match node.slots[node.predict_slot(key)] {
+                Slot::Empty => return None,
+                Slot::Data(k, v) => {
+                    counters.comparisons += 1;
+                    return if k == key { Some(v) } else { None };
+                }
+                Slot::Child(c) => node_id = c,
+            }
+        }
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> bool {
+        let mut path = Vec::new();
+        let mut node_id = self.root;
+        let inserted = loop {
+            path.push(node_id);
+            let slot_idx = self.nodes[node_id].predict_slot(key);
+            match self.nodes[node_id].slots[slot_idx] {
+                Slot::Empty => {
+                    self.nodes[node_id].slots[slot_idx] = Slot::Data(key, value);
+                    break true;
+                }
+                Slot::Data(k, v) => {
+                    if k == key {
+                        self.nodes[node_id].slots[slot_idx] = Slot::Data(key, value);
+                        break false;
+                    }
+                    // Conflict: push both records into a new child node.
+                    let level = self.nodes[node_id].level + 1;
+                    let mut pair = [KeyValue::new(k, v), KeyValue::new(key, value)];
+                    pair.sort_unstable_by_key(|r| r.key);
+                    let child = self.build_subtree(&pair, level);
+                    self.nodes[node_id].slots[slot_idx] = Slot::Child(child);
+                    break true;
+                }
+                Slot::Child(c) => node_id = c,
+            }
+        };
+        if inserted {
+            self.len += 1;
+            for &id in &path {
+                self.nodes[id].subtree_keys += 1;
+                self.nodes[id].inserts_since_build += 1;
+            }
+            // Adjustment: rebuild the shallowest non-root sub-tree that has
+            // absorbed more inserts than half its size.
+            for &id in path.iter().skip(1) {
+                let node = &self.nodes[id];
+                if node.subtree_keys >= self.config.adjust_min_keys
+                    && node.inserts_since_build * 2 > node.subtree_keys
+                {
+                    self.rebuild_in_place(id);
+                    break;
+                }
+            }
+        }
+        inserted
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut histogram = LevelHistogram::new();
+        let mut node_count = 0usize;
+        let mut deep_node_count = 0usize;
+        let mut size_bytes = 0usize;
+        let mut height = 1usize;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            node_count += 1;
+            size_bytes += node.size_bytes();
+            height = height.max(node.level);
+            if node.level >= 3 {
+                deep_node_count += 1;
+            }
+            let local = node.local_keys();
+            if local > 0 {
+                histogram.record(node.level, local);
+            }
+            for slot in &node.slots {
+                if let Slot::Child(c) = slot {
+                    stack.push(*c);
+                }
+            }
+        }
+        IndexStats {
+            level_histogram: histogram,
+            node_count,
+            deep_node_count,
+            height,
+            size_bytes,
+            num_keys: self.len,
+        }
+    }
+
+    fn level_of_key(&self, key: Key) -> Option<usize> {
+        let mut node_id = self.root;
+        loop {
+            let node = &self.nodes[node_id];
+            match node.slots[node.predict_slot(key)] {
+                Slot::Empty => return None,
+                Slot::Data(k, _) => return if k == key { Some(node.level) } else { None },
+                Slot::Child(c) => node_id = c,
+            }
+        }
+    }
+}
+
+impl LippIndex {
+    /// In-order range collection: slot order within a node is key order (the
+    /// routing model is monotone), so a depth-first left-to-right walk visits
+    /// records in ascending key order and can stop at the first key past
+    /// `hi`. Returns `true` while the scan should continue.
+    fn range_into(&self, node_id: usize, lo: Key, hi: Key, out: &mut Vec<KeyValue>) -> bool {
+        for slot in &self.nodes[node_id].slots {
+            match slot {
+                Slot::Empty => {}
+                Slot::Data(k, v) => {
+                    if *k > hi {
+                        return false;
+                    }
+                    if *k >= lo {
+                        out.push(KeyValue::new(*k, *v));
+                    }
+                }
+                Slot::Child(c) => {
+                    if !self.range_into(*c, lo, hi, out) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl RangeIndex for LippIndex {
+    fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+        let mut out = Vec::new();
+        if lo <= hi {
+            self.range_into(self.root, lo, hi, &mut out);
+        }
+        out
+    }
+}
+
+impl RemovableIndex for LippIndex {
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        // Walk the precise-position path; a removed record simply leaves an
+        // empty slot (which later inserts can reuse). `subtree_keys` is kept
+        // in sync along the path so the adjustment heuristic and CSV's
+        // statistics stay accurate.
+        let mut path = Vec::new();
+        let mut node_id = self.root;
+        let removed = loop {
+            path.push(node_id);
+            let slot_idx = self.nodes[node_id].predict_slot(key);
+            match self.nodes[node_id].slots[slot_idx] {
+                Slot::Empty => break None,
+                Slot::Data(k, v) => {
+                    if k == key {
+                        self.nodes[node_id].slots[slot_idx] = Slot::Empty;
+                        break Some(v);
+                    }
+                    break None;
+                }
+                Slot::Child(c) => node_id = c,
+            }
+        };
+        if removed.is_some() {
+            self.len -= 1;
+            for &id in &path {
+                self.nodes[id].subtree_keys -= 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csv_common::key::identity_records;
+
+    fn skewed_keys(n: u64) -> Vec<Key> {
+        // Dense runs separated by widely varying jumps — forces conflicts and
+        // therefore a multi-level structure.
+        let mut keys = Vec::new();
+        let mut base = 0u64;
+        for block in 0..n / 50 {
+            for i in 0..50u64 {
+                keys.push(base + i);
+            }
+            base += 50 + (block % 7 + 1) * 10_000 * (1 + block % 3);
+        }
+        keys
+    }
+
+    #[test]
+    fn bulk_load_and_lookup() {
+        let keys = skewed_keys(20_000);
+        let index = LippIndex::bulk_load(&identity_records(&keys));
+        assert_eq!(index.len(), keys.len());
+        assert_eq!(index.name(), "LIPP");
+        for &k in keys.iter().step_by(61) {
+            assert_eq!(index.get(k), Some(k));
+        }
+        assert_eq!(index.get(keys[keys.len() - 1] + 12345), None);
+        assert!(index.height() >= 2, "skewed keys must create child nodes");
+        assert!(index.occupancy() > 0.0 && index.occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = LippIndex::bulk_load(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.get(7), None);
+        let single = LippIndex::bulk_load(&[KeyValue::new(9, 90)]);
+        assert_eq!(single.get(9), Some(90));
+        assert_eq!(single.get(8), None);
+        assert_eq!(single.level_of_key(9), Some(1));
+    }
+
+    #[test]
+    fn precise_positions_mean_no_leaf_search() {
+        // Every counted lookup must do exactly one comparison (the final
+        // key equality check) regardless of depth: that is LIPP's defining
+        // property.
+        let keys = skewed_keys(10_000);
+        let index = LippIndex::bulk_load(&identity_records(&keys));
+        for &k in keys.iter().step_by(97) {
+            let mut counters = CostCounters::new();
+            assert_eq!(index.get_counted(k, &mut counters), Some(k));
+            assert_eq!(counters.comparisons, 1);
+            assert!(counters.nodes_visited >= 1);
+        }
+    }
+
+    #[test]
+    fn inserts_create_conflicts_and_adjustment_keeps_correctness() {
+        let keys: Vec<Key> = (0..5_000u64).map(|i| i * 10).collect();
+        let mut index = LippIndex::bulk_load(&identity_records(&keys));
+        // Insert keys that collide with existing predictions.
+        for i in 0..5_000u64 {
+            assert!(index.insert(i * 10 + 1, i));
+        }
+        assert_eq!(index.len(), 10_000);
+        for i in 0..5_000u64 {
+            assert_eq!(index.get(i * 10), Some(i * 10));
+            assert_eq!(index.get(i * 10 + 1), Some(i));
+        }
+        // Overwrite does not change the length.
+        assert!(!index.insert(0, 42));
+        assert_eq!(index.get(0), Some(42));
+        assert_eq!(index.len(), 10_000);
+    }
+
+    #[test]
+    fn level_histogram_accounts_for_every_key() {
+        let keys = skewed_keys(30_000);
+        let index = LippIndex::bulk_load(&identity_records(&keys));
+        let stats = index.stats();
+        assert_eq!(stats.level_histogram.total(), keys.len());
+        assert_eq!(stats.num_keys, keys.len());
+        assert_eq!(stats.height, index.height());
+        assert!(stats.node_count >= 1);
+        assert!(stats.size_bytes > keys.len() * std::mem::size_of::<Slot>());
+        // Deep keys exist for this skewed distribution.
+        assert!(stats.level_histogram.max_level() >= 2);
+        // level_of_key agrees with the histogram's support.
+        for &k in keys.iter().step_by(577) {
+            let level = index.level_of_key(k).unwrap();
+            assert!(level <= stats.height);
+        }
+    }
+
+    #[test]
+    fn range_scans_match_oracle() {
+        let keys = skewed_keys(20_000);
+        let index = LippIndex::bulk_load(&identity_records(&keys));
+        assert_eq!(index.range(0, u64::MAX).len(), keys.len());
+        for (start, span) in [(50usize, 400u64), (10_000, 25), (19_900, 1_000_000)] {
+            let lo = keys[start];
+            let hi = lo + span;
+            let got = index.range(lo, hi);
+            let expected: Vec<Key> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+            assert_eq!(got.iter().map(|r| r.key).collect::<Vec<_>>(), expected, "range [{lo}, {hi}]");
+        }
+        assert!(index.range(17, 3).is_empty());
+    }
+
+    #[test]
+    fn removals_free_slots_and_keep_counts() {
+        let keys = skewed_keys(10_000);
+        let mut index = LippIndex::bulk_load(&identity_records(&keys));
+        for &k in keys.iter().step_by(5) {
+            assert_eq!(index.remove(k), Some(k));
+        }
+        let removed = keys.iter().step_by(5).count();
+        assert_eq!(index.len(), keys.len() - removed);
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 5 == 0 {
+                assert_eq!(index.get(k), None);
+                assert_eq!(index.level_of_key(k), None);
+            } else if i % 3 == 0 {
+                assert_eq!(index.get(k), Some(k));
+            }
+        }
+        assert_eq!(index.remove(keys[0]), None);
+        // The root's subtree count stays consistent with the length.
+        assert_eq!(index.nodes[index.root].subtree_keys, index.len());
+        // Freed slots are reused by later inserts.
+        assert!(index.insert(keys[0], 123));
+        assert_eq!(index.get(keys[0]), Some(123));
+        // Ranges exclude removed keys.
+        let hi = keys[30];
+        let expected: Vec<Key> = keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, &k)| k <= hi && (i % 5 != 0 || i == 0))
+            .map(|(_, &k)| k)
+            .collect();
+        assert_eq!(index.range(0, hi).iter().map(|r| r.key).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn rebuild_in_place_preserves_contents() {
+        let keys = skewed_keys(5_000);
+        let mut index = LippIndex::bulk_load(&identity_records(&keys));
+        let root = index.root;
+        index.rebuild_in_place(root);
+        assert_eq!(index.len(), keys.len());
+        for &k in keys.iter().step_by(119) {
+            assert_eq!(index.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn node_views_cover_all_reachable_nodes() {
+        let keys = skewed_keys(8_000);
+        let index = LippIndex::bulk_load(&identity_records(&keys));
+        let views = index.node_views();
+        assert_eq!(views.len(), index.stats().node_count);
+        let total_local: usize = views.iter().map(|v| v.local_keys).sum();
+        assert_eq!(total_local, keys.len());
+        let root_view = views.iter().find(|v| v.node_id == index.root).unwrap();
+        assert_eq!(root_view.level, 1);
+        assert_eq!(root_view.subtree_keys, keys.len());
+    }
+}

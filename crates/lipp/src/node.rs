@@ -1,0 +1,133 @@
+//! LIPP node layout: a linear model over an array of slots, each slot either
+//! empty, holding a record, or holding a child node.
+
+use csv_common::{Key, LinearModel, Value};
+
+/// One slot of a LIPP node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Unoccupied slot (either never used or a virtual-point gap).
+    Empty,
+    /// A record stored at its model-predicted position.
+    Data(Key, Value),
+    /// A child node created because several keys predicted this slot.
+    Child(usize),
+}
+
+/// A LIPP node. Nodes are arena-allocated; `Child` slots store arena ids.
+///
+/// The model operates on `key − key_offset` rather than the raw key: keys in
+/// the upper end of the 64-bit space (e.g. S2 cell IDs around 2⁵⁶) can be
+/// closer together than one `f64` ULP, and a model over raw keys could never
+/// separate them — LIPP, which relies on eventually giving every key its own
+/// slot, would recurse forever. Shifting by the node's smallest key keeps the
+/// values exactly representable.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Linear model mapping `key − key_offset` to a slot in `[0, slots.len())`.
+    pub model: LinearModel,
+    /// Offset subtracted from every key before evaluating the model.
+    pub key_offset: Key,
+    /// The slot array.
+    pub slots: Vec<Slot>,
+    /// 1-based level of this node (1 = root).
+    pub level: usize,
+    /// Number of real keys stored in this node's entire sub-tree.
+    pub subtree_keys: usize,
+    /// Number of inserts routed through this node since it was (re)built;
+    /// drives the adjustment (sub-tree rebuild) heuristic.
+    pub inserts_since_build: usize,
+}
+
+impl Node {
+    /// Creates an empty node with the given capacity and level.
+    pub fn empty(capacity: usize, level: usize) -> Self {
+        Self {
+            model: LinearModel::default(),
+            key_offset: 0,
+            slots: vec![Slot::Empty; capacity.max(1)],
+            level,
+            subtree_keys: 0,
+            inserts_since_build: 0,
+        }
+    }
+
+    /// Capacity (number of slots) of the node.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot index predicted for `key`.
+    #[inline]
+    pub fn predict_slot(&self, key: Key) -> usize {
+        self.model.predict_clamped(key.saturating_sub(self.key_offset), self.slots.len())
+    }
+
+    /// Number of `Data` slots in this node (not counting descendants).
+    pub fn local_keys(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::Data(_, _))).count()
+    }
+
+    /// Number of `Child` slots in this node.
+    pub fn child_count(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::Child(_))).count()
+    }
+
+    /// Estimated in-memory footprint of the node in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>() + std::mem::size_of::<Self>()
+    }
+}
+
+/// A read-only view of a node, exposed for diagnostics and the experiment
+/// harness (e.g. per-level statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LippNodeView {
+    /// Arena id of the node.
+    pub node_id: usize,
+    /// 1-based level.
+    pub level: usize,
+    /// Slot capacity.
+    pub capacity: usize,
+    /// Records stored directly in the node.
+    pub local_keys: usize,
+    /// Child nodes hanging off the node.
+    pub children: usize,
+    /// Keys in the whole sub-tree.
+    pub subtree_keys: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_node_has_no_keys() {
+        let node = Node::empty(8, 1);
+        assert_eq!(node.capacity(), 8);
+        assert_eq!(node.local_keys(), 0);
+        assert_eq!(node.child_count(), 0);
+        assert!(node.size_bytes() > 8 * std::mem::size_of::<Slot>());
+        let tiny = Node::empty(0, 2);
+        assert_eq!(tiny.capacity(), 1, "capacity is clamped to at least one slot");
+    }
+
+    #[test]
+    fn slot_counting() {
+        let mut node = Node::empty(4, 1);
+        node.slots[0] = Slot::Data(1, 1);
+        node.slots[2] = Slot::Child(7);
+        node.slots[3] = Slot::Data(9, 9);
+        assert_eq!(node.local_keys(), 2);
+        assert_eq!(node.child_count(), 1);
+    }
+
+    #[test]
+    fn predict_slot_clamps() {
+        let mut node = Node::empty(10, 1);
+        node.model = LinearModel::new(1.0, -5.0);
+        assert_eq!(node.predict_slot(0), 0);
+        assert_eq!(node.predict_slot(7), 2);
+        assert_eq!(node.predict_slot(1000), 9);
+    }
+}

@@ -1,0 +1,66 @@
+//! A PGM-index baseline: recursive ε-bounded piecewise linear models.
+//!
+//! The PGM index [Ferragina & Vinciguerra, VLDB 2020] approximates the key
+//! CDF with the minimum number of ε-error linear segments, then recursively
+//! indexes the segments' first keys with the same construction until a single
+//! segment remains. A lookup descends the levels, each time predicting a
+//! position and binary-searching a `±ε` window. The paper lists the PGM index
+//! among the learned-index baselines that ALEX/LIPP/SALI outperform; it is
+//! also the segmentation SALI reuses when flattening hot sub-trees.
+//!
+//! Inserts are handled with a simple buffer-and-rebuild strategy (a sorted
+//! delta buffer consulted on every lookup and merged into the static
+//! structure once it exceeds a fraction of the indexed data), which is the
+//! standard way to dynamise a static learned index.
+
+mod index;
+
+pub use index::{PgmConfig, PgmIndex};
+
+#[cfg(test)]
+mod proptests {
+    use super::PgmIndex;
+    use csv_common::key::identity_records;
+    use csv_common::traits::LearnedIndex;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every bulk-loaded key is found; absent keys are not.
+        #[test]
+        fn lookup_matches_oracle(mut keys in prop::collection::vec(0u64..5_000_000, 1..500)) {
+            keys.sort_unstable();
+            keys.dedup();
+            let index = PgmIndex::bulk_load(&identity_records(&keys));
+            for &k in &keys {
+                prop_assert_eq!(index.get(k), Some(k));
+            }
+            for probe in [3u64, 4_999_999, 2_500_000] {
+                let expected = keys.binary_search(&probe).is_ok();
+                prop_assert_eq!(index.get(probe).is_some(), expected);
+            }
+        }
+
+        /// Mixed bulk-load + inserts stay consistent with a BTreeMap oracle.
+        #[test]
+        fn inserts_match_btreemap(
+            mut base in prop::collection::vec(0u64..100_000, 1..200),
+            extra in prop::collection::vec((0u64..100_000, 0u64..50), 0..200),
+        ) {
+            base.sort_unstable();
+            base.dedup();
+            let mut index = PgmIndex::bulk_load(&identity_records(&base));
+            let mut oracle: std::collections::BTreeMap<u64, u64> =
+                base.iter().map(|&k| (k, k)).collect();
+            for (k, v) in extra {
+                index.insert(k, v);
+                oracle.insert(k, v);
+            }
+            prop_assert_eq!(index.len(), oracle.len());
+            for (&k, &v) in &oracle {
+                prop_assert_eq!(index.get(k), Some(v));
+            }
+        }
+    }
+}

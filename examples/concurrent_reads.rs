@@ -1,0 +1,56 @@
+//! Multi-threaded read scalability of a sharded, CSV-optimised learned index.
+//!
+//! SALI's motivation (and the benchmark framework the paper builds on) is
+//! concurrent operation. This example shards a LIPP index, applies CSV to
+//! every shard, and measures aggregate lookup throughput as the number of
+//! reader threads grows — demonstrating that the CSV optimisation composes
+//! with shard-level parallelism.
+//!
+//! Run with: `cargo run --release --example concurrent_reads`
+
+use csv_concurrent::{run_read_throughput, ShardedIndex, ShardingConfig};
+use csv_core::{CsvConfig, CsvOptimizer};
+use csv_datasets::{Dataset, ReadOnlyWorkload, Zipfian};
+use csv_lipp::LippIndex;
+use csv_repro::records_from_keys;
+
+const KEYS: usize = 400_000;
+const QUERIES: usize = 400_000;
+
+fn main() {
+    let keys = Dataset::Genome.generate(KEYS, 5);
+    let records = records_from_keys(&keys);
+
+    let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
+    let enhanced = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
+    enhanced.with_shards_mut(|shard| {
+        CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(shard);
+    });
+    println!(
+        "Sharded LIPP over {KEYS} Genome-like keys: {} shards, {} keys, {:.1} MiB (plain) vs {:.1} MiB (CSV)",
+        plain.num_shards(),
+        plain.len(),
+        plain.stats().size_bytes as f64 / (1024.0 * 1024.0),
+        enhanced.stats().size_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    let uniform = ReadOnlyWorkload::uniform(keys.clone(), QUERIES, 11).queries;
+    let skewed = Zipfian::new(keys.len(), 0.99, 13).sample_keys(&keys, QUERIES);
+
+    for (label, queries) in [("uniform", &uniform), ("zipfian 0.99", &skewed)] {
+        println!("\n== {label} queries ==");
+        println!("{:>8} {:>18} {:>18} {:>10}", "threads", "plain (Mops/s)", "CSV (Mops/s)", "hit rate");
+        for threads in [1usize, 2, 4, 8] {
+            let base = run_read_throughput(&plain, queries, threads);
+            let opt = run_read_throughput(&enhanced, queries, threads);
+            println!(
+                "{:>8} {:>18.2} {:>18.2} {:>9.1}%",
+                threads,
+                base.lookups_per_second() / 1e6,
+                opt.lookups_per_second() / 1e6,
+                opt.hit_rate() * 100.0
+            );
+            assert_eq!(base.hits, opt.hits, "CSV must not change lookup answers");
+        }
+    }
+}

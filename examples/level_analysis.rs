@@ -1,0 +1,57 @@
+//! Per-level query-time breakdown of LIPP over the four dataset analogues —
+//! the scenario of the paper's Fig. 1 (keys indexed deeper in the hierarchy
+//! are slower to query).
+//!
+//! Run with: `cargo run --release --example level_analysis [num_keys]`
+
+use csv_common::metrics::CostCounters;
+use csv_common::traits::LearnedIndex;
+use csv_datasets::Dataset;
+use csv_lipp::LippIndex;
+use csv_repro::records_from_keys;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    println!("Building LIPP over {n} keys per dataset and measuring per-level lookup cost\n");
+    println!("{:<10} {:>5} {:>12} {:>16} {:>18}", "dataset", "level", "keys", "avg ns/query", "avg nodes visited");
+
+    for dataset in Dataset::paper_datasets() {
+        let keys = dataset.generate(n, 42);
+        let index = LippIndex::bulk_load(&records_from_keys(&keys));
+        let stats = index.stats();
+
+        // Group sampled keys by the level they are stored at.
+        let mut by_level: Vec<Vec<u64>> = vec![Vec::new(); stats.height + 1];
+        for &k in keys.iter().step_by(17) {
+            if let Some(level) = index.level_of_key(k) {
+                by_level[level].push(k);
+            }
+        }
+        for (level, sample) in by_level.iter().enumerate() {
+            if sample.is_empty() {
+                continue;
+            }
+            let mut counters = CostCounters::new();
+            let start = Instant::now();
+            let mut found = 0usize;
+            for &k in sample {
+                if index.get_counted(k, &mut counters).is_some() {
+                    found += 1;
+                }
+            }
+            let elapsed = start.elapsed();
+            assert_eq!(found, sample.len());
+            println!(
+                "{:<10} {:>5} {:>12} {:>16.1} {:>18.2}",
+                dataset.name(),
+                level,
+                stats.level_histogram.at(level),
+                elapsed.as_nanos() as f64 / sample.len() as f64,
+                counters.nodes_visited as f64 / sample.len() as f64,
+            );
+        }
+        println!();
+    }
+    println!("Deeper levels cost more per query — the effect CSV removes by promoting keys.");
+}

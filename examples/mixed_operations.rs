@@ -1,0 +1,91 @@
+//! YCSB-style mixed workloads over every index in the workspace, with and
+//! without CSV optimisation.
+//!
+//! The paper's evaluation focuses on point lookups over promoted keys; a
+//! downstream adopter also needs to know how the CSV-enhanced structures
+//! behave under steady-state mixes of reads, writes, removals and short
+//! scans. This example replays the same deterministic operation sequence
+//! against ALEX, LIPP, SALI, PGM and the B+-tree and reports wall-clock
+//! throughput per mix.
+//!
+//! Run with: `cargo run --release --example mixed_operations`
+
+use csv_alex::AlexIndex;
+use csv_btree::BPlusTree;
+use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
+use csv_core::{CsvConfig, CsvOptimizer};
+use csv_datasets::{Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity};
+use csv_lipp::LippIndex;
+use csv_pgm::PgmIndex;
+use csv_repro::records_from_keys;
+use csv_sali::SaliIndex;
+use std::time::Instant;
+
+const KEYS: usize = 200_000;
+const OPS: usize = 100_000;
+
+fn run<I: LearnedIndex + RangeIndex + RemovableIndex>(
+    label: &str,
+    mut index: I,
+    workload: &MixedWorkload,
+) {
+    let started = Instant::now();
+    let mut hits = 0usize;
+    let mut scanned = 0usize;
+    for op in &workload.operations {
+        match *op {
+            Operation::Read(k) => hits += usize::from(index.get(k).is_some()),
+            Operation::Insert(k) => {
+                index.insert(k, k);
+            }
+            Operation::Remove(k) => hits += usize::from(index.remove(k).is_some()),
+            Operation::Scan(lo, hi) => scanned += index.range(lo, hi).len(),
+        }
+    }
+    let elapsed = started.elapsed();
+    let mops = workload.operations.len() as f64 / elapsed.as_secs_f64() / 1e6;
+    println!(
+        "    {:<22} {:>8.2} Mops/s   ({} point hits, {} records scanned)",
+        label, mops, hits, scanned
+    );
+}
+
+fn main() {
+    let keys = Dataset::Osm.generate(KEYS, 7);
+    let records = records_from_keys(&keys);
+
+    for (mix_name, mix, popularity) in [
+        ("YCSB-A (50/50 read/update, zipfian)", OperationMix::ycsb_a(), Popularity::Zipfian(0.99)),
+        ("YCSB-B (95/5 read/update, zipfian)", OperationMix::ycsb_b(), Popularity::Zipfian(0.99)),
+        ("YCSB-E (95% short scans)", OperationMix::ycsb_e(), Popularity::Uniform),
+        ("Churn (reads/inserts/removes/scans)", OperationMix::churn(), Popularity::Uniform),
+    ] {
+        let spec = MixedWorkloadSpec {
+            num_operations: OPS,
+            mix,
+            popularity,
+            scan_width: 100,
+            seed: 99,
+        };
+        let workload = MixedWorkload::generate(&keys, &spec);
+        let (reads, inserts, removes, scans) = workload.op_counts();
+        println!(
+            "\n== {mix_name}: {reads} reads / {inserts} inserts / {removes} removes / {scans} scans =="
+        );
+
+        run("B+Tree", BPlusTree::bulk_load(&records), &workload);
+        run("PGM", PgmIndex::bulk_load(&records), &workload);
+        run("ALEX", AlexIndex::bulk_load(&records), &workload);
+        run("LIPP", LippIndex::bulk_load(&records), &workload);
+        run("SALI", SaliIndex::bulk_load(&records), &workload);
+
+        let mut lipp_csv = LippIndex::bulk_load(&records);
+        CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut lipp_csv);
+        run("LIPP + CSV (alpha=0.1)", lipp_csv, &workload);
+
+        let mut alex_csv = AlexIndex::bulk_load(&records);
+        CsvOptimizer::new(CsvConfig::for_alex(0.1, csv_core::cost::CostModel::default()))
+            .optimize(&mut alex_csv);
+        run("ALEX + CSV (alpha=0.1)", alex_csv, &workload);
+    }
+}

@@ -1,0 +1,71 @@
+//! Poisoning attack vs. CDF smoothing defence.
+//!
+//! Section 2.3 of the paper roots CDF smoothing in data-poisoning attacks on
+//! learned indexes: an adversary inserts keys that *maximise* the indexing
+//! function's loss, while CSV inserts virtual points that *minimise* it.
+//! This example runs both directions on segments drawn from every dataset
+//! analogue and shows (1) how much damage a small poisoning budget does and
+//! (2) how much of that damage a CSV-style smoothing pass claws back.
+//!
+//! Run with: `cargo run --release --example poisoning_defense`
+
+use csv_core::poisoning::{poison_segment, smoothing_counteracts_poisoning, PoisoningConfig};
+use csv_core::{smooth_segment, SmoothingConfig};
+use csv_datasets::Dataset;
+
+fn main() {
+    let segment_size = 4_096;
+    let poison_alpha = 0.05;
+    let smooth_alpha = 0.2;
+
+    println!("Poisoning budget: {:.0}% of the segment; smoothing budget: {:.0}%\n", poison_alpha * 100.0, smooth_alpha * 100.0);
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>14} {:>14}",
+        "dataset", "loss (clean)", "loss (poisoned)", "damage", "loss (smoothed)", "recovered"
+    );
+
+    for dataset in Dataset::paper_datasets() {
+        // A contiguous segment, mimicking the key set of one index node.
+        let keys = dataset.generate(segment_size, 17);
+
+        let attack = poison_segment(&keys, &PoisoningConfig::with_alpha(poison_alpha));
+        let (poisoned_loss, repaired_loss) =
+            smoothing_counteracts_poisoning(&keys, poison_alpha, smooth_alpha);
+
+        let damage = if attack.loss_before > 0.0 {
+            attack.loss_after_real / attack.loss_before
+        } else {
+            1.0
+        };
+        let recovered = if poisoned_loss > 0.0 {
+            (poisoned_loss - repaired_loss) / poisoned_loss * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>11.2}x {:>14.1} {:>13.1}%",
+            dataset.name(),
+            attack.loss_before,
+            attack.loss_after_real,
+            damage,
+            repaired_loss,
+            recovered
+        );
+    }
+
+    // The defensive reading in isolation: smoothing an un-poisoned segment
+    // for comparison.
+    println!("\nBaseline smoothing of clean segments (no attack):");
+    for dataset in Dataset::paper_datasets() {
+        let keys = dataset.generate(segment_size, 17);
+        let smoothed = smooth_segment(&keys, &SmoothingConfig::with_alpha(smooth_alpha));
+        println!(
+            "  {:<10} loss {:.1} -> {:.1}  ({:.1}% better, {} virtual points)",
+            dataset.name(),
+            smoothed.loss_before,
+            smoothed.loss_after_real,
+            smoothed.improvement_percent(),
+            smoothed.virtual_points.len()
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Read-only workload optimisation: build LIPP and ALEX over a hard dataset,
+//! apply CSV, and compare query cost, structure and storage — the scenario of
+//! the paper's §6.2.
+//!
+//! Run with: `cargo run --release --example readonly_optimize [num_keys] [alpha]`
+
+use csv_alex::AlexIndex;
+use csv_common::metrics::CostCounters;
+use csv_common::traits::LearnedIndex;
+use csv_core::cost::CostModel;
+use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer};
+use csv_datasets::{Dataset, ReadOnlyWorkload};
+use csv_lipp::LippIndex;
+use csv_repro::records_from_keys;
+use std::time::Instant;
+
+fn measure<I: LearnedIndex>(index: &I, queries: &[u64]) -> (f64, f64) {
+    let mut counters = CostCounters::new();
+    let start = Instant::now();
+    let mut found = 0usize;
+    for &q in queries {
+        if index.get_counted(q, &mut counters).is_some() {
+            found += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(found, queries.len(), "every query key must be present");
+    (
+        elapsed.as_nanos() as f64 / queries.len() as f64,
+        counters.abstract_cost() as f64 / queries.len() as f64,
+    )
+}
+
+fn optimize_and_report<I>(name: &str, mut index: I, config: CsvConfig, workload: &ReadOnlyWorkload)
+where
+    I: LearnedIndex + CsvIntegrable,
+{
+    let before_stats = index.stats();
+    let (ns_before, cost_before) = measure(&index, &workload.queries);
+
+    let report = CsvOptimizer::new(config).optimize(&mut index);
+
+    let after_stats = index.stats();
+    let (ns_after, cost_after) = measure(&index, &workload.queries);
+
+    println!("== {name} ==");
+    println!("  CSV pre-processing time : {:?}", report.preprocessing_time);
+    println!("  sub-trees considered / rebuilt : {} / {}", report.subtrees_considered, report.subtrees_rebuilt);
+    println!("  virtual points added    : {}", report.virtual_points_added);
+    println!("  mean key level          : {:.3} -> {:.3}", before_stats.mean_key_level(), after_stats.mean_key_level());
+    println!("  index nodes             : {} -> {}", before_stats.node_count, after_stats.node_count);
+    println!(
+        "  index size              : {:.2} MiB -> {:.2} MiB ({:+.1}%)",
+        before_stats.size_bytes as f64 / (1 << 20) as f64,
+        after_stats.size_bytes as f64 / (1 << 20) as f64,
+        (after_stats.size_bytes as f64 / before_stats.size_bytes as f64 - 1.0) * 100.0
+    );
+    println!("  avg query latency       : {ns_before:.0} ns -> {ns_after:.0} ns");
+    println!("  avg abstract query cost : {cost_before:.2} -> {cost_after:.2}");
+    println!();
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    let alpha: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let dataset = Dataset::Genome;
+    println!("dataset = {} ({n} keys), smoothing threshold alpha = {alpha}\n", dataset.name());
+
+    let keys = dataset.generate(n, 7);
+    let workload = ReadOnlyWorkload::uniform(keys.clone(), 20_000, 99);
+    let records = records_from_keys(&keys);
+
+    optimize_and_report(
+        "LIPP + CSV",
+        LippIndex::bulk_load(&records),
+        CsvConfig::for_lipp(alpha),
+        &workload,
+    );
+    optimize_and_report(
+        "ALEX + CSV",
+        AlexIndex::bulk_load(&records),
+        CsvConfig::for_alex(alpha, CostModel::default()),
+        &workload,
+    );
+}

@@ -1,0 +1,82 @@
+//! Read-write workload: bulk-load half the dataset, apply CSV once, then
+//! insert the other half in batches of 0.1·n while measuring query times and
+//! storage after every batch — the paper's §6.3 protocol.
+//!
+//! Run with: `cargo run --release --example readwrite_workload [num_keys] [alpha]`
+
+use csv_common::traits::LearnedIndex;
+use csv_core::{CsvConfig, CsvOptimizer};
+use csv_datasets::{Dataset, ReadWriteWorkload};
+use csv_lipp::LippIndex;
+use csv_repro::records_from_keys;
+use std::time::Instant;
+
+fn avg_query_ns<I: LearnedIndex>(index: &I, queries: &[u64]) -> f64 {
+    let start = Instant::now();
+    let mut found = 0usize;
+    for &q in queries {
+        if index.get(q).is_some() {
+            found += 1;
+        }
+    }
+    assert_eq!(found, queries.len());
+    start.elapsed().as_nanos() as f64 / queries.len() as f64
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let alpha: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let dataset = Dataset::Osm;
+    println!("dataset = {} ({n} keys), alpha = {alpha}", dataset.name());
+
+    let keys = dataset.generate(n, 13);
+    let workload = ReadWriteWorkload::split(&keys, 5, 0.1, 20_000, 2024);
+    let records = records_from_keys(&workload.initial_keys);
+
+    let mut original = LippIndex::bulk_load(&records);
+    let mut enhanced = LippIndex::bulk_load(&records);
+    let report = CsvOptimizer::new(CsvConfig::for_lipp(alpha)).optimize(&mut enhanced);
+    println!(
+        "CSV applied once to the half-loaded index: {} sub-trees rebuilt, {} virtual points, {:?} pre-processing\n",
+        report.subtrees_rebuilt, report.virtual_points_added, report.preprocessing_time
+    );
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>16} {:>16}",
+        "batch", "orig ns/query", "CSV ns/query", "saved (%)", "orig size (MiB)", "CSV size (MiB)"
+    );
+    let report_line = |batch: usize, original: &LippIndex, enhanced: &LippIndex, queries: &[u64]| {
+        let orig_ns = avg_query_ns(original, queries);
+        let enh_ns = avg_query_ns(enhanced, queries);
+        println!(
+            "{:>6} {:>14.1} {:>14.1} {:>12.1} {:>16.2} {:>16.2}",
+            batch,
+            orig_ns,
+            enh_ns,
+            (orig_ns - enh_ns) / orig_ns * 100.0,
+            original.stats().size_bytes as f64 / (1 << 20) as f64,
+            enhanced.stats().size_bytes as f64 / (1 << 20) as f64,
+        );
+    };
+
+    report_line(0, &original, &enhanced, &workload.queries);
+    for (i, batch) in workload.insert_batches.iter().enumerate() {
+        let t0 = Instant::now();
+        for &k in batch {
+            original.insert(k, k);
+        }
+        let orig_insert = t0.elapsed();
+        let t1 = Instant::now();
+        for &k in batch {
+            enhanced.insert(k, k);
+        }
+        let enh_insert = t1.elapsed();
+        println!(
+            "   -- insert batch {}: original {:.1} ns/insert, CSV-enhanced {:.1} ns/insert",
+            i + 1,
+            orig_insert.as_nanos() as f64 / batch.len() as f64,
+            enh_insert.as_nanos() as f64 / batch.len() as f64
+        );
+        report_line(i + 1, &original, &enhanced, &workload.queries);
+    }
+}

@@ -1,0 +1,88 @@
+//! Umbrella crate for the CSV (CDF Smoothing via Virtual points) learned
+//! index reproduction.
+//!
+//! This crate hosts the runnable examples and the cross-crate integration
+//! tests; the actual functionality lives in the workspace crates, which are
+//! re-exported here for convenience:
+//!
+//! * [`core`](csv_core) — virtual-point smoothing and the CSV algorithm,
+//! * [`alex`](csv_alex), [`lipp`](csv_lipp), [`sali`](csv_sali) — the three
+//!   learned indexes CSV is integrated with,
+//! * [`pgm`](csv_pgm), [`btree`](csv_btree) — baselines,
+//! * [`datasets`](csv_datasets) — SOSD-style synthetic datasets and
+//!   workloads,
+//! * [`common`](csv_common) — shared types and traits.
+
+pub use csv_alex as alex;
+pub use csv_btree as btree;
+pub use csv_common as common;
+pub use csv_core as core;
+pub use csv_datasets as datasets;
+pub use csv_lipp as lipp;
+pub use csv_pgm as pgm;
+pub use csv_sali as sali;
+
+use csv_common::key::identity_records;
+use csv_common::traits::LearnedIndex;
+use csv_common::{Key, KeyValue};
+
+/// The indexes the paper integrates CSV with, used by the examples and the
+/// experiment harness to loop over all three uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// ALEX (gapped arrays + exponential search).
+    Alex,
+    /// LIPP (precise positions).
+    Lipp,
+    /// SALI (LIPP + workload-aware flattening).
+    Sali,
+}
+
+impl IndexKind {
+    /// All three CSV target indexes.
+    pub fn all() -> [IndexKind; 3] {
+        [IndexKind::Lipp, IndexKind::Sali, IndexKind::Alex]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Alex => "ALEX",
+            IndexKind::Lipp => "LIPP",
+            IndexKind::Sali => "SALI",
+        }
+    }
+}
+
+/// Convenience helper: turns a sorted key slice into identity records.
+pub fn records_from_keys(keys: &[Key]) -> Vec<KeyValue> {
+    identity_records(keys)
+}
+
+/// Builds one of the three CSV target indexes over sorted keys and returns it
+/// as a trait object (useful for generic driver loops).
+pub fn build_index(kind: IndexKind, keys: &[Key]) -> Box<dyn LearnedIndex> {
+    let records = identity_records(keys);
+    match kind {
+        IndexKind::Alex => Box::new(csv_alex::AlexIndex::bulk_load(&records)),
+        IndexKind::Lipp => Box::new(csv_lipp::LippIndex::bulk_load(&records)),
+        IndexKind::Sali => Box::new(csv_sali::SaliIndex::bulk_load(&records)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csv_datasets::Dataset;
+
+    #[test]
+    fn build_index_covers_all_kinds() {
+        let keys = Dataset::Covid.generate(2_000, 1);
+        for kind in IndexKind::all() {
+            let index = build_index(kind, &keys);
+            assert_eq!(index.len(), keys.len());
+            assert_eq!(index.name(), kind.name());
+            assert_eq!(index.get(keys[123]), Some(keys[123]));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests for range scans and deletions: every index
+//! in the workspace (ALEX, LIPP, SALI, PGM, B+-tree) must agree with a
+//! `BTreeMap` oracle under a mixed workload of point lookups, range scans,
+//! inserts and removals — both before and after CSV optimisation of the
+//! learned indexes.
+
+use csv_alex::AlexIndex;
+use csv_btree::BPlusTree;
+use csv_common::rng::XorShift64;
+use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
+use csv_common::{Key, KeyValue};
+use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer};
+use csv_datasets::Dataset;
+use csv_lipp::LippIndex;
+use csv_pgm::PgmIndex;
+use csv_repro::records_from_keys;
+use csv_sali::SaliIndex;
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+
+const N: usize = 30_000;
+
+/// Drives a deterministic mixed workload against an index and a `BTreeMap`
+/// oracle, checking every answer.
+fn run_mixed_workload<I>(mut index: I, keys: &[Key], seed: u64)
+where
+    I: LearnedIndex + RangeIndex + RemovableIndex,
+{
+    let mut oracle: BTreeMap<Key, u64> = keys.iter().map(|&k| (k, k)).collect();
+    let mut rng = XorShift64::new(seed);
+    let span = keys[keys.len() - 1] - keys[0];
+    let name = index.name();
+
+    for op in 0..4_000u64 {
+        match op % 8 {
+            // Point lookups on present and absent keys.
+            0 | 1 | 2 => {
+                let k = if op % 2 == 0 {
+                    keys[rng.next_below(keys.len() as u64) as usize]
+                } else {
+                    keys[0] + rng.next_below(span + 1)
+                };
+                assert_eq!(index.get(k), oracle.get(&k).copied(), "{name}: get({k})");
+            }
+            // Range scans of varying width.
+            3 => {
+                let lo = keys[0] + rng.next_below(span + 1);
+                let width = rng.next_below(span / 100 + 2);
+                let hi = lo.saturating_add(width);
+                let got = index.range(lo, hi);
+                let expected = oracle_range(&oracle, lo..=hi);
+                assert_eq!(got, expected, "{name}: range [{lo}, {hi}]");
+            }
+            // Inserts of fresh keys (and occasional overwrites).
+            4 | 5 => {
+                let k = keys[0] + rng.next_below(span + 1);
+                let v = rng.next_u64();
+                let was_new = index.insert(k, v);
+                let oracle_new = oracle.insert(k, v).is_none();
+                assert_eq!(was_new, oracle_new, "{name}: insert({k}) newness");
+            }
+            // Removals of present and absent keys.
+            _ => {
+                let k = if op % 2 == 0 {
+                    keys[rng.next_below(keys.len() as u64) as usize]
+                } else {
+                    keys[0] + rng.next_below(span + 1)
+                };
+                assert_eq!(index.remove(k), oracle.remove(&k), "{name}: remove({k})");
+            }
+        }
+        if op % 512 == 0 {
+            assert_eq!(index.len(), oracle.len(), "{name}: length after {op} ops");
+        }
+    }
+    assert_eq!(index.len(), oracle.len(), "{name}: final length");
+    // Final full-range sweep.
+    let all = index.range(0, u64::MAX);
+    let expected: Vec<KeyValue> = oracle.iter().map(|(&k, &v)| KeyValue::new(k, v)).collect();
+    assert_eq!(all, expected, "{name}: final full scan");
+}
+
+fn oracle_range(oracle: &BTreeMap<Key, u64>, range: RangeInclusive<Key>) -> Vec<KeyValue> {
+    oracle.range(range).map(|(&k, &v)| KeyValue::new(k, v)).collect()
+}
+
+#[test]
+fn btree_mixed_workload_matches_oracle() {
+    let keys = Dataset::Facebook.generate(N, 3);
+    run_mixed_workload(BPlusTree::bulk_load(&records_from_keys(&keys)), &keys, 11);
+}
+
+#[test]
+fn pgm_mixed_workload_matches_oracle() {
+    let keys = Dataset::Covid.generate(N, 5);
+    run_mixed_workload(PgmIndex::bulk_load(&records_from_keys(&keys)), &keys, 13);
+}
+
+#[test]
+fn alex_mixed_workload_matches_oracle() {
+    let keys = Dataset::Osm.generate(N, 7);
+    run_mixed_workload(AlexIndex::bulk_load(&records_from_keys(&keys)), &keys, 17);
+}
+
+#[test]
+fn lipp_mixed_workload_matches_oracle() {
+    let keys = Dataset::Genome.generate(N, 19);
+    run_mixed_workload(LippIndex::bulk_load(&records_from_keys(&keys)), &keys, 23);
+}
+
+#[test]
+fn sali_mixed_workload_matches_oracle() {
+    let keys = Dataset::Osm.generate(N, 29);
+    let mut sali = SaliIndex::bulk_load(&records_from_keys(&keys));
+    // Flatten some hot sub-trees first so the mixed workload exercises the
+    // region-mirroring paths of insert/remove/get.
+    let hot: Vec<Key> = keys.iter().copied().take(keys.len() / 4).collect();
+    sali.optimize_for_workload(&hot);
+    run_mixed_workload(sali, &keys, 31);
+}
+
+#[test]
+fn csv_enhanced_indexes_preserve_range_and_delete_semantics() {
+    // The paper's point: CSV only restructures the index; every operation
+    // must keep its semantics after optimisation.
+    let keys = Dataset::Genome.generate(N, 37);
+    let records = records_from_keys(&keys);
+
+    let mut lipp = LippIndex::bulk_load(&records);
+    CsvOptimizer::new(CsvConfig::for_lipp(0.2)).optimize(&mut lipp);
+    run_mixed_workload(lipp, &keys, 41);
+
+    let mut alex = AlexIndex::bulk_load(&records);
+    CsvOptimizer::new(CsvConfig::for_alex(0.1, csv_core::cost::CostModel::default()))
+        .optimize(&mut alex);
+    run_mixed_workload(alex, &keys, 43);
+
+    let mut sali = SaliIndex::bulk_load(&records);
+    CsvOptimizer::new(CsvConfig::for_sali(0.1)).optimize(&mut sali);
+    run_mixed_workload(sali, &keys, 47);
+}
+
+#[test]
+fn range_scan_totals_are_consistent_across_indexes() {
+    // All five indexes over the same data must return byte-identical range
+    // results for the same queries.
+    let keys = Dataset::Facebook.generate(N, 53);
+    let records = records_from_keys(&keys);
+    let btree = BPlusTree::bulk_load(&records);
+    let pgm = PgmIndex::bulk_load(&records);
+    let alex = AlexIndex::bulk_load(&records);
+    let lipp = LippIndex::bulk_load(&records);
+    let sali = SaliIndex::bulk_load(&records);
+
+    let mut rng = XorShift64::new(59);
+    let span = keys[keys.len() - 1] - keys[0];
+    for _ in 0..50 {
+        let lo = keys[0] + rng.next_below(span + 1);
+        let hi = lo.saturating_add(rng.next_below(span / 20 + 1));
+        let reference = btree.range(lo, hi);
+        assert_eq!(pgm.range(lo, hi), reference, "PGM range [{lo}, {hi}]");
+        assert_eq!(alex.range(lo, hi), reference, "ALEX range [{lo}, {hi}]");
+        assert_eq!(lipp.range(lo, hi), reference, "LIPP range [{lo}, {hi}]");
+        assert_eq!(sali.range(lo, hi), reference, "SALI range [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,108 @@
+//! Read-write workload equivalence: after CSV optimisation and several insert
+//! batches, every index must agree with a `BTreeMap` oracle.
+
+use csv_alex::AlexIndex;
+use csv_common::traits::LearnedIndex;
+use csv_core::cost::CostModel;
+use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer};
+use csv_datasets::{Dataset, ReadWriteWorkload};
+use csv_lipp::LippIndex;
+use csv_repro::records_from_keys;
+use csv_sali::SaliIndex;
+use std::collections::BTreeMap;
+
+const N: usize = 40_000;
+
+fn run_read_write<I>(mut index: I, workload: &ReadWriteWorkload)
+where
+    I: LearnedIndex + CsvIntegrable,
+{
+    let mut oracle: BTreeMap<u64, u64> =
+        workload.initial_keys.iter().map(|&k| (k, k)).collect();
+    // Apply CSV once after the initial bulk load, as in the paper's §6.3.
+    CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut index);
+
+    for batch in &workload.insert_batches {
+        for &k in batch {
+            index.insert(k, k);
+            oracle.insert(k, k);
+        }
+        // After every batch the index and the oracle agree on sampled keys
+        // and on the total size.
+        assert_eq!(index.len(), oracle.len(), "{} length mismatch", index.name());
+        for (&k, &v) in oracle.iter().step_by(13) {
+            assert_eq!(index.get(k), Some(v), "{}: lost key {k}", index.name());
+        }
+        for &q in workload.queries.iter().step_by(11) {
+            assert_eq!(index.get(q), oracle.get(&q).copied(), "{}: query {q}", index.name());
+        }
+    }
+}
+
+#[test]
+fn lipp_read_write_equivalence() {
+    let keys = Dataset::Osm.generate(N, 17);
+    let workload = ReadWriteWorkload::split(&keys, 5, 0.1, 2_000, 7);
+    run_read_write(LippIndex::bulk_load(&records_from_keys(&workload.initial_keys)), &workload);
+}
+
+#[test]
+fn sali_read_write_equivalence() {
+    let keys = Dataset::Genome.generate(N, 29);
+    let workload = ReadWriteWorkload::split(&keys, 5, 0.1, 2_000, 8);
+    let mut sali = SaliIndex::bulk_load(&records_from_keys(&workload.initial_keys));
+    // Exercise the SALI-specific flattening path before the generic check.
+    sali.optimize_for_workload(&workload.queries);
+    run_read_write(sali, &workload);
+}
+
+#[test]
+fn alex_read_write_equivalence() {
+    let keys = Dataset::Facebook.generate(N, 31);
+    let workload = ReadWriteWorkload::split(&keys, 5, 0.1, 2_000, 9);
+    let mut index = AlexIndex::bulk_load(&records_from_keys(&workload.initial_keys));
+    // ALEX uses the Eq. 22 cost-model condition.
+    CsvOptimizer::new(CsvConfig::for_alex(0.1, CostModel::default())).optimize(&mut index);
+    let mut oracle: BTreeMap<u64, u64> = workload.initial_keys.iter().map(|&k| (k, k)).collect();
+    for batch in &workload.insert_batches {
+        for &k in batch {
+            index.insert(k, k);
+            oracle.insert(k, k);
+        }
+    }
+    assert_eq!(index.len(), oracle.len());
+    for (&k, &v) in oracle.iter().step_by(17) {
+        assert_eq!(index.get(k), Some(v));
+    }
+}
+
+#[test]
+fn csv_gaps_absorb_insertions_into_smoothed_nodes() {
+    // The paper's §6.3 observation: the slots left by virtual points are
+    // reused by later insertions, so the CSV-enhanced index's size overhead
+    // shrinks as batches arrive.
+    let keys = Dataset::Genome.generate(N, 41);
+    let workload = ReadWriteWorkload::split(&keys, 5, 0.1, 1_000, 10);
+    let records = records_from_keys(&workload.initial_keys);
+
+    let mut plain = LippIndex::bulk_load(&records);
+    let mut enhanced = LippIndex::bulk_load(&records);
+    CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut enhanced);
+
+    let overhead = |a: &LippIndex, b: &LippIndex| {
+        b.stats().size_bytes as f64 / a.stats().size_bytes as f64 - 1.0
+    };
+    let initial_overhead = overhead(&plain, &enhanced);
+    for batch in &workload.insert_batches {
+        for &k in batch {
+            plain.insert(k, k);
+            enhanced.insert(k, k);
+        }
+    }
+    let final_overhead = overhead(&plain, &enhanced);
+    assert!(
+        final_overhead <= initial_overhead + 0.02,
+        "size overhead should not grow with insertions: {initial_overhead:.3} -> {final_overhead:.3}"
+    );
+    assert_eq!(plain.len(), enhanced.len());
+}
