@@ -1,0 +1,83 @@
+//! The two scaling dimensions of the optimisation pipeline:
+//!
+//! 1. `smoothing_refit_scaling` — Rescan vs the CELF-style lazy-heap driver
+//!    on large single segments. The per-run counters are printed so the
+//!    refits avoided by the heap are visible next to the wall-clock numbers.
+//! 2. `parallel_level_sweep` — `CsvOptimizer::optimize` (sequential) vs
+//!    `optimize_parallel` at several thread-pool widths on a 1M-key LIPP
+//!    index.
+//!
+//! Run with `cargo bench --bench smoothing_scaling`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csv_common::key::identity_records;
+use csv_common::traits::LearnedIndex;
+use csv_core::{smooth_segment, CsvConfig, CsvOptimizer, GreedyMode, SmoothingConfig};
+use csv_datasets::Dataset;
+use csv_lipp::LippIndex;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_refit_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smoothing_refit_scaling");
+    group.sample_size(5).measurement_time(Duration::from_secs(2));
+    for &size in &[10_000usize, 100_000] {
+        let keys = Dataset::Genome.generate(size, 7);
+        let base = SmoothingConfig {
+            alpha: 1.0,
+            max_budget: Some(64),
+            ..SmoothingConfig::default()
+        };
+        for (label, mode) in [("rescan", GreedyMode::Rescan), ("lazy", GreedyMode::Lazy)] {
+            let config = SmoothingConfig { mode, ..base };
+            let result = smooth_segment(&keys, &config);
+            eprintln!(
+                "# {label}/{size}: points={} refits={} revalidations={} fallbacks={} loss={:.6}",
+                result.virtual_points.len(),
+                result.counters.gap_refits,
+                result.counters.stale_revalidations,
+                result.counters.fallback_rescans,
+                result.loss_after_all,
+            );
+            group.bench_with_input(BenchmarkId::new(label, size), &config, |b, config| {
+                b.iter(|| black_box(smooth_segment(&keys, config)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let keys = Dataset::Osm.generate(1_000_000, 3);
+    let records = identity_records(&keys);
+    let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
+
+    let mut group = c.benchmark_group("parallel_level_sweep");
+    group.sample_size(3).measurement_time(Duration::from_secs(3));
+    group.bench_function("sequential", |b| {
+        b.iter_batched(
+            || LippIndex::bulk_load(&records),
+            |mut index| black_box(optimizer.optimize(&mut index)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    for &threads in &[2usize, 4, 8] {
+        // A scoped pool per width: the global pool can only be built once
+        // per process, so the width comparison must not go through it.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build bench thread pool");
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
+            b.iter_batched(
+                || LippIndex::bulk_load(&records),
+                |mut index| pool.install(|| black_box(optimizer.optimize_parallel(&mut index))),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refit_scaling, bench_parallel_sweep);
+criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Command-line driver regenerating the paper's tables and figures.
 //!
 //! Usage:
-//!   experiments <name> [--size N] [--queries Q] [--seed S]
-//!   experiments all --size 200000
+//!   experiments <name> [--size N] [--queries Q] [--seed S] [--threads T] [--greedy lazy|rescan]
+//!   experiments all --size 200000 --threads 8
+//!   experiments table3 --greedy rescan        # paper-faithful Algorithm 1 driver
 //!
 //! `<name>` is one of: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //! table1 table2 table3 table4 all (fig6/fig7/fig8 share one α sweep).
@@ -29,6 +30,22 @@ fn main() {
                 config.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.seed);
                 i += 2;
             }
+            "--threads" => {
+                config.threads =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.threads);
+                i += 2;
+            }
+            "--greedy" => {
+                config.greedy = match args.get(i + 1).map(|v| v.to_ascii_lowercase()) {
+                    Some(ref v) if v == "rescan" => csv_bench::GreedyMode::Rescan,
+                    Some(ref v) if v == "lazy" => csv_bench::GreedyMode::Lazy,
+                    other => {
+                        eprintln!("--greedy expects rescan|lazy, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             other if name.is_none() && !other.starts_with("--") => {
                 name = Some(other.to_string());
                 i += 1;
@@ -40,13 +57,19 @@ fn main() {
         }
     }
     let Some(name) = name else {
-        eprintln!("usage: experiments <name> [--size N] [--queries Q] [--seed S]");
+        eprintln!(
+            "usage: experiments <name> [--size N] [--queries Q] [--seed S] [--threads T] [--greedy lazy|rescan]"
+        );
         eprintln!("experiments: {}", EXPERIMENT_NAMES.join(" "));
         std::process::exit(2);
     };
     eprintln!(
-        "# experiment={name} num_keys={} num_queries={} seed={}",
-        config.num_keys, config.num_queries, config.seed
+        "# experiment={name} num_keys={} num_queries={} seed={} threads={} greedy={:?}",
+        config.num_keys,
+        config.num_queries,
+        config.seed,
+        if config.threads == 0 { "auto".to_string() } else { config.threads.to_string() },
+        config.greedy,
     );
     if !run_experiment(&name, &config) {
         eprintln!("unknown experiment '{name}'; available: {}", EXPERIMENT_NAMES.join(" "));

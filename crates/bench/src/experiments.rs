@@ -5,7 +5,7 @@
 //! [`ExperimentConfig`]; the defaults are laptop-sized (see DESIGN.md §3).
 
 use crate::harness::{
-    build_enhanced, build_plain, key_levels, measure_inserts, measure_queries, promoted_keys,
+    build_enhanced_with, build_plain, key_levels, measure_inserts, measure_queries, promoted_keys,
     IndexKind,
 };
 use csv_common::key::identity_records;
@@ -36,11 +36,16 @@ pub struct ExperimentConfig {
     pub num_queries: usize,
     /// RNG seed for dataset generation and query sampling.
     pub seed: u64,
+    /// Worker threads for CSV optimisation sweeps (0 = one per core).
+    pub threads: usize,
+    /// Algorithm 1 greedy driver: the lazy heap (default) or the
+    /// paper-faithful full rescan.
+    pub greedy: csv_core::GreedyMode,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { num_keys: 400_000, num_queries: 20_000, seed: 42 }
+        Self { num_keys: 400_000, num_queries: 20_000, seed: 42, threads: 0, greedy: csv_core::GreedyMode::Lazy }
     }
 }
 
@@ -49,6 +54,7 @@ pub const ALPHAS: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.8];
 
 /// Runs one experiment by name. Unknown names return `false`.
 pub fn run_experiment(name: &str, config: &ExperimentConfig) -> bool {
+    csv_core::configure_global_threads(config.threads);
     match name {
         "fig1" => fig1_level_latency(config),
         "fig2" => fig2_running_example(),
@@ -242,7 +248,7 @@ fn alpha_sweep_row(
     let plain_stats = plain.stats();
     let levels_before = key_levels(plain.as_ref(), keys);
 
-    let (enhanced, report) = build_enhanced(kind, keys, alpha);
+    let (enhanced, report) = build_enhanced_with(kind, keys, alpha, config.greedy);
     let enhanced_stats = enhanced.stats();
     let levels_after = key_levels(enhanced.as_ref(), keys);
 
@@ -297,7 +303,7 @@ pub fn table3_4_preprocessing(config: &ExperimentConfig, kind: IndexKind) -> boo
     for dataset in Dataset::paper_datasets() {
         let keys = dataset.generate(config.num_keys, config.seed);
         for alpha in ALPHAS {
-            let (_, report) = build_enhanced(kind, &keys, alpha);
+            let (_, report) = build_enhanced_with(kind, &keys, alpha, config.greedy);
             println!(
                 "{}\t{}\t{}\t{:.3}\t{}\t{}",
                 kind.name(),
@@ -321,7 +327,7 @@ pub fn fig9_cardinality(config: &ExperimentConfig) -> bool {
             for keys in cardinality_chain(&full, 4) {
                 let plain = build_plain(kind, &keys);
                 let levels_before = key_levels(plain.as_ref(), &keys);
-                let (enhanced, _) = build_enhanced(kind, &keys, 0.1);
+                let (enhanced, _) = build_enhanced_with(kind, &keys, 0.1, config.greedy);
                 let levels_after = key_levels(enhanced.as_ref(), &keys);
                 let (promoted, _) = promoted_keys(&keys, &levels_before, &levels_after);
                 let saved = if promoted.is_empty() {
@@ -360,7 +366,7 @@ pub fn fig10_read_write(config: &ExperimentConfig) -> bool {
 
             let mut plain = build_plain(kind, &workload.initial_keys);
             let levels_before = key_levels(plain.as_ref(), &workload.initial_keys);
-            let (mut enhanced, _) = build_enhanced(kind, &workload.initial_keys, 0.1);
+            let (mut enhanced, _) = build_enhanced_with(kind, &workload.initial_keys, 0.1, config.greedy);
             let levels_after = key_levels(enhanced.as_ref(), &workload.initial_keys);
             let (promoted, _) = promoted_keys(&workload.initial_keys, &levels_before, &levels_after);
             let sample: Vec<Key> = promoted.iter().copied().take(config.num_queries).collect();
@@ -404,7 +410,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { num_keys: 20_000, num_queries: 1_000, seed: 1 }
+        ExperimentConfig {
+            num_keys: 20_000,
+            num_queries: 1_000,
+            seed: 1,
+            threads: 0,
+            greedy: csv_core::GreedyMode::Lazy,
+        }
     }
 
     #[test]

@@ -50,8 +50,8 @@ impl IndexKind {
 
 /// An index built over a key set, behind one trait object so the experiment
 /// loops can treat LIPP/SALI/ALEX uniformly.
-pub trait CsvTarget: LearnedIndex + CsvIntegrable {}
-impl<T: LearnedIndex + CsvIntegrable> CsvTarget for T {}
+pub trait CsvTarget: LearnedIndex + CsvIntegrable + Send + Sync {}
+impl<T: LearnedIndex + CsvIntegrable + Send + Sync> CsvTarget for T {}
 
 /// Builds the plain (un-optimised) index of the given kind.
 pub fn build_plain(kind: IndexKind, keys: &[Key]) -> Box<dyn CsvTarget> {
@@ -64,10 +64,26 @@ pub fn build_plain(kind: IndexKind, keys: &[Key]) -> Box<dyn CsvTarget> {
 }
 
 /// Builds the index and applies CSV with the given smoothing threshold;
-/// returns the optimised index together with the CSV run report.
+/// returns the optimised index together with the CSV run report. Uses the
+/// default (lazy) greedy driver; use [`build_enhanced_with`] to select the
+/// paper-faithful Rescan driver.
 pub fn build_enhanced(kind: IndexKind, keys: &[Key], alpha: f64) -> (Box<dyn CsvTarget>, CsvReport) {
+    build_enhanced_with(kind, keys, alpha, csv_core::GreedyMode::Lazy)
+}
+
+/// [`build_enhanced`] with an explicit Algorithm 1 greedy driver, so the
+/// experiments binary can regenerate the published numbers with the
+/// faithful Rescan driver (`--greedy rescan`).
+pub fn build_enhanced_with(
+    kind: IndexKind,
+    keys: &[Key],
+    alpha: f64,
+    greedy: csv_core::GreedyMode,
+) -> (Box<dyn CsvTarget>, CsvReport) {
     let mut index = build_plain(kind, keys);
-    let report = CsvOptimizer::new(kind.csv_config(alpha)).optimize_boxed(&mut index);
+    let mut config = kind.csv_config(alpha);
+    config.smoothing.mode = greedy;
+    let report = CsvOptimizer::new(config).optimize_boxed(&mut index);
     (index, report)
 }
 
@@ -101,7 +117,7 @@ impl OptimizeBoxed for CsvOptimizer {
             }
         }
         let mut shim = Shim(index.as_mut());
-        self.optimize(&mut shim)
+        self.optimize_parallel(&mut shim)
     }
 }
 

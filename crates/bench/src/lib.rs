@@ -11,5 +11,9 @@
 pub mod experiments;
 pub mod harness;
 
+pub use csv_core::GreedyMode;
 pub use experiments::{run_experiment, ExperimentConfig, EXPERIMENT_NAMES};
-pub use harness::{build_enhanced, build_plain, measure_queries, promoted_keys, IndexKind, QueryMeasurement};
+pub use harness::{
+    build_enhanced, build_enhanced_with, build_plain, measure_queries, promoted_keys, IndexKind,
+    QueryMeasurement,
+};

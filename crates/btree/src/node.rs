@@ -163,15 +163,10 @@ impl LearnedIndex for BPlusTree {
         // Descend remembering the path so splits can be propagated.
         let mut path = Vec::new();
         let mut node = self.root;
-        loop {
-            match &self.nodes[node] {
-                Node::Internal { separators, children } => {
-                    let idx = separators.partition_point(|&s| s <= key);
-                    path.push((node, idx));
-                    node = children[idx];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { separators, children } = &self.nodes[node] {
+            let idx = separators.partition_point(|&s| s <= key);
+            path.push((node, idx));
+            node = children[idx];
         }
         let inserted = match &mut self.nodes[node] {
             Node::Leaf { keys, values } => match keys.binary_search(&key) {

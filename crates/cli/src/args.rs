@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing for the `csv-index` tool (no external
 //! dependencies beyond the workspace crates).
 
+use csv_core::GreedyMode;
 use csv_datasets::Dataset;
 use std::fmt;
 use std::path::PathBuf;
@@ -122,6 +123,11 @@ pub struct CliArgs {
     pub ops: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the CSV optimisation sweep (0 = one per core).
+    pub threads: usize,
+    /// Greedy driver for Algorithm 1: the lazy heap (default) or the
+    /// paper-faithful full rescan.
+    pub greedy: GreedyMode,
 }
 
 impl Default for CliArgs {
@@ -135,6 +141,8 @@ impl Default for CliArgs {
             workload: WorkloadChoice::ReadOnly,
             ops: 100_000,
             seed: 42,
+            threads: 0,
+            greedy: GreedyMode::Lazy,
         }
     }
 }
@@ -143,11 +151,13 @@ impl CliArgs {
     /// The usage string printed on `--help` or a parse error.
     pub fn usage() -> &'static str {
         "csv-index [--index alex|lipp|sali|pgm|btree] [--dataset facebook|covid|osm|genome]\n\
-         \u{20}         [--dataset-file PATH.sosd] [--size N] [--alpha A] \n\
-         \u{20}         [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn] [--ops N] [--seed S]\n\
+         \u{20}         [--dataset-file PATH.sosd] [--size N] [--alpha A] [--threads T]\n\
+         \u{20}         [--greedy lazy|rescan] [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn]\n\
+         \u{20}         [--ops N] [--seed S]\n\
          \n\
          Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
-         smoothing (alpha > 0), replays the workload and prints structure and latency reports."
+         smoothing (alpha > 0) using T worker threads (0 = one per core) and the chosen\n\
+         greedy driver, replays the workload and prints structure and latency reports."
     }
 
     /// Parses `--flag value` style arguments (anything after the program
@@ -170,6 +180,18 @@ impl CliArgs {
                 "--size" => out.size = parse_number(flag, value)? as usize,
                 "--ops" => out.ops = parse_number(flag, value)? as usize,
                 "--seed" => out.seed = parse_number(flag, value)?,
+                "--threads" => out.threads = parse_number(flag, value)? as usize,
+                "--greedy" => {
+                    out.greedy = match value.to_ascii_lowercase().as_str() {
+                        "rescan" => GreedyMode::Rescan,
+                        "lazy" => GreedyMode::Lazy,
+                        other => {
+                            return Err(CliError::new(format!(
+                                "unknown greedy driver '{other}' (expected rescan|lazy)"
+                            )))
+                        }
+                    }
+                }
                 "--alpha" => {
                     out.alpha = value
                         .parse::<f64>()
@@ -226,7 +248,7 @@ mod tests {
     fn full_flag_set_round_trips() {
         let args = parse(&[
             "--index", "alex", "--dataset", "osm", "--size", "50_000", "--alpha", "0.4",
-            "--workload", "ycsb-b", "--ops", "9000", "--seed", "7",
+            "--workload", "ycsb-b", "--ops", "9000", "--seed", "7", "--threads", "4",
         ])
         .unwrap();
         assert_eq!(args.index, IndexChoice::Alex);
@@ -236,6 +258,21 @@ mod tests {
         assert_eq!(args.workload, WorkloadChoice::YcsbB);
         assert_eq!(args.ops, 9_000);
         assert_eq!(args.seed, 7);
+        assert_eq!(args.threads, 4);
+    }
+
+    #[test]
+    fn threads_defaults_to_auto() {
+        assert_eq!(parse(&[]).unwrap().threads, 0);
+        assert!(parse(&["--threads", "x"]).unwrap_err().message.contains("integer"));
+    }
+
+    #[test]
+    fn greedy_driver_parses() {
+        assert_eq!(parse(&[]).unwrap().greedy, GreedyMode::Lazy);
+        assert_eq!(parse(&["--greedy", "rescan"]).unwrap().greedy, GreedyMode::Rescan);
+        assert_eq!(parse(&["--greedy", "LAZY"]).unwrap().greedy, GreedyMode::Lazy);
+        assert!(parse(&["--greedy", "eager"]).unwrap_err().message.contains("rescan|lazy"));
     }
 
     #[test]

@@ -55,10 +55,12 @@ impl RunSummary {
         ));
         if let Some(report) = &self.csv_report {
             out.push_str(&format!(
-                "csv: {} of {} sub-trees rebuilt, {} virtual points, mean key level {:.2} -> {:.2}, size {:+.1}%\n",
+                "csv: {} of {} sub-trees rebuilt, {} virtual points, {} refits in {:.2}s, mean key level {:.2} -> {:.2}, size {:+.1}%\n",
                 report.subtrees_rebuilt,
                 report.subtrees_considered,
                 report.virtual_points_added,
+                report.gap_refits,
+                report.preprocessing_time.as_secs_f64(),
                 self.stats_before.mean_key_level(),
                 self.stats_after.mean_key_level(),
                 (self.stats_after.size_bytes as f64 / self.stats_before.size_bytes.max(1) as f64 - 1.0)
@@ -76,6 +78,8 @@ impl RunSummary {
 
 /// Runs the whole pipeline described by `args`.
 pub fn run(args: &CliArgs) -> Result<RunSummary, CliError> {
+    // `0` keeps rayon's auto-detected width (one worker per core).
+    csv_core::configure_global_threads(args.threads);
     let keys = load_keys(args)?;
     if keys.len() < 2 {
         return Err(CliError::new("the dataset must contain at least two unique keys"));
@@ -117,7 +121,7 @@ fn load_keys(args: &CliArgs) -> Result<Vec<Key>, CliError> {
     }
 }
 
-fn optimize<I: LearnedIndex + csv_core::CsvIntegrable>(
+fn optimize<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
     index: &mut I,
     args: &CliArgs,
     is_alex: bool,
@@ -126,12 +130,18 @@ fn optimize<I: LearnedIndex + csv_core::CsvIntegrable>(
     if args.alpha <= 0.0 {
         return (before.clone(), None, before);
     }
-    let config = if is_alex {
+    let mut config = if is_alex {
         CsvConfig::for_alex(args.alpha, CostModel::default())
     } else {
         CsvConfig::for_lipp(args.alpha)
     };
-    let report = CsvOptimizer::new(config).optimize(index);
+    config.smoothing.mode = args.greedy;
+    let optimizer = CsvOptimizer::new(config);
+    let report = if args.threads == 1 {
+        optimizer.optimize(index)
+    } else {
+        optimizer.optimize_parallel(index)
+    };
     let after = index.stats();
     (before, Some(report), after)
 }

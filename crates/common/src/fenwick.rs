@@ -118,7 +118,8 @@ mod tests {
     #[test]
     fn updates_are_reflected() {
         let mut fw = Fenwick::new(4);
-        assert!(fw.is_empty() == (fw.len() == 0));
+        assert!(!fw.is_empty());
+        assert_eq!(fw.len(), 4);
         fw.add(0, 10.0);
         fw.add(3, 5.0);
         assert!(close(fw.prefix(3), 15.0));

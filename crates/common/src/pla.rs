@@ -131,7 +131,7 @@ pub fn max_segmentation_error(keys: &[Key], segments: &[Segment]) -> f64 {
 /// Locates the segment responsible for `key` via binary search on
 /// `first_key`; returns the last segment whose `first_key <= key` (or the
 /// first segment for keys below the minimum).
-pub fn locate_segment<'a>(segments: &'a [Segment], key: Key) -> &'a Segment {
+pub fn locate_segment(segments: &[Segment], key: Key) -> &Segment {
     debug_assert!(!segments.is_empty());
     let idx = segments.partition_point(|s| s.first_key <= key);
     if idx == 0 {

@@ -314,8 +314,10 @@ fn solve_3x3(m: [[f64; 3]; 3], rhs: [f64; 3]) -> Option<[f64; 3]> {
         a.swap(col, pivot_row);
         for row in (col + 1)..3 {
             let factor = a[row][col] / a[col][col];
-            for k in col..4 {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (k, cell) in rest[0].iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot[k];
             }
         }
     }

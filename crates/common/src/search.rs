@@ -24,23 +24,41 @@ pub struct SearchOutcome {
 ///
 /// Returns the lower-bound position within the *whole* slice together with
 /// the number of comparisons made.
+///
+/// Comparison accounting: every loop probe is one three-way key comparison.
+/// The final membership check at the lower-bound position is counted only
+/// when it actually probes a key — it is skipped entirely when the position
+/// is past the end of the slice, and it reuses the loop's result when the
+/// last `>=` probe already landed on the lower-bound position (the common
+/// case), instead of double-counting that key.
 pub fn binary_search_bounded(keys: &[Key], target: Key, lo: usize, hi: usize) -> SearchOutcome {
     let mut lo = lo.min(keys.len());
     let mut hi = hi.min(keys.len());
     let mut comparisons = 0;
+    // The most recent probe that established `keys[mid] >= target` (and
+    // therefore set `hi = mid`), with whether it compared equal. Whenever
+    // the loop ends with such a probe, its position *is* the final lower
+    // bound, so the membership result is already known.
+    let mut upper_probe: Option<(usize, bool)> = None;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         comparisons += 1;
-        if keys[mid] < target {
-            lo = mid + 1;
-        } else {
-            hi = mid;
+        match keys[mid].cmp(&target) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            ordering => {
+                upper_probe = Some((mid, ordering == std::cmp::Ordering::Equal));
+                hi = mid;
+            }
         }
     }
-    let found = lo < keys.len() && keys[lo] == target;
-    if lo < keys.len() {
-        comparisons += 1;
-    }
+    let found = match upper_probe {
+        Some((position, equal)) if position == lo => equal,
+        _ if lo < keys.len() => {
+            comparisons += 1;
+            keys[lo] == target
+        }
+        _ => false,
+    };
     SearchOutcome { position: lo, found, comparisons }
 }
 
@@ -192,6 +210,37 @@ mod tests {
         let near = exponential_search(&keys, 5003, 5000);
         let far = exponential_search(&keys, 9999, 0);
         assert!(near.comparisons < far.comparisons);
+    }
+
+    #[test]
+    fn comparison_counts_reflect_actual_probes() {
+        let keys = [2u64, 4, 6, 8, 10];
+        // Empty window: no loop probe; one membership probe inside bounds.
+        let out = binary_search_bounded(&keys, 6, 2, 2);
+        assert_eq!(out.comparisons, 1);
+        assert!(out.found);
+        assert_eq!(out.position, 2);
+        // Empty window past the end: nothing is ever compared.
+        let out = binary_search_bounded(&keys, 6, 5, 5);
+        assert_eq!(out.comparisons, 0);
+        assert!(!out.found);
+        // Lower bound past the end after a full search: the loop's `<`
+        // probes are counted, the membership check never probes.
+        let out = binary_search_bounded(&keys, 11, 0, keys.len());
+        assert!(!out.found);
+        assert!(out.comparisons <= 3, "log2(5) probes, no tail probe: {}", out.comparisons);
+        // When the loop's last >= probe lands on the final position, the
+        // membership answer reuses it: at most ceil(log2(n)) + 1 three-way
+        // comparisons in total for any in-bounds search.
+        for target in 0..12u64 {
+            let out = binary_search_bounded(&keys, target, 0, keys.len());
+            assert!(
+                out.comparisons <= 4,
+                "target {target}: {} comparisons",
+                out.comparisons
+            );
+            assert_eq!(out.found, keys.binary_search(&target).is_ok(), "target {target}");
+        }
     }
 
     #[test]

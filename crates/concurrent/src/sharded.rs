@@ -2,7 +2,9 @@
 
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::{Key, KeyValue, Value};
+use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
 use parking_lot::RwLock;
+use rayon::prelude::*;
 
 /// How the key space is partitioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,9 +111,23 @@ impl<I: LearnedIndex> ShardedIndex<I> {
         total
     }
 
-    /// Runs `f` on every shard's inner index with an exclusive lock — used to
-    /// apply CSV optimisation (or SALI workload flattening) shard by shard.
-    pub fn with_shards_mut<F: FnMut(&mut I)>(&self, mut f: F) {
+    /// Runs `f` on every shard's inner index with an exclusive lock, fanning
+    /// the shards out across the rayon thread pool — used to apply CSV
+    /// optimisation (or SALI workload flattening) to all shards at once.
+    /// Shards are disjoint by construction, so per-shard mutations cannot
+    /// conflict; `f` must be `Fn + Sync` because multiple shards run it
+    /// concurrently.
+    pub fn with_shards_mut<F>(&self, f: F)
+    where
+        I: Send + Sync,
+        F: Fn(&mut I) + Sync,
+    {
+        self.shards.par_iter().for_each(|shard| f(&mut shard.index.write()));
+    }
+
+    /// Sequential variant of [`ShardedIndex::with_shards_mut`] for closures
+    /// that accumulate state across shards.
+    pub fn with_shards_mut_seq<F: FnMut(&mut I)>(&self, mut f: F) {
         for shard in &self.shards {
             f(&mut shard.index.write());
         }
@@ -121,6 +137,20 @@ impl<I: LearnedIndex> ShardedIndex<I> {
     /// the results (diagnostics, per-shard statistics).
     pub fn map_shards<T, F: FnMut(&I) -> T>(&self, mut f: F) -> Vec<T> {
         self.shards.iter().map(|s| f(&s.index.read())).collect()
+    }
+}
+
+impl<I: LearnedIndex + CsvIntegrable + Send + Sync> ShardedIndex<I> {
+    /// Applies CSV (Algorithm 2) to every shard concurrently. Each shard
+    /// runs the sequential per-shard sweep — the shards themselves already
+    /// saturate the thread pool, so nesting the optimizer's own parallelism
+    /// inside would only oversubscribe. Returns the per-shard reports in
+    /// shard (key) order.
+    pub fn optimize(&self, optimizer: &CsvOptimizer) -> Vec<CsvReport> {
+        self.shards
+            .par_iter()
+            .map(|shard| optimizer.optimize(&mut *shard.index.write()))
+            .collect()
     }
 }
 
@@ -271,14 +301,50 @@ mod tests {
 
     #[test]
     fn with_shards_mut_applies_to_every_shard() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let keys = Dataset::Osm.generate(10_000, 21);
         let sharded =
             ShardedIndex::<LippIndex>::bulk_load(&identity_records(&keys), ShardingConfig { num_shards: 4 });
-        let mut touched = 0usize;
+        let touched = AtomicUsize::new(0);
         sharded.with_shards_mut(|shard| {
-            touched += 1;
+            touched.fetch_add(1, Ordering::Relaxed);
             assert!(shard.len() > 0);
         });
-        assert_eq!(touched, 4);
+        assert_eq!(touched.load(Ordering::Relaxed), 4);
+        let mut touched_seq = 0usize;
+        sharded.with_shards_mut_seq(|shard| {
+            touched_seq += 1;
+            assert!(shard.len() > 0);
+        });
+        assert_eq!(touched_seq, 4);
+    }
+
+    #[test]
+    fn parallel_optimize_matches_sequential_per_shard_optimization() {
+        use csv_core::CsvConfig;
+        let keys = Dataset::Genome.generate(60_000, 13);
+        let records = identity_records(&keys);
+        let config = ShardingConfig { num_shards: 8 };
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
+
+        let parallel = ShardedIndex::<LippIndex>::bulk_load(&records, config);
+        let reports = parallel.optimize(&optimizer);
+        assert_eq!(reports.len(), 8);
+
+        let sequential = ShardedIndex::<LippIndex>::bulk_load(&records, config);
+        let mut seq_reports = Vec::new();
+        sequential.with_shards_mut_seq(|shard| {
+            seq_reports.push(optimizer.optimize(shard));
+        });
+
+        for (par, seq) in reports.iter().zip(&seq_reports) {
+            assert_eq!(par.outcomes, seq.outcomes);
+            assert_eq!(par.subtrees_rebuilt, seq.subtrees_rebuilt);
+        }
+        assert_eq!(parallel.stats(), sequential.stats());
+        for &k in keys.iter().step_by(17) {
+            assert_eq!(parallel.get(k), Some(k));
+            assert_eq!(parallel.get(k), sequential.get(k));
+        }
     }
 }

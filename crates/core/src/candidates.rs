@@ -126,13 +126,16 @@ fn bisect_derivative(coeffs: &crate::segment::GapCoefficients, mut lo: f64, mut 
     0.5 * (lo + hi)
 }
 
-/// Scans every gap and returns the globally best candidate, if any candidate
-/// improves on `current_loss`.
-pub fn best_candidate(state: &SegmentState) -> Option<Candidate> {
-    let gaps = enumerate_gaps(state);
+/// Scans every gap and returns the globally best candidate, counting each
+/// evaluated gap in `refits`. Ties keep the first gap in key order — the
+/// selection rule of Algorithm 1's scan, which the greedy drivers in
+/// [`crate::single`] must all agree on; this function is its only
+/// implementation over a streamed scan.
+pub fn best_candidate_counted(state: &SegmentState, refits: &mut usize) -> Option<Candidate> {
     let mut best: Option<Candidate> = None;
-    for gap in &gaps {
-        if let Some(c) = best_candidate_in_gap(state, gap) {
+    for gap in enumerate_gaps(state) {
+        if let Some(c) = best_candidate_in_gap(state, &gap) {
+            *refits += 1;
             match &best {
                 Some(b) if b.loss <= c.loss => {}
                 _ => best = Some(c),
@@ -140,6 +143,12 @@ pub fn best_candidate(state: &SegmentState) -> Option<Candidate> {
         }
     }
     best
+}
+
+/// Scans every gap and returns the globally best candidate.
+pub fn best_candidate(state: &SegmentState) -> Option<Candidate> {
+    let mut refits = 0;
+    best_candidate_counted(state, &mut refits)
 }
 
 #[cfg(test)]

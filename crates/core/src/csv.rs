@@ -16,6 +16,7 @@ use crate::cost::{CostCondition, SubtreeCostStats};
 use crate::layout::SmoothedLayout;
 use crate::single::{smooth_segment, SmoothingConfig, SmoothingResult};
 use csv_common::Key;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -81,9 +82,17 @@ pub struct CsvConfig {
 impl CsvConfig {
     /// Default configuration for LIPP-style indexes (no leaf search): sweep
     /// only level 2 sub-trees with a loss-based condition.
+    ///
+    /// Uses the lazy-heap greedy driver: it matches Rescan's result (falling
+    /// back to a full rescan whenever its pruning invariant breaks) while
+    /// performing a small fraction of the model refits, which dominates the
+    /// pre-processing cost on production-sized sub-trees.
     pub fn for_lipp(alpha: f64) -> Self {
         Self {
-            smoothing: SmoothingConfig::with_alpha(alpha),
+            smoothing: SmoothingConfig {
+                mode: crate::single::GreedyMode::Lazy,
+                ..SmoothingConfig::with_alpha(alpha)
+            },
             condition: CostCondition::LossBased { min_relative_improvement: 0.0 },
             start_level: StartLevel::Fixed(2),
             stop_level: 2,
@@ -97,10 +106,14 @@ impl CsvConfig {
     }
 
     /// Default configuration for ALEX-style indexes: full bottom-up sweep
-    /// with the Eq. 22 cost model.
+    /// with the Eq. 22 cost model (lazy greedy driver, like
+    /// [`CsvConfig::for_lipp`]).
     pub fn for_alex(alpha: f64, model: crate::cost::CostModel) -> Self {
         Self {
-            smoothing: SmoothingConfig::with_alpha(alpha),
+            smoothing: SmoothingConfig {
+                mode: crate::single::GreedyMode::Lazy,
+                ..SmoothingConfig::with_alpha(alpha)
+            },
             condition: CostCondition::Model(model),
             start_level: StartLevel::Deepest,
             stop_level: 2,
@@ -150,6 +163,9 @@ pub struct CsvReport {
     pub keys_rebuilt: usize,
     /// Virtual points added across all rebuilt sub-trees.
     pub virtual_points_added: usize,
+    /// Closed-form candidate refits spent by Algorithm 1 across all
+    /// sub-trees (see [`crate::single::SmoothingCounters::gap_refits`]).
+    pub gap_refits: usize,
     /// Wall-clock pre-processing time of the whole CSV run.
     pub preprocessing_time: Duration,
 }
@@ -182,65 +198,161 @@ impl CsvOptimizer {
         &self.config
     }
 
-    /// Runs CSV on `index` and returns the run report.
-    pub fn optimize<I: CsvIntegrable>(&self, index: &mut I) -> CsvReport {
-        let started = Instant::now();
-        let mut report = CsvReport::default();
-
+    /// The level range of the bottom-up sweep, or `None` when the index is
+    /// too flat to optimise.
+    fn sweep_levels<I: CsvIntegrable + ?Sized>(&self, index: &I) -> Option<(usize, usize)> {
         let max_level = index.csv_max_level();
         if max_level < self.config.stop_level {
-            report.preprocessing_time = started.elapsed();
-            return report;
+            return None;
         }
         let start_level = match self.config.start_level {
             StartLevel::Deepest => max_level,
             StartLevel::Fixed(l) => l.min(max_level),
         };
         if start_level < self.config.stop_level {
-            report.preprocessing_time = started.elapsed();
-            return report;
+            return None;
         }
+        Some((start_level, self.config.stop_level))
+    }
 
-        // Bottom-up sweep: deepest level first (Algorithm 2, lines 5–15).
-        for level in (self.config.stop_level..=start_level).rev() {
-            let subtrees = index.csv_subtrees_at_level(level);
-            for subtree in subtrees {
-                report.subtrees_considered += 1;
-                let keys = index.csv_collect_keys(&subtree);
-                if keys.len() < 2 || keys.len() > self.config.max_subtree_keys {
-                    continue;
-                }
-                let before_cost = index.csv_subtree_cost(&subtree);
-                let smoothed: SmoothingResult = smooth_segment(&keys, &self.config.smoothing);
-                let after_cost = SubtreeCostStats::of_layout(&smoothed.layout);
-                let rebuild = self.config.condition.should_rebuild(
-                    smoothed.loss_before,
-                    smoothed.loss_after_all,
-                    &before_cost,
-                    &after_cost,
-                );
-                let mut rebuilt = false;
-                if rebuild {
-                    rebuilt = index.csv_rebuild_subtree(&subtree, &smoothed.layout);
-                    if rebuilt {
-                        report.subtrees_rebuilt += 1;
-                        report.keys_rebuilt += keys.len();
-                        report.virtual_points_added += smoothed.virtual_points.len();
+    /// The read-only half of one Algorithm 2 step: collect the sub-tree's
+    /// keys, smooth them and evaluate the cost condition. Returns `None`
+    /// when the sub-tree is skipped (too small or over the size guard).
+    fn evaluate_subtree<I: CsvIntegrable + ?Sized>(
+        &self,
+        index: &I,
+        subtree: SubtreeRef,
+    ) -> Option<SubtreeEvaluation> {
+        let keys = index.csv_collect_keys(&subtree);
+        if keys.len() < 2 || keys.len() > self.config.max_subtree_keys {
+            return None;
+        }
+        let before_cost = index.csv_subtree_cost(&subtree);
+        let smoothed: SmoothingResult = smooth_segment(&keys, &self.config.smoothing);
+        let after_cost = SubtreeCostStats::of_layout(&smoothed.layout);
+        let rebuild = self.config.condition.should_rebuild(
+            smoothed.loss_before,
+            smoothed.loss_after_all,
+            &before_cost,
+            &after_cost,
+        );
+        Some(SubtreeEvaluation {
+            subtree,
+            num_keys: keys.len(),
+            loss_before: smoothed.loss_before,
+            loss_after: smoothed.loss_after_all,
+            virtual_points: smoothed.virtual_points.len(),
+            gap_refits: smoothed.counters.gap_refits,
+            // Rejected evaluations drop the layout right here, so a
+            // level-wide parallel batch never holds a second copy of every
+            // sub-tree's keys — only of the ones it is about to rebuild.
+            layout: rebuild.then_some(smoothed.layout),
+        })
+    }
+
+    /// The mutating half of one Algorithm 2 step: apply the rebuild decision
+    /// and record the outcome.
+    fn apply_evaluation<I: CsvIntegrable + ?Sized>(
+        &self,
+        index: &mut I,
+        evaluation: SubtreeEvaluation,
+        report: &mut CsvReport,
+    ) {
+        let SubtreeEvaluation {
+            subtree,
+            num_keys,
+            loss_before,
+            loss_after,
+            virtual_points,
+            gap_refits,
+            layout,
+        } = evaluation;
+        let mut rebuilt = false;
+        if let Some(layout) = layout {
+            rebuilt = index.csv_rebuild_subtree(&subtree, &layout);
+            if rebuilt {
+                report.subtrees_rebuilt += 1;
+                report.keys_rebuilt += num_keys;
+                report.virtual_points_added += virtual_points;
+            }
+        }
+        report.gap_refits += gap_refits;
+        report.outcomes.push(NodeOutcome {
+            subtree,
+            num_keys,
+            loss_before,
+            loss_after,
+            virtual_points,
+            rebuilt,
+        });
+    }
+
+    /// Runs CSV on `index` sequentially and returns the run report.
+    ///
+    /// Prefer [`CsvOptimizer::optimize_parallel`] when the index type is
+    /// `Sync`; this entry point exists for trait objects and single-threaded
+    /// contexts and processes sub-trees in the exact order of Algorithm 2.
+    pub fn optimize<I: CsvIntegrable + ?Sized>(&self, index: &mut I) -> CsvReport {
+        let started = Instant::now();
+        let mut report = CsvReport::default();
+        if let Some((start_level, stop_level)) = self.sweep_levels(index) {
+            // Bottom-up sweep: deepest level first (Algorithm 2, lines 5–15).
+            for level in (stop_level..=start_level).rev() {
+                for subtree in index.csv_subtrees_at_level(level) {
+                    report.subtrees_considered += 1;
+                    if let Some(evaluation) = self.evaluate_subtree(index, subtree) {
+                        self.apply_evaluation(index, evaluation, &mut report);
                     }
                 }
-                report.outcomes.push(NodeOutcome {
-                    subtree,
-                    num_keys: keys.len(),
-                    loss_before: smoothed.loss_before,
-                    loss_after: smoothed.loss_after_all,
-                    virtual_points: smoothed.virtual_points.len(),
-                    rebuilt,
-                });
             }
         }
         report.preprocessing_time = started.elapsed();
         report
     }
+
+    /// Runs CSV on `index`, fanning the per-sub-tree work of every level out
+    /// across the rayon thread pool.
+    ///
+    /// Sub-trees at one level are independent by construction (§5 of the
+    /// paper): they root disjoint key ranges, so collecting keys, smoothing
+    /// and evaluating the cost condition are pure reads that can run
+    /// concurrently. Rebuilds mutate the arena and are applied sequentially
+    /// afterwards, in the same sub-tree order as [`CsvOptimizer::optimize`],
+    /// so both entry points produce identical reports and identical rebuilt
+    /// indexes. Levels still run one after another because a rebuild at
+    /// level `l` changes which sub-trees exist at `l − 1`.
+    pub fn optimize_parallel<I: CsvIntegrable + Sync + ?Sized>(&self, index: &mut I) -> CsvReport {
+        let started = Instant::now();
+        let mut report = CsvReport::default();
+        if let Some((start_level, stop_level)) = self.sweep_levels(index) {
+            for level in (stop_level..=start_level).rev() {
+                let subtrees = index.csv_subtrees_at_level(level);
+                report.subtrees_considered += subtrees.len();
+                let shared: &I = index;
+                let evaluations: Vec<Option<SubtreeEvaluation>> = subtrees
+                    .par_iter()
+                    .map(|subtree| self.evaluate_subtree(shared, *subtree))
+                    .collect();
+                for evaluation in evaluations.into_iter().flatten() {
+                    self.apply_evaluation(index, evaluation, &mut report);
+                }
+            }
+        }
+        report.preprocessing_time = started.elapsed();
+        report
+    }
+}
+
+/// The outcome of the read-only half of one Algorithm 2 step.
+struct SubtreeEvaluation {
+    subtree: SubtreeRef,
+    num_keys: usize,
+    loss_before: f64,
+    loss_after: f64,
+    virtual_points: usize,
+    gap_refits: usize,
+    /// Present only when the cost condition accepted the rebuild.
+    layout: Option<SmoothedLayout>,
 }
 
 #[cfg(test)]
@@ -372,6 +484,27 @@ mod tests {
         // The same configuration on the expensive toy index does rebuild.
         let report = optimizer.optimize(&mut index);
         assert_eq!(report.subtrees_rebuilt, 1);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        let segments: Vec<Vec<Key>> =
+            (0..24).map(|i| skewed_segment(i * 50_000)).collect();
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+
+        let mut sequential = ToyIndex::new(segments.clone());
+        let sequential_report = optimizer.optimize(&mut sequential);
+
+        let mut parallel = ToyIndex::new(segments);
+        let parallel_report = optimizer.optimize_parallel(&mut parallel);
+
+        assert_eq!(sequential_report.outcomes, parallel_report.outcomes);
+        assert_eq!(sequential_report.subtrees_considered, parallel_report.subtrees_considered);
+        assert_eq!(sequential_report.subtrees_rebuilt, parallel_report.subtrees_rebuilt);
+        assert_eq!(sequential_report.keys_rebuilt, parallel_report.keys_rebuilt);
+        assert_eq!(sequential_report.virtual_points_added, parallel_report.virtual_points_added);
+        assert_eq!(sequential_report.gap_refits, parallel_report.gap_refits);
+        assert_eq!(sequential.flattened, parallel.flattened);
     }
 
     #[test]

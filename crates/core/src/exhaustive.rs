@@ -54,47 +54,45 @@ pub fn exhaustive_smooth(keys: &[Key], alpha: f64, max_candidates: usize) -> Opt
         return None;
     }
 
-    let mut best_loss = loss_before;
-    let mut best_subset: Vec<Key> = Vec::new();
-    let mut subsets_evaluated = 1usize; // the empty subset
-
     // Depth-first enumeration of subsets of size <= lambda.
-    let mut chosen: Vec<Key> = Vec::with_capacity(lambda);
-    fn recurse(
-        candidates: &[Key],
-        start: usize,
-        remaining: usize,
-        keys: &[Key],
-        chosen: &mut Vec<Key>,
-        best_loss: &mut f64,
-        best_subset: &mut Vec<Key>,
-        subsets_evaluated: &mut usize,
-    ) {
-        if remaining == 0 {
-            return;
-        }
-        for i in start..candidates.len() {
-            chosen.push(candidates[i]);
-            let loss = loss_of_subset(keys, chosen);
-            *subsets_evaluated += 1;
-            if loss < *best_loss {
-                *best_loss = loss;
-                *best_subset = chosen.clone();
+    struct Search<'a> {
+        candidates: &'a [Key],
+        keys: &'a [Key],
+        chosen: Vec<Key>,
+        best_loss: f64,
+        best_subset: Vec<Key>,
+        subsets_evaluated: usize,
+    }
+
+    impl Search<'_> {
+        fn recurse(&mut self, start: usize, remaining: usize) {
+            if remaining == 0 {
+                return;
             }
-            recurse(candidates, i + 1, remaining - 1, keys, chosen, best_loss, best_subset, subsets_evaluated);
-            chosen.pop();
+            for i in start..self.candidates.len() {
+                self.chosen.push(self.candidates[i]);
+                let loss = loss_of_subset(self.keys, &self.chosen);
+                self.subsets_evaluated += 1;
+                if loss < self.best_loss {
+                    self.best_loss = loss;
+                    self.best_subset = self.chosen.clone();
+                }
+                self.recurse(i + 1, remaining - 1);
+                self.chosen.pop();
+            }
         }
     }
-    recurse(
-        &candidates,
-        0,
-        lambda,
+
+    let mut search = Search {
+        candidates: &candidates,
         keys,
-        &mut chosen,
-        &mut best_loss,
-        &mut best_subset,
-        &mut subsets_evaluated,
-    );
+        chosen: Vec::with_capacity(lambda),
+        best_loss: loss_before,
+        best_subset: Vec::new(),
+        subsets_evaluated: 1, // the empty subset
+    };
+    search.recurse(0, lambda);
+    let Search { best_subset, subsets_evaluated, .. } = search;
 
     // Materialise the winning layout.
     let mut state = SegmentState::from_keys(keys);

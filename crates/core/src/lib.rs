@@ -48,6 +48,34 @@ pub mod segment;
 pub mod single;
 
 pub use candidates::{best_candidate_in_gap, Candidate, GapBounds};
+
+/// Configures the global rayon thread pool to `threads` workers (0 = leave
+/// the auto-detected width untouched).
+///
+/// The global pool can only be built once per process — real rayon errors
+/// on any later `build_global` call — so the first successful call wins and
+/// later calls with a *different* width emit a warning instead of failing.
+/// Shared by the CLI driver and the experiments binary.
+pub fn configure_global_threads(threads: usize) {
+    if threads == 0 {
+        return;
+    }
+    // `None` records that the pool was already initialized elsewhere and
+    // could not be configured at all.
+    static CONFIGURED: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let configured = *CONFIGURED.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new().num_threads(threads).build_global().ok().map(|()| threads)
+    });
+    match configured {
+        Some(width) if width == threads => {}
+        Some(width) => eprintln!(
+            "warning: thread pool already configured ({width} threads); ignoring request for {threads}"
+        ),
+        None => eprintln!(
+            "warning: global thread pool was already initialized; ignoring request for {threads} threads"
+        ),
+    }
+}
 pub use cost::{CostCondition, CostModel};
 pub use csv::{CsvConfig, CsvIntegrable, CsvOptimizer, CsvReport, NodeOutcome, SubtreeRef};
 pub use exhaustive::exhaustive_smooth;
@@ -58,4 +86,4 @@ pub use quadratic_smoothing::{
     QuadraticSmoothingResult,
 };
 pub use segment::SegmentState;
-pub use single::{smooth_segment, GreedyMode, SmoothingConfig, SmoothingResult};
+pub use single::{smooth_segment, GreedyMode, SmoothingConfig, SmoothingCounters, SmoothingResult};

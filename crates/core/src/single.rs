@@ -9,13 +9,39 @@
 //! Two driver modes are provided:
 //!
 //! * [`GreedyMode::Rescan`] — the faithful transcription of Algorithm 1:
-//!   every iteration re-evaluates every gap. This is the default and the
-//!   mode used for all paper experiments.
-//! * [`GreedyMode::Lazy`] — a lazy-greedy variant that keeps per-gap best
-//!   candidates in a max-improvement heap and only re-evaluates the top
-//!   entry. Because refitting changes every gap's loss slightly, this is an
-//!   approximation; the `greedy_mode` ablation bench quantifies the
-//!   difference.
+//!   every iteration re-evaluates every gap, so each of the λ iterations
+//!   costs one closed-form refit per gap.
+//! * [`GreedyMode::Lazy`] — a CELF-style lazy-greedy driver. Per-gap best
+//!   candidates live in a max-heap keyed by *marginal gain* (the loss
+//!   improvement the candidate would deliver), with entries tagged by the
+//!   insertion epoch they were computed at. Each iteration pops entries off
+//!   the top: stale entries (computed before the latest insertion) are
+//!   re-evaluated against the current sufficient statistics and pushed back
+//!   with the current epoch; a fresh top entry wins the iteration. Only
+//!   entries that surface near the top are ever re-evaluated, so most gaps
+//!   are never refit after their initial evaluation.
+//!
+//!   The lazy selection equals the Rescan selection whenever the stored
+//!   (stale) gains behave as *upper bounds* of the current gains — the
+//!   diminishing-returns property lazy greedy relies on. The driver checks
+//!   that invariant on every re-validation: if a refreshed entry comes back
+//!   with a *larger* gain than its stored value (beyond fp tolerance), the
+//!   upper-bound argument is void and the driver falls back to a full
+//!   rescan of every gap for that iteration, which is exact by
+//!   construction. When no fallback triggers (re-validation "converged"),
+//!   the chosen candidate provably matches what Rescan would have chosen
+//!   *provided the invariant holds for the entries that never surfaced*:
+//!   the winner was evaluated at the current epoch, every remaining entry
+//!   stores a gain ≤ the winner's (heap order), and under the invariant its
+//!   current gain is no larger than its stored one. Violations confined to
+//!   buried entries are undetectable without paying the full rescan they
+//!   would avoid; on datasets that provoke them (heavily clustered key
+//!   spaces) the lazy driver can insert a slightly different — still
+//!   strictly loss-reducing — point sequence. The `smoothing_scaling` bench
+//!   quantifies both the refits avoided and any divergence.
+//!
+//! Both drivers expose [`SmoothingCounters`] so benches can quantify how
+//! many refits the lazy heap avoids.
 
 use crate::candidates::{best_candidate_in_gap, enumerate_gaps, GapBounds};
 use crate::layout::SmoothedLayout;
@@ -30,8 +56,32 @@ pub enum GreedyMode {
     /// Re-evaluate every gap on every iteration (Algorithm 1 as published).
     #[default]
     Rescan,
-    /// Lazy-greedy with stale-entry re-validation (approximate, faster).
+    /// CELF-style lazy-greedy with stale-entry re-validation and an exact
+    /// full-rescan fallback when the lower-bound invariant breaks.
     Lazy,
+}
+
+/// Relative tolerance for the lazy driver's invariant check: stored gains
+/// must remain upper bounds of current gains, so a re-validated entry whose
+/// refreshed gain exceeds its stored gain by more than this (relative)
+/// margin counts as a genuine violation rather than floating-point noise
+/// and triggers the exact fallback rescan.
+const LAZY_DRIFT_TOLERANCE: f64 = 1e-9;
+
+/// Instrumentation counters of one smoothing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmoothingCounters {
+    /// Closed-form candidate refits: evaluations of a gap's best candidate
+    /// against the current sufficient statistics. This is the unit of work
+    /// both greedy drivers spend almost all their time on.
+    pub gap_refits: usize,
+    /// Refits that re-validated a stale heap entry (lazy driver only).
+    pub stale_revalidations: usize,
+    /// Iterations the lazy driver resolved with a full rescan because the
+    /// lower-bound invariant was violated.
+    pub fallback_rescans: usize,
+    /// Heap entries pushed across the run (lazy driver only).
+    pub heap_pushes: usize,
 }
 
 /// Configuration of the single-segment smoothing.
@@ -90,6 +140,8 @@ pub struct SmoothingResult {
     pub iterations: usize,
     /// The budget λ that was available.
     pub budget: usize,
+    /// Work counters of the greedy driver.
+    pub counters: SmoothingCounters,
 }
 
 impl SmoothingResult {
@@ -110,13 +162,18 @@ pub fn smooth_segment(keys: &[Key], config: &SmoothingConfig) -> SmoothingResult
     let budget = config.budget(keys.len());
     let mut state = SegmentState::from_keys(keys);
     let mut virtual_points = Vec::new();
+    let mut counters = SmoothingCounters::default();
 
     let iterations = if budget == 0 || keys.len() < 2 {
         0
     } else {
         match config.mode {
-            GreedyMode::Rescan => run_rescan(&mut state, budget, config.min_relative_gain, &mut virtual_points),
-            GreedyMode::Lazy => run_lazy(&mut state, budget, config.min_relative_gain, &mut virtual_points),
+            GreedyMode::Rescan => {
+                run_rescan(&mut state, budget, config.min_relative_gain, &mut virtual_points, &mut counters)
+            }
+            GreedyMode::Lazy => {
+                run_lazy(&mut state, budget, config.min_relative_gain, &mut virtual_points, &mut counters)
+            }
         }
     };
 
@@ -131,7 +188,42 @@ pub fn smooth_segment(keys: &[Key], config: &SmoothingConfig) -> SmoothingResult
         virtual_points,
         iterations,
         budget,
+        counters,
     }
+}
+
+/// One full pass over every gap: evaluates each gap's best candidate
+/// against the current statistics, in key order. Shared by the Rescan
+/// driver and the lazy driver's exact fallback.
+fn evaluate_all_gaps(
+    state: &SegmentState,
+    counters: &mut SmoothingCounters,
+) -> Vec<(crate::candidates::Candidate, GapBounds)> {
+    let mut evaluated = Vec::new();
+    for gap in enumerate_gaps(state) {
+        if let Some(c) = best_candidate_in_gap(state, &gap) {
+            counters.gap_refits += 1;
+            evaluated.push((c, gap));
+        }
+    }
+    evaluated
+}
+
+/// Index of the minimal-loss evaluation; ties keep the first gap in key
+/// order, matching Algorithm 1's scan order and
+/// [`crate::candidates::best_candidate_counted`] (the streamed form the
+/// Rescan driver uses). The lazy fallback's "exact by construction" claim
+/// rests on these agreeing, and the lazy heap's tie-break ([`HeapEntry`]'s
+/// `Ord`) mirrors the same rule for fresh-top wins.
+fn first_minimum(evaluated: &[(crate::candidates::Candidate, GapBounds)]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, (c, _)) in evaluated.iter().enumerate() {
+        match best {
+            Some(b) if evaluated[b].0.loss <= c.loss => {}
+            _ => best = Some(i),
+        }
+    }
+    best
 }
 
 fn run_rescan(
@@ -139,11 +231,16 @@ fn run_rescan(
     budget: usize,
     min_relative_gain: f64,
     virtual_points: &mut Vec<Key>,
+    counters: &mut SmoothingCounters,
 ) -> usize {
     let mut iterations = 0;
     let mut previous_loss = state.loss();
     while virtual_points.len() < budget {
-        let Some(best) = crate::candidates::best_candidate(state) else { break };
+        let Some(best) =
+            crate::candidates::best_candidate_counted(state, &mut counters.gap_refits)
+        else {
+            break;
+        };
         if !improves(previous_loss, best.loss, min_relative_gain) {
             break;
         }
@@ -155,15 +252,30 @@ fn run_rescan(
     iterations
 }
 
-/// Heap entry for the lazy driver, ordered by ascending candidate loss.
+/// Heap entry for the lazy driver, ordered by descending marginal gain and
+/// tagged with the insertion epoch it was computed at.
+///
+/// The heap is keyed on the *gain* (current total loss minus the candidate's
+/// refitted loss) rather than the absolute loss: gains are comparable across
+/// epochs, while absolute losses shrink globally with every insertion and
+/// would bury stale-but-good entries under fresher ones.
 struct HeapEntry {
+    /// `loss(current state) − loss(state ∪ {value})` at evaluation time.
+    gain: f64,
+    /// The candidate's refitted loss at evaluation time.
     loss: f64,
+    /// Loss-minimising candidate value inside `gap` at evaluation time.
+    value: Key,
     gap: GapBounds,
+    /// Number of virtual points inserted when the entry was evaluated; an
+    /// entry is *fresh* while this matches the driver's current epoch and
+    /// *stale* afterwards.
+    epoch: usize,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.loss == other.loss
+        self.gain == other.gain && self.gap.lo == other.gap.lo
     }
 }
 impl Eq for HeapEntry {}
@@ -174,8 +286,14 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the smallest loss pops first.
-        other.loss.partial_cmp(&self.loss).unwrap_or(Ordering::Equal)
+        // BinaryHeap is a max-heap: the largest gain pops first. Equal
+        // gains pop the gap earliest in key order — the same tie rule as
+        // `first_minimum`, so fresh-top wins stay deterministic and aligned
+        // with the Rescan driver.
+        self.gain
+            .partial_cmp(&other.gain)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.gap.lo.cmp(&self.gap.lo))
     }
 }
 
@@ -184,50 +302,117 @@ fn run_lazy(
     budget: usize,
     min_relative_gain: f64,
     virtual_points: &mut Vec<Key>,
+    counters: &mut SmoothingCounters,
 ) -> usize {
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut epoch = 0usize;
+    let mut previous_loss = state.loss();
     for gap in enumerate_gaps(state) {
         if let Some(c) = best_candidate_in_gap(state, &gap) {
-            heap.push(HeapEntry { loss: c.loss, gap });
+            counters.gap_refits += 1;
+            counters.heap_pushes += 1;
+            heap.push(HeapEntry {
+                gain: previous_loss - c.loss,
+                loss: c.loss,
+                value: c.value,
+                gap,
+                epoch,
+            });
         }
     }
     let mut iterations = 0;
-    let mut previous_loss = state.loss();
     while virtual_points.len() < budget {
-        let Some(entry) = heap.pop() else { break };
-        // The stored loss may be stale; recompute for the gap as it is now.
-        // The gap may also have been split by an earlier insertion, in which
-        // case re-deriving it from the current state keeps bounds valid.
-        let gap = refresh_gap(state, &entry.gap);
-        let Some(gap) = gap else { continue };
-        let Some(current) = best_candidate_in_gap(state, &gap) else { continue };
-        let is_still_best = match heap.peek() {
-            Some(next) => current.loss <= next.loss,
-            None => true,
+        // Pop until the top entry is fresh, re-validating stale entries
+        // against the current statistics (CELF). Each gap is re-validated at
+        // most once per epoch, so this terminates; in the worst case it does
+        // the same work as one Rescan iteration.
+        let winner: Option<(Key, f64, GapBounds)> = loop {
+            let Some(entry) = heap.pop() else { break None };
+            if entry.epoch == epoch {
+                break Some((entry.value, entry.loss, entry.gap));
+            }
+            // The gap may have been shrunk by earlier insertions at its
+            // ends; re-derive bounds before re-evaluating.
+            let Some(gap) = refresh_gap(state, &entry.gap) else { continue };
+            let Some(current) = best_candidate_in_gap(state, &gap) else { continue };
+            counters.gap_refits += 1;
+            counters.stale_revalidations += 1;
+            let current_gain = previous_loss - current.loss;
+            if current_gain > entry.gain + LAZY_DRIFT_TOLERANCE * (1.0 + entry.gain.abs()) {
+                // This gap's marginal gain *grew* since it was stored: the
+                // stored gains are no longer upper bounds, so the lazy
+                // selection argument is void. Resolve this iteration with a
+                // full rescan — exact by construction — and repopulate the
+                // heap with the freshly evaluated non-winning gaps. They are
+                // pushed with the *current* epoch (valid for this
+                // pre-insertion state), go stale with the insertion below,
+                // and are re-validated on demand as usual.
+                heap.clear();
+                counters.fallback_rescans += 1;
+                let evaluated = evaluate_all_gaps(state, counters);
+                let Some(best_idx) = first_minimum(&evaluated) else { break None };
+                for (i, (c, gap)) in evaluated.iter().enumerate() {
+                    if i != best_idx {
+                        counters.heap_pushes += 1;
+                        heap.push(HeapEntry {
+                            gain: previous_loss - c.loss,
+                            loss: c.loss,
+                            value: c.value,
+                            gap: *gap,
+                            epoch,
+                        });
+                    }
+                }
+                let (winner_candidate, winner_gap) = evaluated[best_idx];
+                break Some((winner_candidate.value, winner_candidate.loss, winner_gap));
+            }
+            counters.heap_pushes += 1;
+            heap.push(HeapEntry {
+                gain: current_gain,
+                loss: current.loss,
+                value: current.value,
+                gap,
+                epoch,
+            });
         };
-        if !is_still_best {
-            heap.push(HeapEntry { loss: current.loss, gap });
-            continue;
-        }
-        if !improves(previous_loss, current.loss, min_relative_gain) {
+        let Some((inserted, winner_loss, gap)) = winner else { break };
+        if !improves(previous_loss, winner_loss, min_relative_gain) {
             break;
         }
-        let inserted = current.value;
         state.insert_virtual(inserted);
         virtual_points.push(inserted);
-        previous_loss = current.loss;
+        previous_loss = winner_loss;
         iterations += 1;
-        // The insertion splits the gap into (at most) two new gaps.
+        epoch += 1;
+        // The insertion splits the winning gap into (at most) two new gaps;
+        // their candidates are evaluated against the post-insertion state
+        // and therefore enter the heap fresh.
         if inserted > gap.lo {
             let left = GapBounds { lo: gap.lo, hi: inserted - 1, rank: gap.rank };
             if let Some(c) = best_candidate_in_gap(state, &left) {
-                heap.push(HeapEntry { loss: c.loss, gap: left });
+                counters.gap_refits += 1;
+                counters.heap_pushes += 1;
+                heap.push(HeapEntry {
+                    gain: previous_loss - c.loss,
+                    loss: c.loss,
+                    value: c.value,
+                    gap: left,
+                    epoch,
+                });
             }
         }
         if inserted < gap.hi {
             let right = GapBounds { lo: inserted + 1, hi: gap.hi, rank: gap.rank + 1 };
             if let Some(c) = best_candidate_in_gap(state, &right) {
-                heap.push(HeapEntry { loss: c.loss, gap: right });
+                counters.gap_refits += 1;
+                counters.heap_pushes += 1;
+                heap.push(HeapEntry {
+                    gain: previous_loss - c.loss,
+                    loss: c.loss,
+                    value: c.value,
+                    gap: right,
+                    epoch,
+                });
             }
         }
     }
@@ -358,6 +543,87 @@ mod tests {
             lazy.loss_after_all,
             rescan.loss_after_all
         );
+    }
+
+    #[test]
+    fn lazy_matches_rescan_loss_across_alphas() {
+        let keys = example_keys();
+        for alpha in [0.1, 0.2, 0.5, 0.8] {
+            let rescan = smooth_segment(&keys, &SmoothingConfig::with_alpha(alpha));
+            let lazy = smooth_segment(
+                &keys,
+                &SmoothingConfig { mode: GreedyMode::Lazy, ..SmoothingConfig::with_alpha(alpha) },
+            );
+            assert!(
+                (lazy.loss_after_all - rescan.loss_after_all).abs()
+                    <= 1e-9 * (1.0 + rescan.loss_after_all),
+                "alpha {alpha}: lazy {} vs rescan {}",
+                lazy.loss_after_all,
+                rescan.loss_after_all
+            );
+            assert_eq!(lazy.virtual_points.len(), rescan.virtual_points.len(), "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn lazy_refits_strictly_fewer_times_on_large_segments() {
+        // A synthetic hard segment: clustered runs with irregular jumps, the
+        // regime where smoothing inserts many points. The lazy driver must
+        // reach the same loss with strictly fewer closed-form refits.
+        let mut keys: Vec<Key> = Vec::new();
+        let mut k = 0u64;
+        for i in 0..5_000u64 {
+            k += 1 + (i * i) % 97 + if i % 50 == 0 { 1_000 } else { 0 };
+            keys.push(k);
+        }
+        let base = SmoothingConfig { alpha: 1.0, max_budget: Some(64), ..SmoothingConfig::default() };
+        let rescan = smooth_segment(&keys, &base);
+        let lazy = smooth_segment(&keys, &SmoothingConfig { mode: GreedyMode::Lazy, ..base });
+        assert!(rescan.iterations > 0, "the segment must actually get smoothed");
+        assert!(
+            (lazy.loss_after_all - rescan.loss_after_all).abs()
+                <= 1e-6 * (1.0 + rescan.loss_after_all),
+            "lazy {} vs rescan {}",
+            lazy.loss_after_all,
+            rescan.loss_after_all
+        );
+        assert!(
+            lazy.counters.gap_refits < rescan.counters.gap_refits,
+            "lazy refits {} must beat rescan refits {}",
+            lazy.counters.gap_refits,
+            rescan.counters.gap_refits
+        );
+        // The whole point of the heap: most gaps are never touched again.
+        assert!(lazy.counters.stale_revalidations < rescan.counters.gap_refits / 2);
+    }
+
+    #[test]
+    fn streaming_selection_matches_first_minimum() {
+        let keys = example_keys();
+        let mut state = SegmentState::from_keys(&keys);
+        for _ in 0..4 {
+            let mut c1 = SmoothingCounters::default();
+            let mut refits = 0usize;
+            let evaluated = evaluate_all_gaps(&state, &mut c1);
+            let via_index = first_minimum(&evaluated).map(|i| evaluated[i].0);
+            let via_stream = crate::candidates::best_candidate_counted(&state, &mut refits);
+            assert_eq!(via_stream, via_index);
+            assert_eq!(c1.gap_refits, refits);
+            let Some(best) = via_stream else { break };
+            state.insert_virtual(best.value);
+        }
+    }
+
+    #[test]
+    fn counters_reflect_rescan_work() {
+        let keys = example_keys();
+        let result = smooth_segment(&keys, &SmoothingConfig::with_alpha(0.5));
+        // Rescan evaluates every gap once per iteration plus the final
+        // iteration that finds no improvement.
+        assert!(result.counters.gap_refits >= result.iterations);
+        assert_eq!(result.counters.stale_revalidations, 0);
+        assert_eq!(result.counters.fallback_rescans, 0);
+        assert_eq!(result.counters.heap_pushes, 0);
     }
 
     #[test]

@@ -316,7 +316,7 @@ impl RangeIndex for PgmIndex {
             let buffer_key = self.buffer.get(j).map(|&(k, _)| k).filter(|&k| k <= hi);
             match (static_key, buffer_key) {
                 (None, None) => break,
-                (Some(k), bk) if bk.map_or(true, |b| k < b) => {
+                (Some(k), bk) if bk.is_none_or(|b| k < b) => {
                     if !self.is_tombstoned(k) {
                         out.push(KeyValue::new(k, self.values[i]));
                     }

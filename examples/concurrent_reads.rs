@@ -23,9 +23,8 @@ fn main() {
 
     let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
     let enhanced = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
-    enhanced.with_shards_mut(|shard| {
-        CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(shard);
-    });
+    // All 16 shards are optimised concurrently on the rayon pool.
+    enhanced.optimize(&CsvOptimizer::new(CsvConfig::for_lipp(0.1)));
     println!(
         "Sharded LIPP over {KEYS} Genome-like keys: {} shards, {} keys, {:.1} MiB (plain) vs {:.1} MiB (CSV)",
         plain.num_shards(),

@@ -1,0 +1,57 @@
+//! Property tests pinning down the central contract of the parallel
+//! optimisation pipeline: `CsvOptimizer::optimize_parallel` is
+//! observationally identical to the sequential `optimize` — same report,
+//! same rebuilt structure, same lookups — on any dataset, smoothing
+//! threshold and thread-pool width.
+
+use csv_common::traits::LearnedIndex;
+use csv_core::{CsvConfig, CsvOptimizer};
+use csv_lipp::LippIndex;
+use csv_repro::records_from_keys;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_csv_sweep_matches_sequential(
+        keys in btree_set(0u64..3_000_000, 512..2_000),
+        alpha in 0.05f64..0.4,
+        threads in 2usize..9,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let records = records_from_keys(&keys);
+        // A scoped pool per case: the global pool can only be built once per
+        // process, so per-case widths must not go through it.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(alpha));
+
+        let mut sequential = LippIndex::bulk_load(&records);
+        let sequential_report = optimizer.optimize(&mut sequential);
+
+        let mut parallel = LippIndex::bulk_load(&records);
+        let parallel_report = pool.install(|| optimizer.optimize_parallel(&mut parallel));
+
+        // Identical reports, outcome for outcome and in the same order.
+        prop_assert_eq!(&sequential_report.outcomes, &parallel_report.outcomes);
+        prop_assert_eq!(sequential_report.subtrees_considered, parallel_report.subtrees_considered);
+        prop_assert_eq!(sequential_report.subtrees_rebuilt, parallel_report.subtrees_rebuilt);
+        prop_assert_eq!(sequential_report.keys_rebuilt, parallel_report.keys_rebuilt);
+        prop_assert_eq!(sequential_report.virtual_points_added, parallel_report.virtual_points_added);
+        prop_assert_eq!(sequential_report.gap_refits, parallel_report.gap_refits);
+
+        // Identical rebuilt structure.
+        prop_assert_eq!(sequential.stats(), parallel.stats());
+
+        // Identical lookups: every loaded key hits in both, probes around
+        // the key range miss in both.
+        for &k in &keys {
+            prop_assert_eq!(parallel.get(k), Some(k));
+            prop_assert_eq!(parallel.get(k), sequential.get(k));
+        }
+        for probe in [0u64, 1_500_000, 2_999_999, 3_000_001] {
+            prop_assert_eq!(parallel.get(probe), sequential.get(probe));
+        }
+    }
+}

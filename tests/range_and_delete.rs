@@ -9,7 +9,7 @@ use csv_btree::BPlusTree;
 use csv_common::rng::XorShift64;
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::{Key, KeyValue};
-use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer};
+use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::Dataset;
 use csv_lipp::LippIndex;
 use csv_pgm::PgmIndex;
@@ -34,7 +34,7 @@ where
     for op in 0..4_000u64 {
         match op % 8 {
             // Point lookups on present and absent keys.
-            0 | 1 | 2 => {
+            0..=2 => {
                 let k = if op % 2 == 0 {
                     keys[rng.next_below(keys.len() as u64) as usize]
                 } else {

@@ -1,0 +1,173 @@
+//! Offline stub for `bytes`.
+//!
+//! `Vec<u8>`-backed implementations of `Bytes`/`BytesMut` and the little
+//! slice of `Buf`/`BufMut` the SOSD I/O code needs. No reference counting or
+//! zero-copy splitting — `freeze` simply transfers the buffer.
+
+use std::ops::Deref;
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes. Panics when fewer than `n` remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads a little-endian `u64`, advancing the cursor. Panics when fewer
+    /// than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads one byte, advancing the cursor. Panics when empty.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let value = u64::from_le_bytes(head.try_into().expect("split_at(8) yields 8 bytes"));
+        *self = rest;
+        value
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.to_vec() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+/// Mutable, growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(7);
+        buf.put_u64_le(u64::MAX);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 16);
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u64_le(), 7);
+        assert_eq!(cursor.remaining(), 8);
+        assert_eq!(cursor.get_u64_le(), u64::MAX);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn u8_and_advance() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u8(2);
+        buf.put_u8(3);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        cursor.advance(1);
+        assert_eq!(cursor.get_u8(), 2);
+        assert_eq!(Bytes::copy_from_slice(&frozen).to_vec(), vec![1, 2, 3]);
+    }
+}

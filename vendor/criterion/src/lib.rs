@@ -1,0 +1,356 @@
+//! Offline stub for `criterion`.
+//!
+//! A miniature wall-clock benchmark harness exposing the subset of the
+//! criterion API the workspace's benches use: benchmark groups with
+//! `sample_size`/`measurement_time`/`throughput`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, `BenchmarkId` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark takes `sample_size` samples; each
+//! sample times a batch of iterations sized so one sample costs roughly
+//! `measurement_time / sample_size`. The mean, min and max per-iteration
+//! times are printed as `<group>/<id>  time: [...]`, plus element throughput
+//! when configured. Like real criterion, running without the `--bench` CLI
+//! argument (i.e. under `cargo test`) executes every benchmark body exactly
+//! once so benches stay cheap in test runs.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench code can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost; the stub runs one setup per
+/// routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// `true` when invoked under `cargo test` (no `--bench` argument).
+    quick: bool,
+    /// Samples to take.
+    samples: usize,
+    /// Total measurement budget.
+    budget: Duration,
+    /// Collected per-iteration durations (one entry per sample).
+    sample_means: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(quick: bool, samples: usize, budget: Duration) -> Self {
+        Self { quick, samples, budget, sample_means: Vec::new() }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: time one call to size the per-sample batch.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget.as_secs_f64() / self.samples as f64;
+        let iters = (per_sample / one.as_secs_f64()).clamp(1.0, 1e7) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_means.push(elapsed.as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let start = Instant::now();
+        let input = setup();
+        let setup_cost = start.elapsed();
+        let start = Instant::now();
+        black_box(routine(input));
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget.as_secs_f64() / self.samples as f64;
+        let iters = (per_sample / (one + setup_cost).as_secs_f64()).clamp(1.0, 1e6) as u64;
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.sample_means.push(total.as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates the group with a throughput so rates get reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher::new(self.criterion.quick, self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher::new(self.criterion.quick, self.sample_size, self.measurement_time);
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let label = format!("{}/{}", self.name, id.id);
+        if bencher.quick {
+            println!("{label}: ok (test mode, 1 iteration)");
+            return;
+        }
+        let samples = &bencher.sample_means;
+        if samples.is_empty() {
+            println!("{label}: no samples collected");
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let mut line = format!(
+            "{label}  time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                line.push_str(&format!("  thrpt: {:.0} elem/s", n as f64 / mean));
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                line.push_str(&format!("  thrpt: {:.1} MiB/s", n as f64 / mean / (1 << 20) as f64));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror real criterion: `cargo bench` passes `--bench`; its absence
+        // means we are running under `cargo test`, where each benchmark body
+        // executes once as a smoke test.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Self { quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("bench", f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("alpha", 3).id, "alpha/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).id, "0.5");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn quick_mode_runs_each_body_once() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.sample_size(50).measurement_time(Duration::from_secs(60));
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut c = Criterion { quick: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(30));
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("spin", 1), &5u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stub for `crossbeam`, covering the `crossbeam::thread::scope`
+//! API the workspace uses on top of `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention: the spawn
+    //! closure receives a `&Scope` argument (ignored by every caller in this
+    //! workspace) and `scope` returns a `Result` instead of propagating child
+    //! panics as a resumed unwind value.
+
+    /// Handle passed to `scope`'s closure; wraps the std scope so nested
+    /// spawns keep working.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope again so
+        /// crossbeam-style `|_| ...` closures (and nested spawns) work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&this)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panicking child panics the calling thread (std
+    /// semantics), so the `Ok` returned here is unconditional; callers'
+    /// `.expect(...)` never fires but keeps the crossbeam call shape.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

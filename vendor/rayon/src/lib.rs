@@ -1,0 +1,400 @@
+//! Offline stub for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses — `par_iter`,
+//! `into_par_iter`, `map`/`for_each`/`collect`, `join`, and the global
+//! thread-count configuration — on top of `std::thread::scope`. Work is
+//! split into one contiguous chunk per worker (no work stealing), which is
+//! the right shape for the workspace's workloads: uniform-cost batches of
+//! sub-tree smoothing jobs and per-shard index sweeps. Results always come
+//! back in input order.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = not configured; fall back to `std::thread::available_parallelism`.
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread width override installed by [`ThreadPool::install`];
+    /// 0 = no override.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// A scoped thread-pool width, mirroring `rayon::ThreadPool`.
+///
+/// The stub has no persistent workers; `install` scopes the width to the
+/// calling thread for the duration of the closure, which covers the
+/// supported usage (parallel operations invoked directly from the installed
+/// closure).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width active.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.num_threads.max(1)));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// This pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.max(1)
+    }
+}
+
+/// Error type mirroring rayon's; the stub's global build cannot fail but the
+/// call sites keep their `Result` handling.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the global pool.
+///
+/// The stub has no persistent pool; `build_global` records the requested
+/// width, which every subsequent parallel operation consults. Unlike rayon,
+/// calling it twice reconfigures instead of failing — convenient for tests.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; 0 means auto-detect.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the width globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds a scoped pool handle (see [`ThreadPool::install`]).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon-stub join worker panicked"), rb)
+    })
+}
+
+/// Order-preserving parallel map over a shared slice: one contiguous chunk
+/// per worker, results concatenated in input order.
+fn chunked_map<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(impl Fn(&'a T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out
+}
+
+/// Order-preserving parallel map consuming a vector.
+fn chunked_map_owned<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out
+}
+
+/// Conversion that `collect()` on the stub's parallel iterators targets.
+pub trait FromParallelVec<R> {
+    /// Builds the collection from results already gathered in input order.
+    fn from_parallel_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelVec<R> for Vec<R> {
+    fn from_parallel_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f, _out: PhantomData }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        chunked_map(self.items, &f);
+    }
+
+    /// Accepted for API compatibility; chunking is already coarse.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// Result of `ParIter::map`.
+pub struct ParMap<'a, T, R, F> {
+    items: &'a [T],
+    f: F,
+    _out: PhantomData<R>,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Gathers the mapped results in input order.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        C::from_parallel_vec(chunked_map(self.items, &self.f))
+    }
+}
+
+/// Owning parallel iterator over a vector.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps each element in parallel, consuming the input.
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap { items: self.items, f, _out: PhantomData }
+    }
+
+    /// Runs `f` on every element in parallel, consuming the input.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        chunked_map_owned(self.items, &f);
+    }
+}
+
+/// Result of `IntoParIter::map`.
+pub struct IntoParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<R>,
+}
+
+impl<T, R, F> IntoParMap<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Gathers the mapped results in input order.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        C::from_parallel_vec(chunked_map_owned(self.items, &self.f))
+    }
+}
+
+/// `par_iter()` entry point (the prelude trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: 'a;
+    /// Returns a borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self.as_slice() }
+    }
+}
+
+/// `into_par_iter()` entry point (the prelude trait).
+pub trait IntoParallelIterator {
+    /// Owned element type.
+    type Item: Send;
+    /// Returns an owning parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter { items: self.collect() }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), input.len());
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn into_par_map_preserves_order() {
+        let input: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[499], 3);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..777).collect();
+        items.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 777);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn thread_pool_builder_configures_width() {
+        crate::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_pools_override_and_restore() {
+        crate::ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 5);
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 5);
+        assert_eq!(crate::current_num_threads(), 2);
+        crate::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stub for `serde`.
+//!
+//! See `serde_derive`'s crate docs for the rationale. `Serialize` and
+//! `Deserialize` are blanket-implemented marker traits here: any generic
+//! bound on them is satisfied and the derives (re-exported from the stub
+//! `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the lifetime parameter of the real trait is dropped because no
+/// code in this workspace deserialises).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,24 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The build environment has no network access and no vendored copy of the
+//! real serde, so the workspace ships this minimal substitute: the derive
+//! macros accept the same syntax (including `#[serde(...)]` attributes) and
+//! expand to nothing. The matching `serde` stub crate provides blanket
+//! implementations of the marker traits, so `#[derive(Serialize)]` plus a
+//! `T: Serialize` bound both compile while no code in the workspace actually
+//! serialises anything. Swap both stubs for the real crates by pointing the
+//! `[patch]`-free workspace dependencies back at crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
