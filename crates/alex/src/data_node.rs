@@ -166,6 +166,17 @@ impl DataNode {
             .collect()
     }
 
+    /// Appends the stored keys (ascending within the node) to `buf` without
+    /// materialising records — the zero-copy path CSV key collection uses.
+    pub fn keys_into(&self, buf: &mut Vec<Key>) {
+        buf.reserve(self.num_keys);
+        for i in 0..self.capacity() {
+            if self.occupied[i] {
+                buf.push(self.slot_keys[i]);
+            }
+        }
+    }
+
     /// Finds the slot holding `key`, if present, plus the probes spent.
     fn locate(&self, key: Key) -> (Option<usize>, usize) {
         if self.num_keys == 0 {

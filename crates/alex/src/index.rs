@@ -6,7 +6,7 @@ use csv_common::metrics::CostCounters;
 use csv_common::traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
 use csv_common::{Key, KeyValue, LinearModel, Value};
 use csv_core::cost::SubtreeCostStats;
-use csv_core::csv::{CsvIntegrable, SubtreeRef};
+use csv_core::csv::{CsvIntegrable, RebuildRefusal, SubtreeRef};
 use csv_core::layout::SmoothedLayout;
 
 /// Construction parameters of the ALEX tree.
@@ -190,15 +190,22 @@ impl AlexIndex {
         count
     }
 
-    fn collect_records(&self, node_id: usize) -> Vec<KeyValue> {
-        let mut out = Vec::new();
+    /// Depth-first visit of every data node in the sub-tree rooted at
+    /// `node_id` — the one traversal behind record/key collection and the
+    /// cost statistics.
+    fn for_each_data_node(&self, node_id: usize, mut f: impl FnMut(&DataNode)) {
         let mut stack = vec![node_id];
         while let Some(id) = stack.pop() {
             match &self.nodes[id] {
                 Node::Internal { children, .. } => stack.extend(children.iter().copied()),
-                Node::Data(dn) => out.extend(dn.records()),
+                Node::Data(dn) => f(dn),
             }
         }
+    }
+
+    fn collect_records(&self, node_id: usize) -> Vec<KeyValue> {
+        let mut out = Vec::new();
+        self.for_each_data_node(node_id, |dn| out.extend(dn.records()));
         out.sort_unstable_by_key(|r| r.key);
         out
     }
@@ -211,18 +218,12 @@ impl AlexIndex {
         let mut num_keys = 0usize;
         let mut depth_sum = 0.0f64;
         let mut search_sum = 0.0f64;
-        let mut stack = vec![node_id];
-        while let Some(id) = stack.pop() {
-            match &self.nodes[id] {
-                Node::Internal { children, .. } => stack.extend(children.iter().copied()),
-                Node::Data(dn) => {
-                    let keys = dn.num_keys();
-                    num_keys += keys;
-                    depth_sum += (dn.level - base_level + 1) as f64 * keys as f64;
-                    search_sum += dn.expected_searches() * keys as f64;
-                }
-            }
-        }
+        self.for_each_data_node(node_id, |dn| {
+            let keys = dn.num_keys();
+            num_keys += keys;
+            depth_sum += (dn.level - base_level + 1) as f64 * keys as f64;
+            search_sum += dn.expected_searches() * keys as f64;
+        });
         if num_keys == 0 {
             SubtreeCostStats { num_keys: 0, mean_key_depth: 0.0, expected_searches: 0.0 }
         } else {
@@ -412,17 +413,23 @@ impl CsvIntegrable for AlexIndex {
         out
     }
 
-    fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key> {
-        self.collect_records(subtree.node_id).into_iter().map(|r| r.key).collect()
+    fn csv_collect_keys_into(&self, subtree: &SubtreeRef, buf: &mut Vec<Key>) {
+        let start = buf.len();
+        self.for_each_data_node(subtree.node_id, |dn| dn.keys_into(buf));
+        buf[start..].sort_unstable();
     }
 
     fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats {
         self.subtree_cost_stats(subtree.node_id)
     }
 
-    fn csv_rebuild_subtree(&mut self, subtree: &SubtreeRef, layout: &SmoothedLayout) -> bool {
+    fn csv_rebuild_subtree(
+        &mut self,
+        subtree: &SubtreeRef,
+        layout: &SmoothedLayout,
+    ) -> Result<(), RebuildRefusal> {
         if layout.num_slots() > self.config.max_merged_slots {
-            return false;
+            return Err(RebuildRefusal::CapacityExceeded);
         }
         let node_id = subtree.node_id;
         let level = match &self.nodes[node_id] {
@@ -431,16 +438,21 @@ impl CsvIntegrable for AlexIndex {
         };
         let records = self.collect_records(node_id);
         if records.len() != layout.num_real() {
-            return false;
+            return Err(RebuildRefusal::StaleLayout);
         }
-        // Desired slot of every real record = its rank in the smoothed layout.
+        // Desired slot of every real record = its rank in the smoothed
+        // layout. A key mismatch means the sub-tree's contents changed since
+        // the layout was planned (possible in the short-lock sharded path,
+        // where writes can land between plan and apply).
         let mut ranks = Vec::with_capacity(records.len());
         for (rank, entry) in layout.entries().iter().enumerate() {
             if entry.is_real() {
+                if records[ranks.len()].key != entry.key() {
+                    return Err(RebuildRefusal::StaleLayout);
+                }
                 ranks.push(rank);
             }
         }
-        debug_assert_eq!(ranks.len(), records.len());
         let merged = DataNode::build_from_layout(
             &records,
             level,
@@ -450,7 +462,7 @@ impl CsvIntegrable for AlexIndex {
         );
         self.free_descendants(node_id);
         self.nodes[node_id] = Node::Data(merged);
-        true
+        Ok(())
     }
 }
 
@@ -566,7 +578,7 @@ mod tests {
         for &k in keys.iter().step_by(211) {
             assert_eq!(index.get(k), Some(k));
         }
-        assert!(report.subtrees_considered > 0);
+        assert!(report.subtrees_considered() > 0);
         // Merging reduces the node count whenever anything was rebuilt.
         if report.subtrees_rebuilt > 0 {
             assert!(after.node_count <= before.node_count);
@@ -598,14 +610,31 @@ mod tests {
         let mut collected = index.csv_collect_keys(&subtree);
         collected.pop();
         let layout = SmoothedLayout::identity(&collected);
-        assert!(!index.csv_rebuild_subtree(&subtree, &layout));
+        assert_eq!(
+            index.csv_rebuild_subtree(&subtree, &layout),
+            Err(csv_core::csv::RebuildRefusal::StaleLayout)
+        );
+
+        // Same key count but a different key set (what a concurrent
+        // remove+insert between plan and apply produces) is stale too.
+        let mut swapped = index.csv_collect_keys(&subtree);
+        let last = swapped.len() - 1;
+        swapped[last] += 1;
+        let layout = SmoothedLayout::identity(&swapped);
+        assert_eq!(
+            index.csv_rebuild_subtree(&subtree, &layout),
+            Err(csv_core::csv::RebuildRefusal::StaleLayout)
+        );
 
         let tiny_config = AlexConfig { max_merged_slots: 4, ..AlexConfig::default() };
         let mut tiny = AlexIndex::with_config(&identity_records(&keys), tiny_config);
         let subtree = tiny.csv_subtrees_at_level(tiny.csv_max_level()).into_iter().next().unwrap();
         let full = tiny.csv_collect_keys(&subtree);
         let layout = SmoothedLayout::identity(&full);
-        assert!(!tiny.csv_rebuild_subtree(&subtree, &layout));
+        assert_eq!(
+            tiny.csv_rebuild_subtree(&subtree, &layout),
+            Err(csv_core::csv::RebuildRefusal::CapacityExceeded)
+        );
     }
 
     #[test]

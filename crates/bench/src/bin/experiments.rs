@@ -1,9 +1,12 @@
 //! Command-line driver regenerating the paper's tables and figures.
 //!
 //! Usage:
-//!   experiments <name> [--size N] [--queries Q] [--seed S] [--threads T] [--greedy lazy|rescan]
-//!   experiments all --size 200000 --threads 8
-//!   experiments table3 --greedy rescan        # paper-faithful Algorithm 1 driver
+//!
+//! ```text
+//! experiments <name> [--size N] [--queries Q] [--seed S] [--threads T] [--greedy lazy|rescan]
+//! experiments all --size 200000 --threads 8
+//! experiments table3 --greedy rescan        # paper-faithful Algorithm 1 driver
+//! ```
 //!
 //! `<name>` is one of: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //! table1 table2 table3 table4 all (fig6/fig7/fig8 share one α sweep).

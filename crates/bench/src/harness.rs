@@ -102,8 +102,8 @@ impl OptimizeBoxed for CsvOptimizer {
             fn csv_subtrees_at_level(&self, level: usize) -> Vec<csv_core::csv::SubtreeRef> {
                 self.0.csv_subtrees_at_level(level)
             }
-            fn csv_collect_keys(&self, s: &csv_core::csv::SubtreeRef) -> Vec<Key> {
-                self.0.csv_collect_keys(s)
+            fn csv_collect_keys_into(&self, s: &csv_core::csv::SubtreeRef, buf: &mut Vec<Key>) {
+                self.0.csv_collect_keys_into(s, buf)
             }
             fn csv_subtree_cost(&self, s: &csv_core::csv::SubtreeRef) -> csv_core::cost::SubtreeCostStats {
                 self.0.csv_subtree_cost(s)
@@ -112,7 +112,7 @@ impl OptimizeBoxed for CsvOptimizer {
                 &mut self,
                 s: &csv_core::csv::SubtreeRef,
                 l: &csv_core::layout::SmoothedLayout,
-            ) -> bool {
+            ) -> Result<(), csv_core::csv::RebuildRefusal> {
                 self.0.csv_rebuild_subtree(s, l)
             }
         }
@@ -209,7 +209,7 @@ mod tests {
 
             let (enhanced, report) = build_enhanced(kind, &keys, 0.1);
             assert_eq!(enhanced.len(), keys.len());
-            assert!(report.subtrees_considered >= report.subtrees_rebuilt);
+            assert!(report.subtrees_considered() >= report.subtrees_rebuilt);
         }
     }
 

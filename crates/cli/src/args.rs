@@ -128,6 +128,9 @@ pub struct CliArgs {
     /// Greedy driver for Algorithm 1: the lazy heap (default) or the
     /// paper-faithful full rescan.
     pub greedy: GreedyMode,
+    /// Plan-only mode: print the CSV plan as JSON without applying it (and
+    /// without replaying any workload).
+    pub dry_run: bool,
 }
 
 impl Default for CliArgs {
@@ -143,6 +146,7 @@ impl Default for CliArgs {
             seed: 42,
             threads: 0,
             greedy: GreedyMode::Lazy,
+            dry_run: false,
         }
     }
 }
@@ -153,11 +157,14 @@ impl CliArgs {
         "csv-index [--index alex|lipp|sali|pgm|btree] [--dataset facebook|covid|osm|genome]\n\
          \u{20}         [--dataset-file PATH.sosd] [--size N] [--alpha A] [--threads T]\n\
          \u{20}         [--greedy lazy|rescan] [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn]\n\
-         \u{20}         [--ops N] [--seed S]\n\
+         \u{20}         [--ops N] [--seed S] [--dry-run]\n\
          \n\
          Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
          smoothing (alpha > 0) using T worker threads (0 = one per core) and the chosen\n\
-         greedy driver, replays the workload and prints structure and latency reports."
+         greedy driver, replays the workload and prints structure and latency reports.\n\
+         With --dry-run the CSV plan is printed as JSON and nothing is applied or replayed\n\
+         (exact for lipp/sali; for alex's multi-level sweep the upper levels are planned\n\
+         against the un-rebuilt structure, so a real run can decide those levels differently)."
     }
 
     /// Parses `--flag value` style arguments (anything after the program
@@ -169,6 +176,10 @@ impl CliArgs {
         while let Some(flag) = it.next() {
             if flag == "--help" || flag == "-h" {
                 return Err(CliError::new(Self::usage()));
+            }
+            if flag == "--dry-run" {
+                out.dry_run = true;
+                continue;
             }
             let value = it
                 .next()
@@ -310,6 +321,16 @@ mod tests {
         assert!(parse(&["--help"]).unwrap_err().message.contains("csv-index"));
         assert!(parse(&["--ops", "abc"]).unwrap_err().message.contains("integer"));
         assert!(parse(&["--dataset", "mars"]).unwrap_err().message.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn dry_run_is_a_valueless_flag() {
+        assert!(!parse(&[]).unwrap().dry_run);
+        assert!(parse(&["--dry-run"]).unwrap().dry_run);
+        // It must not consume the following flag as its value.
+        let args = parse(&["--dry-run", "--size", "5000"]).unwrap();
+        assert!(args.dry_run);
+        assert_eq!(args.size, 5_000);
     }
 
     #[test]

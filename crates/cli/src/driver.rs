@@ -8,7 +8,7 @@ use csv_common::latency::LatencyHistogram;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::Key;
 use csv_core::cost::CostModel;
-use csv_core::{CsvConfig, CsvOptimizer, CsvReport};
+use csv_core::{CsvConfig, CsvConfigBuilder, CsvOptimizer, CsvReport};
 use csv_datasets::{
     io, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity, ReadOnlyWorkload,
 };
@@ -39,11 +39,18 @@ pub struct RunSummary {
     pub scanned: usize,
     /// Per-operation latency histogram.
     pub latency: LatencyHistogram,
+    /// The CSV plan as JSON, set only in `--dry-run` mode (where nothing is
+    /// applied or replayed).
+    pub plan_json: Option<String>,
 }
 
 impl RunSummary {
-    /// Renders the human-readable report the binary prints.
+    /// Renders the human-readable report the binary prints (or, in
+    /// `--dry-run` mode, just the JSON plan so the output stays pipeable).
     pub fn render(&self) -> String {
+        if let Some(json) = &self.plan_json {
+            return format!("{json}\n");
+        }
         let mut out = String::new();
         out.push_str(&format!(
             "index: {} ({} keys, height {}, {} nodes, {:.1} MiB)\n",
@@ -55,9 +62,11 @@ impl RunSummary {
         ));
         if let Some(report) = &self.csv_report {
             out.push_str(&format!(
-                "csv: {} of {} sub-trees rebuilt, {} virtual points, {} refits in {:.2}s, mean key level {:.2} -> {:.2}, size {:+.1}%\n",
+                "csv: {} of {} sub-trees rebuilt ({} skipped, {} declined), {} virtual points, {} refits in {:.2}s, mean key level {:.2} -> {:.2}, size {:+.1}%\n",
                 report.subtrees_rebuilt,
-                report.subtrees_considered,
+                report.subtrees_considered(),
+                report.subtrees_skipped(),
+                report.rebuilds_declined(),
                 report.virtual_points_added,
                 report.gap_refits,
                 report.preprocessing_time.as_secs_f64(),
@@ -80,6 +89,17 @@ impl RunSummary {
 pub fn run(args: &CliArgs) -> Result<RunSummary, CliError> {
     // `0` keeps rayon's auto-detected width (one worker per core).
     csv_core::configure_global_threads(args.threads);
+    if args.dry_run {
+        if !args.index.supports_csv() {
+            return Err(CliError::new(format!(
+                "--dry-run plans a CSV optimisation, which {} does not support (use alex|lipp|sali)",
+                args.index.name()
+            )));
+        }
+        if args.alpha <= 0.0 {
+            return Err(CliError::new("--dry-run requires --alpha > 0 (alpha 0 disables CSV)"));
+        }
+    }
     let keys = load_keys(args)?;
     if keys.len() < 2 {
         return Err(CliError::new("the dataset must contain at least two unique keys"));
@@ -87,16 +107,25 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, CliError> {
     match args.index {
         IndexChoice::Alex => {
             let mut index = AlexIndex::bulk_load(&csv_common::key::identity_records(&keys));
+            if args.dry_run {
+                return Ok(dry_run(&index, args, true));
+            }
             let (before, report, after) = optimize(&mut index, args, true);
             Ok(replay(index, &keys, args, before, report, after))
         }
         IndexChoice::Lipp => {
             let mut index = LippIndex::bulk_load(&csv_common::key::identity_records(&keys));
+            if args.dry_run {
+                return Ok(dry_run(&index, args, false));
+            }
             let (before, report, after) = optimize(&mut index, args, false);
             Ok(replay(index, &keys, args, before, report, after))
         }
         IndexChoice::Sali => {
             let mut index = SaliIndex::bulk_load(&csv_common::key::identity_records(&keys));
+            if args.dry_run {
+                return Ok(dry_run(&index, args, false));
+            }
             let (before, report, after) = optimize(&mut index, args, false);
             Ok(replay(index, &keys, args, before, report, after))
         }
@@ -121,6 +150,15 @@ fn load_keys(args: &CliArgs) -> Result<Vec<Key>, CliError> {
     }
 }
 
+fn csv_config(args: &CliArgs, is_alex: bool) -> CsvConfig {
+    let builder = if is_alex {
+        CsvConfigBuilder::alex(CostModel::default())
+    } else {
+        CsvConfigBuilder::lipp()
+    };
+    builder.alpha(args.alpha).greedy(args.greedy).build()
+}
+
 fn optimize<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
     index: &mut I,
     args: &CliArgs,
@@ -130,13 +168,7 @@ fn optimize<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
     if args.alpha <= 0.0 {
         return (before.clone(), None, before);
     }
-    let mut config = if is_alex {
-        CsvConfig::for_alex(args.alpha, CostModel::default())
-    } else {
-        CsvConfig::for_lipp(args.alpha)
-    };
-    config.smoothing.mode = args.greedy;
-    let optimizer = CsvOptimizer::new(config);
+    let optimizer = CsvOptimizer::new(csv_config(args, is_alex));
     let report = if args.threads == 1 {
         optimizer.optimize(index)
     } else {
@@ -144,6 +176,40 @@ fn optimize<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
     };
     let after = index.stats();
     (before, Some(report), after)
+}
+
+/// `--dry-run`: computes the plan against the freshly built index and
+/// renders it as JSON; the index is never mutated and no workload runs.
+///
+/// For single-level sweeps (LIPP/SALI) the plan is exactly what the real
+/// run applies. ALEX sweeps multiple levels, and a real run re-plans each
+/// level after the deeper rebuilds have happened, so a dry-run plan's
+/// upper-level decisions are a snapshot approximation (see
+/// [`CsvOptimizer::plan`]); the usage text says so.
+fn dry_run<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
+    index: &I,
+    args: &CliArgs,
+    is_alex: bool,
+) -> RunSummary {
+    let optimizer = CsvOptimizer::new(csv_config(args, is_alex));
+    let plan = if args.threads == 1 {
+        optimizer.plan(index)
+    } else {
+        optimizer.plan_parallel(index)
+    };
+    let stats = index.stats();
+    RunSummary {
+        index_name: index.name(),
+        keys_loaded: stats.num_keys,
+        stats_before: stats.clone(),
+        stats_after: stats,
+        csv_report: None,
+        operations: 0,
+        hits: 0,
+        scanned: 0,
+        latency: LatencyHistogram::new(),
+        plan_json: Some(plan.to_json()),
+    }
 }
 
 fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
@@ -180,6 +246,7 @@ fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
         hits,
         scanned,
         latency,
+        plan_json: None,
     }
 }
 
@@ -249,7 +316,7 @@ mod tests {
     fn csv_is_applied_when_alpha_is_positive() {
         let summary = run(&small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.2)).unwrap();
         let report = summary.csv_report.as_ref().expect("CSV must run for alpha > 0");
-        assert!(report.subtrees_considered > 0);
+        assert!(report.subtrees_considered() > 0);
         assert!(
             summary.stats_after.mean_key_level() <= summary.stats_before.mean_key_level() + 1e-9
         );
@@ -257,6 +324,34 @@ mod tests {
         // Baselines do not support CSV and simply skip it.
         let baseline = run(&small_args(IndexChoice::Btree, WorkloadChoice::ReadOnly, 0.2)).unwrap();
         assert!(baseline.csv_report.is_none());
+    }
+
+    #[test]
+    fn dry_run_emits_a_json_plan_without_applying() {
+        let args = CliArgs { dry_run: true, ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.2) };
+        let summary = run(&args).unwrap();
+        let json = summary.plan_json.as_deref().expect("dry-run must produce a plan");
+        assert!(json.contains("\"decisions\""));
+        assert!(json.contains("\"subtrees_considered\""));
+        // Nothing was applied or replayed.
+        assert_eq!(summary.stats_before, summary.stats_after);
+        assert!(summary.csv_report.is_none());
+        assert_eq!(summary.operations, 0);
+        assert_eq!(summary.render().trim_end(), json);
+
+        // A real run over the same arguments does mutate the structure.
+        let applied = run(&small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.2)).unwrap();
+        assert!(applied.csv_report.unwrap().subtrees_rebuilt > 0);
+    }
+
+    #[test]
+    fn dry_run_rejects_unsupported_combinations() {
+        let baseline =
+            CliArgs { dry_run: true, ..small_args(IndexChoice::Btree, WorkloadChoice::ReadOnly, 0.2) };
+        assert!(run(&baseline).unwrap_err().message.contains("does not support"));
+        let no_alpha =
+            CliArgs { dry_run: true, ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.0) };
+        assert!(run(&no_alpha).unwrap_err().message.contains("--alpha > 0"));
     }
 
     #[test]

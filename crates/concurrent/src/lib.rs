@@ -11,8 +11,12 @@
 //! key.
 //!
 //! The wrapper is index-agnostic — any [`LearnedIndex`] (ALEX, LIPP, SALI,
-//! PGM, B+-tree) can be sharded, including CSV-optimised instances (optimise
-//! each shard via [`ShardedIndex::with_shards_mut`] after construction).
+//! PGM, B+-tree) can be sharded. CSV-integrable indexes are re-optimised in
+//! place via [`ShardedIndex::optimize`], which plans each shard's smoothing
+//! under a shared lock and takes the exclusive lock only to apply the
+//! rebuilds, so readers keep flowing during the expensive read phase.
+//!
+//! [`LearnedIndex`]: csv_common::traits::LearnedIndex
 
 pub mod sharded;
 pub mod throughput;

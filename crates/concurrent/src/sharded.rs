@@ -141,15 +141,38 @@ impl<I: LearnedIndex> ShardedIndex<I> {
 }
 
 impl<I: LearnedIndex + CsvIntegrable + Send + Sync> ShardedIndex<I> {
-    /// Applies CSV (Algorithm 2) to every shard concurrently. Each shard
-    /// runs the sequential per-shard sweep — the shards themselves already
-    /// saturate the thread pool, so nesting the optimizer's own parallelism
-    /// inside would only oversubscribe. Returns the per-shard reports in
-    /// shard (key) order.
+    /// Applies CSV (Algorithm 2) to every shard concurrently, using the
+    /// optimizer's plan → apply lifecycle to keep each shard's exclusive
+    /// lock short. Each shard runs the sequential per-shard sweep — the
+    /// shards themselves already saturate the thread pool, so nesting the
+    /// optimizer's own parallelism inside would only oversubscribe. Returns
+    /// the per-shard reports in shard (key) order.
+    ///
+    /// Per level, the read phase (key collection, smoothing, cost
+    /// condition) runs under a *shared* lock, so concurrent `get`s and
+    /// range scans on the shard proceed during the expensive smoothing
+    /// work; the exclusive lock is only held while the planned rebuilds are
+    /// applied. Writes that land between the two phases are safe: a rebuild
+    /// whose layout no longer matches the sub-tree is refused by the index
+    /// (`RebuildRefusal::StaleLayout`) and recorded in the report instead
+    /// of being applied blindly.
     pub fn optimize(&self, optimizer: &CsvOptimizer) -> Vec<CsvReport> {
         self.shards
             .par_iter()
-            .map(|shard| optimizer.optimize(&mut *shard.index.write()))
+            .map(|shard| {
+                let started = std::time::Instant::now();
+                let mut report = CsvReport::default();
+                let levels = optimizer.sweep_levels(&*shard.index.read());
+                if let Some((start_level, stop_level)) = levels {
+                    for level in (stop_level..=start_level).rev() {
+                        // Plan under the shared lock (dropped before apply).
+                        let plan = optimizer.plan_level(&*shard.index.read(), level);
+                        plan.apply_into(&mut *shard.index.write(), &mut report);
+                    }
+                }
+                report.preprocessing_time = started.elapsed();
+                report
+            })
             .collect()
     }
 }
@@ -317,6 +340,131 @@ mod tests {
             assert!(shard.len() > 0);
         });
         assert_eq!(touched_seq, 4);
+    }
+
+    /// Pins the short-lock contract: while a shard is in its *plan* phase
+    /// (key collection / smoothing under the shared lock), concurrent `get`s
+    /// on the same shard must proceed — only the apply phase may block them.
+    ///
+    /// A gated LIPP wrapper blocks inside the first `csv_collect_keys_into`
+    /// call (i.e. mid-plan, while the optimizer holds whatever lock it
+    /// holds) until the main thread has completed a lookup on the same —
+    /// only — shard. If `optimize` held the write lock during planning the
+    /// lookup could not finish, the gate would hit its escape timeout, and
+    /// the assertion on the timeout flag fails.
+    #[test]
+    fn gets_proceed_during_the_plan_phase() {
+        use csv_common::metrics::CostCounters;
+        use csv_common::traits::IndexStats;
+        use csv_core::cost::SubtreeCostStats;
+        use csv_core::csv::{RebuildRefusal, SubtreeRef};
+        use csv_core::layout::SmoothedLayout;
+        use csv_core::CsvConfig;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+
+        static GATE_ARMED: AtomicBool = AtomicBool::new(false);
+        static COLLECT_STARTED: AtomicBool = AtomicBool::new(false);
+        static READER_DONE: AtomicBool = AtomicBool::new(false);
+        static GATE_TIMED_OUT: AtomicBool = AtomicBool::new(false);
+
+        struct GatedLipp(LippIndex);
+
+        impl LearnedIndex for GatedLipp {
+            fn name(&self) -> &'static str {
+                "GatedLIPP"
+            }
+            fn bulk_load(records: &[KeyValue]) -> Self {
+                Self(LippIndex::bulk_load(records))
+            }
+            fn get(&self, key: Key) -> Option<Value> {
+                self.0.get(key)
+            }
+            fn get_counted(&self, key: Key, counters: &mut CostCounters) -> Option<Value> {
+                self.0.get_counted(key, counters)
+            }
+            fn insert(&mut self, key: Key, value: Value) -> bool {
+                self.0.insert(key, value)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn stats(&self) -> IndexStats {
+                self.0.stats()
+            }
+            fn level_of_key(&self, key: Key) -> Option<usize> {
+                self.0.level_of_key(key)
+            }
+        }
+
+        impl CsvIntegrable for GatedLipp {
+            fn csv_max_level(&self) -> usize {
+                self.0.csv_max_level()
+            }
+            fn csv_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+                self.0.csv_subtrees_at_level(level)
+            }
+            fn csv_collect_keys_into(&self, subtree: &SubtreeRef, buf: &mut Vec<Key>) {
+                self.0.csv_collect_keys_into(subtree, buf);
+                if GATE_ARMED.swap(false, Ordering::SeqCst) {
+                    COLLECT_STARTED.store(true, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    while !READER_DONE.load(Ordering::SeqCst) {
+                        if Instant::now() > deadline {
+                            GATE_TIMED_OUT.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+            fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats {
+                self.0.csv_subtree_cost(subtree)
+            }
+            fn csv_rebuild_subtree(
+                &mut self,
+                subtree: &SubtreeRef,
+                layout: &SmoothedLayout,
+            ) -> Result<(), RebuildRefusal> {
+                self.0.csv_rebuild_subtree(subtree, layout)
+            }
+        }
+
+        let keys = Dataset::Osm.generate(20_000, 7);
+        let records = identity_records(&keys);
+        // One shard: a write lock held during planning would block *every*
+        // lookup, so a successful mid-plan lookup proves the shared lock.
+        let sharded =
+            ShardedIndex::<GatedLipp>::bulk_load(&records, ShardingConfig { num_shards: 1 });
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
+
+        GATE_ARMED.store(true, Ordering::SeqCst);
+        crossbeam::thread::scope(|scope| {
+            let handle = scope.spawn(|_| sharded.optimize(&optimizer));
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !COLLECT_STARTED.load(Ordering::SeqCst) {
+                assert!(Instant::now() < deadline, "optimizer never reached key collection");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // The optimizer is parked inside its plan phase; lookups on the
+            // only shard must still be served.
+            for &k in keys.iter().step_by(4_999) {
+                assert_eq!(sharded.get(k), Some(k), "get blocked during the plan phase");
+            }
+            READER_DONE.store(true, Ordering::SeqCst);
+            let reports = handle.join().expect("optimizer thread must not panic");
+            assert_eq!(reports.len(), 1);
+            assert!(reports[0].subtrees_considered() > 0);
+        })
+        .expect("threads must not panic");
+
+        assert!(
+            !GATE_TIMED_OUT.load(Ordering::SeqCst),
+            "plan-phase gate timed out: lookups were blocked while planning"
+        );
+        for &k in keys.iter().step_by(997) {
+            assert_eq!(sharded.get(k), Some(k));
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A small, dependency-free harness used by the `concurrent_reads` example
 //! and the scalability bench: it fans a query batch out over a configurable
-//! number of threads against a [`ShardedIndex`](crate::ShardedIndex) and
+//! number of threads against a [`crate::ShardedIndex`] and
 //! reports aggregate throughput, which is how the SALI paper presents its
 //! scalability results.
 

@@ -9,8 +9,45 @@
 //! to upper levels, cutting traversal time; the cost model prevents merges
 //! that would pay for the promotion with excessive leaf-node search time.
 //!
-//! The coupling to a concrete index goes through [`CsvIntegrable`], which the
-//! ALEX, LIPP and SALI crates implement.
+//! # The plan → apply lifecycle
+//!
+//! §5 of the paper observes that sub-trees at one level root *disjoint* key
+//! ranges, so everything up to the rebuild decision — key collection,
+//! smoothing, the cost condition — is a pure read of the index; only the
+//! rebuild itself mutates it. The API makes that split explicit:
+//!
+//! * [`CsvOptimizer::plan`] (or [`CsvOptimizer::plan_parallel`], which fans
+//!   the per-sub-tree work out across the rayon pool) takes `&index` and
+//!   returns a [`CsvPlan`]: one [`PlannedSubtree`] per considered sub-tree,
+//!   carrying the accepted [`SmoothedLayout`] for sub-trees that passed the
+//!   cost condition and a typed skip/rejection record for the rest.
+//! * [`CsvPlan::apply`] takes `&mut index` and performs only the rebuilds,
+//!   in the deterministic Algorithm-2 order the plan was computed in, and
+//!   returns the [`CsvReport`].
+//!
+//! Because planning never mutates, a caller that guards the index with a
+//! reader–writer lock (see `csv_concurrent::ShardedIndex`) can plan under a
+//! *shared* lock and take the exclusive lock only for the short apply phase.
+//! A plan can also be inspected or serialized ([`CsvPlan::to_json`]) without
+//! ever touching the index — the CLI's `--dry-run` does exactly that.
+//!
+//! Multi-level sweeps ([`StartLevel::Deepest`], the ALEX configuration)
+//! interact with the split: a rebuild at level `l` changes the query-cost
+//! statistics of the enclosing sub-trees at level `l − 1`. The
+//! [`CsvOptimizer::optimize`] / [`CsvOptimizer::optimize_parallel`] wrappers
+//! therefore run one plan → apply round *per level* (identical to the
+//! classic fused sweep), while a single [`CsvOptimizer::plan`] snapshots
+//! every level against the current structure — exact for single-level
+//! sweeps such as [`CsvConfig::for_lipp`], a documented approximation of the
+//! level-`l − 1` cost statistics otherwise.
+//!
+//! The coupling to a concrete index goes through [`CsvIntegrable`], which
+//! the ALEX, LIPP and SALI crates implement. The contract is zero-copy on
+//! the hot path: [`CsvIntegrable::csv_collect_keys_into`] appends into a
+//! caller-owned scratch buffer that the optimizer reuses across sub-trees
+//! (thread-locally in the parallel path), and
+//! [`CsvIntegrable::csv_rebuild_subtree`] reports refusals as a typed
+//! [`RebuildRefusal`] instead of a bare `bool`.
 
 use crate::cost::{CostCondition, SubtreeCostStats};
 use crate::layout::SmoothedLayout;
@@ -18,6 +55,8 @@ use crate::single::{smooth_segment, SmoothingConfig, SmoothingResult};
 use csv_common::Key;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// A reference to a sub-tree of a hierarchical index: the arena id of its
@@ -30,6 +69,69 @@ pub struct SubtreeRef {
     pub level: usize,
 }
 
+/// Why an index declined to rebuild a sub-tree from an accepted layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RebuildRefusal {
+    /// The merged node would exceed a capacity / slot-count limit.
+    CapacityExceeded,
+    /// The layout no longer matches the sub-tree's current key set (the
+    /// sub-tree changed between planning and applying).
+    StaleLayout,
+    /// The rebuilt node would place keys deeper than they already are
+    /// (a smoothed model can still re-create conflicts).
+    WouldDemoteKeys,
+}
+
+impl fmt::Display for RebuildRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RebuildRefusal::CapacityExceeded => "capacity-exceeded",
+            RebuildRefusal::StaleLayout => "stale-layout",
+            RebuildRefusal::WouldDemoteKeys => "would-demote-keys",
+        })
+    }
+}
+
+/// Why the optimizer skipped a sub-tree without smoothing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkipReason {
+    /// Fewer than two keys — nothing to smooth.
+    TooSmall,
+    /// More keys than [`CsvConfig::max_subtree_keys`] (guards the O(λ·n)
+    /// smoothing cost on pathological sub-trees).
+    OverSizeGuard,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SkipReason::TooSmall => "too-small",
+            SkipReason::OverSizeGuard => "over-size-guard",
+        })
+    }
+}
+
+/// What ultimately happened to one considered sub-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// The cost condition accepted the smoothed layout and the index
+    /// rebuilt the sub-tree as a single flat node.
+    Rebuilt,
+    /// Smoothing ran but the cost condition rejected the rebuild.
+    CostRejected,
+    /// The cost condition accepted, but the index refused the rebuild.
+    Declined(RebuildRefusal),
+    /// The sub-tree was skipped before smoothing.
+    Skipped(SkipReason),
+}
+
+impl Decision {
+    /// `true` when the sub-tree was rebuilt.
+    pub fn is_rebuilt(&self) -> bool {
+        matches!(self, Decision::Rebuilt)
+    }
+}
+
 /// The hooks an index must expose so CSV can optimise it.
 pub trait CsvIntegrable {
     /// Deepest level that contains nodes with sub-trees (i.e. internal
@@ -40,16 +142,41 @@ pub trait CsvIntegrable {
     /// at that level which have at least one child node.
     fn csv_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef>;
 
-    /// Collects every (real) key stored in the sub-tree, in ascending order.
-    fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key>;
+    /// Appends every (real) key stored in the sub-tree to `buf`, in
+    /// ascending order.
+    ///
+    /// The optimizer clears and reuses one scratch buffer per worker across
+    /// all sub-trees of a planning pass, so implementations must append
+    /// (never allocate a fresh vector) and must not assume `buf` starts
+    /// empty beyond what the caller guarantees.
+    fn csv_collect_keys_into(&self, subtree: &SubtreeRef, buf: &mut Vec<Key>);
+
+    /// Convenience wrapper around [`CsvIntegrable::csv_collect_keys_into`]
+    /// that allocates a fresh vector. Diagnostics and one-off callers only;
+    /// the optimizer itself always goes through the buffered form.
+    fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key> {
+        let mut buf = Vec::new();
+        self.csv_collect_keys_into(subtree, &mut buf);
+        buf
+    }
 
     /// Query-cost statistics of the sub-tree as currently structured.
+    ///
+    /// `num_keys` must equal the number of keys
+    /// [`CsvIntegrable::csv_collect_keys_into`] would produce — the
+    /// optimizer's skip guards consult it *instead of* collecting, so
+    /// over-size-guard sub-trees are never materialised.
     fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats;
 
     /// Replaces the sub-tree with a single flat node laid out according to
-    /// `layout`. Returns `false` when the index declines the rebuild (e.g.
-    /// the layout exceeds a node-capacity limit).
-    fn csv_rebuild_subtree(&mut self, subtree: &SubtreeRef, layout: &SmoothedLayout) -> bool;
+    /// `layout`, or reports why the index declines the rebuild (e.g. the
+    /// layout exceeds a node-capacity limit, or no longer matches the
+    /// sub-tree's contents).
+    fn csv_rebuild_subtree(
+        &mut self,
+        subtree: &SubtreeRef,
+        layout: &SmoothedLayout,
+    ) -> Result<(), RebuildRefusal>;
 }
 
 /// Where CSV starts its bottom-up sweep.
@@ -121,6 +248,12 @@ impl CsvConfig {
         }
     }
 
+    /// A builder seeded with the LIPP defaults; see [`CsvConfigBuilder`] for
+    /// the index-family entry points.
+    pub fn builder() -> CsvConfigBuilder {
+        CsvConfigBuilder::lipp()
+    }
+
     /// The smoothing threshold α.
     pub fn alpha(&self) -> f64 {
         self.smoothing.alpha
@@ -133,6 +266,86 @@ impl Default for CsvConfig {
     }
 }
 
+/// Fluent construction of a [`CsvConfig`] starting from one of the paper's
+/// per-index-family presets, so callers (the CLI in particular) never
+/// hand-assemble the config struct field by field.
+///
+/// ```
+/// use csv_core::csv::CsvConfigBuilder;
+/// use csv_core::single::GreedyMode;
+///
+/// let config = CsvConfigBuilder::lipp().alpha(0.2).greedy(GreedyMode::Rescan).build();
+/// assert_eq!(config.alpha(), 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvConfigBuilder {
+    config: CsvConfig,
+}
+
+impl CsvConfigBuilder {
+    /// Starts from [`CsvConfig::for_lipp`] with the paper's default α = 0.1.
+    pub fn lipp() -> Self {
+        Self { config: CsvConfig::for_lipp(0.1) }
+    }
+
+    /// Starts from [`CsvConfig::for_sali`] with the paper's default α = 0.1.
+    pub fn sali() -> Self {
+        Self { config: CsvConfig::for_sali(0.1) }
+    }
+
+    /// Starts from [`CsvConfig::for_alex`] with the paper's default α = 0.1.
+    pub fn alex(model: crate::cost::CostModel) -> Self {
+        Self { config: CsvConfig::for_alex(0.1, model) }
+    }
+
+    /// Sets the smoothing threshold α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.smoothing.alpha = alpha;
+        self
+    }
+
+    /// Selects the Algorithm 1 greedy driver.
+    pub fn greedy(mut self, mode: crate::single::GreedyMode) -> Self {
+        self.config.smoothing.mode = mode;
+        self
+    }
+
+    /// Replaces the whole Algorithm 1 configuration.
+    pub fn smoothing(mut self, smoothing: SmoothingConfig) -> Self {
+        self.config.smoothing = smoothing;
+        self
+    }
+
+    /// Replaces the rebuild decision rule.
+    pub fn condition(mut self, condition: CostCondition) -> Self {
+        self.config.condition = condition;
+        self
+    }
+
+    /// Sets the first level of the bottom-up sweep.
+    pub fn start_level(mut self, start_level: StartLevel) -> Self {
+        self.config.start_level = start_level;
+        self
+    }
+
+    /// Sets the last level processed (inclusive).
+    pub fn stop_level(mut self, stop_level: usize) -> Self {
+        self.config.stop_level = stop_level;
+        self
+    }
+
+    /// Sets the per-sub-tree key-count guard.
+    pub fn max_subtree_keys(mut self, max_subtree_keys: usize) -> Self {
+        self.config.max_subtree_keys = max_subtree_keys;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> CsvConfig {
+        self.config
+    }
+}
+
 /// What happened to one inspected sub-tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeOutcome {
@@ -140,23 +353,32 @@ pub struct NodeOutcome {
     pub subtree: SubtreeRef,
     /// Number of keys collected from the sub-tree.
     pub num_keys: usize,
-    /// Loss before smoothing.
+    /// Loss before smoothing (0 for skipped sub-trees, which are never
+    /// smoothed).
     pub loss_before: f64,
-    /// Loss (over real + virtual points) after smoothing.
+    /// Loss (over real + virtual points) after smoothing (0 for skipped
+    /// sub-trees).
     pub loss_after: f64,
     /// Number of virtual points the smoothing inserted.
     pub virtual_points: usize,
-    /// Whether the sub-tree was rebuilt.
-    pub rebuilt: bool,
+    /// How the sub-tree was resolved.
+    pub decision: Decision,
+}
+
+impl NodeOutcome {
+    /// `true` when the sub-tree was rebuilt.
+    pub fn rebuilt(&self) -> bool {
+        self.decision.is_rebuilt()
+    }
 }
 
 /// Aggregate report of a CSV run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CsvReport {
-    /// Per-sub-tree outcomes, in processing order.
+    /// Per-sub-tree outcomes, in processing order. Every considered
+    /// sub-tree appears here, including the ones skipped before smoothing
+    /// (`Decision::Skipped`).
     pub outcomes: Vec<NodeOutcome>,
-    /// Sub-trees inspected.
-    pub subtrees_considered: usize,
     /// Sub-trees rebuilt as flat nodes.
     pub subtrees_rebuilt: usize,
     /// Real keys contained in rebuilt sub-trees.
@@ -166,25 +388,238 @@ pub struct CsvReport {
     /// Closed-form candidate refits spent by Algorithm 1 across all
     /// sub-trees (see [`crate::single::SmoothingCounters::gap_refits`]).
     pub gap_refits: usize,
-    /// Wall-clock pre-processing time of the whole CSV run.
+    /// Wall-clock pre-processing time of the whole CSV run (planning plus
+    /// applying).
     pub preprocessing_time: Duration,
 }
 
 impl CsvReport {
+    /// Sub-trees inspected — every one leaves an outcome, so the count is
+    /// derived rather than maintained.
+    pub fn subtrees_considered(&self) -> usize {
+        self.outcomes.len()
+    }
+
     /// Fraction of inspected sub-trees that were rebuilt.
     pub fn rebuild_rate(&self) -> f64 {
-        if self.subtrees_considered == 0 {
+        if self.outcomes.is_empty() {
             0.0
         } else {
-            self.subtrees_rebuilt as f64 / self.subtrees_considered as f64
+            self.subtrees_rebuilt as f64 / self.outcomes.len() as f64
         }
     }
+
+    /// Sub-trees skipped before smoothing (too small or over the size
+    /// guard).
+    pub fn subtrees_skipped(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o.decision, Decision::Skipped(_))).count()
+    }
+
+    /// Accepted rebuilds the index refused to perform.
+    pub fn rebuilds_declined(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o.decision, Decision::Declined(_))).count()
+    }
+}
+
+/// The planned resolution of one sub-tree: rebuild with an accepted layout,
+/// or a typed record of why no rebuild will happen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlannedAction {
+    /// The cost condition accepted this smoothed layout; applying the plan
+    /// rebuilds the sub-tree from it.
+    Rebuild(SmoothedLayout),
+    /// Smoothing ran but the cost condition rejected the rebuild.
+    CostRejected,
+    /// The sub-tree was skipped before smoothing.
+    Skipped(SkipReason),
+}
+
+/// The read-phase result for one considered sub-tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedSubtree {
+    /// The sub-tree the decision is about.
+    pub subtree: SubtreeRef,
+    /// Number of keys collected from the sub-tree.
+    pub num_keys: usize,
+    /// Loss before smoothing (0 for skipped sub-trees).
+    pub loss_before: f64,
+    /// Loss (over real + virtual points) after smoothing (0 for skipped
+    /// sub-trees).
+    pub loss_after: f64,
+    /// Number of virtual points the smoothing inserted.
+    pub virtual_points: usize,
+    /// Closed-form candidate refits Algorithm 1 spent on this sub-tree.
+    pub gap_refits: usize,
+    /// The planned resolution.
+    pub action: PlannedAction,
+}
+
+/// The read-only half of a CSV run: per-sub-tree decisions (with accepted
+/// layouts) computed without mutating the index. Produced by
+/// [`CsvOptimizer::plan`] / [`CsvOptimizer::plan_parallel`] /
+/// [`CsvOptimizer::plan_level`]; consumed by [`CsvPlan::apply`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CsvPlan {
+    decisions: Vec<PlannedSubtree>,
+    planning_time: Duration,
+}
+
+impl CsvPlan {
+    /// Per-sub-tree decisions, in deterministic Algorithm-2 order (levels
+    /// descending, sub-trees in enumeration order within a level).
+    pub fn decisions(&self) -> &[PlannedSubtree] {
+        &self.decisions
+    }
+
+    /// Number of considered sub-trees.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// `true` when no sub-tree was considered.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Number of sub-trees the plan will rebuild.
+    pub fn num_rebuilds(&self) -> usize {
+        self.decisions.iter().filter(|d| matches!(d.action, PlannedAction::Rebuild(_))).count()
+    }
+
+    /// Wall-clock time the read phase took.
+    pub fn planning_time(&self) -> Duration {
+        self.planning_time
+    }
+
+    /// The mutate phase: performs the planned rebuilds in plan order and
+    /// returns the run report. The report's `preprocessing_time` covers
+    /// planning plus applying.
+    ///
+    /// Applying is tolerant of the index having changed since planning: a
+    /// layout that no longer matches its sub-tree is refused by the index
+    /// ([`RebuildRefusal::StaleLayout`]) and recorded as
+    /// [`Decision::Declined`] instead of corrupting anything.
+    pub fn apply<I: CsvIntegrable + ?Sized>(&self, index: &mut I) -> CsvReport {
+        let started = Instant::now();
+        let mut report = CsvReport::default();
+        self.apply_into(index, &mut report);
+        report.preprocessing_time = self.planning_time + started.elapsed();
+        report
+    }
+
+    /// [`CsvPlan::apply`] accumulating into an existing report; does not
+    /// touch `preprocessing_time` (the caller owns the clock).
+    pub fn apply_into<I: CsvIntegrable + ?Sized>(&self, index: &mut I, report: &mut CsvReport) {
+        for planned in &self.decisions {
+            apply_planned(index, planned, report);
+        }
+    }
+
+    /// Renders the plan as a JSON document (accepted layouts summarised by
+    /// slot counts and the refitted model, so the output stays readable for
+    /// production-sized plans; the full layouts travel with the plan value
+    /// itself, e.g. through serde once the vendored stubs are swapped for
+    /// the real crates).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + 160 * self.decisions.len());
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"planning_time_ms\": {:.3},\n",
+            self.planning_time.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("  \"subtrees_considered\": {},\n", self.decisions.len()));
+        out.push_str(&format!("  \"subtrees_to_rebuild\": {},\n", self.num_rebuilds()));
+        out.push_str("  \"decisions\": [");
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"node_id\": {}, \"level\": {}, \"num_keys\": {}",
+                d.subtree.node_id, d.subtree.level, d.num_keys
+            ));
+            match &d.action {
+                PlannedAction::Skipped(reason) => {
+                    out.push_str(&format!(
+                        ", \"action\": \"skip\", \"reason\": \"{reason}\""
+                    ));
+                }
+                PlannedAction::CostRejected => {
+                    out.push_str(&format!(
+                        ", \"action\": \"cost-rejected\", \"loss_before\": {:.6}, \"loss_after\": {:.6}",
+                        d.loss_before, d.loss_after
+                    ));
+                }
+                PlannedAction::Rebuild(layout) => {
+                    out.push_str(&format!(
+                        ", \"action\": \"rebuild\", \"loss_before\": {:.6}, \"loss_after\": {:.6}, \
+                         \"virtual_points\": {}, \"layout\": {{\"slots\": {}, \"model\": \
+                         {{\"slope\": {:.9}, \"intercept\": {:.9}}}}}",
+                        d.loss_before,
+                        d.loss_after,
+                        d.virtual_points,
+                        layout.num_slots(),
+                        layout.model().slope,
+                        layout.model().intercept
+                    ));
+                }
+            }
+            out.push('}');
+        }
+        if !self.decisions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+/// The mutate phase for one planned sub-tree: perform (or record) its
+/// resolution and account for it in `report`. Shared by [`CsvPlan`]'s batch
+/// apply and the streaming sequential sweep of [`CsvOptimizer::optimize`].
+fn apply_planned<I: CsvIntegrable + ?Sized>(
+    index: &mut I,
+    planned: &PlannedSubtree,
+    report: &mut CsvReport,
+) {
+    let decision = match &planned.action {
+        PlannedAction::Skipped(reason) => Decision::Skipped(*reason),
+        PlannedAction::CostRejected => Decision::CostRejected,
+        PlannedAction::Rebuild(layout) => {
+            match index.csv_rebuild_subtree(&planned.subtree, layout) {
+                Ok(()) => {
+                    report.subtrees_rebuilt += 1;
+                    report.keys_rebuilt += planned.num_keys;
+                    report.virtual_points_added += planned.virtual_points;
+                    Decision::Rebuilt
+                }
+                Err(refusal) => Decision::Declined(refusal),
+            }
+        }
+    };
+    report.gap_refits += planned.gap_refits;
+    report.outcomes.push(NodeOutcome {
+        subtree: planned.subtree,
+        num_keys: planned.num_keys,
+        loss_before: planned.loss_before,
+        loss_after: planned.loss_after,
+        virtual_points: planned.virtual_points,
+        decision,
+    });
 }
 
 /// Drives Algorithm 2 over any [`CsvIntegrable`] index.
 #[derive(Debug, Clone, Default)]
 pub struct CsvOptimizer {
     config: CsvConfig,
+}
+
+thread_local! {
+    /// Per-worker scratch buffer for key collection: reused across every
+    /// sub-tree a worker plans, so the read phase performs no per-sub-tree
+    /// key allocations.
+    static KEY_SCRATCH: RefCell<Vec<Key>> = const { RefCell::new(Vec::new()) };
 }
 
 impl CsvOptimizer {
@@ -198,9 +633,10 @@ impl CsvOptimizer {
         &self.config
     }
 
-    /// The level range of the bottom-up sweep, or `None` when the index is
-    /// too flat to optimise.
-    fn sweep_levels<I: CsvIntegrable + ?Sized>(&self, index: &I) -> Option<(usize, usize)> {
+    /// The level range `(start, stop)` of the bottom-up sweep for `index`,
+    /// or `None` when the index is too flat to optimise. Levels are
+    /// processed from `start` down to `stop` (both inclusive).
+    pub fn sweep_levels<I: CsvIntegrable + ?Sized>(&self, index: &I) -> Option<(usize, usize)> {
         let max_level = index.csv_max_level();
         if max_level < self.config.stop_level {
             return None;
@@ -215,20 +651,42 @@ impl CsvOptimizer {
         Some((start_level, self.config.stop_level))
     }
 
-    /// The read-only half of one Algorithm 2 step: collect the sub-tree's
-    /// keys, smooth them and evaluate the cost condition. Returns `None`
-    /// when the sub-tree is skipped (too small or over the size guard).
-    fn evaluate_subtree<I: CsvIntegrable + ?Sized>(
+    /// The read phase for one sub-tree: evaluate the skip guards from the
+    /// cost statistics, then collect the keys into the scratch buffer,
+    /// smooth them and evaluate the cost condition.
+    fn plan_subtree<I: CsvIntegrable + ?Sized>(
         &self,
         index: &I,
         subtree: SubtreeRef,
-    ) -> Option<SubtreeEvaluation> {
-        let keys = index.csv_collect_keys(&subtree);
-        if keys.len() < 2 || keys.len() > self.config.max_subtree_keys {
-            return None;
-        }
+        keys: &mut Vec<Key>,
+    ) -> PlannedSubtree {
+        // The guards use the cost statistics' key count so a skipped
+        // sub-tree is never materialised: an over-size-guard sub-tree can
+        // hold orders of magnitude more keys than the guard allows, and
+        // collecting it would both waste the walk and permanently grow the
+        // reused scratch buffer past every bound the config promises.
         let before_cost = index.csv_subtree_cost(&subtree);
-        let smoothed: SmoothingResult = smooth_segment(&keys, &self.config.smoothing);
+        let skip = if before_cost.num_keys < 2 {
+            Some(SkipReason::TooSmall)
+        } else if before_cost.num_keys > self.config.max_subtree_keys {
+            Some(SkipReason::OverSizeGuard)
+        } else {
+            None
+        };
+        if let Some(reason) = skip {
+            return PlannedSubtree {
+                subtree,
+                num_keys: before_cost.num_keys,
+                loss_before: 0.0,
+                loss_after: 0.0,
+                virtual_points: 0,
+                gap_refits: 0,
+                action: PlannedAction::Skipped(reason),
+            };
+        }
+        keys.clear();
+        index.csv_collect_keys_into(&subtree, keys);
+        let smoothed: SmoothingResult = smooth_segment(keys, &self.config.smoothing);
         let after_cost = SubtreeCostStats::of_layout(&smoothed.layout);
         let rebuild = self.config.condition.should_rebuild(
             smoothed.loss_before,
@@ -236,7 +694,7 @@ impl CsvOptimizer {
             &before_cost,
             &after_cost,
         );
-        Some(SubtreeEvaluation {
+        PlannedSubtree {
             subtree,
             num_keys: keys.len(),
             loss_before: smoothed.loss_before,
@@ -244,50 +702,93 @@ impl CsvOptimizer {
             virtual_points: smoothed.virtual_points.len(),
             gap_refits: smoothed.counters.gap_refits,
             // Rejected evaluations drop the layout right here, so a
-            // level-wide parallel batch never holds a second copy of every
-            // sub-tree's keys — only of the ones it is about to rebuild.
-            layout: rebuild.then_some(smoothed.layout),
-        })
+            // level-wide batch never holds a second copy of every sub-tree's
+            // keys — only of the ones it is about to rebuild.
+            action: if rebuild {
+                PlannedAction::Rebuild(smoothed.layout)
+            } else {
+                PlannedAction::CostRejected
+            },
+        }
     }
 
-    /// The mutating half of one Algorithm 2 step: apply the rebuild decision
-    /// and record the outcome.
-    fn apply_evaluation<I: CsvIntegrable + ?Sized>(
+    /// Plans one level of the sweep sequentially. This is the building block
+    /// of the short-lock pattern: call it under a shared lock, then apply
+    /// the returned plan under the exclusive lock, level by level.
+    pub fn plan_level<I: CsvIntegrable + ?Sized>(&self, index: &I, level: usize) -> CsvPlan {
+        let started = Instant::now();
+        let mut buf = Vec::new();
+        let decisions = index
+            .csv_subtrees_at_level(level)
+            .into_iter()
+            .map(|subtree| self.plan_subtree(index, subtree, &mut buf))
+            .collect();
+        CsvPlan { decisions, planning_time: started.elapsed() }
+    }
+
+    /// Plans one level with the per-sub-tree work fanned out across the
+    /// rayon pool. Sub-trees at one level root disjoint key ranges (§5), so
+    /// their read phases are independent; each worker reuses a thread-local
+    /// scratch buffer for key collection.
+    pub fn plan_level_parallel<I: CsvIntegrable + Sync + ?Sized>(
         &self,
-        index: &mut I,
-        evaluation: SubtreeEvaluation,
-        report: &mut CsvReport,
-    ) {
-        let SubtreeEvaluation {
-            subtree,
-            num_keys,
-            loss_before,
-            loss_after,
-            virtual_points,
-            gap_refits,
-            layout,
-        } = evaluation;
-        let mut rebuilt = false;
-        if let Some(layout) = layout {
-            rebuilt = index.csv_rebuild_subtree(&subtree, &layout);
-            if rebuilt {
-                report.subtrees_rebuilt += 1;
-                report.keys_rebuilt += num_keys;
-                report.virtual_points_added += virtual_points;
+        index: &I,
+        level: usize,
+    ) -> CsvPlan {
+        let started = Instant::now();
+        let subtrees = index.csv_subtrees_at_level(level);
+        let decisions = subtrees
+            .par_iter()
+            .map(|subtree| {
+                KEY_SCRATCH.with(|buf| self.plan_subtree(index, *subtree, &mut buf.borrow_mut()))
+            })
+            .collect();
+        CsvPlan { decisions, planning_time: started.elapsed() }
+    }
+
+    /// The read phase of a whole CSV run: plans every sweep level against
+    /// the index's *current* structure and returns the concatenated plan.
+    ///
+    /// For single-level sweeps (the LIPP/SALI configuration) the plan is
+    /// exactly what [`CsvOptimizer::optimize`] would decide. For multi-level
+    /// sweeps the cost statistics of levels above the deepest are computed
+    /// before any deeper rebuild has happened — a one-shot approximation;
+    /// use `optimize` (one plan → apply round per level) when exact
+    /// multi-level behaviour matters.
+    pub fn plan<I: CsvIntegrable + ?Sized>(&self, index: &I) -> CsvPlan {
+        self.plan_with(index, Self::plan_level)
+    }
+
+    /// [`CsvOptimizer::plan`] with every level's sub-trees fanned out across
+    /// the rayon pool.
+    pub fn plan_parallel<I: CsvIntegrable + Sync + ?Sized>(&self, index: &I) -> CsvPlan {
+        self.plan_with(index, Self::plan_level_parallel)
+    }
+
+    /// The one sweep loop behind [`CsvOptimizer::plan`] and
+    /// [`CsvOptimizer::plan_parallel`], parameterised by the per-level
+    /// planner.
+    fn plan_with<I: CsvIntegrable + ?Sized>(
+        &self,
+        index: &I,
+        plan_level: impl Fn(&Self, &I, usize) -> CsvPlan,
+    ) -> CsvPlan {
+        let started = Instant::now();
+        let mut plan = CsvPlan::default();
+        if let Some((start_level, stop_level)) = self.sweep_levels(index) {
+            for level in (stop_level..=start_level).rev() {
+                plan.decisions.extend(plan_level(self, index, level).decisions);
             }
         }
-        report.gap_refits += gap_refits;
-        report.outcomes.push(NodeOutcome {
-            subtree,
-            num_keys,
-            loss_before,
-            loss_after,
-            virtual_points,
-            rebuilt,
-        });
+        plan.planning_time = started.elapsed();
+        plan
     }
 
-    /// Runs CSV on `index` sequentially and returns the run report.
+    /// Runs CSV on `index` sequentially and returns the run report: levels
+    /// deepest first (Algorithm 2, lines 5–15), each sub-tree planned and
+    /// applied in one streamed step — so rebuilds at level `l` are visible
+    /// to the planning of level `l − 1`, and at most one accepted layout is
+    /// held in memory at a time.
     ///
     /// Prefer [`CsvOptimizer::optimize_parallel`] when the index type is
     /// `Sync`; this entry point exists for trait objects and single-threaded
@@ -296,13 +797,15 @@ impl CsvOptimizer {
         let started = Instant::now();
         let mut report = CsvReport::default();
         if let Some((start_level, stop_level)) = self.sweep_levels(index) {
-            // Bottom-up sweep: deepest level first (Algorithm 2, lines 5–15).
+            let mut buf = Vec::new();
             for level in (stop_level..=start_level).rev() {
+                // Stream plan → apply per sub-tree: at most one accepted
+                // layout is alive at a time, unlike the per-level batch of
+                // `optimize_parallel`. Sub-trees at one level root disjoint
+                // key ranges, so the interleaving produces the same result.
                 for subtree in index.csv_subtrees_at_level(level) {
-                    report.subtrees_considered += 1;
-                    if let Some(evaluation) = self.evaluate_subtree(index, subtree) {
-                        self.apply_evaluation(index, evaluation, &mut report);
-                    }
+                    let planned = self.plan_subtree(index, subtree, &mut buf);
+                    apply_planned(index, &planned, &mut report);
                 }
             }
         }
@@ -310,8 +813,8 @@ impl CsvOptimizer {
         report
     }
 
-    /// Runs CSV on `index`, fanning the per-sub-tree work of every level out
-    /// across the rayon thread pool.
+    /// Runs CSV on `index`, fanning the per-sub-tree planning work of every
+    /// level out across the rayon thread pool.
     ///
     /// Sub-trees at one level are independent by construction (§5 of the
     /// paper): they root disjoint key ranges, so collecting keys, smoothing
@@ -326,33 +829,14 @@ impl CsvOptimizer {
         let mut report = CsvReport::default();
         if let Some((start_level, stop_level)) = self.sweep_levels(index) {
             for level in (stop_level..=start_level).rev() {
-                let subtrees = index.csv_subtrees_at_level(level);
-                report.subtrees_considered += subtrees.len();
-                let shared: &I = index;
-                let evaluations: Vec<Option<SubtreeEvaluation>> = subtrees
-                    .par_iter()
-                    .map(|subtree| self.evaluate_subtree(shared, *subtree))
-                    .collect();
-                for evaluation in evaluations.into_iter().flatten() {
-                    self.apply_evaluation(index, evaluation, &mut report);
-                }
+                // One plan → apply round per level, so rebuilds at level `l`
+                // are visible to the planning of level `l − 1`.
+                self.plan_level_parallel(index, level).apply_into(index, &mut report);
             }
         }
         report.preprocessing_time = started.elapsed();
         report
     }
-}
-
-/// The outcome of the read-only half of one Algorithm 2 step.
-struct SubtreeEvaluation {
-    subtree: SubtreeRef,
-    num_keys: usize,
-    loss_before: f64,
-    loss_after: f64,
-    virtual_points: usize,
-    gap_refits: usize,
-    /// Present only when the cost condition accepted the rebuild.
-    layout: Option<SmoothedLayout>,
 }
 
 #[cfg(test)]
@@ -389,8 +873,8 @@ mod tests {
                 .map(|i| SubtreeRef { node_id: i, level: 2 })
                 .collect()
         }
-        fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key> {
-            self.children[subtree.node_id].clone()
+        fn csv_collect_keys_into(&self, subtree: &SubtreeRef, buf: &mut Vec<Key>) {
+            buf.extend_from_slice(&self.children[subtree.node_id]);
         }
         fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats {
             SubtreeCostStats {
@@ -399,12 +883,16 @@ mod tests {
                 expected_searches: 3.0,
             }
         }
-        fn csv_rebuild_subtree(&mut self, subtree: &SubtreeRef, layout: &SmoothedLayout) -> bool {
+        fn csv_rebuild_subtree(
+            &mut self,
+            subtree: &SubtreeRef,
+            layout: &SmoothedLayout,
+        ) -> Result<(), RebuildRefusal> {
             if layout.num_slots() > self.capacity_limit {
-                return false;
+                return Err(RebuildRefusal::CapacityExceeded);
             }
             self.flattened[subtree.node_id] = Some(layout.clone());
-            true
+            Ok(())
         }
     }
 
@@ -420,7 +908,7 @@ mod tests {
         let mut index = ToyIndex::new(vec![skewed_segment(0), skewed_segment(10_000)]);
         let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
         let report = optimizer.optimize(&mut index);
-        assert_eq!(report.subtrees_considered, 2);
+        assert_eq!(report.subtrees_considered(), 2);
         assert_eq!(report.subtrees_rebuilt, 2);
         assert!(report.virtual_points_added > 0);
         assert!(report.keys_rebuilt > 0);
@@ -428,7 +916,8 @@ mod tests {
         assert!(index.flattened.iter().all(|f| f.is_some()));
         for outcome in &report.outcomes {
             assert!(outcome.loss_after <= outcome.loss_before);
-            assert!(outcome.rebuilt);
+            assert_eq!(outcome.decision, Decision::Rebuilt);
+            assert!(outcome.rebuilt());
         }
     }
 
@@ -439,6 +928,7 @@ mod tests {
         let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
         let report = optimizer.optimize(&mut index);
         assert_eq!(report.subtrees_rebuilt, 0);
+        assert_eq!(report.outcomes[0].decision, Decision::CostRejected);
         assert!(index.flattened[0].is_none());
     }
 
@@ -449,7 +939,12 @@ mod tests {
         let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
         let report = optimizer.optimize(&mut index);
         assert_eq!(report.subtrees_rebuilt, 0);
-        assert!(!report.outcomes[0].rebuilt);
+        assert_eq!(
+            report.outcomes[0].decision,
+            Decision::Declined(RebuildRefusal::CapacityExceeded)
+        );
+        assert!(!report.outcomes[0].rebuilt());
+        assert_eq!(report.rebuilds_declined(), 1);
     }
 
     #[test]
@@ -465,13 +960,17 @@ mod tests {
             fn csv_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
                 self.0.csv_subtrees_at_level(level)
             }
-            fn csv_collect_keys(&self, s: &SubtreeRef) -> Vec<Key> {
-                self.0.csv_collect_keys(s)
+            fn csv_collect_keys_into(&self, s: &SubtreeRef, buf: &mut Vec<Key>) {
+                self.0.csv_collect_keys_into(s, buf)
             }
             fn csv_subtree_cost(&self, _s: &SubtreeRef) -> SubtreeCostStats {
                 SubtreeCostStats { num_keys: 49, mean_key_depth: 1.0, expected_searches: 1.0 }
             }
-            fn csv_rebuild_subtree(&mut self, s: &SubtreeRef, l: &SmoothedLayout) -> bool {
+            fn csv_rebuild_subtree(
+                &mut self,
+                s: &SubtreeRef,
+                l: &SmoothedLayout,
+            ) -> Result<(), RebuildRefusal> {
                 self.0.csv_rebuild_subtree(s, l)
             }
         }
@@ -499,7 +998,7 @@ mod tests {
         let parallel_report = optimizer.optimize_parallel(&mut parallel);
 
         assert_eq!(sequential_report.outcomes, parallel_report.outcomes);
-        assert_eq!(sequential_report.subtrees_considered, parallel_report.subtrees_considered);
+        assert_eq!(sequential_report.subtrees_considered(), parallel_report.subtrees_considered());
         assert_eq!(sequential_report.subtrees_rebuilt, parallel_report.subtrees_rebuilt);
         assert_eq!(sequential_report.keys_rebuilt, parallel_report.keys_rebuilt);
         assert_eq!(sequential_report.virtual_points_added, parallel_report.virtual_points_added);
@@ -508,20 +1007,141 @@ mod tests {
     }
 
     #[test]
+    fn plan_apply_roundtrip_matches_fused_optimize() {
+        let segments: Vec<Vec<Key>> = (0..8)
+            .map(|i| {
+                if i % 3 == 0 {
+                    // A linear segment the cost condition rejects.
+                    (0..50).map(|j| i as Key * 100_000 + j * 10).collect()
+                } else {
+                    skewed_segment(i * 100_000)
+                }
+            })
+            .collect();
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+
+        let mut fused = ToyIndex::new(segments.clone());
+        let fused_report = optimizer.optimize(&mut fused);
+
+        let mut staged = ToyIndex::new(segments);
+        let plan = optimizer.plan(&staged);
+        // Planning never mutates.
+        assert!(staged.flattened.iter().all(|f| f.is_none()));
+        assert_eq!(plan.len(), fused_report.subtrees_considered());
+        assert_eq!(plan.num_rebuilds(), fused_report.subtrees_rebuilt);
+        let staged_report = plan.apply(&mut staged);
+
+        assert_eq!(fused_report.outcomes, staged_report.outcomes);
+        assert_eq!(fused_report.subtrees_considered(), staged_report.subtrees_considered());
+        assert_eq!(fused_report.subtrees_rebuilt, staged_report.subtrees_rebuilt);
+        assert_eq!(fused_report.keys_rebuilt, staged_report.keys_rebuilt);
+        assert_eq!(fused_report.virtual_points_added, staged_report.virtual_points_added);
+        assert_eq!(fused_report.gap_refits, staged_report.gap_refits);
+        assert_eq!(fused.flattened, staged.flattened);
+    }
+
+    #[test]
+    fn plan_parallel_matches_plan() {
+        let segments: Vec<Vec<Key>> =
+            (0..24).map(|i| skewed_segment(i * 50_000)).collect();
+        let index = ToyIndex::new(segments);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        let sequential = optimizer.plan(&index);
+        let parallel = optimizer.plan_parallel(&index);
+        assert_eq!(sequential.decisions(), parallel.decisions());
+    }
+
+    #[test]
+    fn plan_json_describes_every_decision() {
+        let mut segments = vec![skewed_segment(0)];
+        segments.push(vec![7]); // too small
+        segments.push((0..50).map(|j| 900_000 + j * 10).collect()); // cost-rejected
+        let index = ToyIndex::new(segments);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        let plan = optimizer.plan(&index);
+        let json = plan.to_json();
+        assert!(json.contains("\"action\": \"rebuild\""));
+        assert!(json.contains("\"action\": \"skip\""));
+        assert!(json.contains("\"reason\": \"too-small\""));
+        assert!(json.contains("\"action\": \"cost-rejected\""));
+        assert!(json.contains("\"subtrees_considered\": 3"));
+        assert!(json.contains("\"subtrees_to_rebuild\": 1"));
+        // Well-formed enough for a JSON parser: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn stale_plans_are_declined_not_applied_blindly() {
+        let segments = vec![skewed_segment(0)];
+        let mut index = ToyIndex::new(segments);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        let plan = optimizer.plan(&index);
+        assert_eq!(plan.num_rebuilds(), 1);
+        // The index shrinks its capacity between plan and apply; the rebuild
+        // is refused and typed, not silently dropped.
+        index.capacity_limit = 1;
+        let report = plan.apply(&mut index);
+        assert_eq!(report.subtrees_rebuilt, 0);
+        assert_eq!(
+            report.outcomes[0].decision,
+            Decision::Declined(RebuildRefusal::CapacityExceeded)
+        );
+    }
+
+    #[test]
     fn stop_level_above_max_level_is_a_noop() {
         let mut index = ToyIndex::new(vec![skewed_segment(0)]);
         let config = CsvConfig { stop_level: 5, ..CsvConfig::for_lipp(0.2) };
         let report = CsvOptimizer::new(config).optimize(&mut index);
-        assert_eq!(report.subtrees_considered, 0);
+        assert_eq!(report.subtrees_considered(), 0);
+        assert!(CsvOptimizer::new(config).plan(&index).is_empty());
     }
 
     #[test]
-    fn oversized_subtrees_are_skipped() {
+    fn skipped_subtrees_leave_a_trace_in_the_report() {
+        // Over the size guard.
         let mut index = ToyIndex::new(vec![skewed_segment(0)]);
         let config = CsvConfig { max_subtree_keys: 10, ..CsvConfig::for_lipp(0.2) };
         let report = CsvOptimizer::new(config).optimize(&mut index);
         assert_eq!(report.subtrees_rebuilt, 0);
-        assert_eq!(report.subtrees_considered, 1);
-        assert!(report.outcomes.is_empty());
+        assert_eq!(report.subtrees_considered(), 1);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(
+            report.outcomes[0].decision,
+            Decision::Skipped(SkipReason::OverSizeGuard)
+        );
+        assert_eq!(report.outcomes[0].num_keys, 49);
+        assert_eq!(report.subtrees_skipped(), 1);
+
+        // Too small to smooth.
+        let mut tiny = ToyIndex::new(vec![vec![42]]);
+        let report = CsvOptimizer::new(CsvConfig::for_lipp(0.2)).optimize(&mut tiny);
+        assert_eq!(report.subtrees_considered(), 1);
+        assert_eq!(report.outcomes[0].decision, Decision::Skipped(SkipReason::TooSmall));
+        assert_eq!(report.outcomes[0].num_keys, 1);
+        assert_eq!(report.outcomes[0].loss_before, 0.0);
+    }
+
+    #[test]
+    fn builder_composes_presets_and_overrides() {
+        let config = CsvConfig::builder()
+            .alpha(0.3)
+            .greedy(crate::single::GreedyMode::Rescan)
+            .max_subtree_keys(123)
+            .stop_level(3)
+            .start_level(StartLevel::Fixed(4))
+            .build();
+        assert_eq!(config.alpha(), 0.3);
+        assert_eq!(config.smoothing.mode, crate::single::GreedyMode::Rescan);
+        assert_eq!(config.max_subtree_keys, 123);
+        assert_eq!(config.stop_level, 3);
+        assert_eq!(config.start_level, StartLevel::Fixed(4));
+        // Family presets seed the right condition.
+        let alex = CsvConfigBuilder::alex(CostModel::default()).alpha(0.2).build();
+        assert!(matches!(alex.condition, CostCondition::Model(_)));
+        assert_eq!(alex.start_level, StartLevel::Deepest);
+        let sali = CsvConfigBuilder::sali().build();
+        assert_eq!(sali, CsvConfig::for_sali(0.1));
     }
 }

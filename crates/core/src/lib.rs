@@ -25,7 +25,9 @@
 //!   extra leaf-node search work,
 //! * [`csv`] — Algorithm 2 (**CSV**): bottom-up smoothing and flattening of
 //!   sub-trees of a hierarchical learned index through the
-//!   [`csv::CsvIntegrable`] trait implemented by ALEX, LIPP and SALI,
+//!   [`csv::CsvIntegrable`] trait implemented by ALEX, LIPP and SALI, with
+//!   an explicit read-only plan / mutating apply lifecycle
+//!   ([`csv::CsvOptimizer::plan`] → [`csv::CsvPlan::apply`]),
 //! * [`competitors`] — the Gap-Insertion (GI) technique the paper compares
 //!   against in Table 1,
 //! * [`poisoning`] — the greedy data-poisoning attack (§2.3) that motivated
@@ -77,7 +79,10 @@ pub fn configure_global_threads(threads: usize) {
     }
 }
 pub use cost::{CostCondition, CostModel};
-pub use csv::{CsvConfig, CsvIntegrable, CsvOptimizer, CsvReport, NodeOutcome, SubtreeRef};
+pub use csv::{
+    CsvConfig, CsvConfigBuilder, CsvIntegrable, CsvOptimizer, CsvPlan, CsvReport, Decision,
+    NodeOutcome, PlannedAction, PlannedSubtree, RebuildRefusal, SkipReason, StartLevel, SubtreeRef,
+};
 pub use exhaustive::exhaustive_smooth;
 pub use layout::{LayoutEntry, SmoothedLayout};
 pub use poisoning::{poison_segment, smoothing_counteracts_poisoning, PoisoningConfig, PoisoningResult};

@@ -8,7 +8,7 @@
 //!
 //! This module implements the greedy poisoning attack over a single key
 //! segment using the same incremental machinery as Algorithm 1
-//! ([`SegmentState`](crate::segment::SegmentState)): per gap the refitted
+//! ([`crate::segment::SegmentState`]): per gap the refitted
 //! loss is a convex function of the inserted value, so the loss-*maximising*
 //! candidate of a gap is always one of its two endpoints, and the greedy
 //! attack repeatedly inserts the globally worst endpoint.

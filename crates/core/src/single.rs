@@ -342,27 +342,29 @@ fn run_lazy(
                 // This gap's marginal gain *grew* since it was stored: the
                 // stored gains are no longer upper bounds, so the lazy
                 // selection argument is void. Resolve this iteration with a
-                // full rescan — exact by construction — and repopulate the
-                // heap with the freshly evaluated non-winning gaps. They are
-                // pushed with the *current* epoch (valid for this
+                // full rescan — exact by construction — and reseed the heap
+                // with the freshly evaluated non-winning gaps in one O(n)
+                // heapify (`BinaryHeap::from`) instead of n·log n pushes.
+                // They carry the *current* epoch (valid for this
                 // pre-insertion state), go stale with the insertion below,
                 // and are re-validated on demand as usual.
-                heap.clear();
                 counters.fallback_rescans += 1;
                 let evaluated = evaluate_all_gaps(state, counters);
                 let Some(best_idx) = first_minimum(&evaluated) else { break None };
-                for (i, (c, gap)) in evaluated.iter().enumerate() {
-                    if i != best_idx {
-                        counters.heap_pushes += 1;
-                        heap.push(HeapEntry {
-                            gain: previous_loss - c.loss,
-                            loss: c.loss,
-                            value: c.value,
-                            gap: *gap,
-                            epoch,
-                        });
-                    }
-                }
+                let reseeded: Vec<HeapEntry> = evaluated
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != best_idx)
+                    .map(|(_, (c, gap))| HeapEntry {
+                        gain: previous_loss - c.loss,
+                        loss: c.loss,
+                        value: c.value,
+                        gap: *gap,
+                        epoch,
+                    })
+                    .collect();
+                counters.heap_pushes += reseeded.len();
+                heap = BinaryHeap::from(reseeded);
                 let (winner_candidate, winner_gap) = evaluated[best_idx];
                 break Some((winner_candidate.value, winner_candidate.loss, winner_gap));
             }
@@ -421,19 +423,47 @@ fn run_lazy(
 
 /// Re-derives a gap's bounds and rank against the current state; returns
 /// `None` when the gap no longer contains any candidate.
+///
+/// A stale gap can only have been narrowed by virtual points inserted at
+/// its ends, and those occupy *consecutive* ranks in the entry array. One
+/// binary search therefore anchors the low end, and both ends are trimmed
+/// by linear scans over adjacent entries — the earlier form paid one
+/// binary search (`contains`) per trimmed value plus a final `rank_of`,
+/// which dominated the lazy driver's re-validation cost on clustered data.
 fn refresh_gap(state: &SegmentState, gap: &GapBounds) -> Option<GapBounds> {
+    let entries = state.entries();
     let mut lo = gap.lo;
     let mut hi = gap.hi;
-    while lo <= hi && state.contains(lo) {
+    // `rank` tracks rank_of(lo) as lo advances past occupied values.
+    let mut rank = state.rank_of(lo);
+    while lo <= hi && rank < entries.len() && entries[rank].key() == lo {
         lo += 1;
-    }
-    while hi >= lo && state.contains(hi) {
-        hi -= 1;
+        rank += 1;
     }
     if lo > hi {
         return None;
     }
-    Some(GapBounds { lo, hi, rank: state.rank_of(lo) })
+    // Fast path — and the expected case, since insertions land either in a
+    // gap whose heap entry was just consumed or at a gap's ends: no entry
+    // lies in [lo, hi], so the high end needs no trimming and the one
+    // binary search above is the whole re-validation cost.
+    if rank >= entries.len() || entries[rank].key() > hi {
+        return Some(GapBounds { lo, hi, rank });
+    }
+    // Entries inside [lo, hi]: trim the high end. Occupied values at the
+    // high end sit at consecutive ranks just below the first entry past the
+    // gap, so after locating rank_of(hi) the walk is over adjacent entries.
+    let mut hi_rank = rank + entries[rank..].partition_point(|e| e.key() < hi);
+    while hi >= lo && hi_rank < entries.len() && entries[hi_rank].key() == hi {
+        if hi == lo {
+            return None;
+        }
+        hi -= 1;
+        // rank >= 1 because every gap lies strictly above the segment's
+        // first entry, so this cannot underflow.
+        hi_rank -= 1;
+    }
+    Some(GapBounds { lo, hi, rank })
 }
 
 fn improves(previous: f64, candidate: f64, min_relative_gain: f64) -> bool {

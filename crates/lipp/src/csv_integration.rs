@@ -10,7 +10,7 @@ use crate::index::LippIndex;
 use crate::node::Slot;
 use csv_common::{Key, KeyValue};
 use csv_core::cost::SubtreeCostStats;
-use csv_core::csv::{CsvIntegrable, SubtreeRef};
+use csv_core::csv::{CsvIntegrable, RebuildRefusal, SubtreeRef};
 use csv_core::layout::SmoothedLayout;
 
 impl LippIndex {
@@ -60,8 +60,23 @@ impl CsvIntegrable for LippIndex {
             .collect()
     }
 
-    fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key> {
-        self.collect_records(subtree.node_id).into_iter().map(|r| r.key).collect()
+    fn csv_collect_keys_into(&self, subtree: &SubtreeRef, buf: &mut Vec<Key>) {
+        // Appends straight into the caller's scratch buffer: no intermediate
+        // record vector, no per-sub-tree allocation once the buffer has
+        // grown to the largest sub-tree of the sweep.
+        let start = buf.len();
+        buf.reserve(self.nodes[subtree.node_id].subtree_keys);
+        let mut stack = vec![subtree.node_id];
+        while let Some(id) = stack.pop() {
+            for slot in &self.nodes[id].slots {
+                match slot {
+                    Slot::Empty => {}
+                    Slot::Data(k, _) => buf.push(*k),
+                    Slot::Child(c) => stack.push(*c),
+                }
+            }
+        }
+        buf[start..].sort_unstable();
     }
 
     fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats {
@@ -74,25 +89,33 @@ impl CsvIntegrable for LippIndex {
         }
     }
 
-    fn csv_rebuild_subtree(&mut self, subtree: &SubtreeRef, layout: &SmoothedLayout) -> bool {
+    fn csv_rebuild_subtree(
+        &mut self,
+        subtree: &SubtreeRef,
+        layout: &SmoothedLayout,
+    ) -> Result<(), RebuildRefusal> {
         // Guard against absurdly large merged nodes.
         if layout.num_slots() > (1 << 26) {
-            return false;
+            return Err(RebuildRefusal::CapacityExceeded);
         }
         let node_id = subtree.node_id;
         let level = self.nodes[node_id].level;
         let records = self.collect_records(node_id);
         if records.len() != layout.num_real() {
             // The layout no longer matches the sub-tree contents.
-            return false;
+            return Err(RebuildRefusal::StaleLayout);
         }
         // Pair each real key of the layout with its stored value (both are in
-        // ascending key order).
+        // ascending key order). A key mismatch means the sub-tree's contents
+        // changed since the layout was planned (possible in the short-lock
+        // sharded path, where inserts can land between plan and apply).
         let mut real_records: Vec<KeyValue> = Vec::with_capacity(records.len());
         let mut idx = 0usize;
         for entry in layout.entries() {
             if entry.is_real() {
-                debug_assert_eq!(records[idx].key, entry.key());
+                if records[idx].key != entry.key() {
+                    return Err(RebuildRefusal::StaleLayout);
+                }
                 real_records.push(records[idx]);
                 idx += 1;
             }
@@ -119,14 +142,14 @@ impl CsvIntegrable for LippIndex {
             self.free_descendants(temp);
             self.nodes[temp] = crate::node::Node::empty(1, 0);
             self.reclaim(temp);
-            return false;
+            return Err(RebuildRefusal::WouldDemoteKeys);
         }
         self.free_descendants(node_id);
         self.nodes.swap(node_id, temp);
         self.nodes[temp] = crate::node::Node::empty(1, 0);
         // `temp` now holds a placeholder; hand it back to the allocator.
         self.reclaim(temp);
-        true
+        Ok(())
     }
 }
 
@@ -244,7 +267,23 @@ mod tests {
         // Tamper with the key set so the layout no longer matches.
         collected.pop();
         let layout = SmoothedLayout::identity(&collected);
-        assert!(!index.csv_rebuild_subtree(&subtree, &layout));
+        assert_eq!(
+            index.csv_rebuild_subtree(&subtree, &layout),
+            Err(RebuildRefusal::StaleLayout)
+        );
+    }
+
+    #[test]
+    fn buffered_key_collection_matches_the_allocating_form() {
+        let keys = hard_keys(8_000);
+        let index = LippIndex::bulk_load(&identity_records(&keys));
+        let mut buf = Vec::new();
+        for subtree in index.csv_subtrees_at_level(2) {
+            buf.clear();
+            index.csv_collect_keys_into(&subtree, &mut buf);
+            assert_eq!(buf, index.csv_collect_keys(&subtree));
+            assert!(buf.windows(2).all(|w| w[0] < w[1]), "keys must be strictly ascending");
+        }
     }
 
     #[test]

@@ -89,7 +89,7 @@ mod proptests {
                 prop_assert_eq!(index.get(k), Some(k));
                 prop_assert!(index.level_of_key(k).is_some());
             }
-            prop_assert!(report.subtrees_considered >= report.subtrees_rebuilt);
+            prop_assert!(report.subtrees_considered() >= report.subtrees_rebuilt);
             prop_assert_eq!(index.stats().level_histogram.total(), keys.len());
         }
     }

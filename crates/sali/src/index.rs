@@ -349,15 +349,19 @@ impl CsvIntegrable for SaliIndex {
         self.lipp.csv_subtrees_at_level(level)
     }
 
-    fn csv_collect_keys(&self, subtree: &SubtreeRef) -> Vec<Key> {
-        self.lipp.csv_collect_keys(subtree)
+    fn csv_collect_keys_into(&self, subtree: &SubtreeRef, buf: &mut Vec<Key>) {
+        self.lipp.csv_collect_keys_into(subtree, buf)
     }
 
     fn csv_subtree_cost(&self, subtree: &SubtreeRef) -> SubtreeCostStats {
         self.lipp.csv_subtree_cost(subtree)
     }
 
-    fn csv_rebuild_subtree(&mut self, subtree: &SubtreeRef, layout: &SmoothedLayout) -> bool {
+    fn csv_rebuild_subtree(
+        &mut self,
+        subtree: &SubtreeRef,
+        layout: &SmoothedLayout,
+    ) -> Result<(), csv_core::csv::RebuildRefusal> {
         self.lipp.csv_rebuild_subtree(subtree, layout)
     }
 }

@@ -45,7 +45,7 @@ where
 
     println!("== {name} ==");
     println!("  CSV pre-processing time : {:?}", report.preprocessing_time);
-    println!("  sub-trees considered / rebuilt : {} / {}", report.subtrees_considered, report.subtrees_rebuilt);
+    println!("  sub-trees considered / rebuilt : {} / {}", report.subtrees_considered(), report.subtrees_rebuilt);
     println!("  virtual points added    : {}", report.virtual_points_added);
     println!("  mean key level          : {:.3} -> {:.3}", before_stats.mean_key_level(), after_stats.mean_key_level());
     println!("  index nodes             : {} -> {}", before_stats.node_count, after_stats.node_count);

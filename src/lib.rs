@@ -5,13 +5,12 @@
 //! tests; the actual functionality lives in the workspace crates, which are
 //! re-exported here for convenience:
 //!
-//! * [`core`](csv_core) — virtual-point smoothing and the CSV algorithm,
-//! * [`alex`](csv_alex), [`lipp`](csv_lipp), [`sali`](csv_sali) — the three
-//!   learned indexes CSV is integrated with,
-//! * [`pgm`](csv_pgm), [`btree`](csv_btree) — baselines,
-//! * [`datasets`](csv_datasets) — SOSD-style synthetic datasets and
-//!   workloads,
-//! * [`common`](csv_common) — shared types and traits.
+//! * [`core`] — virtual-point smoothing and the CSV algorithm,
+//! * [`alex`], [`lipp`], [`sali`] — the three learned indexes CSV is
+//!   integrated with,
+//! * [`pgm`], [`btree`] — baselines,
+//! * [`datasets`] — SOSD-style synthetic datasets and workloads,
+//! * [`common`] — shared types and traits.
 
 pub use csv_alex as alex;
 pub use csv_btree as btree;

@@ -35,7 +35,7 @@ proptest! {
 
         // Identical reports, outcome for outcome and in the same order.
         prop_assert_eq!(&sequential_report.outcomes, &parallel_report.outcomes);
-        prop_assert_eq!(sequential_report.subtrees_considered, parallel_report.subtrees_considered);
+        prop_assert_eq!(sequential_report.subtrees_considered(), parallel_report.subtrees_considered());
         prop_assert_eq!(sequential_report.subtrees_rebuilt, parallel_report.subtrees_rebuilt);
         prop_assert_eq!(sequential_report.keys_rebuilt, parallel_report.keys_rebuilt);
         prop_assert_eq!(sequential_report.virtual_points_added, parallel_report.virtual_points_added);

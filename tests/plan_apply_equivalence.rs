@@ -1,0 +1,81 @@
+//! Property tests pinning down the plan → apply lifecycle contract:
+//! `CsvOptimizer::plan` followed by `CsvPlan::apply` is observationally
+//! identical to the fused `CsvOptimizer::optimize` — same report, same
+//! rebuilt structure, same lookups — on any dataset and smoothing
+//! threshold, and planning alone never mutates the index.
+
+use csv_common::traits::LearnedIndex;
+use csv_core::{CsvConfig, CsvOptimizer, Decision, PlannedAction};
+use csv_lipp::LippIndex;
+use csv_repro::records_from_keys;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn plan_then_apply_matches_fused_optimize(
+        keys in btree_set(0u64..3_000_000, 512..2_000),
+        alpha in 0.05f64..0.4,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let records = records_from_keys(&keys);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(alpha));
+
+        let mut fused = LippIndex::bulk_load(&records);
+        let fused_report = optimizer.optimize(&mut fused);
+
+        let mut staged = LippIndex::bulk_load(&records);
+        let before_plan = staged.stats();
+        let plan = optimizer.plan(&staged);
+
+        // Planning is a pure read: the index is structurally untouched and
+        // the plan already knows everything the fused run will decide.
+        prop_assert_eq!(&staged.stats(), &before_plan);
+        prop_assert_eq!(plan.len(), fused_report.subtrees_considered());
+        // An accepted layout can still be declined by the index at apply
+        // time (e.g. the rebuilt node would demote keys), so the planned
+        // rebuilds account for the applied ones plus the declined ones.
+        prop_assert_eq!(
+            plan.num_rebuilds(),
+            fused_report.subtrees_rebuilt + fused_report.rebuilds_declined()
+        );
+        for (planned, outcome) in plan.decisions().iter().zip(&fused_report.outcomes) {
+            prop_assert_eq!(planned.subtree, outcome.subtree);
+            match (&planned.action, &outcome.decision) {
+                (PlannedAction::Rebuild(_), Decision::Rebuilt)
+                | (PlannedAction::Rebuild(_), Decision::Declined(_))
+                | (PlannedAction::CostRejected, Decision::CostRejected) => {}
+                (PlannedAction::Skipped(a), Decision::Skipped(b)) => prop_assert_eq!(a, b),
+                (action, decision) => prop_assert!(
+                    false,
+                    "planned {:?} but fused run decided {:?}",
+                    action,
+                    decision
+                ),
+            }
+        }
+
+        // Applying the plan reproduces the fused run: identical report
+        // (outcome for outcome, in the same order) and identical structure.
+        let staged_report = plan.apply(&mut staged);
+        prop_assert_eq!(&fused_report.outcomes, &staged_report.outcomes);
+        prop_assert_eq!(fused_report.subtrees_considered(), staged_report.subtrees_considered());
+        prop_assert_eq!(fused_report.subtrees_rebuilt, staged_report.subtrees_rebuilt);
+        prop_assert_eq!(fused_report.keys_rebuilt, staged_report.keys_rebuilt);
+        prop_assert_eq!(fused_report.virtual_points_added, staged_report.virtual_points_added);
+        prop_assert_eq!(fused_report.gap_refits, staged_report.gap_refits);
+        prop_assert_eq!(staged.stats(), fused.stats());
+
+        // Identical lookups: every loaded key hits in both, probes around
+        // the key range miss in both.
+        for &k in &keys {
+            prop_assert_eq!(staged.get(k), Some(k));
+            prop_assert_eq!(staged.get(k), fused.get(k));
+        }
+        for probe in [0u64, 1_500_000, 2_999_999, 3_000_001] {
+            prop_assert_eq!(staged.get(probe), fused.get(probe));
+        }
+    }
+}
