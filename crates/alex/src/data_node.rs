@@ -6,7 +6,7 @@
 //! directly — exactly the trick the original implementation uses.
 
 use csv_common::metrics::CostCounters;
-use csv_common::search::{exponential_search, expected_search_iterations};
+use csv_common::search::{expected_search_iterations, exponential_search};
 use csv_common::{Key, KeyValue, LinearModel, Value};
 
 /// A gapped-array leaf node.
@@ -309,12 +309,18 @@ impl DataNode {
 
     /// Smallest stored key, if any.
     pub fn min_key(&self) -> Option<Key> {
-        self.occupied.iter().position(|&o| o).map(|i| self.slot_keys[i])
+        self.occupied
+            .iter()
+            .position(|&o| o)
+            .map(|i| self.slot_keys[i])
     }
 
     /// Largest stored key, if any.
     pub fn max_key(&self) -> Option<Key> {
-        self.occupied.iter().rposition(|&o| o).map(|i| self.slot_keys[i])
+        self.occupied
+            .iter()
+            .rposition(|&o| o)
+            .map(|i| self.slot_keys[i])
     }
 
     /// Rebuilds the node at the target density (an ALEX "expansion").
@@ -408,7 +414,10 @@ mod tests {
         let recs = records(10_000, 3);
         let node = DataNode::build(&recs, 1);
         let mut counters = CostCounters::new();
-        assert_eq!(node.get_counted(recs[5_000].key, &mut counters), Some(recs[5_000].value));
+        assert_eq!(
+            node.get_counted(recs[5_000].key, &mut counters),
+            Some(recs[5_000].value)
+        );
         assert!(counters.comparisons >= 1);
         assert_eq!(counters.model_evals, 1);
     }

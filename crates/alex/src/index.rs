@@ -37,7 +37,16 @@ impl Default for AlexConfig {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Internal { model: LinearModel, children: Vec<usize>, level: usize },
+    Internal {
+        model: LinearModel,
+        children: Vec<usize>,
+        level: usize,
+        /// `true` while the node's sub-tree has absorbed inserts/removes
+        /// since CSV last considered it; internal nodes start dirty (a
+        /// fresh sub-tree has never been considered). Cleared only by
+        /// `CsvIntegrable::csv_mark_clean`.
+        dirty: bool,
+    },
     Data(DataNode),
 }
 
@@ -58,8 +67,13 @@ impl AlexIndex {
             records.windows(2).all(|w| w[0].key < w[1].key),
             "records must be sorted by key and unique"
         );
-        let mut index =
-            Self { nodes: Vec::new(), free: Vec::new(), root: 0, len: records.len(), config };
+        let mut index = Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            len: records.len(),
+            config,
+        };
         index.root = index.build_subtree(records, 1);
         index
     }
@@ -120,7 +134,12 @@ impl AlexIndex {
         }
         let mut children = Vec::with_capacity(fanout);
         // Reserve the internal node id first so child levels line up.
-        let node_id = self.alloc(Node::Internal { model, children: Vec::new(), level });
+        let node_id = self.alloc(Node::Internal {
+            model,
+            children: Vec::new(),
+            level,
+            dirty: true,
+        });
         for (start, end) in boundaries {
             let child = self.build_subtree(&records[start..end], level + 1);
             children.push(child);
@@ -152,11 +171,34 @@ impl AlexIndex {
         let mut node_id = self.root;
         loop {
             match &self.nodes[node_id] {
-                Node::Internal { model, children, .. } => {
+                Node::Internal {
+                    model, children, ..
+                } => {
                     let idx = model.predict_clamped(key, children.len());
                     node_id = children[idx];
                 }
                 Node::Data(_) => return node_id,
+            }
+        }
+    }
+
+    /// Flags every internal node on `key`'s routing path as dirty — each of
+    /// them roots a sub-tree that just absorbed a structural change.
+    fn mark_path_dirty(&mut self, key: Key) {
+        let mut node_id = self.root;
+        loop {
+            match &mut self.nodes[node_id] {
+                Node::Internal {
+                    model,
+                    children,
+                    dirty,
+                    ..
+                } => {
+                    *dirty = true;
+                    let idx = model.predict_clamped(key, children.len());
+                    node_id = children[idx];
+                }
+                Node::Data(_) => return,
             }
         }
     }
@@ -167,7 +209,9 @@ impl AlexIndex {
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
             match &self.nodes[id] {
-                Node::Internal { children, level, .. } => {
+                Node::Internal {
+                    children, level, ..
+                } => {
                     height = height.max(*level);
                     stack.extend(children.iter().copied());
                 }
@@ -225,7 +269,11 @@ impl AlexIndex {
             search_sum += dn.expected_searches() * keys as f64;
         });
         if num_keys == 0 {
-            SubtreeCostStats { num_keys: 0, mean_key_depth: 0.0, expected_searches: 0.0 }
+            SubtreeCostStats {
+                num_keys: 0,
+                mean_key_depth: 0.0,
+                expected_searches: 0.0,
+            }
         } else {
             SubtreeCostStats {
                 num_keys,
@@ -258,7 +306,9 @@ impl LearnedIndex for AlexIndex {
         loop {
             counters.nodes_visited += 1;
             match &self.nodes[node_id] {
-                Node::Internal { model, children, .. } => {
+                Node::Internal {
+                    model, children, ..
+                } => {
                     counters.model_evals += 1;
                     let idx = model.predict_clamped(key, children.len());
                     node_id = children[idx];
@@ -284,6 +334,7 @@ impl LearnedIndex for AlexIndex {
         }
         if new {
             self.len += 1;
+            self.mark_path_dirty(key);
         }
         new
     }
@@ -302,7 +353,9 @@ impl LearnedIndex for AlexIndex {
         while let Some(id) = stack.pop() {
             node_count += 1;
             match &self.nodes[id] {
-                Node::Internal { children, level, .. } => {
+                Node::Internal {
+                    children, level, ..
+                } => {
                     height = height.max(*level);
                     if *level >= 3 {
                         deep_node_count += 1;
@@ -349,7 +402,9 @@ impl AlexIndex {
     /// and `hi`.
     fn range_into(&self, node_id: usize, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
         match &self.nodes[node_id] {
-            Node::Internal { model, children, .. } => {
+            Node::Internal {
+                model, children, ..
+            } => {
                 let first = model.predict_clamped(lo, children.len());
                 let last = model.predict_clamped(hi, children.len()).max(first);
                 for &child in &children[first..=last] {
@@ -381,17 +436,55 @@ impl RemovableIndex for AlexIndex {
         };
         if removed.is_some() {
             self.len -= 1;
+            self.mark_path_dirty(key);
         }
         removed
     }
 }
 
 impl CsvIntegrable for AlexIndex {
+    fn csv_tracks_dirty(&self) -> bool {
+        true
+    }
+
+    fn csv_dirty_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if let Node::Internal {
+                children,
+                level: l,
+                dirty,
+                ..
+            } = &self.nodes[id]
+            {
+                if *l == level && *dirty {
+                    out.push(SubtreeRef { node_id: id, level });
+                }
+                stack.extend(children.iter().copied());
+            }
+        }
+        out
+    }
+
+    fn csv_mark_clean(&mut self) {
+        // Clearing the whole arena (free-listed slots included) is safe:
+        // reallocated internal nodes start dirty again.
+        for node in &mut self.nodes {
+            if let Node::Internal { dirty, .. } = node {
+                *dirty = false;
+            }
+        }
+    }
+
     fn csv_max_level(&self) -> usize {
         let mut max_level = 0usize;
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
-            if let Node::Internal { children, level, .. } = &self.nodes[id] {
+            if let Node::Internal {
+                children, level, ..
+            } = &self.nodes[id]
+            {
                 max_level = max_level.max(*level);
                 stack.extend(children.iter().copied());
             }
@@ -403,7 +496,10 @@ impl CsvIntegrable for AlexIndex {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
-            if let Node::Internal { children, level: l, .. } = &self.nodes[id] {
+            if let Node::Internal {
+                children, level: l, ..
+            } = &self.nodes[id]
+            {
                 if *l == level {
                     out.push(SubtreeRef { node_id: id, level });
                 }
@@ -506,7 +602,10 @@ mod tests {
         let index = AlexIndex::bulk_load(&identity_records(&keys));
         assert_eq!(index.len(), keys.len());
         assert_eq!(index.name(), "ALEX");
-        assert!(index.height() >= 2, "50k keys must not fit a single data node");
+        assert!(
+            index.height() >= 2,
+            "50k keys must not fit a single data node"
+        );
         assert!(index.data_node_count() >= 2);
         for &k in keys.iter().step_by(73) {
             assert_eq!(index.get(k), Some(k));
@@ -562,14 +661,23 @@ mod tests {
     /// workloads produce trees that are at least three levels deep (the
     /// regime CSV targets).
     fn deep_config() -> AlexConfig {
-        AlexConfig { max_data_node_keys: 512, min_fanout: 4, max_fanout: 16, ..AlexConfig::default() }
+        AlexConfig {
+            max_data_node_keys: 512,
+            min_fanout: 4,
+            max_fanout: 16,
+            ..AlexConfig::default()
+        }
     }
 
     #[test]
     fn csv_merges_subtrees_and_respects_cost_model() {
         let keys = hard_keys(60_000);
         let mut index = AlexIndex::with_config(&identity_records(&keys), deep_config());
-        assert!(index.height() >= 3, "test needs a deep tree, got {}", index.height());
+        assert!(
+            index.height() >= 3,
+            "test needs a deep tree, got {}",
+            index.height()
+        );
         let before = index.stats();
         let config = CsvConfig::for_alex(0.2, CostModel::new(1.0, 2.5, 0.0));
         let report = CsvOptimizer::new(config).optimize(&mut index);
@@ -593,11 +701,53 @@ mod tests {
         let run = |threshold: f64| {
             let mut index = AlexIndex::with_config(&identity_records(&keys), deep_config());
             let config = CsvConfig::for_alex(0.1, CostModel::new(1.0, 2.5, threshold));
-            CsvOptimizer::new(config).optimize(&mut index).subtrees_rebuilt
+            CsvOptimizer::new(config)
+                .optimize(&mut index)
+                .subtrees_rebuilt
         };
         let lenient = run(0.0);
         let strict = run(-5.0);
         assert!(strict <= lenient, "strict {strict} vs lenient {lenient}");
+    }
+
+    #[test]
+    fn dirty_tracking_restricts_plan_dirty_to_touched_subtrees() {
+        let keys = hard_keys(60_000);
+        let mut index = AlexIndex::with_config(&identity_records(&keys), deep_config());
+        assert!(index.csv_tracks_dirty());
+        let config = CsvConfig::for_alex(0.2, CostModel::new(1.0, 2.5, 0.0));
+        let optimizer = CsvOptimizer::new(config);
+
+        // Freshly built: fully dirty at every level, so the incremental
+        // plan equals the full plan.
+        let full = optimizer.plan(&index);
+        let dirty = optimizer.plan_dirty(&index);
+        assert!(!full.is_empty());
+        assert_eq!(full.decisions(), dirty.decisions());
+
+        index.csv_mark_clean();
+        for level in 1..=index.csv_max_level() {
+            assert!(index.csv_dirty_subtrees_at_level(level).is_empty());
+        }
+        assert!(optimizer.plan_dirty(&index).is_empty());
+
+        // One insert dirties exactly its routing path: at most one sub-tree
+        // per level.
+        let probe = *keys.last().unwrap() + 1_000;
+        assert!(index.insert(probe, probe));
+        let mut touched_levels = 0usize;
+        for level in 1..=index.csv_max_level() {
+            let touched = index.csv_dirty_subtrees_at_level(level);
+            assert!(
+                touched.len() <= 1,
+                "level {level} has {} dirty roots",
+                touched.len()
+            );
+            touched_levels += touched.len();
+        }
+        assert!(touched_levels >= 1, "the insert must dirty its path");
+        let plan = optimizer.plan_dirty(&index);
+        assert!(plan.len() <= touched_levels);
     }
 
     #[test]
@@ -606,7 +756,11 @@ mod tests {
         let mut index = AlexIndex::bulk_load(&identity_records(&keys));
         let level = index.csv_max_level();
         assert!(level >= 1);
-        let subtree = index.csv_subtrees_at_level(level).into_iter().next().unwrap();
+        let subtree = index
+            .csv_subtrees_at_level(level)
+            .into_iter()
+            .next()
+            .unwrap();
         let mut collected = index.csv_collect_keys(&subtree);
         collected.pop();
         let layout = SmoothedLayout::identity(&collected);
@@ -626,9 +780,16 @@ mod tests {
             Err(csv_core::csv::RebuildRefusal::StaleLayout)
         );
 
-        let tiny_config = AlexConfig { max_merged_slots: 4, ..AlexConfig::default() };
+        let tiny_config = AlexConfig {
+            max_merged_slots: 4,
+            ..AlexConfig::default()
+        };
         let mut tiny = AlexIndex::with_config(&identity_records(&keys), tiny_config);
-        let subtree = tiny.csv_subtrees_at_level(tiny.csv_max_level()).into_iter().next().unwrap();
+        let subtree = tiny
+            .csv_subtrees_at_level(tiny.csv_max_level())
+            .into_iter()
+            .next()
+            .unwrap();
         let full = tiny.csv_collect_keys(&subtree);
         let layout = SmoothedLayout::identity(&full);
         assert_eq!(
@@ -646,8 +807,16 @@ mod tests {
             let lo = keys[start];
             let hi = lo + span;
             let got = index.range(lo, hi);
-            let expected: Vec<Key> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
-            assert_eq!(got.iter().map(|r| r.key).collect::<Vec<_>>(), expected, "range [{lo}, {hi}]");
+            let expected: Vec<Key> = keys
+                .iter()
+                .copied()
+                .filter(|&k| k >= lo && k <= hi)
+                .collect();
+            assert_eq!(
+                got.iter().map(|r| r.key).collect::<Vec<_>>(),
+                expected,
+                "range [{lo}, {hi}]"
+            );
             assert!(got.windows(2).all(|w| w[0].key < w[1].key));
         }
         assert!(index.range(10, 5).is_empty());
@@ -682,7 +851,14 @@ mod tests {
             .filter(|&(i, &k)| k >= lo && k <= hi && (i % 4 != 0 || i == 0))
             .map(|(_, &k)| k)
             .collect();
-        assert_eq!(index.range(lo, hi).iter().map(|r| r.key).collect::<Vec<_>>(), expected);
+        assert_eq!(
+            index
+                .range(lo, hi)
+                .iter()
+                .map(|r| r.key)
+                .collect::<Vec<_>>(),
+            expected
+        );
     }
 
     #[test]

@@ -19,21 +19,32 @@ fn bench_concurrent_scaling(c: &mut Criterion) {
     let queries = ReadOnlyWorkload::uniform(keys.clone(), QUERIES, 9).queries;
 
     let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
-    let enhanced = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
+    let enhanced =
+        ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
     enhanced.with_shards_mut(|shard| {
         CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(shard);
     });
 
     let mut group = c.benchmark_group("concurrent_read_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.throughput(Throughput::Elements(QUERIES as u64));
     for &threads in &[1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("lipp_sharded", threads), &threads, |b, &t| {
-            b.iter(|| black_box(run_read_throughput(&plain, &queries, t)));
-        });
-        group.bench_with_input(BenchmarkId::new("lipp_sharded_csv", threads), &threads, |b, &t| {
-            b.iter(|| black_box(run_read_throughput(&enhanced, &queries, t)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lipp_sharded", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(run_read_throughput(&plain, &queries, t)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lipp_sharded_csv", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(run_read_throughput(&enhanced, &queries, t)));
+            },
+        );
     }
     group.finish();
 }

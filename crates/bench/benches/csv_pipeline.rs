@@ -16,7 +16,9 @@ const NUM_KEYS: usize = 100_000;
 
 fn bench_csv_preprocessing(c: &mut Criterion) {
     let mut group = c.benchmark_group("csv_preprocessing");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let keys = Dataset::Genome.generate(NUM_KEYS, 17);
     let records = identity_records(&keys);
     for &alpha in &[0.05, 0.1, 0.4] {
@@ -45,7 +47,9 @@ fn bench_csv_preprocessing(c: &mut Criterion) {
 
 fn bench_bulk_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("bulk_load");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let keys = Dataset::Facebook.generate(NUM_KEYS, 19);
     for kind in IndexKind::all() {
         group.bench_function(kind.name(), |b| {

@@ -12,34 +12,44 @@ const NUM_KEYS: usize = 100_000;
 
 fn bench_inserts(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_after_bulk_load");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let keys = Dataset::Osm.generate(NUM_KEYS, 13);
     let workload = ReadWriteWorkload::split(&keys, 1, 0.05, 100, 21);
     let batch: &Vec<Key> = &workload.insert_batches[0];
 
     for kind in [IndexKind::Lipp, IndexKind::Alex] {
-        group.bench_with_input(BenchmarkId::new("original", kind.name()), batch, |b, batch| {
-            b.iter_batched(
-                || build_plain(kind, &workload.initial_keys),
-                |mut index| {
-                    for &k in batch {
-                        black_box(index.insert(k, k));
-                    }
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("csv_enhanced", kind.name()), batch, |b, batch| {
-            b.iter_batched(
-                || build_enhanced(kind, &workload.initial_keys, 0.1).0,
-                |mut index| {
-                    for &k in batch {
-                        black_box(index.insert(k, k));
-                    }
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("original", kind.name()),
+            batch,
+            |b, batch| {
+                b.iter_batched(
+                    || build_plain(kind, &workload.initial_keys),
+                    |mut index| {
+                        for &k in batch {
+                            black_box(index.insert(k, k));
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csv_enhanced", kind.name()),
+            batch,
+            |b, batch| {
+                b.iter_batched(
+                    || build_enhanced(kind, &workload.initial_keys, 0.1).0,
+                    |mut index| {
+                        for &k in batch {
+                            black_box(index.insert(k, k));
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }

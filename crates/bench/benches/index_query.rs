@@ -18,12 +18,16 @@ const NUM_QUERIES: usize = 2_000;
 
 fn queries(keys: &[Key]) -> Vec<Key> {
     let mut rng = XorShift64::new(99);
-    (0..NUM_QUERIES).map(|_| keys[rng.next_below(keys.len() as u64) as usize]).collect()
+    (0..NUM_QUERIES)
+        .map(|_| keys[rng.next_below(keys.len() as u64) as usize])
+        .collect()
 }
 
 fn bench_learned_indexes(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_lookup");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let keys = Dataset::Genome.generate(NUM_KEYS, 5);
     let qs = queries(&keys);
     for kind in IndexKind::all() {
@@ -36,20 +40,26 @@ fn bench_learned_indexes(c: &mut Criterion) {
             });
         });
         let (enhanced, _) = build_enhanced(kind, &keys, 0.1);
-        group.bench_with_input(BenchmarkId::new("csv_enhanced", kind.name()), &qs, |b, qs| {
-            b.iter(|| {
-                for &q in qs {
-                    black_box(enhanced.get(q));
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("csv_enhanced", kind.name()),
+            &qs,
+            |b, qs| {
+                b.iter(|| {
+                    for &q in qs {
+                        black_box(enhanced.get(q));
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_lookup_baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let keys = Dataset::Genome.generate(NUM_KEYS, 5);
     let qs = queries(&keys);
     let records = identity_records(&keys);

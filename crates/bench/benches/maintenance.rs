@@ -1,0 +1,113 @@
+//! Dirty-planning cost vs. the dirty fraction.
+//!
+//! The maintenance engine's value proposition is that re-planning after a
+//! write burst costs O(dirty fraction) of a full plan, not O(index). This
+//! bench pins that: a 100k-key LIPP is optimised and marked clean, then a
+//! varying fraction of its level-2 sub-trees is dirtied (one remove +
+//! re-insert each, which flags the sub-tree without changing its key set)
+//! and `CsvOptimizer::plan_dirty` is measured against the full
+//! `CsvOptimizer::plan` — both in wall-clock and in `SmoothingCounters`
+//! refits, which are asserted to scale with the dirty fraction.
+//!
+//! Run with `cargo bench --bench maintenance`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csv_common::key::identity_records;
+use csv_common::traits::{LearnedIndex, RemovableIndex};
+use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer};
+use csv_datasets::Dataset;
+use csv_lipp::LippIndex;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Builds an optimised, clean 100k-key LIPP and dirties `fraction` of its
+/// level-2 sub-trees (evenly strided across the key space) without changing
+/// any key set.
+fn dirtied_index(keys: &[u64], optimizer: &CsvOptimizer, fraction: f64) -> LippIndex {
+    let mut index = LippIndex::bulk_load(&identity_records(keys));
+    optimizer.optimize(&mut index);
+    index.csv_mark_clean();
+    let subtrees = index.csv_subtrees_at_level(2);
+    let dirty_count = ((subtrees.len() as f64 * fraction).round() as usize).min(subtrees.len());
+    if dirty_count == 0 {
+        return index;
+    }
+    let stride = (subtrees.len() / dirty_count).max(1);
+    for subtree in subtrees.into_iter().step_by(stride).take(dirty_count) {
+        let key = index.csv_collect_keys(&subtree)[0];
+        let value = index.get(key).expect("collected keys are stored");
+        index.remove(key);
+        index.insert(key, value);
+    }
+    index
+}
+
+fn bench_dirty_fraction(c: &mut Criterion) {
+    let keys = Dataset::Osm.generate(100_000, 7);
+    let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
+
+    // The asserted pin — dirty planning does O(k) of the full plan's
+    // smoothing work: with k% of the sub-trees dirty it considers exactly
+    // those sub-trees and spends exactly the refits the full plan spends on
+    // them (per-sub-tree refit cost is wildly non-uniform on clustered
+    // data, so the *work* pin is against the same sub-trees' share, not
+    // against k× the total).
+    for &fraction in &[0.0f64, 0.1, 0.5, 1.0] {
+        let index = dirtied_index(&keys, &optimizer, fraction);
+        let full = optimizer.plan(&index);
+        let dirty_plan = optimizer.plan_dirty(&index);
+        let expected_count = ((full.len() as f64 * fraction).round() as usize).min(full.len());
+        assert_eq!(dirty_plan.len(), expected_count, "fraction {fraction}");
+        let dirty_ids: std::collections::HashSet<usize> = dirty_plan
+            .decisions()
+            .iter()
+            .map(|d| d.subtree.node_id)
+            .collect();
+        let expected_refits: usize = full
+            .decisions()
+            .iter()
+            .filter(|d| dirty_ids.contains(&d.subtree.node_id))
+            .map(|d| d.counters.gap_refits)
+            .sum();
+        assert_eq!(
+            dirty_plan.gap_refits(),
+            expected_refits,
+            "fraction {fraction}: dirty planning must spend exactly its sub-trees' share"
+        );
+        eprintln!(
+            "# plan_dirty fraction={fraction}: subtrees={}/{} refits={} ({:.1}% of full plan's {})",
+            dirty_plan.len(),
+            full.len(),
+            dirty_plan.gap_refits(),
+            dirty_plan.gap_refits() as f64 / full.gap_refits().max(1) as f64 * 100.0,
+            full.gap_refits(),
+        );
+        if fraction >= 1.0 {
+            assert_eq!(dirty_plan.gap_refits(), full.gap_refits());
+            assert_eq!(dirty_plan.decisions(), full.decisions());
+        }
+    }
+
+    let mut group = c.benchmark_group("maintenance_dirty_planning");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("plan_full", |b| {
+        let index = dirtied_index(&keys, &optimizer, 1.0);
+        b.iter(|| black_box(optimizer.plan(&index)));
+    });
+    for &fraction in &[0.1f64, 0.5, 1.0] {
+        let index = dirtied_index(&keys, &optimizer, fraction);
+        group.bench_with_input(
+            BenchmarkId::new("plan_dirty", format!("{fraction}")),
+            &fraction,
+            |b, _| {
+                b.iter(|| black_box(optimizer.plan_dirty(&index)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dirty_fraction);
+criterion_main!(benches);

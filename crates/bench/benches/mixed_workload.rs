@@ -7,7 +7,9 @@ use csv_btree::BPlusTree;
 use csv_common::key::identity_records;
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
 use csv_core::{CsvConfig, CsvOptimizer};
-use csv_datasets::{Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity};
+use csv_datasets::{
+    Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity,
+};
 use csv_lipp::LippIndex;
 use std::hint::black_box;
 use std::time::Duration;
@@ -15,7 +17,10 @@ use std::time::Duration;
 const KEYS: usize = 100_000;
 const OPS: usize = 20_000;
 
-fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(index: &mut I, workload: &MixedWorkload) -> usize {
+fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
+    index: &mut I,
+    workload: &MixedWorkload,
+) -> usize {
     let mut touched = 0usize;
     for op in &workload.operations {
         match *op {
@@ -32,9 +37,14 @@ fn bench_mixed_workload(c: &mut Criterion) {
     let keys = Dataset::Osm.generate(KEYS, 5);
     let records = identity_records(&keys);
     let mut group = c.benchmark_group("mixed_workload");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
-    for (mix_name, mix) in [("ycsb_b", OperationMix::ycsb_b()), ("churn", OperationMix::churn())] {
+    for (mix_name, mix) in [
+        ("ycsb_b", OperationMix::ycsb_b()),
+        ("churn", OperationMix::churn()),
+    ] {
         let workload = MixedWorkload::generate(
             &keys,
             &MixedWorkloadSpec {
@@ -59,17 +69,21 @@ fn bench_mixed_workload(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
-        group.bench_with_input(BenchmarkId::new("lipp_csv", mix_name), &workload, |b, wl| {
-            b.iter_batched(
-                || {
-                    let mut index = LippIndex::bulk_load(&records);
-                    CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut index);
-                    index
-                },
-                |mut index| black_box(replay(&mut index, wl)),
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lipp_csv", mix_name),
+            &workload,
+            |b, wl| {
+                b.iter_batched(
+                    || {
+                        let mut index = LippIndex::bulk_load(&records);
+                        CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut index);
+                        index
+                    },
+                    |mut index| black_box(replay(&mut index, wl)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
         group.bench_with_input(BenchmarkId::new("alex", mix_name), &workload, |b, wl| {
             b.iter_batched(
                 || AlexIndex::bulk_load(&records),

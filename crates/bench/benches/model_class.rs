@@ -8,31 +8,48 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csv_core::poisoning::{poison_segment, PoisoningConfig};
-use csv_core::{smooth_segment, smooth_segment_quadratic, QuadraticSmoothingConfig, SmoothingConfig};
+use csv_core::{
+    smooth_segment, smooth_segment_quadratic, QuadraticSmoothingConfig, SmoothingConfig,
+};
 use csv_datasets::Dataset;
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_model_class(c: &mut Criterion) {
     let mut group = c.benchmark_group("smoothing_model_class");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for dataset in [Dataset::Covid, Dataset::Genome] {
         let keys = dataset.generate(1_024, 7);
-        group.bench_with_input(BenchmarkId::new("linear", dataset.name()), &keys, |b, keys| {
-            b.iter(|| black_box(smooth_segment(keys, &SmoothingConfig::with_alpha(0.1))));
-        });
-        group.bench_with_input(BenchmarkId::new("quadratic", dataset.name()), &keys, |b, keys| {
-            b.iter(|| {
-                black_box(smooth_segment_quadratic(keys, &QuadraticSmoothingConfig::with_alpha(0.1)))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("linear", dataset.name()),
+            &keys,
+            |b, keys| {
+                b.iter(|| black_box(smooth_segment(keys, &SmoothingConfig::with_alpha(0.1))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("quadratic", dataset.name()),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    black_box(smooth_segment_quadratic(
+                        keys,
+                        &QuadraticSmoothingConfig::with_alpha(0.1),
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_poisoning(c: &mut Criterion) {
     let mut group = c.benchmark_group("poisoning_attack");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &size in &[512usize, 2_048] {
         let keys = Dataset::Osm.generate(size, 3);
         group.bench_with_input(BenchmarkId::from_parameter(size), &keys, |b, keys| {

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_smoothing_segment_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("smooth_segment_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &size in &[256usize, 1024, 4096] {
         let keys = Dataset::Genome.generate(size, 7);
         group.bench_with_input(BenchmarkId::new("alpha_0.1", size), &keys, |b, keys| {
@@ -21,11 +23,16 @@ fn bench_smoothing_segment_size(c: &mut Criterion) {
 
 fn bench_greedy_mode_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("greedy_mode_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let keys = Dataset::Osm.generate(2048, 11);
     for (label, mode) in [("rescan", GreedyMode::Rescan), ("lazy", GreedyMode::Lazy)] {
         group.bench_function(label, |b| {
-            let config = SmoothingConfig { mode, ..SmoothingConfig::with_alpha(0.2) };
+            let config = SmoothingConfig {
+                mode,
+                ..SmoothingConfig::with_alpha(0.2)
+            };
             b.iter(|| black_box(smooth_segment(&keys, &config)));
         });
     }
@@ -34,7 +41,9 @@ fn bench_greedy_mode_ablation(c: &mut Criterion) {
 
 fn bench_alpha_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("smoothing_alpha");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let keys = Dataset::Genome.generate(1024, 3);
     for &alpha in &[0.05, 0.2, 0.8] {
         group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
@@ -44,5 +53,10 @@ fn bench_alpha_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_smoothing_segment_size, bench_greedy_mode_ablation, bench_alpha_scaling);
+criterion_group!(
+    benches,
+    bench_smoothing_segment_size,
+    bench_greedy_mode_ablation,
+    bench_alpha_scaling
+);
 criterion_main!(benches);

@@ -20,7 +20,9 @@ use std::time::Duration;
 
 fn bench_refit_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("smoothing_refit_scaling");
-    group.sample_size(5).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(5)
+        .measurement_time(Duration::from_secs(2));
     for &size in &[10_000usize, 100_000] {
         let keys = Dataset::Genome.generate(size, 7);
         let base = SmoothingConfig {
@@ -53,7 +55,9 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
 
     let mut group = c.benchmark_group("parallel_level_sweep");
-    group.sample_size(3).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(3)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("sequential", |b| {
         b.iter_batched(
             || LippIndex::bulk_load(&records),

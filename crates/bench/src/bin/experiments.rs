@@ -21,21 +21,31 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--size" => {
-                config.num_keys = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.num_keys);
+                config.num_keys = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.num_keys);
                 i += 2;
             }
             "--queries" => {
-                config.num_queries =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.num_queries);
+                config.num_queries = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.num_queries);
                 i += 2;
             }
             "--seed" => {
-                config.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.seed);
+                config.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.seed);
                 i += 2;
             }
             "--threads" => {
-                config.threads =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(config.threads);
+                config.threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.threads);
                 i += 2;
             }
             "--greedy" => {
@@ -71,11 +81,18 @@ fn main() {
         config.num_keys,
         config.num_queries,
         config.seed,
-        if config.threads == 0 { "auto".to_string() } else { config.threads.to_string() },
+        if config.threads == 0 {
+            "auto".to_string()
+        } else {
+            config.threads.to_string()
+        },
         config.greedy,
     );
     if !run_experiment(&name, &config) {
-        eprintln!("unknown experiment '{name}'; available: {}", EXPERIMENT_NAMES.join(" "));
+        eprintln!(
+            "unknown experiment '{name}'; available: {}",
+            EXPERIMENT_NAMES.join(" ")
+        );
         std::process::exit(2);
     }
 }

@@ -17,7 +17,9 @@ use csv_core::exhaustive_smooth;
 use csv_core::paper_example::{fig2_keys, reported, FIG2_ALPHA};
 use csv_core::segment::SegmentState;
 use csv_core::{smooth_segment, CsvConfig, CsvOptimizer, SmoothingConfig};
-use csv_datasets::{cdf::ZoomedWindow, downsample::cardinality_chain, CdfStats, Dataset, ReadWriteWorkload};
+use csv_datasets::{
+    cdf::ZoomedWindow, downsample::cardinality_chain, CdfStats, Dataset, ReadWriteWorkload,
+};
 use csv_lipp::LippIndex;
 use std::time::Instant;
 
@@ -45,7 +47,13 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { num_keys: 400_000, num_queries: 20_000, seed: 42, threads: 0, greedy: csv_core::GreedyMode::Lazy }
+        Self {
+            num_keys: 400_000,
+            num_queries: 20_000,
+            seed: 42,
+            threads: 0,
+            greedy: csv_core::GreedyMode::Lazy,
+        }
     }
 }
 
@@ -82,7 +90,9 @@ pub fn run_experiment(name: &str, config: &ExperimentConfig) -> bool {
 
 fn sample_queries(keys: &[Key], count: usize, seed: u64) -> Vec<Key> {
     let mut rng = XorShift64::new(seed);
-    (0..count).map(|_| keys[rng.next_below(keys.len() as u64) as usize]).collect()
+    (0..count)
+        .map(|_| keys[rng.next_below(keys.len() as u64) as usize])
+        .collect()
 }
 
 /// Fig. 1 — average query time per level of the (plain) LIPP index.
@@ -123,9 +133,21 @@ pub fn fig2_running_example() -> bool {
     let keys = fig2_keys();
     let result = smooth_segment(&keys, &SmoothingConfig::with_alpha(FIG2_ALPHA));
     println!("metric\tmeasured\tpaper");
-    println!("loss_before\t{:.3}\t{:.2}", result.loss_before, reported::LOSS_BEFORE);
-    println!("loss_after_real\t{:.3}\t{:.2}", result.loss_after_real, reported::LOSS_AFTER_REAL);
-    println!("loss_after_all\t{:.3}\t{:.2}", result.loss_after_all, reported::LOSS_AFTER_ALL);
+    println!(
+        "loss_before\t{:.3}\t{:.2}",
+        result.loss_before,
+        reported::LOSS_BEFORE
+    );
+    println!(
+        "loss_after_real\t{:.3}\t{:.2}",
+        result.loss_after_real,
+        reported::LOSS_AFTER_REAL
+    );
+    println!(
+        "loss_after_all\t{:.3}\t{:.2}",
+        result.loss_after_all,
+        reported::LOSS_AFTER_ALL
+    );
     println!("virtual_points\t{}\t5", result.virtual_points.len());
     true
 }
@@ -212,9 +234,23 @@ pub fn table2_approximation_quality() -> bool {
     let exact = exhaustive_smooth(&keys, FIG2_ALPHA, 64).expect("example is small");
     let exact_time = start.elapsed();
     println!("method\tloss\ttime_ns\tpaper_loss");
-    println!("Original\t{:.3}\t-\t{:.3}", greedy.loss_before, reported::TABLE2_ORIGINAL);
-    println!("CSV (greedy)\t{:.3}\t{}\t{:.3}", greedy.loss_after_all, greedy_time.as_nanos(), reported::TABLE2_CSV);
-    println!("Exhaustive\t{:.3}\t{}\t{:.3}", exact.loss_after_all, exact_time.as_nanos(), reported::TABLE2_EXHAUSTIVE);
+    println!(
+        "Original\t{:.3}\t-\t{:.3}",
+        greedy.loss_before,
+        reported::TABLE2_ORIGINAL
+    );
+    println!(
+        "CSV (greedy)\t{:.3}\t{}\t{:.3}",
+        greedy.loss_after_all,
+        greedy_time.as_nanos(),
+        reported::TABLE2_CSV
+    );
+    println!(
+        "Exhaustive\t{:.3}\t{}\t{:.3}",
+        exact.loss_after_all,
+        exact_time.as_nanos(),
+        reported::TABLE2_EXHAUSTIVE
+    );
     true
 }
 
@@ -253,8 +289,11 @@ fn alpha_sweep_row(
     let levels_after = key_levels(enhanced.as_ref(), keys);
 
     let (promoted, promotable) = promoted_keys(keys, &levels_before, &levels_after);
-    let promoted_pct =
-        if promotable == 0 { 0.0 } else { promoted.len() as f64 / promotable as f64 * 100.0 };
+    let promoted_pct = if promotable == 0 {
+        0.0
+    } else {
+        promoted.len() as f64 / promotable as f64 * 100.0
+    };
 
     // Query improvement measured over the promoted keys (the paper's focus).
     let sample: Vec<Key> = if promoted.is_empty() {
@@ -271,14 +310,20 @@ fn alpha_sweep_row(
         let before = measure_queries(plain.as_ref(), &sample);
         let after = measure_queries(enhanced.as_ref(), &sample);
         let per_query_saved = before.avg_ns - after.avg_ns;
-        (per_query_saved * promoted.len() as f64, per_query_saved / before.avg_ns * 100.0)
+        (
+            per_query_saved * promoted.len() as f64,
+            per_query_saved / before.avg_ns * 100.0,
+        )
     };
 
-    let storage_increase = (enhanced_stats.size_bytes as f64 / plain_stats.size_bytes as f64 - 1.0) * 100.0;
+    let storage_increase =
+        (enhanced_stats.size_bytes as f64 / plain_stats.size_bytes as f64 - 1.0) * 100.0;
     let node_reduction = if plain_stats.deep_node_count == 0 {
         0.0
     } else {
-        (plain_stats.node_count.saturating_sub(enhanced_stats.node_count)) as f64
+        (plain_stats
+            .node_count
+            .saturating_sub(enhanced_stats.node_count)) as f64
             / plain_stats.deep_node_count as f64
             * 100.0
     };
@@ -362,13 +407,16 @@ pub fn fig10_read_write(config: &ExperimentConfig) -> bool {
     for kind in [IndexKind::Lipp, IndexKind::Alex] {
         for dataset in Dataset::paper_datasets() {
             let keys = dataset.generate(config.num_keys, config.seed);
-            let workload = ReadWriteWorkload::split(&keys, 5, 0.1, config.num_queries, config.seed ^ 3);
+            let workload =
+                ReadWriteWorkload::split(&keys, 5, 0.1, config.num_queries, config.seed ^ 3);
 
             let mut plain = build_plain(kind, &workload.initial_keys);
             let levels_before = key_levels(plain.as_ref(), &workload.initial_keys);
-            let (mut enhanced, _) = build_enhanced_with(kind, &workload.initial_keys, 0.1, config.greedy);
+            let (mut enhanced, _) =
+                build_enhanced_with(kind, &workload.initial_keys, 0.1, config.greedy);
             let levels_after = key_levels(enhanced.as_ref(), &workload.initial_keys);
-            let (promoted, _) = promoted_keys(&workload.initial_keys, &levels_before, &levels_after);
+            let (promoted, _) =
+                promoted_keys(&workload.initial_keys, &levels_before, &levels_after);
             let sample: Vec<Key> = promoted.iter().copied().take(config.num_queries).collect();
 
             for (batch_idx, batch) in workload.insert_batches.iter().enumerate() {
@@ -381,14 +429,14 @@ pub fn fig10_read_write(config: &ExperimentConfig) -> bool {
                     let after = measure_queries(enhanced.as_ref(), &sample);
                     (before.avg_ns - after.avg_ns) * promoted.len() as f64
                 };
-                let storage = (enhanced.stats().size_bytes as f64
-                    / plain.stats().size_bytes as f64
-                    - 1.0)
-                    * 100.0;
+                let storage =
+                    (enhanced.stats().size_bytes as f64 / plain.stats().size_bytes as f64 - 1.0)
+                        * 100.0;
                 let insert_increase = if plain_insert.as_nanos() == 0 {
                     0.0
                 } else {
-                    (enhanced_insert.as_nanos() as f64 / plain_insert.as_nanos() as f64 - 1.0) * 100.0
+                    (enhanced_insert.as_nanos() as f64 / plain_insert.as_nanos() as f64 - 1.0)
+                        * 100.0
                 };
                 println!(
                     "{}\t{}\t{}\t{:.0}\t{:.1}\t{:.1}",
@@ -440,7 +488,9 @@ mod tests {
 
     #[test]
     fn experiment_names_cover_every_paper_artifact() {
-        for required in ["fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "table4"] {
+        for required in [
+            "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3", "table4",
+        ] {
             assert!(EXPERIMENT_NAMES.contains(&required), "{required} missing");
         }
     }

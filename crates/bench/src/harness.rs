@@ -67,7 +67,11 @@ pub fn build_plain(kind: IndexKind, keys: &[Key]) -> Box<dyn CsvTarget> {
 /// returns the optimised index together with the CSV run report. Uses the
 /// default (lazy) greedy driver; use [`build_enhanced_with`] to select the
 /// paper-faithful Rescan driver.
-pub fn build_enhanced(kind: IndexKind, keys: &[Key], alpha: f64) -> (Box<dyn CsvTarget>, CsvReport) {
+pub fn build_enhanced(
+    kind: IndexKind,
+    keys: &[Key],
+    alpha: f64,
+) -> (Box<dyn CsvTarget>, CsvReport) {
     build_enhanced_with(kind, keys, alpha, csv_core::GreedyMode::Lazy)
 }
 
@@ -105,7 +109,10 @@ impl OptimizeBoxed for CsvOptimizer {
             fn csv_collect_keys_into(&self, s: &csv_core::csv::SubtreeRef, buf: &mut Vec<Key>) {
                 self.0.csv_collect_keys_into(s, buf)
             }
-            fn csv_subtree_cost(&self, s: &csv_core::csv::SubtreeRef) -> csv_core::cost::SubtreeCostStats {
+            fn csv_subtree_cost(
+                &self,
+                s: &csv_core::csv::SubtreeRef,
+            ) -> csv_core::cost::SubtreeCostStats {
                 self.0.csv_subtree_cost(s)
             }
             fn csv_rebuild_subtree(
@@ -135,7 +142,11 @@ pub struct QueryMeasurement {
 /// Times `queries` lookups (all of which must hit) against an index.
 pub fn measure_queries(index: &dyn LearnedIndex, queries: &[Key]) -> QueryMeasurement {
     if queries.is_empty() {
-        return QueryMeasurement { queries: 0, avg_ns: 0.0, avg_cost: 0.0 };
+        return QueryMeasurement {
+            queries: 0,
+            avg_ns: 0.0,
+            avg_cost: 0.0,
+        };
     }
     let mut counters = CostCounters::new();
     let start = Instant::now();
@@ -146,7 +157,12 @@ pub fn measure_queries(index: &dyn LearnedIndex, queries: &[Key]) -> QueryMeasur
         }
     }
     let elapsed = start.elapsed();
-    assert_eq!(found, queries.len(), "{}: a query key was missing", index.name());
+    assert_eq!(
+        found,
+        queries.len(),
+        "{}: a query key was missing",
+        index.name()
+    );
     QueryMeasurement {
         queries: queries.len(),
         avg_ns: elapsed.as_nanos() as f64 / queries.len() as f64,
@@ -157,7 +173,12 @@ pub fn measure_queries(index: &dyn LearnedIndex, queries: &[Key]) -> QueryMeasur
 /// Per-key levels of a key sample (index of the vec = index into `keys`).
 pub fn key_levels(index: &dyn LearnedIndex, keys: &[Key]) -> Vec<u8> {
     keys.iter()
-        .map(|&k| index.level_of_key(k).unwrap_or(u8::MAX as usize).min(u8::MAX as usize) as u8)
+        .map(|&k| {
+            index
+                .level_of_key(k)
+                .unwrap_or(u8::MAX as usize)
+                .min(u8::MAX as usize) as u8
+        })
         .collect()
 }
 

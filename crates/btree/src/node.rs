@@ -33,7 +33,12 @@ impl BPlusTree {
     /// Builds a tree with a custom fanout.
     pub fn with_fanout(records: &[KeyValue], fanout: usize) -> Self {
         assert!(fanout >= 4, "fanout must be at least 4");
-        let mut tree = Self { nodes: Vec::new(), root: 0, len: 0, fanout };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: 0,
+            len: 0,
+            fanout,
+        };
         tree.build(records);
         tree
     }
@@ -42,7 +47,10 @@ impl BPlusTree {
         self.nodes.clear();
         self.len = records.len();
         if records.is_empty() {
-            self.root = self.push(Node::Leaf { keys: Vec::new(), values: Vec::new() });
+            self.root = self.push(Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            });
             return;
         }
         // Build the leaf level at ~2/3 occupancy so bulk-loaded trees still
@@ -63,7 +71,10 @@ impl BPlusTree {
                 let children: Vec<usize> = chunk.iter().map(|&(_, id)| id).collect();
                 let separators: Vec<Key> = chunk.iter().skip(1).map(|&(k, _)| k).collect();
                 let min_key = chunk[0].0;
-                let id = self.push(Node::Internal { separators, children });
+                let id = self.push(Node::Internal {
+                    separators,
+                    children,
+                });
                 next.push((min_key, id));
             }
             level = next;
@@ -98,7 +109,10 @@ impl BPlusTree {
         loop {
             visited += 1;
             match &self.nodes[node] {
-                Node::Internal { separators, children } => {
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
                     let idx = separators.partition_point(|&s| s <= key);
                     comparisons += (separators.len().max(1)).ilog2() as usize + 1;
                     node = children[idx];
@@ -124,7 +138,10 @@ impl BPlusTree {
             _ => return None,
         };
         let split_key = new_keys[0];
-        let new_leaf = self.push(Node::Leaf { keys: new_keys, values: new_values });
+        let new_leaf = self.push(Node::Leaf {
+            keys: new_keys,
+            values: new_values,
+        });
         Some((split_key, new_leaf))
     }
 }
@@ -141,9 +158,7 @@ impl LearnedIndex for BPlusTree {
     fn get(&self, key: Key) -> Option<Value> {
         let leaf = self.descend(key, None);
         match &self.nodes[leaf] {
-            Node::Leaf { keys, values } => {
-                keys.binary_search(&key).ok().map(|i| values[i])
-            }
+            Node::Leaf { keys, values } => keys.binary_search(&key).ok().map(|i| values[i]),
             Node::Internal { .. } => unreachable!("descend always ends at a leaf"),
         }
     }
@@ -163,7 +178,11 @@ impl LearnedIndex for BPlusTree {
         // Descend remembering the path so splits can be propagated.
         let mut path = Vec::new();
         let mut node = self.root;
-        while let Node::Internal { separators, children } = &self.nodes[node] {
+        while let Node::Internal {
+            separators,
+            children,
+        } = &self.nodes[node]
+        {
             let idx = separators.partition_point(|&s| s <= key);
             path.push((node, idx));
             node = children[idx];
@@ -192,7 +211,10 @@ impl LearnedIndex for BPlusTree {
                 Some((parent, idx)) => {
                     let fanout = self.fanout;
                     let needs_split = match &mut self.nodes[parent] {
-                        Node::Internal { separators, children } => {
+                        Node::Internal {
+                            separators,
+                            children,
+                        } => {
                             separators.insert(idx, sep_key);
                             children.insert(idx + 1, new_child);
                             separators.len() + 1 > fanout
@@ -201,7 +223,10 @@ impl LearnedIndex for BPlusTree {
                     };
                     split = if needs_split {
                         let (new_seps, new_children, promote) = match &mut self.nodes[parent] {
-                            Node::Internal { separators, children } => {
+                            Node::Internal {
+                                separators,
+                                children,
+                            } => {
                                 let mid = separators.len() / 2;
                                 let promote = separators[mid];
                                 let right_seps = separators.split_off(mid + 1);
@@ -211,8 +236,10 @@ impl LearnedIndex for BPlusTree {
                             }
                             Node::Leaf { .. } => unreachable!(),
                         };
-                        let new_internal =
-                            self.push(Node::Internal { separators: new_seps, children: new_children });
+                        let new_internal = self.push(Node::Internal {
+                            separators: new_seps,
+                            children: new_children,
+                        });
                         Some((promote, new_internal))
                     } else {
                         None
@@ -248,9 +275,10 @@ impl LearnedIndex for BPlusTree {
             .nodes
             .iter()
             .map(|n| match n {
-                Node::Internal { separators, children } => {
-                    separators.len() * 8 + children.len() * 8 + 48
-                }
+                Node::Internal {
+                    separators,
+                    children,
+                } => separators.len() * 8 + children.len() * 8 + 48,
                 Node::Leaf { keys, values } => keys.len() * 8 + values.len() * 8 + 48,
             })
             .sum();
@@ -312,7 +340,10 @@ impl BPlusTree {
     /// `[lo, hi]`, pruning children whose separator ranges cannot overlap.
     fn range_into(&self, node_id: usize, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
         match &self.nodes[node_id] {
-            Node::Internal { separators, children } => {
+            Node::Internal {
+                separators,
+                children,
+            } => {
                 // Child `i` covers keys in [separators[i-1], separators[i]).
                 let first = separators.partition_point(|&s| s <= lo);
                 let last = separators.partition_point(|&s| s <= hi);
@@ -432,7 +463,10 @@ mod tests {
         let ks = keys(50_000, 3);
         let tree = BPlusTree::bulk_load(&identity_records(&ks));
         let mut counters = CostCounters::new();
-        assert_eq!(tree.get_counted(ks[12_345], &mut counters), Some(ks[12_345]));
+        assert_eq!(
+            tree.get_counted(ks[12_345], &mut counters),
+            Some(ks[12_345])
+        );
         assert!(counters.nodes_visited >= tree.height());
         assert!(counters.comparisons > 0);
     }

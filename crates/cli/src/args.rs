@@ -30,7 +30,9 @@ impl IndexChoice {
             "sali" => Ok(Self::Sali),
             "pgm" => Ok(Self::Pgm),
             "btree" | "b+tree" => Ok(Self::Btree),
-            other => Err(CliError::new(format!("unknown index '{other}' (expected alex|lipp|sali|pgm|btree)"))),
+            other => Err(CliError::new(format!(
+                "unknown index '{other}' (expected alex|lipp|sali|pgm|btree)"
+            ))),
         }
     }
 
@@ -92,7 +94,9 @@ pub struct CliError {
 impl CliError {
     /// Creates an error from any displayable message.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -128,9 +132,16 @@ pub struct CliArgs {
     /// Greedy driver for Algorithm 1: the lazy heap (default) or the
     /// paper-faithful full rescan.
     pub greedy: GreedyMode,
+    /// Diminishing-returns drift the lazy driver tolerates before its exact
+    /// fallback rescan (0 = exact behaviour).
+    pub drift_tolerance: f64,
     /// Plan-only mode: print the CSV plan as JSON without applying it (and
     /// without replaying any workload).
     pub dry_run: bool,
+    /// Maintenance mode: run the workload over the sharded index twice —
+    /// once interleaved with background maintenance ticks, once without —
+    /// and report the lookup-latency comparison.
+    pub maintain: bool,
 }
 
 impl Default for CliArgs {
@@ -146,7 +157,9 @@ impl Default for CliArgs {
             seed: 42,
             threads: 0,
             greedy: GreedyMode::Lazy,
+            drift_tolerance: 0.0,
             dry_run: false,
+            maintain: false,
         }
     }
 }
@@ -156,15 +169,21 @@ impl CliArgs {
     pub fn usage() -> &'static str {
         "csv-index [--index alex|lipp|sali|pgm|btree] [--dataset facebook|covid|osm|genome]\n\
          \u{20}         [--dataset-file PATH.sosd] [--size N] [--alpha A] [--threads T]\n\
-         \u{20}         [--greedy lazy|rescan] [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn]\n\
-         \u{20}         [--ops N] [--seed S] [--dry-run]\n\
+         \u{20}         [--greedy lazy|rescan] [--drift-tolerance D]\n\
+         \u{20}         [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn]\n\
+         \u{20}         [--ops N] [--seed S] [--dry-run] [--maintain]\n\
          \n\
          Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
          smoothing (alpha > 0) using T worker threads (0 = one per core) and the chosen\n\
-         greedy driver, replays the workload and prints structure and latency reports.\n\
+         greedy driver (drift tolerance D > 0 lets the lazy driver skip exact fallback\n\
+         rescans on bounded invariant violations), replays the workload and prints\n\
+         structure and latency reports.\n\
          With --dry-run the CSV plan is printed as JSON and nothing is applied or replayed\n\
          (exact for lipp/sali; for alex's multi-level sweep the upper levels are planned\n\
-         against the un-rebuilt structure, so a real run can decide those levels differently)."
+         against the un-rebuilt structure, so a real run can decide those levels differently).\n\
+         With --maintain the workload runs over the sharded index twice — interleaved with\n\
+         background maintenance ticks, then without — and the lookup-latency comparison\n\
+         (p50/p99) is reported alongside the usual output."
     }
 
     /// Parses `--flag value` style arguments (anything after the program
@@ -179,6 +198,10 @@ impl CliArgs {
             }
             if flag == "--dry-run" {
                 out.dry_run = true;
+                continue;
+            }
+            if flag == "--maintain" {
+                out.maintain = true;
                 continue;
             }
             let value = it
@@ -204,15 +227,28 @@ impl CliArgs {
                     }
                 }
                 "--alpha" => {
-                    out.alpha = value
-                        .parse::<f64>()
-                        .map_err(|_| CliError::new(format!("--alpha expects a number, got '{value}'")))?;
+                    out.alpha = value.parse::<f64>().map_err(|_| {
+                        CliError::new(format!("--alpha expects a number, got '{value}'"))
+                    })?;
                     if !(0.0..=1.0).contains(&out.alpha) {
                         return Err(CliError::new("--alpha must be in [0, 1]"));
                     }
                 }
+                "--drift-tolerance" => {
+                    out.drift_tolerance = value.parse::<f64>().map_err(|_| {
+                        CliError::new(format!("--drift-tolerance expects a number, got '{value}'"))
+                    })?;
+                    if !out.drift_tolerance.is_finite() || out.drift_tolerance < 0.0 {
+                        return Err(CliError::new("--drift-tolerance must be >= 0"));
+                    }
+                }
                 "--workload" => out.workload = WorkloadChoice::parse(value)?,
-                other => return Err(CliError::new(format!("unknown flag '{other}'\n\n{}", Self::usage()))),
+                other => {
+                    return Err(CliError::new(format!(
+                        "unknown flag '{other}'\n\n{}",
+                        Self::usage()
+                    )))
+                }
             }
         }
         if out.size < 2 && out.dataset_file.is_none() {
@@ -258,8 +294,22 @@ mod tests {
     #[test]
     fn full_flag_set_round_trips() {
         let args = parse(&[
-            "--index", "alex", "--dataset", "osm", "--size", "50_000", "--alpha", "0.4",
-            "--workload", "ycsb-b", "--ops", "9000", "--seed", "7", "--threads", "4",
+            "--index",
+            "alex",
+            "--dataset",
+            "osm",
+            "--size",
+            "50_000",
+            "--alpha",
+            "0.4",
+            "--workload",
+            "ycsb-b",
+            "--ops",
+            "9000",
+            "--seed",
+            "7",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(args.index, IndexChoice::Alex);
@@ -275,15 +325,27 @@ mod tests {
     #[test]
     fn threads_defaults_to_auto() {
         assert_eq!(parse(&[]).unwrap().threads, 0);
-        assert!(parse(&["--threads", "x"]).unwrap_err().message.contains("integer"));
+        assert!(parse(&["--threads", "x"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
     }
 
     #[test]
     fn greedy_driver_parses() {
         assert_eq!(parse(&[]).unwrap().greedy, GreedyMode::Lazy);
-        assert_eq!(parse(&["--greedy", "rescan"]).unwrap().greedy, GreedyMode::Rescan);
-        assert_eq!(parse(&["--greedy", "LAZY"]).unwrap().greedy, GreedyMode::Lazy);
-        assert!(parse(&["--greedy", "eager"]).unwrap_err().message.contains("rescan|lazy"));
+        assert_eq!(
+            parse(&["--greedy", "rescan"]).unwrap().greedy,
+            GreedyMode::Rescan
+        );
+        assert_eq!(
+            parse(&["--greedy", "LAZY"]).unwrap().greedy,
+            GreedyMode::Lazy
+        );
+        assert!(parse(&["--greedy", "eager"])
+            .unwrap_err()
+            .message
+            .contains("rescan|lazy"));
     }
 
     #[test]
@@ -313,14 +375,38 @@ mod tests {
 
     #[test]
     fn errors_carry_useful_messages() {
-        assert!(parse(&["--index", "nope"]).unwrap_err().message.contains("unknown index"));
-        assert!(parse(&["--bogus", "1"]).unwrap_err().message.contains("unknown flag"));
-        assert!(parse(&["--size"]).unwrap_err().message.contains("expects a value"));
-        assert!(parse(&["--alpha", "3.0"]).unwrap_err().message.contains("[0, 1]"));
-        assert!(parse(&["--size", "1"]).unwrap_err().message.contains("at least 2"));
-        assert!(parse(&["--help"]).unwrap_err().message.contains("csv-index"));
-        assert!(parse(&["--ops", "abc"]).unwrap_err().message.contains("integer"));
-        assert!(parse(&["--dataset", "mars"]).unwrap_err().message.contains("unknown dataset"));
+        assert!(parse(&["--index", "nope"])
+            .unwrap_err()
+            .message
+            .contains("unknown index"));
+        assert!(parse(&["--bogus", "1"])
+            .unwrap_err()
+            .message
+            .contains("unknown flag"));
+        assert!(parse(&["--size"])
+            .unwrap_err()
+            .message
+            .contains("expects a value"));
+        assert!(parse(&["--alpha", "3.0"])
+            .unwrap_err()
+            .message
+            .contains("[0, 1]"));
+        assert!(parse(&["--size", "1"])
+            .unwrap_err()
+            .message
+            .contains("at least 2"));
+        assert!(parse(&["--help"])
+            .unwrap_err()
+            .message
+            .contains("csv-index"));
+        assert!(parse(&["--ops", "abc"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
+        assert!(parse(&["--dataset", "mars"])
+            .unwrap_err()
+            .message
+            .contains("unknown dataset"));
     }
 
     #[test]
@@ -331,6 +417,35 @@ mod tests {
         let args = parse(&["--dry-run", "--size", "5000"]).unwrap();
         assert!(args.dry_run);
         assert_eq!(args.size, 5_000);
+    }
+
+    #[test]
+    fn maintain_is_a_valueless_flag() {
+        assert!(!parse(&[]).unwrap().maintain);
+        let args = parse(&["--maintain", "--ops", "777"]).unwrap();
+        assert!(args.maintain);
+        assert_eq!(args.ops, 777);
+    }
+
+    #[test]
+    fn drift_tolerance_parses_and_validates() {
+        assert_eq!(parse(&[]).unwrap().drift_tolerance, 0.0);
+        assert!(
+            (parse(&["--drift-tolerance", "0.25"])
+                .unwrap()
+                .drift_tolerance
+                - 0.25)
+                .abs()
+                < 1e-12
+        );
+        assert!(parse(&["--drift-tolerance", "-1"])
+            .unwrap_err()
+            .message
+            .contains(">= 0"));
+        assert!(parse(&["--drift-tolerance", "x"])
+            .unwrap_err()
+            .message
+            .contains("number"));
     }
 
     #[test]

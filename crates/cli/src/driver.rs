@@ -7,8 +7,11 @@ use csv_btree::BPlusTree;
 use csv_common::latency::LatencyHistogram;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::Key;
+use csv_concurrent::{
+    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, ShardedIndex, ShardingConfig,
+};
 use csv_core::cost::CostModel;
-use csv_core::{CsvConfig, CsvConfigBuilder, CsvOptimizer, CsvReport};
+use csv_core::{CsvConfig, CsvConfigBuilder, CsvIntegrable, CsvOptimizer, CsvReport};
 use csv_datasets::{
     io, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity, ReadOnlyWorkload,
 };
@@ -42,6 +45,43 @@ pub struct RunSummary {
     /// The CSV plan as JSON, set only in `--dry-run` mode (where nothing is
     /// applied or replayed).
     pub plan_json: Option<String>,
+    /// The with/without-maintenance comparison, set only in `--maintain`
+    /// mode.
+    pub maintain: Option<MaintainComparison>,
+}
+
+/// What `--maintain` measures: the same mixed workload replayed over the
+/// sharded index twice — once with the background maintenance engine
+/// ticking, once without — with point-lookup latencies recorded separately
+/// so the structural drift shows up where it hurts.
+#[derive(Debug, Clone)]
+pub struct MaintainComparison {
+    /// Point-lookup latencies with background maintenance running.
+    pub with_maintenance: LatencyHistogram,
+    /// Point-lookup latencies without any maintenance.
+    pub without_maintenance: LatencyHistogram,
+    /// Incremental shard-maintenance passes the engine performed.
+    pub maintenance_passes: usize,
+    /// Shard splits the engine performed.
+    pub shard_splits: usize,
+    /// Shard count at the end of the maintained run.
+    pub final_shards: usize,
+}
+
+impl MaintainComparison {
+    /// One line comparing the two lookup-latency distributions.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} passes, {} splits, {} shards; lookups with maintenance p50={}ns p99={}ns, without p50={}ns p99={}ns",
+            self.maintenance_passes,
+            self.shard_splits,
+            self.final_shards,
+            self.with_maintenance.p50_ns(),
+            self.with_maintenance.p99_ns(),
+            self.without_maintenance.p50_ns(),
+            self.without_maintenance.p99_ns()
+        )
+    }
 }
 
 impl RunSummary {
@@ -81,6 +121,9 @@ impl RunSummary {
             self.operations, self.hits, self.scanned
         ));
         out.push_str(&format!("latency: {}\n", self.latency.summary_line()));
+        if let Some(maintain) = &self.maintain {
+            out.push_str(&format!("maintain: {}\n", maintain.summary_line()));
+        }
         out
     }
 }
@@ -97,12 +140,42 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, CliError> {
             )));
         }
         if args.alpha <= 0.0 {
-            return Err(CliError::new("--dry-run requires --alpha > 0 (alpha 0 disables CSV)"));
+            return Err(CliError::new(
+                "--dry-run requires --alpha > 0 (alpha 0 disables CSV)",
+            ));
+        }
+    }
+    if args.maintain {
+        if args.dry_run {
+            return Err(CliError::new(
+                "--maintain and --dry-run are mutually exclusive",
+            ));
+        }
+        if !args.index.supports_csv() {
+            return Err(CliError::new(format!(
+                "--maintain re-optimises via CSV, which {} does not support (use alex|lipp|sali)",
+                args.index.name()
+            )));
+        }
+        if args.alpha <= 0.0 {
+            return Err(CliError::new(
+                "--maintain requires --alpha > 0 (alpha 0 disables CSV)",
+            ));
         }
     }
     let keys = load_keys(args)?;
     if keys.len() < 2 {
-        return Err(CliError::new("the dataset must contain at least two unique keys"));
+        return Err(CliError::new(
+            "the dataset must contain at least two unique keys",
+        ));
+    }
+    if args.maintain {
+        return Ok(match args.index {
+            IndexChoice::Alex => maintained_run::<AlexIndex>(&keys, args, true),
+            IndexChoice::Lipp => maintained_run::<LippIndex>(&keys, args, false),
+            IndexChoice::Sali => maintained_run::<SaliIndex>(&keys, args, false),
+            _ => unreachable!("validated above"),
+        });
     }
     match args.index {
         IndexChoice::Alex => {
@@ -156,7 +229,11 @@ fn csv_config(args: &CliArgs, is_alex: bool) -> CsvConfig {
     } else {
         CsvConfigBuilder::lipp()
     };
-    builder.alpha(args.alpha).greedy(args.greedy).build()
+    builder
+        .alpha(args.alpha)
+        .greedy(args.greedy)
+        .drift_tolerance(args.drift_tolerance)
+        .build()
 }
 
 fn optimize<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
@@ -209,6 +286,128 @@ fn dry_run<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
         scanned: 0,
         latency: LatencyHistogram::new(),
         plan_json: Some(plan.to_json()),
+        maintain: None,
+    }
+}
+
+/// The per-run result of one `--maintain` replay (with or without the
+/// engine ticking in the background).
+struct MaintainedReplay {
+    lookups: LatencyHistogram,
+    all_ops: LatencyHistogram,
+    hits: usize,
+    scanned: usize,
+    passes: usize,
+    splits: usize,
+    stats_before: IndexStats,
+    stats_after: IndexStats,
+    shards: usize,
+}
+
+/// `--maintain`: replays the workload over a [`ShardedIndex`] twice — first
+/// with a background thread driving the [`MaintenanceEngine`] (splitting
+/// outgrown shards, incrementally re-smoothing the stalest one), then with
+/// no maintenance at all — and reports the point-lookup latency comparison.
+/// Both runs start from the same freshly optimised sharded index, so the
+/// only difference is whether the smoothed layout is allowed to erode.
+fn maintained_run<I>(keys: &[Key], args: &CliArgs, is_alex: bool) -> RunSummary
+where
+    I: LearnedIndex + RangeIndex + RemovableIndex + CsvIntegrable + Send + Sync,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let records = csv_common::key::identity_records(keys);
+    let operations = build_operations(keys, args);
+    let optimizer = CsvOptimizer::new(csv_config(args, is_alex));
+    let engine = MaintenanceEngine::new(optimizer.clone(), MaintenanceConfig::default());
+
+    let replay_once = |maintain: bool| -> MaintainedReplay {
+        let sharded = ShardedIndex::<I>::bulk_load(&records, ShardingConfig::default());
+        let stats_before = sharded.stats();
+        // Both runs start from the smoothed layout the paper's one-shot
+        // pipeline produces; the maintained run is the one that keeps it.
+        sharded.optimize(&optimizer);
+        let mut lookups = LatencyHistogram::new();
+        let mut all_ops = LatencyHistogram::new();
+        let mut hits = 0usize;
+        let mut scanned = 0usize;
+        let done = AtomicBool::new(false);
+        let (passes, splits) = crossbeam::thread::scope(|scope| {
+            let worker = maintain.then(|| {
+                let sharded = &sharded;
+                let engine = &engine;
+                let done = &done;
+                scope.spawn(move |_| {
+                    let mut passes = 0usize;
+                    let mut splits = 0usize;
+                    while !done.load(Ordering::Relaxed) {
+                        match engine.run_once(sharded) {
+                            MaintenanceAction::Maintained { .. } => passes += 1,
+                            MaintenanceAction::Split { .. } => splits += 1,
+                            MaintenanceAction::Idle => {
+                                std::thread::sleep(std::time::Duration::from_millis(1))
+                            }
+                        }
+                    }
+                    (passes, splits)
+                })
+            });
+            for op in &operations {
+                let started = Instant::now();
+                let is_lookup = matches!(op, Operation::Read(_));
+                match *op {
+                    Operation::Read(k) => hits += usize::from(sharded.get(k).is_some()),
+                    Operation::Insert(k) => {
+                        sharded.insert(k, k);
+                    }
+                    Operation::Remove(k) => hits += usize::from(sharded.remove(k).is_some()),
+                    Operation::Scan(lo, hi) => scanned += sharded.range(lo, hi).len(),
+                }
+                let elapsed = started.elapsed();
+                all_ops.record(elapsed);
+                if is_lookup {
+                    lookups.record(elapsed);
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+            worker.map_or((0, 0), |h| {
+                h.join().expect("maintenance thread must not panic")
+            })
+        })
+        .expect("threads must not panic");
+        MaintainedReplay {
+            lookups,
+            all_ops,
+            hits,
+            scanned,
+            passes,
+            splits,
+            stats_before,
+            stats_after: sharded.stats(),
+            shards: sharded.num_shards(),
+        }
+    };
+
+    let maintained = replay_once(true);
+    let unmaintained = replay_once(false);
+    RunSummary {
+        index_name: args.index.name(),
+        keys_loaded: keys.len(),
+        stats_before: maintained.stats_before.clone(),
+        stats_after: maintained.stats_after.clone(),
+        csv_report: None,
+        operations: operations.len(),
+        hits: maintained.hits,
+        scanned: maintained.scanned,
+        latency: maintained.all_ops.clone(),
+        plan_json: None,
+        maintain: Some(MaintainComparison {
+            with_maintenance: maintained.lookups,
+            without_maintenance: unmaintained.lookups,
+            maintenance_passes: maintained.passes,
+            shard_splits: maintained.splits,
+            final_shards: maintained.shards,
+        }),
     }
 }
 
@@ -247,6 +446,7 @@ fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
         scanned,
         latency,
         plan_json: None,
+        maintain: None,
     }
 }
 
@@ -305,7 +505,11 @@ mod tests {
         for index in [IndexChoice::Lipp, IndexChoice::Pgm, IndexChoice::Btree] {
             let summary = run(&small_args(index, WorkloadChoice::ReadOnly, 0.0)).unwrap();
             assert_eq!(summary.operations, 5_000);
-            assert_eq!(summary.hits, 5_000, "{}: read-only queries must all hit", summary.index_name);
+            assert_eq!(
+                summary.hits, 5_000,
+                "{}: read-only queries must all hit",
+                summary.index_name
+            );
             assert!(summary.csv_report.is_none());
             assert_eq!(summary.latency.count(), 5_000);
             assert!(summary.render().contains("workload: 5000 operations"));
@@ -314,23 +518,42 @@ mod tests {
 
     #[test]
     fn csv_is_applied_when_alpha_is_positive() {
-        let summary = run(&small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.2)).unwrap();
-        let report = summary.csv_report.as_ref().expect("CSV must run for alpha > 0");
+        let summary = run(&small_args(
+            IndexChoice::Lipp,
+            WorkloadChoice::ReadOnly,
+            0.2,
+        ))
+        .unwrap();
+        let report = summary
+            .csv_report
+            .as_ref()
+            .expect("CSV must run for alpha > 0");
         assert!(report.subtrees_considered() > 0);
         assert!(
             summary.stats_after.mean_key_level() <= summary.stats_before.mean_key_level() + 1e-9
         );
         assert!(summary.render().contains("csv:"));
         // Baselines do not support CSV and simply skip it.
-        let baseline = run(&small_args(IndexChoice::Btree, WorkloadChoice::ReadOnly, 0.2)).unwrap();
+        let baseline = run(&small_args(
+            IndexChoice::Btree,
+            WorkloadChoice::ReadOnly,
+            0.2,
+        ))
+        .unwrap();
         assert!(baseline.csv_report.is_none());
     }
 
     #[test]
     fn dry_run_emits_a_json_plan_without_applying() {
-        let args = CliArgs { dry_run: true, ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.2) };
+        let args = CliArgs {
+            dry_run: true,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.2)
+        };
         let summary = run(&args).unwrap();
-        let json = summary.plan_json.as_deref().expect("dry-run must produce a plan");
+        let json = summary
+            .plan_json
+            .as_deref()
+            .expect("dry-run must produce a plan");
         assert!(json.contains("\"decisions\""));
         assert!(json.contains("\"subtrees_considered\""));
         // Nothing was applied or replayed.
@@ -340,17 +563,29 @@ mod tests {
         assert_eq!(summary.render().trim_end(), json);
 
         // A real run over the same arguments does mutate the structure.
-        let applied = run(&small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.2)).unwrap();
+        let applied = run(&small_args(
+            IndexChoice::Lipp,
+            WorkloadChoice::ReadOnly,
+            0.2,
+        ))
+        .unwrap();
         assert!(applied.csv_report.unwrap().subtrees_rebuilt > 0);
     }
 
     #[test]
     fn dry_run_rejects_unsupported_combinations() {
-        let baseline =
-            CliArgs { dry_run: true, ..small_args(IndexChoice::Btree, WorkloadChoice::ReadOnly, 0.2) };
-        assert!(run(&baseline).unwrap_err().message.contains("does not support"));
-        let no_alpha =
-            CliArgs { dry_run: true, ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.0) };
+        let baseline = CliArgs {
+            dry_run: true,
+            ..small_args(IndexChoice::Btree, WorkloadChoice::ReadOnly, 0.2)
+        };
+        assert!(run(&baseline)
+            .unwrap_err()
+            .message
+            .contains("does not support"));
+        let no_alpha = CliArgs {
+            dry_run: true,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.0)
+        };
         assert!(run(&no_alpha).unwrap_err().message.contains("--alpha > 0"));
     }
 
@@ -365,15 +600,75 @@ mod tests {
         ] {
             let summary = run(&small_args(index, WorkloadChoice::Churn, 0.1)).unwrap();
             assert_eq!(summary.operations, 5_000);
-            assert!(summary.hits > 0, "{}: churn workload should hit keys", summary.index_name);
+            assert!(
+                summary.hits > 0,
+                "{}: churn workload should hit keys",
+                summary.index_name
+            );
             assert_eq!(summary.latency.count(), 5_000);
         }
     }
 
     #[test]
+    fn maintain_mode_reports_both_latency_distributions() {
+        let args = CliArgs {
+            maintain: true,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.1)
+        };
+        let summary = run(&args).unwrap();
+        let maintain = summary
+            .maintain
+            .as_ref()
+            .expect("--maintain must produce a comparison");
+        // Lookups are a strict subset of the replayed operations, and both
+        // runs replay the same workload.
+        assert!(maintain.with_maintenance.count() > 0);
+        assert_eq!(
+            maintain.with_maintenance.count(),
+            maintain.without_maintenance.count()
+        );
+        assert!(maintain.with_maintenance.count() < summary.operations as u64);
+        assert!(maintain.final_shards >= 16);
+        assert_eq!(summary.latency.count(), summary.operations as u64);
+        assert!(summary.hits > 0);
+        let rendered = summary.render();
+        assert!(rendered.contains("maintain:"));
+        assert!(rendered.contains("with maintenance p50="));
+    }
+
+    #[test]
+    fn maintain_mode_rejects_unsupported_combinations() {
+        let baseline = CliArgs {
+            maintain: true,
+            ..small_args(IndexChoice::Pgm, WorkloadChoice::YcsbA, 0.1)
+        };
+        assert!(run(&baseline)
+            .unwrap_err()
+            .message
+            .contains("does not support"));
+        let no_alpha = CliArgs {
+            maintain: true,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.0)
+        };
+        assert!(run(&no_alpha).unwrap_err().message.contains("--alpha > 0"));
+        let both = CliArgs {
+            maintain: true,
+            dry_run: true,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.1)
+        };
+        assert!(run(&both)
+            .unwrap_err()
+            .message
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
     fn ycsb_e_reports_scanned_records() {
         let summary = run(&small_args(IndexChoice::Alex, WorkloadChoice::YcsbE, 0.0)).unwrap();
-        assert!(summary.scanned > 0, "scan-heavy workload must return records");
+        assert!(
+            summary.scanned > 0,
+            "scan-heavy workload must return records"
+        );
     }
 
     #[test]
@@ -395,18 +690,27 @@ mod tests {
             dataset_file: Some(std::path::PathBuf::from("/definitely/not/here.sosd")),
             ..args
         };
-        assert!(run(&missing).unwrap_err().message.contains("failed to load"));
+        assert!(run(&missing)
+            .unwrap_err()
+            .message
+            .contains("failed to load"));
     }
 
     #[test]
     fn tiny_datasets_are_rejected() {
-        let args = CliArgs { size: 2, ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.0) };
+        let args = CliArgs {
+            size: 2,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.0)
+        };
         // Size 2 generates two keys, which is accepted; size below that is
         // caught at parse time, so force the runtime check via a file.
         let mut path = std::env::temp_dir();
         path.push(format!("csv_cli_tiny_{}.sosd", std::process::id()));
         io::save_keys(&path, &[7]).unwrap();
-        let bad = CliArgs { dataset_file: Some(path.clone()), ..args };
+        let bad = CliArgs {
+            dataset_file: Some(path.clone()),
+            ..args
+        };
         assert!(run(&bad).unwrap_err().message.contains("at least two"));
         std::fs::remove_file(&path).ok();
     }

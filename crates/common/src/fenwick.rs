@@ -17,7 +17,11 @@ pub struct Fenwick {
 impl Fenwick {
     /// Creates an empty tree with capacity for `len` positions (0-indexed).
     pub fn new(len: usize) -> Self {
-        Self { tree: vec![0.0; len + 1], len, total: 0.0 }
+        Self {
+            tree: vec![0.0; len + 1],
+            len,
+            total: 0.0,
+        }
     }
 
     /// Builds a tree whose position `i` initially holds `values[i]`.
@@ -46,7 +50,11 @@ impl Fenwick {
 
     /// Adds `delta` at position `i`.
     pub fn add(&mut self, i: usize, delta: f64) {
-        assert!(i < self.len, "fenwick index {i} out of bounds ({})", self.len);
+        assert!(
+            i < self.len,
+            "fenwick index {i} out of bounds ({})",
+            self.len
+        );
         self.total += delta;
         let mut i = i + 1;
         while i <= self.len {

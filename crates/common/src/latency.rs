@@ -254,7 +254,10 @@ mod tests {
         let mut last_floor = 0u64;
         for bucket in 0..NUM_BUCKETS {
             let floor = LatencyHistogram::bucket_floor(bucket);
-            assert!(floor >= last_floor, "bucket {bucket}: {floor} < {last_floor}");
+            assert!(
+                floor >= last_floor,
+                "bucket {bucket}: {floor} < {last_floor}"
+            );
             last_floor = floor;
         }
         // A value always lands in a bucket whose floor is <= the value.

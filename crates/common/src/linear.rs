@@ -20,7 +20,10 @@ pub struct LinearModel {
 
 impl Default for LinearModel {
     fn default() -> Self {
-        Self { slope: 0.0, intercept: 0.0 }
+        Self {
+            slope: 0.0,
+            intercept: 0.0,
+        }
     }
 }
 
@@ -101,7 +104,10 @@ impl LinearModel {
     /// `w·(k − o) + b = w·k + (b − w·o)`.
     #[inline]
     pub fn uncenter(self, origin: Key) -> Self {
-        Self { slope: self.slope, intercept: self.intercept - self.slope * origin as f64 }
+        Self {
+            slope: self.slope,
+            intercept: self.intercept - self.slope * origin as f64,
+        }
     }
 
     /// Sum of squared errors of this model over `(keys[i], positions[i])`.
@@ -359,7 +365,9 @@ mod tests {
         // Snowflake-ID-like keys: offset ~6.6e14 with a spread of ~2.5e7.
         // Without centring, the OLS sums cancel catastrophically.
         let offset: Key = 665_600_000_000_000;
-        let keys: Vec<Key> = (0..10_000u64).map(|i| offset + i * 1285 + (i % 7)).collect();
+        let keys: Vec<Key> = (0..10_000u64)
+            .map(|i| offset + i * 1285 + (i % 7))
+            .collect();
         let model = LinearModel::fit_cdf(&keys);
         let max_err = model.max_abs_error_cdf(&keys);
         assert!(max_err < 1.0, "max error {max_err} should be < 1 rank");

@@ -50,7 +50,9 @@ pub struct SegmentationBuilder {
 impl SegmentationBuilder {
     /// Creates a builder with error bound `epsilon ≥ 1`.
     pub fn new(epsilon: usize) -> Self {
-        Self { epsilon: epsilon.max(1) as f64 }
+        Self {
+            epsilon: epsilon.max(1) as f64,
+        }
     }
 
     /// The configured error bound.
@@ -188,7 +190,10 @@ mod tests {
 
     #[test]
     fn smaller_epsilon_never_needs_fewer_segments() {
-        let keys: Vec<Key> = (0..2000u64).map(|i| i * i % 100_000 + i * 37).map(|k| k as Key).collect();
+        let keys: Vec<Key> = (0..2000u64)
+            .map(|i| i * i % 100_000 + i * 37)
+            .map(|k| k as Key)
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         sorted.dedup();

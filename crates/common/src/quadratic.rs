@@ -32,7 +32,12 @@ pub struct QuadraticModel {
 
 impl Default for QuadraticModel {
     fn default() -> Self {
-        Self { a: 0.0, b: 0.0, c: 0.0, origin: 0 }
+        Self {
+            a: 0.0,
+            b: 0.0,
+            c: 0.0,
+            origin: 0,
+        }
     }
 }
 
@@ -257,7 +262,11 @@ impl QuadFitStats {
     /// Best linear (or constant) model expressed as a quadratic with `a = 0`.
     fn linear_fallback(&self) -> QuadraticModel {
         if self.n < 2.0 {
-            let c = if self.n > 0.0 { self.sum_y / self.n } else { 0.0 };
+            let c = if self.n > 0.0 {
+                self.sum_y / self.n
+            } else {
+                0.0
+            };
             return QuadraticModel::new(0.0, 0.0, c, self.origin);
         }
         let sxx = self.sum_x2 - self.sum_x * self.sum_x / self.n;
@@ -347,7 +356,9 @@ mod tests {
     fn fits_exact_parabola() {
         // y = 2x² + 3x + 1 over x = 0..20 (keys offset by 1000).
         let keys: Vec<Key> = (0..20u64).map(|i| 1000 + i).collect();
-        let ys: Vec<f64> = (0..20u64).map(|x| 2.0 * (x * x) as f64 + 3.0 * x as f64 + 1.0).collect();
+        let ys: Vec<f64> = (0..20u64)
+            .map(|x| 2.0 * (x * x) as f64 + 3.0 * x as f64 + 1.0)
+            .collect();
         let model = QuadraticModel::fit_points(&keys, &ys);
         assert!(close(model.a, 2.0), "a = {}", model.a);
         assert!(close(model.b, 3.0), "b = {}", model.b);

@@ -58,7 +58,9 @@ pub struct XorShift64 {
 impl XorShift64 {
     /// Creates a generator from a non-zero seed (zero seeds are remapped).
     pub fn new(seed: u64) -> Self {
-        Self { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        Self {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
     /// Next 64-bit value.

@@ -59,7 +59,11 @@ pub fn binary_search_bounded(keys: &[Key], target: Key, lo: usize, hi: usize) ->
         }
         _ => false,
     };
-    SearchOutcome { position: lo, found, comparisons }
+    SearchOutcome {
+        position: lo,
+        found,
+        comparisons,
+    }
 }
 
 /// Exponential search around a predicted position `hint` in a sorted slice.
@@ -71,12 +75,20 @@ pub fn binary_search_bounded(keys: &[Key], target: Key, lo: usize, hi: usize) ->
 pub fn exponential_search(keys: &[Key], target: Key, hint: usize) -> SearchOutcome {
     let n = keys.len();
     if n == 0 {
-        return SearchOutcome { position: 0, found: false, comparisons: 0 };
+        return SearchOutcome {
+            position: 0,
+            found: false,
+            comparisons: 0,
+        };
     }
     let hint = hint.min(n - 1);
     let mut comparisons = 1;
     if keys[hint] == target {
-        return SearchOutcome { position: hint, found: true, comparisons };
+        return SearchOutcome {
+            position: hint,
+            found: true,
+            comparisons,
+        };
     }
     if keys[hint] < target {
         // Search to the right.
@@ -99,7 +111,11 @@ pub fn exponential_search(keys: &[Key], target: Key, hint: usize) -> SearchOutco
             }
             bound <<= 1;
         }
-        SearchOutcome { position: n, found: false, comparisons }
+        SearchOutcome {
+            position: n,
+            found: false,
+            comparisons,
+        }
     } else {
         // Search to the left.
         let mut bound = 1usize;
@@ -118,7 +134,11 @@ pub fn exponential_search(keys: &[Key], target: Key, hint: usize) -> SearchOutco
             }
             bound <<= 1;
         }
-        SearchOutcome { position: 0, found: false, comparisons }
+        SearchOutcome {
+            position: 0,
+            found: false,
+            comparisons,
+        }
     }
 }
 
@@ -228,7 +248,11 @@ mod tests {
         // probes are counted, the membership check never probes.
         let out = binary_search_bounded(&keys, 11, 0, keys.len());
         assert!(!out.found);
-        assert!(out.comparisons <= 3, "log2(5) probes, no tail probe: {}", out.comparisons);
+        assert!(
+            out.comparisons <= 3,
+            "log2(5) probes, no tail probe: {}",
+            out.comparisons
+        );
         // When the loop's last >= probe lands on the final position, the
         // membership answer reuses it: at most ceil(log2(n)) + 1 three-way
         // comparisons in total for any in-bounds search.
@@ -239,7 +263,11 @@ mod tests {
                 "target {target}: {} comparisons",
                 out.comparisons
             );
-            assert_eq!(out.found, keys.binary_search(&target).is_ok(), "target {target}");
+            assert_eq!(
+                out.found,
+                keys.binary_search(&target).is_ok(),
+                "target {target}"
+            );
         }
     }
 

@@ -42,7 +42,10 @@ impl LevelHistogram {
 
     /// The deepest level with at least one key (0 when empty).
     pub fn max_level(&self) -> usize {
-        self.counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1)
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1)
     }
 
     /// Total number of keys recorded.
@@ -61,7 +64,11 @@ impl LevelHistogram {
 
     /// Iterates `(level, count)` pairs for non-empty levels.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i + 1, c))
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i + 1, c))
     }
 }
 

@@ -16,10 +16,20 @@
 //! under a shared lock and takes the exclusive lock only to apply the
 //! rebuilds, so readers keep flowing during the expensive read phase.
 //!
+//! On top of that one-shot pass sits the *adaptive* layer: every shard
+//! counts the structural writes it absorbs ([`ShardedIndex::staleness`]),
+//! [`ShardedIndex::maintain_shard`] re-plans only a shard's dirty sub-trees
+//! under the same short-lock discipline, and the [`MaintenanceEngine`]
+//! drives both — splitting shards that outgrow their peers and repeatedly
+//! re-optimising the stalest one — so the smoothed layout survives a
+//! sustained mixed workload without ever re-planning untouched sub-trees.
+//!
 //! [`LearnedIndex`]: csv_common::traits::LearnedIndex
 
+pub mod maintenance;
 pub mod sharded;
 pub mod throughput;
 
-pub use sharded::{ShardedIndex, ShardingConfig};
+pub use maintenance::{MaintenanceAction, MaintenanceConfig, MaintenanceEngine};
+pub use sharded::{ShardStaleness, ShardedIndex, ShardingConfig};
 pub use throughput::{run_read_throughput, ThroughputReport};

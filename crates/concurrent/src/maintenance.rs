@@ -1,0 +1,343 @@
+//! The background maintenance engine for [`ShardedIndex`].
+//!
+//! The paper smooths a *built* index once (Algorithm 2); a long-running
+//! system serving mixed traffic erodes that layout with every insert. The
+//! engine closes the loop SALI-style: each tick it either **splits** a shard
+//! that has grown far past its peers (restoring the balanced partitioning
+//! the bulk load chose) or picks the **stalest** shard — most structural
+//! writes since its last pass, weighted by the level drift its statistics
+//! show — and re-optimises just that shard's *dirty* sub-trees through
+//! [`ShardedIndex::maintain_shard`]. Planning happens under the shard's
+//! shared lock and rebuilds under its short exclusive lock, so lookups keep
+//! flowing while maintenance runs.
+//!
+//! The engine is deliberately synchronous and step-wise ([`
+//! MaintenanceEngine::run_once`]): callers own the cadence — a background
+//! thread, an idle-time hook, or a test loop that drains staleness to
+//! quiescence with [`MaintenanceEngine::run_until_idle`].
+
+use crate::sharded::ShardedIndex;
+use csv_common::traits::{LearnedIndex, RangeIndex};
+use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
+
+/// Tuning knobs of the maintenance engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintenanceConfig {
+    /// A shard is only worth maintaining once its staleness score reaches
+    /// this many write-equivalents.
+    pub min_score: f64,
+    /// A shard splits when it holds more than `split_factor ×` the mean
+    /// per-shard key count. The mean includes the outgrown shard itself, so
+    /// with `n` shards a single hot shard can only trigger a split while
+    /// `split_factor < n`.
+    pub split_factor: f64,
+    /// Never split a shard below this many keys (tiny shards gain nothing
+    /// from re-partitioning).
+    pub min_split_keys: usize,
+    /// Hard ceiling on the shard count; splits stop once it is reached.
+    pub max_shards: usize,
+    /// Weight converting per-lookup level drift into write-equivalents in
+    /// the staleness score (see
+    /// [`ShardStaleness::score`](crate::sharded::ShardStaleness::score)).
+    pub drift_weight: f64,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        Self {
+            min_score: 1.0,
+            split_factor: 4.0,
+            min_split_keys: 4_096,
+            max_shards: 256,
+            drift_weight: 1.0,
+        }
+    }
+}
+
+/// What one engine tick did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenanceAction {
+    /// Shard `shard` had outgrown its peers and was split at its median key.
+    Split {
+        /// Position of the split shard (its upper half now sits at
+        /// `shard + 1`).
+        shard: usize,
+        /// Keys the shard held when it was split.
+        keys: usize,
+    },
+    /// Shard `shard` was the stalest and its dirty sub-trees were
+    /// re-optimised.
+    Maintained {
+        /// Position of the maintained shard.
+        shard: usize,
+        /// The CSV report of the incremental pass.
+        report: CsvReport,
+    },
+    /// No shard exceeded a threshold; the index is quiescent.
+    Idle,
+}
+
+impl MaintenanceAction {
+    /// `true` for [`MaintenanceAction::Idle`].
+    pub fn is_idle(&self) -> bool {
+        matches!(self, MaintenanceAction::Idle)
+    }
+}
+
+/// The adaptive maintenance engine. Owns the optimizer configuration and the
+/// thresholds; borrows the index per tick, so one engine can serve many
+/// indexes (or many engines one index — every decision is taken under the
+/// index's own locks).
+#[derive(Debug, Clone)]
+pub struct MaintenanceEngine {
+    optimizer: CsvOptimizer,
+    config: MaintenanceConfig,
+}
+
+impl MaintenanceEngine {
+    /// Creates an engine driving `optimizer` with the given thresholds.
+    pub fn new(optimizer: CsvOptimizer, config: MaintenanceConfig) -> Self {
+        Self { optimizer, config }
+    }
+
+    /// The engine's optimizer.
+    pub fn optimizer(&self) -> &CsvOptimizer {
+        &self.optimizer
+    }
+
+    /// The engine's thresholds.
+    pub fn config(&self) -> &MaintenanceConfig {
+        &self.config
+    }
+
+    /// One maintenance tick: split the most outgrown shard if any exceeds
+    /// the skew threshold, otherwise incrementally re-optimise the stalest
+    /// shard, otherwise report [`MaintenanceAction::Idle`].
+    pub fn run_once<I>(&self, index: &ShardedIndex<I>) -> MaintenanceAction
+    where
+        I: LearnedIndex + RangeIndex + CsvIntegrable + Send + Sync,
+    {
+        // Skew check first: splitting rebalances what maintenance would
+        // otherwise keep polishing in place.
+        let lens = index.map_shards(|i| i.len());
+        let mean = lens.iter().sum::<usize>() / lens.len().max(1);
+        if lens.len() < self.config.max_shards {
+            if let Some((shard, &keys)) = lens.iter().enumerate().max_by_key(|(_, &l)| l) {
+                // The skew bound doubles as `split_shard`'s revalidation
+                // threshold: the pick comes from a lock-free snapshot, and a
+                // concurrent split can shift the vector, so the split is
+                // refused under the lock unless the target still clears it.
+                let threshold = (self.config.split_factor * mean.max(1) as f64) as usize;
+                if keys >= self.config.min_split_keys
+                    && keys > threshold
+                    && index.split_shard(shard, threshold.max(self.config.min_split_keys))
+                {
+                    return MaintenanceAction::Split { shard, keys };
+                }
+            }
+        }
+        // Quiescence pre-check: drift only accumulates through writes, so a
+        // maintained shard with zero pending writes cannot be stale. This
+        // keeps idle ticks at O(shards) atomic loads instead of the full
+        // structure walk `staleness()` performs — important for callers
+        // that loop the engine in a background thread.
+        if index
+            .write_counters()
+            .iter()
+            .all(|&(writes, maintained)| maintained && writes == 0)
+        {
+            return MaintenanceAction::Idle;
+        }
+        // Stalest-shard pick: structural writes since the last pass plus
+        // key-weighted level drift.
+        let staleness = index.staleness();
+        let stalest = staleness
+            .iter()
+            .map(|s| (s.shard, s.score(self.config.drift_weight)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((shard, score)) = stalest {
+            if score >= self.config.min_score {
+                if let Some(report) = index.maintain_shard(shard, &self.optimizer) {
+                    return MaintenanceAction::Maintained { shard, report };
+                }
+            }
+        }
+        MaintenanceAction::Idle
+    }
+
+    /// Ticks until the index is quiescent (one [`MaintenanceAction::Idle`])
+    /// and returns every action taken, in order. `max_ticks` bounds the loop
+    /// against a concurrent write stream that keeps re-dirtying shards.
+    pub fn run_until_idle<I>(
+        &self,
+        index: &ShardedIndex<I>,
+        max_ticks: usize,
+    ) -> Vec<MaintenanceAction>
+    where
+        I: LearnedIndex + RangeIndex + CsvIntegrable + Send + Sync,
+    {
+        let mut actions = Vec::new();
+        for _ in 0..max_ticks {
+            let action = self.run_once(index);
+            let idle = action.is_idle();
+            actions.push(action);
+            if idle {
+                break;
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardingConfig;
+    use csv_common::key::identity_records;
+    use csv_core::CsvConfig;
+    use csv_datasets::Dataset;
+    use csv_lipp::LippIndex;
+
+    fn engine() -> MaintenanceEngine {
+        // split_factor must stay below the shard count for a single hot
+        // shard to be able to exceed `factor × mean` (the mean includes the
+        // hot shard itself).
+        MaintenanceEngine::new(
+            CsvOptimizer::new(CsvConfig::for_lipp(0.1)),
+            MaintenanceConfig {
+                min_split_keys: 1_000,
+                split_factor: 2.0,
+                ..MaintenanceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fresh_shards_are_maintained_once_then_idle() {
+        let keys = Dataset::Osm.generate(30_000, 5);
+        let index = ShardedIndex::<LippIndex>::bulk_load(
+            &identity_records(&keys),
+            ShardingConfig { num_shards: 4 },
+        );
+        let engine = engine();
+        let actions = engine.run_until_idle(&index, 100);
+        // Every shard starts fully stale (never maintained) and balanced, so
+        // the engine maintains each exactly once and then goes idle.
+        let maintained: Vec<usize> = actions
+            .iter()
+            .filter_map(|a| match a {
+                MaintenanceAction::Maintained { shard, .. } => Some(*shard),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(maintained.len(), 4);
+        let mut sorted = maintained.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert!(actions.last().unwrap().is_idle());
+        // Quiescent: another tick does nothing.
+        assert!(engine.run_once(&index).is_idle());
+        // Lookups are intact throughout.
+        for &k in keys.iter().step_by(97) {
+            assert_eq!(index.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn writes_re_stale_only_the_written_shard() {
+        let keys = Dataset::Genome.generate(20_000, 9);
+        let index = ShardedIndex::<LippIndex>::bulk_load(
+            &identity_records(&keys),
+            ShardingConfig { num_shards: 4 },
+        );
+        let engine = engine();
+        engine.run_until_idle(&index, 100);
+
+        // Hammer one key region with fresh inserts.
+        let base = keys[keys.len() / 2];
+        for i in 1..=500u64 {
+            index.insert(base + i * 3 + 1, i);
+        }
+        let staleness = index.staleness();
+        let hot: Vec<_> = staleness
+            .iter()
+            .filter(|s| s.writes_since_maintenance > 0)
+            .collect();
+        assert!(!hot.is_empty(), "the insert burst must register somewhere");
+        let hottest = hot
+            .iter()
+            .max_by_key(|s| s.writes_since_maintenance)
+            .unwrap()
+            .shard;
+
+        match engine.run_once(&index) {
+            MaintenanceAction::Maintained { shard, .. } => assert_eq!(shard, hottest),
+            other => panic!("expected a maintenance pass, got {other:?}"),
+        }
+        assert_eq!(index.staleness()[hottest].writes_since_maintenance, 0);
+    }
+
+    #[test]
+    fn outgrown_shards_are_split_before_anything_else() {
+        let keys = Dataset::Covid.generate(12_000, 3);
+        let index = ShardedIndex::<LippIndex>::bulk_load(
+            &identity_records(&keys),
+            ShardingConfig { num_shards: 4 },
+        );
+        let engine = engine();
+        engine.run_until_idle(&index, 100);
+        assert_eq!(index.num_shards(), 4);
+
+        // Skewed growth: pour fresh keys into the last shard's range until it
+        // dwarfs the others (mean stays ~len/num_shards).
+        let top = *keys.last().unwrap();
+        for i in 1..=40_000u64 {
+            index.insert(top + i, i);
+        }
+        let action = engine.run_once(&index);
+        let MaintenanceAction::Split {
+            shard,
+            keys: split_keys,
+        } = action
+        else {
+            panic!("expected a split, got {action:?}");
+        };
+        assert_eq!(shard, 3);
+        assert!(split_keys > 40_000);
+        assert_eq!(index.num_shards(), 5);
+        // The split halves are fresh (never maintained) and get picked up by
+        // the following ticks; the index then quiesces.
+        let actions = engine.run_until_idle(&index, 100);
+        assert!(actions.last().unwrap().is_idle());
+        // All data survived the re-partitioning.
+        assert_eq!(index.len(), keys.len() + 40_000);
+        for &k in keys.iter().step_by(131) {
+            assert_eq!(index.get(k), Some(k));
+        }
+        for i in (1..=40_000u64).step_by(997) {
+            assert_eq!(index.get(top + i), Some(i));
+        }
+    }
+
+    #[test]
+    fn maintenance_runs_while_readers_proceed() {
+        use crossbeam;
+        let keys = Dataset::Osm.generate(40_000, 11);
+        let index = ShardedIndex::<LippIndex>::bulk_load(
+            &identity_records(&keys),
+            ShardingConfig { num_shards: 2 },
+        );
+        let engine = engine();
+        crossbeam::thread::scope(|scope| {
+            let idx = &index;
+            let eng = &engine;
+            let h = scope.spawn(move |_| eng.run_until_idle(idx, 100));
+            for &k in keys.iter().step_by(37) {
+                assert_eq!(index.get(k), Some(k));
+            }
+            let actions = h.join().expect("engine thread must not panic");
+            assert!(!actions.is_empty());
+        })
+        .expect("threads must not panic");
+    }
+}

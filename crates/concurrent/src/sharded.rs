@@ -5,6 +5,8 @@ use csv_common::{Key, KeyValue, Value};
 use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
 use parking_lot::RwLock;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// How the key space is partitioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +28,59 @@ struct Shard<I> {
     /// below its boundary too).
     lower_bound: Key,
     index: RwLock<I>,
+    /// Structural writes (new keys, removals) routed to this shard since its
+    /// last maintenance pass. Seeded with the bulk-loaded key count: a fresh
+    /// shard has never been maintained, so its entire content is "unapplied
+    /// writes" as far as the maintenance engine is concerned.
+    writes_since_maintenance: AtomicUsize,
+    /// `f64::to_bits` of the shard's mean key level recorded by its last
+    /// maintenance pass (meaningless until `maintained` is set).
+    maintained_mean_level: AtomicU64,
+    /// `false` until the first maintenance pass completes.
+    maintained: AtomicBool,
+}
+
+impl<I: LearnedIndex> Shard<I> {
+    fn new(lower_bound: Key, index: I) -> Self {
+        let seed_writes = index.len();
+        Self {
+            lower_bound,
+            index: RwLock::new(index),
+            writes_since_maintenance: AtomicUsize::new(seed_writes),
+            maintained_mean_level: AtomicU64::new(0),
+            maintained: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A staleness snapshot of one shard, consumed by the maintenance engine to
+/// pick its next target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStaleness {
+    /// Shard position (valid until the next split changes the layout).
+    pub shard: usize,
+    /// Keys currently stored in the shard.
+    pub num_keys: usize,
+    /// Structural writes (inserts of new keys, removals) absorbed since the
+    /// last maintenance pass; a never-maintained shard reports its full key
+    /// count.
+    pub writes_since_maintenance: usize,
+    /// Mean key level now minus mean key level at the last maintenance pass
+    /// (0 for never-maintained shards — their write counter already says
+    /// everything). Positive drift means lookups got structurally slower.
+    pub level_drift: f64,
+    /// Whether the shard has ever been maintained.
+    pub maintained: bool,
+}
+
+impl ShardStaleness {
+    /// The scalar the engine ranks shards by: structural writes plus the
+    /// key-weighted level drift (`drift_weight` converts "extra levels per
+    /// lookup" into write-equivalents).
+    pub fn score(&self, drift_weight: f64) -> f64 {
+        self.writes_since_maintenance as f64
+            + drift_weight * self.level_drift.max(0.0) * self.num_keys as f64
+    }
 }
 
 /// A concurrent index assembled from per-key-range shards of a
@@ -34,9 +89,27 @@ struct Shard<I> {
 /// Shard boundaries are chosen from the bulk-load records so every shard
 /// starts with the same number of keys; later inserts are routed by key, so
 /// heavy skew can grow one shard faster than the others (the same behaviour
-/// a range-partitioned distributed index exhibits).
+/// a range-partitioned distributed index exhibits). Two mechanisms keep that
+/// in check over a long run:
+///
+/// * every shard counts its structural writes and exposes a staleness
+///   snapshot ([`ShardedIndex::staleness`]) that
+///   [`crate::MaintenanceEngine`] uses to re-optimise the stalest shard
+///   incrementally ([`ShardedIndex::maintain_shard`]), and
+/// * a shard that outgrows its peers can be split in two
+///   ([`ShardedIndex::split_shard`]), which is why the shard vector lives
+///   behind an outer reader–writer lock: every operation takes the cheap
+///   shared lock, and only a split takes the exclusive one.
 pub struct ShardedIndex<I> {
-    shards: Vec<Shard<I>>,
+    shards: RwLock<Vec<Shard<I>>>,
+}
+
+/// Index of the shard owning `key`: shards are sorted by lower bound; the
+/// owner is the last shard whose lower bound is <= key.
+fn shard_of<I>(shards: &[Shard<I>], key: Key) -> usize {
+    shards
+        .partition_point(|s| s.lower_bound <= key)
+        .saturating_sub(1)
 }
 
 impl<I: LearnedIndex> ShardedIndex<I> {
@@ -46,47 +119,57 @@ impl<I: LearnedIndex> ShardedIndex<I> {
         let per_shard = records.len().div_ceil(num_shards).max(1);
         let mut shards = Vec::with_capacity(num_shards);
         if records.is_empty() {
-            shards.push(Shard { lower_bound: 0, index: RwLock::new(I::bulk_load(&[])) });
-            return Self { shards };
+            shards.push(Shard::new(0, I::bulk_load(&[])));
+            return Self {
+                shards: RwLock::new(shards),
+            };
         }
         for chunk in records.chunks(per_shard) {
-            shards.push(Shard {
-                lower_bound: chunk[0].key,
-                index: RwLock::new(I::bulk_load(chunk)),
-            });
+            shards.push(Shard::new(chunk[0].key, I::bulk_load(chunk)));
         }
         // The first shard also owns every key below its smallest loaded key.
         shards[0].lower_bound = 0;
-        Self { shards }
+        Self {
+            shards: RwLock::new(shards),
+        }
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Index of the shard owning `key`.
-    fn shard_of(&self, key: Key) -> usize {
-        // Shards are sorted by lower bound; the owner is the last shard whose
-        // lower bound is <= key.
-        self.shards.partition_point(|s| s.lower_bound <= key).saturating_sub(1)
+        self.shards.read().len()
     }
 
     /// Point lookup (shared lock on one shard).
     pub fn get(&self, key: Key) -> Option<Value> {
-        self.shards[self.shard_of(key)].index.read().get(key)
+        let shards = self.shards.read();
+        let found = shards[shard_of(&shards, key)].index.read().get(key);
+        found
     }
 
     /// Inserts or overwrites a record (exclusive lock on one shard). Returns
     /// `true` when the key was new.
     pub fn insert(&self, key: Key, value: Value) -> bool {
-        self.shards[self.shard_of(key)].index.write().insert(key, value)
+        let shards = self.shards.read();
+        let shard = &shards[shard_of(&shards, key)];
+        let new = shard.index.write().insert(key, value);
+        if new {
+            // Overwrites change no structure, so only new keys count toward
+            // the staleness score.
+            shard
+                .writes_since_maintenance
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        new
     }
 
     /// Total number of stored keys (takes shared locks shard by shard, so the
     /// result is a consistent-per-shard snapshot, not a global atomic one).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.index.read().len()).sum()
+        self.shards
+            .read()
+            .iter()
+            .map(|s| s.index.read().len())
+            .sum()
     }
 
     /// `true` when no shard stores any key.
@@ -97,7 +180,7 @@ impl<I: LearnedIndex> ShardedIndex<I> {
     /// Aggregated structural statistics across shards.
     pub fn stats(&self) -> IndexStats {
         let mut total = IndexStats::default();
-        for shard in &self.shards {
+        for shard in self.shards.read().iter() {
             let s = shard.index.read().stats();
             for (level, count) in s.level_histogram.iter() {
                 total.level_histogram.record(level, count);
@@ -111,6 +194,56 @@ impl<I: LearnedIndex> ShardedIndex<I> {
         total
     }
 
+    /// Cheap per-shard `(writes_since_maintenance, maintained)` snapshot —
+    /// two atomic loads per shard, no structure walk. Level drift only
+    /// accumulates through writes, so a maintained shard with zero pending
+    /// writes is provably not stale; the maintenance engine uses this as a
+    /// quiescence pre-check before paying for [`ShardedIndex::staleness`].
+    pub fn write_counters(&self) -> Vec<(usize, bool)> {
+        self.shards
+            .read()
+            .iter()
+            .map(|s| {
+                (
+                    s.writes_since_maintenance.load(Ordering::Relaxed),
+                    s.maintained.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Per-shard staleness snapshot (writes since the last maintenance pass
+    /// plus level drift from the structural statistics), in shard order.
+    /// Computing the drift walks each shard's structure under its shared
+    /// lock, so this is a maintenance-cadence call, not a hot-path one.
+    pub fn staleness(&self) -> Vec<ShardStaleness> {
+        self.shards
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let stats = shard.index.read().stats();
+                let maintained = shard.maintained.load(Ordering::Relaxed);
+                let level_drift = if maintained {
+                    let baseline =
+                        f64::from_bits(shard.maintained_mean_level.load(Ordering::Relaxed));
+                    stats.mean_key_level() - baseline
+                } else {
+                    0.0
+                };
+                ShardStaleness {
+                    shard: i,
+                    num_keys: stats.num_keys,
+                    writes_since_maintenance: shard
+                        .writes_since_maintenance
+                        .load(Ordering::Relaxed),
+                    level_drift,
+                    maintained,
+                }
+            })
+            .collect()
+    }
+
     /// Runs `f` on every shard's inner index with an exclusive lock, fanning
     /// the shards out across the rayon thread pool — used to apply CSV
     /// optimisation (or SALI workload flattening) to all shards at once.
@@ -122,13 +255,16 @@ impl<I: LearnedIndex> ShardedIndex<I> {
         I: Send + Sync,
         F: Fn(&mut I) + Sync,
     {
-        self.shards.par_iter().for_each(|shard| f(&mut shard.index.write()));
+        let shards = self.shards.read();
+        shards
+            .par_iter()
+            .for_each(|shard| f(&mut shard.index.write()));
     }
 
     /// Sequential variant of [`ShardedIndex::with_shards_mut`] for closures
     /// that accumulate state across shards.
     pub fn with_shards_mut_seq<F: FnMut(&mut I)>(&self, mut f: F) {
-        for shard in &self.shards {
+        for shard in self.shards.read().iter() {
             f(&mut shard.index.write());
         }
     }
@@ -136,7 +272,11 @@ impl<I: LearnedIndex> ShardedIndex<I> {
     /// Runs `f` on every shard's inner index with a shared lock and collects
     /// the results (diagnostics, per-shard statistics).
     pub fn map_shards<T, F: FnMut(&I) -> T>(&self, mut f: F) -> Vec<T> {
-        self.shards.iter().map(|s| f(&s.index.read())).collect()
+        self.shards
+            .read()
+            .iter()
+            .map(|s| f(&s.index.read()))
+            .collect()
     }
 }
 
@@ -156,11 +296,16 @@ impl<I: LearnedIndex + CsvIntegrable + Send + Sync> ShardedIndex<I> {
     /// whose layout no longer matches the sub-tree is refused by the index
     /// (`RebuildRefusal::StaleLayout`) and recorded in the report instead
     /// of being applied blindly.
+    ///
+    /// A full optimisation pass subsumes incremental maintenance, so each
+    /// shard is marked clean and its staleness counters reset, exactly as
+    /// [`ShardedIndex::maintain_shard`] would.
     pub fn optimize(&self, optimizer: &CsvOptimizer) -> Vec<CsvReport> {
-        self.shards
+        let shards = self.shards.read();
+        shards
             .par_iter()
             .map(|shard| {
-                let started = std::time::Instant::now();
+                let started = Instant::now();
                 let mut report = CsvReport::default();
                 let levels = optimizer.sweep_levels(&*shard.index.read());
                 if let Some((start_level, stop_level)) = levels {
@@ -170,11 +315,63 @@ impl<I: LearnedIndex + CsvIntegrable + Send + Sync> ShardedIndex<I> {
                         plan.apply_into(&mut *shard.index.write(), &mut report);
                     }
                 }
+                finish_maintenance(shard);
                 report.preprocessing_time = started.elapsed();
                 report
             })
             .collect()
     }
+
+    /// Incrementally re-optimises one shard: per sweep level, the *dirty*
+    /// sub-trees (the roots that absorbed writes since the shard was last
+    /// marked clean) are planned under the shard's shared lock and the
+    /// accepted rebuilds applied under its short exclusive lock. The shard
+    /// is then marked clean and its staleness counters reset.
+    ///
+    /// Writes landing between the plan and apply phases are safe (stale
+    /// layouts are refused, exactly as in [`ShardedIndex::optimize`]); a
+    /// write racing the final mark-clean can lose its dirty flag for this
+    /// round, which costs an optimisation opportunity — never correctness —
+    /// and is recovered by the next write to the same sub-tree.
+    ///
+    /// Returns the shard's CSV report, or `None` when `shard` is out of
+    /// bounds (a split may have changed the layout since the caller chose
+    /// it).
+    pub fn maintain_shard(&self, shard: usize, optimizer: &CsvOptimizer) -> Option<CsvReport> {
+        let shards = self.shards.read();
+        let shard = shards.get(shard)?;
+        let started = Instant::now();
+        let mut report = CsvReport::default();
+        let levels = optimizer.sweep_levels(&*shard.index.read());
+        if let Some((start_level, stop_level)) = levels {
+            for level in (stop_level..=start_level).rev() {
+                let plan = optimizer.plan_dirty_level(&*shard.index.read(), level);
+                plan.apply_into(&mut *shard.index.write(), &mut report);
+            }
+        }
+        finish_maintenance(shard);
+        report.preprocessing_time = started.elapsed();
+        Some(report)
+    }
+}
+
+/// Marks a shard clean and resets its staleness bookkeeping. Only the flag
+/// sweep of `csv_mark_clean` runs under the exclusive lock; the O(n)
+/// structure walk that records the level-drift baseline happens under the
+/// shared lock afterwards, so lookups are never blocked behind it. A write
+/// landing between the two sections merely makes the baseline marginally
+/// stale, which the staleness heuristic tolerates by design.
+fn finish_maintenance<I: LearnedIndex + CsvIntegrable>(shard: &Shard<I>) {
+    {
+        let mut guard = shard.index.write();
+        guard.csv_mark_clean();
+        shard.writes_since_maintenance.store(0, Ordering::Relaxed);
+    }
+    let mean = shard.index.read().stats().mean_key_level();
+    shard
+        .maintained_mean_level
+        .store(mean.to_bits(), Ordering::Relaxed);
+    shard.maintained.store(true, Ordering::Relaxed);
 }
 
 impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
@@ -185,8 +382,9 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
         if lo > hi {
             return out;
         }
-        let first = self.shard_of(lo);
-        for (i, shard) in self.shards.iter().enumerate().skip(first) {
+        let shards = self.shards.read();
+        let first = shard_of(&shards, lo);
+        for (i, shard) in shards.iter().enumerate().skip(first) {
             if i > first && shard.lower_bound > hi {
                 break;
             }
@@ -194,12 +392,55 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
         }
         out
     }
+
+    /// Splits shard `shard` at its median key into two shards, fixing the
+    /// hot-shard growth a skewed insert stream produces: each half is
+    /// bulk-loaded fresh (the best structure an index can have) and the two
+    /// halves take over the original's key range. Returns `false` when the
+    /// shard is out of bounds or currently holds fewer than
+    /// `min_keys.max(2)` keys — callers pick the split trigger from a
+    /// lock-free snapshot, so the threshold is re-checked here under the
+    /// exclusive lock: if a concurrent split shifted the vector and `shard`
+    /// now names some small fresh shard, the split is refused instead of
+    /// rebuilding the wrong one.
+    ///
+    /// This is the one operation that takes the *outer* exclusive lock (the
+    /// shard vector changes), so it blocks all other operations for the
+    /// duration of the two bulk loads; the maintenance engine only triggers
+    /// it when one shard has grown far past its peers, where the rebuild
+    /// pays for itself.
+    pub fn split_shard(&self, shard: usize, min_keys: usize) -> bool {
+        let mut shards = self.shards.write();
+        let Some(target) = shards.get(shard) else {
+            return false;
+        };
+        let records = target.index.read().range(0, Key::MAX);
+        if records.len() < min_keys.max(2) {
+            return false;
+        }
+        let mid = records.len() / 2;
+        let lower_bound = target.lower_bound;
+        let upper_bound = records[mid].key;
+        let lower = I::bulk_load(&records[..mid]);
+        let upper = I::bulk_load(&records[mid..]);
+        shards[shard] = Shard::new(lower_bound, lower);
+        shards.insert(shard + 1, Shard::new(upper_bound, upper));
+        true
+    }
 }
 
 impl<I: LearnedIndex + RemovableIndex> ShardedIndex<I> {
     /// Removes `key` (exclusive lock on one shard).
     pub fn remove(&self, key: Key) -> Option<Value> {
-        self.shards[self.shard_of(key)].index.write().remove(key)
+        let shards = self.shards.read();
+        let shard = &shards[shard_of(&shards, key)];
+        let removed = shard.index.write().remove(key);
+        if removed.is_some() {
+            shard
+                .writes_since_maintenance
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        removed
     }
 }
 
@@ -246,7 +487,8 @@ mod tests {
     fn mutations_and_ranges_match_an_oracle() {
         let keys = Dataset::Facebook.generate(20_000, 9);
         let records = identity_records(&keys);
-        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
+        let sharded =
+            ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
         let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
 
         // Inserts and removals route to the right shard.
@@ -263,8 +505,10 @@ mod tests {
         let lo = keys[100];
         let hi = keys[15_000];
         let got = sharded.range(lo, hi);
-        let expected: Vec<KeyValue> =
-            oracle.range(lo..=hi).map(|(&k, &v)| KeyValue::new(k, v)).collect();
+        let expected: Vec<KeyValue> = oracle
+            .range(lo..=hi)
+            .map(|(&k, &v)| KeyValue::new(k, v))
+            .collect();
         assert_eq!(got, expected);
         assert!(sharded.range(10, 5).is_empty());
     }
@@ -273,7 +517,8 @@ mod tests {
     fn stats_aggregate_across_shards() {
         let keys = Dataset::Genome.generate(30_000, 5);
         let records = identity_records(&keys);
-        let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 8 });
+        let sharded =
+            ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 8 });
         let stats = sharded.stats();
         assert_eq!(stats.num_keys, keys.len());
         assert_eq!(stats.level_histogram.total(), keys.len());
@@ -287,7 +532,8 @@ mod tests {
     fn concurrent_readers_and_writers_agree_with_an_oracle() {
         let keys = Dataset::Covid.generate(30_000, 11);
         let records = identity_records(&keys);
-        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
+        let sharded =
+            ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
 
         // Writers insert disjoint fresh keys; readers hammer existing keys.
         let fresh_base = *keys.last().unwrap() + 1;
@@ -326,8 +572,10 @@ mod tests {
     fn with_shards_mut_applies_to_every_shard() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let keys = Dataset::Osm.generate(10_000, 21);
-        let sharded =
-            ShardedIndex::<LippIndex>::bulk_load(&identity_records(&keys), ShardingConfig { num_shards: 4 });
+        let sharded = ShardedIndex::<LippIndex>::bulk_load(
+            &identity_records(&keys),
+            ShardingConfig { num_shards: 4 },
+        );
         let touched = AtomicUsize::new(0);
         sharded.with_shards_mut(|shard| {
             touched.fetch_add(1, Ordering::Relaxed);
@@ -443,7 +691,10 @@ mod tests {
             let handle = scope.spawn(|_| sharded.optimize(&optimizer));
             let deadline = Instant::now() + Duration::from_secs(10);
             while !COLLECT_STARTED.load(Ordering::SeqCst) {
-                assert!(Instant::now() < deadline, "optimizer never reached key collection");
+                assert!(
+                    Instant::now() < deadline,
+                    "optimizer never reached key collection"
+                );
                 std::thread::sleep(Duration::from_millis(1));
             }
             // The optimizer is parked inside its plan phase; lookups on the

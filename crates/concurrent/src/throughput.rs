@@ -69,10 +69,18 @@ pub fn run_read_throughput<I: LearnedIndex + Sync + Send>(
                 hits
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker must not panic")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker must not panic"))
+            .sum()
     })
     .expect("threads must not panic");
-    ThroughputReport { threads, total_lookups: queries.len(), hits, elapsed: started.elapsed() }
+    ThroughputReport {
+        threads,
+        total_lookups: queries.len(),
+        hits,
+        elapsed: started.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -86,8 +94,10 @@ mod tests {
     #[test]
     fn throughput_run_counts_hits_and_misses() {
         let keys = Dataset::Facebook.generate(20_000, 7);
-        let index =
-            ShardedIndex::<BPlusTree>::bulk_load(&identity_records(&keys), ShardingConfig::default());
+        let index = ShardedIndex::<BPlusTree>::bulk_load(
+            &identity_records(&keys),
+            ShardingConfig::default(),
+        );
         // Half the queries hit, half miss.
         let mut queries: Vec<Key> = keys.iter().copied().step_by(2).collect();
         let misses = queries.len();
@@ -103,8 +113,10 @@ mod tests {
     #[test]
     fn single_and_many_threads_find_the_same_hits() {
         let keys = Dataset::Genome.generate(10_000, 3);
-        let index =
-            ShardedIndex::<BPlusTree>::bulk_load(&identity_records(&keys), ShardingConfig::default());
+        let index = ShardedIndex::<BPlusTree>::bulk_load(
+            &identity_records(&keys),
+            ShardingConfig::default(),
+        );
         let queries: Vec<Key> = keys.iter().copied().step_by(3).collect();
         let one = run_read_throughput(&index, &queries, 1);
         let eight = run_read_throughput(&index, &queries, 8);

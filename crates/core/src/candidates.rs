@@ -49,7 +49,11 @@ pub fn enumerate_gaps(state: &SegmentState) -> Vec<GapBounds> {
         let lo_key = pair[0].key();
         let hi_key = pair[1].key();
         if hi_key > lo_key + 1 {
-            gaps.push(GapBounds { lo: lo_key + 1, hi: hi_key - 1, rank: i + 1 });
+            gaps.push(GapBounds {
+                lo: lo_key + 1,
+                hi: hi_key - 1,
+                rank: i + 1,
+            });
         }
     }
     gaps
@@ -62,7 +66,11 @@ pub fn best_candidate_in_gap(state: &SegmentState, gap: &GapBounds) -> Option<Ca
         return None;
     }
     let coeffs = state.gap_coefficients(gap.rank);
-    let eval = |v: Key| Candidate { value: v, rank: gap.rank, loss: coeffs.loss(v as f64) };
+    let eval = |v: Key| Candidate {
+        value: v,
+        rank: gap.rank,
+        loss: coeffs.loss(v as f64),
+    };
     let width = gap.width();
 
     if width <= 2 {
@@ -166,9 +174,30 @@ mod tests {
         // Gaps: (3,5)->4, (5,9)->6..8, (9,14)->10..13, (14,20)->15..19, (20,26)->21..25,
         // (27,29)->28.
         assert_eq!(gaps.len(), 6);
-        assert_eq!(gaps[0], GapBounds { lo: 4, hi: 4, rank: 2 });
-        assert_eq!(gaps[4], GapBounds { lo: 21, hi: 25, rank: 6 });
-        assert_eq!(gaps[5], GapBounds { lo: 28, hi: 28, rank: 8 });
+        assert_eq!(
+            gaps[0],
+            GapBounds {
+                lo: 4,
+                hi: 4,
+                rank: 2
+            }
+        );
+        assert_eq!(
+            gaps[4],
+            GapBounds {
+                lo: 21,
+                hi: 25,
+                rank: 6
+            }
+        );
+        assert_eq!(
+            gaps[5],
+            GapBounds {
+                lo: 28,
+                hi: 28,
+                rank: 8
+            }
+        );
         // No gap before the minimum or after the maximum key.
         assert!(gaps.iter().all(|g| g.lo > 2 && g.hi < 30));
     }
@@ -228,7 +257,23 @@ mod tests {
 
     #[test]
     fn gap_width() {
-        assert_eq!(GapBounds { lo: 5, hi: 5, rank: 1 }.width(), 1);
-        assert_eq!(GapBounds { lo: 5, hi: 9, rank: 1 }.width(), 5);
+        assert_eq!(
+            GapBounds {
+                lo: 5,
+                hi: 5,
+                rank: 1
+            }
+            .width(),
+            1
+        );
+        assert_eq!(
+            GapBounds {
+                lo: 5,
+                hi: 9,
+                rank: 1
+            }
+            .width(),
+            5
+        );
     }
 }

@@ -49,7 +49,11 @@ impl GapInsertionLayout {
                 overflow.push((k, k));
             }
         }
-        Self { slots, overflow, model }
+        Self {
+            slots,
+            overflow,
+            model,
+        }
     }
 
     /// Number of slots in the expanded array.
@@ -154,7 +158,10 @@ mod tests {
         let mut keys: Vec<Key> = (0..100).collect();
         keys.extend((0..100).map(|i| 1_000_000 + i));
         let layout = GapInsertionLayout::build(&keys, 1.0);
-        assert!(layout.num_overflow() > 0, "expected collisions in the dense runs");
+        assert!(
+            layout.num_overflow() > 0,
+            "expected collisions in the dense runs"
+        );
         for &k in &keys {
             assert_eq!(layout.get(k).0, Some(k));
         }

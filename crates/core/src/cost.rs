@@ -37,14 +37,22 @@ impl Default for CostModel {
         // Defaults correspond to the common observation that one level of
         // pointer chasing costs roughly as much as 2–3 search iterations in
         // a cache-resident node; they can be re-calibrated via `calibrate`.
-        Self { search_constant: 1.0, traversal_constant: 2.5, threshold: 0.0 }
+        Self {
+            search_constant: 1.0,
+            traversal_constant: 2.5,
+            threshold: 0.0,
+        }
     }
 }
 
 impl CostModel {
     /// Creates a model from measured per-search and per-level costs.
     pub fn new(search_constant: f64, traversal_constant: f64, threshold: f64) -> Self {
-        Self { search_constant, traversal_constant, threshold }
+        Self {
+            search_constant,
+            traversal_constant,
+            threshold,
+        }
     }
 
     /// Builds a model from sampled measurements: the average time (in any
@@ -97,8 +105,16 @@ impl SubtreeCostStats {
                 real += 1;
             }
         }
-        let expected_searches = if real == 0 { 0.0 } else { total_iters / real as f64 };
-        Self { num_keys: real, mean_key_depth: 1.0, expected_searches }
+        let expected_searches = if real == 0 {
+            0.0
+        } else {
+            total_iters / real as f64
+        };
+        Self {
+            num_keys: real,
+            mean_key_depth: 1.0,
+            expected_searches,
+        }
     }
 }
 
@@ -117,7 +133,9 @@ pub enum CostCondition {
 
 impl Default for CostCondition {
     fn default() -> Self {
-        CostCondition::LossBased { min_relative_improvement: 0.0 }
+        CostCondition::LossBased {
+            min_relative_improvement: 0.0,
+        }
     }
 }
 
@@ -134,7 +152,9 @@ impl CostCondition {
         after: &SubtreeCostStats,
     ) -> bool {
         match *self {
-            CostCondition::LossBased { min_relative_improvement } => {
+            CostCondition::LossBased {
+                min_relative_improvement,
+            } => {
                 if loss_before <= 0.0 {
                     return false;
                 }
@@ -153,7 +173,11 @@ mod tests {
     use csv_common::Key;
 
     fn stats(depth: f64, searches: f64) -> SubtreeCostStats {
-        SubtreeCostStats { num_keys: 100, mean_key_depth: depth, expected_searches: searches }
+        SubtreeCostStats {
+            num_keys: 100,
+            mean_key_depth: depth,
+            expected_searches: searches,
+        }
     }
 
     #[test]
@@ -198,7 +222,9 @@ mod tests {
 
     #[test]
     fn loss_based_condition() {
-        let cond = CostCondition::LossBased { min_relative_improvement: 0.1 };
+        let cond = CostCondition::LossBased {
+            min_relative_improvement: 0.1,
+        };
         let b = stats(2.0, 1.0);
         let a = stats(1.0, 1.0);
         assert!(cond.should_rebuild(10.0, 5.0, &b, &a));

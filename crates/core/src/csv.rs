@@ -51,7 +51,7 @@
 
 use crate::cost::{CostCondition, SubtreeCostStats};
 use crate::layout::SmoothedLayout;
-use crate::single::{smooth_segment, SmoothingConfig, SmoothingResult};
+use crate::single::{smooth_segment, SmoothingConfig, SmoothingCounters, SmoothingResult};
 use csv_common::Key;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -177,6 +177,36 @@ pub trait CsvIntegrable {
         subtree: &SubtreeRef,
         layout: &SmoothedLayout,
     ) -> Result<(), RebuildRefusal>;
+
+    /// `true` when the index records which sub-tree roots absorbed inserts
+    /// or removes since the last [`CsvIntegrable::csv_mark_clean`].
+    ///
+    /// Indexes without tracking keep the default `false` and must treat
+    /// *every* sub-tree as dirty (the default
+    /// [`CsvIntegrable::csv_dirty_subtrees_at_level`] does), so
+    /// [`CsvOptimizer::plan_dirty`] degrades gracefully to a full
+    /// [`CsvOptimizer::plan`].
+    fn csv_tracks_dirty(&self) -> bool {
+        false
+    }
+
+    /// The sub-tree roots at `level` whose sub-trees absorbed inserts or
+    /// removes since the last [`CsvIntegrable::csv_mark_clean`] (a freshly
+    /// built index is fully dirty: it has never been considered).
+    ///
+    /// Must return a subset of [`CsvIntegrable::csv_subtrees_at_level`];
+    /// the default returns all of them (everything dirty).
+    fn csv_dirty_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+        self.csv_subtrees_at_level(level)
+    }
+
+    /// Marks the whole index clean: subsequent
+    /// [`CsvIntegrable::csv_dirty_subtrees_at_level`] calls report only
+    /// sub-trees touched by inserts/removes that happen *after* this call.
+    /// Called by [`CsvOptimizer::optimize_dirty`] (and the concurrent
+    /// maintenance engine) once a dirty plan has been applied. A no-op for
+    /// indexes without tracking.
+    fn csv_mark_clean(&mut self) {}
 }
 
 /// Where CSV starts its bottom-up sweep.
@@ -220,7 +250,9 @@ impl CsvConfig {
                 mode: crate::single::GreedyMode::Lazy,
                 ..SmoothingConfig::with_alpha(alpha)
             },
-            condition: CostCondition::LossBased { min_relative_improvement: 0.0 },
+            condition: CostCondition::LossBased {
+                min_relative_improvement: 0.0,
+            },
             start_level: StartLevel::Fixed(2),
             stop_level: 2,
             max_subtree_keys: 1 << 20,
@@ -258,6 +290,13 @@ impl CsvConfig {
     pub fn alpha(&self) -> f64 {
         self.smoothing.alpha
     }
+
+    /// The lazy driver's diminishing-returns drift tolerance (default 0:
+    /// exact fallback behaviour; see
+    /// [`SmoothingConfig::drift_tolerance`](crate::single::SmoothingConfig)).
+    pub fn drift_tolerance(&self) -> f64 {
+        self.smoothing.drift_tolerance
+    }
 }
 
 impl Default for CsvConfig {
@@ -285,17 +324,23 @@ pub struct CsvConfigBuilder {
 impl CsvConfigBuilder {
     /// Starts from [`CsvConfig::for_lipp`] with the paper's default α = 0.1.
     pub fn lipp() -> Self {
-        Self { config: CsvConfig::for_lipp(0.1) }
+        Self {
+            config: CsvConfig::for_lipp(0.1),
+        }
     }
 
     /// Starts from [`CsvConfig::for_sali`] with the paper's default α = 0.1.
     pub fn sali() -> Self {
-        Self { config: CsvConfig::for_sali(0.1) }
+        Self {
+            config: CsvConfig::for_sali(0.1),
+        }
     }
 
     /// Starts from [`CsvConfig::for_alex`] with the paper's default α = 0.1.
     pub fn alex(model: crate::cost::CostModel) -> Self {
-        Self { config: CsvConfig::for_alex(0.1, model) }
+        Self {
+            config: CsvConfig::for_alex(0.1, model),
+        }
     }
 
     /// Sets the smoothing threshold α.
@@ -307,6 +352,13 @@ impl CsvConfigBuilder {
     /// Selects the Algorithm 1 greedy driver.
     pub fn greedy(mut self, mode: crate::single::GreedyMode) -> Self {
         self.config.smoothing.mode = mode;
+        self
+    }
+
+    /// Sets the lazy driver's diminishing-returns drift tolerance (0 keeps
+    /// the exact fallback behaviour).
+    pub fn drift_tolerance(mut self, drift_tolerance: f64) -> Self {
+        self.config.smoothing.drift_tolerance = drift_tolerance;
         self
     }
 
@@ -412,12 +464,18 @@ impl CsvReport {
     /// Sub-trees skipped before smoothing (too small or over the size
     /// guard).
     pub fn subtrees_skipped(&self) -> usize {
-        self.outcomes.iter().filter(|o| matches!(o.decision, Decision::Skipped(_))).count()
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.decision, Decision::Skipped(_)))
+            .count()
     }
 
     /// Accepted rebuilds the index refused to perform.
     pub fn rebuilds_declined(&self) -> usize {
-        self.outcomes.iter().filter(|o| matches!(o.decision, Decision::Declined(_))).count()
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.decision, Decision::Declined(_)))
+            .count()
     }
 }
 
@@ -448,10 +506,18 @@ pub struct PlannedSubtree {
     pub loss_after: f64,
     /// Number of virtual points the smoothing inserted.
     pub virtual_points: usize,
-    /// Closed-form candidate refits Algorithm 1 spent on this sub-tree.
-    pub gap_refits: usize,
+    /// Work counters Algorithm 1 spent on this sub-tree (refits, stale
+    /// re-validations, fallback rescans, heap pushes).
+    pub counters: SmoothingCounters,
     /// The planned resolution.
     pub action: PlannedAction,
+}
+
+impl PlannedSubtree {
+    /// Closed-form candidate refits Algorithm 1 spent on this sub-tree.
+    pub fn gap_refits(&self) -> usize {
+        self.counters.gap_refits
+    }
 }
 
 /// The read-only half of a CSV run: per-sub-tree decisions (with accepted
@@ -483,12 +549,35 @@ impl CsvPlan {
 
     /// Number of sub-trees the plan will rebuild.
     pub fn num_rebuilds(&self) -> usize {
-        self.decisions.iter().filter(|d| matches!(d.action, PlannedAction::Rebuild(_))).count()
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.action, PlannedAction::Rebuild(_)))
+            .count()
     }
 
     /// Wall-clock time the read phase took.
     pub fn planning_time(&self) -> Duration {
         self.planning_time
+    }
+
+    /// Aggregate Algorithm-1 work counters over every considered sub-tree —
+    /// the planning cost of the read phase, available without applying
+    /// anything (the dirty-planning benches and `--dry-run` consume this).
+    pub fn counters(&self) -> SmoothingCounters {
+        let mut total = SmoothingCounters::default();
+        for d in &self.decisions {
+            total.gap_refits += d.counters.gap_refits;
+            total.stale_revalidations += d.counters.stale_revalidations;
+            total.fallback_rescans += d.counters.fallback_rescans;
+            total.heap_pushes += d.counters.heap_pushes;
+        }
+        total
+    }
+
+    /// Closed-form candidate refits spent planning (the dominant unit of
+    /// smoothing work).
+    pub fn gap_refits(&self) -> usize {
+        self.decisions.iter().map(|d| d.counters.gap_refits).sum()
     }
 
     /// The mutate phase: performs the planned rebuilds in plan order and
@@ -527,8 +616,50 @@ impl CsvPlan {
             "  \"planning_time_ms\": {:.3},\n",
             self.planning_time.as_secs_f64() * 1e3
         ));
-        out.push_str(&format!("  \"subtrees_considered\": {},\n", self.decisions.len()));
-        out.push_str(&format!("  \"subtrees_to_rebuild\": {},\n", self.num_rebuilds()));
+        out.push_str(&format!(
+            "  \"subtrees_considered\": {},\n",
+            self.decisions.len()
+        ));
+        out.push_str(&format!(
+            "  \"subtrees_to_rebuild\": {},\n",
+            self.num_rebuilds()
+        ));
+        // Per-level smoothing-work aggregates: the refit/fallback counters
+        // make planning cost observable (e.g. dirty-planning wins) without
+        // applying the plan. Levels appear in plan order (descending).
+        out.push_str("  \"levels\": [");
+        let mut levels: Vec<(usize, usize, usize, SmoothingCounters)> = Vec::new();
+        for d in &self.decisions {
+            let level = d.subtree.level;
+            if levels.last().map(|l| l.0) != Some(level) {
+                levels.push((level, 0, 0, SmoothingCounters::default()));
+            }
+            let entry = levels.last_mut().expect("pushed above");
+            entry.1 += 1;
+            entry.2 += usize::from(matches!(d.action, PlannedAction::Rebuild(_)));
+            entry.3.gap_refits += d.counters.gap_refits;
+            entry.3.stale_revalidations += d.counters.stale_revalidations;
+            entry.3.fallback_rescans += d.counters.fallback_rescans;
+            entry.3.heap_pushes += d.counters.heap_pushes;
+        }
+        for (i, (level, considered, rebuilds, counters)) in levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"level\": {level}, \"subtrees_considered\": {considered}, \
+                 \"subtrees_to_rebuild\": {rebuilds}, \"gap_refits\": {}, \
+                 \"stale_revalidations\": {}, \"fallback_rescans\": {}, \"heap_pushes\": {}}}",
+                counters.gap_refits,
+                counters.stale_revalidations,
+                counters.fallback_rescans,
+                counters.heap_pushes
+            ));
+        }
+        if !levels.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
         out.push_str("  \"decisions\": [");
         for (i, d) in self.decisions.iter().enumerate() {
             if i > 0 {
@@ -541,9 +672,7 @@ impl CsvPlan {
             ));
             match &d.action {
                 PlannedAction::Skipped(reason) => {
-                    out.push_str(&format!(
-                        ", \"action\": \"skip\", \"reason\": \"{reason}\""
-                    ));
+                    out.push_str(&format!(", \"action\": \"skip\", \"reason\": \"{reason}\""));
                 }
                 PlannedAction::CostRejected => {
                     out.push_str(&format!(
@@ -598,7 +727,7 @@ fn apply_planned<I: CsvIntegrable + ?Sized>(
             }
         }
     };
-    report.gap_refits += planned.gap_refits;
+    report.gap_refits += planned.counters.gap_refits;
     report.outcomes.push(NodeOutcome {
         subtree: planned.subtree,
         num_keys: planned.num_keys,
@@ -680,7 +809,7 @@ impl CsvOptimizer {
                 loss_before: 0.0,
                 loss_after: 0.0,
                 virtual_points: 0,
-                gap_refits: 0,
+                counters: SmoothingCounters::default(),
                 action: PlannedAction::Skipped(reason),
             };
         }
@@ -700,7 +829,7 @@ impl CsvOptimizer {
             loss_before: smoothed.loss_before,
             loss_after: smoothed.loss_after_all,
             virtual_points: smoothed.virtual_points.len(),
-            gap_refits: smoothed.counters.gap_refits,
+            counters: smoothed.counters,
             // Rejected evaluations drop the layout right here, so a
             // level-wide batch never holds a second copy of every sub-tree's
             // keys — only of the ones it is about to rebuild.
@@ -712,18 +841,49 @@ impl CsvOptimizer {
         }
     }
 
+    /// The read phase over an explicit sub-tree list, sequentially.
+    fn plan_subtrees<I: CsvIntegrable + ?Sized>(
+        &self,
+        index: &I,
+        subtrees: Vec<SubtreeRef>,
+    ) -> CsvPlan {
+        let started = Instant::now();
+        let mut buf = Vec::new();
+        let decisions = subtrees
+            .into_iter()
+            .map(|subtree| self.plan_subtree(index, subtree, &mut buf))
+            .collect();
+        CsvPlan {
+            decisions,
+            planning_time: started.elapsed(),
+        }
+    }
+
+    /// The read phase over an explicit sub-tree list, fanned out across the
+    /// rayon pool with per-worker scratch buffers.
+    fn plan_subtrees_parallel<I: CsvIntegrable + Sync + ?Sized>(
+        &self,
+        index: &I,
+        subtrees: Vec<SubtreeRef>,
+    ) -> CsvPlan {
+        let started = Instant::now();
+        let decisions = subtrees
+            .par_iter()
+            .map(|subtree| {
+                KEY_SCRATCH.with(|buf| self.plan_subtree(index, *subtree, &mut buf.borrow_mut()))
+            })
+            .collect();
+        CsvPlan {
+            decisions,
+            planning_time: started.elapsed(),
+        }
+    }
+
     /// Plans one level of the sweep sequentially. This is the building block
     /// of the short-lock pattern: call it under a shared lock, then apply
     /// the returned plan under the exclusive lock, level by level.
     pub fn plan_level<I: CsvIntegrable + ?Sized>(&self, index: &I, level: usize) -> CsvPlan {
-        let started = Instant::now();
-        let mut buf = Vec::new();
-        let decisions = index
-            .csv_subtrees_at_level(level)
-            .into_iter()
-            .map(|subtree| self.plan_subtree(index, subtree, &mut buf))
-            .collect();
-        CsvPlan { decisions, planning_time: started.elapsed() }
+        self.plan_subtrees(index, index.csv_subtrees_at_level(level))
     }
 
     /// Plans one level with the per-sub-tree work fanned out across the
@@ -735,15 +895,24 @@ impl CsvOptimizer {
         index: &I,
         level: usize,
     ) -> CsvPlan {
-        let started = Instant::now();
-        let subtrees = index.csv_subtrees_at_level(level);
-        let decisions = subtrees
-            .par_iter()
-            .map(|subtree| {
-                KEY_SCRATCH.with(|buf| self.plan_subtree(index, *subtree, &mut buf.borrow_mut()))
-            })
-            .collect();
-        CsvPlan { decisions, planning_time: started.elapsed() }
+        self.plan_subtrees_parallel(index, index.csv_subtrees_at_level(level))
+    }
+
+    /// [`CsvOptimizer::plan_level`] restricted to the sub-trees that
+    /// absorbed inserts/removes since the index was last marked clean
+    /// ([`CsvIntegrable::csv_dirty_subtrees_at_level`]).
+    pub fn plan_dirty_level<I: CsvIntegrable + ?Sized>(&self, index: &I, level: usize) -> CsvPlan {
+        self.plan_subtrees(index, index.csv_dirty_subtrees_at_level(level))
+    }
+
+    /// [`CsvOptimizer::plan_dirty_level`] with the per-sub-tree work fanned
+    /// out across the rayon pool.
+    pub fn plan_dirty_level_parallel<I: CsvIntegrable + Sync + ?Sized>(
+        &self,
+        index: &I,
+        level: usize,
+    ) -> CsvPlan {
+        self.plan_subtrees_parallel(index, index.csv_dirty_subtrees_at_level(level))
     }
 
     /// The read phase of a whole CSV run: plans every sweep level against
@@ -765,6 +934,27 @@ impl CsvOptimizer {
         self.plan_with(index, Self::plan_level_parallel)
     }
 
+    /// The *incremental* read phase: like [`CsvOptimizer::plan`], but key
+    /// collection, smoothing and the cost condition are restricted to the
+    /// sub-tree roots that absorbed inserts/removes since the index was
+    /// last marked clean. The smoothing work is therefore proportional to
+    /// the dirty fraction of the index instead of its total size (the
+    /// `maintenance` bench quantifies this via [`CsvPlan::counters`]).
+    ///
+    /// On a fully dirty index — a freshly built one, or any index whose
+    /// backend does not track dirtiness — the result equals
+    /// [`CsvOptimizer::plan`] decision for decision (property-pinned in the
+    /// crate tests).
+    pub fn plan_dirty<I: CsvIntegrable + ?Sized>(&self, index: &I) -> CsvPlan {
+        self.plan_with(index, Self::plan_dirty_level)
+    }
+
+    /// [`CsvOptimizer::plan_dirty`] with every level's dirty sub-trees
+    /// fanned out across the rayon pool.
+    pub fn plan_dirty_parallel<I: CsvIntegrable + Sync + ?Sized>(&self, index: &I) -> CsvPlan {
+        self.plan_with(index, Self::plan_dirty_level_parallel)
+    }
+
     /// The one sweep loop behind [`CsvOptimizer::plan`] and
     /// [`CsvOptimizer::plan_parallel`], parameterised by the per-level
     /// planner.
@@ -777,7 +967,8 @@ impl CsvOptimizer {
         let mut plan = CsvPlan::default();
         if let Some((start_level, stop_level)) = self.sweep_levels(index) {
             for level in (stop_level..=start_level).rev() {
-                plan.decisions.extend(plan_level(self, index, level).decisions);
+                plan.decisions
+                    .extend(plan_level(self, index, level).decisions);
             }
         }
         plan.planning_time = started.elapsed();
@@ -813,6 +1004,26 @@ impl CsvOptimizer {
         report
     }
 
+    /// The incremental counterpart of [`CsvOptimizer::optimize`]: one
+    /// plan-dirty → apply round per level (so rebuilds at level `l` are
+    /// visible to the planning of level `l − 1`, exactly like the full
+    /// sweep), after which the index is marked clean. On a fully dirty
+    /// index this is identical to [`CsvOptimizer::optimize`]; on a clean
+    /// one it considers nothing and costs only the level enumeration.
+    pub fn optimize_dirty<I: CsvIntegrable + ?Sized>(&self, index: &mut I) -> CsvReport {
+        let started = Instant::now();
+        let mut report = CsvReport::default();
+        if let Some((start_level, stop_level)) = self.sweep_levels(index) {
+            for level in (stop_level..=start_level).rev() {
+                self.plan_dirty_level(index, level)
+                    .apply_into(index, &mut report);
+            }
+        }
+        index.csv_mark_clean();
+        report.preprocessing_time = started.elapsed();
+        report
+    }
+
     /// Runs CSV on `index`, fanning the per-sub-tree planning work of every
     /// level out across the rayon thread pool.
     ///
@@ -831,7 +1042,8 @@ impl CsvOptimizer {
             for level in (stop_level..=start_level).rev() {
                 // One plan → apply round per level, so rebuilds at level `l`
                 // are visible to the planning of level `l − 1`.
-                self.plan_level_parallel(index, level).apply_into(index, &mut report);
+                self.plan_level_parallel(index, level)
+                    .apply_into(index, &mut report);
             }
         }
         report.preprocessing_time = started.elapsed();
@@ -846,17 +1058,33 @@ mod tests {
 
     /// A miniature two-level "index": a root with child nodes, each child
     /// holding a key segment. Used to exercise the optimizer without pulling
-    /// in a real index crate.
+    /// in a real index crate. Tracks dirty children the way the real
+    /// backends do: everything starts dirty (never considered), inserts
+    /// mark their child dirty, `csv_mark_clean` wipes the marks.
     struct ToyIndex {
         children: Vec<Vec<Key>>,
         flattened: Vec<Option<SmoothedLayout>>,
+        dirty: Vec<bool>,
         capacity_limit: usize,
     }
 
     impl ToyIndex {
         fn new(children: Vec<Vec<Key>>) -> Self {
             let n = children.len();
-            Self { children, flattened: vec![None; n], capacity_limit: usize::MAX }
+            Self {
+                children,
+                flattened: vec![None; n],
+                dirty: vec![true; n],
+                capacity_limit: usize::MAX,
+            }
+        }
+
+        /// Simulates an insert landing in child `i`.
+        fn touch(&mut self, i: usize, key: Key) {
+            self.children[i].push(key);
+            self.children[i].sort_unstable();
+            self.flattened[i] = None;
+            self.dirty[i] = true;
         }
     }
 
@@ -870,7 +1098,10 @@ mod tests {
             }
             (0..self.children.len())
                 .filter(|&i| self.flattened[i].is_none())
-                .map(|i| SubtreeRef { node_id: i, level: 2 })
+                .map(|i| SubtreeRef {
+                    node_id: i,
+                    level: 2,
+                })
                 .collect()
         }
         fn csv_collect_keys_into(&self, subtree: &SubtreeRef, buf: &mut Vec<Key>) {
@@ -893,6 +1124,18 @@ mod tests {
             }
             self.flattened[subtree.node_id] = Some(layout.clone());
             Ok(())
+        }
+        fn csv_tracks_dirty(&self) -> bool {
+            true
+        }
+        fn csv_dirty_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+            self.csv_subtrees_at_level(level)
+                .into_iter()
+                .filter(|s| self.dirty[s.node_id])
+                .collect()
+        }
+        fn csv_mark_clean(&mut self) {
+            self.dirty.iter_mut().for_each(|d| *d = false);
         }
     }
 
@@ -964,7 +1207,11 @@ mod tests {
                 self.0.csv_collect_keys_into(s, buf)
             }
             fn csv_subtree_cost(&self, _s: &SubtreeRef) -> SubtreeCostStats {
-                SubtreeCostStats { num_keys: 49, mean_key_depth: 1.0, expected_searches: 1.0 }
+                SubtreeCostStats {
+                    num_keys: 49,
+                    mean_key_depth: 1.0,
+                    expected_searches: 1.0,
+                }
             }
             fn csv_rebuild_subtree(
                 &mut self,
@@ -978,7 +1225,10 @@ mod tests {
         let config = CsvConfig::for_alex(0.2, CostModel::new(1.0, 2.5, -0.5));
         let optimizer = CsvOptimizer::new(config);
         let report = optimizer.optimize(&mut cheap);
-        assert_eq!(report.subtrees_rebuilt, 0, "already-cheap sub-tree must not be merged");
+        assert_eq!(
+            report.subtrees_rebuilt, 0,
+            "already-cheap sub-tree must not be merged"
+        );
 
         // The same configuration on the expensive toy index does rebuild.
         let report = optimizer.optimize(&mut index);
@@ -987,8 +1237,7 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_sequential_sweep() {
-        let segments: Vec<Vec<Key>> =
-            (0..24).map(|i| skewed_segment(i * 50_000)).collect();
+        let segments: Vec<Vec<Key>> = (0..24).map(|i| skewed_segment(i * 50_000)).collect();
         let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
 
         let mut sequential = ToyIndex::new(segments.clone());
@@ -998,10 +1247,19 @@ mod tests {
         let parallel_report = optimizer.optimize_parallel(&mut parallel);
 
         assert_eq!(sequential_report.outcomes, parallel_report.outcomes);
-        assert_eq!(sequential_report.subtrees_considered(), parallel_report.subtrees_considered());
-        assert_eq!(sequential_report.subtrees_rebuilt, parallel_report.subtrees_rebuilt);
+        assert_eq!(
+            sequential_report.subtrees_considered(),
+            parallel_report.subtrees_considered()
+        );
+        assert_eq!(
+            sequential_report.subtrees_rebuilt,
+            parallel_report.subtrees_rebuilt
+        );
         assert_eq!(sequential_report.keys_rebuilt, parallel_report.keys_rebuilt);
-        assert_eq!(sequential_report.virtual_points_added, parallel_report.virtual_points_added);
+        assert_eq!(
+            sequential_report.virtual_points_added,
+            parallel_report.virtual_points_added
+        );
         assert_eq!(sequential_report.gap_refits, parallel_report.gap_refits);
         assert_eq!(sequential.flattened, parallel.flattened);
     }
@@ -1032,18 +1290,26 @@ mod tests {
         let staged_report = plan.apply(&mut staged);
 
         assert_eq!(fused_report.outcomes, staged_report.outcomes);
-        assert_eq!(fused_report.subtrees_considered(), staged_report.subtrees_considered());
-        assert_eq!(fused_report.subtrees_rebuilt, staged_report.subtrees_rebuilt);
+        assert_eq!(
+            fused_report.subtrees_considered(),
+            staged_report.subtrees_considered()
+        );
+        assert_eq!(
+            fused_report.subtrees_rebuilt,
+            staged_report.subtrees_rebuilt
+        );
         assert_eq!(fused_report.keys_rebuilt, staged_report.keys_rebuilt);
-        assert_eq!(fused_report.virtual_points_added, staged_report.virtual_points_added);
+        assert_eq!(
+            fused_report.virtual_points_added,
+            staged_report.virtual_points_added
+        );
         assert_eq!(fused_report.gap_refits, staged_report.gap_refits);
         assert_eq!(fused.flattened, staged.flattened);
     }
 
     #[test]
     fn plan_parallel_matches_plan() {
-        let segments: Vec<Vec<Key>> =
-            (0..24).map(|i| skewed_segment(i * 50_000)).collect();
+        let segments: Vec<Vec<Key>> = (0..24).map(|i| skewed_segment(i * 50_000)).collect();
         let index = ToyIndex::new(segments);
         let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
         let sequential = optimizer.plan(&index);
@@ -1066,6 +1332,11 @@ mod tests {
         assert!(json.contains("\"action\": \"cost-rejected\""));
         assert!(json.contains("\"subtrees_considered\": 3"));
         assert!(json.contains("\"subtrees_to_rebuild\": 1"));
+        // Per-level smoothing counters are part of the plan surface.
+        assert!(json.contains("\"levels\": ["));
+        assert!(json.contains(&format!("\"gap_refits\": {}", plan.gap_refits())));
+        assert!(json.contains("\"fallback_rescans\":"));
+        assert!(json.contains("\"stale_revalidations\":"));
         // Well-formed enough for a JSON parser: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -1092,7 +1363,10 @@ mod tests {
     #[test]
     fn stop_level_above_max_level_is_a_noop() {
         let mut index = ToyIndex::new(vec![skewed_segment(0)]);
-        let config = CsvConfig { stop_level: 5, ..CsvConfig::for_lipp(0.2) };
+        let config = CsvConfig {
+            stop_level: 5,
+            ..CsvConfig::for_lipp(0.2)
+        };
         let report = CsvOptimizer::new(config).optimize(&mut index);
         assert_eq!(report.subtrees_considered(), 0);
         assert!(CsvOptimizer::new(config).plan(&index).is_empty());
@@ -1102,7 +1376,10 @@ mod tests {
     fn skipped_subtrees_leave_a_trace_in_the_report() {
         // Over the size guard.
         let mut index = ToyIndex::new(vec![skewed_segment(0)]);
-        let config = CsvConfig { max_subtree_keys: 10, ..CsvConfig::for_lipp(0.2) };
+        let config = CsvConfig {
+            max_subtree_keys: 10,
+            ..CsvConfig::for_lipp(0.2)
+        };
         let report = CsvOptimizer::new(config).optimize(&mut index);
         assert_eq!(report.subtrees_rebuilt, 0);
         assert_eq!(report.subtrees_considered(), 1);
@@ -1118,9 +1395,72 @@ mod tests {
         let mut tiny = ToyIndex::new(vec![vec![42]]);
         let report = CsvOptimizer::new(CsvConfig::for_lipp(0.2)).optimize(&mut tiny);
         assert_eq!(report.subtrees_considered(), 1);
-        assert_eq!(report.outcomes[0].decision, Decision::Skipped(SkipReason::TooSmall));
+        assert_eq!(
+            report.outcomes[0].decision,
+            Decision::Skipped(SkipReason::TooSmall)
+        );
         assert_eq!(report.outcomes[0].num_keys, 1);
         assert_eq!(report.outcomes[0].loss_before, 0.0);
+    }
+
+    #[test]
+    fn plan_dirty_on_a_fully_dirty_index_equals_plan() {
+        // Freshly built (never considered) — every sub-tree is dirty, so the
+        // incremental read phase must reproduce the full one decision for
+        // decision.
+        let segments: Vec<Vec<Key>> = (0..12).map(|i| skewed_segment(i * 60_000)).collect();
+        let index = ToyIndex::new(segments);
+        assert!(index.csv_tracks_dirty());
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        let full = optimizer.plan(&index);
+        let dirty = optimizer.plan_dirty(&index);
+        assert_eq!(full.decisions(), dirty.decisions());
+        assert_eq!(full.counters(), dirty.counters());
+        let dirty_parallel = optimizer.plan_dirty_parallel(&index);
+        assert_eq!(full.decisions(), dirty_parallel.decisions());
+    }
+
+    #[test]
+    fn plan_dirty_restricts_smoothing_work_to_dirty_roots() {
+        let segments: Vec<Vec<Key>> = (0..10).map(|i| skewed_segment(i * 60_000)).collect();
+        let mut index = ToyIndex::new(segments);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+        optimizer.optimize_dirty(&mut index);
+        // Quiesced and clean: nothing to plan.
+        assert!(optimizer.plan_dirty(&index).is_empty());
+
+        // Dirty two children; only those are re-planned, and the smoothing
+        // work is bounded by theirs alone.
+        index.touch(3, 3 * 60_000 + 57);
+        index.touch(7, 7 * 60_000 + 57);
+        let dirty = optimizer.plan_dirty(&index);
+        assert_eq!(dirty.len(), 2);
+        assert!(dirty
+            .decisions()
+            .iter()
+            .all(|d| [3, 7].contains(&d.subtree.node_id)));
+        let full = optimizer.plan(&index);
+        assert_eq!(full.len(), 2, "flattened children leave the candidate set");
+        assert!(dirty.gap_refits() <= full.gap_refits());
+    }
+
+    #[test]
+    fn optimize_dirty_matches_optimize_on_a_fresh_index_and_is_then_a_noop() {
+        let segments: Vec<Vec<Key>> = (0..8).map(|i| skewed_segment(i * 70_000)).collect();
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+
+        let mut fused = ToyIndex::new(segments.clone());
+        let fused_report = optimizer.optimize(&mut fused);
+
+        let mut incremental = ToyIndex::new(segments);
+        let incremental_report = optimizer.optimize_dirty(&mut incremental);
+        assert_eq!(fused_report.outcomes, incremental_report.outcomes);
+        assert_eq!(fused.flattened, incremental.flattened);
+
+        // The index is now clean and quiesced: a second round considers
+        // nothing at all.
+        let idle = optimizer.optimize_dirty(&mut incremental);
+        assert_eq!(idle.subtrees_considered(), 0);
     }
 
     #[test]
@@ -1128,17 +1468,22 @@ mod tests {
         let config = CsvConfig::builder()
             .alpha(0.3)
             .greedy(crate::single::GreedyMode::Rescan)
+            .drift_tolerance(0.25)
             .max_subtree_keys(123)
             .stop_level(3)
             .start_level(StartLevel::Fixed(4))
             .build();
         assert_eq!(config.alpha(), 0.3);
+        assert_eq!(config.drift_tolerance(), 0.25);
+        assert_eq!(CsvConfig::default().drift_tolerance(), 0.0);
         assert_eq!(config.smoothing.mode, crate::single::GreedyMode::Rescan);
         assert_eq!(config.max_subtree_keys, 123);
         assert_eq!(config.stop_level, 3);
         assert_eq!(config.start_level, StartLevel::Fixed(4));
         // Family presets seed the right condition.
-        let alex = CsvConfigBuilder::alex(CostModel::default()).alpha(0.2).build();
+        let alex = CsvConfigBuilder::alex(CostModel::default())
+            .alpha(0.2)
+            .build();
         assert!(matches!(alex.condition, CostCondition::Model(_)));
         assert_eq!(alex.start_level, StartLevel::Deepest);
         let sali = CsvConfigBuilder::sali().build();

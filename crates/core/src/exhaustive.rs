@@ -32,7 +32,11 @@ pub struct ExhaustiveResult {
 ///
 /// Returns `None` when the number of candidate values exceeds
 /// `max_candidates` (the enumeration would be intractable).
-pub fn exhaustive_smooth(keys: &[Key], alpha: f64, max_candidates: usize) -> Option<ExhaustiveResult> {
+pub fn exhaustive_smooth(
+    keys: &[Key],
+    alpha: f64,
+    max_candidates: usize,
+) -> Option<ExhaustiveResult> {
     if keys.len() < 2 {
         return None;
     }
@@ -92,7 +96,11 @@ pub fn exhaustive_smooth(keys: &[Key], alpha: f64, max_candidates: usize) -> Opt
         subsets_evaluated: 1, // the empty subset
     };
     search.recurse(0, lambda);
-    let Search { best_subset, subsets_evaluated, .. } = search;
+    let Search {
+        best_subset,
+        subsets_evaluated,
+        ..
+    } = search;
 
     // Materialise the winning layout.
     let mut state = SegmentState::from_keys(keys);

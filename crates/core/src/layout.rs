@@ -56,7 +56,10 @@ impl SmoothedLayout {
     /// A layout containing only the original keys (no smoothing).
     pub fn identity(keys: &[Key]) -> Self {
         let entries = keys.iter().copied().map(LayoutEntry::Real).collect();
-        Self { entries, model: LinearModel::fit_cdf(keys) }
+        Self {
+            entries,
+            model: LinearModel::fit_cdf(keys),
+        }
     }
 
     /// All slots in rank order.
@@ -86,12 +89,20 @@ impl SmoothedLayout {
 
     /// The real keys, in order.
     pub fn real_keys(&self) -> Vec<Key> {
-        self.entries.iter().filter(|e| e.is_real()).map(|e| e.key()).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.is_real())
+            .map(|e| e.key())
+            .collect()
     }
 
     /// The virtual points, in order.
     pub fn virtual_keys(&self) -> Vec<Key> {
-        self.entries.iter().filter(|e| !e.is_real()).map(|e| e.key()).collect()
+        self.entries
+            .iter()
+            .filter(|e| !e.is_real())
+            .map(|e| e.key())
+            .collect()
     }
 
     /// Sum of squared errors of the layout's model over **real keys only**,
@@ -169,8 +180,11 @@ mod tests {
             LayoutEntry::Virtual(8),
             LayoutEntry::Real(10),
         ];
-        let keys_and_ranks: Vec<(Key, f64)> =
-            entries.iter().enumerate().map(|(i, e)| (e.key(), i as f64)).collect();
+        let keys_and_ranks: Vec<(Key, f64)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.key(), i as f64))
+            .collect();
         let ks: Vec<Key> = keys_and_ranks.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = keys_and_ranks.iter().map(|p| p.1).collect();
         let model = LinearModel::fit_points(&ks, &ys);

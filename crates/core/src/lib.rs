@@ -66,7 +66,11 @@ pub fn configure_global_threads(threads: usize) {
     // could not be configured at all.
     static CONFIGURED: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
     let configured = *CONFIGURED.get_or_init(|| {
-        rayon::ThreadPoolBuilder::new().num_threads(threads).build_global().ok().map(|()| threads)
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .ok()
+            .map(|()| threads)
     });
     match configured {
         Some(width) if width == threads => {}
@@ -85,7 +89,9 @@ pub use csv::{
 };
 pub use exhaustive::exhaustive_smooth;
 pub use layout::{LayoutEntry, SmoothedLayout};
-pub use poisoning::{poison_segment, smoothing_counteracts_poisoning, PoisoningConfig, PoisoningResult};
+pub use poisoning::{
+    poison_segment, smoothing_counteracts_poisoning, PoisoningConfig, PoisoningResult,
+};
 pub use quadratic_smoothing::{
     compare_model_classes, smooth_segment_quadratic, QuadraticSmoothingConfig,
     QuadraticSmoothingResult,

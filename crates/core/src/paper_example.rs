@@ -66,8 +66,16 @@ mod tests {
         // The exact reconstruction differs from the authors' set, so allow a
         // generous band around the reported values: the loss must drop from
         // ~8.3 to the low single digits.
-        assert!(result.loss_after_all < 4.0, "L(K ∪ V) = {}", result.loss_after_all);
-        assert!(result.loss_after_real < 4.0, "L(K) = {}", result.loss_after_real);
+        assert!(
+            result.loss_after_all < 4.0,
+            "L(K ∪ V) = {}",
+            result.loss_after_all
+        );
+        assert!(
+            result.loss_after_real < 4.0,
+            "L(K) = {}",
+            result.loss_after_real
+        );
         assert!(result.virtual_points.len() <= 5);
         assert!(result.improvement_percent() > 55.0);
     }

@@ -39,14 +39,20 @@ pub struct PoisoningConfig {
 
 impl Default for PoisoningConfig {
     fn default() -> Self {
-        Self { alpha: 0.1, max_budget: None }
+        Self {
+            alpha: 0.1,
+            max_budget: None,
+        }
     }
 }
 
 impl PoisoningConfig {
     /// Creates a configuration with the given budget fraction.
     pub fn with_alpha(alpha: f64) -> Self {
-        Self { alpha, ..Self::default() }
+        Self {
+            alpha,
+            ..Self::default()
+        }
     }
 
     /// The poisoning budget for a segment of `n` keys.
@@ -114,7 +120,9 @@ pub fn poison_segment(keys: &[Key], config: &PoisoningConfig) -> PoisoningResult
 
     if keys.len() >= 2 {
         while poison_points.len() < budget {
-            let Some((value, loss)) = worst_candidate(&state) else { break };
+            let Some((value, loss)) = worst_candidate(&state) else {
+                break;
+            };
             if loss <= state.loss() {
                 break;
             }
@@ -189,7 +197,10 @@ mod tests {
         let cfg = PoisoningConfig::with_alpha(0.5);
         assert_eq!(cfg.budget(10), 5);
         assert_eq!(cfg.budget(1), 0);
-        let capped = PoisoningConfig { max_budget: Some(2), ..cfg };
+        let capped = PoisoningConfig {
+            max_budget: Some(2),
+            ..cfg
+        };
         assert_eq!(capped.budget(10), 2);
     }
 
@@ -215,7 +226,10 @@ mod tests {
         let min = *keys.first().unwrap();
         let max = *keys.last().unwrap();
         for &p in &result.poison_points {
-            assert!(p > min && p < max, "poison point {p} escapes ({min}, {max})");
+            assert!(
+                p > min && p < max,
+                "poison point {p} escapes ({min}, {max})"
+            );
             assert!(!keys.contains(&p), "poison point {p} duplicates a real key");
         }
         // No duplicates among the poison points themselves.
@@ -250,7 +264,13 @@ mod tests {
                 brute_worst = (v, l);
             }
         }
-        let result = poison_segment(&keys, &PoisoningConfig { alpha: 0.1, max_budget: Some(1) });
+        let result = poison_segment(
+            &keys,
+            &PoisoningConfig {
+                alpha: 0.1,
+                max_budget: Some(1),
+            },
+        );
         assert_eq!(result.poison_points.len(), 1);
         assert!(
             (result.loss_after_all - brute_worst.1).abs() < 1e-6 * (1.0 + brute_worst.1),
@@ -290,7 +310,10 @@ mod tests {
             "smoothing must reduce the poisoned loss: {poisoned} -> {repaired}"
         );
         // The repair recovers a substantial share of the damage.
-        assert!(repaired <= poisoned * 0.8, "only recovered {poisoned} -> {repaired}");
+        assert!(
+            repaired <= poisoned * 0.8,
+            "only recovered {poisoned} -> {repaired}"
+        );
     }
 
     #[test]

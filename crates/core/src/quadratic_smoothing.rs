@@ -39,14 +39,21 @@ pub struct QuadraticSmoothingConfig {
 
 impl Default for QuadraticSmoothingConfig {
     fn default() -> Self {
-        Self { alpha: 0.1, max_budget: None, probes_per_gap: 3 }
+        Self {
+            alpha: 0.1,
+            max_budget: None,
+            probes_per_gap: 3,
+        }
     }
 }
 
 impl QuadraticSmoothingConfig {
     /// Creates a configuration with the given smoothing threshold.
     pub fn with_alpha(alpha: f64) -> Self {
-        Self { alpha, ..Self::default() }
+        Self {
+            alpha,
+            ..Self::default()
+        }
     }
 
     /// The smoothing budget λ for a segment of `n` keys.
@@ -106,7 +113,10 @@ struct QuadSegmentState {
 
 impl QuadSegmentState {
     fn from_keys(keys: &[Key]) -> Self {
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly increasing"
+        );
         let origin = keys.first().copied().unwrap_or(0);
         let entries = keys.iter().copied().map(LayoutEntry::Real).collect();
         let mut state = Self {
@@ -186,8 +196,12 @@ impl QuadSegmentState {
         let rank = self.rank_of(v);
         let m = self.entries.len();
         let t = (m - rank) as f64; // entries whose rank shifts by one
-        // Sum of the shifted ranks rank..m-1.
-        let shifted_rank_sum = if t > 0.0 { (rank as f64 + m as f64 - 1.0) * t / 2.0 } else { 0.0 };
+                                   // Sum of the shifted ranks rank..m-1.
+        let shifted_rank_sum = if t > 0.0 {
+            (rank as f64 + m as f64 - 1.0) * t / 2.0
+        } else {
+            0.0
+        };
         let suffix_x = self.prefix_x[m] - self.prefix_x[rank];
         let suffix_x2 = self.prefix_x2[m] - self.prefix_x2[rank];
         let x = self.shift(v);
@@ -286,7 +300,9 @@ pub fn smooth_segment_quadratic(
 
     if keys.len() >= 3 {
         while virtual_points.len() < budget {
-            let Some((value, loss)) = state.best_candidate(config.probes_per_gap) else { break };
+            let Some((value, loss)) = state.best_candidate(config.probes_per_gap) else {
+                break;
+            };
             if loss >= state.loss() {
                 break;
             }
@@ -314,7 +330,8 @@ pub fn smooth_segment_quadratic(
 /// the same segment and budget; returns `(linear_loss, quadratic_loss)`
 /// measured over real + virtual points after smoothing.
 pub fn compare_model_classes(keys: &[Key], alpha: f64) -> (f64, f64) {
-    let linear = crate::single::smooth_segment(keys, &crate::single::SmoothingConfig::with_alpha(alpha));
+    let linear =
+        crate::single::smooth_segment(keys, &crate::single::SmoothingConfig::with_alpha(alpha));
     let quadratic = smooth_segment_quadratic(keys, &QuadraticSmoothingConfig::with_alpha(alpha));
     (linear.loss_after_all, quadratic.loss_after_all)
 }
@@ -379,8 +396,12 @@ mod tests {
                 result.loss_after_all,
                 result.loss_before
             );
-            let real: Vec<Key> =
-                result.entries.iter().filter(|e| e.is_real()).map(|e| e.key()).collect();
+            let real: Vec<Key> = result
+                .entries
+                .iter()
+                .filter(|e| e.is_real())
+                .map(|e| e.key())
+                .collect();
             assert_eq!(real, keys, "real keys must be preserved in order");
         }
     }
@@ -390,7 +411,10 @@ mod tests {
         let keys = curved_keys(120);
         let quad = QuadraticModel::fit_cdf(&keys).sse_cdf(&keys);
         let lin = csv_common::LinearModel::fit_cdf(&keys).sse_cdf(&keys);
-        assert!(quad < lin * 0.5, "quadratic {quad} should be well below linear {lin}");
+        assert!(
+            quad < lin * 0.5,
+            "quadratic {quad} should be well below linear {lin}"
+        );
     }
 
     #[test]

@@ -131,11 +131,18 @@ pub struct SegmentState {
 impl SegmentState {
     /// Creates the state for a strictly increasing key slice.
     pub fn from_keys(keys: &[Key]) -> Self {
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly increasing"
+        );
         let entries: Vec<LayoutEntry> = keys.iter().copied().map(LayoutEntry::Real).collect();
         let origin = keys.first().copied().unwrap_or(0);
-        let mut state =
-            Self { entries, prefix_key_sums: Vec::new(), stats: FitStats::new(), origin };
+        let mut state = Self {
+            entries,
+            prefix_key_sums: Vec::new(),
+            stats: FitStats::new(),
+            origin,
+        };
         state.refresh();
         state
     }
@@ -233,8 +240,12 @@ impl SegmentState {
         let m = self.stats.n;
         let n1 = m + 1.0;
         let t = m - rank as f64; // number of shifted entries
-        // Sum of the shifted ranks  r .. m-1.
-        let shifted_rank_sum = if t > 0.0 { (rank as f64 + m - 1.0) * t / 2.0 } else { 0.0 };
+                                 // Sum of the shifted ranks  r .. m-1.
+        let shifted_rank_sum = if t > 0.0 {
+            (rank as f64 + m - 1.0) * t / 2.0
+        } else {
+            0.0
+        };
         let suffix_key_sum = self.prefix_key_sums[self.entries.len()] - self.prefix_key_sums[rank];
 
         let sum_y = self.stats.sum_y + t + rank as f64;
@@ -254,7 +265,16 @@ impl SegmentState {
         // C = sum_yy − sum_y²/n1
         let c_yy = sum_yy - sum_y * sum_y / n1;
 
-        GapCoefficients { rank, origin, a0, a1, a2, b0, b1, c_yy }
+        GapCoefficients {
+            rank,
+            origin,
+            a0,
+            a1,
+            a2,
+            b0,
+            b1,
+            c_yy,
+        }
     }
 
     /// Loss after inserting candidate value `v` (not currently present) and
@@ -417,7 +437,12 @@ mod tests {
         let mut keys: Vec<Key> = (0..64u64).map(|i| offset + i * 1000).collect();
         keys.push(offset + 500_000);
         let state = SegmentState::from_keys(&keys);
-        for v in [offset + 1500, offset + 70_000, offset + 200_000, offset + 400_000] {
+        for v in [
+            offset + 1500,
+            offset + 70_000,
+            offset + 200_000,
+            offset + 400_000,
+        ] {
             if state.contains(v) {
                 continue;
             }

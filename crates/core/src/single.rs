@@ -47,6 +47,7 @@ use crate::candidates::{best_candidate_in_gap, enumerate_gaps, GapBounds};
 use crate::layout::SmoothedLayout;
 use crate::segment::SegmentState;
 use csv_common::{Key, LinearModel};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -65,11 +66,12 @@ pub enum GreedyMode {
 /// must remain upper bounds of current gains, so a re-validated entry whose
 /// refreshed gain exceeds its stored gain by more than this (relative)
 /// margin counts as a genuine violation rather than floating-point noise
-/// and triggers the exact fallback rescan.
+/// and triggers the exact fallback rescan. User-visible drift tolerance is
+/// layered on top via [`SmoothingConfig::drift_tolerance`].
 const LAZY_DRIFT_TOLERANCE: f64 = 1e-9;
 
 /// Instrumentation counters of one smoothing run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SmoothingCounters {
     /// Closed-form candidate refits: evaluations of a gap's best candidate
     /// against the current sufficient statistics. This is the unit of work
@@ -96,11 +98,31 @@ pub struct SmoothingConfig {
     /// Minimum relative loss improvement per inserted point; insertion stops
     /// when the best candidate improves the loss by less than this fraction.
     pub min_relative_gain: f64,
+    /// Bounded diminishing-returns drift the lazy driver tolerates before
+    /// triggering its exact fallback rescan (relative to the stored gain).
+    ///
+    /// The lazy heap's pruning argument requires stored gains to be upper
+    /// bounds of current gains. With tolerance `t`, a re-validated entry
+    /// whose gain grew by at most `t · (1 + |stored gain|)` is accepted as
+    /// "still bounded" (the refreshed entry re-enters the heap with its
+    /// current gain) instead of forcing the full-rescan fallback. On heavily
+    /// clustered key spaces most violations are tiny, so a small tolerance
+    /// removes most fallbacks at the cost of a bounded deviation from the
+    /// exact greedy choice — every inserted point still strictly reduces the
+    /// loss. The default `0.0` keeps the driver bit-identical to the exact
+    /// fallback behaviour (only floating-point noise is tolerated).
+    pub drift_tolerance: f64,
 }
 
 impl Default for SmoothingConfig {
     fn default() -> Self {
-        Self { alpha: 0.1, mode: GreedyMode::Rescan, max_budget: None, min_relative_gain: 0.0 }
+        Self {
+            alpha: 0.1,
+            mode: GreedyMode::Rescan,
+            max_budget: None,
+            min_relative_gain: 0.0,
+            drift_tolerance: 0.0,
+        }
     }
 }
 
@@ -108,7 +130,10 @@ impl SmoothingConfig {
     /// Creates a configuration with the given smoothing threshold and
     /// defaults for everything else (the paper's default `α = 0.1`).
     pub fn with_alpha(alpha: f64) -> Self {
-        Self { alpha, ..Self::default() }
+        Self {
+            alpha,
+            ..Self::default()
+        }
     }
 
     /// The smoothing budget λ for a segment of `n` keys.
@@ -168,12 +193,20 @@ pub fn smooth_segment(keys: &[Key], config: &SmoothingConfig) -> SmoothingResult
         0
     } else {
         match config.mode {
-            GreedyMode::Rescan => {
-                run_rescan(&mut state, budget, config.min_relative_gain, &mut virtual_points, &mut counters)
-            }
-            GreedyMode::Lazy => {
-                run_lazy(&mut state, budget, config.min_relative_gain, &mut virtual_points, &mut counters)
-            }
+            GreedyMode::Rescan => run_rescan(
+                &mut state,
+                budget,
+                config.min_relative_gain,
+                &mut virtual_points,
+                &mut counters,
+            ),
+            GreedyMode::Lazy => run_lazy(
+                &mut state,
+                budget,
+                config,
+                &mut virtual_points,
+                &mut counters,
+            ),
         }
     };
 
@@ -236,8 +269,7 @@ fn run_rescan(
     let mut iterations = 0;
     let mut previous_loss = state.loss();
     while virtual_points.len() < budget {
-        let Some(best) =
-            crate::candidates::best_candidate_counted(state, &mut counters.gap_refits)
+        let Some(best) = crate::candidates::best_candidate_counted(state, &mut counters.gap_refits)
         else {
             break;
         };
@@ -300,10 +332,15 @@ impl Ord for HeapEntry {
 fn run_lazy(
     state: &mut SegmentState,
     budget: usize,
-    min_relative_gain: f64,
+    config: &SmoothingConfig,
     virtual_points: &mut Vec<Key>,
     counters: &mut SmoothingCounters,
 ) -> usize {
+    let min_relative_gain = config.min_relative_gain;
+    // The fp-noise floor plus the user-selected drift tolerance; with the
+    // default `drift_tolerance = 0.0` this is exactly the historical
+    // constant, so the default pipeline is bit-identical.
+    let violation_margin = LAZY_DRIFT_TOLERANCE + config.drift_tolerance.max(0.0);
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     let mut epoch = 0usize;
     let mut previous_loss = state.loss();
@@ -333,12 +370,16 @@ fn run_lazy(
             }
             // The gap may have been shrunk by earlier insertions at its
             // ends; re-derive bounds before re-evaluating.
-            let Some(gap) = refresh_gap(state, &entry.gap) else { continue };
-            let Some(current) = best_candidate_in_gap(state, &gap) else { continue };
+            let Some(gap) = refresh_gap(state, &entry.gap) else {
+                continue;
+            };
+            let Some(current) = best_candidate_in_gap(state, &gap) else {
+                continue;
+            };
             counters.gap_refits += 1;
             counters.stale_revalidations += 1;
             let current_gain = previous_loss - current.loss;
-            if current_gain > entry.gain + LAZY_DRIFT_TOLERANCE * (1.0 + entry.gain.abs()) {
+            if current_gain > entry.gain + violation_margin * (1.0 + entry.gain.abs()) {
                 // This gap's marginal gain *grew* since it was stored: the
                 // stored gains are no longer upper bounds, so the lazy
                 // selection argument is void. Resolve this iteration with a
@@ -350,7 +391,9 @@ fn run_lazy(
                 // and are re-validated on demand as usual.
                 counters.fallback_rescans += 1;
                 let evaluated = evaluate_all_gaps(state, counters);
-                let Some(best_idx) = first_minimum(&evaluated) else { break None };
+                let Some(best_idx) = first_minimum(&evaluated) else {
+                    break None;
+                };
                 let reseeded: Vec<HeapEntry> = evaluated
                     .iter()
                     .enumerate()
@@ -377,7 +420,9 @@ fn run_lazy(
                 epoch,
             });
         };
-        let Some((inserted, winner_loss, gap)) = winner else { break };
+        let Some((inserted, winner_loss, gap)) = winner else {
+            break;
+        };
         if !improves(previous_loss, winner_loss, min_relative_gain) {
             break;
         }
@@ -390,7 +435,11 @@ fn run_lazy(
         // their candidates are evaluated against the post-insertion state
         // and therefore enter the heap fresh.
         if inserted > gap.lo {
-            let left = GapBounds { lo: gap.lo, hi: inserted - 1, rank: gap.rank };
+            let left = GapBounds {
+                lo: gap.lo,
+                hi: inserted - 1,
+                rank: gap.rank,
+            };
             if let Some(c) = best_candidate_in_gap(state, &left) {
                 counters.gap_refits += 1;
                 counters.heap_pushes += 1;
@@ -404,7 +453,11 @@ fn run_lazy(
             }
         }
         if inserted < gap.hi {
-            let right = GapBounds { lo: inserted + 1, hi: gap.hi, rank: gap.rank + 1 };
+            let right = GapBounds {
+                lo: inserted + 1,
+                hi: gap.hi,
+                rank: gap.rank + 1,
+            };
             if let Some(c) = best_candidate_in_gap(state, &right) {
                 counters.gap_refits += 1;
                 counters.heap_pushes += 1;
@@ -490,7 +543,10 @@ mod tests {
         assert_eq!(cfg.budget(10), 5);
         assert_eq!(cfg.budget(3), 1);
         assert_eq!(cfg.budget(1), 0);
-        let capped = SmoothingConfig { max_budget: Some(2), ..cfg };
+        let capped = SmoothingConfig {
+            max_budget: Some(2),
+            ..cfg
+        };
         assert_eq!(capped.budget(10), 2);
     }
 
@@ -542,7 +598,10 @@ mod tests {
         assert_eq!(r.layout.num_slots(), 1);
         assert!(r.virtual_points.is_empty());
         let r = smooth_segment(&[3, 4], &cfg);
-        assert!(r.virtual_points.is_empty(), "adjacent integers leave no gap");
+        assert!(
+            r.virtual_points.is_empty(),
+            "adjacent integers leave no gap"
+        );
     }
 
     #[test]
@@ -553,7 +612,11 @@ mod tests {
         // qualitative behaviour must hold: ≥ 60% loss reduction.
         let keys = example_keys();
         let result = smooth_segment(&keys, &SmoothingConfig::with_alpha(0.5));
-        assert!(result.improvement_percent() > 40.0, "{}", result.improvement_percent());
+        assert!(
+            result.improvement_percent() > 40.0,
+            "{}",
+            result.improvement_percent()
+        );
         assert!(!result.virtual_points.is_empty());
     }
 
@@ -563,7 +626,10 @@ mod tests {
         let rescan = smooth_segment(&keys, &SmoothingConfig::with_alpha(0.5));
         let lazy = smooth_segment(
             &keys,
-            &SmoothingConfig { mode: GreedyMode::Lazy, ..SmoothingConfig::with_alpha(0.5) },
+            &SmoothingConfig {
+                mode: GreedyMode::Lazy,
+                ..SmoothingConfig::with_alpha(0.5)
+            },
         );
         assert!(lazy.loss_after_all <= rescan.loss_before);
         // The lazy approximation must stay within 25% of the faithful driver.
@@ -582,7 +648,10 @@ mod tests {
             let rescan = smooth_segment(&keys, &SmoothingConfig::with_alpha(alpha));
             let lazy = smooth_segment(
                 &keys,
-                &SmoothingConfig { mode: GreedyMode::Lazy, ..SmoothingConfig::with_alpha(alpha) },
+                &SmoothingConfig {
+                    mode: GreedyMode::Lazy,
+                    ..SmoothingConfig::with_alpha(alpha)
+                },
             );
             assert!(
                 (lazy.loss_after_all - rescan.loss_after_all).abs()
@@ -591,7 +660,11 @@ mod tests {
                 lazy.loss_after_all,
                 rescan.loss_after_all
             );
-            assert_eq!(lazy.virtual_points.len(), rescan.virtual_points.len(), "alpha {alpha}");
+            assert_eq!(
+                lazy.virtual_points.len(),
+                rescan.virtual_points.len(),
+                "alpha {alpha}"
+            );
         }
     }
 
@@ -606,10 +679,23 @@ mod tests {
             k += 1 + (i * i) % 97 + if i % 50 == 0 { 1_000 } else { 0 };
             keys.push(k);
         }
-        let base = SmoothingConfig { alpha: 1.0, max_budget: Some(64), ..SmoothingConfig::default() };
+        let base = SmoothingConfig {
+            alpha: 1.0,
+            max_budget: Some(64),
+            ..SmoothingConfig::default()
+        };
         let rescan = smooth_segment(&keys, &base);
-        let lazy = smooth_segment(&keys, &SmoothingConfig { mode: GreedyMode::Lazy, ..base });
-        assert!(rescan.iterations > 0, "the segment must actually get smoothed");
+        let lazy = smooth_segment(
+            &keys,
+            &SmoothingConfig {
+                mode: GreedyMode::Lazy,
+                ..base
+            },
+        );
+        assert!(
+            rescan.iterations > 0,
+            "the segment must actually get smoothed"
+        );
         assert!(
             (lazy.loss_after_all - rescan.loss_after_all).abs()
                 <= 1e-6 * (1.0 + rescan.loss_after_all),
@@ -656,6 +742,82 @@ mod tests {
         assert_eq!(result.counters.heap_pushes, 0);
     }
 
+    /// Clustered key space (dense runs, orders-of-magnitude jumps) — the
+    /// regime where the lazy driver's diminishing-returns invariant breaks
+    /// and the exact fallback fires.
+    fn clustered_keys(n: u64) -> Vec<Key> {
+        let mut keys = Vec::new();
+        let mut base = 7u64;
+        let mut i = 0u64;
+        while (keys.len() as u64) < n {
+            let run = 8 + (i * 13) % 40;
+            for j in 0..run {
+                keys.push(base + j);
+            }
+            base += run + 1_000 * (1 + i % 17) * (1 + i % 3) * (i % 5 + 1);
+            i += 1;
+        }
+        keys.truncate(n as usize);
+        keys
+    }
+
+    #[test]
+    fn drift_tolerance_defaults_to_zero_and_is_bit_identical() {
+        let keys = clustered_keys(3_000);
+        let base = SmoothingConfig {
+            mode: GreedyMode::Lazy,
+            alpha: 1.0,
+            max_budget: Some(48),
+            ..SmoothingConfig::default()
+        };
+        assert_eq!(base.drift_tolerance, 0.0);
+        let explicit = SmoothingConfig {
+            drift_tolerance: 0.0,
+            ..base
+        };
+        let a = smooth_segment(&keys, &base);
+        let b = smooth_segment(&keys, &explicit);
+        assert_eq!(a, b, "tolerance 0 must be bit-identical to the default");
+    }
+
+    #[test]
+    fn drift_tolerance_trades_fallbacks_for_bounded_loss_drift() {
+        let keys = clustered_keys(3_000);
+        let base = SmoothingConfig {
+            mode: GreedyMode::Lazy,
+            alpha: 1.0,
+            max_budget: Some(48),
+            ..SmoothingConfig::default()
+        };
+        let exact = smooth_segment(&keys, &base);
+        assert!(
+            exact.counters.fallback_rescans > 0,
+            "the clustered segment must provoke fallbacks for this test to mean anything"
+        );
+        let tolerant = smooth_segment(
+            &keys,
+            &SmoothingConfig {
+                drift_tolerance: 0.2,
+                ..base
+            },
+        );
+        assert!(
+            tolerant.counters.fallback_rescans < exact.counters.fallback_rescans,
+            "tolerance 0.2 kept all {} fallbacks",
+            exact.counters.fallback_rescans
+        );
+        // The tolerant run is still a strictly loss-reducing greedy sequence.
+        assert!(tolerant.loss_after_all <= tolerant.loss_before + 1e-9);
+        // And its result stays within the tolerance-sized neighbourhood of
+        // the exact lazy result.
+        assert!(
+            tolerant.loss_after_all <= exact.loss_after_all * 1.10 + 1e-9,
+            "tolerant loss {} drifted too far from exact {}",
+            tolerant.loss_after_all,
+            exact.loss_after_all
+        );
+    }
+
     #[test]
     fn min_relative_gain_stops_early() {
         let keys = example_keys();
@@ -676,8 +838,14 @@ mod tests {
         let min = *keys.first().unwrap();
         let max = *keys.last().unwrap();
         for &v in &result.virtual_points {
-            assert!(v > min && v < max, "virtual point {v} escapes ({min}, {max})");
-            assert!(!keys.contains(&v), "virtual point {v} duplicates a real key");
+            assert!(
+                v > min && v < max,
+                "virtual point {v} escapes ({min}, {max})"
+            );
+            assert!(
+                !keys.contains(&v),
+                "virtual point {v} duplicates a real key"
+            );
         }
     }
 }

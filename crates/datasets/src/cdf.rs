@@ -28,14 +28,23 @@ impl CdfStats {
     pub fn of(keys: &[Key]) -> Self {
         let n = keys.len();
         if n < 2 {
-            return Self { n, normalized_rmse: 0.0, normalized_max_error: 0.0, r_squared: 1.0 };
+            return Self {
+                n,
+                normalized_rmse: 0.0,
+                normalized_max_error: 0.0,
+                r_squared: 1.0,
+            };
         }
         let model = LinearModel::fit_cdf(keys);
         let sse = model.sse_cdf(keys);
         let max_err = model.max_abs_error_cdf(keys);
         let mean_rank = (n as f64 - 1.0) / 2.0;
         let syy: f64 = (0..n).map(|i| (i as f64 - mean_rank).powi(2)).sum();
-        let r_squared = if syy > 0.0 { (1.0 - sse / syy).max(0.0) } else { 1.0 };
+        let r_squared = if syy > 0.0 {
+            (1.0 - sse / syy).max(0.0)
+        } else {
+            1.0
+        };
         Self {
             n,
             normalized_rmse: (sse / n as f64).sqrt() / n as f64,
@@ -108,7 +117,10 @@ mod tests {
     #[test]
     fn window_is_clamped_to_dataset() {
         let keys: Vec<Key> = (0..100).collect();
-        let w = ZoomedWindow { start_rank: 90, count: 1000 };
+        let w = ZoomedWindow {
+            start_rank: 90,
+            count: 1000,
+        };
         let stats = w.stats(&keys);
         assert_eq!(stats.n, 10);
         let w = ZoomedWindow::paper_default(100);

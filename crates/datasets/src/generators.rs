@@ -32,7 +32,12 @@ pub enum Dataset {
 impl Dataset {
     /// All four paper datasets, in the order the paper lists them.
     pub fn paper_datasets() -> [Dataset; 4] {
-        [Dataset::Facebook, Dataset::Covid, Dataset::Osm, Dataset::Genome]
+        [
+            Dataset::Facebook,
+            Dataset::Covid,
+            Dataset::Osm,
+            Dataset::Genome,
+        ]
     }
 
     /// Human-readable name matching the paper's figures.
@@ -71,7 +76,11 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// Creates a spec.
     pub fn new(dataset: Dataset, size: usize, seed: u64) -> Self {
-        Self { dataset, size, seed }
+        Self {
+            dataset,
+            size,
+            seed,
+        }
     }
 
     /// Generates the keys: sorted, unique, exactly `size` of them (the
@@ -205,7 +214,9 @@ fn genome_like(rng: &mut SplitMix64, n: usize, out: &mut Vec<Key>) {
         }
         // Heavy-tailed jump between runs: 2^10 .. 2^34.
         let exp = 10 + rng.next_below(25);
-        cursor = cursor.saturating_add(1u64 << exp).saturating_add(rng.next_below(1 << 10));
+        cursor = cursor
+            .saturating_add(1u64 << exp)
+            .saturating_add(rng.next_below(1 << 10));
     }
 }
 
@@ -235,7 +246,10 @@ mod tests {
             for &n in &[0usize, 1, 100, 10_000] {
                 let keys = dataset.generate(n, 42);
                 assert_eq!(keys.len(), n, "{dataset:?} size {n}");
-                assert!(is_strictly_increasing(&keys), "{dataset:?} not sorted/unique");
+                assert!(
+                    is_strictly_increasing(&keys),
+                    "{dataset:?} not sorted/unique"
+                );
             }
         }
     }

@@ -30,13 +30,19 @@ pub fn encode_keys(keys: &[Key]) -> Bytes {
 /// match the payload length.
 pub fn decode_keys(mut data: &[u8]) -> io::Result<Vec<Key>> {
     if data.len() < 8 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing SOSD count header"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "missing SOSD count header",
+        ));
     }
     let count = data.get_u64_le() as usize;
     if data.len() != count * 8 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("SOSD header says {count} keys but payload holds {} bytes", data.len()),
+            format!(
+                "SOSD header says {count} keys but payload holds {} bytes",
+                data.len()
+            ),
         ));
     }
     let mut keys = Vec::with_capacity(count);

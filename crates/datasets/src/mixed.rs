@@ -55,32 +55,62 @@ pub struct OperationMix {
 impl OperationMix {
     /// YCSB-A: 50% reads, 50% updates (modelled as inserts of existing keys).
     pub fn ycsb_a() -> Self {
-        Self { reads: 0.5, inserts: 0.5, removes: 0.0, scans: 0.0 }
+        Self {
+            reads: 0.5,
+            inserts: 0.5,
+            removes: 0.0,
+            scans: 0.0,
+        }
     }
 
     /// YCSB-B: 95% reads, 5% updates.
     pub fn ycsb_b() -> Self {
-        Self { reads: 0.95, inserts: 0.05, removes: 0.0, scans: 0.0 }
+        Self {
+            reads: 0.95,
+            inserts: 0.05,
+            removes: 0.0,
+            scans: 0.0,
+        }
     }
 
     /// YCSB-C: read-only.
     pub fn ycsb_c() -> Self {
-        Self { reads: 1.0, inserts: 0.0, removes: 0.0, scans: 0.0 }
+        Self {
+            reads: 1.0,
+            inserts: 0.0,
+            removes: 0.0,
+            scans: 0.0,
+        }
     }
 
     /// YCSB-E: 95% short scans, 5% inserts.
     pub fn ycsb_e() -> Self {
-        Self { reads: 0.0, inserts: 0.05, removes: 0.0, scans: 0.95 }
+        Self {
+            reads: 0.0,
+            inserts: 0.05,
+            removes: 0.0,
+            scans: 0.95,
+        }
     }
 
     /// A write-heavy mix with deletions, exercising every mutation path.
     pub fn churn() -> Self {
-        Self { reads: 0.4, inserts: 0.3, removes: 0.2, scans: 0.1 }
+        Self {
+            reads: 0.4,
+            inserts: 0.3,
+            removes: 0.2,
+            scans: 0.1,
+        }
     }
 
     fn normalised(&self) -> [f64; 4] {
         let total = (self.reads + self.inserts + self.removes + self.scans).max(f64::MIN_POSITIVE);
-        [self.reads / total, self.inserts / total, self.removes / total, self.scans / total]
+        [
+            self.reads / total,
+            self.inserts / total,
+            self.removes / total,
+            self.scans / total,
+        ]
     }
 }
 
@@ -138,7 +168,9 @@ impl MixedWorkload {
         assert!(loaded_keys.len() >= 2, "need at least two loaded keys");
         let mut rng = XorShift64::new(spec.seed);
         let mut zipf = match spec.popularity {
-            Popularity::Zipfian(theta) => Some(Zipfian::new(loaded_keys.len(), theta, spec.seed ^ 0xA5A5)),
+            Popularity::Zipfian(theta) => {
+                Some(Zipfian::new(loaded_keys.len(), theta, spec.seed ^ 0xA5A5))
+            }
             Popularity::Uniform => None,
         };
         let [p_read, p_insert, p_remove, _p_scan] = spec.mix.normalised();
@@ -182,7 +214,10 @@ impl MixedWorkload {
                 operations.push(Operation::Scan(loaded_keys[i], loaded_keys[hi_idx]));
             }
         }
-        Self { loaded_keys: loaded_keys.to_vec(), operations }
+        Self {
+            loaded_keys: loaded_keys.to_vec(),
+            operations,
+        }
     }
 
     /// Number of operations of each kind, as `(reads, inserts, removes,
@@ -219,8 +254,16 @@ mod tests {
         let (reads, inserts, removes, scans) = wl.op_counts();
         let share = |c: usize| c as f64 / 20_000.0;
         assert!((share(reads) - 0.4).abs() < 0.03, "reads {}", share(reads));
-        assert!((share(inserts) - 0.3).abs() < 0.03, "inserts {}", share(inserts));
-        assert!((share(removes) - 0.2).abs() < 0.03, "removes {}", share(removes));
+        assert!(
+            (share(inserts) - 0.3).abs() < 0.03,
+            "inserts {}",
+            share(inserts)
+        );
+        assert!(
+            (share(removes) - 0.2).abs() < 0.03,
+            "removes {}",
+            share(removes)
+        );
         assert!((share(scans) - 0.1).abs() < 0.03, "scans {}", share(scans));
     }
 
@@ -232,7 +275,13 @@ mod tests {
         let e = OperationMix::ycsb_e().normalised();
         assert!(e[3] > 0.9);
         // Degenerate all-zero mixes do not divide by zero.
-        let z = OperationMix { reads: 0.0, inserts: 0.0, removes: 0.0, scans: 0.0 }.normalised();
+        let z = OperationMix {
+            reads: 0.0,
+            inserts: 0.0,
+            removes: 0.0,
+            scans: 0.0,
+        }
+        .normalised();
         assert!(z.iter().all(|p| p.is_finite()));
     }
 

@@ -43,7 +43,10 @@ impl ReadOnlyWorkload {
     /// Builds a workload whose queries are drawn uniformly from `subset`.
     pub fn over_subset(keys: Vec<Key>, subset: &[Key], num_queries: usize, seed: u64) -> Self {
         if subset.is_empty() {
-            return Self { keys, queries: Vec::new() };
+            return Self {
+                keys,
+                queries: Vec::new(),
+            };
         }
         let mut rng = XorShift64::new(seed);
         let queries = (0..num_queries)
@@ -108,7 +111,11 @@ impl ReadWriteWorkload {
             .map(|_| initial[qrng.next_below(initial.len() as u64) as usize])
             .collect();
 
-        Self { initial_keys: initial, insert_batches, queries }
+        Self {
+            initial_keys: initial,
+            insert_batches,
+            queries,
+        }
     }
 
     /// Total number of keys across all insert batches.
@@ -151,12 +158,18 @@ mod tests {
         for batch in &wl.insert_batches {
             assert!(batch.len() <= 500);
             for k in batch {
-                assert!(wl.initial_keys.binary_search(k).is_err(), "insert {k} already loaded");
+                assert!(
+                    wl.initial_keys.binary_search(k).is_err(),
+                    "insert {k} already loaded"
+                );
                 assert!(keys.binary_search(k).is_ok());
             }
         }
         assert_eq!(wl.queries.len(), 200);
-        assert!(wl.queries.iter().all(|q| wl.initial_keys.binary_search(q).is_ok()));
+        assert!(wl
+            .queries
+            .iter()
+            .all(|q| wl.initial_keys.binary_search(q).is_ok()));
     }
 
     #[test]

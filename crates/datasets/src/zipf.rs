@@ -35,12 +35,23 @@ impl Zipfian {
     /// Panics when `n == 0` or `theta` is outside `(0, 1)`.
     pub fn new(n: usize, theta: f64, seed: u64) -> Self {
         assert!(n > 0, "Zipfian needs at least one rank");
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1), got {theta}");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
         let zeta_n = Self::zeta(n, theta);
         let zeta_theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
-        Self { n, theta, alpha, zeta_n, eta, zeta_theta, rng: XorShift64::new(seed) }
+        Self {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            zeta_theta,
+            rng: XorShift64::new(seed),
+        }
     }
 
     /// The generalised harmonic number `Σ_{i=1..n} 1/i^theta`.
@@ -83,7 +94,8 @@ impl Zipfian {
                 // Multiplicative scramble so the hot set is not one contiguous
                 // key range (which would make every index look artificially
                 // cache-friendly).
-                let scrambled = (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % keys.len();
+                let scrambled =
+                    (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % keys.len();
                 keys[scrambled]
             })
             .collect()
@@ -118,7 +130,12 @@ mod tests {
         }
         // Rank 0 must be the most popular by a wide margin.
         let max_rest = counts[1..].iter().copied().max().unwrap();
-        assert!(counts[0] > max_rest, "rank 0 hit {} vs max other {}", counts[0], max_rest);
+        assert!(
+            counts[0] > max_rest,
+            "rank 0 hit {} vs max other {}",
+            counts[0],
+            max_rest
+        );
         // The head dominates: the top 1% of ranks should absorb well over a
         // third of the accesses at theta = 0.99.
         let head: usize = counts[..100].iter().sum();
@@ -139,7 +156,10 @@ mod tests {
         };
         let skewed = head_share(0.99);
         let flat = head_share(0.2);
-        assert!(skewed > flat, "theta=0.99 head {skewed} vs theta=0.2 head {flat}");
+        assert!(
+            skewed > flat,
+            "theta=0.99 head {skewed} vs theta=0.2 head {flat}"
+        );
     }
 
     #[test]

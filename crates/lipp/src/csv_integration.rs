@@ -43,6 +43,32 @@ impl LippIndex {
 }
 
 impl CsvIntegrable for LippIndex {
+    fn csv_tracks_dirty(&self) -> bool {
+        true
+    }
+
+    fn csv_dirty_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+        // Inserts/removes flag every node on their root-to-slot path, so a
+        // sub-tree root is dirty iff anything below it changed since the
+        // last `csv_mark_clean`.
+        self.node_views()
+            .iter()
+            .filter(|v| v.level == level && v.children > 0 && self.nodes[v.node_id].dirty)
+            .map(|v| SubtreeRef {
+                node_id: v.node_id,
+                level,
+            })
+            .collect()
+    }
+
+    fn csv_mark_clean(&mut self) {
+        // Clearing the whole arena (free-listed slots included) is safe:
+        // reallocation goes through `Node::empty`, which starts dirty.
+        for node in &mut self.nodes {
+            node.dirty = false;
+        }
+    }
+
     fn csv_max_level(&self) -> usize {
         self.node_views()
             .iter()
@@ -56,7 +82,10 @@ impl CsvIntegrable for LippIndex {
         self.node_views()
             .iter()
             .filter(|v| v.level == level && v.children > 0)
-            .map(|v| SubtreeRef { node_id: v.node_id, level })
+            .map(|v| SubtreeRef {
+                node_id: v.node_id,
+                level,
+            })
             .collect()
     }
 
@@ -126,7 +155,8 @@ impl CsvIntegrable for LippIndex {
         // points make the model accurate, the expansion keeps residual
         // conflicts (which would re-create children) rare.
         let scale = self.config().expansion.max(1.0);
-        let capacity = ((layout.num_slots() as f64 * scale).ceil() as usize).max(layout.num_slots());
+        let capacity =
+            ((layout.num_slots() as f64 * scale).ceil() as usize).max(layout.num_slots());
         let model = layout.model();
         let scaled_model =
             csv_common::LinearModel::new(model.slope * scale, model.intercept * scale);
@@ -203,7 +233,10 @@ mod tests {
         let mut index = LippIndex::bulk_load(&identity_records(&keys));
         let before = index.stats();
         let promotable_before = before.level_histogram.at_or_below(3);
-        assert!(promotable_before > 0, "the workload must have deep keys to promote");
+        assert!(
+            promotable_before > 0,
+            "the workload must have deep keys to promote"
+        );
 
         let report = CsvOptimizer::new(CsvConfig::for_lipp(0.2)).optimize(&mut index);
         let after = index.stats();
@@ -216,7 +249,10 @@ mod tests {
         // Structure improves on aggregate. (Individual keys can be demoted
         // when a merged node re-creates a conflict, so the bounds below are
         // aggregate bounds, matching what the paper reports.)
-        assert!(report.subtrees_rebuilt > 0, "CSV should find sub-trees to merge");
+        assert!(
+            report.subtrees_rebuilt > 0,
+            "CSV should find sub-trees to merge"
+        );
         assert!(
             after.level_histogram.at_or_below(3) as f64 <= promotable_before as f64 * 1.2 + 1.0,
             "deep keys grew substantially: {} -> {}",
@@ -237,7 +273,10 @@ mod tests {
         };
         let low = levels_after(0.05);
         let high = levels_after(0.4);
-        assert!(high <= low + 0.05, "α=0.4 mean level {high} vs α=0.05 {low}");
+        assert!(
+            high <= low + 0.05,
+            "α=0.4 mean level {high} vs α=0.05 {low}"
+        );
     }
 
     #[test]
@@ -253,6 +292,46 @@ mod tests {
         // case; allow head-room because merged nodes keep their slack slots).
         let increase = (after_bytes as f64 - before_bytes as f64) / before_bytes as f64 * 100.0;
         assert!(increase < 60.0, "space increase {increase:.1}% too large");
+    }
+
+    #[test]
+    fn dirty_tracking_restricts_plan_dirty_to_touched_subtrees() {
+        use csv_common::traits::RemovableIndex;
+        let keys = hard_keys(20_000);
+        let mut index = LippIndex::bulk_load(&identity_records(&keys));
+        assert!(index.csv_tracks_dirty());
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.2));
+
+        // A freshly built index is fully dirty: the incremental plan is the
+        // full plan.
+        let full = optimizer.plan(&index);
+        let dirty = optimizer.plan_dirty(&index);
+        assert!(!full.is_empty());
+        assert_eq!(full.decisions(), dirty.decisions());
+
+        // Once clean, there is nothing to plan.
+        index.csv_mark_clean();
+        assert!(index.csv_dirty_subtrees_at_level(2).is_empty());
+        assert!(optimizer.plan_dirty(&index).is_empty());
+
+        // Removing a deep key dirties exactly the level-2 sub-tree on its
+        // path; the incremental plan considers only that root.
+        let deep = keys
+            .iter()
+            .copied()
+            .find(|&k| index.level_of_key(k).unwrap_or(1) >= 3)
+            .expect("hard keys produce deep levels");
+        assert_eq!(index.remove(deep), Some(deep));
+        let touched = index.csv_dirty_subtrees_at_level(2);
+        assert_eq!(touched.len(), 1);
+        let plan = optimizer.plan_dirty(&index);
+        assert!(plan.len() <= 1);
+        assert!(plan.decisions().iter().all(|d| d.subtree == touched[0]));
+
+        // Re-inserting after another clean flags the same sub-tree again.
+        index.csv_mark_clean();
+        assert!(index.insert(deep, deep));
+        assert_eq!(index.csv_dirty_subtrees_at_level(2), touched);
     }
 
     #[test]
@@ -282,7 +361,10 @@ mod tests {
             buf.clear();
             index.csv_collect_keys_into(&subtree, &mut buf);
             assert_eq!(buf, index.csv_collect_keys(&subtree));
-            assert!(buf.windows(2).all(|w| w[0] < w[1]), "keys must be strictly ascending");
+            assert!(
+                buf.windows(2).all(|w| w[0] < w[1]),
+                "keys must be strictly ascending"
+            );
         }
     }
 

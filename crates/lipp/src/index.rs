@@ -21,7 +21,11 @@ pub struct LippConfig {
 
 impl Default for LippConfig {
     fn default() -> Self {
-        Self { expansion: 2.0, min_capacity: 8, adjust_min_keys: 64 }
+        Self {
+            expansion: 2.0,
+            min_capacity: 8,
+            adjust_min_keys: 64,
+        }
     }
 }
 
@@ -42,7 +46,13 @@ impl LippIndex {
             records.windows(2).all(|w| w[0].key < w[1].key),
             "records must be sorted by key and unique"
         );
-        let mut index = Self { nodes: Vec::new(), free: Vec::new(), root: 0, len: records.len(), config };
+        let mut index = Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            len: records.len(),
+            config,
+        };
         index.root = index.build_subtree(records, 1);
         index
     }
@@ -72,7 +82,13 @@ impl LippIndex {
         let mut stack: Vec<usize> = self.nodes[node_id]
             .slots
             .iter()
-            .filter_map(|s| if let Slot::Child(c) = s { Some(*c) } else { None })
+            .filter_map(|s| {
+                if let Slot::Child(c) = s {
+                    Some(*c)
+                } else {
+                    None
+                }
+            })
             .collect();
         while let Some(id) = stack.pop() {
             for slot in &self.nodes[id].slots {
@@ -121,8 +137,10 @@ impl LippIndex {
         let mut node = Node::empty(capacity, level);
         node.key_offset = records[0].key;
         // predict(k) = slope·k + b  ==  slope·(k − off) + (b + slope·off)
-        node.model =
-            LinearModel::new(model.slope, model.intercept + model.slope * node.key_offset as f64);
+        node.model = LinearModel::new(
+            model.slope,
+            model.intercept + model.slope * node.key_offset as f64,
+        );
         node.subtree_keys = n;
         // Group consecutive records by their predicted slot.
         let mut groups: Vec<(usize, usize, usize)> = Vec::new(); // (slot, start, end)
@@ -164,7 +182,8 @@ impl LippIndex {
         let node_id = self.alloc(node);
         for (slot, start, end) in groups {
             if end - start == 1 {
-                self.nodes[node_id].slots[slot] = Slot::Data(records[start].key, records[start].value);
+                self.nodes[node_id].slots[slot] =
+                    Slot::Data(records[start].key, records[start].value);
             } else {
                 let child = self.build_subtree(&records[start..end], level + 1);
                 self.nodes[node_id].slots[slot] = Slot::Child(child);
@@ -325,6 +344,9 @@ impl LearnedIndex for LippIndex {
             for &id in &path {
                 self.nodes[id].subtree_keys += 1;
                 self.nodes[id].inserts_since_build += 1;
+                // Every node on the path roots a sub-tree that just absorbed
+                // this key: flag them for incremental re-optimisation.
+                self.nodes[id].dirty = true;
             }
             // Adjustment: rebuild the shallowest non-root sub-tree that has
             // absorbed more inserts than half its size.
@@ -458,6 +480,7 @@ impl RemovableIndex for LippIndex {
             self.len -= 1;
             for &id in &path {
                 self.nodes[id].subtree_keys -= 1;
+                self.nodes[id].dirty = true;
             }
         }
         removed
@@ -570,8 +593,16 @@ mod tests {
             let lo = keys[start];
             let hi = lo + span;
             let got = index.range(lo, hi);
-            let expected: Vec<Key> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
-            assert_eq!(got.iter().map(|r| r.key).collect::<Vec<_>>(), expected, "range [{lo}, {hi}]");
+            let expected: Vec<Key> = keys
+                .iter()
+                .copied()
+                .filter(|&k| k >= lo && k <= hi)
+                .collect();
+            assert_eq!(
+                got.iter().map(|r| r.key).collect::<Vec<_>>(),
+                expected,
+                "range [{lo}, {hi}]"
+            );
         }
         assert!(index.range(17, 3).is_empty());
     }
@@ -607,7 +638,10 @@ mod tests {
             .filter(|&(i, &k)| k <= hi && (i % 5 != 0 || i == 0))
             .map(|(_, &k)| k)
             .collect();
-        assert_eq!(index.range(0, hi).iter().map(|r| r.key).collect::<Vec<_>>(), expected);
+        assert_eq!(
+            index.range(0, hi).iter().map(|r| r.key).collect::<Vec<_>>(),
+            expected
+        );
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub struct Node {
     /// Number of inserts routed through this node since it was (re)built;
     /// drives the adjustment (sub-tree rebuild) heuristic.
     pub inserts_since_build: usize,
+    /// `true` while the node's sub-tree has absorbed inserts/removes (or a
+    /// structural rebuild) since CSV last considered it. Nodes start dirty:
+    /// a freshly built sub-tree has never been considered. Cleared only by
+    /// `CsvIntegrable::csv_mark_clean`.
+    pub dirty: bool,
 }
 
 impl Node {
@@ -49,6 +54,7 @@ impl Node {
             level,
             subtree_keys: 0,
             inserts_since_build: 0,
+            dirty: true,
         }
     }
 
@@ -60,17 +66,24 @@ impl Node {
     /// The slot index predicted for `key`.
     #[inline]
     pub fn predict_slot(&self, key: Key) -> usize {
-        self.model.predict_clamped(key.saturating_sub(self.key_offset), self.slots.len())
+        self.model
+            .predict_clamped(key.saturating_sub(self.key_offset), self.slots.len())
     }
 
     /// Number of `Data` slots in this node (not counting descendants).
     pub fn local_keys(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Data(_, _))).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Data(_, _)))
+            .count()
     }
 
     /// Number of `Child` slots in this node.
     pub fn child_count(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Child(_))).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Child(_)))
+            .count()
     }
 
     /// Estimated in-memory footprint of the node in bytes.
@@ -109,7 +122,11 @@ mod tests {
         assert_eq!(node.child_count(), 0);
         assert!(node.size_bytes() > 8 * std::mem::size_of::<Slot>());
         let tiny = Node::empty(0, 2);
-        assert_eq!(tiny.capacity(), 1, "capacity is clamped to at least one slot");
+        assert_eq!(
+            tiny.capacity(),
+            1,
+            "capacity is clamped to at least one slot"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct PgmConfig {
 
 impl Default for PgmConfig {
     fn default() -> Self {
-        Self { epsilon: 64, rebuild_divisor: 8 }
+        Self {
+            epsilon: 64,
+            rebuild_divisor: 8,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl PgmIndex {
     pub fn with_config(records: &[KeyValue], config: PgmConfig) -> Self {
         let keys: Vec<Key> = records.iter().map(|r| r.key).collect();
         let values: Vec<Value> = records.iter().map(|r| r.value).collect();
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "records must be sorted and unique");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "records must be sorted and unique"
+        );
         let mut index = Self {
             config,
             keys,
@@ -153,7 +159,11 @@ impl PgmIndex {
                     c.comparisons += comparisons + out.comparisons;
                     c.model_evals += self.levels.len();
                 }
-                return if out.found { Some(self.values[out.position]) } else { None };
+                return if out.found {
+                    Some(self.values[out.position])
+                } else {
+                    None
+                };
             }
             pos_hint = predicted;
         }
@@ -285,7 +295,11 @@ impl LearnedIndex for PgmIndex {
         IndexStats {
             level_histogram: histogram,
             node_count: seg_count.max(1),
-            deep_node_count: if height >= 3 { self.levels.first().map_or(0, |l| l.len()) } else { 0 },
+            deep_node_count: if height >= 3 {
+                self.levels.first().map_or(0, |l| l.len())
+            } else {
+                0
+            },
             height,
             size_bytes,
             num_keys: self.len(),
@@ -379,7 +393,10 @@ mod tests {
         let keys = clustered_keys(20_000);
         let index = PgmIndex::bulk_load(&identity_records(&keys));
         assert_eq!(index.len(), keys.len());
-        assert!(index.num_levels() >= 2, "clustered keys should need multiple levels");
+        assert!(
+            index.num_levels() >= 2,
+            "clustered keys should need multiple levels"
+        );
         for &k in keys.iter().step_by(37) {
             assert_eq!(index.get(k), Some(k));
         }
@@ -392,11 +409,17 @@ mod tests {
         let keys = clustered_keys(30_000);
         let tight = PgmIndex::with_config(
             &identity_records(&keys),
-            PgmConfig { epsilon: 8, rebuild_divisor: 8 },
+            PgmConfig {
+                epsilon: 8,
+                rebuild_divisor: 8,
+            },
         );
         let loose = PgmIndex::with_config(
             &identity_records(&keys),
-            PgmConfig { epsilon: 256, rebuild_divisor: 8 },
+            PgmConfig {
+                epsilon: 256,
+                rebuild_divisor: 8,
+            },
         );
         let tight_segments = tight.stats().node_count;
         let loose_segments = loose.stats().node_count;
@@ -461,8 +484,16 @@ mod tests {
         let lo = 200;
         let hi = 705;
         let got = index.range(lo, hi);
-        let mut expected: Vec<Key> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
-        expected.extend((0..50u64).map(|i| i * 10 + 5).filter(|&k| k >= lo && k <= hi));
+        let mut expected: Vec<Key> = keys
+            .iter()
+            .copied()
+            .filter(|&k| k >= lo && k <= hi)
+            .collect();
+        expected.extend(
+            (0..50u64)
+                .map(|i| i * 10 + 5)
+                .filter(|&k| k >= lo && k <= hi),
+        );
         expected.sort_unstable();
         assert_eq!(got.iter().map(|r| r.key).collect::<Vec<_>>(), expected);
         assert!(got.windows(2).all(|w| w[0].key < w[1].key));

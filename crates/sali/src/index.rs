@@ -25,7 +25,11 @@ pub struct SaliConfig {
 
 impl Default for SaliConfig {
     fn default() -> Self {
-        Self { hot_probability: 0.01, epsilon: 16, min_region_keys: 256 }
+        Self {
+            hot_probability: 0.01,
+            epsilon: 16,
+            min_region_keys: 256,
+        }
     }
 }
 
@@ -145,7 +149,11 @@ pub struct SaliIndex {
 impl SaliIndex {
     /// Builds SALI with a custom configuration.
     pub fn with_config(records: &[KeyValue], config: SaliConfig) -> Self {
-        Self { lipp: LippIndex::bulk_load(records), regions: Vec::new(), config }
+        Self {
+            lipp: LippIndex::bulk_load(records),
+            regions: Vec::new(),
+            config,
+        }
     }
 
     /// The LIPP base structure (read-only access for diagnostics).
@@ -206,7 +214,8 @@ impl SaliIndex {
                 .iter()
                 .map(|&k| KeyValue::new(k, self.lipp.get(k).expect("key collected from the index")))
                 .collect();
-            self.regions.push(FlatRegion::build(&records, self.config.epsilon));
+            self.regions
+                .push(FlatRegion::build(&records, self.config.epsilon));
             created += 1;
         }
         self.regions.sort_by_key(|r| r.min_key);
@@ -287,7 +296,13 @@ impl LearnedIndex for SaliIndex {
         // flattened keys proportionally from the deepest levels first, which
         // matches the fact that flattening targets deep sub-trees.
         let mut remaining = flat_keys;
-        for (level, count) in base.level_histogram.iter().collect::<Vec<_>>().into_iter().rev() {
+        for (level, count) in base
+            .level_histogram
+            .iter()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
             let take = remaining.min(count);
             let keep = count - take;
             remaining -= take;
@@ -341,6 +356,20 @@ impl RemovableIndex for SaliIndex {
 }
 
 impl CsvIntegrable for SaliIndex {
+    fn csv_tracks_dirty(&self) -> bool {
+        self.lipp.csv_tracks_dirty()
+    }
+
+    fn csv_dirty_subtrees_at_level(&self, level: usize) -> Vec<SubtreeRef> {
+        // Flat regions are read-optimised snapshots; the LIPP base stays
+        // authoritative for structure, so its dirty marks are SALI's.
+        self.lipp.csv_dirty_subtrees_at_level(level)
+    }
+
+    fn csv_mark_clean(&mut self) {
+        self.lipp.csv_mark_clean()
+    }
+
     fn csv_max_level(&self) -> usize {
         self.lipp.csv_max_level()
     }
@@ -418,7 +447,10 @@ mod tests {
         // A skewed workload hammering the first third of the key space.
         let hot: Vec<Key> = keys.iter().copied().take(keys.len() / 3).collect();
         let created = sali.optimize_for_workload(&hot);
-        assert!(created > 0, "a heavily skewed workload must flatten something");
+        assert!(
+            created > 0,
+            "a heavily skewed workload must flatten something"
+        );
         assert!(!sali.regions().is_empty());
         for &k in keys.iter().step_by(101) {
             assert_eq!(sali.get(k), Some(k));
@@ -443,13 +475,22 @@ mod tests {
         assert!(!sali.regions().is_empty());
         let region_key = {
             let r = &sali.regions()[0];
-            keys.iter().copied().find(|&k| k >= r.min_key && k <= r.max_key).unwrap()
+            keys.iter()
+                .copied()
+                .find(|&k| k >= r.min_key && k <= r.max_key)
+                .unwrap()
         };
         let mut counters = CostCounters::new();
-        assert_eq!(sali.get_counted(region_key, &mut counters), Some(region_key));
+        assert_eq!(
+            sali.get_counted(region_key, &mut counters),
+            Some(region_key)
+        );
         // Traversal is short (root + region) but there is a real search cost.
         assert!(counters.nodes_visited <= 2);
-        assert!(counters.comparisons >= 1, "flattened regions pay a segment search");
+        assert!(
+            counters.comparisons >= 1,
+            "flattened regions pay a segment search"
+        );
     }
 
     #[test]
@@ -457,10 +498,16 @@ mod tests {
         let keys = hard_keys(30_000);
         let mut sali = SaliIndex::with_config(
             &identity_records(&keys),
-            SaliConfig { hot_probability: 0.9, ..SaliConfig::default() },
+            SaliConfig {
+                hot_probability: 0.9,
+                ..SaliConfig::default()
+            },
         );
         let created = sali.optimize_for_workload(&keys);
-        assert_eq!(created, 0, "no sub-tree concentrates 90% of a uniform workload");
+        assert_eq!(
+            created, 0,
+            "no sub-tree concentrates 90% of a uniform workload"
+        );
     }
 
     #[test]
@@ -500,6 +547,28 @@ mod tests {
     }
 
     #[test]
+    fn dirty_tracking_delegates_to_the_base_structure() {
+        let keys = hard_keys(20_000);
+        let mut sali = SaliIndex::bulk_load(&identity_records(&keys));
+        assert!(sali.csv_tracks_dirty());
+        // Fully dirty when fresh, clean after csv_mark_clean, re-dirtied by
+        // writes — all through the LIPP base.
+        assert_eq!(
+            sali.csv_dirty_subtrees_at_level(2).len(),
+            sali.csv_subtrees_at_level(2).len()
+        );
+        sali.csv_mark_clean();
+        assert!(sali.csv_dirty_subtrees_at_level(2).is_empty());
+        let deep = keys
+            .iter()
+            .copied()
+            .find(|&k| sali.level_of_key(k).unwrap_or(1) >= 3)
+            .expect("hard keys produce deep levels");
+        assert_eq!(sali.remove(deep), Some(deep));
+        assert_eq!(sali.csv_dirty_subtrees_at_level(2).len(), 1);
+    }
+
+    #[test]
     fn range_scans_match_the_base_structure() {
         let keys = hard_keys(30_000);
         let mut sali = SaliIndex::bulk_load(&identity_records(&keys));
@@ -508,7 +577,11 @@ mod tests {
         let lo = keys[100];
         let hi = keys[5_000];
         let got = sali.range(lo, hi);
-        let expected: Vec<Key> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+        let expected: Vec<Key> = keys
+            .iter()
+            .copied()
+            .filter(|&k| k >= lo && k <= hi)
+            .collect();
         assert_eq!(got.iter().map(|r| r.key).collect::<Vec<_>>(), expected);
         assert_eq!(sali.range(0, u64::MAX).len(), keys.len());
         assert!(sali.range(9, 3).is_empty());
@@ -524,11 +597,18 @@ mod tests {
         // Remove keys both inside and outside the flattened ranges.
         let inside = {
             let r = &sali.regions()[0];
-            keys.iter().copied().find(|&k| k >= r.min_key && k <= r.max_key).unwrap()
+            keys.iter()
+                .copied()
+                .find(|&k| k >= r.min_key && k <= r.max_key)
+                .unwrap()
         };
         let outside = *keys.last().unwrap();
         assert_eq!(sali.remove(inside), Some(inside));
-        assert_eq!(sali.get(inside), None, "removed key must not resurface via a region");
+        assert_eq!(
+            sali.get(inside),
+            None,
+            "removed key must not resurface via a region"
+        );
         assert_eq!(sali.remove(inside), None);
         assert_eq!(sali.remove(outside), Some(outside));
         assert_eq!(sali.get(outside), None);

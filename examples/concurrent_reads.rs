@@ -22,7 +22,8 @@ fn main() {
     let records = records_from_keys(&keys);
 
     let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
-    let enhanced = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
+    let enhanced =
+        ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
     // All 16 shards are optimised concurrently on the rayon pool.
     enhanced.optimize(&CsvOptimizer::new(CsvConfig::for_lipp(0.1)));
     println!(
@@ -38,7 +39,10 @@ fn main() {
 
     for (label, queries) in [("uniform", &uniform), ("zipfian 0.99", &skewed)] {
         println!("\n== {label} queries ==");
-        println!("{:>8} {:>18} {:>18} {:>10}", "threads", "plain (Mops/s)", "CSV (Mops/s)", "hit rate");
+        println!(
+            "{:>8} {:>18} {:>18} {:>10}",
+            "threads", "plain (Mops/s)", "CSV (Mops/s)", "hit rate"
+        );
         for threads in [1usize, 2, 4, 8] {
             let base = run_read_throughput(&plain, queries, threads);
             let opt = run_read_throughput(&enhanced, queries, threads);

@@ -12,9 +12,15 @@ use csv_repro::records_from_keys;
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
     println!("Building LIPP over {n} keys per dataset and measuring per-level lookup cost\n");
-    println!("{:<10} {:>5} {:>12} {:>16} {:>18}", "dataset", "level", "keys", "avg ns/query", "avg nodes visited");
+    println!(
+        "{:<10} {:>5} {:>12} {:>16} {:>18}",
+        "dataset", "level", "keys", "avg ns/query", "avg nodes visited"
+    );
 
     for dataset in Dataset::paper_datasets() {
         let keys = dataset.generate(n, 42);

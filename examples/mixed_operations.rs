@@ -14,7 +14,9 @@ use csv_alex::AlexIndex;
 use csv_btree::BPlusTree;
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
 use csv_core::{CsvConfig, CsvOptimizer};
-use csv_datasets::{Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity};
+use csv_datasets::{
+    Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity,
+};
 use csv_lipp::LippIndex;
 use csv_pgm::PgmIndex;
 use csv_repro::records_from_keys;
@@ -55,10 +57,26 @@ fn main() {
     let records = records_from_keys(&keys);
 
     for (mix_name, mix, popularity) in [
-        ("YCSB-A (50/50 read/update, zipfian)", OperationMix::ycsb_a(), Popularity::Zipfian(0.99)),
-        ("YCSB-B (95/5 read/update, zipfian)", OperationMix::ycsb_b(), Popularity::Zipfian(0.99)),
-        ("YCSB-E (95% short scans)", OperationMix::ycsb_e(), Popularity::Uniform),
-        ("Churn (reads/inserts/removes/scans)", OperationMix::churn(), Popularity::Uniform),
+        (
+            "YCSB-A (50/50 read/update, zipfian)",
+            OperationMix::ycsb_a(),
+            Popularity::Zipfian(0.99),
+        ),
+        (
+            "YCSB-B (95/5 read/update, zipfian)",
+            OperationMix::ycsb_b(),
+            Popularity::Zipfian(0.99),
+        ),
+        (
+            "YCSB-E (95% short scans)",
+            OperationMix::ycsb_e(),
+            Popularity::Uniform,
+        ),
+        (
+            "Churn (reads/inserts/removes/scans)",
+            OperationMix::churn(),
+            Popularity::Uniform,
+        ),
     ] {
         let spec = MixedWorkloadSpec {
             num_operations: OPS,
@@ -84,8 +102,11 @@ fn main() {
         run("LIPP + CSV (alpha=0.1)", lipp_csv, &workload);
 
         let mut alex_csv = AlexIndex::bulk_load(&records);
-        CsvOptimizer::new(CsvConfig::for_alex(0.1, csv_core::cost::CostModel::default()))
-            .optimize(&mut alex_csv);
+        CsvOptimizer::new(CsvConfig::for_alex(
+            0.1,
+            csv_core::cost::CostModel::default(),
+        ))
+        .optimize(&mut alex_csv);
         run("ALEX + CSV (alpha=0.1)", alex_csv, &workload);
     }
 }

@@ -18,7 +18,11 @@ fn main() {
     let poison_alpha = 0.05;
     let smooth_alpha = 0.2;
 
-    println!("Poisoning budget: {:.0}% of the segment; smoothing budget: {:.0}%\n", poison_alpha * 100.0, smooth_alpha * 100.0);
+    println!(
+        "Poisoning budget: {:.0}% of the segment; smoothing budget: {:.0}%\n",
+        poison_alpha * 100.0,
+        smooth_alpha * 100.0
+    );
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>14} {:>14}",
         "dataset", "loss (clean)", "loss (poisoned)", "damage", "loss (smoothed)", "recovered"

@@ -13,23 +13,53 @@ fn main() {
     let config = SmoothingConfig::with_alpha(FIG2_ALPHA);
     let result = smooth_segment(&keys, &config);
 
-    println!("\n== CDF smoothing with alpha = {FIG2_ALPHA} (budget = {}) ==", result.budget);
-    println!("loss before smoothing  L_f(K)        = {:.3}  (paper: {:.2})", result.loss_before, reported::LOSS_BEFORE);
-    println!("loss after  (real keys) L_f'(K)      = {:.3}  (paper: {:.2})", result.loss_after_real, reported::LOSS_AFTER_REAL);
-    println!("loss after  (all points) L_f'(K u V) = {:.3}  (paper: {:.2})", result.loss_after_all, reported::LOSS_AFTER_ALL);
+    println!(
+        "\n== CDF smoothing with alpha = {FIG2_ALPHA} (budget = {}) ==",
+        result.budget
+    );
+    println!(
+        "loss before smoothing  L_f(K)        = {:.3}  (paper: {:.2})",
+        result.loss_before,
+        reported::LOSS_BEFORE
+    );
+    println!(
+        "loss after  (real keys) L_f'(K)      = {:.3}  (paper: {:.2})",
+        result.loss_after_real,
+        reported::LOSS_AFTER_REAL
+    );
+    println!(
+        "loss after  (all points) L_f'(K u V) = {:.3}  (paper: {:.2})",
+        result.loss_after_all,
+        reported::LOSS_AFTER_ALL
+    );
     println!("virtual points inserted: {:?}", result.virtual_points);
     println!("loss improvement: {:.1}%", result.improvement_percent());
 
     println!("\nSmoothed layout (slot -> entry):");
     for (slot, entry) in result.layout.entries().iter().enumerate() {
-        let kind = if entry.is_real() { "real   " } else { "virtual" };
+        let kind = if entry.is_real() {
+            "real   "
+        } else {
+            "virtual"
+        };
         println!("  slot {slot:>2}: {kind} {}", entry.key());
     }
 
     if let Some(exact) = exhaustive_smooth(&keys, FIG2_ALPHA, 64) {
         println!("\n== Exhaustive baseline (Table 2) ==");
-        println!("greedy (CSV) loss:  {:.3}  (paper: {:.3})", result.loss_after_all, reported::TABLE2_CSV);
-        println!("exhaustive loss:    {:.3}  (paper: {:.3})", exact.loss_after_all, reported::TABLE2_EXHAUSTIVE);
-        println!("subsets evaluated by the exhaustive search: {}", exact.subsets_evaluated);
+        println!(
+            "greedy (CSV) loss:  {:.3}  (paper: {:.3})",
+            result.loss_after_all,
+            reported::TABLE2_CSV
+        );
+        println!(
+            "exhaustive loss:    {:.3}  (paper: {:.3})",
+            exact.loss_after_all,
+            reported::TABLE2_EXHAUSTIVE
+        );
+        println!(
+            "subsets evaluated by the exhaustive search: {}",
+            exact.subsets_evaluated
+        );
     }
 }

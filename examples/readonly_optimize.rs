@@ -44,11 +44,28 @@ where
     let (ns_after, cost_after) = measure(&index, &workload.queries);
 
     println!("== {name} ==");
-    println!("  CSV pre-processing time : {:?}", report.preprocessing_time);
-    println!("  sub-trees considered / rebuilt : {} / {}", report.subtrees_considered(), report.subtrees_rebuilt);
-    println!("  virtual points added    : {}", report.virtual_points_added);
-    println!("  mean key level          : {:.3} -> {:.3}", before_stats.mean_key_level(), after_stats.mean_key_level());
-    println!("  index nodes             : {} -> {}", before_stats.node_count, after_stats.node_count);
+    println!(
+        "  CSV pre-processing time : {:?}",
+        report.preprocessing_time
+    );
+    println!(
+        "  sub-trees considered / rebuilt : {} / {}",
+        report.subtrees_considered(),
+        report.subtrees_rebuilt
+    );
+    println!(
+        "  virtual points added    : {}",
+        report.virtual_points_added
+    );
+    println!(
+        "  mean key level          : {:.3} -> {:.3}",
+        before_stats.mean_key_level(),
+        after_stats.mean_key_level()
+    );
+    println!(
+        "  index nodes             : {} -> {}",
+        before_stats.node_count, after_stats.node_count
+    );
     println!(
         "  index size              : {:.2} MiB -> {:.2} MiB ({:+.1}%)",
         before_stats.size_bytes as f64 / (1 << 20) as f64,
@@ -61,10 +78,19 @@ where
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500_000);
-    let alpha: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+    let alpha: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
     let dataset = Dataset::Genome;
-    println!("dataset = {} ({n} keys), smoothing threshold alpha = {alpha}\n", dataset.name());
+    println!(
+        "dataset = {} ({n} keys), smoothing threshold alpha = {alpha}\n",
+        dataset.name()
+    );
 
     let keys = dataset.generate(n, 7);
     let workload = ReadOnlyWorkload::uniform(keys.clone(), 20_000, 99);

@@ -24,8 +24,14 @@ fn avg_query_ns<I: LearnedIndex>(index: &I, queries: &[u64]) -> f64 {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400_000);
-    let alpha: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    let alpha: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
     let dataset = Dataset::Osm;
     println!("dataset = {} ({n} keys), alpha = {alpha}", dataset.name());
 
@@ -45,19 +51,20 @@ fn main() {
         "{:>6} {:>14} {:>14} {:>12} {:>16} {:>16}",
         "batch", "orig ns/query", "CSV ns/query", "saved (%)", "orig size (MiB)", "CSV size (MiB)"
     );
-    let report_line = |batch: usize, original: &LippIndex, enhanced: &LippIndex, queries: &[u64]| {
-        let orig_ns = avg_query_ns(original, queries);
-        let enh_ns = avg_query_ns(enhanced, queries);
-        println!(
-            "{:>6} {:>14.1} {:>14.1} {:>12.1} {:>16.2} {:>16.2}",
-            batch,
-            orig_ns,
-            enh_ns,
-            (orig_ns - enh_ns) / orig_ns * 100.0,
-            original.stats().size_bytes as f64 / (1 << 20) as f64,
-            enhanced.stats().size_bytes as f64 / (1 << 20) as f64,
-        );
-    };
+    let report_line =
+        |batch: usize, original: &LippIndex, enhanced: &LippIndex, queries: &[u64]| {
+            let orig_ns = avg_query_ns(original, queries);
+            let enh_ns = avg_query_ns(enhanced, queries);
+            println!(
+                "{:>6} {:>14.1} {:>14.1} {:>12.1} {:>16.2} {:>16.2}",
+                batch,
+                orig_ns,
+                enh_ns,
+                (orig_ns - enh_ns) / orig_ns * 100.0,
+                original.stats().size_bytes as f64 / (1 << 20) as f64,
+                enhanced.stats().size_bytes as f64 / (1 << 20) as f64,
+            );
+        };
 
     report_line(0, &original, &enhanced, &workload.queries);
     for (i, batch) in workload.insert_batches.iter().enumerate() {

@@ -23,7 +23,12 @@ fn check_all_present(index: &dyn LearnedIndex, keys: &[u64]) {
     for w in keys.windows(2).step_by(997) {
         if w[1] - w[0] > 1 {
             let missing = w[0] + 1;
-            assert_eq!(index.get(missing), None, "{}: phantom key {missing}", index.name());
+            assert_eq!(
+                index.get(missing),
+                None,
+                "{}: phantom key {missing}",
+                index.name()
+            );
         }
     }
 }
@@ -44,7 +49,12 @@ fn every_index_answers_every_dataset() {
             check_all_present(index.as_ref(), &keys);
             let stats = index.stats();
             assert_eq!(stats.num_keys, keys.len(), "{} stats", index.name());
-            assert_eq!(stats.level_histogram.total(), keys.len(), "{} histogram", index.name());
+            assert_eq!(
+                stats.level_histogram.total(),
+                keys.len(),
+                "{} histogram",
+                index.name()
+            );
         }
     }
 }
@@ -58,7 +68,11 @@ where
     let after = index.stats();
     check_all_present(&index, keys);
     assert_eq!(after.level_histogram.total(), keys.len());
-    (before.mean_key_level(), after.mean_key_level(), report.subtrees_rebuilt)
+    (
+        before.mean_key_level(),
+        after.mean_key_level(),
+        report.subtrees_rebuilt,
+    )
 }
 
 #[test]
@@ -67,11 +81,27 @@ fn csv_preserves_answers_on_all_indexes_and_datasets() {
         let keys = dataset.generate(N, 23);
         let records = records_from_keys(&keys);
 
-        let (lb, la, _) = csv_roundtrip(LippIndex::bulk_load(&records), &keys, CsvConfig::for_lipp(0.1));
-        assert!(la <= lb + 1e-9, "{}: LIPP mean level increased {lb} -> {la}", dataset.name());
+        let (lb, la, _) = csv_roundtrip(
+            LippIndex::bulk_load(&records),
+            &keys,
+            CsvConfig::for_lipp(0.1),
+        );
+        assert!(
+            la <= lb + 1e-9,
+            "{}: LIPP mean level increased {lb} -> {la}",
+            dataset.name()
+        );
 
-        let (sb, sa, _) = csv_roundtrip(SaliIndex::bulk_load(&records), &keys, CsvConfig::for_sali(0.1));
-        assert!(sa <= sb + 1e-9, "{}: SALI mean level increased {sb} -> {sa}", dataset.name());
+        let (sb, sa, _) = csv_roundtrip(
+            SaliIndex::bulk_load(&records),
+            &keys,
+            CsvConfig::for_sali(0.1),
+        );
+        assert!(
+            sa <= sb + 1e-9,
+            "{}: SALI mean level increased {sb} -> {sa}",
+            dataset.name()
+        );
 
         let config = CsvConfig::for_alex(0.1, CostModel::default());
         let (_, _, _) = csv_roundtrip(AlexIndex::bulk_load(&records), &keys, config);
@@ -91,7 +121,11 @@ fn csv_promotes_keys_on_hard_datasets_for_lipp() {
         let report = CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut index);
         let after = index.stats();
 
-        assert!(report.subtrees_rebuilt > 0, "{}: nothing rebuilt", dataset.name());
+        assert!(
+            report.subtrees_rebuilt > 0,
+            "{}: nothing rebuilt",
+            dataset.name()
+        );
         let deep_after = after.level_histogram.at_or_below(3);
         assert!(
             deep_after <= promotable,
@@ -100,7 +134,11 @@ fn csv_promotes_keys_on_hard_datasets_for_lipp() {
         );
         let space_increase =
             (after.size_bytes as f64 - before.size_bytes as f64) / before.size_bytes as f64 * 100.0;
-        assert!(space_increase < 60.0, "{}: space increase {space_increase:.1}%", dataset.name());
+        assert!(
+            space_increase < 60.0,
+            "{}: space increase {space_increase:.1}%",
+            dataset.name()
+        );
     }
 }
 

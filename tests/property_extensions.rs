@@ -8,7 +8,9 @@ use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::{Key, LinearModel};
 use csv_concurrent::{ShardedIndex, ShardingConfig};
 use csv_core::poisoning::{poison_segment, PoisoningConfig};
-use csv_core::{smooth_segment, smooth_segment_quadratic, QuadraticSmoothingConfig, SmoothingConfig};
+use csv_core::{
+    smooth_segment, smooth_segment_quadratic, GreedyMode, QuadraticSmoothingConfig, SmoothingConfig,
+};
 use csv_datasets::io::{decode_keys, encode_keys};
 use csv_datasets::Zipfian;
 use csv_lipp::LippIndex;
@@ -38,6 +40,22 @@ proptest! {
         for v in smoothed.virtual_points.iter().chain(poisoned.poison_points.iter()) {
             prop_assert!(keys.binary_search(v).is_err());
         }
+    }
+
+    #[test]
+    fn lazy_drift_tolerance_zero_is_bit_identical_to_the_default(keys in key_set(), alpha in 0.05f64..0.8) {
+        // The satellite contract of `SmoothingConfig::drift_tolerance`: the
+        // default (0) keeps the lazy driver bit-identical to the exact
+        // fallback behaviour, so spelling the field out changes nothing.
+        let base = SmoothingConfig { mode: GreedyMode::Lazy, ..SmoothingConfig::with_alpha(alpha) };
+        let explicit = SmoothingConfig { drift_tolerance: 0.0, ..base };
+        let defaulted = smooth_segment(&keys, &base);
+        prop_assert_eq!(&defaulted, &smooth_segment(&keys, &explicit));
+        // A positive tolerance only removes fallbacks, and every insertion
+        // it admits still strictly reduces the loss.
+        let tolerant = smooth_segment(&keys, &SmoothingConfig { drift_tolerance: 0.5, ..base });
+        prop_assert!(tolerant.counters.fallback_rescans <= defaulted.counters.fallback_rescans);
+        prop_assert!(tolerant.loss_after_all <= tolerant.loss_before + 1e-6);
     }
 
     #[test]

@@ -81,7 +81,10 @@ where
 }
 
 fn oracle_range(oracle: &BTreeMap<Key, u64>, range: RangeInclusive<Key>) -> Vec<KeyValue> {
-    oracle.range(range).map(|(&k, &v)| KeyValue::new(k, v)).collect()
+    oracle
+        .range(range)
+        .map(|(&k, &v)| KeyValue::new(k, v))
+        .collect()
 }
 
 #[test]
@@ -131,8 +134,11 @@ fn csv_enhanced_indexes_preserve_range_and_delete_semantics() {
     run_mixed_workload(lipp, &keys, 41);
 
     let mut alex = AlexIndex::bulk_load(&records);
-    CsvOptimizer::new(CsvConfig::for_alex(0.1, csv_core::cost::CostModel::default()))
-        .optimize(&mut alex);
+    CsvOptimizer::new(CsvConfig::for_alex(
+        0.1,
+        csv_core::cost::CostModel::default(),
+    ))
+    .optimize(&mut alex);
     run_mixed_workload(alex, &keys, 43);
 
     let mut sali = SaliIndex::bulk_load(&records);

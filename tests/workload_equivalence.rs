@@ -17,8 +17,7 @@ fn run_read_write<I>(mut index: I, workload: &ReadWriteWorkload)
 where
     I: LearnedIndex + CsvIntegrable,
 {
-    let mut oracle: BTreeMap<u64, u64> =
-        workload.initial_keys.iter().map(|&k| (k, k)).collect();
+    let mut oracle: BTreeMap<u64, u64> = workload.initial_keys.iter().map(|&k| (k, k)).collect();
     // Apply CSV once after the initial bulk load, as in the paper's §6.3.
     CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(&mut index);
 
@@ -29,12 +28,22 @@ where
         }
         // After every batch the index and the oracle agree on sampled keys
         // and on the total size.
-        assert_eq!(index.len(), oracle.len(), "{} length mismatch", index.name());
+        assert_eq!(
+            index.len(),
+            oracle.len(),
+            "{} length mismatch",
+            index.name()
+        );
         for (&k, &v) in oracle.iter().step_by(13) {
             assert_eq!(index.get(k), Some(v), "{}: lost key {k}", index.name());
         }
         for &q in workload.queries.iter().step_by(11) {
-            assert_eq!(index.get(q), oracle.get(&q).copied(), "{}: query {q}", index.name());
+            assert_eq!(
+                index.get(q),
+                oracle.get(&q).copied(),
+                "{}: query {q}",
+                index.name()
+            );
         }
     }
 }
@@ -43,7 +52,10 @@ where
 fn lipp_read_write_equivalence() {
     let keys = Dataset::Osm.generate(N, 17);
     let workload = ReadWriteWorkload::split(&keys, 5, 0.1, 2_000, 7);
-    run_read_write(LippIndex::bulk_load(&records_from_keys(&workload.initial_keys)), &workload);
+    run_read_write(
+        LippIndex::bulk_load(&records_from_keys(&workload.initial_keys)),
+        &workload,
+    );
 }
 
 #[test]

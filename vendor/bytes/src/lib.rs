@@ -81,7 +81,9 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: data.to_vec() }
+        Self {
+            data: data.to_vec(),
+        }
     }
 }
 
@@ -118,7 +120,9 @@ impl BytesMut {
 
     /// An empty buffer with `capacity` bytes pre-allocated.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { data: Vec::with_capacity(capacity) }
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     /// Converts into an immutable [`Bytes`] without copying.

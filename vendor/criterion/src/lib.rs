@@ -28,12 +28,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { id: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -84,7 +88,12 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(quick: bool, samples: usize, budget: Duration) -> Self {
-        Self { quick, samples, budget, sample_means: Vec::new() }
+        Self {
+            quick,
+            samples,
+            budget,
+            sample_means: Vec::new(),
+        }
     }
 
     /// Times `routine` repeatedly.
@@ -188,8 +197,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher =
-            Bencher::new(self.criterion.quick, self.sample_size, self.measurement_time);
+        let mut bencher = Bencher::new(
+            self.criterion.quick,
+            self.sample_size,
+            self.measurement_time,
+        );
         f(&mut bencher);
         self.report(&id, &bencher);
         self
@@ -206,8 +218,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher =
-            Bencher::new(self.criterion.quick, self.sample_size, self.measurement_time);
+        let mut bencher = Bencher::new(
+            self.criterion.quick,
+            self.sample_size,
+            self.measurement_time,
+        );
         f(&mut bencher, input);
         self.report(&id, &bencher);
         self
@@ -238,7 +253,10 @@ impl BenchmarkGroup<'_> {
                 line.push_str(&format!("  thrpt: {:.0} elem/s", n as f64 / mean));
             }
             Some(Throughput::Bytes(n)) if mean > 0.0 => {
-                line.push_str(&format!("  thrpt: {:.1} MiB/s", n as f64 / mean / (1 << 20) as f64));
+                line.push_str(&format!(
+                    "  thrpt: {:.1} MiB/s",
+                    n as f64 / mean / (1 << 20) as f64
+                ));
             }
             _ => {}
         }
@@ -325,7 +343,9 @@ mod tests {
         let mut c = Criterion { quick: true };
         let mut group = c.benchmark_group("g");
         let mut runs = 0;
-        group.sample_size(50).measurement_time(Duration::from_secs(60));
+        group
+            .sample_size(50)
+            .measurement_time(Duration::from_secs(60));
         group.bench_function("once", |b| b.iter(|| runs += 1));
         group.finish();
         assert_eq!(runs, 1);
@@ -335,7 +355,9 @@ mod tests {
     fn measured_mode_collects_samples() {
         let mut c = Criterion { quick: false };
         let mut group = c.benchmark_group("g");
-        group.sample_size(3).measurement_time(Duration::from_millis(30));
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
         group.throughput(Throughput::Elements(10));
         group.bench_with_input(BenchmarkId::new("spin", 1), &5u64, |b, &n| {
             b.iter(|| (0..n).map(black_box).sum::<u64>())

@@ -31,7 +31,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Map { inner: self, f, _out: PhantomData }
+            Map {
+                inner: self,
+                f,
+                _out: PhantomData,
+            }
         }
     }
 
@@ -280,7 +284,9 @@ pub mod test_runner {
                 seed ^= byte as u64;
                 seed = seed.wrapping_mul(0x100000001b3);
             }
-            Self { state: seed ^ ((case as u64).wrapping_mul(0x9e3779b97f4a7c15)) }
+            Self {
+                state: seed ^ ((case as u64).wrapping_mul(0x9e3779b97f4a7c15)),
+            }
         }
 
         /// Next 64 uniformly random bits.

@@ -28,7 +28,9 @@ pub fn current_num_threads() -> usize {
         return installed;
     }
     match NUM_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        0 => std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
         n => n,
     }
 }
@@ -108,7 +110,9 @@ impl ThreadPoolBuilder {
     /// Builds a scoped pool handle (see [`ThreadPool::install`]).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let num_threads = if self.num_threads == 0 {
-            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
         } else {
             self.num_threads
         };
@@ -136,10 +140,7 @@ where
 
 /// Order-preserving parallel map over a shared slice: one contiguous chunk
 /// per worker, results concatenated in input order.
-fn chunked_map<'a, T: Sync, R: Send>(
-    items: &'a [T],
-    f: &(impl Fn(&'a T) -> R + Sync),
-) -> Vec<R> {
+fn chunked_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
     let n = items.len();
     let workers = current_num_threads().min(n).max(1);
     if workers <= 1 {
@@ -213,7 +214,11 @@ impl<'a, T: Sync> ParIter<'a, T> {
         R: Send,
         F: Fn(&'a T) -> R + Sync,
     {
-        ParMap { items: self.items, f, _out: PhantomData }
+        ParMap {
+            items: self.items,
+            f,
+            _out: PhantomData,
+        }
     }
 
     /// Runs `f` on every element in parallel.
@@ -258,7 +263,11 @@ impl<T: Send> IntoParIter<T> {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        IntoParMap { items: self.items, f, _out: PhantomData }
+        IntoParMap {
+            items: self.items,
+            f,
+            _out: PhantomData,
+        }
     }
 
     /// Runs `f` on every element in parallel, consuming the input.
@@ -304,7 +313,9 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = T;
     fn par_iter(&'a self) -> ParIter<'a, T> {
-        ParIter { items: self.as_slice() }
+        ParIter {
+            items: self.as_slice(),
+        }
     }
 }
 
@@ -326,7 +337,9 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
     fn into_par_iter(self) -> IntoParIter<usize> {
-        IntoParIter { items: self.collect() }
+        IntoParIter {
+            items: self.collect(),
+        }
     }
 }
 
@@ -375,21 +388,36 @@ mod tests {
 
     #[test]
     fn thread_pool_builder_configures_width() {
-        crate::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
         assert_eq!(crate::current_num_threads(), 3);
-        crate::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
         assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]
     fn scoped_pools_override_and_restore() {
-        crate::ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
-        let pool = crate::ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global()
+            .unwrap();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
         assert_eq!(pool.current_num_threads(), 5);
         let inside = pool.install(crate::current_num_threads);
         assert_eq!(inside, 5);
         assert_eq!(crate::current_num_threads(), 2);
-        crate::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
     }
 
     #[test]
