@@ -3,7 +3,9 @@
 
 use crate::data_node::DataNode;
 use csv_common::metrics::CostCounters;
-use csv_common::traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
+use csv_common::traits::{
+    IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
+};
 use csv_common::{Key, KeyValue, LinearModel, Value};
 use csv_core::cost::SubtreeCostStats;
 use csv_core::csv::{CsvIntegrable, RebuildRefusal, SubtreeRef};
@@ -426,6 +428,13 @@ impl RangeIndex for AlexIndex {
         out
     }
 }
+
+/// Snapshot audit: `derive(Clone)` deep-copies the node arena — internal
+/// nodes own their child-pointer `Vec`s, data nodes their gapped key/value
+/// arrays — plus the free list and scalars. No sharing, no interior
+/// mutability; cloning is O(slots) and the clone is safe to mutate while
+/// readers traverse the original.
+impl SnapshotIndex for AlexIndex {}
 
 impl RemovableIndex for AlexIndex {
     fn remove(&mut self, key: Key) -> Option<Value> {

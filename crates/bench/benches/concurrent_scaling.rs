@@ -1,9 +1,13 @@
-//! Multi-threaded read throughput of the sharded index wrapper, original vs.
-//! CSV-enhanced shards (the scalability dimension SALI targets).
+//! Multi-threaded read throughput of the sharded index wrapper — locked vs.
+//! RCU read paths, original vs. CSV-enhanced shards (the scalability
+//! dimension SALI targets), plus the pinned-snapshot fast path for
+//! read-mostly batches.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csv_common::key::identity_records;
-use csv_concurrent::{run_read_throughput, ShardedIndex, ShardingConfig};
+use csv_concurrent::{
+    run_read_throughput, run_read_throughput_pinned, ReadPath, ShardedIndex, ShardingConfig,
+};
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{Dataset, ReadOnlyWorkload};
 use csv_lipp::LippIndex;
@@ -18,33 +22,47 @@ fn bench_concurrent_scaling(c: &mut Criterion) {
     let records = identity_records(&keys);
     let queries = ReadOnlyWorkload::uniform(keys.clone(), QUERIES, 9).queries;
 
-    let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
-    let enhanced =
-        ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
-    enhanced.with_shards_mut(|shard| {
-        CsvOptimizer::new(CsvConfig::for_lipp(0.1)).optimize(shard);
-    });
+    let build = |read_path: ReadPath, csv: bool| {
+        let config = ShardingConfig::with_shards(16).with_read_path(read_path);
+        let index = ShardedIndex::<LippIndex>::bulk_load(&records, config);
+        if csv {
+            index.optimize(&CsvOptimizer::new(CsvConfig::for_lipp(0.1)));
+        }
+        index
+    };
 
     let mut group = c.benchmark_group("concurrent_read_scaling");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
     group.throughput(Throughput::Elements(QUERIES as u64));
-    for &threads in &[1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("lipp_sharded", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| black_box(run_read_throughput(&plain, &queries, t)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lipp_sharded_csv", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| black_box(run_read_throughput(&enhanced, &queries, t)));
-            },
-        );
+    for (path_name, read_path) in [("locked", ReadPath::Locked), ("rcu", ReadPath::Rcu)] {
+        for (csv_name, csv) in [("", false), ("_csv", true)] {
+            let index = build(read_path, csv);
+            for &threads in &[1usize, 4, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("lipp_sharded_{path_name}{csv_name}"), threads),
+                    &threads,
+                    |b, &t| {
+                        b.iter(|| black_box(run_read_throughput(&index, &queries, t)));
+                    },
+                );
+            }
+            // The pinned-view fast path only exists on the RCU path (it
+            // falls back to per-lookup gets on the locked one, which the
+            // plain benchmark already measures).
+            if read_path == ReadPath::Rcu {
+                for &threads in &[1usize, 4, 8] {
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("lipp_sharded_rcu_pinned{csv_name}"), threads),
+                        &threads,
+                        |b, &t| {
+                            b.iter(|| black_box(run_read_throughput_pinned(&index, &queries, t)));
+                        },
+                    );
+                }
+            }
+        }
     }
     group.finish();
 }

@@ -6,6 +6,7 @@ use csv_alex::AlexIndex;
 use csv_btree::BPlusTree;
 use csv_common::key::identity_records;
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
+use csv_concurrent::{ReadPath, ShardedIndex, ShardingConfig};
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{
     Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity,
@@ -21,6 +22,21 @@ fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
     index: &mut I,
     workload: &MixedWorkload,
 ) -> usize {
+    let mut touched = 0usize;
+    for op in &workload.operations {
+        match *op {
+            Operation::Read(k) => touched += usize::from(index.get(k).is_some()),
+            Operation::Insert(k) => touched += usize::from(index.insert(k, k)),
+            Operation::Remove(k) => touched += usize::from(index.remove(k).is_some()),
+            Operation::Scan(lo, hi) => touched += index.range(lo, hi).len(),
+        }
+    }
+    touched
+}
+
+/// The same replay against the sharded wrapper, whose mutating operations
+/// go through shared references (per-shard locks or RCU publications).
+fn replay_sharded(index: &ShardedIndex<LippIndex>, workload: &MixedWorkload) -> usize {
     let mut touched = 0usize;
     for op in &workload.operations {
         match *op {
@@ -91,6 +107,28 @@ fn bench_mixed_workload(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
+        // The sharded wrapper on both read paths: what a single-threaded
+        // mixed stream pays for the locked layout vs. the RCU copy-on-write
+        // one (the RCU path buys its lock-free reads with per-write overlay
+        // copies — this measures that trade without any concurrency).
+        for (path_name, read_path) in [("locked", ReadPath::Locked), ("rcu", ReadPath::Rcu)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("lipp_sharded_{path_name}"), mix_name),
+                &workload,
+                |b, wl| {
+                    b.iter_batched(
+                        || {
+                            ShardedIndex::<LippIndex>::bulk_load(
+                                &records,
+                                ShardingConfig::with_shards(16).with_read_path(read_path),
+                            )
+                        },
+                        |index| black_box(replay_sharded(&index, wl)),
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -1,7 +1,9 @@
 //! B+-tree node layout and operations.
 
 use csv_common::metrics::CostCounters;
-use csv_common::traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
+use csv_common::traits::{
+    IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
+};
 use csv_common::{Key, KeyValue, Value};
 
 /// Maximum number of entries in a leaf / children in an internal node.
@@ -311,6 +313,12 @@ impl RangeIndex for BPlusTree {
         out
     }
 }
+
+/// Snapshot audit: `derive(Clone)` deep-copies the node arena (every
+/// internal node owns its key/child `Vec`s, every leaf its key/value
+/// `Vec`s) plus the root/len/fanout scalars — a pure O(keys) copy with no
+/// shared state.
+impl SnapshotIndex for BPlusTree {}
 
 impl RemovableIndex for BPlusTree {
     fn remove(&mut self, key: Key) -> Option<Value> {

@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing for the `csv-index` tool (no external
 //! dependencies beyond the workspace crates).
 
+use csv_concurrent::ReadPath;
 use csv_core::GreedyMode;
 use csv_datasets::Dataset;
 use std::fmt;
@@ -142,6 +143,10 @@ pub struct CliArgs {
     /// once interleaved with background maintenance ticks, once without —
     /// and report the lookup-latency comparison.
     pub maintain: bool,
+    /// Which concurrency scheme the sharded index in `--maintain` mode
+    /// serves lookups with: lock-free RCU snapshots (default) or the
+    /// classic per-shard reader–writer locks, for A/B comparisons.
+    pub read_path: ReadPath,
 }
 
 impl Default for CliArgs {
@@ -160,6 +165,7 @@ impl Default for CliArgs {
             drift_tolerance: 0.0,
             dry_run: false,
             maintain: false,
+            read_path: ReadPath::default(),
         }
     }
 }
@@ -171,7 +177,7 @@ impl CliArgs {
          \u{20}         [--dataset-file PATH.sosd] [--size N] [--alpha A] [--threads T]\n\
          \u{20}         [--greedy lazy|rescan] [--drift-tolerance D]\n\
          \u{20}         [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn]\n\
-         \u{20}         [--ops N] [--seed S] [--dry-run] [--maintain]\n\
+         \u{20}         [--ops N] [--seed S] [--dry-run] [--maintain] [--read-path locked|rcu]\n\
          \n\
          Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
          smoothing (alpha > 0) using T worker threads (0 = one per core) and the chosen\n\
@@ -183,7 +189,9 @@ impl CliArgs {
          against the un-rebuilt structure, so a real run can decide those levels differently).\n\
          With --maintain the workload runs over the sharded index twice — interleaved with\n\
          background maintenance ticks, then without — and the lookup-latency comparison\n\
-         (p50/p99) is reported alongside the usual output."
+         (p50/p99) is reported alongside the usual output; --read-path picks the sharded\n\
+         index's concurrency scheme (lock-free rcu snapshots, the default, or the locked\n\
+         baseline) for A/B comparisons."
     }
 
     /// Parses `--flag value` style arguments (anything after the program
@@ -243,6 +251,17 @@ impl CliArgs {
                     }
                 }
                 "--workload" => out.workload = WorkloadChoice::parse(value)?,
+                "--read-path" => {
+                    out.read_path = match value.to_ascii_lowercase().as_str() {
+                        "locked" => ReadPath::Locked,
+                        "rcu" => ReadPath::Rcu,
+                        other => {
+                            return Err(CliError::new(format!(
+                                "unknown read path '{other}' (expected locked|rcu)"
+                            )))
+                        }
+                    }
+                }
                 other => {
                     return Err(CliError::new(format!(
                         "unknown flag '{other}'\n\n{}",
@@ -425,6 +444,23 @@ mod tests {
         let args = parse(&["--maintain", "--ops", "777"]).unwrap();
         assert!(args.maintain);
         assert_eq!(args.ops, 777);
+    }
+
+    #[test]
+    fn read_path_parses_and_validates() {
+        assert_eq!(parse(&[]).unwrap().read_path, ReadPath::Rcu);
+        assert_eq!(
+            parse(&["--read-path", "locked"]).unwrap().read_path,
+            ReadPath::Locked
+        );
+        assert_eq!(
+            parse(&["--read-path", "RCU"]).unwrap().read_path,
+            ReadPath::Rcu
+        );
+        assert!(parse(&["--read-path", "lockfree"])
+            .unwrap_err()
+            .message
+            .contains("locked|rcu"));
     }
 
     #[test]

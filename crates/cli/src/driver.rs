@@ -5,10 +5,11 @@ use crate::args::{CliArgs, CliError, IndexChoice, WorkloadChoice};
 use csv_alex::AlexIndex;
 use csv_btree::BPlusTree;
 use csv_common::latency::LatencyHistogram;
+use csv_common::traits::SnapshotIndex;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::Key;
 use csv_concurrent::{
-    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, ShardedIndex, ShardingConfig,
+    MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig,
 };
 use csv_core::cost::CostModel;
 use csv_core::{CsvConfig, CsvConfigBuilder, CsvIntegrable, CsvOptimizer, CsvReport};
@@ -56,6 +57,8 @@ pub struct RunSummary {
 /// so the structural drift shows up where it hurts.
 #[derive(Debug, Clone)]
 pub struct MaintainComparison {
+    /// The concurrency scheme the sharded index served lookups with.
+    pub read_path: ReadPath,
     /// Point-lookup latencies with background maintenance running.
     pub with_maintenance: LatencyHistogram,
     /// Point-lookup latencies without any maintenance.
@@ -64,6 +67,8 @@ pub struct MaintainComparison {
     pub maintenance_passes: usize,
     /// Shard splits the engine performed.
     pub shard_splits: usize,
+    /// Shard merges the engine performed.
+    pub shard_merges: usize,
     /// Shard count at the end of the maintained run.
     pub final_shards: usize,
 }
@@ -72,9 +77,11 @@ impl MaintainComparison {
     /// One line comparing the two lookup-latency distributions.
     pub fn summary_line(&self) -> String {
         format!(
-            "{} passes, {} splits, {} shards; lookups with maintenance p50={}ns p99={}ns, without p50={}ns p99={}ns",
+            "{:?} read path; {} passes, {} splits, {} merges, {} shards; lookups with maintenance p50={}ns p99={}ns, without p50={}ns p99={}ns",
+            self.read_path,
             self.maintenance_passes,
             self.shard_splits,
+            self.shard_merges,
             self.final_shards,
             self.with_maintenance.p50_ns(),
             self.with_maintenance.p99_ns(),
@@ -102,13 +109,14 @@ impl RunSummary {
         ));
         if let Some(report) = &self.csv_report {
             out.push_str(&format!(
-                "csv: {} of {} sub-trees rebuilt ({} skipped, {} declined), {} virtual points, {} refits in {:.2}s, mean key level {:.2} -> {:.2}, size {:+.1}%\n",
+                "csv: {} of {} sub-trees rebuilt ({} skipped, {} declined), {} virtual points, {} refits ({} fallback rescans) in {:.2}s, mean key level {:.2} -> {:.2}, size {:+.1}%\n",
                 report.subtrees_rebuilt,
                 report.subtrees_considered(),
                 report.subtrees_skipped(),
                 report.rebuilds_declined(),
                 report.virtual_points_added,
                 report.gap_refits,
+                report.smoothing.fallback_rescans,
                 report.preprocessing_time.as_secs_f64(),
                 self.stats_before.mean_key_level(),
                 self.stats_after.mean_key_level(),
@@ -299,30 +307,35 @@ struct MaintainedReplay {
     scanned: usize,
     passes: usize,
     splits: usize,
+    merges: usize,
     stats_before: IndexStats,
     stats_after: IndexStats,
     shards: usize,
 }
 
-/// `--maintain`: replays the workload over a [`ShardedIndex`] twice — first
-/// with a background thread driving the [`MaintenanceEngine`] (splitting
-/// outgrown shards, incrementally re-smoothing the stalest one), then with
-/// no maintenance at all — and reports the point-lookup latency comparison.
-/// Both runs start from the same freshly optimised sharded index, so the
-/// only difference is whether the smoothed layout is allowed to erode.
+/// `--maintain`: replays the workload over a [`ShardedIndex`] (on the read
+/// path chosen by `--read-path`) twice — first with the engine-owned
+/// background thread ([`MaintenanceEngine::spawn`]) splitting outgrown
+/// shards, merging drained ones and incrementally re-smoothing the
+/// stalest, then with no maintenance at all — and reports the point-lookup
+/// latency comparison. Both runs start from the same freshly optimised
+/// sharded index, so the only difference is whether the smoothed layout is
+/// allowed to erode.
 fn maintained_run<I>(keys: &[Key], args: &CliArgs, is_alex: bool) -> RunSummary
 where
-    I: LearnedIndex + RangeIndex + RemovableIndex + CsvIntegrable + Send + Sync,
+    I: SnapshotIndex + RangeIndex + RemovableIndex + CsvIntegrable + 'static,
 {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
     let records = csv_common::key::identity_records(keys);
     let operations = build_operations(keys, args);
     let optimizer = CsvOptimizer::new(csv_config(args, is_alex));
-    let engine = MaintenanceEngine::new(optimizer.clone(), MaintenanceConfig::default());
 
     let replay_once = |maintain: bool| -> MaintainedReplay {
-        let sharded = ShardedIndex::<I>::bulk_load(&records, ShardingConfig::default());
+        let sharded = Arc::new(ShardedIndex::<I>::bulk_load(
+            &records,
+            ShardingConfig::default().with_read_path(args.read_path),
+        ));
         let stats_before = sharded.stats();
         // Both runs start from the smoothed layout the paper's one-shot
         // pipeline produces; the maintained run is the one that keeps it.
@@ -331,57 +344,34 @@ where
         let mut all_ops = LatencyHistogram::new();
         let mut hits = 0usize;
         let mut scanned = 0usize;
-        let done = AtomicBool::new(false);
-        let (passes, splits) = crossbeam::thread::scope(|scope| {
-            let worker = maintain.then(|| {
-                let sharded = &sharded;
-                let engine = &engine;
-                let done = &done;
-                scope.spawn(move |_| {
-                    let mut passes = 0usize;
-                    let mut splits = 0usize;
-                    while !done.load(Ordering::Relaxed) {
-                        match engine.run_once(sharded) {
-                            MaintenanceAction::Maintained { .. } => passes += 1,
-                            MaintenanceAction::Split { .. } => splits += 1,
-                            MaintenanceAction::Idle => {
-                                std::thread::sleep(std::time::Duration::from_millis(1))
-                            }
-                        }
-                    }
-                    (passes, splits)
-                })
-            });
-            for op in &operations {
-                let started = Instant::now();
-                let is_lookup = matches!(op, Operation::Read(_));
-                match *op {
-                    Operation::Read(k) => hits += usize::from(sharded.get(k).is_some()),
-                    Operation::Insert(k) => {
-                        sharded.insert(k, k);
-                    }
-                    Operation::Remove(k) => hits += usize::from(sharded.remove(k).is_some()),
-                    Operation::Scan(lo, hi) => scanned += sharded.range(lo, hi).len(),
+        let engine = MaintenanceEngine::new(optimizer.clone(), MaintenanceConfig::default());
+        let handle = maintain.then(|| engine.spawn(Arc::clone(&sharded)));
+        for op in &operations {
+            let started = Instant::now();
+            let is_lookup = matches!(op, Operation::Read(_));
+            match *op {
+                Operation::Read(k) => hits += usize::from(sharded.get(k).is_some()),
+                Operation::Insert(k) => {
+                    sharded.insert(k, k);
                 }
-                let elapsed = started.elapsed();
-                all_ops.record(elapsed);
-                if is_lookup {
-                    lookups.record(elapsed);
-                }
+                Operation::Remove(k) => hits += usize::from(sharded.remove(k).is_some()),
+                Operation::Scan(lo, hi) => scanned += sharded.range(lo, hi).len(),
             }
-            done.store(true, Ordering::Relaxed);
-            worker.map_or((0, 0), |h| {
-                h.join().expect("maintenance thread must not panic")
-            })
-        })
-        .expect("threads must not panic");
+            let elapsed = started.elapsed();
+            all_ops.record(elapsed);
+            if is_lookup {
+                lookups.record(elapsed);
+            }
+        }
+        let stats = handle.map(|h| h.stop()).unwrap_or_default();
         MaintainedReplay {
             lookups,
             all_ops,
             hits,
             scanned,
-            passes,
-            splits,
+            passes: stats.maintain_passes,
+            splits: stats.splits,
+            merges: stats.merges,
             stats_before,
             stats_after: sharded.stats(),
             shards: sharded.num_shards(),
@@ -402,10 +392,12 @@ where
         latency: maintained.all_ops.clone(),
         plan_json: None,
         maintain: Some(MaintainComparison {
+            read_path: args.read_path,
             with_maintenance: maintained.lookups,
             without_maintenance: unmaintained.lookups,
             maintenance_passes: maintained.passes,
             shard_splits: maintained.splits,
+            shard_merges: maintained.merges,
             final_shards: maintained.shards,
         }),
     }
@@ -611,29 +603,34 @@ mod tests {
 
     #[test]
     fn maintain_mode_reports_both_latency_distributions() {
-        let args = CliArgs {
-            maintain: true,
-            ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.1)
-        };
-        let summary = run(&args).unwrap();
-        let maintain = summary
-            .maintain
-            .as_ref()
-            .expect("--maintain must produce a comparison");
-        // Lookups are a strict subset of the replayed operations, and both
-        // runs replay the same workload.
-        assert!(maintain.with_maintenance.count() > 0);
-        assert_eq!(
-            maintain.with_maintenance.count(),
-            maintain.without_maintenance.count()
-        );
-        assert!(maintain.with_maintenance.count() < summary.operations as u64);
-        assert!(maintain.final_shards >= 16);
-        assert_eq!(summary.latency.count(), summary.operations as u64);
-        assert!(summary.hits > 0);
-        let rendered = summary.render();
-        assert!(rendered.contains("maintain:"));
-        assert!(rendered.contains("with maintenance p50="));
+        for read_path in [ReadPath::Rcu, ReadPath::Locked] {
+            let args = CliArgs {
+                maintain: true,
+                read_path,
+                ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.1)
+            };
+            let summary = run(&args).unwrap();
+            let maintain = summary
+                .maintain
+                .as_ref()
+                .expect("--maintain must produce a comparison");
+            assert_eq!(maintain.read_path, read_path);
+            // Lookups are a strict subset of the replayed operations, and
+            // both runs replay the same workload.
+            assert!(maintain.with_maintenance.count() > 0);
+            assert_eq!(
+                maintain.with_maintenance.count(),
+                maintain.without_maintenance.count()
+            );
+            assert!(maintain.with_maintenance.count() < summary.operations as u64);
+            assert!(maintain.final_shards >= 16);
+            assert_eq!(summary.latency.count(), summary.operations as u64);
+            assert!(summary.hits > 0);
+            let rendered = summary.render();
+            assert!(rendered.contains("maintain:"));
+            assert!(rendered.contains("with maintenance p50="));
+            assert!(rendered.contains(&format!("{read_path:?} read path")));
+        }
     }
 
     #[test]

@@ -170,6 +170,28 @@ pub trait RemovableIndex: LearnedIndex {
     fn remove(&mut self, key: Key) -> Option<Value>;
 }
 
+/// An index that can serve as an immutable RCU snapshot.
+///
+/// The concurrent layer's lock-free read path publishes whole per-shard
+/// indexes behind an atomic pointer: readers dereference the published
+/// snapshot without locks, and writers/maintenance build a *successor* off
+/// to the side — starting from a [`Clone`] of the live snapshot — and swap
+/// it in. That only works when:
+///
+/// * cloning is a **pure deep copy**: the clone shares no interior
+///   mutability with the original, so mutating it never perturbs readers
+///   of the live snapshot (a `derive(Clone)` over `Vec`-based node arenas
+///   satisfies this; an index holding `Rc`/`Arc`-shared nodes or interior
+///   `Cell`s would not), and
+/// * the clone's cost is **O(data)** with a small constant — a handful of
+///   `memcpy`s over the node arenas — because maintenance pays it on every
+///   copy-on-write publication.
+///
+/// This is a marker trait: implementations assert the two properties above
+/// for their concrete layout rather than getting them from a blanket impl,
+/// which is also where each index documents what its clone actually copies.
+pub trait SnapshotIndex: LearnedIndex + Clone + Send + Sync {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,32 +4,48 @@
 //! workloads (its evaluation is multi-threaded), and the benchmark framework
 //! the paper builds on drives indexes from several threads. The
 //! single-threaded index implementations in this workspace are wrapped by
-//! [`ShardedIndex`], which partitions the key space into contiguous shards at
-//! bulk-load time and protects each shard with a [`parking_lot::RwLock`]:
-//! point lookups and range scans take shared locks (readers scale across
-//! cores), while inserts and removals lock only the one shard that owns the
-//! key.
+//! [`ShardedIndex`], which partitions the key space into contiguous shards
+//! at bulk-load time and serves them through one of two read paths
+//! ([`ReadPath`]):
 //!
-//! The wrapper is index-agnostic — any [`LearnedIndex`] (ALEX, LIPP, SALI,
-//! PGM, B+-tree) can be sharded. CSV-integrable indexes are re-optimised in
-//! place via [`ShardedIndex::optimize`], which plans each shard's smoothing
-//! under a shared lock and takes the exclusive lock only to apply the
-//! rebuilds, so readers keep flowing during the expensive read phase.
+//! * **RCU** (the default): shard snapshots are published through the
+//!   hand-rolled [`rcu::RcuCell`] — point lookups perform *zero lock
+//!   acquisitions*, and writers/maintenance build copy-on-write successors
+//!   published with a single pointer swap, so readers never stall behind
+//!   maintenance's apply phase, splits, or merges. Read-mostly batches can
+//!   pin a [`ReadView`] and drop even the RCU counter traffic.
+//! * **Locked**: the classic per-shard [`parking_lot::RwLock`] layout, kept
+//!   as the A/B baseline the benchmarks compare against.
+//!
+//! CSV-integrable indexes are re-optimised in place via
+//! [`ShardedIndex::optimize`], which plans each shard's smoothing without
+//! excluding readers (shared locks on the locked path, private snapshot
+//! clones on the RCU path) and publishes the rebuilds with short exclusive
+//! locks or one swap respectively.
 //!
 //! On top of that one-shot pass sits the *adaptive* layer: every shard
 //! counts the structural writes it absorbs ([`ShardedIndex::staleness`]),
-//! [`ShardedIndex::maintain_shard`] re-plans only a shard's dirty sub-trees
-//! under the same short-lock discipline, and the [`MaintenanceEngine`]
-//! drives both — splitting shards that outgrow their peers and repeatedly
-//! re-optimising the stalest one — so the smoothed layout survives a
+//! [`ShardedIndex::maintain_shard`] re-plans only a shard's dirty sub-trees,
+//! and the [`MaintenanceEngine`] drives the whole lifecycle — splitting
+//! shards that outgrow their peers, merging ones that drained, repeatedly
+//! re-optimising the stalest, optionally under a per-tick latency budget
+//! ([`MaintenanceConfig::tick_budget`]) — so the smoothed layout survives a
 //! sustained mixed workload without ever re-planning untouched sub-trees.
+//! [`MaintenanceEngine::spawn`] packages the background-thread loop servers
+//! would otherwise hand-roll.
 //!
 //! [`LearnedIndex`]: csv_common::traits::LearnedIndex
 
 pub mod maintenance;
+pub mod rcu;
 pub mod sharded;
 pub mod throughput;
 
-pub use maintenance::{MaintenanceAction, MaintenanceConfig, MaintenanceEngine};
-pub use sharded::{ShardStaleness, ShardedIndex, ShardingConfig};
-pub use throughput::{run_read_throughput, ThroughputReport};
+pub use maintenance::{
+    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, MaintenanceHandle, MaintenanceStats,
+};
+pub use rcu::RcuCell;
+pub use sharded::{
+    MaintainProgress, ReadPath, ReadView, ShardStaleness, ShardedIndex, ShardingConfig,
+};
+pub use throughput::{run_read_throughput, run_read_throughput_pinned, ThroughputReport};

@@ -1,54 +1,144 @@
 //! The sharded concurrent index wrapper.
+//!
+//! Two read paths are provided, selected by [`ShardingConfig::read_path`]:
+//!
+//! * [`ReadPath::Locked`] — the classic layout: every shard's index sits
+//!   behind a [`parking_lot::RwLock`], lookups take the shared lock, writes
+//!   the exclusive one. Readers stall whenever maintenance's apply phase or
+//!   a split holds an exclusive lock.
+//! * [`ReadPath::Rcu`] (the default) — the lock-free layout: both the shard
+//!   *vector* and every shard's index are published through
+//!   [`crate::rcu::RcuCell`] as immutable snapshots. A lookup is a handful
+//!   of atomic reads — **zero lock acquisitions** — and writers/maintenance
+//!   build successor snapshots off to the side, publishing them with one
+//!   pointer swap. Readers observe either the pre- or the post-publication
+//!   index, never a torn state.
+//!
+//! On the RCU path a shard snapshot is a pair: a big immutable base index
+//! plus a small sorted *overlay* of pending upserts/tombstones
+//! ([`ShardSnapshot`]). Point writes copy the overlay (cheap), not the
+//! base; once the overlay outgrows [`ShardingConfig::overlay_capacity`]
+//! it is folded into a fresh base — by cloning the base and replaying the
+//! upserts when there are no tombstones (which preserves the CSV-smoothed
+//! layout and the dirty-sub-tree marks), or by a merge-join rebuild when
+//! there are. Maintenance (`maintain_shard`, `optimize`) plans against the
+//! live snapshot, applies onto a clone, and swaps — the apply phase holds
+//! no lock any reader can observe.
 
-use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
+use crate::rcu::RcuCell;
+use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex, SnapshotIndex};
 use csv_common::{Key, KeyValue, Value};
 use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// How the key space is partitioned.
+/// Which concurrency scheme serves point lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Reader–writer locks per shard (readers block behind maintenance's
+    /// apply phase and behind splits).
+    Locked,
+    /// RCU snapshots per shard (readers never block; writers copy on
+    /// write and publish with a pointer swap).
+    #[default]
+    Rcu,
+}
+
+/// How the key space is partitioned and served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardingConfig {
-    /// Number of shards. Each shard owns a contiguous key range and is
-    /// protected by its own reader–writer lock.
+    /// Number of shards. Each shard owns a contiguous key range.
     pub num_shards: usize,
+    /// The concurrency scheme for this index (see [`ReadPath`]).
+    pub read_path: ReadPath,
+    /// RCU path only: pending point writes a shard snapshot buffers in its
+    /// overlay before they are folded into a fresh base index. Larger
+    /// values amortise the fold further but tax every lookup with a bigger
+    /// overlay binary search.
+    pub overlay_capacity: usize,
 }
 
 impl Default for ShardingConfig {
     fn default() -> Self {
-        Self { num_shards: 16 }
+        Self {
+            num_shards: 16,
+            read_path: ReadPath::default(),
+            overlay_capacity: 512,
+        }
     }
 }
 
-/// A contiguous key-range shard.
-struct Shard<I> {
-    /// Smallest key routed to this shard (the first shard owns everything
-    /// below its boundary too).
-    lower_bound: Key,
-    index: RwLock<I>,
-    /// Structural writes (new keys, removals) routed to this shard since its
-    /// last maintenance pass. Seeded with the bulk-loaded key count: a fresh
-    /// shard has never been maintained, so its entire content is "unapplied
-    /// writes" as far as the maintenance engine is concerned.
-    writes_since_maintenance: AtomicUsize,
-    /// `f64::to_bits` of the shard's mean key level recorded by its last
-    /// maintenance pass (meaningless until `maintained` is set).
-    maintained_mean_level: AtomicU64,
+impl ShardingConfig {
+    /// A default config with `num_shards` shards.
+    pub fn with_shards(num_shards: usize) -> Self {
+        Self {
+            num_shards,
+            ..Self::default()
+        }
+    }
+
+    /// The same config on the given read path.
+    pub fn with_read_path(self, read_path: ReadPath) -> Self {
+        Self { read_path, ..self }
+    }
+}
+
+/// Per-shard staleness bookkeeping shared by both read paths: structural
+/// writes since the last maintenance pass plus the mean-key-level baseline
+/// the drift heuristic compares against.
+struct StaleCounters {
+    /// Structural writes (new keys, removals) since the last pass. Seeded
+    /// with the bulk-loaded key count: a fresh shard has never been
+    /// maintained, so its entire content is "unapplied writes" as far as
+    /// the maintenance engine is concerned.
+    writes: AtomicUsize,
+    /// `f64::to_bits` of the mean key level at the last maintenance pass
+    /// (meaningless until `maintained` is set).
+    mean_level: AtomicU64,
     /// `false` until the first maintenance pass completes.
     maintained: AtomicBool,
 }
 
-impl<I: LearnedIndex> Shard<I> {
-    fn new(lower_bound: Key, index: I) -> Self {
-        let seed_writes = index.len();
+impl StaleCounters {
+    fn seeded(len: usize) -> Self {
         Self {
-            lower_bound,
-            index: RwLock::new(index),
-            writes_since_maintenance: AtomicUsize::new(seed_writes),
-            maintained_mean_level: AtomicU64::new(0),
+            writes: AtomicUsize::new(len),
+            mean_level: AtomicU64::new(0),
             maintained: AtomicBool::new(false),
+        }
+    }
+
+    fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn reset_writes(&self) {
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    fn mark_maintained(&self, mean_level: f64) {
+        self.mean_level
+            .store(mean_level.to_bits(), Ordering::Relaxed);
+        self.maintained.store(true, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (usize, bool) {
+        (
+            self.writes.load(Ordering::Relaxed),
+            self.maintained.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Mean key level now minus the baseline (0 for never-maintained
+    /// shards — their write counter already says everything).
+    fn level_drift(&self, current_mean: f64) -> f64 {
+        if self.maintained.load(Ordering::Relaxed) {
+            current_mean - f64::from_bits(self.mean_level.load(Ordering::Relaxed))
+        } else {
+            0.0
         }
     }
 }
@@ -57,7 +147,8 @@ impl<I: LearnedIndex> Shard<I> {
 /// pick its next target.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardStaleness {
-    /// Shard position (valid until the next split changes the layout).
+    /// Shard position (valid until the next split/merge changes the
+    /// layout).
     pub shard: usize,
     /// Keys currently stored in the shard.
     pub num_keys: usize,
@@ -83,33 +174,311 @@ impl ShardStaleness {
     }
 }
 
+/// The partial result of a budget-bounded [`ShardedIndex::maintain_shard_budgeted`]
+/// call: the work done so far plus where to pick up next tick.
+#[derive(Debug, Clone)]
+pub struct MaintainProgress {
+    /// The CSV report of the (possibly partial) pass.
+    pub report: CsvReport,
+    /// `Some(level)` when the deadline expired mid-sweep: the next call
+    /// should resume planning at this level. `None` when the shard was
+    /// fully maintained (and marked clean).
+    pub resume_level: Option<usize>,
+}
+
+impl MaintainProgress {
+    /// `true` when the shard was fully maintained this call.
+    pub fn completed(&self) -> bool {
+        self.resume_level.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locked representation
+// ---------------------------------------------------------------------------
+
+/// A contiguous key-range shard on the locked path.
+struct LockedShard<I> {
+    /// Smallest key routed to this shard (the first shard owns everything
+    /// below its boundary too).
+    lower_bound: Key,
+    index: RwLock<I>,
+    stale: StaleCounters,
+}
+
+impl<I: LearnedIndex> LockedShard<I> {
+    fn new(lower_bound: Key, index: I) -> Self {
+        let seed = index.len();
+        Self {
+            lower_bound,
+            index: RwLock::new(index),
+            stale: StaleCounters::seeded(seed),
+        }
+    }
+}
+
+/// The locked layout: the shard vector lives behind an outer reader–writer
+/// lock; every operation takes the cheap shared lock, and only a
+/// split/merge takes the exclusive one.
+struct LockedRepr<I> {
+    shards: RwLock<Vec<LockedShard<I>>>,
+}
+
+// ---------------------------------------------------------------------------
+// RCU representation
+// ---------------------------------------------------------------------------
+
+/// One pending point write in a shard snapshot's overlay: an upsert
+/// (`Some`) or a tombstone (`None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OverlayEntry {
+    key: Key,
+    value: Option<Value>,
+}
+
+/// An immutable shard snapshot on the RCU path: a big shared base index
+/// plus a small sorted overlay of writes not yet folded into it. Readers
+/// consult the overlay first, then the base — both without locks.
+pub struct ShardSnapshot<I> {
+    base: Arc<I>,
+    overlay: Vec<OverlayEntry>,
+    /// Live key count (base plus overlay net effect), maintained
+    /// incrementally by the write path.
+    len: usize,
+}
+
+impl<I: LearnedIndex> ShardSnapshot<I> {
+    fn clean(base: Arc<I>) -> Self {
+        let len = base.len();
+        Self {
+            base,
+            overlay: Vec::new(),
+            len,
+        }
+    }
+
+    pub(crate) fn get(&self, key: Key) -> Option<Value> {
+        match self.overlay.binary_search_by_key(&key, |e| e.key) {
+            Ok(i) => self.overlay[i].value,
+            Err(_) => self.base.get(key),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Structure statistics. Overlay writes are pending — they have no
+    /// level in the base structure yet — so the histogram describes the
+    /// base while `num_keys` reports the live count.
+    fn stats(&self) -> IndexStats {
+        let mut stats = self.base.stats();
+        stats.num_keys = self.len;
+        stats
+    }
+}
+
+impl<I: LearnedIndex + RangeIndex> ShardSnapshot<I> {
+    /// Every live record of the snapshot (base merged with the overlay), in
+    /// ascending key order.
+    fn records(&self) -> Vec<KeyValue> {
+        self.range(0, Key::MAX)
+    }
+
+    /// Records in `[lo, hi]`: the base range merge-joined with the overlay
+    /// slice, tombstones subtracted.
+    fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+        let base = self.base.range(lo, hi);
+        if self.overlay.is_empty() {
+            return base;
+        }
+        let from = self.overlay.partition_point(|e| e.key < lo);
+        let to = self.overlay.partition_point(|e| e.key <= hi);
+        let overlay = &self.overlay[from..to];
+        if overlay.is_empty() {
+            return base;
+        }
+        let mut out = Vec::with_capacity(base.len() + overlay.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < base.len() || j < overlay.len() {
+            let take_overlay = match (base.get(i), overlay.get(j)) {
+                (Some(b), Some(o)) => {
+                    if b.key == o.key {
+                        i += 1; // the overlay entry supersedes the base one
+                        true
+                    } else {
+                        o.key < b.key
+                    }
+                }
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => unreachable!("loop condition"),
+            };
+            if take_overlay {
+                let e = overlay[j];
+                j += 1;
+                if let Some(value) = e.value {
+                    out.push(KeyValue::new(e.key, value));
+                }
+            } else {
+                out.push(base[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+impl<I: SnapshotIndex + RangeIndex> ShardSnapshot<I> {
+    /// Folds the overlay into a fresh base. With no tombstones the base is
+    /// cloned and the upserts replayed — preserving the CSV-smoothed layout
+    /// and the dirty-sub-tree marks exactly as in-place writes on the
+    /// locked path would. With tombstones the snapshot is rebuilt from its
+    /// merged records (bulk loading resets the structure, which the
+    /// staleness counters already flag for re-smoothing).
+    fn folded_base(&self) -> I {
+        if self.overlay.iter().all(|e| e.value.is_some()) {
+            let mut base = (*self.base).clone();
+            for e in &self.overlay {
+                base.insert(e.key, e.value.expect("checked: no tombstones"));
+            }
+            base
+        } else {
+            I::bulk_load(&self.records())
+        }
+    }
+}
+
+/// A contiguous key-range shard on the RCU path.
+struct RcuShard<I> {
+    lower_bound: Key,
+    /// The published snapshot readers consume.
+    snap: RcuCell<ShardSnapshot<I>>,
+    /// Serializes writers and maintenance on this shard. Readers never
+    /// touch it.
+    writer: Mutex<()>,
+    /// Set (under `writer`) when a split/merge replaced this shard in the
+    /// layout: writers that raced the re-layout re-route instead of
+    /// publishing into an unreachable handle.
+    retired: AtomicBool,
+    stale: StaleCounters,
+}
+
+impl<I: LearnedIndex> RcuShard<I> {
+    fn new(lower_bound: Key, index: I) -> Self {
+        let seed = index.len();
+        Self {
+            lower_bound,
+            snap: RcuCell::new(Arc::new(ShardSnapshot::clean(Arc::new(index)))),
+            writer: Mutex::new(()),
+            retired: AtomicBool::new(false),
+            stale: StaleCounters::seeded(seed),
+        }
+    }
+}
+
+/// The RCU shard vector, itself an immutable published value: splits and
+/// merges publish a successor vector, so readers index into a consistent
+/// layout without any lock.
+struct Layout<I> {
+    shards: Vec<Arc<RcuShard<I>>>,
+}
+
+impl<I> Layout<I> {
+    /// Index of the shard owning `key`.
+    fn shard_of(&self, key: Key) -> usize {
+        shard_for_key(&self.shards, key, |s| s.lower_bound)
+    }
+}
+
+struct RcuRepr<I> {
+    layout: RcuCell<Layout<I>>,
+    /// Serializes layout changes (split/merge). Readers and per-shard
+    /// writers never touch it.
+    layout_writer: Mutex<()>,
+    overlay_capacity: usize,
+}
+
+impl<I> RcuRepr<I> {
+    /// The handle currently owning `key` (an `Arc`, so the caller can lock
+    /// its writer mutex outside the read-side critical section).
+    fn shard_handle(&self, key: Key) -> Arc<RcuShard<I>> {
+        self.layout
+            .read(|layout| Arc::clone(&layout.shards[layout.shard_of(key)]))
+    }
+}
+
+/// Index of the shard owning `key` within lower-bound-sorted `shards`: the
+/// last entry whose lower bound is <= key (the first entry also owns every
+/// key below its boundary). The single routing invariant shared by the
+/// locked layout, the RCU layout and pinned read views.
+fn shard_for_key<T>(shards: &[T], key: Key, lower_bound: impl Fn(&T) -> Key) -> usize {
+    shards
+        .partition_point(|s| lower_bound(s) <= key)
+        .saturating_sub(1)
+}
+
+/// Locked-path convenience over [`shard_for_key`].
+fn locked_shard_of<I>(shards: &[LockedShard<I>], key: Key) -> usize {
+    shard_for_key(shards, key, |s| s.lower_bound)
+}
+
+enum Repr<I> {
+    Locked(LockedRepr<I>),
+    Rcu(RcuRepr<I>),
+}
+
+/// A pinned, immutable view of every shard snapshot, for read-mostly
+/// batches on the RCU path: taking the view costs one RCU load per shard,
+/// after which every lookup is plain memory reads — no atomics at all.
+///
+/// The view is a *snapshot*: writes published after [`ShardedIndex::read_view`]
+/// returned are invisible to it. Use it for bounded batches (a query chunk,
+/// one scan pass), not as a long-lived cache.
+pub struct ReadView<I> {
+    shards: Vec<(Key, Arc<ShardSnapshot<I>>)>,
+}
+
+impl<I: LearnedIndex> ReadView<I> {
+    /// Point lookup against the pinned snapshots.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let shard = shard_for_key(&self.shards, key, |(lower, _)| *lower);
+        self.shards[shard].1.get(key)
+    }
+
+    /// Total keys across the pinned snapshots.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// `true` when the pinned snapshots store no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A concurrent index assembled from per-key-range shards of a
 /// single-threaded index type.
 ///
 /// Shard boundaries are chosen from the bulk-load records so every shard
 /// starts with the same number of keys; later inserts are routed by key, so
 /// heavy skew can grow one shard faster than the others (the same behaviour
-/// a range-partitioned distributed index exhibits). Two mechanisms keep that
-/// in check over a long run:
+/// a range-partitioned distributed index exhibits). Three mechanisms keep
+/// that in check over a long run:
 ///
 /// * every shard counts its structural writes and exposes a staleness
 ///   snapshot ([`ShardedIndex::staleness`]) that
 ///   [`crate::MaintenanceEngine`] uses to re-optimise the stalest shard
-///   incrementally ([`ShardedIndex::maintain_shard`]), and
+///   incrementally ([`ShardedIndex::maintain_shard`]),
 /// * a shard that outgrows its peers can be split in two
-///   ([`ShardedIndex::split_shard`]), which is why the shard vector lives
-///   behind an outer reader–writer lock: every operation takes the cheap
-///   shared lock, and only a split takes the exclusive one.
+///   ([`ShardedIndex::split_shard`]), and
+/// * a shard whose key range drained can be merged into its neighbour
+///   ([`ShardedIndex::merge_shards`]).
+///
+/// The concurrency scheme behind those operations is chosen by
+/// [`ShardingConfig::read_path`]; see the module docs for the two layouts.
 pub struct ShardedIndex<I> {
-    shards: RwLock<Vec<Shard<I>>>,
-}
-
-/// Index of the shard owning `key`: shards are sorted by lower bound; the
-/// owner is the last shard whose lower bound is <= key.
-fn shard_of<I>(shards: &[Shard<I>], key: Key) -> usize {
-    shards
-        .partition_point(|s| s.lower_bound <= key)
-        .saturating_sub(1)
+    repr: Repr<I>,
 }
 
 impl<I: LearnedIndex> ShardedIndex<I> {
@@ -117,59 +486,108 @@ impl<I: LearnedIndex> ShardedIndex<I> {
     pub fn bulk_load(records: &[KeyValue], config: ShardingConfig) -> Self {
         let num_shards = config.num_shards.max(1);
         let per_shard = records.len().div_ceil(num_shards).max(1);
-        let mut shards = Vec::with_capacity(num_shards);
+        let mut bounds_and_chunks: Vec<(Key, &[KeyValue])> = Vec::with_capacity(num_shards);
         if records.is_empty() {
-            shards.push(Shard::new(0, I::bulk_load(&[])));
-            return Self {
-                shards: RwLock::new(shards),
-            };
+            bounds_and_chunks.push((0, &[]));
+        } else {
+            for chunk in records.chunks(per_shard) {
+                bounds_and_chunks.push((chunk[0].key, chunk));
+            }
+            // The first shard also owns every key below its smallest loaded
+            // key.
+            bounds_and_chunks[0].0 = 0;
         }
-        for chunk in records.chunks(per_shard) {
-            shards.push(Shard::new(chunk[0].key, I::bulk_load(chunk)));
-        }
-        // The first shard also owns every key below its smallest loaded key.
-        shards[0].lower_bound = 0;
-        Self {
-            shards: RwLock::new(shards),
+        let repr = match config.read_path {
+            ReadPath::Locked => Repr::Locked(LockedRepr {
+                shards: RwLock::new(
+                    bounds_and_chunks
+                        .into_iter()
+                        .map(|(lower, chunk)| LockedShard::new(lower, I::bulk_load(chunk)))
+                        .collect(),
+                ),
+            }),
+            ReadPath::Rcu => Repr::Rcu(RcuRepr {
+                layout: RcuCell::new(Arc::new(Layout {
+                    shards: bounds_and_chunks
+                        .into_iter()
+                        .map(|(lower, chunk)| Arc::new(RcuShard::new(lower, I::bulk_load(chunk))))
+                        .collect(),
+                })),
+                layout_writer: Mutex::new(()),
+                overlay_capacity: config.overlay_capacity.max(1),
+            }),
+        };
+        Self { repr }
+    }
+
+    /// The read path this index was built with.
+    pub fn read_path(&self) -> ReadPath {
+        match &self.repr {
+            Repr::Locked(_) => ReadPath::Locked,
+            Repr::Rcu(_) => ReadPath::Rcu,
         }
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.read().len()
-    }
-
-    /// Point lookup (shared lock on one shard).
-    pub fn get(&self, key: Key) -> Option<Value> {
-        let shards = self.shards.read();
-        let found = shards[shard_of(&shards, key)].index.read().get(key);
-        found
-    }
-
-    /// Inserts or overwrites a record (exclusive lock on one shard). Returns
-    /// `true` when the key was new.
-    pub fn insert(&self, key: Key, value: Value) -> bool {
-        let shards = self.shards.read();
-        let shard = &shards[shard_of(&shards, key)];
-        let new = shard.index.write().insert(key, value);
-        if new {
-            // Overwrites change no structure, so only new keys count toward
-            // the staleness score.
-            shard
-                .writes_since_maintenance
-                .fetch_add(1, Ordering::Relaxed);
+        match &self.repr {
+            Repr::Locked(r) => r.shards.read().len(),
+            Repr::Rcu(r) => r.layout.read(|l| l.shards.len()),
         }
-        new
     }
 
-    /// Total number of stored keys (takes shared locks shard by shard, so the
-    /// result is a consistent-per-shard snapshot, not a global atomic one).
+    /// Point lookup. On the locked path this takes the outer shared lock
+    /// plus one shard's shared lock; on the RCU path it performs **zero
+    /// lock acquisitions** — two read-side RCU critical sections (a few
+    /// atomic counter operations) around plain memory reads.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                let found = shards[locked_shard_of(&shards, key)].index.read().get(key);
+                found
+            }
+            Repr::Rcu(r) => r.layout.read(|layout| {
+                layout.shards[layout.shard_of(key)]
+                    .snap
+                    .read(|snap| snap.get(key))
+            }),
+        }
+    }
+
+    /// A pinned snapshot view of every shard for read-mostly batches, or
+    /// `None` on the locked path (which has no immutable snapshots to
+    /// pin). See [`ReadView`] for the staleness contract.
+    pub fn read_view(&self) -> Option<ReadView<I>> {
+        match &self.repr {
+            Repr::Locked(_) => None,
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                Some(ReadView {
+                    shards: layout
+                        .shards
+                        .iter()
+                        .map(|s| (s.lower_bound, s.snap.load()))
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    /// Total number of stored keys (consistent per shard, not globally
+    /// atomic).
     pub fn len(&self) -> usize {
-        self.shards
-            .read()
-            .iter()
-            .map(|s| s.index.read().len())
-            .sum()
+        match &self.repr {
+            Repr::Locked(r) => r.shards.read().iter().map(|s| s.index.read().len()).sum(),
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                layout
+                    .shards
+                    .iter()
+                    .map(|s| s.snap.read(|snap| snap.len()))
+                    .sum()
+            }
+        }
     }
 
     /// `true` when no shard stores any key.
@@ -177,11 +595,32 @@ impl<I: LearnedIndex> ShardedIndex<I> {
         self.len() == 0
     }
 
+    /// Per-shard key counts, in shard order. The maintenance engine's
+    /// split/merge triggers read this instead of [`ShardedIndex::map_shards`]
+    /// because on the RCU path it includes pending overlay writes.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        match &self.repr {
+            Repr::Locked(r) => r
+                .shards
+                .read()
+                .iter()
+                .map(|s| s.index.read().len())
+                .collect(),
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                layout
+                    .shards
+                    .iter()
+                    .map(|s| s.snap.read(|snap| snap.len()))
+                    .collect()
+            }
+        }
+    }
+
     /// Aggregated structural statistics across shards.
     pub fn stats(&self) -> IndexStats {
         let mut total = IndexStats::default();
-        for shard in self.shards.read().iter() {
-            let s = shard.index.read().stats();
+        let mut accumulate = |s: IndexStats| {
             for (level, count) in s.level_histogram.iter() {
                 total.level_histogram.record(level, count);
             }
@@ -190,6 +629,19 @@ impl<I: LearnedIndex> ShardedIndex<I> {
             total.height = total.height.max(s.height);
             total.size_bytes += s.size_bytes;
             total.num_keys += s.num_keys;
+        };
+        match &self.repr {
+            Repr::Locked(r) => {
+                for shard in r.shards.read().iter() {
+                    accumulate(shard.index.read().stats());
+                }
+            }
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                for shard in layout.shards.iter() {
+                    accumulate(shard.snap.load().stats());
+                }
+            }
         }
         total
     }
@@ -200,195 +652,251 @@ impl<I: LearnedIndex> ShardedIndex<I> {
     /// writes is provably not stale; the maintenance engine uses this as a
     /// quiescence pre-check before paying for [`ShardedIndex::staleness`].
     pub fn write_counters(&self) -> Vec<(usize, bool)> {
-        self.shards
-            .read()
-            .iter()
-            .map(|s| {
-                (
-                    s.writes_since_maintenance.load(Ordering::Relaxed),
-                    s.maintained.load(Ordering::Relaxed),
-                )
-            })
-            .collect()
+        match &self.repr {
+            Repr::Locked(r) => r.shards.read().iter().map(|s| s.stale.snapshot()).collect(),
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                layout.shards.iter().map(|s| s.stale.snapshot()).collect()
+            }
+        }
     }
 
     /// Per-shard staleness snapshot (writes since the last maintenance pass
     /// plus level drift from the structural statistics), in shard order.
-    /// Computing the drift walks each shard's structure under its shared
-    /// lock, so this is a maintenance-cadence call, not a hot-path one.
+    /// Computing the drift walks each shard's structure, so this is a
+    /// maintenance-cadence call, not a hot-path one.
     pub fn staleness(&self) -> Vec<ShardStaleness> {
-        self.shards
-            .read()
-            .iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                let stats = shard.index.read().stats();
-                let maintained = shard.maintained.load(Ordering::Relaxed);
-                let level_drift = if maintained {
-                    let baseline =
-                        f64::from_bits(shard.maintained_mean_level.load(Ordering::Relaxed));
-                    stats.mean_key_level() - baseline
-                } else {
-                    0.0
-                };
-                ShardStaleness {
-                    shard: i,
-                    num_keys: stats.num_keys,
-                    writes_since_maintenance: shard
-                        .writes_since_maintenance
-                        .load(Ordering::Relaxed),
-                    level_drift,
-                    maintained,
-                }
-            })
-            .collect()
+        let entry = |i: usize, stats: IndexStats, stale: &StaleCounters| {
+            let (writes, maintained) = stale.snapshot();
+            ShardStaleness {
+                shard: i,
+                num_keys: stats.num_keys,
+                writes_since_maintenance: writes,
+                level_drift: stale.level_drift(stats.mean_key_level()),
+                maintained,
+            }
+        };
+        match &self.repr {
+            Repr::Locked(r) => r
+                .shards
+                .read()
+                .iter()
+                .enumerate()
+                .map(|(i, s)| entry(i, s.index.read().stats(), &s.stale))
+                .collect(),
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                layout
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| entry(i, s.snap.load().stats(), &s.stale))
+                    .collect()
+            }
+        }
     }
 
-    /// Runs `f` on every shard's inner index with an exclusive lock, fanning
-    /// the shards out across the rayon thread pool — used to apply CSV
-    /// optimisation (or SALI workload flattening) to all shards at once.
-    /// Shards are disjoint by construction, so per-shard mutations cannot
-    /// conflict; `f` must be `Fn + Sync` because multiple shards run it
-    /// concurrently.
+    /// Runs `f` on every shard's inner index with a shared lock (locked
+    /// path) or against the current base snapshot (RCU path — pending
+    /// overlay writes are invisible to `f`; use [`ShardedIndex::shard_lens`]
+    /// for exact counts) and collects the results.
+    pub fn map_shards<T, F: FnMut(&I) -> T>(&self, mut f: F) -> Vec<T> {
+        match &self.repr {
+            Repr::Locked(r) => r.shards.read().iter().map(|s| f(&s.index.read())).collect(),
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                layout
+                    .shards
+                    .iter()
+                    .map(|s| f(&s.snap.load().base))
+                    .collect()
+            }
+        }
+    }
+}
+
+impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
+    /// Inserts or overwrites a record. Returns `true` when the key was new.
+    ///
+    /// Locked path: exclusive lock on one shard. RCU path: the owning
+    /// shard's writer mutex (invisible to readers), a copy of its overlay
+    /// with the upsert applied, and one snapshot publication; when the
+    /// overlay is full it is first folded into a fresh base (see
+    /// [`ShardingConfig::overlay_capacity`]).
+    pub fn insert(&self, key: Key, value: Value) -> bool {
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                let shard = &shards[locked_shard_of(&shards, key)];
+                let new = shard.index.write().insert(key, value);
+                if new {
+                    // Overwrites change no structure, so only new keys count
+                    // toward the staleness score.
+                    shard.stale.record_write();
+                }
+                new
+            }
+            Repr::Rcu(r) => self.rcu_write(r, key, Some(value)).is_none(),
+        }
+    }
+
+    /// The RCU point-write path shared by insert (`Some`) and remove
+    /// (`None`): returns the key's previous value. Retries when the routed
+    /// shard was retired by a concurrent split/merge.
+    fn rcu_write(&self, repr: &RcuRepr<I>, key: Key, value: Option<Value>) -> Option<Value> {
+        loop {
+            let shard = repr.shard_handle(key);
+            let _writes = shard.writer.lock();
+            if shard.retired.load(Ordering::SeqCst) {
+                // A split/merge replaced this handle after we routed to it;
+                // publishing here would write into an unreachable snapshot.
+                continue;
+            }
+            let snap = shard.snap.load();
+            let slot = snap.overlay.binary_search_by_key(&key, |e| e.key);
+            let previous = match slot {
+                Ok(i) => snap.overlay[i].value,
+                Err(_) => snap.base.get(key),
+            };
+            if value.is_none() && previous.is_none() {
+                // Removing an absent key publishes nothing.
+                return None;
+            }
+            let mut overlay = snap.overlay.clone();
+            let entry = OverlayEntry { key, value };
+            match slot {
+                Ok(i) => overlay[i] = entry,
+                Err(i) => overlay.insert(i, entry),
+            }
+            let len = match (previous.is_some(), value.is_some()) {
+                (false, true) => snap.len + 1,
+                (true, false) => snap.len - 1,
+                _ => snap.len,
+            };
+            let next = if overlay.len() > repr.overlay_capacity {
+                let folded = ShardSnapshot {
+                    base: Arc::clone(&snap.base),
+                    overlay,
+                    len,
+                }
+                .folded_base();
+                debug_assert_eq!(folded.len(), len);
+                ShardSnapshot::clean(Arc::new(folded))
+            } else {
+                ShardSnapshot {
+                    base: Arc::clone(&snap.base),
+                    overlay,
+                    len,
+                }
+            };
+            shard.snap.publish(Arc::new(next));
+            // Structural change (new key or removal): count it.
+            if previous.is_none() || value.is_none() {
+                shard.stale.record_write();
+            }
+            return previous;
+        }
+    }
+
+    /// Runs `f` on every shard's inner index, fanning the shards out across
+    /// the rayon thread pool — used to apply CSV optimisation (or SALI
+    /// workload flattening) to all shards at once. Shards are disjoint by
+    /// construction, so per-shard mutations cannot conflict; `f` must be
+    /// `Fn + Sync` because multiple shards run it concurrently.
+    ///
+    /// Locked path: `f` mutates in place under the shard's exclusive lock.
+    /// RCU path: `f` mutates a copy (the overlay folded into a clone of the
+    /// base) that is then published — readers keep flowing throughout.
     pub fn with_shards_mut<F>(&self, f: F)
     where
-        I: Send + Sync,
         F: Fn(&mut I) + Sync,
     {
-        let shards = self.shards.read();
-        shards
-            .par_iter()
-            .for_each(|shard| f(&mut shard.index.write()));
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                shards
+                    .par_iter()
+                    .for_each(|shard| f(&mut shard.index.write()));
+            }
+            Repr::Rcu(r) => {
+                // Exclude splits/merges for the duration (they are the only
+                // operations that retire handles): every shard of the layout
+                // loaded below is live, so no shard's mutation can be lost
+                // to a concurrent re-layout. Readers never touch this lock.
+                let _layout_guard = r.layout_writer.lock();
+                let layout = r.layout.load();
+                layout.shards.par_iter().for_each(|shard| {
+                    let _writes = shard.writer.lock();
+                    debug_assert!(!shard.retired.load(Ordering::SeqCst));
+                    let mut next = shard.snap.load().folded_base();
+                    f(&mut next);
+                    shard
+                        .snap
+                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+                });
+            }
+        }
     }
 
     /// Sequential variant of [`ShardedIndex::with_shards_mut`] for closures
     /// that accumulate state across shards.
     pub fn with_shards_mut_seq<F: FnMut(&mut I)>(&self, mut f: F) {
-        for shard in self.shards.read().iter() {
-            f(&mut shard.index.write());
-        }
-    }
-
-    /// Runs `f` on every shard's inner index with a shared lock and collects
-    /// the results (diagnostics, per-shard statistics).
-    pub fn map_shards<T, F: FnMut(&I) -> T>(&self, mut f: F) -> Vec<T> {
-        self.shards
-            .read()
-            .iter()
-            .map(|s| f(&s.index.read()))
-            .collect()
-    }
-}
-
-impl<I: LearnedIndex + CsvIntegrable + Send + Sync> ShardedIndex<I> {
-    /// Applies CSV (Algorithm 2) to every shard concurrently, using the
-    /// optimizer's plan → apply lifecycle to keep each shard's exclusive
-    /// lock short. Each shard runs the sequential per-shard sweep — the
-    /// shards themselves already saturate the thread pool, so nesting the
-    /// optimizer's own parallelism inside would only oversubscribe. Returns
-    /// the per-shard reports in shard (key) order.
-    ///
-    /// Per level, the read phase (key collection, smoothing, cost
-    /// condition) runs under a *shared* lock, so concurrent `get`s and
-    /// range scans on the shard proceed during the expensive smoothing
-    /// work; the exclusive lock is only held while the planned rebuilds are
-    /// applied. Writes that land between the two phases are safe: a rebuild
-    /// whose layout no longer matches the sub-tree is refused by the index
-    /// (`RebuildRefusal::StaleLayout`) and recorded in the report instead
-    /// of being applied blindly.
-    ///
-    /// A full optimisation pass subsumes incremental maintenance, so each
-    /// shard is marked clean and its staleness counters reset, exactly as
-    /// [`ShardedIndex::maintain_shard`] would.
-    pub fn optimize(&self, optimizer: &CsvOptimizer) -> Vec<CsvReport> {
-        let shards = self.shards.read();
-        shards
-            .par_iter()
-            .map(|shard| {
-                let started = Instant::now();
-                let mut report = CsvReport::default();
-                let levels = optimizer.sweep_levels(&*shard.index.read());
-                if let Some((start_level, stop_level)) = levels {
-                    for level in (stop_level..=start_level).rev() {
-                        // Plan under the shared lock (dropped before apply).
-                        let plan = optimizer.plan_level(&*shard.index.read(), level);
-                        plan.apply_into(&mut *shard.index.write(), &mut report);
-                    }
+        match &self.repr {
+            Repr::Locked(r) => {
+                for shard in r.shards.read().iter() {
+                    f(&mut shard.index.write());
                 }
-                finish_maintenance(shard);
-                report.preprocessing_time = started.elapsed();
-                report
-            })
-            .collect()
-    }
-
-    /// Incrementally re-optimises one shard: per sweep level, the *dirty*
-    /// sub-trees (the roots that absorbed writes since the shard was last
-    /// marked clean) are planned under the shard's shared lock and the
-    /// accepted rebuilds applied under its short exclusive lock. The shard
-    /// is then marked clean and its staleness counters reset.
-    ///
-    /// Writes landing between the plan and apply phases are safe (stale
-    /// layouts are refused, exactly as in [`ShardedIndex::optimize`]); a
-    /// write racing the final mark-clean can lose its dirty flag for this
-    /// round, which costs an optimisation opportunity — never correctness —
-    /// and is recovered by the next write to the same sub-tree.
-    ///
-    /// Returns the shard's CSV report, or `None` when `shard` is out of
-    /// bounds (a split may have changed the layout since the caller chose
-    /// it).
-    pub fn maintain_shard(&self, shard: usize, optimizer: &CsvOptimizer) -> Option<CsvReport> {
-        let shards = self.shards.read();
-        let shard = shards.get(shard)?;
-        let started = Instant::now();
-        let mut report = CsvReport::default();
-        let levels = optimizer.sweep_levels(&*shard.index.read());
-        if let Some((start_level, stop_level)) = levels {
-            for level in (stop_level..=start_level).rev() {
-                let plan = optimizer.plan_dirty_level(&*shard.index.read(), level);
-                plan.apply_into(&mut *shard.index.write(), &mut report);
+            }
+            Repr::Rcu(r) => {
+                // As in `with_shards_mut`: no handle of the layout loaded
+                // under the layout-writer lock can be retired mid-pass.
+                let _layout_guard = r.layout_writer.lock();
+                let layout = r.layout.load();
+                for shard in layout.shards.iter() {
+                    let _writes = shard.writer.lock();
+                    debug_assert!(!shard.retired.load(Ordering::SeqCst));
+                    let mut next = shard.snap.load().folded_base();
+                    f(&mut next);
+                    shard
+                        .snap
+                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+                }
             }
         }
-        finish_maintenance(shard);
-        report.preprocessing_time = started.elapsed();
-        Some(report)
     }
-}
-
-/// Marks a shard clean and resets its staleness bookkeeping. Only the flag
-/// sweep of `csv_mark_clean` runs under the exclusive lock; the O(n)
-/// structure walk that records the level-drift baseline happens under the
-/// shared lock afterwards, so lookups are never blocked behind it. A write
-/// landing between the two sections merely makes the baseline marginally
-/// stale, which the staleness heuristic tolerates by design.
-fn finish_maintenance<I: LearnedIndex + CsvIntegrable>(shard: &Shard<I>) {
-    {
-        let mut guard = shard.index.write();
-        guard.csv_mark_clean();
-        shard.writes_since_maintenance.store(0, Ordering::Relaxed);
-    }
-    let mean = shard.index.read().stats().mean_key_level();
-    shard
-        .maintained_mean_level
-        .store(mean.to_bits(), Ordering::Relaxed);
-    shard.maintained.store(true, Ordering::Relaxed);
 }
 
 impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
     /// Range scan `[lo, hi]` across every shard that overlaps the range
-    /// (shared locks, taken in key order).
+    /// (shared locks on the locked path; pinned snapshots on the RCU path,
+    /// so the scan observes each shard's state at its own visit — the same
+    /// per-shard consistency the locked path provides).
     pub fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
         let mut out = Vec::new();
         if lo > hi {
             return out;
         }
-        let shards = self.shards.read();
-        let first = shard_of(&shards, lo);
-        for (i, shard) in shards.iter().enumerate().skip(first) {
-            if i > first && shard.lower_bound > hi {
-                break;
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                let first = locked_shard_of(&shards, lo);
+                for (i, shard) in shards.iter().enumerate().skip(first) {
+                    if i > first && shard.lower_bound > hi {
+                        break;
+                    }
+                    out.extend(shard.index.read().range(lo, hi));
+                }
             }
-            out.extend(shard.index.read().range(lo, hi));
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                let first = layout.shard_of(lo);
+                for (i, shard) in layout.shards.iter().enumerate().skip(first) {
+                    if i > first && shard.lower_bound > hi {
+                        break;
+                    }
+                    out.extend(shard.snap.load().range(lo, hi));
+                }
+            }
         }
         out
     }
@@ -399,48 +907,377 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
     /// halves take over the original's key range. Returns `false` when the
     /// shard is out of bounds or currently holds fewer than
     /// `min_keys.max(2)` keys — callers pick the split trigger from a
-    /// lock-free snapshot, so the threshold is re-checked here under the
-    /// exclusive lock: if a concurrent split shifted the vector and `shard`
-    /// now names some small fresh shard, the split is refused instead of
-    /// rebuilding the wrong one.
+    /// lock-free snapshot, so the threshold is re-checked here: if a
+    /// concurrent re-layout shifted the vector and `shard` now names some
+    /// small fresh shard, the split is refused instead of rebuilding the
+    /// wrong one.
     ///
-    /// This is the one operation that takes the *outer* exclusive lock (the
-    /// shard vector changes), so it blocks all other operations for the
-    /// duration of the two bulk loads; the maintenance engine only triggers
-    /// it when one shard has grown far past its peers, where the rebuild
-    /// pays for itself.
+    /// Locked path: takes the *outer* exclusive lock, blocking all other
+    /// operations for the duration of the two bulk loads. RCU path: only
+    /// the target shard's writers block; lookups everywhere — including on
+    /// the shard being split — keep flowing, and observe either the
+    /// pre-split shard or the published halves.
     pub fn split_shard(&self, shard: usize, min_keys: usize) -> bool {
-        let mut shards = self.shards.write();
-        let Some(target) = shards.get(shard) else {
-            return false;
-        };
-        let records = target.index.read().range(0, Key::MAX);
-        if records.len() < min_keys.max(2) {
-            return false;
+        match &self.repr {
+            Repr::Locked(r) => {
+                let mut shards = r.shards.write();
+                let Some(target) = shards.get(shard) else {
+                    return false;
+                };
+                let records = target.index.read().range(0, Key::MAX);
+                if records.len() < min_keys.max(2) {
+                    return false;
+                }
+                let mid = records.len() / 2;
+                let lower_bound = target.lower_bound;
+                let upper_bound = records[mid].key;
+                let lower = I::bulk_load(&records[..mid]);
+                let upper = I::bulk_load(&records[mid..]);
+                shards[shard] = LockedShard::new(lower_bound, lower);
+                shards.insert(shard + 1, LockedShard::new(upper_bound, upper));
+                true
+            }
+            Repr::Rcu(r) => {
+                let _layout_guard = r.layout_writer.lock();
+                let layout = r.layout.load();
+                let Some(target) = layout.shards.get(shard) else {
+                    return false;
+                };
+                // Block this shard's writers for the duration; readers are
+                // unaffected and keep resolving against the old snapshot
+                // until the new layout is published.
+                let _writes = target.writer.lock();
+                let records = target.snap.load().records();
+                if records.len() < min_keys.max(2) {
+                    return false;
+                }
+                let mid = records.len() / 2;
+                let lower_bound = target.lower_bound;
+                let upper_bound = records[mid].key;
+                let lower = Arc::new(RcuShard::new(lower_bound, I::bulk_load(&records[..mid])));
+                let upper = Arc::new(RcuShard::new(upper_bound, I::bulk_load(&records[mid..])));
+                let mut shards = layout.shards.clone();
+                shards[shard] = lower;
+                shards.insert(shard + 1, upper);
+                // Retire before publishing: a writer that routed here via
+                // the old layout and is queued on the writer mutex must
+                // re-route once it acquires it.
+                target.retired.store(true, Ordering::SeqCst);
+                r.layout.publish(Arc::new(Layout { shards }));
+                true
+            }
         }
-        let mid = records.len() / 2;
-        let lower_bound = target.lower_bound;
-        let upper_bound = records[mid].key;
-        let lower = I::bulk_load(&records[..mid]);
-        let upper = I::bulk_load(&records[mid..]);
-        shards[shard] = Shard::new(lower_bound, lower);
-        shards.insert(shard + 1, Shard::new(upper_bound, upper));
-        true
+    }
+
+    /// Merges shard `shard` with its right neighbour `shard + 1` — the
+    /// inverse of [`ShardedIndex::split_shard`], for key ranges that
+    /// drained (churn workloads, retired tenants): the combined records are
+    /// bulk-loaded fresh and take over both key ranges. Returns `false`
+    /// when `shard + 1` is out of bounds or the combined shard would exceed
+    /// `max_keys` (the engine passes its split threshold here so a merge
+    /// can never immediately re-trigger a split).
+    pub fn merge_shards(&self, shard: usize, max_keys: usize) -> bool {
+        match &self.repr {
+            Repr::Locked(r) => {
+                let mut shards = r.shards.write();
+                if shard + 1 >= shards.len() {
+                    return false;
+                }
+                let mut records = shards[shard].index.read().range(0, Key::MAX);
+                records.extend(shards[shard + 1].index.read().range(0, Key::MAX));
+                if records.len() > max_keys {
+                    return false;
+                }
+                let lower_bound = shards[shard].lower_bound;
+                shards[shard] = LockedShard::new(lower_bound, I::bulk_load(&records));
+                shards.remove(shard + 1);
+                true
+            }
+            Repr::Rcu(r) => {
+                let _layout_guard = r.layout_writer.lock();
+                let layout = r.layout.load();
+                if shard + 1 >= layout.shards.len() {
+                    return false;
+                }
+                let left = &layout.shards[shard];
+                let right = &layout.shards[shard + 1];
+                // Lock order (left before right) is globally consistent
+                // because only split/merge hold two shard writers and both
+                // serialize on `layout_writer`.
+                let _left_writes = left.writer.lock();
+                let _right_writes = right.writer.lock();
+                let mut records = left.snap.load().records();
+                records.extend(right.snap.load().records());
+                if records.len() > max_keys {
+                    return false;
+                }
+                let merged = Arc::new(RcuShard::new(left.lower_bound, I::bulk_load(&records)));
+                let mut shards = layout.shards.clone();
+                shards[shard] = merged;
+                shards.remove(shard + 1);
+                left.retired.store(true, Ordering::SeqCst);
+                right.retired.store(true, Ordering::SeqCst);
+                r.layout.publish(Arc::new(Layout { shards }));
+                true
+            }
+        }
     }
 }
 
-impl<I: LearnedIndex + RemovableIndex> ShardedIndex<I> {
-    /// Removes `key` (exclusive lock on one shard).
+impl<I: SnapshotIndex + RangeIndex + RemovableIndex> ShardedIndex<I> {
+    /// Removes `key` and returns its value when it was present.
+    ///
+    /// Locked path: exclusive lock on one shard. RCU path: publishes a
+    /// tombstone into the owning shard's overlay (folded out at the next
+    /// overlay fold), so readers never observe a half-removed state.
     pub fn remove(&self, key: Key) -> Option<Value> {
-        let shards = self.shards.read();
-        let shard = &shards[shard_of(&shards, key)];
-        let removed = shard.index.write().remove(key);
-        if removed.is_some() {
-            shard
-                .writes_since_maintenance
-                .fetch_add(1, Ordering::Relaxed);
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                let shard = &shards[locked_shard_of(&shards, key)];
+                let removed = shard.index.write().remove(key);
+                if removed.is_some() {
+                    shard.stale.record_write();
+                }
+                removed
+            }
+            Repr::Rcu(r) => self.rcu_write(r, key, None),
         }
-        removed
+    }
+}
+
+impl<I: SnapshotIndex + RangeIndex + CsvIntegrable> ShardedIndex<I> {
+    /// Applies CSV (Algorithm 2) to every shard concurrently, using the
+    /// optimizer's plan → apply lifecycle. Each shard runs the sequential
+    /// per-shard sweep — the shards themselves already saturate the thread
+    /// pool, so nesting the optimizer's own parallelism inside would only
+    /// oversubscribe. Returns the per-shard reports in shard (key) order.
+    ///
+    /// Locked path: per level, the read phase (key collection, smoothing,
+    /// cost condition) runs under a *shared* lock, so concurrent `get`s
+    /// proceed during the expensive smoothing work; the exclusive lock is
+    /// only held while the planned rebuilds are applied. RCU path: the
+    /// whole pass — plan *and* apply — runs against a private successor
+    /// (overlay folded into a clone of the base) and is published with one
+    /// pointer swap, so lookups never wait at all; the shard's point
+    /// writers queue on its writer mutex for the duration.
+    ///
+    /// A full optimisation pass subsumes incremental maintenance, so each
+    /// shard is marked clean and its staleness counters reset, exactly as
+    /// [`ShardedIndex::maintain_shard`] would.
+    pub fn optimize(&self, optimizer: &CsvOptimizer) -> Vec<CsvReport> {
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                shards
+                    .par_iter()
+                    .map(|shard| {
+                        let started = Instant::now();
+                        let mut report = CsvReport::default();
+                        let levels = optimizer.sweep_levels(&*shard.index.read());
+                        if let Some((start_level, stop_level)) = levels {
+                            for level in (stop_level..=start_level).rev() {
+                                // Plan under the shared lock (dropped before
+                                // apply).
+                                let plan = optimizer.plan_level(&*shard.index.read(), level);
+                                plan.apply_into(&mut *shard.index.write(), &mut report);
+                            }
+                        }
+                        locked_finish_maintenance(shard);
+                        report.preprocessing_time = started.elapsed();
+                        report
+                    })
+                    .collect()
+            }
+            Repr::Rcu(r) => {
+                // Exclude splits/merges for the whole pass so every shard
+                // of this layout stays live: a handle retired mid-pass
+                // would silently drop its report and leave the successor
+                // shards un-optimised. Readers are unaffected.
+                let _layout_guard = r.layout_writer.lock();
+                let layout = r.layout.load();
+                layout
+                    .shards
+                    .par_iter()
+                    .map(|shard| {
+                        let started = Instant::now();
+                        let mut report = CsvReport::default();
+                        let _writes = shard.writer.lock();
+                        debug_assert!(!shard.retired.load(Ordering::SeqCst));
+                        let mut next = shard.snap.load().folded_base();
+                        if let Some((start_level, stop_level)) = optimizer.sweep_levels(&next) {
+                            for level in (stop_level..=start_level).rev() {
+                                let plan = optimizer.plan_level(&next, level);
+                                plan.apply_into(&mut next, &mut report);
+                            }
+                        }
+                        rcu_finish_maintenance(shard, next);
+                        report.preprocessing_time = started.elapsed();
+                        report
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Incrementally re-optimises one shard: per sweep level, the *dirty*
+    /// sub-trees (the roots that absorbed writes since the shard was last
+    /// marked clean) are re-planned and the accepted rebuilds applied. The
+    /// shard is then marked clean and its staleness counters reset.
+    ///
+    /// Locked path: plan under the shard's shared lock, apply under its
+    /// short exclusive lock; writes landing between the phases are safe
+    /// (stale layouts are refused). RCU path: plan on the live snapshot,
+    /// apply onto a clone, publish with one swap — the apply phase holds no
+    /// lock readers can observe, and the shard's own writers (who queue on
+    /// the writer mutex) cannot interleave, so no refusal races exist.
+    ///
+    /// Returns the shard's CSV report, or `None` when `shard` is out of
+    /// bounds (a split/merge may have changed the layout since the caller
+    /// chose it).
+    pub fn maintain_shard(&self, shard: usize, optimizer: &CsvOptimizer) -> Option<CsvReport> {
+        self.maintain_shard_budgeted(shard, optimizer, None, None)
+            .map(|progress| progress.report)
+    }
+
+    /// [`ShardedIndex::maintain_shard`] with a latency budget: planning
+    /// starts at `resume_from` (or the sweep's top level) and stops after
+    /// the first level that finishes past `deadline`, returning where to
+    /// resume. At least one level is processed per call, so a sequence of
+    /// budgeted calls always terminates. The shard is only marked clean —
+    /// and its staleness counters only reset — once the sweep completes,
+    /// so an interrupted shard stays at the head of the staleness ranking.
+    pub fn maintain_shard_budgeted(
+        &self,
+        shard: usize,
+        optimizer: &CsvOptimizer,
+        resume_from: Option<usize>,
+        deadline: Option<Instant>,
+    ) -> Option<MaintainProgress> {
+        let started = Instant::now();
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                let shard = shards.get(shard)?;
+                let mut report = CsvReport::default();
+                let mut resume_level = None;
+                // Bind the sweep bounds first: an inline `if let` scrutinee
+                // would keep the read guard alive across the loop body,
+                // self-deadlocking against the apply phase's write lock.
+                let levels = optimizer.sweep_levels(&*shard.index.read());
+                if let Some((start_level, stop_level)) = levels {
+                    let from = resume_from
+                        .unwrap_or(start_level)
+                        .clamp(stop_level, start_level);
+                    for level in (stop_level..=from).rev() {
+                        let plan = optimizer.plan_dirty_level(&*shard.index.read(), level);
+                        plan.apply_into(&mut *shard.index.write(), &mut report);
+                        if level > stop_level && deadline.is_some_and(|d| Instant::now() >= d) {
+                            resume_level = Some(level - 1);
+                            break;
+                        }
+                    }
+                }
+                if resume_level.is_none() {
+                    locked_finish_maintenance(shard);
+                }
+                report.preprocessing_time = started.elapsed();
+                Some(MaintainProgress {
+                    report,
+                    resume_level,
+                })
+            }
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                let shard = layout.shards.get(shard)?;
+                let _writes = shard.writer.lock();
+                if shard.retired.load(Ordering::SeqCst) {
+                    return None;
+                }
+                let mut report = CsvReport::default();
+                let mut resume_level = None;
+                let mut next = shard.snap.load().folded_base();
+                if let Some((start_level, stop_level)) = optimizer.sweep_levels(&next) {
+                    let from = resume_from
+                        .unwrap_or(start_level)
+                        .clamp(stop_level, start_level);
+                    for level in (stop_level..=from).rev() {
+                        let plan = optimizer.plan_dirty_level(&next, level);
+                        plan.apply_into(&mut next, &mut report);
+                        if level > stop_level && deadline.is_some_and(|d| Instant::now() >= d) {
+                            resume_level = Some(level - 1);
+                            break;
+                        }
+                    }
+                }
+                if resume_level.is_none() {
+                    rcu_finish_maintenance(shard, next);
+                } else {
+                    // Publish the partial progress (dirty marks intact, no
+                    // counter reset) so the next tick resumes from it.
+                    shard
+                        .snap
+                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+                }
+                report.preprocessing_time = started.elapsed();
+                Some(MaintainProgress {
+                    report,
+                    resume_level,
+                })
+            }
+        }
+    }
+}
+
+/// Locked-path epilogue: marks a shard clean and resets its staleness
+/// bookkeeping. Only the flag sweep of `csv_mark_clean` runs under the
+/// exclusive lock; the O(n) structure walk that records the level-drift
+/// baseline happens under the shared lock afterwards, so lookups are never
+/// blocked behind it. A write landing between the two sections merely makes
+/// the baseline marginally stale, which the staleness heuristic tolerates
+/// by design.
+fn locked_finish_maintenance<I: LearnedIndex + CsvIntegrable>(shard: &LockedShard<I>) {
+    {
+        let mut guard = shard.index.write();
+        guard.csv_mark_clean();
+        shard.stale.reset_writes();
+    }
+    let mean = shard.index.read().stats().mean_key_level();
+    shard.stale.mark_maintained(mean);
+}
+
+/// RCU-path epilogue: marks the successor clean, publishes it, and resets
+/// the staleness bookkeeping. The structure walk runs on the private
+/// successor before publication — no reader ever waits on it — and the
+/// shard's writer mutex (held by the caller) keeps writes from interleaving
+/// with the counter reset.
+fn rcu_finish_maintenance<I: LearnedIndex + CsvIntegrable>(shard: &RcuShard<I>, mut next: I) {
+    next.csv_mark_clean();
+    let mean = next.stats().mean_key_level();
+    shard
+        .snap
+        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+    shard.stale.reset_writes();
+    shard.stale.mark_maintained(mean);
+}
+
+#[cfg(test)]
+impl<I: LearnedIndex> ShardedIndex<I> {
+    /// Test hook: runs `f` while holding **every** writer-side lock of the
+    /// RCU representation (the layout writer and each shard's writer
+    /// mutex). If a reader-path operation acquired any of them, calling it
+    /// from another thread while `f` runs would deadlock — which is exactly
+    /// what the zero-lock structural test checks cannot happen.
+    fn with_all_writer_locks_held<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.repr {
+            Repr::Locked(_) => panic!("writer-lock hook is for the RCU representation"),
+            Repr::Rcu(r) => {
+                let _layout_guard = r.layout_writer.lock();
+                let layout = r.layout.load();
+                let _shard_guards: Vec<_> = layout.shards.iter().map(|s| s.writer.lock()).collect();
+                f()
+            }
+        }
     }
 }
 
@@ -453,151 +1290,374 @@ mod tests {
     use csv_lipp::LippIndex;
     use std::collections::BTreeMap;
 
+    const BOTH_PATHS: [ReadPath; 2] = [ReadPath::Locked, ReadPath::Rcu];
+
+    fn config(num_shards: usize, read_path: ReadPath) -> ShardingConfig {
+        ShardingConfig::with_shards(num_shards).with_read_path(read_path)
+    }
+
     #[test]
-    fn sharded_lookups_match_the_flat_index() {
+    fn sharded_lookups_match_the_flat_index_on_both_paths() {
         let keys = Dataset::Osm.generate(40_000, 3);
         let records = identity_records(&keys);
         let flat = LippIndex::bulk_load(&records);
-        let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig::default());
-        assert_eq!(sharded.num_shards(), 16);
-        assert_eq!(sharded.len(), flat.len());
-        for &k in keys.iter().step_by(37) {
-            assert_eq!(sharded.get(k), flat.get(k));
+        for path in BOTH_PATHS {
+            let sharded = ShardedIndex::<LippIndex>::bulk_load(
+                &records,
+                ShardingConfig::default().with_read_path(path),
+            );
+            assert_eq!(sharded.read_path(), path);
+            assert_eq!(sharded.num_shards(), 16);
+            assert_eq!(sharded.len(), flat.len());
+            for &k in keys.iter().step_by(37) {
+                assert_eq!(sharded.get(k), flat.get(k));
+            }
+            assert_eq!(sharded.get(keys[0].wrapping_sub(1)), None);
+            assert_eq!(sharded.get(*keys.last().unwrap() + 1), None);
         }
-        assert_eq!(sharded.get(keys[0].wrapping_sub(1)), None);
-        assert_eq!(sharded.get(*keys.last().unwrap() + 1), None);
     }
 
     #[test]
     fn empty_and_tiny_inputs() {
-        let empty = ShardedIndex::<BPlusTree>::bulk_load(&[], ShardingConfig { num_shards: 4 });
-        assert!(empty.is_empty());
-        assert_eq!(empty.get(7), None);
-        assert_eq!(empty.num_shards(), 1);
-        let tiny = ShardedIndex::<BPlusTree>::bulk_load(
-            &identity_records(&[5, 9]),
-            ShardingConfig { num_shards: 64 },
-        );
-        assert_eq!(tiny.len(), 2);
-        assert_eq!(tiny.get(5), Some(5));
-        assert_eq!(tiny.get(9), Some(9));
+        for path in BOTH_PATHS {
+            let empty = ShardedIndex::<BPlusTree>::bulk_load(&[], config(4, path));
+            assert!(empty.is_empty());
+            assert_eq!(empty.get(7), None);
+            assert_eq!(empty.num_shards(), 1);
+            let tiny =
+                ShardedIndex::<BPlusTree>::bulk_load(&identity_records(&[5, 9]), config(64, path));
+            assert_eq!(tiny.len(), 2);
+            assert_eq!(tiny.get(5), Some(5));
+            assert_eq!(tiny.get(9), Some(9));
+        }
     }
 
     #[test]
-    fn mutations_and_ranges_match_an_oracle() {
+    fn mutations_and_ranges_match_an_oracle_on_both_paths() {
         let keys = Dataset::Facebook.generate(20_000, 9);
         let records = identity_records(&keys);
-        let sharded =
-            ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
-        let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
+        for path in BOTH_PATHS {
+            let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config(8, path));
+            let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
 
-        // Inserts and removals route to the right shard.
-        for (i, &k) in keys.iter().enumerate().step_by(3) {
-            if i % 2 == 0 {
-                assert_eq!(sharded.remove(k), oracle.remove(&k));
-            } else {
-                let v = k ^ 0xFFFF;
-                assert_eq!(sharded.insert(k, v), oracle.insert(k, v).is_none());
+            // Inserts and removals route to the right shard.
+            for (i, &k) in keys.iter().enumerate().step_by(3) {
+                if i % 2 == 0 {
+                    assert_eq!(sharded.remove(k), oracle.remove(&k));
+                } else {
+                    let v = k ^ 0xFFFF;
+                    assert_eq!(sharded.insert(k, v), oracle.insert(k, v).is_none());
+                }
+            }
+            assert_eq!(sharded.len(), oracle.len());
+            // Cross-shard range scans.
+            let lo = keys[100];
+            let hi = keys[15_000];
+            let got = sharded.range(lo, hi);
+            let expected: Vec<KeyValue> = oracle
+                .range(lo..=hi)
+                .map(|(&k, &v)| KeyValue::new(k, v))
+                .collect();
+            assert_eq!(got, expected);
+            assert!(sharded.range(10, 5).is_empty());
+        }
+    }
+
+    /// The RCU overlay must fold into the base (clone+replay without
+    /// tombstones, merge-join rebuild with them) without losing or
+    /// resurrecting records, across multiple fold generations.
+    #[test]
+    fn rcu_overlay_folds_preserve_the_oracle() {
+        let keys = Dataset::Genome.generate(5_000, 13);
+        let records = identity_records(&keys);
+        // A tiny overlay so every few writes trigger a fold.
+        let config = ShardingConfig {
+            num_shards: 4,
+            read_path: ReadPath::Rcu,
+            overlay_capacity: 7,
+        };
+        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config);
+        let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
+        let top = *keys.last().unwrap();
+        for i in 0..2_000u64 {
+            match i % 4 {
+                // Fresh inserts (upsert-only folds in this stretch).
+                0 | 1 => {
+                    let k = top + 1 + i;
+                    assert_eq!(sharded.insert(k, i), oracle.insert(k, i).is_none());
+                }
+                // Overwrites.
+                2 => {
+                    let k = keys[(i as usize * 17) % keys.len()];
+                    assert_eq!(sharded.insert(k, i), oracle.insert(k, i).is_none());
+                }
+                // Removals (tombstone folds).
+                _ => {
+                    let k = keys[(i as usize * 31) % keys.len()];
+                    assert_eq!(sharded.remove(k), oracle.remove(&k));
+                }
             }
         }
         assert_eq!(sharded.len(), oracle.len());
-        // Cross-shard range scans.
-        let lo = keys[100];
-        let hi = keys[15_000];
-        let got = sharded.range(lo, hi);
-        let expected: Vec<KeyValue> = oracle
-            .range(lo..=hi)
-            .map(|(&k, &v)| KeyValue::new(k, v))
-            .collect();
-        assert_eq!(got, expected);
-        assert!(sharded.range(10, 5).is_empty());
+        for (&k, &v) in &oracle {
+            assert_eq!(sharded.get(k), Some(v));
+        }
+        let expected: Vec<KeyValue> = oracle.iter().map(|(&k, &v)| KeyValue::new(k, v)).collect();
+        assert_eq!(sharded.range(0, Key::MAX), expected);
     }
 
     #[test]
-    fn stats_aggregate_across_shards() {
+    fn stats_aggregate_across_shards_on_both_paths() {
         let keys = Dataset::Genome.generate(30_000, 5);
         let records = identity_records(&keys);
-        let sharded =
-            ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 8 });
-        let stats = sharded.stats();
-        assert_eq!(stats.num_keys, keys.len());
-        assert_eq!(stats.level_histogram.total(), keys.len());
-        assert!(stats.node_count >= 8);
-        let per_shard = sharded.map_shards(|i| i.len());
-        assert_eq!(per_shard.iter().sum::<usize>(), keys.len());
-        assert_eq!(per_shard.len(), 8);
+        for path in BOTH_PATHS {
+            let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, config(8, path));
+            let stats = sharded.stats();
+            assert_eq!(stats.num_keys, keys.len());
+            assert_eq!(stats.level_histogram.total(), keys.len());
+            assert!(stats.node_count >= 8);
+            let per_shard = sharded.map_shards(|i| i.len());
+            assert_eq!(per_shard.iter().sum::<usize>(), keys.len());
+            assert_eq!(per_shard.len(), 8);
+            assert_eq!(sharded.shard_lens(), per_shard);
+        }
     }
 
     #[test]
-    fn concurrent_readers_and_writers_agree_with_an_oracle() {
+    fn concurrent_readers_and_writers_agree_with_an_oracle_on_both_paths() {
         let keys = Dataset::Covid.generate(30_000, 11);
         let records = identity_records(&keys);
-        let sharded =
-            ShardedIndex::<BPlusTree>::bulk_load(&records, ShardingConfig { num_shards: 8 });
+        for path in BOTH_PATHS {
+            let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config(8, path));
 
-        // Writers insert disjoint fresh keys; readers hammer existing keys.
-        let fresh_base = *keys.last().unwrap() + 1;
-        crossbeam::thread::scope(|scope| {
+            // Writers insert disjoint fresh keys; readers hammer existing
+            // keys.
+            let fresh_base = *keys.last().unwrap() + 1;
+            crossbeam::thread::scope(|scope| {
+                for writer in 0..4u64 {
+                    let sharded = &sharded;
+                    scope.spawn(move |_| {
+                        for i in 0..2_000u64 {
+                            let k = fresh_base + writer * 1_000_000 + i;
+                            assert!(sharded.insert(k, k));
+                        }
+                    });
+                }
+                for reader in 0..4usize {
+                    let sharded = &sharded;
+                    let keys = &keys;
+                    scope.spawn(move |_| {
+                        for &k in keys.iter().skip(reader).step_by(7) {
+                            assert_eq!(sharded.get(k), Some(k));
+                        }
+                    });
+                }
+            })
+            .expect("threads must not panic");
+
+            assert_eq!(sharded.len(), keys.len() + 4 * 2_000);
             for writer in 0..4u64 {
-                let sharded = &sharded;
-                scope.spawn(move |_| {
-                    for i in 0..2_000u64 {
-                        let k = fresh_base + writer * 1_000_000 + i;
-                        assert!(sharded.insert(k, k));
+                for i in (0..2_000u64).step_by(191) {
+                    let k = fresh_base + writer * 1_000_000 + i;
+                    assert_eq!(sharded.get(k), Some(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_shards_mut_applies_to_every_shard_on_both_paths() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let keys = Dataset::Osm.generate(10_000, 21);
+        for path in BOTH_PATHS {
+            let sharded =
+                ShardedIndex::<LippIndex>::bulk_load(&identity_records(&keys), config(4, path));
+            let touched = AtomicUsize::new(0);
+            sharded.with_shards_mut(|shard| {
+                touched.fetch_add(1, Ordering::Relaxed);
+                assert!(shard.len() > 0);
+            });
+            assert_eq!(touched.load(Ordering::Relaxed), 4);
+            let mut touched_seq = 0usize;
+            sharded.with_shards_mut_seq(|shard| {
+                touched_seq += 1;
+                assert!(shard.len() > 0);
+            });
+            assert_eq!(touched_seq, 4);
+        }
+    }
+
+    /// RCU mutations performed through `with_shards_mut` must be visible to
+    /// readers afterwards (i.e. the mutated clone really is published).
+    #[test]
+    fn rcu_with_shards_mut_publishes_the_mutation() {
+        let keys = Dataset::Osm.generate(4_000, 23);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config(4, ReadPath::Rcu));
+        let probe = *keys.last().unwrap() + 99;
+        sharded.with_shards_mut(|shard| {
+            shard.insert(probe, 4242);
+        });
+        // Every shard inserted the probe; the owning shard serves it.
+        assert_eq!(sharded.get(probe), Some(4242));
+    }
+
+    /// The acceptance-criterion test: on the RCU path, `get` (and `range`,
+    /// `len`, `stats`, `read_view`) performs **zero lock acquisitions**.
+    /// One thread grabs every writer-side lock the representation owns —
+    /// the layout writer mutex and all four shard writer mutexes — and sits
+    /// on them; reader-path calls from another thread must all complete. If
+    /// any reader-path operation acquired any of those locks it would
+    /// deadlock here and trip the watchdog.
+    #[test]
+    fn rcu_reads_complete_while_every_writer_lock_is_held() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Duration;
+
+        let keys = Dataset::Osm.generate(20_000, 7);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, config(4, ReadPath::Rcu));
+
+        let locks_held = AtomicBool::new(false);
+        let reads_done = AtomicBool::new(false);
+        let watchdog_fired = AtomicBool::new(false);
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                sharded.with_all_writer_locks_held(|| {
+                    locks_held.store(true, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    while !reads_done.load(Ordering::SeqCst) {
+                        if Instant::now() > deadline {
+                            watchdog_fired.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
                     }
                 });
+            });
+            while !locks_held.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
             }
-            for reader in 0..4usize {
+            // Every reader-path operation, exercised while all writer-side
+            // locks are held by the other thread.
+            for &k in keys.iter().step_by(499) {
+                assert_eq!(sharded.get(k), Some(k));
+            }
+            assert_eq!(sharded.len(), keys.len());
+            assert_eq!(sharded.stats().num_keys, keys.len());
+            assert_eq!(
+                sharded.range(keys[10], keys[500]).len(),
+                491,
+                "range scan must proceed lock-free"
+            );
+            let view = sharded.read_view().expect("RCU path has snapshots");
+            for &k in keys.iter().step_by(997) {
+                assert_eq!(view.get(k), Some(k));
+            }
+            reads_done.store(true, Ordering::SeqCst);
+        })
+        .expect("threads must not panic");
+        assert!(
+            !watchdog_fired.load(Ordering::SeqCst),
+            "reader-path calls did not complete while writer locks were held"
+        );
+    }
+
+    /// Snapshot isolation under re-layout: readers racing a split/merge
+    /// observe either the pre- or the post-publication layout — every key
+    /// answers correctly at every moment — and writers that raced the
+    /// retirement re-route instead of losing their write.
+    #[test]
+    fn rcu_reads_and_writes_survive_concurrent_splits_and_merges() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let keys = Dataset::Osm.generate(30_000, 19);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config(4, ReadPath::Rcu));
+        let stop = AtomicBool::new(false);
+        let fresh_base = *keys.last().unwrap() + 1;
+        crossbeam::thread::scope(|scope| {
+            // Re-layout churn: split a shard, merge it back, repeatedly.
+            scope.spawn(|_| {
+                for round in 0..30 {
+                    let shard = round % sharded.num_shards().max(1);
+                    if sharded.split_shard(shard, 2) {
+                        assert!(sharded.merge_shards(shard, usize::MAX));
+                    }
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+            // A writer inserting fresh keys spread over the key space.
+            scope.spawn(|_| {
+                let mut i = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let k = fresh_base + i;
+                    assert!(sharded.insert(k, k), "fresh key must be new");
+                    i += 1;
+                }
+            });
+            // Readers: every original key must answer at every moment.
+            for reader in 0..2usize {
                 let sharded = &sharded;
                 let keys = &keys;
+                let stop = &stop;
                 scope.spawn(move |_| {
-                    for &k in keys.iter().skip(reader).step_by(7) {
-                        assert_eq!(sharded.get(k), Some(k));
+                    while !stop.load(Ordering::SeqCst) {
+                        for &k in keys.iter().skip(reader * 11).step_by(701) {
+                            assert_eq!(sharded.get(k), Some(k));
+                        }
                     }
                 });
             }
         })
         .expect("threads must not panic");
-
-        assert_eq!(sharded.len(), keys.len() + 4 * 2_000);
-        for writer in 0..4u64 {
-            for i in (0..2_000u64).step_by(191) {
-                let k = fresh_base + writer * 1_000_000 + i;
-                assert_eq!(sharded.get(k), Some(k));
-            }
+        // Quiesced: the full contents are intact.
+        for &k in keys.iter().step_by(97) {
+            assert_eq!(sharded.get(k), Some(k));
+        }
+        let inserted = sharded.len() - keys.len();
+        for i in 0..inserted as u64 {
+            assert_eq!(sharded.get(fresh_base + i), Some(fresh_base + i));
         }
     }
 
+    /// Split-then-merge must round-trip: the merged shard holds exactly the
+    /// records of the original, lookups and ranges are unchanged, and the
+    /// rebuilt structure equals a fresh bulk load of the same records.
     #[test]
-    fn with_shards_mut_applies_to_every_shard() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let keys = Dataset::Osm.generate(10_000, 21);
-        let sharded = ShardedIndex::<LippIndex>::bulk_load(
-            &identity_records(&keys),
-            ShardingConfig { num_shards: 4 },
-        );
-        let touched = AtomicUsize::new(0);
-        sharded.with_shards_mut(|shard| {
-            touched.fetch_add(1, Ordering::Relaxed);
-            assert!(shard.len() > 0);
-        });
-        assert_eq!(touched.load(Ordering::Relaxed), 4);
-        let mut touched_seq = 0usize;
-        sharded.with_shards_mut_seq(|shard| {
-            touched_seq += 1;
-            assert!(shard.len() > 0);
-        });
-        assert_eq!(touched_seq, 4);
+    fn split_then_merge_round_trips_on_both_paths() {
+        let keys = Dataset::Genome.generate(12_000, 29);
+        let records = identity_records(&keys);
+        for path in BOTH_PATHS {
+            let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, config(3, path));
+            let before_range = sharded.range(0, Key::MAX);
+            let shards_before = sharded.num_shards();
+
+            assert!(sharded.split_shard(1, 2), "split must succeed");
+            assert_eq!(sharded.num_shards(), shards_before + 1);
+            assert_eq!(sharded.range(0, Key::MAX), before_range);
+
+            assert!(sharded.merge_shards(1, usize::MAX), "merge must succeed");
+            assert_eq!(sharded.num_shards(), shards_before);
+            assert_eq!(sharded.range(0, Key::MAX), before_range);
+            for &k in keys.iter().step_by(53) {
+                assert_eq!(sharded.get(k), Some(k));
+            }
+            // A merge refuses to exceed its size bound, and refuses at the
+            // vector's end.
+            assert!(!sharded.merge_shards(0, 1));
+            assert!(!sharded.merge_shards(sharded.num_shards() - 1, usize::MAX));
+        }
     }
 
     /// Pins the short-lock contract: while a shard is in its *plan* phase
-    /// (key collection / smoothing under the shared lock), concurrent `get`s
-    /// on the same shard must proceed — only the apply phase may block them.
+    /// (key collection / smoothing), concurrent `get`s on the same shard
+    /// must proceed — on the locked path because planning holds only the
+    /// shared lock, on the RCU path because planning holds no
+    /// reader-visible lock at all.
     ///
     /// A gated LIPP wrapper blocks inside the first `csv_collect_keys_into`
-    /// call (i.e. mid-plan, while the optimizer holds whatever lock it
-    /// holds) until the main thread has completed a lookup on the same —
-    /// only — shard. If `optimize` held the write lock during planning the
+    /// call (i.e. mid-plan) until the main thread has completed a lookup on
+    /// the same — only — shard. If the plan phase excluded readers the
     /// lookup could not finish, the gate would hit its escape timeout, and
     /// the assertion on the timeout flag fails.
     #[test]
@@ -616,6 +1676,7 @@ mod tests {
         static READER_DONE: AtomicBool = AtomicBool::new(false);
         static GATE_TIMED_OUT: AtomicBool = AtomicBool::new(false);
 
+        #[derive(Clone)]
         struct GatedLipp(LippIndex);
 
         impl LearnedIndex for GatedLipp {
@@ -644,6 +1705,14 @@ mod tests {
                 self.0.level_of_key(key)
             }
         }
+
+        impl RangeIndex for GatedLipp {
+            fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+                self.0.range(lo, hi)
+            }
+        }
+
+        impl SnapshotIndex for GatedLipp {}
 
         impl CsvIntegrable for GatedLipp {
             fn csv_max_level(&self) -> usize {
@@ -680,41 +1749,48 @@ mod tests {
 
         let keys = Dataset::Osm.generate(20_000, 7);
         let records = identity_records(&keys);
-        // One shard: a write lock held during planning would block *every*
-        // lookup, so a successful mid-plan lookup proves the shared lock.
-        let sharded =
-            ShardedIndex::<GatedLipp>::bulk_load(&records, ShardingConfig { num_shards: 1 });
-        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
+        for path in BOTH_PATHS {
+            GATE_ARMED.store(false, Ordering::SeqCst);
+            COLLECT_STARTED.store(false, Ordering::SeqCst);
+            READER_DONE.store(false, Ordering::SeqCst);
+            GATE_TIMED_OUT.store(false, Ordering::SeqCst);
 
-        GATE_ARMED.store(true, Ordering::SeqCst);
-        crossbeam::thread::scope(|scope| {
-            let handle = scope.spawn(|_| sharded.optimize(&optimizer));
-            let deadline = Instant::now() + Duration::from_secs(10);
-            while !COLLECT_STARTED.load(Ordering::SeqCst) {
-                assert!(
-                    Instant::now() < deadline,
-                    "optimizer never reached key collection"
-                );
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            // The optimizer is parked inside its plan phase; lookups on the
-            // only shard must still be served.
-            for &k in keys.iter().step_by(4_999) {
-                assert_eq!(sharded.get(k), Some(k), "get blocked during the plan phase");
-            }
-            READER_DONE.store(true, Ordering::SeqCst);
-            let reports = handle.join().expect("optimizer thread must not panic");
-            assert_eq!(reports.len(), 1);
-            assert!(reports[0].subtrees_considered() > 0);
-        })
-        .expect("threads must not panic");
+            // One shard: excluding readers during planning would block
+            // *every* lookup, so a successful mid-plan lookup proves the
+            // plan phase is reader-transparent.
+            let sharded = ShardedIndex::<GatedLipp>::bulk_load(&records, config(1, path));
+            let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
 
-        assert!(
-            !GATE_TIMED_OUT.load(Ordering::SeqCst),
-            "plan-phase gate timed out: lookups were blocked while planning"
-        );
-        for &k in keys.iter().step_by(997) {
-            assert_eq!(sharded.get(k), Some(k));
+            GATE_ARMED.store(true, Ordering::SeqCst);
+            crossbeam::thread::scope(|scope| {
+                let handle = scope.spawn(|_| sharded.optimize(&optimizer));
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while !COLLECT_STARTED.load(Ordering::SeqCst) {
+                    assert!(
+                        Instant::now() < deadline,
+                        "optimizer never reached key collection"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // The optimizer is parked inside its plan phase; lookups on
+                // the only shard must still be served.
+                for &k in keys.iter().step_by(4_999) {
+                    assert_eq!(sharded.get(k), Some(k), "get blocked during the plan phase");
+                }
+                READER_DONE.store(true, Ordering::SeqCst);
+                let reports = handle.join().expect("optimizer thread must not panic");
+                assert_eq!(reports.len(), 1);
+                assert!(reports[0].subtrees_considered() > 0);
+            })
+            .expect("threads must not panic");
+
+            assert!(
+                !GATE_TIMED_OUT.load(Ordering::SeqCst),
+                "plan-phase gate timed out on {path:?}: lookups were blocked while planning"
+            );
+            for &k in keys.iter().step_by(997) {
+                assert_eq!(sharded.get(k), Some(k));
+            }
         }
     }
 
@@ -723,27 +1799,72 @@ mod tests {
         use csv_core::CsvConfig;
         let keys = Dataset::Genome.generate(60_000, 13);
         let records = identity_records(&keys);
-        let config = ShardingConfig { num_shards: 8 };
         let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
 
-        let parallel = ShardedIndex::<LippIndex>::bulk_load(&records, config);
-        let reports = parallel.optimize(&optimizer);
-        assert_eq!(reports.len(), 8);
+        for path in BOTH_PATHS {
+            let parallel = ShardedIndex::<LippIndex>::bulk_load(&records, config(8, path));
+            let reports = parallel.optimize(&optimizer);
+            assert_eq!(reports.len(), 8);
 
-        let sequential = ShardedIndex::<LippIndex>::bulk_load(&records, config);
-        let mut seq_reports = Vec::new();
-        sequential.with_shards_mut_seq(|shard| {
-            seq_reports.push(optimizer.optimize(shard));
-        });
+            let sequential = ShardedIndex::<LippIndex>::bulk_load(&records, config(8, path));
+            let mut seq_reports = Vec::new();
+            sequential.with_shards_mut_seq(|shard| {
+                seq_reports.push(optimizer.optimize(shard));
+            });
 
-        for (par, seq) in reports.iter().zip(&seq_reports) {
-            assert_eq!(par.outcomes, seq.outcomes);
-            assert_eq!(par.subtrees_rebuilt, seq.subtrees_rebuilt);
+            for (par, seq) in reports.iter().zip(&seq_reports) {
+                assert_eq!(par.outcomes, seq.outcomes);
+                assert_eq!(par.subtrees_rebuilt, seq.subtrees_rebuilt);
+            }
+            assert_eq!(parallel.stats(), sequential.stats());
+            for &k in keys.iter().step_by(17) {
+                assert_eq!(parallel.get(k), Some(k));
+                assert_eq!(parallel.get(k), sequential.get(k));
+            }
         }
-        assert_eq!(parallel.stats(), sequential.stats());
-        for &k in keys.iter().step_by(17) {
-            assert_eq!(parallel.get(k), Some(k));
-            assert_eq!(parallel.get(k), sequential.get(k));
+    }
+
+    /// Locked and RCU paths must agree with each other end to end: same
+    /// lookups, same optimisation outcomes, same structure statistics.
+    #[test]
+    fn locked_and_rcu_paths_agree() {
+        use csv_core::CsvConfig;
+        let keys = Dataset::Osm.generate(30_000, 31);
+        let records = identity_records(&keys);
+        let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
+
+        let locked = ShardedIndex::<LippIndex>::bulk_load(&records, config(8, ReadPath::Locked));
+        let rcu = ShardedIndex::<LippIndex>::bulk_load(&records, config(8, ReadPath::Rcu));
+        let locked_reports = locked.optimize(&optimizer);
+        let rcu_reports = rcu.optimize(&optimizer);
+        for (l, r) in locked_reports.iter().zip(&rcu_reports) {
+            assert_eq!(l.outcomes, r.outcomes);
         }
+        assert_eq!(locked.stats(), rcu.stats());
+        for &k in keys.iter().step_by(23) {
+            assert_eq!(locked.get(k), rcu.get(k));
+        }
+    }
+
+    #[test]
+    fn read_view_pins_a_consistent_snapshot() {
+        let keys = Dataset::Genome.generate(8_000, 37);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config(4, ReadPath::Rcu));
+        let view = sharded.read_view().expect("RCU path has snapshots");
+        assert_eq!(view.len(), keys.len());
+        assert!(!view.is_empty());
+        // Writes after the view was taken are invisible to it but visible
+        // to fresh lookups — the documented staleness contract.
+        let probe = *keys.last().unwrap() + 1;
+        sharded.insert(probe, 7);
+        assert_eq!(view.get(probe), None);
+        assert_eq!(sharded.get(probe), Some(7));
+        for &k in keys.iter().step_by(211) {
+            assert_eq!(view.get(k), Some(k));
+        }
+        // The locked path has no snapshots to pin.
+        let locked = ShardedIndex::<BPlusTree>::bulk_load(&records, config(4, ReadPath::Locked));
+        assert!(locked.read_view().is_none());
     }
 }

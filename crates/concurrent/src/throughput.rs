@@ -44,7 +44,9 @@ impl ThroughputReport {
 }
 
 /// Splits `queries` across `threads` workers, runs them concurrently against
-/// the sharded index and returns the aggregate report.
+/// the sharded index and returns the aggregate report. Every lookup goes
+/// through [`ShardedIndex::get`] — the per-operation path a server's mixed
+/// traffic takes.
 ///
 /// # Panics
 /// Panics when `threads == 0`.
@@ -53,21 +55,69 @@ pub fn run_read_throughput<I: LearnedIndex + Sync + Send>(
     queries: &[Key],
     threads: usize,
 ) -> ThroughputReport {
+    run_workers(queries, threads, |worker| {
+        let mut hits = 0usize;
+        for &q in worker {
+            if index.get(q).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    })
+}
+
+/// The read-mostly fast path: each worker pins a [`ShardedIndex::read_view`]
+/// snapshot once and serves its whole query chunk from it — on the RCU read
+/// path that drops even the per-lookup RCU counter traffic, leaving plain
+/// memory reads. Falls back to [`ShardedIndex::get`] per lookup on the
+/// locked path, which has no snapshots to pin.
+///
+/// The pinned view is a snapshot: writes published after a worker started
+/// its chunk are invisible to that worker. That is the right trade for
+/// read-dominated batches (analytics scans, benchmark replays), not for
+/// read-your-writes traffic.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn run_read_throughput_pinned<I: LearnedIndex + Sync + Send>(
+    index: &ShardedIndex<I>,
+    queries: &[Key],
+    threads: usize,
+) -> ThroughputReport {
+    run_workers(queries, threads, |worker| {
+        let mut hits = 0usize;
+        match index.read_view() {
+            Some(view) => {
+                for &q in worker {
+                    if view.get(q).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            None => {
+                for &q in worker {
+                    if index.get(q).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        hits
+    })
+}
+
+fn run_workers(
+    queries: &[Key],
+    threads: usize,
+    work: impl Fn(&[Key]) -> usize + Sync,
+) -> ThroughputReport {
     assert!(threads > 0, "need at least one worker thread");
     let chunk = queries.len().div_ceil(threads).max(1);
     let started = Instant::now();
     let hits: usize = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for worker in queries.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
-                let mut hits = 0usize;
-                for &q in worker {
-                    if index.get(q).is_some() {
-                        hits += 1;
-                    }
-                }
-                hits
-            }));
+            handles.push(scope.spawn(|_| work(worker)));
         }
         handles
             .into_iter()
@@ -123,6 +173,24 @@ mod tests {
         assert_eq!(one.hits, queries.len());
         assert_eq!(eight.hits, one.hits);
         assert_eq!(eight.total_lookups, one.total_lookups);
+    }
+
+    #[test]
+    fn pinned_and_per_lookup_paths_agree_on_both_read_paths() {
+        use crate::sharded::ReadPath;
+        let keys = Dataset::Osm.generate(12_000, 5);
+        let mut queries: Vec<Key> = keys.iter().copied().step_by(2).collect();
+        queries.extend((0..100u64).map(|i| *keys.last().unwrap() + 1 + i));
+        for path in [ReadPath::Locked, ReadPath::Rcu] {
+            let index = ShardedIndex::<BPlusTree>::bulk_load(
+                &identity_records(&keys),
+                ShardingConfig::default().with_read_path(path),
+            );
+            let per_lookup = run_read_throughput(&index, &queries, 3);
+            let pinned = run_read_throughput_pinned(&index, &queries, 3);
+            assert_eq!(per_lookup.hits, pinned.hits, "{path:?}");
+            assert_eq!(per_lookup.total_lookups, pinned.total_lookups);
+        }
     }
 
     #[test]

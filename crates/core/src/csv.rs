@@ -440,6 +440,11 @@ pub struct CsvReport {
     /// Closed-form candidate refits spent by Algorithm 1 across all
     /// sub-trees (see [`crate::single::SmoothingCounters::gap_refits`]).
     pub gap_refits: usize,
+    /// Full Algorithm-1 work counters aggregated over every considered
+    /// sub-tree (refits, stale revalidations, exact-fallback rescans, heap
+    /// pushes) — `smoothing.gap_refits` always equals
+    /// [`CsvReport::gap_refits`], which is kept for compatibility.
+    pub smoothing: SmoothingCounters,
     /// Wall-clock pre-processing time of the whole CSV run (planning plus
     /// applying).
     pub preprocessing_time: Duration,
@@ -728,6 +733,10 @@ fn apply_planned<I: CsvIntegrable + ?Sized>(
         }
     };
     report.gap_refits += planned.counters.gap_refits;
+    report.smoothing.gap_refits += planned.counters.gap_refits;
+    report.smoothing.stale_revalidations += planned.counters.stale_revalidations;
+    report.smoothing.fallback_rescans += planned.counters.fallback_rescans;
+    report.smoothing.heap_pushes += planned.counters.heap_pushes;
     report.outcomes.push(NodeOutcome {
         subtree: planned.subtree,
         num_keys: planned.num_keys,

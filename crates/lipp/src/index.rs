@@ -3,7 +3,9 @@
 
 use crate::node::{LippNodeView, Node, Slot};
 use csv_common::metrics::CostCounters;
-use csv_common::traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
+use csv_common::traits::{
+    IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
+};
 use csv_common::{Key, KeyValue, LinearModel, Value};
 
 /// Construction/adjustment parameters.
@@ -452,6 +454,13 @@ impl RangeIndex for LippIndex {
         out
     }
 }
+
+/// Snapshot audit: `derive(Clone)` deep-copies the `nodes` arena (every
+/// node owns its model and slot `Vec`s), the free list and the scalar
+/// metadata. The clone shares nothing with the original — no `Rc`, no
+/// interior mutability — so mutating a clone never perturbs concurrent
+/// readers of the source, and the cost is O(slots) straight `memcpy`s.
+impl SnapshotIndex for LippIndex {}
 
 impl RemovableIndex for LippIndex {
     fn remove(&mut self, key: Key) -> Option<Value> {

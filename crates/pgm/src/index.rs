@@ -2,7 +2,9 @@
 
 use csv_common::metrics::CostCounters;
 use csv_common::pla::{locate_segment, Segment, SegmentationBuilder};
-use csv_common::traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
+use csv_common::traits::{
+    IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
+};
 use csv_common::{Key, KeyValue, Value};
 
 /// Construction parameters of the PGM index.
@@ -346,6 +348,12 @@ impl RangeIndex for PgmIndex {
         out
     }
 }
+
+/// Snapshot audit: `derive(Clone)` deep-copies the static key/value
+/// arrays, the recursive segment levels, the delta buffer and the
+/// tombstone list — all plain `Vec`s, so the clone is an independent
+/// O(keys) copy.
+impl SnapshotIndex for PgmIndex {}
 
 impl RemovableIndex for PgmIndex {
     fn remove(&mut self, key: Key) -> Option<Value> {

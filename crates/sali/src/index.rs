@@ -3,7 +3,9 @@
 
 use csv_common::metrics::CostCounters;
 use csv_common::pla::{locate_segment, Segment, SegmentationBuilder};
-use csv_common::traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
+use csv_common::traits::{
+    IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
+};
 use csv_common::{binary_search_bounded, Key, KeyValue, Value};
 use csv_core::cost::SubtreeCostStats;
 use csv_core::csv::{CsvIntegrable, SubtreeRef};
@@ -338,6 +340,13 @@ impl RangeIndex for SaliIndex {
         self.lipp.range(lo, hi)
     }
 }
+
+/// Snapshot audit: `derive(Clone)` deep-copies the LIPP base (itself a
+/// [`SnapshotIndex`]) and the flat-region side structures (each region owns
+/// its PLA segments and key/value arrays). Access counters live inside the
+/// cloned arenas as plain integers — not atomics or `Cell`s — so clone and
+/// original evolve independently.
+impl SnapshotIndex for SaliIndex {}
 
 impl RemovableIndex for SaliIndex {
     fn remove(&mut self, key: Key) -> Option<Value> {

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release --example concurrent_reads`
 
-use csv_concurrent::{run_read_throughput, ShardedIndex, ShardingConfig};
+use csv_concurrent::{
+    run_read_throughput, run_read_throughput_pinned, ShardedIndex, ShardingConfig,
+};
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{Dataset, ReadOnlyWorkload, Zipfian};
 use csv_lipp::LippIndex;
@@ -21,9 +23,9 @@ fn main() {
     let keys = Dataset::Genome.generate(KEYS, 5);
     let records = records_from_keys(&keys);
 
-    let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
-    let enhanced =
-        ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: 16 });
+    // The default config serves lookups through lock-free RCU snapshots.
+    let plain = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig::with_shards(16));
+    let enhanced = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig::with_shards(16));
     // All 16 shards are optimised concurrently on the rayon pool.
     enhanced.optimize(&CsvOptimizer::new(CsvConfig::for_lipp(0.1)));
     println!(
@@ -40,20 +42,28 @@ fn main() {
     for (label, queries) in [("uniform", &uniform), ("zipfian 0.99", &skewed)] {
         println!("\n== {label} queries ==");
         println!(
-            "{:>8} {:>18} {:>18} {:>10}",
-            "threads", "plain (Mops/s)", "CSV (Mops/s)", "hit rate"
+            "{:>8} {:>18} {:>18} {:>18} {:>10}",
+            "threads", "plain (Mops/s)", "CSV (Mops/s)", "CSV pinned (Mops/s)", "hit rate"
         );
         for threads in [1usize, 2, 4, 8] {
             let base = run_read_throughput(&plain, queries, threads);
             let opt = run_read_throughput(&enhanced, queries, threads);
+            // The read-mostly fast path: each worker pins the shard
+            // snapshots once and serves its whole chunk from them.
+            let pinned = run_read_throughput_pinned(&enhanced, queries, threads);
             println!(
-                "{:>8} {:>18.2} {:>18.2} {:>9.1}%",
+                "{:>8} {:>18.2} {:>18.2} {:>18.2} {:>9.1}%",
                 threads,
                 base.lookups_per_second() / 1e6,
                 opt.lookups_per_second() / 1e6,
+                pinned.lookups_per_second() / 1e6,
                 opt.hit_rate() * 100.0
             );
             assert_eq!(base.hits, opt.hits, "CSV must not change lookup answers");
+            assert_eq!(
+                pinned.hits, opt.hits,
+                "pinning must not change lookup answers"
+            );
         }
     }
 }

@@ -12,7 +12,7 @@ use csv_alex::{AlexConfig, AlexIndex};
 use csv_common::traits::LearnedIndex;
 use csv_common::{Key, KeyValue};
 use csv_concurrent::{
-    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, ShardedIndex, ShardingConfig,
+    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig,
 };
 use csv_core::cost::CostModel;
 use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer};
@@ -109,21 +109,26 @@ proptest! {
     #[test]
     fn sharded_maintenance_preserves_lookups_and_ranges(
         keys in btree_set(0u64..1_000_000, 256..1_000),
-        ops in pvec((any::<u64>(), 0u8..5), 40..160),
+        ops in pvec((any::<u64>(), 0u8..6), 40..160),
         shards in 1usize..6,
+        rcu in any::<bool>(),
     ) {
         let keys: Vec<Key> = keys.into_iter().collect();
         let records = records_from_keys(&keys);
+        let read_path = if rcu { ReadPath::Rcu } else { ReadPath::Locked };
         let sharded = ShardedIndex::<LippIndex>::bulk_load(
             &records,
-            ShardingConfig { num_shards: shards },
+            ShardingConfig::with_shards(shards).with_read_path(read_path),
         );
         let mut oracle: BTreeMap<Key, u64> = keys.iter().map(|&k| (k, k)).collect();
+        // An aggressive merge factor so the drained-shard trigger fires
+        // inside the interleaving, not only in dedicated tests.
         let engine = MaintenanceEngine::new(
             CsvOptimizer::new(CsvConfig::for_lipp(0.1)),
             MaintenanceConfig {
                 min_split_keys: 64,
                 split_factor: 1.5,
+                merge_factor: 0.6,
                 ..MaintenanceConfig::default()
             },
         );
@@ -144,9 +149,17 @@ proptest! {
                         oracle.range(k..=hi).map(|(&k, &v)| KeyValue::new(k, v)).collect();
                     prop_assert_eq!(got, expected);
                 }
+                4 => {
+                    // An explicit re-layout (split, then sometimes the
+                    // inverse merge) in the middle of the write stream.
+                    let shard = (raw as usize) % sharded.num_shards().max(1);
+                    if sharded.split_shard(shard, 2) && raw % 2 == 0 {
+                        prop_assert!(sharded.merge_shards(shard, usize::MAX));
+                    }
+                }
                 _ => {
-                    // A maintenance tick (split or incremental re-smoothing)
-                    // in the middle of the write stream.
+                    // A maintenance tick (split, merge or incremental
+                    // re-smoothing) in the middle of the write stream.
                     engine.run_once(&sharded);
                 }
             }
@@ -173,39 +186,47 @@ fn engine_until_idle_equals_sharded_optimize() {
     use csv_datasets::Dataset;
     let keys = Dataset::Osm.generate(60_000, 17);
     let records = records_from_keys(&keys);
-    let config = ShardingConfig { num_shards: 4 };
     let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
 
-    let reference = ShardedIndex::<LippIndex>::bulk_load(&records, config);
-    let reference_reports = reference.optimize(&optimizer);
+    for read_path in [ReadPath::Locked, ReadPath::Rcu] {
+        let config = ShardingConfig::with_shards(4).with_read_path(read_path);
+        let reference = ShardedIndex::<LippIndex>::bulk_load(&records, config);
+        let reference_reports = reference.optimize(&optimizer);
 
-    let maintained = ShardedIndex::<LippIndex>::bulk_load(&records, config);
-    let engine = MaintenanceEngine::new(optimizer.clone(), MaintenanceConfig::default());
-    let actions = engine.run_until_idle(&maintained, 100);
-    assert!(actions.last().unwrap().is_idle());
+        let maintained = ShardedIndex::<LippIndex>::bulk_load(&records, config);
+        let engine = MaintenanceEngine::new(optimizer.clone(), MaintenanceConfig::default());
+        let actions = engine.run_until_idle(&maintained, 100);
+        assert!(actions.last().unwrap().is_idle());
 
-    // Per-shard reports match the full optimize, shard for shard (the
-    // engine visits stalest-first, so collect by shard position).
-    let mut maintained_reports: Vec<Option<csv_core::CsvReport>> =
-        vec![None; reference_reports.len()];
-    for action in &actions {
-        if let MaintenanceAction::Maintained { shard, report } = action {
-            assert!(
-                maintained_reports[*shard].replace(report.clone()).is_none(),
-                "a quiesced shard must be maintained exactly once"
-            );
+        // Per-shard reports match the full optimize, shard for shard (the
+        // engine visits stalest-first, so collect by shard position).
+        let mut maintained_reports: Vec<Option<csv_core::CsvReport>> =
+            vec![None; reference_reports.len()];
+        for action in &actions {
+            if let MaintenanceAction::Maintained {
+                shard,
+                report,
+                completed,
+            } = action
+            {
+                assert!(completed, "no budget is configured");
+                assert!(
+                    maintained_reports[*shard].replace(report.clone()).is_none(),
+                    "a quiesced shard must be maintained exactly once"
+                );
+            }
         }
-    }
-    for (shard, reference_report) in reference_reports.iter().enumerate() {
-        let report = maintained_reports[shard]
-            .as_ref()
-            .unwrap_or_else(|| panic!("shard {shard} was never maintained"));
-        assert_eq!(report.outcomes, reference_report.outcomes, "shard {shard}");
-    }
+        for (shard, reference_report) in reference_reports.iter().enumerate() {
+            let report = maintained_reports[shard]
+                .as_ref()
+                .unwrap_or_else(|| panic!("shard {shard} was never maintained"));
+            assert_eq!(report.outcomes, reference_report.outcomes, "shard {shard}");
+        }
 
-    assert_eq!(maintained.stats(), reference.stats());
-    for &k in keys.iter().step_by(23) {
-        assert_eq!(maintained.get(k), reference.get(k));
-        assert_eq!(maintained.get(k), Some(k));
+        assert_eq!(maintained.stats(), reference.stats());
+        for &k in keys.iter().step_by(23) {
+            assert_eq!(maintained.get(k), reference.get(k));
+            assert_eq!(maintained.get(k), Some(k));
+        }
     }
 }

@@ -6,7 +6,7 @@ use csv_common::latency::LatencyHistogram;
 use csv_common::quadratic::QuadraticModel;
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::{Key, LinearModel};
-use csv_concurrent::{ShardedIndex, ShardingConfig};
+use csv_concurrent::{ReadPath, ShardedIndex, ShardingConfig};
 use csv_core::poisoning::{poison_segment, PoisoningConfig};
 use csv_core::{
     smooth_segment, smooth_segment_quadratic, GreedyMode, QuadraticSmoothingConfig, SmoothingConfig,
@@ -136,7 +136,10 @@ proptest! {
         let keys: Vec<Key> = keys.into_iter().collect();
         let records = records_from_keys(&keys);
         let flat = LippIndex::bulk_load(&records);
-        let sharded = ShardedIndex::<LippIndex>::bulk_load(&records, ShardingConfig { num_shards: shards });
+        let sharded = ShardedIndex::<LippIndex>::bulk_load(
+            &records,
+            ShardingConfig::with_shards(shards),
+        );
         prop_assert_eq!(sharded.len(), flat.len());
         for &k in keys.iter().step_by(7) {
             prop_assert_eq!(sharded.get(k), flat.get(k));
@@ -144,5 +147,14 @@ proptest! {
         let lo = keys[keys.len() / 4];
         let hi = keys[3 * keys.len() / 4];
         prop_assert_eq!(sharded.range(lo, hi), flat.range(lo, hi));
+        // The locked read path must agree with the (default) RCU one.
+        let locked = ShardedIndex::<LippIndex>::bulk_load(
+            &records,
+            ShardingConfig::with_shards(shards).with_read_path(ReadPath::Locked),
+        );
+        prop_assert_eq!(locked.len(), sharded.len());
+        for &k in keys.iter().step_by(11) {
+            prop_assert_eq!(locked.get(k), sharded.get(k));
+        }
     }
 }
