@@ -6,7 +6,7 @@ use csv_alex::AlexIndex;
 use csv_btree::BPlusTree;
 use csv_common::key::identity_records;
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
-use csv_concurrent::{ReadPath, ShardedIndex, ShardingConfig};
+use csv_concurrent::{OverlayRepr, ReadPath, ShardedIndex, ShardingConfig};
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{
     Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity,
@@ -107,31 +107,121 @@ fn bench_mixed_workload(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
-        // The sharded wrapper on both read paths: what a single-threaded
-        // mixed stream pays for the locked layout vs. the RCU copy-on-write
-        // one (the RCU path buys its lock-free reads with per-write overlay
-        // copies — this measures that trade without any concurrency).
-        for (path_name, read_path) in [("locked", ReadPath::Locked), ("rcu", ReadPath::Rcu)] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("lipp_sharded_{path_name}"), mix_name),
-                &workload,
-                |b, wl| {
-                    b.iter_batched(
-                        || {
-                            ShardedIndex::<LippIndex>::bulk_load(
-                                &records,
-                                ShardingConfig::with_shards(16).with_read_path(read_path),
-                            )
-                        },
-                        |index| black_box(replay_sharded(&index, wl)),
-                        criterion::BatchSize::LargeInput,
-                    );
-                },
-            );
+        // The sharded wrapper across its concurrency A/B knobs: what a
+        // single-threaded mixed stream pays for the locked layout vs. the
+        // RCU copy-on-write one, and — within RCU — for the flat-vec
+        // overlay (every write clones up to `overlay_capacity` entries)
+        // vs. the persistent structurally shared one (every write copies
+        // one chunk path). The flat row keeps its PR-4 capacity (512) and
+        // the persistent rows use the raised default (4096) plus a
+        // 512-capacity row that isolates the representation change from
+        // the capacity change.
+        let sharded_configs = [
+            (
+                "lipp_sharded_locked",
+                ShardingConfig::with_shards(16).with_read_path(ReadPath::Locked),
+            ),
+            (
+                "lipp_sharded_rcu_vec",
+                ShardingConfig::with_shards(16)
+                    .with_read_path(ReadPath::Rcu)
+                    .with_overlay(OverlayRepr::Vec),
+            ),
+            (
+                "lipp_sharded_rcu_pmap512",
+                ShardingConfig::with_shards(16)
+                    .with_read_path(ReadPath::Rcu)
+                    .with_overlay(OverlayRepr::Persistent)
+                    .with_overlay_capacity(512),
+            ),
+            (
+                "lipp_sharded_rcu_pmap",
+                ShardingConfig::with_shards(16)
+                    .with_read_path(ReadPath::Rcu)
+                    .with_overlay(OverlayRepr::Persistent),
+            ),
+        ];
+        for (row_name, config) in sharded_configs {
+            group.bench_with_input(BenchmarkId::new(row_name, mix_name), &workload, |b, wl| {
+                b.iter_batched(
+                    || ShardedIndex::<LippIndex>::bulk_load(&records, config),
+                    |index| black_box(replay_sharded(&index, wl)),
+                    criterion::BatchSize::LargeInput,
+                );
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_mixed_workload);
+/// The isolated tentpole measurement: RCU point-write cost at *full*
+/// overlay occupancy, where the representations actually diverge. The
+/// mixed rows above rarely fill an overlay (a 20k-op YCSB-B run spreads
+/// ~60 writes per shard), so their per-write copy term is dominated by
+/// snapshot-publication overhead. Here a single shard's overlay is
+/// pre-filled to `capacity` entries and every measured write overwrites an
+/// overlay slot without folding: the flat vec clones all `capacity`
+/// entries per write, the persistent map copies one chunk path.
+fn bench_overlay_write_cost(c: &mut Criterion) {
+    const CAPACITY: usize = 4096;
+    let keys = Dataset::Osm.generate(KEYS, 5);
+    let records = identity_records(&keys);
+    let fresh_base = *keys.last().unwrap() + 1;
+    let mut group = c.benchmark_group("overlay_write_cost");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(criterion::Throughput::Elements(CAPACITY as u64));
+
+    for (repr_name, overlay) in [
+        ("vec", OverlayRepr::Vec),
+        ("persistent", OverlayRepr::Persistent),
+    ] {
+        let index = ShardedIndex::<LippIndex>::bulk_load(
+            &records,
+            ShardingConfig::with_shards(1)
+                .with_read_path(ReadPath::Rcu)
+                .with_overlay(overlay)
+                .with_overlay_capacity(CAPACITY),
+        );
+        // Fill the overlay to capacity; the measured overwrites below keep
+        // it exactly there (an overwrite never grows the overlay, so the
+        // fold never triggers).
+        for i in 0..CAPACITY as u64 {
+            index.insert(fresh_base + i, i);
+        }
+        let mut bump = 0u64;
+        group.bench_function(repr_name, |b| {
+            b.iter(|| {
+                bump += 1;
+                for i in 0..CAPACITY as u64 {
+                    black_box(index.insert(fresh_base + i, bump));
+                }
+            });
+        });
+    }
+    // The locked path's cost for the same op stream, as the baseline the
+    // RCU write path is measured against.
+    {
+        let index = ShardedIndex::<LippIndex>::bulk_load(
+            &records,
+            ShardingConfig::with_shards(1).with_read_path(ReadPath::Locked),
+        );
+        for i in 0..CAPACITY as u64 {
+            index.insert(fresh_base + i, i);
+        }
+        let mut bump = 0u64;
+        group.bench_function("locked", |b| {
+            b.iter(|| {
+                bump += 1;
+                for i in 0..CAPACITY as u64 {
+                    black_box(index.insert(fresh_base + i, bump));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed_workload, bench_overlay_write_cost);
 criterion_main!(benches);

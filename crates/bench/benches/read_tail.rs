@@ -19,7 +19,7 @@
 use csv_common::key::identity_records;
 use csv_common::LatencyHistogram;
 use csv_concurrent::{
-    MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig,
+    MaintenanceConfig, MaintenanceEngine, OverlayRepr, ReadPath, ShardedIndex, ShardingConfig,
 };
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{Dataset, ReadOnlyWorkload};
@@ -31,7 +31,7 @@ const KEYS: usize = 200_000;
 const LOOKUPS: usize = 200_000;
 
 struct Row {
-    path: ReadPath,
+    label: &'static str,
     maintained: bool,
     lookups: LatencyHistogram,
     passes: usize,
@@ -43,14 +43,12 @@ struct Row {
 fn run_one(
     records: &[csv_common::KeyValue],
     queries: &[u64],
-    path: ReadPath,
+    label: &'static str,
+    config: ShardingConfig,
     maintain: bool,
 ) -> Row {
     let optimizer = CsvOptimizer::new(CsvConfig::for_lipp(0.1));
-    let index = Arc::new(ShardedIndex::<LippIndex>::bulk_load(
-        records,
-        ShardingConfig::with_shards(16).with_read_path(path),
-    ));
+    let index = Arc::new(ShardedIndex::<LippIndex>::bulk_load(records, config));
     index.optimize(&optimizer);
 
     let engine = MaintenanceEngine::new(optimizer, MaintenanceConfig::default());
@@ -83,7 +81,7 @@ fn run_one(
 
     let stats = handle.map(|h| h.stop()).unwrap_or_default();
     Row {
-        path,
+        label,
         maintained: maintain,
         lookups,
         passes: stats.maintain_passes,
@@ -102,15 +100,33 @@ fn main() {
         "read_tail: {KEYS} OSM keys, LIPP x16 shards, alpha 0.1, {LOOKUPS} lookups vs a continuous insert stream"
     );
     println!(
-        "{:<8} {:<12} {:>9} {:>9} {:>9} {:>22}",
+        "{:<10} {:<12} {:>9} {:>9} {:>9} {:>22}",
         "path", "maintenance", "p50(ns)", "p99(ns)", "p99.9(ns)", "engine (passes/sp/me)"
     );
-    for path in [ReadPath::Locked, ReadPath::Rcu] {
+    // The locked baseline plus the RCU path under both overlay
+    // representations: the overlay is a write-side knob, but a bigger
+    // persistent overlay also shifts the read tail (deeper overlay probes,
+    // far rarer folds).
+    let base = ShardingConfig::with_shards(16);
+    let configs = [
+        ("locked", base.with_read_path(ReadPath::Locked)),
+        (
+            "rcu/vec",
+            base.with_read_path(ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Vec),
+        ),
+        (
+            "rcu/pmap",
+            base.with_read_path(ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Persistent),
+        ),
+    ];
+    for (label, config) in configs {
         for maintain in [false, true] {
-            let row = run_one(&records, &queries, path, maintain);
+            let row = run_one(&records, &queries, label, config, maintain);
             println!(
-                "{:<8} {:<12} {:>9} {:>9} {:>9} {:>14}/{}/{} ({} shards)",
-                format!("{:?}", row.path).to_lowercase(),
+                "{:<10} {:<12} {:>9} {:>9} {:>9} {:>14}/{}/{} ({} shards)",
+                row.label,
                 if row.maintained { "background" } else { "off" },
                 row.lookups.p50_ns(),
                 row.lookups.p99_ns(),

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing for the `csv-index` tool (no external
 //! dependencies beyond the workspace crates).
 
-use csv_concurrent::ReadPath;
+use csv_concurrent::{OverlayRepr, ReadPath};
 use csv_core::GreedyMode;
 use csv_datasets::Dataset;
 use std::fmt;
@@ -147,6 +147,10 @@ pub struct CliArgs {
     /// serves lookups with: lock-free RCU snapshots (default) or the
     /// classic per-shard reader–writer locks, for A/B comparisons.
     pub read_path: ReadPath,
+    /// RCU path only: which representation shard snapshots buffer pending
+    /// writes in — the structurally shared persistent map (default) or the
+    /// flat vector baseline, for write-cost A/B comparisons.
+    pub overlay: OverlayRepr,
 }
 
 impl Default for CliArgs {
@@ -166,6 +170,7 @@ impl Default for CliArgs {
             dry_run: false,
             maintain: false,
             read_path: ReadPath::default(),
+            overlay: OverlayRepr::default(),
         }
     }
 }
@@ -178,6 +183,7 @@ impl CliArgs {
          \u{20}         [--greedy lazy|rescan] [--drift-tolerance D]\n\
          \u{20}         [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn]\n\
          \u{20}         [--ops N] [--seed S] [--dry-run] [--maintain] [--read-path locked|rcu]\n\
+         \u{20}         [--overlay vec|persistent]\n\
          \n\
          Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
          smoothing (alpha > 0) using T worker threads (0 = one per core) and the chosen\n\
@@ -191,7 +197,8 @@ impl CliArgs {
          background maintenance ticks, then without — and the lookup-latency comparison\n\
          (p50/p99) is reported alongside the usual output; --read-path picks the sharded\n\
          index's concurrency scheme (lock-free rcu snapshots, the default, or the locked\n\
-         baseline) for A/B comparisons."
+         baseline) and --overlay the rcu snapshots' pending-write buffer (the structurally\n\
+         shared persistent map, the default, or the flat vec baseline) for A/B comparisons."
     }
 
     /// Parses `--flag value` style arguments (anything after the program
@@ -258,6 +265,17 @@ impl CliArgs {
                         other => {
                             return Err(CliError::new(format!(
                                 "unknown read path '{other}' (expected locked|rcu)"
+                            )))
+                        }
+                    }
+                }
+                "--overlay" => {
+                    out.overlay = match value.to_ascii_lowercase().as_str() {
+                        "vec" => OverlayRepr::Vec,
+                        "persistent" | "pmap" => OverlayRepr::Persistent,
+                        other => {
+                            return Err(CliError::new(format!(
+                                "unknown overlay representation '{other}' (expected vec|persistent)"
                             )))
                         }
                     }
@@ -461,6 +479,23 @@ mod tests {
             .unwrap_err()
             .message
             .contains("locked|rcu"));
+    }
+
+    #[test]
+    fn overlay_parses_and_validates() {
+        assert_eq!(parse(&[]).unwrap().overlay, OverlayRepr::Persistent);
+        assert_eq!(
+            parse(&["--overlay", "vec"]).unwrap().overlay,
+            OverlayRepr::Vec
+        );
+        assert_eq!(
+            parse(&["--overlay", "PERSISTENT"]).unwrap().overlay,
+            OverlayRepr::Persistent
+        );
+        assert!(parse(&["--overlay", "btree"])
+            .unwrap_err()
+            .message
+            .contains("vec|persistent"));
     }
 
     #[test]

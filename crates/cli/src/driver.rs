@@ -9,7 +9,7 @@ use csv_common::traits::SnapshotIndex;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::Key;
 use csv_concurrent::{
-    MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig,
+    MaintenanceConfig, MaintenanceEngine, OverlayRepr, ReadPath, ShardedIndex, ShardingConfig,
 };
 use csv_core::cost::CostModel;
 use csv_core::{CsvConfig, CsvConfigBuilder, CsvIntegrable, CsvOptimizer, CsvReport};
@@ -59,6 +59,9 @@ pub struct RunSummary {
 pub struct MaintainComparison {
     /// The concurrency scheme the sharded index served lookups with.
     pub read_path: ReadPath,
+    /// The overlay representation RCU shard snapshots buffered pending
+    /// writes in (ignored on the locked path, which has no overlays).
+    pub overlay: OverlayRepr,
     /// Point-lookup latencies with background maintenance running.
     pub with_maintenance: LatencyHistogram,
     /// Point-lookup latencies without any maintenance.
@@ -76,9 +79,17 @@ pub struct MaintainComparison {
 impl MaintainComparison {
     /// One line comparing the two lookup-latency distributions.
     pub fn summary_line(&self) -> String {
+        // The overlay knob only exists on the RCU path; naming it for a
+        // locked run would misreport how writes were buffered.
+        let scheme = match self.read_path {
+            ReadPath::Locked => format!("{:?} read path", self.read_path),
+            ReadPath::Rcu => format!(
+                "{:?} read path ({:?} overlay)",
+                self.read_path, self.overlay
+            ),
+        };
         format!(
-            "{:?} read path; {} passes, {} splits, {} merges, {} shards; lookups with maintenance p50={}ns p99={}ns, without p50={}ns p99={}ns",
-            self.read_path,
+            "{scheme}; {} passes, {} splits, {} merges, {} shards; lookups with maintenance p50={}ns p99={}ns, without p50={}ns p99={}ns",
             self.maintenance_passes,
             self.shard_splits,
             self.shard_merges,
@@ -334,7 +345,9 @@ where
     let replay_once = |maintain: bool| -> MaintainedReplay {
         let sharded = Arc::new(ShardedIndex::<I>::bulk_load(
             &records,
-            ShardingConfig::default().with_read_path(args.read_path),
+            ShardingConfig::default()
+                .with_read_path(args.read_path)
+                .with_overlay(args.overlay),
         ));
         let stats_before = sharded.stats();
         // Both runs start from the smoothed layout the paper's one-shot
@@ -393,6 +406,7 @@ where
         plan_json: None,
         maintain: Some(MaintainComparison {
             read_path: args.read_path,
+            overlay: args.overlay,
             with_maintenance: maintained.lookups,
             without_maintenance: unmaintained.lookups,
             maintenance_passes: maintained.passes,
@@ -603,10 +617,15 @@ mod tests {
 
     #[test]
     fn maintain_mode_reports_both_latency_distributions() {
-        for read_path in [ReadPath::Rcu, ReadPath::Locked] {
+        for (read_path, overlay) in [
+            (ReadPath::Rcu, OverlayRepr::Persistent),
+            (ReadPath::Rcu, OverlayRepr::Vec),
+            (ReadPath::Locked, OverlayRepr::Persistent),
+        ] {
             let args = CliArgs {
                 maintain: true,
                 read_path,
+                overlay,
                 ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.1)
             };
             let summary = run(&args).unwrap();
@@ -615,6 +634,7 @@ mod tests {
                 .as_ref()
                 .expect("--maintain must produce a comparison");
             assert_eq!(maintain.read_path, read_path);
+            assert_eq!(maintain.overlay, overlay);
             // Lookups are a strict subset of the replayed operations, and
             // both runs replay the same workload.
             assert!(maintain.with_maintenance.count() > 0);

@@ -13,7 +13,12 @@
 //!   acquisitions*, and writers/maintenance build copy-on-write successors
 //!   published with a single pointer swap, so readers never stall behind
 //!   maintenance's apply phase, splits, or merges. Read-mostly batches can
-//!   pin a [`ReadView`] and drop even the RCU counter traffic.
+//!   pin a [`ReadView`] and drop even the RCU counter traffic. Pending
+//!   point writes buffer in a per-snapshot overlay whose representation is
+//!   its own A/B knob ([`OverlayRepr`]): a flat sorted `Vec` baseline, or
+//!   (default) the structurally shared persistent map [`pmap::PMap`],
+//!   whose path-copying updates keep the per-write copy cost logarithmic
+//!   in the buffered state.
 //! * **Locked**: the classic per-shard [`parking_lot::RwLock`] layout, kept
 //!   as the A/B baseline the benchmarks compare against.
 //!
@@ -37,6 +42,7 @@
 //! [`LearnedIndex`]: csv_common::traits::LearnedIndex
 
 pub mod maintenance;
+pub mod pmap;
 pub mod rcu;
 pub mod sharded;
 pub mod throughput;
@@ -44,8 +50,9 @@ pub mod throughput;
 pub use maintenance::{
     MaintenanceAction, MaintenanceConfig, MaintenanceEngine, MaintenanceHandle, MaintenanceStats,
 };
+pub use pmap::PMap;
 pub use rcu::RcuCell;
 pub use sharded::{
-    MaintainProgress, ReadPath, ReadView, ShardStaleness, ShardedIndex, ShardingConfig,
+    MaintainProgress, OverlayRepr, ReadPath, ReadView, ShardStaleness, ShardedIndex, ShardingConfig,
 };
 pub use throughput::{run_read_throughput, run_read_throughput_pinned, ThroughputReport};

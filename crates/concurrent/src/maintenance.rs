@@ -473,7 +473,7 @@ impl Drop for MaintenanceHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sharded::{ReadPath, ShardingConfig};
+    use crate::sharded::{OverlayRepr, ReadPath, ShardingConfig};
     use csv_common::key::identity_records;
     use csv_core::{CsvConfig, CsvOptimizer};
     use csv_datasets::Dataset;
@@ -534,35 +534,54 @@ mod tests {
     #[test]
     fn writes_re_stale_only_the_written_shard() {
         let keys = Dataset::Genome.generate(20_000, 9);
+        // Every path × overlay combination (the locked path ignores the
+        // overlay knob; running it twice keeps the loop uniform): the
+        // staleness the engine ranks by must not depend on how pending
+        // writes are buffered, including across fold generations (the
+        // tiny capacity folds the 500-write burst dozens of times).
         for path in BOTH_PATHS {
-            let index =
-                ShardedIndex::<LippIndex>::bulk_load(&identity_records(&keys), config(4, path));
-            let engine = engine();
-            engine.run_until_idle(&index, 100);
-
-            // Hammer one key region with fresh inserts.
-            let base = keys[keys.len() / 2];
-            for i in 1..=500u64 {
-                index.insert(base + i * 3 + 1, i);
+            for overlay in [OverlayRepr::Vec, OverlayRepr::Persistent] {
+                writes_re_stale_only_the_written_shard_on(&keys, path, overlay);
             }
-            let staleness = index.staleness();
-            let hot: Vec<_> = staleness
-                .iter()
-                .filter(|s| s.writes_since_maintenance > 0)
-                .collect();
-            assert!(!hot.is_empty(), "the insert burst must register somewhere");
-            let hottest = hot
-                .iter()
-                .max_by_key(|s| s.writes_since_maintenance)
-                .unwrap()
-                .shard;
-
-            match engine.run_once(&index) {
-                MaintenanceAction::Maintained { shard, .. } => assert_eq!(shard, hottest),
-                other => panic!("expected a maintenance pass, got {other:?}"),
-            }
-            assert_eq!(index.staleness()[hottest].writes_since_maintenance, 0);
         }
+    }
+
+    fn writes_re_stale_only_the_written_shard_on(
+        keys: &[csv_common::Key],
+        path: ReadPath,
+        overlay: OverlayRepr,
+    ) {
+        let index = ShardedIndex::<LippIndex>::bulk_load(
+            &identity_records(keys),
+            config(4, path)
+                .with_overlay(overlay)
+                .with_overlay_capacity(16),
+        );
+        let engine = engine();
+        engine.run_until_idle(&index, 100);
+
+        // Hammer one key region with fresh inserts.
+        let base = keys[keys.len() / 2];
+        for i in 1..=500u64 {
+            index.insert(base + i * 3 + 1, i);
+        }
+        let staleness = index.staleness();
+        let hot: Vec<_> = staleness
+            .iter()
+            .filter(|s| s.writes_since_maintenance > 0)
+            .collect();
+        assert!(!hot.is_empty(), "the insert burst must register somewhere");
+        let hottest = hot
+            .iter()
+            .max_by_key(|s| s.writes_since_maintenance)
+            .unwrap()
+            .shard;
+
+        match engine.run_once(&index) {
+            MaintenanceAction::Maintained { shard, .. } => assert_eq!(shard, hottest),
+            other => panic!("expected a maintenance pass, got {other:?}"),
+        }
+        assert_eq!(index.staleness()[hottest].writes_since_maintenance, 0);
     }
 
     #[test]

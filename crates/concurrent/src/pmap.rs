@@ -1,0 +1,618 @@
+//! A persistent (structurally shared) sorted map built from small
+//! `Arc`-shared chunks.
+//!
+//! [`PMap`] is the overlay store behind the RCU shard snapshots
+//! ([`crate::sharded::ShardSnapshot`]): every point update returns a *new*
+//! map that shares all untouched chunks with its predecessor, so publishing
+//! a successor snapshot costs **O(log n + chunk)** clones instead of the
+//! O(n) full-overlay copy the flat `Vec` representation pays. That is the
+//! same structural trick SALI-style concurrent learned indexes use to keep
+//! per-write copy cost sublinear in buffered state.
+//!
+//! The shape is a tiny B+-tree: leaves are sorted `Vec<(K, V)>` chunks of
+//! at most `MAX_CHUNK` entries, inner nodes fan out over at most
+//! `MAX_FANOUT` children, and every node sits behind an `Arc`. An insert
+//! path-copies the root-to-leaf spine (one chunk clone plus one pointer-vec
+//! clone per inner level) and leaves every sibling shared. Reads allocate
+//! nothing: [`PMap::get`] walks the spine, and [`PMap::iter`] /
+//! [`PMap::range`] stream entries through a small explicit stack.
+//!
+//! The map is deliberately minimal — upsert, remove, lookup, ordered
+//! iteration and range slicing — because snapshots never mutate in place:
+//! bulk transformations (the overlay *fold*) rebuild from scratch anyway.
+
+use std::sync::Arc;
+
+/// Maximum entries per leaf chunk. An update clones exactly one chunk, so
+/// this bounds the per-write copy cost; lookups binary-search within it.
+const MAX_CHUNK: usize = 32;
+
+/// Maximum children per inner node. An update clones one pointer vector
+/// per level, so this (with [`MAX_CHUNK`]) bounds the spine-copy cost.
+const MAX_FANOUT: usize = 16;
+
+/// One node of the chunk tree. `Clone` is an `Arc` bump — that is the
+/// structural sharing the whole module exists for.
+enum Node<K, V> {
+    /// A sorted run of entries.
+    Leaf(Arc<Vec<(K, V)>>),
+    /// A routing node over `MAX_FANOUT` or fewer children.
+    Inner(Arc<Inner<K, V>>),
+}
+
+impl<K, V> Clone for Node<K, V> {
+    fn clone(&self) -> Self {
+        match self {
+            Self::Leaf(chunk) => Self::Leaf(Arc::clone(chunk)),
+            Self::Inner(inner) => Self::Inner(Arc::clone(inner)),
+        }
+    }
+}
+
+/// An inner routing node: `mins[i]` is the smallest key stored anywhere in
+/// `children[i]`, so routing is one `partition_point` over `mins`.
+struct Inner<K, V> {
+    mins: Vec<K>,
+    children: Vec<Node<K, V>>,
+}
+
+/// The outcome of an insert below some node: the node was replaced, or it
+/// split and both halves (plus the right half's min key) replace it.
+enum Inserted<K, V> {
+    One(Node<K, V>),
+    Split(Node<K, V>, K, Node<K, V>),
+}
+
+/// The outcome of a removal below some node: the node was replaced, or it
+/// drained empty and disappears from its parent.
+enum Removed<K, V> {
+    One(Node<K, V>),
+    Gone,
+}
+
+/// A persistent sorted map: cheap to clone (one `Arc` bump), cheap to
+/// update (path copy), ordered to iterate. See the module docs for the
+/// design and [`crate::sharded`] for its role in the RCU write path.
+pub struct PMap<K, V> {
+    root: Node<K, V>,
+    len: usize,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            root: self.root.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> PMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            root: Node::Leaf(Arc::new(Vec::new())),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PMap<K, V> {
+    /// Looks up `key`, allocating nothing.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(chunk) => {
+                    return match chunk.binary_search_by(|(k, _)| k.cmp(key)) {
+                        Ok(i) => Some(&chunk[i].1),
+                        Err(_) => None,
+                    }
+                }
+                Node::Inner(inner) => node = &inner.children[route(&inner.mins, key)],
+            }
+        }
+    }
+
+    /// Returns a successor map with `key` bound to `value` plus the key's
+    /// previous value. The successor shares every chunk the update did not
+    /// touch with `self` — the per-call copy cost is one leaf chunk plus
+    /// one pointer vector per tree level.
+    pub fn insert(&self, key: K, value: V) -> (Self, Option<V>) {
+        let (outcome, previous) = insert_into(&self.root, key, value);
+        let root = match outcome {
+            Inserted::One(node) => node,
+            Inserted::Split(left, right_min, right) => {
+                let left_min = min_key(&left).expect("a split half is never empty").clone();
+                Node::Inner(Arc::new(Inner {
+                    mins: vec![left_min, right_min],
+                    children: vec![left, right],
+                }))
+            }
+        };
+        let len = self.len + usize::from(previous.is_none());
+        (Self { root, len }, previous)
+    }
+
+    /// Returns a successor map without `key` plus the removed value (the
+    /// map is returned unchanged — structurally shared wholesale — when the
+    /// key was absent). Leaves that drain empty are unlinked; partially
+    /// drained chunks are left underfull rather than rebalanced, which
+    /// keeps removal a pure path copy.
+    pub fn remove(&self, key: &K) -> (Self, Option<V>) {
+        let (outcome, previous) = remove_from(&self.root, key);
+        if previous.is_none() {
+            return (self.clone(), None);
+        }
+        let mut root = match outcome {
+            Removed::One(node) => node,
+            Removed::Gone => Node::Leaf(Arc::new(Vec::new())),
+        };
+        // Collapse single-child root chains so the depth tracks the live
+        // entry count, not the historical maximum.
+        while let Node::Inner(inner) = &root {
+            if inner.children.len() != 1 {
+                break;
+            }
+            root = inner.children[0].clone();
+        }
+        (
+            Self {
+                root,
+                len: self.len - 1,
+            },
+            previous,
+        )
+    }
+
+    /// Iterates every entry in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut iter = Iter {
+            stack: Vec::new(),
+            leaf: &[],
+            pos: 0,
+            end: None,
+        };
+        iter.descend_leftmost(&self.root);
+        iter
+    }
+
+    /// Iterates the entries with keys in `[lo, hi]` in ascending order,
+    /// seeking directly to `lo`'s chunk (no scan of the preceding ones).
+    pub fn range(&self, lo: &K, hi: &K) -> Iter<'_, K, V> {
+        let mut iter = Iter {
+            stack: Vec::new(),
+            leaf: &[],
+            pos: 0,
+            end: Some(hi.clone()),
+        };
+        if lo <= hi {
+            iter.seek(&self.root, lo);
+        }
+        iter
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, V: Clone + std::fmt::Debug> std::fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// Index of the child of `mins` whose subtree owns `key`: the last child
+/// whose min is `<= key` (the first child also owns every key below its
+/// min, exactly like shard routing).
+fn route<K: Ord>(mins: &[K], key: &K) -> usize {
+    mins.partition_point(|m| m <= key).saturating_sub(1)
+}
+
+/// Smallest key stored under `node` (`None` only for an empty leaf, which
+/// exists only as the root of an empty map).
+fn min_key<K, V>(node: &Node<K, V>) -> Option<&K> {
+    match node {
+        Node::Leaf(chunk) => chunk.first().map(|(k, _)| k),
+        Node::Inner(inner) => inner.mins.first(),
+    }
+}
+
+fn insert_into<K: Ord + Clone, V: Clone>(
+    node: &Node<K, V>,
+    key: K,
+    value: V,
+) -> (Inserted<K, V>, Option<V>) {
+    match node {
+        Node::Leaf(chunk) => {
+            let mut entries = (**chunk).clone();
+            let previous = match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => Some(std::mem::replace(&mut entries[i], (key, value)).1),
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    None
+                }
+            };
+            let outcome = if entries.len() > MAX_CHUNK {
+                let right = entries.split_off(entries.len() / 2);
+                let right_min = right[0].0.clone();
+                Inserted::Split(
+                    Node::Leaf(Arc::new(entries)),
+                    right_min,
+                    Node::Leaf(Arc::new(right)),
+                )
+            } else {
+                Inserted::One(Node::Leaf(Arc::new(entries)))
+            };
+            (outcome, previous)
+        }
+        Node::Inner(inner) => {
+            let idx = route(&inner.mins, &key);
+            let (child_outcome, previous) = insert_into(&inner.children[idx], key.clone(), value);
+            let mut mins = inner.mins.clone();
+            let mut children = inner.children.clone();
+            // A key below the subtree's current minimum routes to child 0
+            // and lowers its min.
+            if key < mins[idx] {
+                mins[idx] = key;
+            }
+            match child_outcome {
+                Inserted::One(child) => children[idx] = child,
+                Inserted::Split(left, right_min, right) => {
+                    children[idx] = left;
+                    children.insert(idx + 1, right);
+                    mins.insert(idx + 1, right_min);
+                }
+            }
+            let outcome = if children.len() > MAX_FANOUT {
+                let right_children = children.split_off(children.len() / 2);
+                let right_mins = mins.split_off(mins.len() / 2);
+                let right_min = right_mins[0].clone();
+                Inserted::Split(
+                    Node::Inner(Arc::new(Inner { mins, children })),
+                    right_min,
+                    Node::Inner(Arc::new(Inner {
+                        mins: right_mins,
+                        children: right_children,
+                    })),
+                )
+            } else {
+                Inserted::One(Node::Inner(Arc::new(Inner { mins, children })))
+            };
+            (outcome, previous)
+        }
+    }
+}
+
+fn remove_from<K: Ord + Clone, V: Clone>(node: &Node<K, V>, key: &K) -> (Removed<K, V>, Option<V>) {
+    match node {
+        Node::Leaf(chunk) => match chunk.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => {
+                if chunk.len() == 1 {
+                    return (Removed::Gone, Some(chunk[i].1.clone()));
+                }
+                let mut entries = (**chunk).clone();
+                let (_, previous) = entries.remove(i);
+                (Removed::One(Node::Leaf(Arc::new(entries))), Some(previous))
+            }
+            Err(_) => (Removed::One(node.clone()), None),
+        },
+        Node::Inner(inner) => {
+            let idx = route(&inner.mins, key);
+            let (child_outcome, previous) = remove_from(&inner.children[idx], key);
+            if previous.is_none() {
+                return (Removed::One(node.clone()), None);
+            }
+            let mut mins = inner.mins.clone();
+            let mut children = inner.children.clone();
+            match child_outcome {
+                Removed::One(child) => {
+                    // Removing the child's min key raises its subtree min.
+                    mins[idx] = min_key(&child)
+                        .expect("a non-Gone child is never empty")
+                        .clone();
+                    children[idx] = child;
+                }
+                Removed::Gone => {
+                    children.remove(idx);
+                    mins.remove(idx);
+                }
+            }
+            if children.is_empty() {
+                (Removed::Gone, previous)
+            } else {
+                (
+                    Removed::One(Node::Inner(Arc::new(Inner { mins, children }))),
+                    previous,
+                )
+            }
+        }
+    }
+}
+
+/// An in-order walk of the chunk tree: a stack of `(inner node, child
+/// index)` frames above the current leaf. Yields borrowed entries, so
+/// iteration allocates nothing beyond the stack itself (whose depth is
+/// `O(log n)`).
+pub struct Iter<'a, K, V> {
+    stack: Vec<(&'a Inner<K, V>, usize)>,
+    leaf: &'a [(K, V)],
+    pos: usize,
+    /// Inclusive upper bound for range iteration (`None` = unbounded).
+    end: Option<K>,
+}
+
+impl<'a, K: Ord, V> Iter<'a, K, V> {
+    /// Descends to the leftmost leaf under `node`, pushing the spine.
+    fn descend_leftmost(&mut self, mut node: &'a Node<K, V>) {
+        loop {
+            match node {
+                Node::Leaf(chunk) => {
+                    self.leaf = chunk;
+                    self.pos = 0;
+                    return;
+                }
+                Node::Inner(inner) => {
+                    self.stack.push((inner, 0));
+                    node = &inner.children[0];
+                }
+            }
+        }
+    }
+
+    /// Descends to the first entry with key `>= lo`, pushing the spine.
+    fn seek(&mut self, mut node: &'a Node<K, V>, lo: &K) {
+        loop {
+            match node {
+                Node::Leaf(chunk) => {
+                    self.leaf = chunk;
+                    self.pos = chunk.partition_point(|(k, _)| k < lo);
+                    return;
+                }
+                Node::Inner(inner) => {
+                    let idx = route(&inner.mins, lo);
+                    self.stack.push((inner, idx));
+                    node = &inner.children[idx];
+                }
+            }
+        }
+    }
+
+    /// Moves to the next leaf after the current one is exhausted.
+    fn advance_leaf(&mut self) -> bool {
+        while let Some((inner, idx)) = self.stack.pop() {
+            if idx + 1 < inner.children.len() {
+                self.stack.push((inner, idx + 1));
+                self.descend_leftmost(&inner.children[idx + 1]);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.leaf.len() {
+                let (k, v) = &self.leaf[self.pos];
+                if self.end.as_ref().is_some_and(|end| k > end) {
+                    // Past the range bound: later entries only grow, stop.
+                    self.leaf = &[];
+                    self.stack.clear();
+                    return None;
+                }
+                self.pos += 1;
+                return Some((k, v));
+            }
+            if !self.advance_leaf() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+impl<K, V> PMap<K, V> {
+    /// Test hook: the raw pointers of every leaf chunk, for structural-
+    /// sharing assertions (`Arc::ptr_eq` across map generations).
+    fn leaf_ptrs(&self) -> Vec<*const ()> {
+        fn walk<K, V>(node: &Node<K, V>, out: &mut Vec<*const ()>) {
+            match node {
+                Node::Leaf(chunk) => out.push(Arc::as_ptr(chunk).cast()),
+                Node::Inner(inner) => inner.children.iter().for_each(|c| walk(c, out)),
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Test hook: tree depth (1 = a lone leaf).
+    fn depth(&self) -> usize {
+        let mut node = &self.root;
+        let mut depth = 1;
+        while let Node::Inner(inner) = node {
+            node = &inner.children[0];
+            depth += 1;
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csv_common::rng::SplitMix64;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_map_behaves() {
+        let map: PMap<u64, u64> = PMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.get(&7), None);
+        assert_eq!(map.iter().count(), 0);
+        assert_eq!(map.range(&0, &u64::MAX).count(), 0);
+        let (map, previous) = map.remove(&7);
+        assert!(previous.is_none() && map.is_empty());
+    }
+
+    #[test]
+    fn inserts_overwrite_and_report_previous_values() {
+        let map = PMap::new();
+        let (map, previous) = map.insert(5u64, 50u64);
+        assert_eq!(previous, None);
+        let (map, previous) = map.insert(5, 51);
+        assert_eq!(previous, Some(50));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&5), Some(&51));
+    }
+
+    /// The map must agree with a `BTreeMap` oracle through a long random
+    /// interleaving of upserts, removals, lookups and range slices — the
+    /// full public surface, across enough entries to force multi-level
+    /// trees and chunk splits.
+    #[test]
+    fn random_interleaving_matches_a_btreemap_oracle() {
+        for seed in [3u64, 17, 2029] {
+            let mut rng = SplitMix64::new(seed);
+            let mut map: PMap<u64, u64> = PMap::new();
+            let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+            for step in 0..6_000u64 {
+                let key = rng.next_u64() % 2_048;
+                match rng.next_u64() % 4 {
+                    0 | 1 => {
+                        let (next, previous) = map.insert(key, step);
+                        assert_eq!(previous, oracle.insert(key, step));
+                        map = next;
+                    }
+                    2 => {
+                        let (next, previous) = map.remove(&key);
+                        assert_eq!(previous, oracle.remove(&key));
+                        map = next;
+                    }
+                    _ => assert_eq!(map.get(&key), oracle.get(&key)),
+                }
+                assert_eq!(map.len(), oracle.len());
+                if step % 241 == 0 {
+                    let lo = rng.next_u64() % 2_048;
+                    let hi = lo + rng.next_u64() % 512;
+                    let got: Vec<(u64, u64)> = map.range(&lo, &hi).map(|(k, v)| (*k, *v)).collect();
+                    let expected: Vec<(u64, u64)> =
+                        oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    assert_eq!(got, expected, "range [{lo}, {hi}] diverged at step {step}");
+                }
+            }
+            let got: Vec<u64> = map.iter().map(|(k, _)| *k).collect();
+            let expected: Vec<u64> = oracle.keys().copied().collect();
+            assert_eq!(got, expected, "ordered iteration diverged (seed {seed})");
+        }
+    }
+
+    /// The whole point of the structure: a point update into a large map
+    /// must share all but the root-to-leaf spine with its predecessor, and
+    /// the predecessor must be left untouched.
+    #[test]
+    fn updates_are_path_copies_and_persist_the_predecessor() {
+        let mut map: PMap<u64, u64> = PMap::new();
+        for k in 0..4_096u64 {
+            map = map.insert(k, k).0;
+        }
+        assert!(map.depth() >= 3, "4096 entries must build a real tree");
+        let before = map.leaf_ptrs();
+
+        let (updated, previous) = map.insert(1_234, 999);
+        assert_eq!(previous, Some(1_234));
+        let after = updated.leaf_ptrs();
+        assert_eq!(before.len(), after.len());
+        let shared = after.iter().filter(|p| before.contains(p)).count();
+        assert_eq!(
+            shared,
+            after.len() - 1,
+            "an overwrite must replace exactly one leaf chunk"
+        );
+        // Persistence: the predecessor still serves the old value.
+        assert_eq!(map.get(&1_234), Some(&1_234));
+        assert_eq!(updated.get(&1_234), Some(&999));
+
+        // A fresh insert may split one chunk but still shares every other.
+        let (grown, _) = map.insert(10_000, 1);
+        let grown_ptrs = grown.leaf_ptrs();
+        let fresh = grown_ptrs.iter().filter(|p| !before.contains(p)).count();
+        assert!(
+            fresh <= 2,
+            "an insert must touch at most one chunk (two after a split), got {fresh}"
+        );
+    }
+
+    #[test]
+    fn removals_unlink_drained_chunks_and_collapse_the_root() {
+        let mut map: PMap<u64, u64> = PMap::new();
+        for k in 0..512u64 {
+            map = map.insert(k, k).0;
+        }
+        let deep = map.depth();
+        assert!(deep >= 2);
+        for k in 0..511u64 {
+            let (next, previous) = map.remove(&k);
+            assert_eq!(previous, Some(k));
+            map = next;
+        }
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&511), Some(&511));
+        assert_eq!(
+            map.depth(),
+            1,
+            "a drained tree must collapse back to a lone leaf"
+        );
+    }
+
+    #[test]
+    fn range_seeks_without_scanning_and_respects_bounds() {
+        let mut map: PMap<u64, u64> = PMap::new();
+        for k in (0..10_000u64).step_by(3) {
+            map = map.insert(k, k * 2).0;
+        }
+        // Bounds between stored keys.
+        let got: Vec<u64> = map.range(&100, &121).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![102, 105, 108, 111, 114, 117, 120]);
+        // Inclusive on both ends.
+        let got: Vec<u64> = map.range(&102, &108).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![102, 105, 108]);
+        // Inverted and out-of-range bounds are empty.
+        assert_eq!(map.range(&50, &40).count(), 0);
+        assert_eq!(map.range(&20_000, &30_000).count(), 0);
+        // Full-range iteration equals `iter`.
+        assert_eq!(map.range(&0, &u64::MAX).count(), map.iter().count());
+    }
+
+    /// Cloning is O(1) (an `Arc` bump), and clones diverge independently.
+    #[test]
+    fn clones_share_everything_until_they_diverge() {
+        let mut map: PMap<u64, u64> = PMap::new();
+        for k in 0..1_000u64 {
+            map = map.insert(k, k).0;
+        }
+        let fork = map.clone();
+        assert_eq!(map.leaf_ptrs(), fork.leaf_ptrs());
+        let (fork, _) = fork.insert(1, 100);
+        assert_eq!(map.get(&1), Some(&1));
+        assert_eq!(fork.get(&1), Some(&100));
+    }
+}

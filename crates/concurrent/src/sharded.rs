@@ -17,14 +17,22 @@
 //! On the RCU path a shard snapshot is a pair: a big immutable base index
 //! plus a small sorted *overlay* of pending upserts/tombstones
 //! ([`ShardSnapshot`]). Point writes copy the overlay (cheap), not the
-//! base; once the overlay outgrows [`ShardingConfig::overlay_capacity`]
-//! it is folded into a fresh base — by cloning the base and replaying the
-//! upserts when there are no tombstones (which preserves the CSV-smoothed
-//! layout and the dirty-sub-tree marks), or by a merge-join rebuild when
-//! there are. Maintenance (`maintain_shard`, `optimize`) plans against the
-//! live snapshot, applies onto a clone, and swaps — the apply phase holds
-//! no lock any reader can observe.
+//! base. The overlay's representation is an A/B knob
+//! ([`ShardingConfig::overlay`]): a flat sorted `Vec` (every write clones
+//! the whole overlay) or, by default, a persistent structurally shared
+//! chunk tree ([`crate::pmap::PMap`]) whose point updates copy only the
+//! touched root-to-leaf path. A published snapshot's overlay holds at most
+//! [`ShardingConfig::overlay_capacity`] entries: the write that would grow
+//! it to `capacity + 1` instead *folds* the overlay into a fresh base —
+//! by cloning the base and replaying the upserts when there are no
+//! tombstones (which preserves the CSV-smoothed layout and the
+//! dirty-sub-tree marks), or by a merge-join rebuild when there are — and
+//! that triggering write lands in the folded base. Maintenance
+//! (`maintain_shard`, `optimize`) plans against the live snapshot, applies
+//! onto a clone, and swaps — the apply phase holds no lock any reader can
+//! observe.
 
+use crate::pmap::PMap;
 use crate::rcu::RcuCell;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex, SnapshotIndex};
 use csv_common::{Key, KeyValue, Value};
@@ -47,6 +55,38 @@ pub enum ReadPath {
     Rcu,
 }
 
+/// How an RCU shard snapshot represents its overlay of pending writes —
+/// the write-cost A/B knob mirroring [`ReadPath`]'s read-cost one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlayRepr {
+    /// A flat sorted `Vec`: the smallest constant factors per lookup, but
+    /// every point write clones the *entire* overlay before republishing —
+    /// O(`overlay_capacity`) per write.
+    Vec,
+    /// A persistent structurally shared chunk tree ([`crate::pmap::PMap`]):
+    /// a point write copies only the touched root-to-leaf chunk path —
+    /// O(log `overlay_capacity` + chunk) — so a much larger overlay (and
+    /// therefore a much rarer, better-amortised base fold) costs writes
+    /// nothing extra.
+    #[default]
+    Persistent,
+}
+
+impl OverlayRepr {
+    /// The overlay capacity used when [`ShardingConfig::overlay_capacity`]
+    /// is `None`. The flat representation folds early because every
+    /// buffered entry is re-copied on every subsequent write; the
+    /// persistent one buffers 8× more — its per-write copy cost stays
+    /// logarithmic, so the only fold pressure left is lookup cost on the
+    /// overlay probe.
+    pub fn default_capacity(self) -> usize {
+        match self {
+            Self::Vec => 512,
+            Self::Persistent => 4096,
+        }
+    }
+}
+
 /// How the key space is partitioned and served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardingConfig {
@@ -54,11 +94,18 @@ pub struct ShardingConfig {
     pub num_shards: usize,
     /// The concurrency scheme for this index (see [`ReadPath`]).
     pub read_path: ReadPath,
-    /// RCU path only: pending point writes a shard snapshot buffers in its
-    /// overlay before they are folded into a fresh base index. Larger
-    /// values amortise the fold further but tax every lookup with a bigger
-    /// overlay binary search.
-    pub overlay_capacity: usize,
+    /// RCU path only: the data structure shard snapshots buffer pending
+    /// point writes in (see [`OverlayRepr`]).
+    pub overlay: OverlayRepr,
+    /// RCU path only: the maximum number of pending point writes a
+    /// *published* shard snapshot's overlay holds. The write that would
+    /// grow the overlay to `capacity + 1` entries triggers the fold into a
+    /// fresh base index and lands there instead, so readers never observe
+    /// an overlay past this bound (pinned by the boundary test). `None`
+    /// picks the representation's default
+    /// ([`OverlayRepr::default_capacity`]). Larger values amortise the
+    /// fold further but tax every lookup with a bigger overlay probe.
+    pub overlay_capacity: Option<usize>,
 }
 
 impl Default for ShardingConfig {
@@ -66,7 +113,8 @@ impl Default for ShardingConfig {
         Self {
             num_shards: 16,
             read_path: ReadPath::default(),
-            overlay_capacity: 512,
+            overlay: OverlayRepr::default(),
+            overlay_capacity: None,
         }
     }
 }
@@ -83,6 +131,27 @@ impl ShardingConfig {
     /// The same config on the given read path.
     pub fn with_read_path(self, read_path: ReadPath) -> Self {
         Self { read_path, ..self }
+    }
+
+    /// The same config with the given overlay representation.
+    pub fn with_overlay(self, overlay: OverlayRepr) -> Self {
+        Self { overlay, ..self }
+    }
+
+    /// The same config with an explicit overlay capacity.
+    pub fn with_overlay_capacity(self, capacity: usize) -> Self {
+        Self {
+            overlay_capacity: Some(capacity),
+            ..self
+        }
+    }
+
+    /// The overlay capacity in effect: the explicit one, else the
+    /// representation's default.
+    pub fn effective_overlay_capacity(&self) -> usize {
+        self.overlay_capacity
+            .unwrap_or_else(|| self.overlay.default_capacity())
+            .max(1)
     }
 }
 
@@ -113,6 +182,19 @@ impl StaleCounters {
 
     fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the write iff it changed the live key set — a fresh-key
+    /// insert (`absent → present`) or a successful removal
+    /// (`present → absent`). Overwrites change no structure and do not
+    /// count. Both read paths route their accounting through exactly this
+    /// predicate, so the counters a maintenance engine ranks shards by are
+    /// identical for identical op sequences (pinned by
+    /// `staleness_counters_agree_across_paths_and_overlays`).
+    fn record_if_structural(&self, was_present: bool, now_present: bool) {
+        if was_present != now_present {
+            self.record_write();
+        }
     }
 
     fn reset_writes(&self) {
@@ -236,31 +318,135 @@ struct OverlayEntry {
     value: Option<Value>,
 }
 
+/// A snapshot's overlay of pending writes, in the representation chosen by
+/// [`ShardingConfig::overlay`]. Both variants expose the same sorted-map
+/// surface; they differ only in what a point update copies (the whole
+/// vector vs. one chunk path).
+#[derive(Clone)]
+enum Overlay {
+    Flat(Vec<OverlayEntry>),
+    Tree(PMap<Key, Option<Value>>),
+}
+
+impl Overlay {
+    fn empty(repr: OverlayRepr) -> Self {
+        match repr {
+            OverlayRepr::Vec => Self::Flat(Vec::new()),
+            OverlayRepr::Persistent => Self::Tree(PMap::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Flat(entries) => entries.len(),
+            Self::Tree(map) => map.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The key's overlay slot: `None` when the overlay has no entry for
+    /// it, `Some(None)` for a tombstone, `Some(Some(v))` for an upsert.
+    fn get(&self, key: Key) -> Option<Option<Value>> {
+        match self {
+            Self::Flat(entries) => entries
+                .binary_search_by_key(&key, |e| e.key)
+                .ok()
+                .map(|i| entries[i].value),
+            Self::Tree(map) => map.get(&key).copied(),
+        }
+    }
+
+    /// A successor overlay with `key`'s slot set to `value`, plus the slot
+    /// it displaced — both from a single traversal. This is the per-write
+    /// copy the two representations trade on: flat clones every entry, the
+    /// tree path-copies O(log n + chunk).
+    fn with(&self, key: Key, value: Option<Value>) -> (Self, Option<Option<Value>>) {
+        match self {
+            Self::Flat(entries) => {
+                let mut entries = entries.clone();
+                let entry = OverlayEntry { key, value };
+                let displaced = match entries.binary_search_by_key(&key, |e| e.key) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i], entry).value),
+                    Err(i) => {
+                        entries.insert(i, entry);
+                        None
+                    }
+                };
+                (Self::Flat(entries), displaced)
+            }
+            Self::Tree(map) => {
+                let (next, displaced) = map.insert(key, value);
+                (Self::Tree(next), displaced)
+            }
+        }
+    }
+
+    /// Iterates the overlay slots with keys in `[lo, hi]`, ascending —
+    /// allocation-free in both representations.
+    fn range(&self, lo: Key, hi: Key) -> OverlayIter<'_> {
+        match self {
+            Self::Flat(entries) => {
+                let from = entries.partition_point(|e| e.key < lo);
+                let to = entries.partition_point(|e| e.key <= hi);
+                OverlayIter::Flat(entries[from..to].iter())
+            }
+            Self::Tree(map) => OverlayIter::Tree(map.range(&lo, &hi)),
+        }
+    }
+}
+
+/// Streaming iterator over an overlay slice, unifying both representations
+/// for the snapshot's merge-join.
+enum OverlayIter<'a> {
+    Flat(std::slice::Iter<'a, OverlayEntry>),
+    Tree(crate::pmap::Iter<'a, Key, Option<Value>>),
+}
+
+impl Iterator for OverlayIter<'_> {
+    type Item = (Key, Option<Value>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Self::Flat(it) => it.next().map(|e| (e.key, e.value)),
+            Self::Tree(it) => it.next().map(|(&k, &v)| (k, v)),
+        }
+    }
+}
+
 /// An immutable shard snapshot on the RCU path: a big shared base index
 /// plus a small sorted overlay of writes not yet folded into it. Readers
-/// consult the overlay first, then the base — both without locks.
+/// consult the overlay first, then the base — both without locks or
+/// allocation.
 pub struct ShardSnapshot<I> {
     base: Arc<I>,
-    overlay: Vec<OverlayEntry>,
+    overlay: Overlay,
+    /// Tombstones currently in the overlay, maintained incrementally by
+    /// the write path so the fold can pick its clone+replay fast path
+    /// without scanning.
+    tombstones: usize,
     /// Live key count (base plus overlay net effect), maintained
     /// incrementally by the write path.
     len: usize,
 }
 
 impl<I: LearnedIndex> ShardSnapshot<I> {
-    fn clean(base: Arc<I>) -> Self {
+    fn clean(base: Arc<I>, repr: OverlayRepr) -> Self {
         let len = base.len();
         Self {
             base,
-            overlay: Vec::new(),
+            overlay: Overlay::empty(repr),
+            tombstones: 0,
             len,
         }
     }
 
     pub(crate) fn get(&self, key: Key) -> Option<Value> {
-        match self.overlay.binary_search_by_key(&key, |e| e.key) {
-            Ok(i) => self.overlay[i].value,
-            Err(_) => self.base.get(key),
+        match self.overlay.get(key) {
+            Some(slot) => slot,
+            None => self.base.get(key),
         }
     }
 
@@ -286,28 +472,26 @@ impl<I: LearnedIndex + RangeIndex> ShardSnapshot<I> {
     }
 
     /// Records in `[lo, hi]`: the base range merge-joined with the overlay
-    /// slice, tombstones subtracted.
+    /// slice (streamed, not copied), tombstones subtracted.
     fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
         let base = self.base.range(lo, hi);
         if self.overlay.is_empty() {
             return base;
         }
-        let from = self.overlay.partition_point(|e| e.key < lo);
-        let to = self.overlay.partition_point(|e| e.key <= hi);
-        let overlay = &self.overlay[from..to];
-        if overlay.is_empty() {
+        let mut overlay = self.overlay.range(lo, hi).peekable();
+        if overlay.peek().is_none() {
             return base;
         }
-        let mut out = Vec::with_capacity(base.len() + overlay.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < base.len() || j < overlay.len() {
-            let take_overlay = match (base.get(i), overlay.get(j)) {
-                (Some(b), Some(o)) => {
-                    if b.key == o.key {
+        let mut out = Vec::with_capacity(base.len());
+        let mut i = 0usize;
+        while i < base.len() || overlay.peek().is_some() {
+            let take_overlay = match (base.get(i), overlay.peek()) {
+                (Some(b), Some(&(key, _))) => {
+                    if b.key == key {
                         i += 1; // the overlay entry supersedes the base one
                         true
                     } else {
-                        o.key < b.key
+                        key < b.key
                     }
                 }
                 (None, Some(_)) => true,
@@ -315,10 +499,9 @@ impl<I: LearnedIndex + RangeIndex> ShardSnapshot<I> {
                 (None, None) => unreachable!("loop condition"),
             };
             if take_overlay {
-                let e = overlay[j];
-                j += 1;
-                if let Some(value) = e.value {
-                    out.push(KeyValue::new(e.key, value));
+                let (key, slot) = overlay.next().expect("peeked above");
+                if let Some(value) = slot {
+                    out.push(KeyValue::new(key, value));
                 }
             } else {
                 out.push(base[i]);
@@ -337,10 +520,10 @@ impl<I: SnapshotIndex + RangeIndex> ShardSnapshot<I> {
     /// merged records (bulk loading resets the structure, which the
     /// staleness counters already flag for re-smoothing).
     fn folded_base(&self) -> I {
-        if self.overlay.iter().all(|e| e.value.is_some()) {
+        if self.tombstones == 0 {
             let mut base = (*self.base).clone();
-            for e in &self.overlay {
-                base.insert(e.key, e.value.expect("checked: no tombstones"));
+            for (key, slot) in self.overlay.range(0, Key::MAX) {
+                base.insert(key, slot.expect("tombstone count is zero"));
             }
             base
         } else {
@@ -365,11 +548,11 @@ struct RcuShard<I> {
 }
 
 impl<I: LearnedIndex> RcuShard<I> {
-    fn new(lower_bound: Key, index: I) -> Self {
+    fn new(lower_bound: Key, index: I, repr: OverlayRepr) -> Self {
         let seed = index.len();
         Self {
             lower_bound,
-            snap: RcuCell::new(Arc::new(ShardSnapshot::clean(Arc::new(index)))),
+            snap: RcuCell::new(Arc::new(ShardSnapshot::clean(Arc::new(index), repr))),
             writer: Mutex::new(()),
             retired: AtomicBool::new(false),
             stale: StaleCounters::seeded(seed),
@@ -396,6 +579,7 @@ struct RcuRepr<I> {
     /// Serializes layout changes (split/merge). Readers and per-shard
     /// writers never touch it.
     layout_writer: Mutex<()>,
+    overlay: OverlayRepr,
     overlay_capacity: usize,
 }
 
@@ -510,11 +694,14 @@ impl<I: LearnedIndex> ShardedIndex<I> {
                 layout: RcuCell::new(Arc::new(Layout {
                     shards: bounds_and_chunks
                         .into_iter()
-                        .map(|(lower, chunk)| Arc::new(RcuShard::new(lower, I::bulk_load(chunk))))
+                        .map(|(lower, chunk)| {
+                            Arc::new(RcuShard::new(lower, I::bulk_load(chunk), config.overlay))
+                        })
                         .collect(),
                 })),
                 layout_writer: Mutex::new(()),
-                overlay_capacity: config.overlay_capacity.max(1),
+                overlay: config.overlay,
+                overlay_capacity: config.effective_overlay_capacity(),
             }),
         };
         Self { repr }
@@ -729,11 +916,7 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                 let shards = r.shards.read();
                 let shard = &shards[locked_shard_of(&shards, key)];
                 let new = shard.index.write().insert(key, value);
-                if new {
-                    // Overwrites change no structure, so only new keys count
-                    // toward the staleness score.
-                    shard.stale.record_write();
-                }
+                shard.stale.record_if_structural(!new, true);
                 new
             }
             Repr::Rcu(r) => self.rcu_write(r, key, Some(value)).is_none(),
@@ -742,32 +925,53 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
 
     /// The RCU point-write path shared by insert (`Some`) and remove
     /// (`None`): returns the key's previous value. Retries when the routed
-    /// shard was retired by a concurrent split/merge.
+    /// shard was retired by a concurrent split/merge — with a bounded
+    /// spin-then-yield backoff, because the successor layout is published
+    /// by the racing layout writer and retrying cannot succeed before that
+    /// publication lands (an unbounded retry loop would busy-burn a core
+    /// against a slow split).
     fn rcu_write(&self, repr: &RcuRepr<I>, key: Key, value: Option<Value>) -> Option<Value> {
+        /// Retired-handle retries before each retry starts yielding the
+        /// CPU instead of spinning (the common case re-routes on the first
+        /// retry: the layout is published before the retired shard's
+        /// writer mutex is released).
+        const RETIRED_RETRY_SPINS: usize = 16;
+        let mut retries = 0usize;
         loop {
             let shard = repr.shard_handle(key);
-            let _writes = shard.writer.lock();
+            let writes = shard.writer.lock();
             if shard.retired.load(Ordering::SeqCst) {
                 // A split/merge replaced this handle after we routed to it;
                 // publishing here would write into an unreachable snapshot.
+                drop(writes);
+                retries += 1;
+                if retries > RETIRED_RETRY_SPINS {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                #[cfg(test)]
+                RETIRED_RETRIES.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             let snap = shard.snap.load();
-            let slot = snap.overlay.binary_search_by_key(&key, |e| e.key);
-            let previous = match slot {
-                Ok(i) => snap.overlay[i].value,
-                Err(_) => snap.base.get(key),
-            };
-            if value.is_none() && previous.is_none() {
-                // Removing an absent key publishes nothing.
+            if value.is_none()
+                && snap
+                    .overlay
+                    .get(key)
+                    .unwrap_or_else(|| snap.base.get(key))
+                    .is_none()
+            {
+                // Removing an absent key publishes nothing (pre-probed so
+                // it also builds no successor overlay).
                 return None;
             }
-            let mut overlay = snap.overlay.clone();
-            let entry = OverlayEntry { key, value };
-            match slot {
-                Ok(i) => overlay[i] = entry,
-                Err(i) => overlay.insert(i, entry),
-            }
+            let (overlay, slot) = snap.overlay.with(key, value);
+            let previous = slot.unwrap_or_else(|| snap.base.get(key));
+            // A fresh tombstone adds one; overwriting an existing
+            // tombstone slot removes the one it replaces.
+            let tombstones = snap.tombstones + usize::from(value.is_none())
+                - usize::from(matches!(slot, Some(None)));
             let len = match (previous.is_some(), value.is_some()) {
                 (false, true) => snap.len + 1,
                 (true, false) => snap.len - 1,
@@ -777,23 +981,24 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                 let folded = ShardSnapshot {
                     base: Arc::clone(&snap.base),
                     overlay,
+                    tombstones,
                     len,
                 }
                 .folded_base();
                 debug_assert_eq!(folded.len(), len);
-                ShardSnapshot::clean(Arc::new(folded))
+                ShardSnapshot::clean(Arc::new(folded), repr.overlay)
             } else {
                 ShardSnapshot {
                     base: Arc::clone(&snap.base),
                     overlay,
+                    tombstones,
                     len,
                 }
             };
             shard.snap.publish(Arc::new(next));
-            // Structural change (new key or removal): count it.
-            if previous.is_none() || value.is_none() {
-                shard.stale.record_write();
-            }
+            shard
+                .stale
+                .record_if_structural(previous.is_some(), value.is_some());
             return previous;
         }
     }
@@ -832,7 +1037,7 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                     f(&mut next);
                     shard
                         .snap
-                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), r.overlay)));
                 });
             }
         }
@@ -859,7 +1064,7 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                     f(&mut next);
                     shard
                         .snap
-                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), r.overlay)));
                 }
             }
         }
@@ -954,8 +1159,16 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
                 let mid = records.len() / 2;
                 let lower_bound = target.lower_bound;
                 let upper_bound = records[mid].key;
-                let lower = Arc::new(RcuShard::new(lower_bound, I::bulk_load(&records[..mid])));
-                let upper = Arc::new(RcuShard::new(upper_bound, I::bulk_load(&records[mid..])));
+                let lower = Arc::new(RcuShard::new(
+                    lower_bound,
+                    I::bulk_load(&records[..mid]),
+                    r.overlay,
+                ));
+                let upper = Arc::new(RcuShard::new(
+                    upper_bound,
+                    I::bulk_load(&records[mid..]),
+                    r.overlay,
+                ));
                 let mut shards = layout.shards.clone();
                 shards[shard] = lower;
                 shards.insert(shard + 1, upper);
@@ -1011,7 +1224,11 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
                 if records.len() > max_keys {
                     return false;
                 }
-                let merged = Arc::new(RcuShard::new(left.lower_bound, I::bulk_load(&records)));
+                let merged = Arc::new(RcuShard::new(
+                    left.lower_bound,
+                    I::bulk_load(&records),
+                    r.overlay,
+                ));
                 let mut shards = layout.shards.clone();
                 shards[shard] = merged;
                 shards.remove(shard + 1);
@@ -1036,9 +1253,7 @@ impl<I: SnapshotIndex + RangeIndex + RemovableIndex> ShardedIndex<I> {
                 let shards = r.shards.read();
                 let shard = &shards[locked_shard_of(&shards, key)];
                 let removed = shard.index.write().remove(key);
-                if removed.is_some() {
-                    shard.stale.record_write();
-                }
+                shard.stale.record_if_structural(removed.is_some(), false);
                 removed
             }
             Repr::Rcu(r) => self.rcu_write(r, key, None),
@@ -1111,7 +1326,7 @@ impl<I: SnapshotIndex + RangeIndex + CsvIntegrable> ShardedIndex<I> {
                                 plan.apply_into(&mut next, &mut report);
                             }
                         }
-                        rcu_finish_maintenance(shard, next);
+                        rcu_finish_maintenance(shard, next, r.overlay);
                         report.preprocessing_time = started.elapsed();
                         report
                     })
@@ -1211,13 +1426,13 @@ impl<I: SnapshotIndex + RangeIndex + CsvIntegrable> ShardedIndex<I> {
                     }
                 }
                 if resume_level.is_none() {
-                    rcu_finish_maintenance(shard, next);
+                    rcu_finish_maintenance(shard, next, r.overlay);
                 } else {
                     // Publish the partial progress (dirty marks intact, no
                     // counter reset) so the next tick resumes from it.
                     shard
                         .snap
-                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+                        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), r.overlay)));
                 }
                 report.preprocessing_time = started.elapsed();
                 Some(MaintainProgress {
@@ -1251,18 +1466,44 @@ fn locked_finish_maintenance<I: LearnedIndex + CsvIntegrable>(shard: &LockedShar
 /// successor before publication — no reader ever waits on it — and the
 /// shard's writer mutex (held by the caller) keeps writes from interleaving
 /// with the counter reset.
-fn rcu_finish_maintenance<I: LearnedIndex + CsvIntegrable>(shard: &RcuShard<I>, mut next: I) {
+fn rcu_finish_maintenance<I: LearnedIndex + CsvIntegrable>(
+    shard: &RcuShard<I>,
+    mut next: I,
+    repr: OverlayRepr,
+) {
     next.csv_mark_clean();
     let mean = next.stats().mean_key_level();
     shard
         .snap
-        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next))));
+        .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), repr)));
     shard.stale.reset_writes();
     shard.stale.mark_maintained(mean);
 }
 
+/// Test-only tally of retired-handle retries in [`ShardedIndex::rcu_write`]
+/// (other threads' retries included): lets stress tests assert the
+/// re-route race actually occurred.
+#[cfg(test)]
+static RETIRED_RETRIES: AtomicUsize = AtomicUsize::new(0);
+
 #[cfg(test)]
 impl<I: LearnedIndex> ShardedIndex<I> {
+    /// Test hook: per-shard published-overlay lengths on the RCU path, for
+    /// the fold-boundary pin.
+    fn overlay_lens(&self) -> Vec<usize> {
+        match &self.repr {
+            Repr::Locked(_) => panic!("overlay hook is for the RCU representation"),
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                layout
+                    .shards
+                    .iter()
+                    .map(|s| s.snap.read(|snap| snap.overlay.len()))
+                    .collect()
+            }
+        }
+    }
+
     /// Test hook: runs `f` while holding **every** writer-side lock of the
     /// RCU representation (the layout writer and each shard's writer
     /// mutex). If a reader-path operation acquired any of them, calling it
@@ -1291,6 +1532,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     const BOTH_PATHS: [ReadPath; 2] = [ReadPath::Locked, ReadPath::Rcu];
+    const BOTH_OVERLAYS: [OverlayRepr; 2] = [OverlayRepr::Vec, OverlayRepr::Persistent];
 
     fn config(num_shards: usize, read_path: ReadPath) -> ShardingConfig {
         ShardingConfig::with_shards(num_shards).with_read_path(read_path)
@@ -1368,13 +1610,20 @@ mod tests {
     /// resurrecting records, across multiple fold generations.
     #[test]
     fn rcu_overlay_folds_preserve_the_oracle() {
+        for repr in BOTH_OVERLAYS {
+            rcu_overlay_folds_preserve_the_oracle_for(repr);
+        }
+    }
+
+    fn rcu_overlay_folds_preserve_the_oracle_for(repr: OverlayRepr) {
         let keys = Dataset::Genome.generate(5_000, 13);
         let records = identity_records(&keys);
         // A tiny overlay so every few writes trigger a fold.
         let config = ShardingConfig {
             num_shards: 4,
             read_path: ReadPath::Rcu,
-            overlay_capacity: 7,
+            overlay: repr,
+            overlay_capacity: Some(7),
         };
         let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config);
         let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
@@ -1404,6 +1653,308 @@ mod tests {
         }
         let expected: Vec<KeyValue> = oracle.iter().map(|(&k, &v)| KeyValue::new(k, v)).collect();
         assert_eq!(sharded.range(0, Key::MAX), expected);
+    }
+
+    /// Satellite pin: both read paths (and both overlay representations)
+    /// must account staleness identically — a maintenance engine ranking
+    /// shards by `writes_since_maintenance` must make the same decisions
+    /// regardless of the concurrency scheme. The sequence exercises every
+    /// counting case: fresh inserts, overwrites, removals, double
+    /// removals, removals of absent keys, reinserts over tombstones, and
+    /// fold crossings (tiny overlay capacity).
+    #[test]
+    fn staleness_counters_agree_across_paths_and_overlays() {
+        let keys = Dataset::Genome.generate(2_000, 51);
+        let records = identity_records(&keys);
+        let top = *keys.last().unwrap();
+        let configs = [
+            config(4, ReadPath::Locked),
+            config(4, ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Vec)
+                .with_overlay_capacity(5),
+            config(4, ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Persistent)
+                .with_overlay_capacity(5),
+        ];
+        let mut outcomes: Vec<(Vec<(usize, bool)>, usize)> = Vec::new();
+        for cfg in configs {
+            let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, cfg);
+            let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
+            let mut expected = 0usize;
+            let mut apply = |sharded: &ShardedIndex<BPlusTree>,
+                             oracle: &mut BTreeMap<Key, Value>,
+                             key: Key,
+                             value: Option<Value>| {
+                let was_present = oracle.contains_key(&key);
+                match value {
+                    Some(v) => {
+                        assert_eq!(sharded.insert(key, v), oracle.insert(key, v).is_none());
+                        expected += usize::from(!was_present);
+                    }
+                    None => {
+                        assert_eq!(sharded.remove(key), oracle.remove(&key));
+                        expected += usize::from(was_present);
+                    }
+                }
+            };
+            for &k in keys.iter().step_by(3) {
+                apply(&sharded, &mut oracle, k, Some(k ^ 1)); // overwrite: no count
+            }
+            for &k in keys.iter().step_by(5) {
+                apply(&sharded, &mut oracle, k, None); // removal: count
+                apply(&sharded, &mut oracle, k, None); // double removal: no count
+            }
+            for &k in keys.iter().step_by(10) {
+                apply(&sharded, &mut oracle, k, Some(k)); // reinsert: count
+            }
+            for i in 0..300u64 {
+                apply(&sharded, &mut oracle, top + 1 + i, Some(i)); // fresh: count
+            }
+            for i in 0..50u64 {
+                apply(&sharded, &mut oracle, top + 10_000 + i, None); // absent: no count
+            }
+            let counters = sharded.write_counters();
+            let total: usize = counters.iter().map(|(w, _)| w).sum();
+            // Every counter starts seeded with the bulk-loaded key count.
+            assert_eq!(total, keys.len() + expected);
+            outcomes.push((counters, expected));
+        }
+        let (reference, expected) = outcomes[0].clone();
+        assert!(expected > 0, "the sequence must contain structural writes");
+        for (counters, _) in &outcomes[1..] {
+            assert_eq!(
+                counters, &reference,
+                "per-shard staleness counters diverged between paths"
+            );
+        }
+    }
+
+    /// Satellite pin: writers racing a slow split back off and re-route
+    /// instead of losing writes (and instead of spinning unbounded — the
+    /// bounded-backoff step yields past `RETIRED_RETRY_SPINS`). The inner
+    /// index's `bulk_load` is artificially slow, so every split holds the
+    /// target shard's writer mutex long enough for queued writers to pile
+    /// up and observe the retirement.
+    #[test]
+    fn retired_writers_back_off_and_reroute() {
+        use std::time::Duration;
+
+        #[derive(Clone)]
+        struct SlowBulk(BPlusTree);
+
+        impl LearnedIndex for SlowBulk {
+            fn name(&self) -> &'static str {
+                "SlowBulkBTree"
+            }
+            fn bulk_load(records: &[KeyValue]) -> Self {
+                // Slow enough for writers to queue behind a split's writer
+                // mutex, fast enough to keep the test snappy.
+                std::thread::sleep(Duration::from_millis(15));
+                Self(BPlusTree::bulk_load(records))
+            }
+            fn get(&self, key: Key) -> Option<Value> {
+                self.0.get(key)
+            }
+            fn get_counted(
+                &self,
+                key: Key,
+                counters: &mut csv_common::CostCounters,
+            ) -> Option<Value> {
+                self.0.get_counted(key, counters)
+            }
+            fn insert(&mut self, key: Key, value: Value) -> bool {
+                self.0.insert(key, value)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn stats(&self) -> IndexStats {
+                self.0.stats()
+            }
+            fn level_of_key(&self, key: Key) -> Option<usize> {
+                self.0.level_of_key(key)
+            }
+        }
+        impl RangeIndex for SlowBulk {
+            fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+                self.0.range(lo, hi)
+            }
+        }
+        impl SnapshotIndex for SlowBulk {}
+
+        let keys = Dataset::Osm.generate(6_000, 43);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<SlowBulk>::bulk_load(&records, config(2, ReadPath::Rcu));
+        let retries_before = RETIRED_RETRIES.load(Ordering::Relaxed);
+        let fresh_base = *keys.last().unwrap() + 1;
+        const WRITERS: u64 = 3;
+        let stop = AtomicBool::new(false);
+        let written: Vec<AtomicUsize> = (0..WRITERS).map(|_| AtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|scope| {
+            for writer in 0..WRITERS {
+                let sharded = &sharded;
+                let stop = &stop;
+                let written = &written[writer as usize];
+                scope.spawn(move |_| {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = fresh_base + writer * 1_000_000 + i;
+                        assert!(sharded.insert(k, k), "fresh key must be new");
+                        i += 1;
+                        written.store(i as usize, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Re-layout churn targeting the shard the writers hammer (the
+            // last one — every fresh key is above the loaded range): each
+            // slow split holds that shard's writer mutex long enough for
+            // writers to queue on it, then retires the handle they hold.
+            for _ in 0..8 {
+                let last = sharded.num_shards() - 1;
+                if sharded.split_shard(last, 2) {
+                    assert!(sharded.merge_shards(last, usize::MAX));
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .expect("threads must not panic");
+        // No write was lost to a retired handle.
+        let mut total = 0usize;
+        for writer in 0..WRITERS {
+            let count = written[writer as usize].load(Ordering::Relaxed);
+            assert!(count > 0, "writer {writer} never completed a write");
+            total += count;
+            for i in (0..count as u64).step_by(101) {
+                let k = fresh_base + writer * 1_000_000 + i;
+                assert_eq!(sharded.get(k), Some(k));
+            }
+        }
+        assert!(sharded.len() >= keys.len() + total);
+        assert!(
+            RETIRED_RETRIES.load(Ordering::Relaxed) > retries_before,
+            "the slow splits must force at least one retired-handle retry"
+        );
+    }
+
+    /// Satellite pin: the exact fold boundary. A published snapshot's
+    /// overlay holds at most `overlay_capacity` entries — the write that
+    /// would make it `capacity + 1` folds into a fresh base instead — and
+    /// overlay-slot overwrites don't advance the boundary.
+    #[test]
+    fn published_overlay_never_exceeds_capacity() {
+        const CAPACITY: usize = 8;
+        let keys: Vec<Key> = (0..1_000).map(|i| i * 10).collect();
+        let records = identity_records(&keys);
+        for repr in BOTH_OVERLAYS {
+            let sharded = ShardedIndex::<BPlusTree>::bulk_load(
+                &records,
+                config(1, ReadPath::Rcu)
+                    .with_overlay(repr)
+                    .with_overlay_capacity(CAPACITY),
+            );
+            // Exactly `capacity` fresh writes buffer without folding.
+            for i in 1..=CAPACITY as u64 {
+                sharded.insert(20_000 + i, i);
+                assert_eq!(sharded.overlay_lens(), vec![i as usize], "{repr:?}");
+            }
+            // Overwriting a buffered key at full capacity publishes a
+            // same-size overlay — no fold.
+            sharded.insert(20_000 + 1, 99);
+            assert_eq!(sharded.overlay_lens(), vec![CAPACITY], "{repr:?}");
+            assert_eq!(sharded.get(20_000 + 1), Some(99));
+            // The write that would grow it to capacity + 1 folds, and the
+            // triggering write lands in the fresh base.
+            sharded.insert(30_000, 7);
+            assert_eq!(sharded.overlay_lens(), vec![0], "{repr:?}");
+            assert_eq!(sharded.get(30_000), Some(7));
+            assert_eq!(sharded.len(), keys.len() + CAPACITY + 1);
+            // A tombstone is an overlay entry like any other: capacity
+            // removals buffer, one more folds.
+            for i in 1..=CAPACITY as u64 {
+                sharded.remove(keys[i as usize]);
+                assert_eq!(sharded.overlay_lens(), vec![i as usize], "{repr:?}");
+            }
+            sharded.remove(keys[CAPACITY + 1]);
+            assert_eq!(sharded.overlay_lens(), vec![0], "{repr:?}");
+            // Net effect: capacity + 1 fresh inserts, capacity + 1 removals.
+            assert_eq!(sharded.len(), keys.len());
+        }
+    }
+
+    /// Satellite pin: a tombstone-heavy interleaving of inserts, removes,
+    /// overwrites, range scans and full-records reads stays consistent
+    /// with a `BTreeMap` oracle across repeated folds (tiny overlay
+    /// capacity) and shard splits/merges — for both overlay
+    /// representations on the RCU path, plus the locked baseline.
+    #[test]
+    fn tombstone_heavy_interleavings_match_the_oracle() {
+        use csv_common::rng::SplitMix64;
+        for path in BOTH_PATHS {
+            for repr in BOTH_OVERLAYS {
+                let keys = Dataset::Osm.generate(6_000, 41);
+                let records = identity_records(&keys);
+                let sharded = ShardedIndex::<BPlusTree>::bulk_load(
+                    &records,
+                    config(3, path).with_overlay(repr).with_overlay_capacity(5),
+                );
+                let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
+                let mut rng = SplitMix64::new(97 ^ path as u64 ^ (repr as u64) << 1);
+                let top = *keys.last().unwrap();
+                for step in 0..4_000u64 {
+                    let pick = rng.next_u64();
+                    // Half the steps target fresh keys above the loaded
+                    // range so removals keep finding live targets.
+                    let key = if pick.is_multiple_of(2) {
+                        keys[(pick / 2) as usize % keys.len()]
+                    } else {
+                        top + 1 + (pick / 2) % 2_048
+                    };
+                    match rng.next_u64() % 8 {
+                        // Removal-heavy mix: tombstones dominate the
+                        // overlay, so most folds take the merge-join
+                        // rebuild path.
+                        0..=3 => assert_eq!(sharded.remove(key), oracle.remove(&key)),
+                        4 | 5 => {
+                            assert_eq!(
+                                sharded.insert(key, step),
+                                oracle.insert(key, step).is_none()
+                            );
+                        }
+                        6 => assert_eq!(sharded.get(key), oracle.get(&key).copied()),
+                        _ => {
+                            let hi = key + rng.next_u64() % 50_000;
+                            let got = sharded.range(key, hi);
+                            let expected: Vec<KeyValue> = oracle
+                                .range(key..=hi)
+                                .map(|(&k, &v)| KeyValue::new(k, v))
+                                .collect();
+                            assert_eq!(got, expected, "range diverged at step {step}");
+                        }
+                    }
+                    if step % 503 == 0 {
+                        let shard = (rng.next_u64() as usize) % sharded.num_shards().max(1);
+                        if sharded.split_shard(shard, 2) && rng.next_u64().is_multiple_of(2) {
+                            assert!(sharded.merge_shards(shard, usize::MAX));
+                        }
+                    }
+                    if step % 997 == 0 {
+                        let full = sharded.range(0, Key::MAX);
+                        let expected: Vec<KeyValue> =
+                            oracle.iter().map(|(&k, &v)| KeyValue::new(k, v)).collect();
+                        assert_eq!(full, expected, "records diverged at step {step}");
+                    }
+                    assert_eq!(sharded.len(), oracle.len());
+                }
+                assert_eq!(sharded.len(), oracle.len());
+                for (&k, &v) in &oracle {
+                    assert_eq!(sharded.get(k), Some(v));
+                }
+                let full = sharded.range(0, Key::MAX);
+                let expected: Vec<KeyValue> =
+                    oracle.iter().map(|(&k, &v)| KeyValue::new(k, v)).collect();
+                assert_eq!(full, expected, "{path:?}/{repr:?}");
+            }
+        }
     }
 
     #[test]

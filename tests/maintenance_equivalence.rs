@@ -12,7 +12,8 @@ use csv_alex::{AlexConfig, AlexIndex};
 use csv_common::traits::LearnedIndex;
 use csv_common::{Key, KeyValue};
 use csv_concurrent::{
-    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig,
+    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, OverlayRepr, ReadPath, ShardedIndex,
+    ShardingConfig,
 };
 use csv_core::cost::CostModel;
 use csv_core::{CsvConfig, CsvIntegrable, CsvOptimizer};
@@ -112,13 +113,21 @@ proptest! {
         ops in pvec((any::<u64>(), 0u8..6), 40..160),
         shards in 1usize..6,
         rcu in any::<bool>(),
+        vec_overlay in any::<bool>(),
+        overlay_capacity in 1usize..12,
     ) {
         let keys: Vec<Key> = keys.into_iter().collect();
         let records = records_from_keys(&keys);
         let read_path = if rcu { ReadPath::Rcu } else { ReadPath::Locked };
+        // Both overlay representations, at a capacity tiny enough that
+        // folds interleave with the splits/merges/maintenance below.
+        let overlay = if vec_overlay { OverlayRepr::Vec } else { OverlayRepr::Persistent };
         let sharded = ShardedIndex::<LippIndex>::bulk_load(
             &records,
-            ShardingConfig::with_shards(shards).with_read_path(read_path),
+            ShardingConfig::with_shards(shards)
+                .with_read_path(read_path)
+                .with_overlay(overlay)
+                .with_overlay_capacity(overlay_capacity),
         );
         let mut oracle: BTreeMap<Key, u64> = keys.iter().map(|&k| (k, k)).collect();
         // An aggressive merge factor so the drained-shard trigger fires
