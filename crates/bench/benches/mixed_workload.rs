@@ -11,8 +11,12 @@ use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{
     Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity,
 };
+use csv_durability::{recover, DurabilityConfig, FileSink, FsyncPolicy};
 use csv_lipp::LippIndex;
 use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const KEYS: usize = 100_000;
@@ -150,8 +154,122 @@ fn bench_mixed_workload(c: &mut Criterion) {
                 );
             });
         }
+        // WAL-append overhead: the default RCU/pmap row again, but with
+        // the per-shard checkpoint + WAL sink attached (fsync off, so the
+        // delta is serialisation + page-cache appends, not disk stalls).
+        // Compare against `lipp_sharded_rcu_pmap` to price durability.
+        group.bench_with_input(
+            BenchmarkId::new("lipp_sharded_rcu_pmap_wal", mix_name),
+            &workload,
+            |b, wl| {
+                b.iter_batched(
+                    || {
+                        let dir = fresh_store_dir("mixed");
+                        let sink = Arc::new(
+                            FileSink::create(
+                                DurabilityConfig::new(&dir).with_fsync(FsyncPolicy::Never),
+                            )
+                            .expect("fresh bench store"),
+                        );
+                        ShardedIndex::<LippIndex>::bulk_load_durable(
+                            &records,
+                            ShardingConfig::with_shards(16)
+                                .with_read_path(ReadPath::Rcu)
+                                .with_overlay(OverlayRepr::Persistent),
+                            sink,
+                        )
+                    },
+                    |index| black_box(replay_sharded(&index, wl)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
+    std::fs::remove_dir_all(store_root()).ok();
+}
+
+/// Root for every throwaway store the durability benches create; wiped at
+/// the end of each bench function.
+fn store_root() -> PathBuf {
+    std::env::temp_dir().join(format!("csv_bench_durability_{}", std::process::id()))
+}
+
+/// A unique empty directory under [`store_root`].
+fn fresh_store_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = store_root().join(format!("{tag}-{}", NEXT.fetch_add(1, Ordering::Relaxed)));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Copies a (flat) store directory, preserving the master so every
+/// recovery iteration replays the same crash image.
+fn copy_store(master: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create store copy dir");
+    for entry in std::fs::read_dir(master).expect("read master store") {
+        let entry = entry.expect("store entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy store file");
+    }
+}
+
+/// Recovery-time rows: rebuild the sharded index from a crash image with
+/// (a) clean checkpoints only and (b) a WAL tail of `OPS` unfolded writes,
+/// so the replay term is priced separately from checkpoint loading. The
+/// master image is built once; every iteration recovers a fresh copy
+/// (recovery re-checkpoints the store, so recovering in place would
+/// measure a different image after the first iteration).
+fn bench_recovery(c: &mut Criterion) {
+    let keys = Dataset::Osm.generate(KEYS, 5);
+    let records = identity_records(&keys);
+    // An overlay deeper than the logged tail: none of the post-checkpoint
+    // writes fold, so they all stay in the WAL for replay.
+    let sharding = || {
+        ShardingConfig::with_shards(16)
+            .with_read_path(ReadPath::Rcu)
+            .with_overlay(OverlayRepr::Persistent)
+            .with_overlay_capacity(2 * OPS)
+    };
+    let build_master = |logged: usize| -> PathBuf {
+        let dir = fresh_store_dir("master");
+        let sink = Arc::new(
+            FileSink::create(DurabilityConfig::new(&dir).with_fsync(FsyncPolicy::Never))
+                .expect("fresh bench store"),
+        );
+        let index = ShardedIndex::<LippIndex>::bulk_load_durable(&records, sharding(), sink);
+        let base = *keys.last().unwrap() + 1;
+        for i in 0..logged as u64 {
+            index.insert(base + i, i);
+        }
+        // Simulated crash: drop without checkpointing, leaving the logged
+        // tail in the WALs.
+        dir
+    };
+
+    let mut group = c.benchmark_group("recovery");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (row_name, logged) in [("checkpoint_only", 0), ("wal_replay_20k", OPS)] {
+        let master = build_master(logged);
+        group.bench_function(row_name, |b| {
+            b.iter_batched(
+                || {
+                    let dir = fresh_store_dir("recover");
+                    copy_store(&master, &dir);
+                    dir
+                },
+                |dir| {
+                    let recovered = recover::<LippIndex>(DurabilityConfig::new(&dir), sharding())
+                        .expect("bench store must recover");
+                    black_box(recovered.report.replayed())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(store_root()).ok();
 }
 
 /// The isolated tentpole measurement: RCU point-write cost at *full*
@@ -223,5 +341,10 @@ fn bench_overlay_write_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mixed_workload, bench_overlay_write_cost);
+criterion_group!(
+    benches,
+    bench_mixed_workload,
+    bench_overlay_write_cost,
+    bench_recovery
+);
 criterion_main!(benches);

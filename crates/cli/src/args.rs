@@ -151,6 +151,21 @@ pub struct CliArgs {
     /// writes in — the structurally shared persistent map (default) or the
     /// flat vector baseline, for write-cost A/B comparisons.
     pub overlay: OverlayRepr,
+    /// Shard count for the sharded index in `--maintain`/`--recover` modes.
+    pub shards: usize,
+    /// RCU path only: how many buffered writes a shard snapshot holds
+    /// before folding into its base index (`None` keeps the sharding
+    /// default).
+    pub overlay_capacity: Option<usize>,
+    /// Directory backing the durable store (`--durability` creates it,
+    /// `--recover` reads it).
+    pub data_dir: Option<PathBuf>,
+    /// Attach the per-shard WAL + checkpoint sink to the maintained run,
+    /// persisting every acknowledged write into `--data-dir`.
+    pub durability: bool,
+    /// Recover a durable store from `--data-dir`, report recovery time and
+    /// replayed-record counts, and exit.
+    pub recover: bool,
 }
 
 impl Default for CliArgs {
@@ -171,6 +186,11 @@ impl Default for CliArgs {
             maintain: false,
             read_path: ReadPath::default(),
             overlay: OverlayRepr::default(),
+            shards: 16,
+            overlay_capacity: None,
+            data_dir: None,
+            durability: false,
+            recover: false,
         }
     }
 }
@@ -183,7 +203,8 @@ impl CliArgs {
          \u{20}         [--greedy lazy|rescan] [--drift-tolerance D]\n\
          \u{20}         [--workload read-only|ycsb-a|ycsb-b|ycsb-e|churn]\n\
          \u{20}         [--ops N] [--seed S] [--dry-run] [--maintain] [--read-path locked|rcu]\n\
-         \u{20}         [--overlay vec|persistent]\n\
+         \u{20}         [--overlay vec|persistent] [--shards N] [--overlay-capacity N]\n\
+         \u{20}         [--data-dir PATH] [--durability] [--recover]\n\
          \n\
          Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
          smoothing (alpha > 0) using T worker threads (0 = one per core) and the chosen\n\
@@ -197,8 +218,14 @@ impl CliArgs {
          background maintenance ticks, then without — and the lookup-latency comparison\n\
          (p50/p99) is reported alongside the usual output; --read-path picks the sharded\n\
          index's concurrency scheme (lock-free rcu snapshots, the default, or the locked\n\
-         baseline) and --overlay the rcu snapshots' pending-write buffer (the structurally\n\
-         shared persistent map, the default, or the flat vec baseline) for A/B comparisons."
+         baseline), --overlay the rcu snapshots' pending-write buffer (the structurally\n\
+         shared persistent map, the default, or the flat vec baseline) for A/B comparisons,\n\
+         --shards the shard count and --overlay-capacity the per-snapshot fold threshold.\n\
+         With --durability (requires --maintain, --data-dir and the rcu read path) the\n\
+         maintained run persists every acknowledged write through per-shard checkpoints\n\
+         plus a write-ahead log in --data-dir; --recover (requires --data-dir) rebuilds\n\
+         the index from such a store, reports recovery time and replayed-record counts,\n\
+         and exits."
     }
 
     /// Parses `--flag value` style arguments (anything after the program
@@ -219,6 +246,14 @@ impl CliArgs {
                 out.maintain = true;
                 continue;
             }
+            if flag == "--durability" {
+                out.durability = true;
+                continue;
+            }
+            if flag == "--recover" {
+                out.recover = true;
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError::new(format!("flag {flag} expects a value")))?;
@@ -230,6 +265,20 @@ impl CliArgs {
                 "--ops" => out.ops = parse_number(flag, value)? as usize,
                 "--seed" => out.seed = parse_number(flag, value)?,
                 "--threads" => out.threads = parse_number(flag, value)? as usize,
+                "--shards" => {
+                    out.shards = parse_number(flag, value)? as usize;
+                    if out.shards == 0 {
+                        return Err(CliError::new("--shards must be at least 1"));
+                    }
+                }
+                "--overlay-capacity" => {
+                    let capacity = parse_number(flag, value)? as usize;
+                    if capacity == 0 {
+                        return Err(CliError::new("--overlay-capacity must be at least 1"));
+                    }
+                    out.overlay_capacity = Some(capacity);
+                }
+                "--data-dir" => out.data_dir = Some(PathBuf::from(value)),
                 "--greedy" => {
                     out.greedy = match value.to_ascii_lowercase().as_str() {
                         "rescan" => GreedyMode::Rescan,
@@ -290,6 +339,40 @@ impl CliArgs {
         }
         if out.size < 2 && out.dataset_file.is_none() {
             return Err(CliError::new("--size must be at least 2"));
+        }
+        if out.durability {
+            if !out.maintain {
+                return Err(CliError::new(
+                    "--durability requires --maintain (the sink rides the maintained sharded run)",
+                ));
+            }
+            if out.data_dir.is_none() {
+                return Err(CliError::new(
+                    "--durability requires --data-dir to place the store in",
+                ));
+            }
+            if out.read_path != ReadPath::Rcu {
+                return Err(CliError::new(
+                    "--durability requires --read-path rcu (checkpoints ride the RCU fold points)",
+                ));
+            }
+        }
+        if out.recover {
+            if out.data_dir.is_none() {
+                return Err(CliError::new(
+                    "--recover requires --data-dir pointing at an existing store",
+                ));
+            }
+            if out.maintain || out.dry_run {
+                return Err(CliError::new(
+                    "--recover is a standalone mode (drop --maintain/--dry-run)",
+                ));
+            }
+            if out.read_path != ReadPath::Rcu {
+                return Err(CliError::new(
+                    "--recover serves the recovered index on the rcu read path (drop --read-path locked)",
+                ));
+            }
         }
         Ok(out)
     }
@@ -523,5 +606,100 @@ mod tests {
     fn dataset_file_flag_is_recorded() {
         let args = parse(&["--dataset-file", "/tmp/keys.sosd"]).unwrap();
         assert_eq!(args.dataset_file, Some(PathBuf::from("/tmp/keys.sosd")));
+    }
+
+    #[test]
+    fn drift_tolerance_rejects_nan_and_infinity() {
+        assert!(parse(&["--drift-tolerance", "NaN"])
+            .unwrap_err()
+            .message
+            .contains(">= 0"));
+        assert!(parse(&["--drift-tolerance", "inf"])
+            .unwrap_err()
+            .message
+            .contains(">= 0"));
+    }
+
+    #[test]
+    fn shards_and_overlay_capacity_reject_zero() {
+        assert_eq!(parse(&[]).unwrap().shards, 16);
+        assert_eq!(parse(&["--shards", "4"]).unwrap().shards, 4);
+        assert!(parse(&["--shards", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert_eq!(parse(&[]).unwrap().overlay_capacity, None);
+        assert_eq!(
+            parse(&["--overlay-capacity", "64"])
+                .unwrap()
+                .overlay_capacity,
+            Some(64)
+        );
+        assert!(parse(&["--overlay-capacity", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert!(parse(&["--shards", "x"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
+    }
+
+    #[test]
+    fn durability_requires_maintain_data_dir_and_rcu() {
+        let args = parse(&["--durability", "--maintain", "--data-dir", "/tmp/store"]).unwrap();
+        assert!(args.durability);
+        assert_eq!(args.data_dir, Some(PathBuf::from("/tmp/store")));
+        assert!(parse(&["--durability", "--data-dir", "/tmp/store"])
+            .unwrap_err()
+            .message
+            .contains("--maintain"));
+        assert!(parse(&["--durability", "--maintain"])
+            .unwrap_err()
+            .message
+            .contains("--data-dir"));
+        assert!(parse(&[
+            "--durability",
+            "--maintain",
+            "--data-dir",
+            "/tmp/store",
+            "--read-path",
+            "locked"
+        ])
+        .unwrap_err()
+        .message
+        .contains("rcu"));
+    }
+
+    #[test]
+    fn recover_is_a_standalone_mode_anchored_to_a_data_dir() {
+        let args = parse(&["--recover", "--data-dir", "/tmp/store"]).unwrap();
+        assert!(args.recover);
+        assert!(parse(&["--recover"])
+            .unwrap_err()
+            .message
+            .contains("--data-dir"));
+        assert!(
+            parse(&["--recover", "--data-dir", "/tmp/store", "--maintain"])
+                .unwrap_err()
+                .message
+                .contains("standalone")
+        );
+        assert!(
+            parse(&["--recover", "--data-dir", "/tmp/store", "--dry-run"])
+                .unwrap_err()
+                .message
+                .contains("standalone")
+        );
+        assert!(parse(&[
+            "--recover",
+            "--data-dir",
+            "/tmp/store",
+            "--read-path",
+            "locked"
+        ])
+        .unwrap_err()
+        .message
+        .contains("rcu"));
     }
 }

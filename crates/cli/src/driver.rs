@@ -9,17 +9,21 @@ use csv_common::traits::SnapshotIndex;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::Key;
 use csv_concurrent::{
-    MaintenanceConfig, MaintenanceEngine, OverlayRepr, ReadPath, ShardedIndex, ShardingConfig,
+    DurabilitySink, MaintenanceConfig, MaintenanceEngine, OverlayRepr, ReadPath, ShardedIndex,
+    ShardingConfig,
 };
 use csv_core::cost::CostModel;
 use csv_core::{CsvConfig, CsvConfigBuilder, CsvIntegrable, CsvOptimizer, CsvReport};
 use csv_datasets::{
     io, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity, ReadOnlyWorkload,
 };
+use csv_durability::{recover, DurabilityConfig, FileSink};
 use csv_lipp::LippIndex;
 use csv_pgm::PgmIndex;
 use csv_sali::SaliIndex;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Everything the run produced, returned for tests and printed by `main`.
 #[derive(Debug, Clone)]
@@ -49,6 +53,40 @@ pub struct RunSummary {
     /// The with/without-maintenance comparison, set only in `--maintain`
     /// mode.
     pub maintain: Option<MaintainComparison>,
+    /// What the durable sink persisted, set only with `--durability`.
+    pub durability: Option<DurabilitySummary>,
+    /// What recovery found and replayed, set only in `--recover` mode.
+    pub recovery: Option<RecoverySummary>,
+}
+
+/// What the per-shard checkpoint + WAL sink persisted during a
+/// `--durability` run.
+#[derive(Debug, Clone)]
+pub struct DurabilitySummary {
+    /// Directory the store lives in.
+    pub data_dir: PathBuf,
+    /// Checkpoints written (the bulk-load seed plus every fold, split,
+    /// merge, maintenance pass and backlog-triggered checkpoint tick).
+    pub checkpoints: u64,
+    /// WAL records appended (one per acknowledged overlay write).
+    pub wal_records: u64,
+}
+
+/// What `--recover` rebuilt from the store on disk.
+#[derive(Debug, Clone)]
+pub struct RecoverySummary {
+    /// Shards in the recovered layout.
+    pub shards: usize,
+    /// Live keys after checkpoint load + WAL replay.
+    pub keys: usize,
+    /// WAL records replayed over the checkpoints across all shards.
+    pub replayed: u64,
+    /// Shards whose WAL ended in a torn or corrupt tail (degraded past;
+    /// expected after a crash).
+    pub torn_shards: usize,
+    /// Wall-clock recovery time, excluding the re-checkpoint that re-opens
+    /// the store for writing.
+    pub elapsed: Duration,
 }
 
 /// What `--maintain` measures: the same mixed workload replayed over the
@@ -143,6 +181,24 @@ impl RunSummary {
         if let Some(maintain) = &self.maintain {
             out.push_str(&format!("maintain: {}\n", maintain.summary_line()));
         }
+        if let Some(durability) = &self.durability {
+            out.push_str(&format!(
+                "durability: {} checkpoints, {} wal records in {}\n",
+                durability.checkpoints,
+                durability.wal_records,
+                durability.data_dir.display()
+            ));
+        }
+        if let Some(recovery) = &self.recovery {
+            out.push_str(&format!(
+                "recovery: {} shards, {} keys, {} wal records replayed ({} torn shards) in {:.2}ms\n",
+                recovery.shards,
+                recovery.keys,
+                recovery.replayed,
+                recovery.torn_shards,
+                recovery.elapsed.as_secs_f64() * 1_000.0
+            ));
+        }
         out
     }
 }
@@ -151,6 +207,16 @@ impl RunSummary {
 pub fn run(args: &CliArgs) -> Result<RunSummary, CliError> {
     // `0` keeps rayon's auto-detected width (one worker per core).
     csv_core::configure_global_threads(args.threads);
+    if args.recover {
+        // Recovery needs no dataset: the store on disk is the input.
+        return match args.index {
+            IndexChoice::Alex => recover_run::<AlexIndex>(args),
+            IndexChoice::Lipp => recover_run::<LippIndex>(args),
+            IndexChoice::Sali => recover_run::<SaliIndex>(args),
+            IndexChoice::Pgm => recover_run::<PgmIndex>(args),
+            IndexChoice::Btree => recover_run::<BPlusTree>(args),
+        };
+    }
     if args.dry_run {
         if !args.index.supports_csv() {
             return Err(CliError::new(format!(
@@ -189,12 +255,12 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, CliError> {
         ));
     }
     if args.maintain {
-        return Ok(match args.index {
+        return match args.index {
             IndexChoice::Alex => maintained_run::<AlexIndex>(&keys, args, true),
             IndexChoice::Lipp => maintained_run::<LippIndex>(&keys, args, false),
             IndexChoice::Sali => maintained_run::<SaliIndex>(&keys, args, false),
             _ => unreachable!("validated above"),
-        });
+        };
     }
     match args.index {
         IndexChoice::Alex => {
@@ -306,7 +372,57 @@ fn dry_run<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
         latency: LatencyHistogram::new(),
         plan_json: Some(plan.to_json()),
         maintain: None,
+        durability: None,
+        recovery: None,
     }
+}
+
+/// The sharded-index layout `--maintain`/`--recover` runs use, built from
+/// the CLI knobs (`--shards`, `--overlay-capacity`, `--read-path`,
+/// `--overlay`).
+fn sharding_config(args: &CliArgs) -> ShardingConfig {
+    let mut config = ShardingConfig::with_shards(args.shards)
+        .with_read_path(args.read_path)
+        .with_overlay(args.overlay);
+    if let Some(capacity) = args.overlay_capacity {
+        config = config.with_overlay_capacity(capacity);
+    }
+    config
+}
+
+/// `--recover`: rebuilds the sharded index from the durable store in
+/// `--data-dir` (checkpoints + WAL replay) and reports what recovery found
+/// — no dataset is generated and no workload runs.
+fn recover_run<I>(args: &CliArgs) -> Result<RunSummary, CliError>
+where
+    I: LearnedIndex + RangeIndex,
+{
+    let data_dir = args.data_dir.as_ref().expect("validated at parse time");
+    let recovered = recover::<I>(DurabilityConfig::new(data_dir), sharding_config(args))
+        .map_err(|e| CliError::new(format!("--recover: {e}")))?;
+    let stats = recovered.index.stats();
+    let report = &recovered.report;
+    Ok(RunSummary {
+        index_name: args.index.name(),
+        keys_loaded: report.keys,
+        stats_before: stats.clone(),
+        stats_after: stats,
+        csv_report: None,
+        operations: 0,
+        hits: 0,
+        scanned: 0,
+        latency: LatencyHistogram::new(),
+        plan_json: None,
+        maintain: None,
+        durability: None,
+        recovery: Some(RecoverySummary {
+            shards: report.shards.len(),
+            keys: report.keys,
+            replayed: report.replayed(),
+            torn_shards: report.torn_shards(),
+            elapsed: report.elapsed,
+        }),
+    })
 }
 
 /// The per-run result of one `--maintain` replay (with or without the
@@ -322,6 +438,7 @@ struct MaintainedReplay {
     stats_before: IndexStats,
     stats_after: IndexStats,
     shards: usize,
+    durability: Option<DurabilitySummary>,
 }
 
 /// `--maintain`: replays the workload over a [`ShardedIndex`] (on the read
@@ -332,23 +449,37 @@ struct MaintainedReplay {
 /// latency comparison. Both runs start from the same freshly optimised
 /// sharded index, so the only difference is whether the smoothed layout is
 /// allowed to erode.
-fn maintained_run<I>(keys: &[Key], args: &CliArgs, is_alex: bool) -> RunSummary
+fn maintained_run<I>(keys: &[Key], args: &CliArgs, is_alex: bool) -> Result<RunSummary, CliError>
 where
     I: SnapshotIndex + RangeIndex + RemovableIndex + CsvIntegrable + 'static,
 {
-    use std::sync::Arc;
-
     let records = csv_common::key::identity_records(keys);
     let operations = build_operations(keys, args);
     let optimizer = CsvOptimizer::new(csv_config(args, is_alex));
 
-    let replay_once = |maintain: bool| -> MaintainedReplay {
-        let sharded = Arc::new(ShardedIndex::<I>::bulk_load(
-            &records,
-            ShardingConfig::default()
-                .with_read_path(args.read_path)
-                .with_overlay(args.overlay),
-        ));
+    let replay_once = |maintain: bool| -> Result<MaintainedReplay, CliError> {
+        // Only the maintained run persists: durability rides the engine's
+        // checkpoint ticks, and one store per directory keeps `--recover`
+        // unambiguous about which run it resumes.
+        let sink = if maintain && args.durability {
+            let data_dir = args.data_dir.as_ref().expect("validated at parse time");
+            let sink = FileSink::create(DurabilityConfig::new(data_dir))
+                .map_err(|e| CliError::new(format!("--durability: {e}")))?;
+            Some(Arc::new(sink))
+        } else {
+            None
+        };
+        let sharded = match &sink {
+            Some(sink) => Arc::new(ShardedIndex::<I>::bulk_load_durable(
+                &records,
+                sharding_config(args),
+                Arc::clone(sink) as Arc<dyn DurabilitySink>,
+            )),
+            None => Arc::new(ShardedIndex::<I>::bulk_load(
+                &records,
+                sharding_config(args),
+            )),
+        };
         let stats_before = sharded.stats();
         // Both runs start from the smoothed layout the paper's one-shot
         // pipeline produces; the maintained run is the one that keeps it.
@@ -377,7 +508,15 @@ where
             }
         }
         let stats = handle.map(|h| h.stop()).unwrap_or_default();
-        MaintainedReplay {
+        let durability = sink.map(|sink| {
+            let persisted = sink.stats();
+            DurabilitySummary {
+                data_dir: sink.data_dir().to_path_buf(),
+                checkpoints: persisted.checkpoints,
+                wal_records: persisted.wal_records,
+            }
+        });
+        Ok(MaintainedReplay {
             lookups,
             all_ops,
             hits,
@@ -388,12 +527,13 @@ where
             stats_before,
             stats_after: sharded.stats(),
             shards: sharded.num_shards(),
-        }
+            durability,
+        })
     };
 
-    let maintained = replay_once(true);
-    let unmaintained = replay_once(false);
-    RunSummary {
+    let maintained = replay_once(true)?;
+    let unmaintained = replay_once(false)?;
+    Ok(RunSummary {
         index_name: args.index.name(),
         keys_loaded: keys.len(),
         stats_before: maintained.stats_before.clone(),
@@ -414,7 +554,9 @@ where
             shard_merges: maintained.merges,
             final_shards: maintained.shards,
         }),
-    }
+        durability: maintained.durability,
+        recovery: None,
+    })
 }
 
 fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
@@ -453,6 +595,8 @@ fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
         latency,
         plan_json: None,
         maintain: None,
+        durability: None,
+        recovery: None,
     }
 }
 
@@ -711,6 +855,88 @@ mod tests {
             .unwrap_err()
             .message
             .contains("failed to load"));
+    }
+
+    #[test]
+    fn durable_maintain_then_recover_round_trips() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("csv_cli_durable_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let durable = CliArgs {
+            maintain: true,
+            durability: true,
+            data_dir: Some(dir.clone()),
+            shards: 4,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.1)
+        };
+        let summary = run(&durable).unwrap();
+        let persisted = summary
+            .durability
+            .as_ref()
+            .expect("--durability must report sink stats");
+        assert!(persisted.checkpoints >= 4, "bulk load seeds every shard");
+        assert!(
+            persisted.wal_records > 0,
+            "a write-heavy workload must log records"
+        );
+        assert_eq!(persisted.data_dir, dir);
+        assert!(summary.render().contains("durability:"));
+
+        // The store the run left behind is recoverable, and the recovered
+        // report reaches the rendered output.
+        let recovered = run(&CliArgs {
+            recover: true,
+            data_dir: Some(dir.clone()),
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbA, 0.1)
+        })
+        .unwrap();
+        let report = recovered
+            .recovery
+            .as_ref()
+            .expect("--recover must report what replay found");
+        assert!(report.shards >= 4);
+        assert!(report.keys > 0);
+        assert_eq!(
+            report.torn_shards, 0,
+            "an orderly shutdown leaves clean logs"
+        );
+        assert_eq!(recovered.keys_loaded, report.keys);
+        assert!(recovered.render().contains("recovery:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_reports_missing_and_occupied_stores() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("csv_cli_norecover_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let missing = CliArgs {
+            recover: true,
+            data_dir: Some(dir.clone()),
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.0)
+        };
+        assert!(run(&missing)
+            .unwrap_err()
+            .message
+            .contains("no durability store"));
+
+        // A second --durability run must refuse to overwrite the store the
+        // first one left behind.
+        let durable = CliArgs {
+            maintain: true,
+            durability: true,
+            data_dir: Some(dir.clone()),
+            shards: 2,
+            ops: 500,
+            ..small_args(IndexChoice::Lipp, WorkloadChoice::YcsbB, 0.1)
+        };
+        run(&durable).unwrap();
+        assert!(run(&durable)
+            .unwrap_err()
+            .message
+            .contains("already holds a durability store"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

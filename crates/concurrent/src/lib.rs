@@ -41,14 +41,17 @@
 //!
 //! [`LearnedIndex`]: csv_common::traits::LearnedIndex
 
+pub mod durability;
 pub mod maintenance;
 pub mod pmap;
 pub mod rcu;
 pub mod sharded;
 pub mod throughput;
 
+pub use durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSeed};
 pub use maintenance::{
-    MaintenanceAction, MaintenanceConfig, MaintenanceEngine, MaintenanceHandle, MaintenanceStats,
+    EnginePanic, MaintenanceAction, MaintenanceConfig, MaintenanceEngine, MaintenanceHandle,
+    MaintenanceStats,
 };
 pub use pmap::PMap;
 pub use rcu::RcuCell;

