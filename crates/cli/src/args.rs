@@ -166,6 +166,14 @@ pub struct CliArgs {
     /// Recover a durable store from `--data-dir`, report recovery time and
     /// replayed-record counts, and exit.
     pub recover: bool,
+    /// Serving mode: build + optimise the sharded index, then listen on
+    /// `--port` with `--workers` thread-per-core workers (plus the
+    /// background maintenance engine) until a client sends `Shutdown`.
+    pub serve: bool,
+    /// Loopback port `--serve` listens on.
+    pub port: u16,
+    /// Worker threads for `--serve` (`None` = one per core).
+    pub workers: Option<usize>,
 }
 
 impl Default for CliArgs {
@@ -191,6 +199,9 @@ impl Default for CliArgs {
             data_dir: None,
             durability: false,
             recover: false,
+            serve: false,
+            port: 4711,
+            workers: None,
         }
     }
 }
@@ -205,6 +216,7 @@ impl CliArgs {
          \u{20}         [--ops N] [--seed S] [--dry-run] [--maintain] [--read-path locked|rcu]\n\
          \u{20}         [--overlay vec|persistent] [--shards N] [--overlay-capacity N]\n\
          \u{20}         [--data-dir PATH] [--durability] [--recover]\n\
+         \u{20}         [--serve] [--port P] [--workers W]\n\
          \n\
          Builds the chosen index over a synthetic or SOSD dataset, optionally applies CSV\n\
          smoothing (alpha > 0) using T worker threads (0 = one per core) and the chosen\n\
@@ -225,7 +237,13 @@ impl CliArgs {
          maintained run persists every acknowledged write through per-shard checkpoints\n\
          plus a write-ahead log in --data-dir; --recover (requires --data-dir) rebuilds\n\
          the index from such a store, reports recovery time and replayed-record counts,\n\
-         and exits."
+         and exits.\n\
+         With --serve the optimised sharded index is served over a loopback TCP socket\n\
+         on --port (default 4711) by --workers thread-per-core workers (default: one per\n\
+         core) with the maintenance engine ticking behind the socket, until a client\n\
+         sends the protocol's Shutdown operation (csv-loadgen --shutdown does). --serve\n\
+         is standalone (no --dry-run/--maintain/--recover) and honours --read-path,\n\
+         --overlay, --shards, --overlay-capacity and --durability."
     }
 
     /// Parses `--flag value` style arguments (anything after the program
@@ -254,6 +272,10 @@ impl CliArgs {
                 out.recover = true;
                 continue;
             }
+            if flag == "--serve" {
+                out.serve = true;
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError::new(format!("flag {flag} expects a value")))?;
@@ -279,6 +301,20 @@ impl CliArgs {
                     out.overlay_capacity = Some(capacity);
                 }
                 "--data-dir" => out.data_dir = Some(PathBuf::from(value)),
+                "--port" => {
+                    let port = parse_number(flag, value)?;
+                    if port == 0 || port > u16::MAX as u64 {
+                        return Err(CliError::new("--port must be in 1..=65535"));
+                    }
+                    out.port = port as u16;
+                }
+                "--workers" => {
+                    let workers = parse_number(flag, value)? as usize;
+                    if workers == 0 {
+                        return Err(CliError::new("--workers must be at least 1"));
+                    }
+                    out.workers = Some(workers);
+                }
                 "--greedy" => {
                     out.greedy = match value.to_ascii_lowercase().as_str() {
                         "rescan" => GreedyMode::Rescan,
@@ -340,10 +376,21 @@ impl CliArgs {
         if out.size < 2 && out.dataset_file.is_none() {
             return Err(CliError::new("--size must be at least 2"));
         }
-        if out.durability {
-            if !out.maintain {
+        if out.serve {
+            if out.dry_run || out.maintain || out.recover {
                 return Err(CliError::new(
-                    "--durability requires --maintain (the sink rides the maintained sharded run)",
+                    "--serve is a standalone mode (drop --dry-run/--maintain/--recover)",
+                ));
+            }
+        } else if out.port != Self::default().port {
+            return Err(CliError::new("--port only applies with --serve"));
+        } else if out.workers.is_some() {
+            return Err(CliError::new("--workers only applies with --serve"));
+        }
+        if out.durability {
+            if !out.maintain && !out.serve {
+                return Err(CliError::new(
+                    "--durability requires --maintain or --serve (the sink rides the sharded run)",
                 ));
             }
             if out.data_dir.is_none() {
@@ -669,6 +716,61 @@ mod tests {
         .unwrap_err()
         .message
         .contains("rcu"));
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate() {
+        let args = parse(&["--serve"]).unwrap();
+        assert!(args.serve);
+        assert_eq!(args.port, 4711);
+        assert_eq!(args.workers, None);
+        let args = parse(&["--serve", "--port", "47113", "--workers", "8"]).unwrap();
+        assert_eq!(args.port, 47_113);
+        assert_eq!(args.workers, Some(8));
+        // Zero and out-of-range values are rejected with typed errors.
+        assert!(parse(&["--serve", "--port", "0"])
+            .unwrap_err()
+            .message
+            .contains("1..=65535"));
+        assert!(parse(&["--serve", "--port", "70000"])
+            .unwrap_err()
+            .message
+            .contains("1..=65535"));
+        assert!(parse(&["--serve", "--workers", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert!(parse(&["--serve", "--port", "x"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
+        // --port/--workers are serve-only knobs.
+        assert!(parse(&["--port", "9000"])
+            .unwrap_err()
+            .message
+            .contains("--serve"));
+        assert!(parse(&["--workers", "4"])
+            .unwrap_err()
+            .message
+            .contains("--serve"));
+        // --serve is standalone.
+        for conflicting in ["--dry-run", "--maintain"] {
+            assert!(parse(&["--serve", conflicting])
+                .unwrap_err()
+                .message
+                .contains("standalone"));
+        }
+        assert!(parse(&["--serve", "--recover", "--data-dir", "/tmp/x"])
+            .unwrap_err()
+            .message
+            .contains("standalone"));
+        // --durability accepts --serve as its host mode.
+        let args = parse(&["--serve", "--durability", "--data-dir", "/tmp/x"]).unwrap();
+        assert!(args.durability && args.serve);
+        // --serve composes with the sharding/read-path knobs.
+        let args = parse(&["--serve", "--read-path", "locked", "--shards", "8"]).unwrap();
+        assert_eq!(args.read_path, ReadPath::Locked);
+        assert_eq!(args.shards, 8);
     }
 
     #[test]

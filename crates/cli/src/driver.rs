@@ -57,6 +57,52 @@ pub struct RunSummary {
     pub durability: Option<DurabilitySummary>,
     /// What recovery found and replayed, set only in `--recover` mode.
     pub recovery: Option<RecoverySummary>,
+    /// What the serving front-end counted, set only in `--serve` mode.
+    pub serve: Option<ServeSummary>,
+}
+
+/// What a `--serve` session counted between bind and shutdown.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// The address the server listened on.
+    pub addr: String,
+    /// Worker threads that served connections.
+    pub workers: usize,
+    /// The concurrency scheme lookups were served with.
+    pub read_path: ReadPath,
+    /// Connections accepted over the session.
+    pub connections: u64,
+    /// Operations served (batch entries count once each).
+    pub ops: u64,
+    /// Connections dropped for sending malformed frames.
+    pub protocol_errors: u64,
+    /// `false` when the background maintenance engine panicked.
+    pub engine_healthy: bool,
+    /// Incremental shard-maintenance passes the engine performed.
+    pub maintenance_passes: usize,
+    /// Shard splits the engine performed.
+    pub shard_splits: usize,
+    /// Shard merges the engine performed.
+    pub shard_merges: usize,
+}
+
+impl ServeSummary {
+    /// One line summarising the serving session.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} with {} workers on the {:?} read path; {} connections, {} ops, {} protocol errors; engine {} ({} passes, {} splits, {} merges)",
+            self.addr,
+            self.workers,
+            self.read_path,
+            self.connections,
+            self.ops,
+            self.protocol_errors,
+            if self.engine_healthy { "healthy" } else { "PANICKED" },
+            self.maintenance_passes,
+            self.shard_splits,
+            self.shard_merges
+        )
+    }
 }
 
 /// What the per-shard checkpoint + WAL sink persisted during a
@@ -173,11 +219,16 @@ impl RunSummary {
                     * 100.0
             ));
         }
-        out.push_str(&format!(
-            "workload: {} operations, {} hits, {} records scanned\n",
-            self.operations, self.hits, self.scanned
-        ));
-        out.push_str(&format!("latency: {}\n", self.latency.summary_line()));
+        // A served run has no local replay: its operation counts and
+        // latency live on the client side (the load generator prints
+        // them), so the workload/latency lines would only show zeros.
+        if self.serve.is_none() {
+            out.push_str(&format!(
+                "workload: {} operations, {} hits, {} records scanned\n",
+                self.operations, self.hits, self.scanned
+            ));
+            out.push_str(&format!("latency: {}\n", self.latency.summary_line()));
+        }
         if let Some(maintain) = &self.maintain {
             out.push_str(&format!("maintain: {}\n", maintain.summary_line()));
         }
@@ -198,6 +249,9 @@ impl RunSummary {
                 recovery.torn_shards,
                 recovery.elapsed.as_secs_f64() * 1_000.0
             ));
+        }
+        if let Some(serve) = &self.serve {
+            out.push_str(&format!("serve: {}\n", serve.summary_line()));
         }
         out
     }
@@ -248,11 +302,34 @@ pub fn run(args: &CliArgs) -> Result<RunSummary, CliError> {
             ));
         }
     }
+    if args.serve {
+        // Serving keeps the maintenance engine ticking behind the socket,
+        // so it needs a CSV-capable index, like --maintain.
+        if !args.index.supports_csv() {
+            return Err(CliError::new(format!(
+                "--serve maintains the index via CSV, which {} does not support (use alex|lipp|sali)",
+                args.index.name()
+            )));
+        }
+        if args.alpha <= 0.0 {
+            return Err(CliError::new(
+                "--serve requires --alpha > 0 (alpha 0 disables CSV)",
+            ));
+        }
+    }
     let keys = load_keys(args)?;
     if keys.len() < 2 {
         return Err(CliError::new(
             "the dataset must contain at least two unique keys",
         ));
+    }
+    if args.serve {
+        return match args.index {
+            IndexChoice::Alex => serve_run::<AlexIndex>(&keys, args, true),
+            IndexChoice::Lipp => serve_run::<LippIndex>(&keys, args, false),
+            IndexChoice::Sali => serve_run::<SaliIndex>(&keys, args, false),
+            _ => unreachable!("validated above"),
+        };
     }
     if args.maintain {
         return match args.index {
@@ -374,6 +451,7 @@ fn dry_run<I: LearnedIndex + csv_core::CsvIntegrable + Sync>(
         maintain: None,
         durability: None,
         recovery: None,
+        serve: None,
     }
 }
 
@@ -421,6 +499,105 @@ where
             replayed: report.replayed(),
             torn_shards: report.torn_shards(),
             elapsed: report.elapsed,
+        }),
+        serve: None,
+    })
+}
+
+/// `--serve`: builds the sharded index exactly like `--maintain` does
+/// (bulk load → CSV optimise → spawn the maintenance engine), then hands
+/// it to the `csv_server` front-end and blocks until a client sends the
+/// protocol's `Shutdown` operation. The listening line is printed (and
+/// flushed) before blocking so a supervising process — CI's smoke test,
+/// a benchmark script — knows when to start its load generator.
+fn serve_run<I>(keys: &[Key], args: &CliArgs, is_alex: bool) -> Result<RunSummary, CliError>
+where
+    I: SnapshotIndex + RangeIndex + RemovableIndex + CsvIntegrable + 'static,
+{
+    let records = csv_common::key::identity_records(keys);
+    let optimizer = CsvOptimizer::new(csv_config(args, is_alex));
+    let sink = if args.durability {
+        let data_dir = args.data_dir.as_ref().expect("validated at parse time");
+        let sink = FileSink::create(DurabilityConfig::new(data_dir))
+            .map_err(|e| CliError::new(format!("--durability: {e}")))?;
+        Some(Arc::new(sink))
+    } else {
+        None
+    };
+    let sharded = match &sink {
+        Some(sink) => Arc::new(ShardedIndex::<I>::bulk_load_durable(
+            &records,
+            sharding_config(args),
+            Arc::clone(sink) as Arc<dyn DurabilitySink>,
+        )),
+        None => Arc::new(ShardedIndex::<I>::bulk_load(
+            &records,
+            sharding_config(args),
+        )),
+    };
+    let stats_before = sharded.stats();
+    sharded.optimize(&optimizer);
+    let stats_after = sharded.stats();
+    let engine = MaintenanceEngine::new(optimizer, MaintenanceConfig::default());
+    let engine_handle = engine.spawn(Arc::clone(&sharded));
+    let workers = args
+        .workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
+    let handle = csv_server::spawn(
+        Arc::clone(&sharded),
+        Some(engine_handle),
+        csv_server::ServerConfig {
+            port: args.port,
+            workers,
+            ..csv_server::ServerConfig::default()
+        },
+    )
+    .map_err(|e| CliError::new(format!("--serve: failed to bind port {}: {e}", args.port)))?;
+    let addr = handle.local_addr().to_string();
+    println!(
+        "serving: {addr} ({workers} workers, {:?} read path, {} shards, {} keys)",
+        args.read_path,
+        sharded.num_shards(),
+        keys.len()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let report = handle.join();
+    let engine_stats = report.engine_stats.unwrap_or_default();
+    let durability = sink.map(|sink| {
+        let persisted = sink.stats();
+        DurabilitySummary {
+            data_dir: sink.data_dir().to_path_buf(),
+            checkpoints: persisted.checkpoints,
+            wal_records: persisted.wal_records,
+        }
+    });
+    Ok(RunSummary {
+        index_name: args.index.name(),
+        keys_loaded: keys.len(),
+        stats_before,
+        stats_after,
+        csv_report: None,
+        operations: report.ops as usize,
+        hits: 0,
+        scanned: 0,
+        latency: LatencyHistogram::new(),
+        plan_json: None,
+        maintain: None,
+        durability,
+        recovery: None,
+        serve: Some(ServeSummary {
+            addr,
+            workers,
+            read_path: args.read_path,
+            connections: report.connections,
+            ops: report.ops,
+            protocol_errors: report.protocol_errors,
+            engine_healthy: report.engine_healthy,
+            maintenance_passes: engine_stats.maintain_passes,
+            shard_splits: engine_stats.splits,
+            shard_merges: engine_stats.merges,
         }),
     })
 }
@@ -556,6 +733,7 @@ where
         }),
         durability: maintained.durability,
         recovery: None,
+        serve: None,
     })
 }
 
@@ -597,6 +775,7 @@ fn replay<I: LearnedIndex + RangeIndex + RemovableIndex>(
         maintain: None,
         durability: None,
         recovery: None,
+        serve: None,
     }
 }
 
@@ -956,5 +1135,65 @@ mod tests {
         };
         assert!(run(&bad).unwrap_err().message.contains("at least two"));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// `--serve` end to end through `run()`: the driver builds the index,
+    /// spawns the engine and the server, and blocks until a client sends
+    /// Shutdown — after which the summary carries the serving counters.
+    #[test]
+    fn serve_run_serves_and_reports_on_both_read_paths() {
+        for (port, read_path) in [(47201u16, ReadPath::Rcu), (47202, ReadPath::Locked)] {
+            let args = CliArgs {
+                serve: true,
+                port,
+                workers: Some(2),
+                shards: 4,
+                read_path,
+                ..small_args(IndexChoice::Lipp, WorkloadChoice::ReadOnly, 0.1)
+            };
+            let keys = Dataset::Genome.generate(args.size, args.seed);
+            let server = std::thread::spawn(move || run(&args));
+
+            // The server owns the calling thread; poll until it is up.
+            let addr = format!("127.0.0.1:{port}");
+            let mut client = None;
+            for _ in 0..200 {
+                match csv_server::Client::connect(&addr) {
+                    Ok(c) => {
+                        client = Some(c);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+                }
+            }
+            let mut client = client.expect("the server must come up within five seconds");
+
+            assert_eq!(client.get(keys[42]).unwrap(), Some(keys[42]));
+            let batch = [keys[1], keys[3], keys.last().unwrap() + 1];
+            assert_eq!(
+                client.multi_get(&batch).unwrap(),
+                vec![Some(keys[1]), Some(keys[3]), None]
+            );
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.keys, keys.len() as u64);
+            assert_eq!(stats.workers, 2);
+            assert_eq!(stats.rcu, read_path == ReadPath::Rcu);
+            assert!(stats.maintenance, "--serve attaches the engine");
+            assert!(stats.engine_healthy);
+
+            client.shutdown().unwrap();
+            let summary = server.join().unwrap().unwrap();
+            let serve = summary.serve.as_ref().expect("--serve fills the summary");
+            assert_eq!(serve.addr, addr);
+            assert_eq!(serve.workers, 2);
+            assert_eq!(serve.read_path, read_path);
+            assert!(serve.connections >= 1);
+            assert!(serve.ops >= 5);
+            assert_eq!(serve.protocol_errors, 0);
+            assert!(serve.engine_healthy);
+            let rendered = summary.render();
+            assert!(rendered.contains("serve:"), "{rendered}");
+            assert!(rendered.contains("engine healthy"), "{rendered}");
+        }
     }
 }

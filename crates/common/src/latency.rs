@@ -146,6 +146,12 @@ impl LatencyHistogram {
         self.quantile_ns(0.99)
     }
 
+    /// 99.9th-percentile latency in nanoseconds — the serving-tail metric
+    /// the load generator reports alongside p50/p99.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -162,11 +168,12 @@ impl LatencyHistogram {
     /// One-line human-readable summary.
     pub fn summary_line(&self) -> String {
         format!(
-            "n={} mean={:.0}ns p50={}ns p99={}ns max={}ns",
+            "n={} mean={:.0}ns p50={}ns p99={}ns p99.9={}ns max={}ns",
             self.total,
             self.mean_ns(),
             self.p50_ns(),
             self.p99_ns(),
+            self.p999_ns(),
             self.max_ns()
         )
     }
@@ -244,9 +251,57 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert_eq!(a.p50_ns(), all.p50_ns());
         assert_eq!(a.p99_ns(), all.p99_ns());
+        assert_eq!(a.p999_ns(), all.p999_ns());
         assert_eq!(a.min_ns(), all.min_ns());
         assert_eq!(a.max_ns(), all.max_ns());
         assert!(!a.summary_line().is_empty());
+    }
+
+    /// The lock-free per-worker recording scheme the server relies on:
+    /// every worker records into its own histogram and the shards are
+    /// merged afterwards. Merging in any order and grouping must be
+    /// indistinguishable (on every reported statistic, at every quantile)
+    /// from recording the concatenated sample stream into one histogram.
+    #[test]
+    fn sharded_merge_equals_single_histogram_on_the_concatenated_stream() {
+        let workers = 5usize;
+        let mut shards = vec![LatencyHistogram::new(); workers];
+        let mut single = LatencyHistogram::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..10_000u64 {
+            // Cheap xorshift over a wide dynamic range (ns .. tens of ms).
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let ns = state % (1 << (10 + (i % 15)));
+            shards[(i % workers as u64) as usize].record_ns(ns);
+            single.record_ns(ns);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.min_ns(), single.min_ns());
+        assert_eq!(merged.max_ns(), single.max_ns());
+        assert!((merged.mean_ns() - single.mean_ns()).abs() < 1e-6);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile_ns(q), single.quantile_ns(q), "q={q}");
+        }
+        assert_eq!(merged.summary_line(), single.summary_line());
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=10_000u64 {
+            h.record_ns(ns);
+        }
+        assert!(h.p99_ns() <= h.p999_ns());
+        assert!(h.p999_ns() <= h.max_ns());
+        let p999 = h.p999_ns() as f64;
+        assert!((p999 - 9_990.0).abs() / 9_990.0 < 0.10, "p99.9 {p999}");
+        assert!(h.summary_line().contains("p99.9="));
     }
 
     #[test]

@@ -651,6 +651,44 @@ impl<I: LearnedIndex> ReadView<I> {
         self.shards[shard].1.get(key)
     }
 
+    /// Batched point lookup against the pinned snapshots, in input order.
+    ///
+    /// The classic learned-index batching discipline (run the cheap model
+    /// predictions for the whole batch first, then resolve) applied at the
+    /// shard level: phase 1 routes every key to its shard in one pass over
+    /// the batch, phase 2 resolves shard by shard, so each shard's overlay
+    /// chunks and base nodes are walked back-to-back instead of being
+    /// evicted between interleaved lookups. All lookups observe the same
+    /// pinned snapshots — `multi_get` is equivalent to `keys.map(get)` on
+    /// this view (pinned by tests), just batched.
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        let mut out = vec![None; keys.len()];
+        if keys.is_empty() {
+            return out;
+        }
+        if self.shards.len() == 1 {
+            let snap = &self.shards[0].1;
+            for (slot, &key) in out.iter_mut().zip(keys) {
+                *slot = snap.get(key);
+            }
+            return out;
+        }
+        // Phase 1: the routing pass — one bucket of batch positions per
+        // shard (u32 positions: a batch is bounded far below 4G keys).
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for (i, &key) in keys.iter().enumerate() {
+            let shard = shard_for_key(&self.shards, key, |(lower, _)| *lower);
+            buckets[shard].push(i as u32);
+        }
+        // Phase 2: per-shard resolution, batch positions in input order.
+        for ((_, snap), bucket) in self.shards.iter().zip(&buckets) {
+            for &i in bucket {
+                out[i as usize] = snap.get(keys[i as usize]);
+            }
+        }
+        out
+    }
+
     /// Total keys across the pinned snapshots.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|(_, s)| s.len()).sum()
@@ -766,6 +804,45 @@ impl<I: LearnedIndex> ShardedIndex<I> {
                     .snap
                     .read(|snap| snap.get(key))
             }),
+        }
+    }
+
+    /// Batched point lookup, in input order. On the RCU path the whole
+    /// batch is served from one pinned [`ReadView`] (one RCU load per
+    /// shard for the entire batch, then [`ReadView::multi_get`]'s
+    /// route-then-resolve pass — not a loop over [`ShardedIndex::get`],
+    /// which pays the RCU counters per lookup). On the locked path the
+    /// batch is likewise shard-partitioned first so each overlapped
+    /// shard's reader lock is taken once per batch instead of once per
+    /// key.
+    ///
+    /// The whole batch observes one consistent snapshot per shard;
+    /// `multi_get(keys)` returns exactly what `keys.map(get)` would when
+    /// no concurrent writer intervenes between the two (pinned by tests).
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                let mut out = vec![None; keys.len()];
+                let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); shards.len()];
+                for (i, &key) in keys.iter().enumerate() {
+                    buckets[locked_shard_of(&shards, key)].push(i as u32);
+                }
+                for (shard, bucket) in shards.iter().zip(&buckets) {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let index = shard.index.read();
+                    for &i in bucket {
+                        out[i as usize] = index.get(keys[i as usize]);
+                    }
+                }
+                out
+            }
+            Repr::Rcu(_) => self
+                .read_view()
+                .expect("the RCU path always has snapshots to pin")
+                .multi_get(keys),
         }
     }
 
@@ -1841,6 +1918,59 @@ mod tests {
             assert_eq!(sharded.get(keys[0].wrapping_sub(1)), None);
             assert_eq!(sharded.get(*keys.last().unwrap() + 1), None);
         }
+    }
+
+    /// The serving batch path: `multi_get` must return exactly what N
+    /// individual `get`s would — in input order, hits and misses alike —
+    /// on both read paths, both overlay representations, and with pending
+    /// overlay writes (upserts and tombstones) in play.
+    #[test]
+    fn multi_get_matches_individual_gets_everywhere() {
+        let keys = Dataset::Osm.generate(30_000, 11);
+        let records = identity_records(&keys);
+        // A deliberately unordered batch mixing hits, misses below, between
+        // and above the loaded range, and duplicates.
+        let mut batch: Vec<Key> = keys.iter().copied().step_by(17).collect();
+        batch.extend((0..200u64).map(|i| *keys.last().unwrap() + 1 + i));
+        batch.push(keys[0].wrapping_sub(1));
+        batch.push(keys[0]);
+        batch.push(keys[0]);
+        batch.reverse();
+        for path in BOTH_PATHS {
+            for overlay in BOTH_OVERLAYS {
+                let sharded = ShardedIndex::<BPlusTree>::bulk_load(
+                    &records,
+                    config(8, path)
+                        .with_overlay(overlay)
+                        .with_overlay_capacity(64),
+                );
+                // Dirty the overlays: overwrites, fresh inserts, removals.
+                for &k in keys.iter().step_by(23) {
+                    sharded.insert(k, k ^ 0xABCD);
+                }
+                for &k in keys.iter().step_by(41) {
+                    sharded.remove(k);
+                }
+                let individually: Vec<Option<Value>> =
+                    batch.iter().map(|&k| sharded.get(k)).collect();
+                assert_eq!(
+                    sharded.multi_get(&batch),
+                    individually,
+                    "{path:?}/{overlay:?}"
+                );
+                // The pinned view agrees with itself and with the index.
+                if let Some(view) = sharded.read_view() {
+                    let via_view: Vec<Option<Value>> = batch.iter().map(|&k| view.get(k)).collect();
+                    assert_eq!(view.multi_get(&batch), via_view, "{overlay:?}");
+                    assert_eq!(via_view, individually);
+                }
+                assert!(sharded.multi_get(&[]).is_empty());
+            }
+        }
+        // Single-shard fast path.
+        let single = ShardedIndex::<BPlusTree>::bulk_load(&records, config(1, ReadPath::Rcu));
+        let expected: Vec<Option<Value>> = batch.iter().map(|&k| single.get(k)).collect();
+        assert_eq!(single.multi_get(&batch), expected);
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! `csv-loadgen` — drive YCSB-style load against a running `csv-index
+//! --serve` instance and report throughput plus p50/p99/p99.9 latency.
+
+use csv_server::{run_loadgen, LoadgenConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let config = match LoadgenConfig::parse(&raw) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_loadgen(&config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.completed == 0 {
+                eprintln!("error: no operations completed");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Typed error values for the wire protocol, the server and the client.
+//!
+//! The protocol errors exist so a hostile byte stream can never panic a
+//! worker: every way a frame can be malformed maps to a variant here, the
+//! worker logs it and closes that one connection, and every other
+//! connection keeps being served.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can be wrong with bytes arriving on a connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame header declares a payload longer than
+    /// [`MAX_FRAME_LEN`](crate::protocol::MAX_FRAME_LEN); honouring it would
+    /// let one connection allocate unbounded memory.
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+        /// The limit it exceeded.
+        max: usize,
+    },
+    /// The payload checksum does not match the frame header.
+    BadCrc {
+        /// The checksum the header carried.
+        expected: u32,
+        /// The checksum of the bytes that actually arrived.
+        found: u32,
+    },
+    /// The first payload byte names no known request or response.
+    UnknownOpcode(u8),
+    /// The payload body ended before the fields its opcode requires.
+    Truncated,
+    /// The payload is structurally invalid in some other way (an impossible
+    /// tag, a length field pointing past the payload, non-UTF-8 text).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Oversized { len, max } => {
+                write!(f, "frame declares {len} payload bytes (limit {max})")
+            }
+            Self::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "frame crc mismatch (header {expected:#010x}, payload {found:#010x})"
+                )
+            }
+            Self::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            Self::Truncated => f.write_str("payload ends before its opcode's fields"),
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// What can go wrong talking to the server from the [`Client`].
+///
+/// [`Client`]: crate::client::Client
+#[derive(Debug)]
+pub enum ClientError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response frame.
+    Protocol(ProtocolError),
+    /// The server closed the connection before answering (e.g. after we
+    /// sent it a frame it considered hostile).
+    Disconnected,
+    /// The server answered with its error response.
+    Server(String),
+    /// The server answered with a well-formed response of the wrong kind
+    /// for the request (a server bug, not a transport problem).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::Disconnected => f.write_str("server closed the connection"),
+            Self::Server(msg) => write!(f, "server error: {msg}"),
+            Self::Unexpected(what) => write!(f, "unexpected response kind (wanted {what})"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+/// A loadgen argument parse/validation error with a user-facing message,
+/// mirroring the `csv-index` CLI's typed-error style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// The message printed to stderr.
+    pub message: String,
+}
+
+impl ArgError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ArgError {}

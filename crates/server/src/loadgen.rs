@@ -1,0 +1,535 @@
+//! The YCSB-style load generator behind the `csv-loadgen` binary.
+//!
+//! Drives N concurrent connections against a running server, each replaying
+//! a pre-generated operation mix until a wall-clock deadline, recording
+//! per-request latency into a thread-local [`LatencyHistogram`] (no
+//! cross-thread synchronisation on the hot path) and merging the shards at
+//! the end — the merge ≡ single-stream equivalence is pinned by unit tests
+//! in `csv_common::latency`.
+//!
+//! The generator never asks the server for its key space: the server loads
+//! a deterministic dataset (`--dataset/--size/--seed` on `csv-index
+//! --serve`), so passing the same three flags here regenerates the exact
+//! same keys client-side.
+
+use crate::client::Client;
+use crate::errors::{ArgError, ClientError};
+use csv_common::key::Key;
+use csv_common::latency::LatencyHistogram;
+use csv_datasets::{
+    Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity,
+};
+use std::time::{Duration, Instant};
+
+/// Which YCSB-style mix to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixChoice {
+    /// 50% reads / 50% updates, Zipfian popularity.
+    YcsbA,
+    /// 95% reads / 5% updates, Zipfian popularity.
+    YcsbB,
+    /// 100% reads, Zipfian popularity.
+    YcsbC,
+    /// 95% short scans / 5% inserts.
+    YcsbE,
+    /// Reads, inserts, removes and scans.
+    Churn,
+}
+
+impl MixChoice {
+    /// Parses a mix name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        match s.to_ascii_lowercase().as_str() {
+            "ycsb-a" => Ok(Self::YcsbA),
+            "ycsb-b" => Ok(Self::YcsbB),
+            "ycsb-c" | "read-only" | "readonly" => Ok(Self::YcsbC),
+            "ycsb-e" => Ok(Self::YcsbE),
+            "churn" => Ok(Self::Churn),
+            other => Err(ArgError::new(format!(
+                "unknown mix '{other}' (expected ycsb-a|ycsb-b|ycsb-c|ycsb-e|churn)"
+            ))),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::YcsbA => "ycsb-a",
+            Self::YcsbB => "ycsb-b",
+            Self::YcsbC => "ycsb-c",
+            Self::YcsbE => "ycsb-e",
+            Self::Churn => "churn",
+        }
+    }
+
+    fn spec(&self) -> (OperationMix, Popularity) {
+        match self {
+            Self::YcsbA => (OperationMix::ycsb_a(), Popularity::Zipfian(0.99)),
+            Self::YcsbB => (OperationMix::ycsb_b(), Popularity::Zipfian(0.99)),
+            Self::YcsbC => (OperationMix::ycsb_c(), Popularity::Zipfian(0.99)),
+            Self::YcsbE => (OperationMix::ycsb_e(), Popularity::Uniform),
+            Self::Churn => (OperationMix::churn(), Popularity::Uniform),
+        }
+    }
+}
+
+/// Everything one load-generation run needs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Operation mix.
+    pub mix: MixChoice,
+    /// Dataset analogue the server was loaded with.
+    pub dataset: Dataset,
+    /// Key count the server was loaded with.
+    pub size: usize,
+    /// Seed the server was loaded with.
+    pub seed: u64,
+    /// Consecutive reads grouped into one `MultiGet` frame (1 = plain
+    /// `Get` per read).
+    pub batch: usize,
+    /// Operations pre-generated per connection, cycled until the deadline.
+    pub ops_per_conn: usize,
+    /// Send `Shutdown` to the server after the run.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4711".to_string(),
+            connections: 4,
+            duration: Duration::from_secs(5),
+            mix: MixChoice::YcsbB,
+            dataset: Dataset::Genome,
+            size: 200_000,
+            seed: 42,
+            batch: 1,
+            ops_per_conn: 100_000,
+            shutdown: false,
+        }
+    }
+}
+
+/// What a run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Wall-clock time the connections were driving load.
+    pub elapsed: Duration,
+    /// Operations completed across all connections (each batch entry
+    /// counts once).
+    pub completed: u64,
+    /// Requests that failed (transport or server error).
+    pub errors: u64,
+    /// Connections that participated.
+    pub connections: usize,
+    /// Per-request latency over all connections (a `MultiGet` is one
+    /// sample: the client-observed cost of the whole wire request).
+    pub latency: LatencyHistogram,
+}
+
+impl LoadgenReport {
+    /// Completed operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The two lines the binary prints.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} ops over {} connections in {:.2}s = {:.0} ops/s ({} errors)\nlatency: {}\n",
+            self.completed,
+            self.connections,
+            self.elapsed.as_secs_f64(),
+            self.throughput(),
+            self.errors,
+            self.latency.summary_line()
+        )
+    }
+}
+
+/// One connection's share of the run.
+struct ConnOutcome {
+    latency: LatencyHistogram,
+    completed: u64,
+    errors: u64,
+}
+
+fn drive_connection(
+    config: &LoadgenConfig,
+    conn_id: usize,
+    deadline: Instant,
+) -> Result<ConnOutcome, ClientError> {
+    let mut client = Client::connect(config.addr.as_str())?;
+    let keys = config.dataset.generate(config.size, config.seed);
+    let (mix, popularity) = config.mix.spec();
+    let operations = MixedWorkload::generate(
+        &keys,
+        &MixedWorkloadSpec {
+            num_operations: config.ops_per_conn,
+            mix,
+            popularity,
+            scan_width: 100,
+            // Distinct per connection so N connections don't replay N
+            // identical streams in lockstep.
+            seed: config.seed ^ 0x10ad ^ ((conn_id as u64) << 32),
+        },
+    )
+    .operations;
+
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut read_batch: Vec<Key> = Vec::with_capacity(config.batch);
+    let mut op_cursor = 0usize;
+
+    let issue_reads = |client: &mut Client,
+                       batch: &mut Vec<Key>,
+                       latency: &mut LatencyHistogram,
+                       completed: &mut u64,
+                       errors: &mut u64|
+     -> Result<(), ClientError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let outcome = if batch.len() == 1 {
+            client.get(batch[0]).map(|_| ())
+        } else {
+            client.multi_get(batch).map(|_| ())
+        };
+        match outcome {
+            Ok(()) => {
+                latency.record(started.elapsed());
+                *completed += batch.len() as u64;
+            }
+            Err(ClientError::Server(_)) => *errors += 1,
+            Err(fatal) => return Err(fatal),
+        }
+        batch.clear();
+        Ok(())
+    };
+
+    while Instant::now() < deadline {
+        let op = operations[op_cursor % operations.len()];
+        op_cursor += 1;
+        if let Operation::Read(key) = op {
+            read_batch.push(key);
+            if read_batch.len() >= config.batch.max(1) {
+                issue_reads(
+                    &mut client,
+                    &mut read_batch,
+                    &mut latency,
+                    &mut completed,
+                    &mut errors,
+                )?;
+            }
+            continue;
+        }
+        // A non-read flushes any pending batch first so ordering stays
+        // close to the generated stream.
+        issue_reads(
+            &mut client,
+            &mut read_batch,
+            &mut latency,
+            &mut completed,
+            &mut errors,
+        )?;
+        let started = Instant::now();
+        let outcome = match op {
+            Operation::Insert(key) => client.insert(key, key).map(|_| ()),
+            Operation::Remove(key) => client.remove(key).map(|_| ()),
+            Operation::Scan(lo, hi) => client.range(lo, hi, 0).map(|_| ()),
+            Operation::Read(_) => unreachable!("handled above"),
+        };
+        match outcome {
+            Ok(()) => {
+                latency.record(started.elapsed());
+                completed += 1;
+            }
+            Err(ClientError::Server(_)) => errors += 1,
+            Err(fatal) => return Err(fatal),
+        }
+    }
+    issue_reads(
+        &mut client,
+        &mut read_batch,
+        &mut latency,
+        &mut completed,
+        &mut errors,
+    )?;
+    Ok(ConnOutcome {
+        latency,
+        completed,
+        errors,
+    })
+}
+
+/// Runs the whole load generation: N connection threads until the
+/// deadline, merged report afterwards, optional `Shutdown` at the end.
+pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let outcomes: Vec<Result<ConnOutcome, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections.max(1))
+            .map(|conn_id| scope.spawn(move || drive_connection(config, conn_id, deadline)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    for outcome in outcomes {
+        // A connection that died early (e.g. the server went away) is a
+        // hard failure: partial numbers would silently misreport.
+        let outcome = outcome?;
+        latency.merge(&outcome.latency);
+        completed += outcome.completed;
+        errors += outcome.errors;
+    }
+    if config.shutdown {
+        Client::connect(config.addr.as_str())?.shutdown()?;
+    }
+    Ok(LoadgenReport {
+        elapsed,
+        completed,
+        errors,
+        connections: config.connections.max(1),
+        latency,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing for the binary
+// ---------------------------------------------------------------------------
+
+impl LoadgenConfig {
+    /// The usage string printed on `--help` or a parse error.
+    pub fn usage() -> &'static str {
+        "csv-loadgen [--addr HOST:PORT] [--connections N] [--duration SECS]\n\
+         \u{20}           [--mix ycsb-a|ycsb-b|ycsb-c|ycsb-e|churn] [--batch N]\n\
+         \u{20}           [--dataset facebook|covid|osm|genome] [--size N] [--seed S]\n\
+         \u{20}           [--ops N] [--shutdown]\n\
+         \n\
+         Drives N concurrent connections against a running `csv-index --serve` instance\n\
+         through a YCSB-style mix for the given duration and reports throughput plus a\n\
+         p50/p99/p99.9 latency histogram. --dataset/--size/--seed must match the serving\n\
+         process so the generated key space lines up (the defaults match csv-index's).\n\
+         --batch groups consecutive reads into one MultiGet frame; --ops sets how many\n\
+         operations are pre-generated per connection (cycled until the deadline);\n\
+         --shutdown sends the server a clean Shutdown once the run completes."
+    }
+
+    /// Parses `--flag value` style arguments, rejecting zero/invalid
+    /// values with typed errors (same contract as the `csv-index` CLI).
+    pub fn parse(args: &[String]) -> Result<Self, ArgError> {
+        let mut out = Self::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if flag == "--help" || flag == "-h" {
+                return Err(ArgError::new(Self::usage()));
+            }
+            if flag == "--shutdown" {
+                out.shutdown = true;
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::new(format!("flag {flag} expects a value")))?;
+            match flag.as_str() {
+                "--addr" => out.addr = value.clone(),
+                "--connections" => {
+                    out.connections = parse_number(flag, value)? as usize;
+                    if out.connections == 0 {
+                        return Err(ArgError::new("--connections must be at least 1"));
+                    }
+                }
+                "--duration" => {
+                    let secs = value.parse::<f64>().map_err(|_| {
+                        ArgError::new(format!("--duration expects seconds, got '{value}'"))
+                    })?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(ArgError::new("--duration must be > 0 seconds"));
+                    }
+                    out.duration = Duration::from_secs_f64(secs);
+                }
+                "--mix" => out.mix = MixChoice::parse(value)?,
+                "--batch" => {
+                    out.batch = parse_number(flag, value)? as usize;
+                    if out.batch == 0 {
+                        return Err(ArgError::new("--batch must be at least 1"));
+                    }
+                }
+                "--dataset" => {
+                    out.dataset = match value.to_ascii_lowercase().as_str() {
+                        "facebook" | "fb" => Dataset::Facebook,
+                        "covid" => Dataset::Covid,
+                        "osm" => Dataset::Osm,
+                        "genome" => Dataset::Genome,
+                        other => {
+                            return Err(ArgError::new(format!(
+                                "unknown dataset '{other}' (expected facebook|covid|osm|genome)"
+                            )))
+                        }
+                    }
+                }
+                "--size" => {
+                    out.size = parse_number(flag, value)? as usize;
+                    if out.size < 2 {
+                        return Err(ArgError::new("--size must be at least 2"));
+                    }
+                }
+                "--seed" => out.seed = parse_number(flag, value)?,
+                "--ops" => {
+                    out.ops_per_conn = parse_number(flag, value)? as usize;
+                    if out.ops_per_conn == 0 {
+                        return Err(ArgError::new("--ops must be at least 1"));
+                    }
+                }
+                other => {
+                    return Err(ArgError::new(format!(
+                        "unknown flag '{other}'\n\n{}",
+                        Self::usage()
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_number(flag: &str, value: &str) -> Result<u64, ArgError> {
+    value
+        .replace('_', "")
+        .parse::<u64>()
+        .map_err(|_| ArgError::new(format!("{flag} expects an integer, got '{value}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<LoadgenConfig, ArgError> {
+        LoadgenConfig::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_match_the_serving_defaults() {
+        let config = parse(&[]).unwrap();
+        assert_eq!(config.dataset, Dataset::Genome);
+        assert_eq!(config.size, 200_000);
+        assert_eq!(config.seed, 42);
+        assert_eq!(config.mix, MixChoice::YcsbB);
+        assert!(!config.shutdown);
+    }
+
+    #[test]
+    fn full_flag_set_round_trips() {
+        let config = parse(&[
+            "--addr",
+            "127.0.0.1:9999",
+            "--connections",
+            "8",
+            "--duration",
+            "2.5",
+            "--mix",
+            "ycsb-a",
+            "--batch",
+            "64",
+            "--dataset",
+            "osm",
+            "--size",
+            "50_000",
+            "--seed",
+            "7",
+            "--ops",
+            "1000",
+            "--shutdown",
+        ])
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:9999");
+        assert_eq!(config.connections, 8);
+        assert_eq!(config.duration, Duration::from_secs_f64(2.5));
+        assert_eq!(config.mix, MixChoice::YcsbA);
+        assert_eq!(config.batch, 64);
+        assert_eq!(config.dataset, Dataset::Osm);
+        assert_eq!(config.size, 50_000);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.ops_per_conn, 1_000);
+        assert!(config.shutdown);
+    }
+
+    #[test]
+    fn zero_and_invalid_values_are_rejected() {
+        assert!(parse(&["--connections", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert!(parse(&["--duration", "0"])
+            .unwrap_err()
+            .message
+            .contains("> 0"));
+        assert!(parse(&["--duration", "-3"])
+            .unwrap_err()
+            .message
+            .contains("> 0"));
+        assert!(parse(&["--duration", "NaN"])
+            .unwrap_err()
+            .message
+            .contains("> 0"));
+        assert!(parse(&["--batch", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert!(parse(&["--size", "1"])
+            .unwrap_err()
+            .message
+            .contains("at least 2"));
+        assert!(parse(&["--ops", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert!(parse(&["--mix", "ycsb-z"])
+            .unwrap_err()
+            .message
+            .contains("unknown mix"));
+        assert!(parse(&["--connections", "x"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
+        assert!(parse(&["--bogus", "1"])
+            .unwrap_err()
+            .message
+            .contains("unknown flag"));
+        assert!(parse(&["--connections"])
+            .unwrap_err()
+            .message
+            .contains("expects a value"));
+        assert!(parse(&["--help"])
+            .unwrap_err()
+            .message
+            .contains("csv-loadgen"));
+    }
+
+    #[test]
+    fn every_mix_name_parses() {
+        for (name, expected) in [
+            ("ycsb-a", MixChoice::YcsbA),
+            ("YCSB-B", MixChoice::YcsbB),
+            ("ycsb-c", MixChoice::YcsbC),
+            ("read-only", MixChoice::YcsbC),
+            ("ycsb-e", MixChoice::YcsbE),
+            ("churn", MixChoice::Churn),
+        ] {
+            assert_eq!(MixChoice::parse(name).unwrap(), expected);
+            assert!(!expected.name().is_empty());
+        }
+    }
+}

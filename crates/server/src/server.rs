@@ -1,0 +1,246 @@
+//! The thread-per-core TCP front-end.
+//!
+//! One acceptor thread owns the listening socket and deals new connections
+//! round-robin to a fixed set of worker threads; each worker owns its
+//! connections outright (no work stealing, no shared queues on the hot
+//! path) and pins an RCU [`ReadView`] so point reads touch no atomics at
+//! all. The container this grows in is offline — no tokio, no mio — so
+//! everything is blocking `std::net`: the acceptor polls a nonblocking
+//! listener, and workers multiplex their connections with short read
+//! timeouts (see the crate-private `worker` module).
+//!
+//! [`ReadView`]: csv_concurrent::ReadView
+
+use crate::worker::{worker_loop, WorkerReport};
+use csv_common::traits::{RangeIndex, RemovableIndex, SnapshotIndex};
+use csv_concurrent::{MaintenanceHandle, MaintenanceStats, ShardedIndex};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the server binds and sizes itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Loopback port to listen on; `0` asks the OS for an ephemeral port
+    /// (read it back via [`ServerHandle::local_addr`]) — handy for
+    /// in-process tests, while the CLI insists on an explicit port.
+    pub port: u16,
+    /// Worker threads (thread-per-core: one connection-owning thread per
+    /// core you want serving).
+    pub workers: usize,
+    /// A worker re-pins its [`ReadView`](csv_concurrent::ReadView) after
+    /// every write it performs and every `view_refresh` point reads, so a
+    /// pinned view can only lag foreign writes by a bounded amount.
+    pub view_refresh: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            workers: 2,
+            view_refresh: 1024,
+        }
+    }
+}
+
+/// Counters and control state shared by the acceptor, the workers and the
+/// handle. Deliberately non-generic so [`ServerHandle`] stays usable
+/// without naming the index type.
+pub(crate) struct Shared {
+    /// Set once by whichever worker sees a `Shutdown` frame (or by
+    /// [`ServerHandle::shutdown`]); everyone drains and exits.
+    pub(crate) stop: AtomicBool,
+    /// Connections accepted since start.
+    pub(crate) connections: AtomicU64,
+    /// Operations completed since start (batch entries count once each).
+    pub(crate) ops: AtomicU64,
+    /// Worker count, echoed in `Stats`.
+    pub(crate) workers: usize,
+    /// The background maintenance engine, if one runs behind the socket.
+    /// Workers peek at health for `Stats`; shutdown takes it to join it.
+    pub(crate) engine: Mutex<Option<MaintenanceHandle>>,
+    /// `true` when an engine was attached at spawn (stable, unlike the
+    /// Option above which empties at shutdown).
+    pub(crate) has_engine: bool,
+    /// Sticky health bit: starts `true`, cleared if the engine ever
+    /// reports unhealthy or panics at shutdown.
+    pub(crate) engine_healthy: AtomicBool,
+}
+
+impl Shared {
+    /// `Stats`-visible health: an attached engine that has recorded a
+    /// panic makes this `false`; no engine means nothing can be unhealthy.
+    pub(crate) fn engine_is_healthy(&self) -> bool {
+        if !self.engine_healthy.load(Ordering::Relaxed) {
+            return false;
+        }
+        match self.engine.lock().unwrap().as_ref() {
+            Some(handle) => handle.is_healthy(),
+            None => true,
+        }
+    }
+}
+
+/// What the server counted over its lifetime, returned by
+/// [`ServerHandle::join`]/[`ServerHandle::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Operations served (batch entries count once each).
+    pub ops: u64,
+    /// Connections closed because they sent malformed frames.
+    pub protocol_errors: u64,
+    /// Final stats of the maintenance engine, when one was attached and
+    /// shut down cleanly.
+    pub engine_stats: Option<MaintenanceStats>,
+    /// `false` when an attached engine panicked at any point.
+    pub engine_healthy: bool,
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`join`](Self::join) to wait for a client-initiated `Shutdown` or
+/// [`shutdown`](Self::shutdown) to stop it from this side.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `true` once the server has begun stopping (a `Shutdown` frame
+    /// arrived or [`shutdown`](Self::shutdown) was called).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Waits until the server stops — normally because a client sent the
+    /// `Shutdown` operation — then joins every thread and reports.
+    pub fn join(self) -> ServerReport {
+        let Self {
+            shared,
+            acceptor,
+            workers,
+            ..
+        } = self;
+        let mut report = ServerReport {
+            engine_healthy: true,
+            ..ServerReport::default()
+        };
+        for worker in workers {
+            match worker.join() {
+                Ok(w) => report.protocol_errors += w.protocol_errors,
+                Err(_) => report.engine_healthy = false,
+            }
+        }
+        // The acceptor exits once `stop` is set; workers only exit after
+        // setting it (or after their channel died), so joining them first
+        // is safe.
+        acceptor.join().ok();
+        report.connections = shared.connections.load(Ordering::Relaxed);
+        report.ops = shared.ops.load(Ordering::Relaxed);
+        if let Some(engine) = shared.engine.lock().unwrap().take() {
+            match engine.shutdown() {
+                Ok(stats) => report.engine_stats = Some(stats),
+                Err(_panic) => report.engine_healthy = false,
+            }
+        }
+        if !shared.engine_healthy.load(Ordering::Relaxed) {
+            report.engine_healthy = false;
+        }
+        report
+    }
+
+    /// Stops the server from the handle side and joins everything.
+    pub fn shutdown(self) -> ServerReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.join()
+    }
+}
+
+/// Binds `127.0.0.1:port` and spawns the acceptor plus `config.workers`
+/// worker threads over the shared index. The optional maintenance engine
+/// handle is surfaced through `Stats` and joined at shutdown.
+pub fn spawn<I>(
+    index: Arc<ShardedIndex<I>>,
+    engine: Option<MaintenanceHandle>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle>
+where
+    I: SnapshotIndex + RangeIndex + RemovableIndex + 'static,
+{
+    let workers = config.workers.max(1);
+    let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+        ops: AtomicU64::new(0),
+        workers,
+        has_engine: engine.is_some(),
+        engine: Mutex::new(engine),
+        engine_healthy: AtomicBool::new(true),
+    });
+
+    let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+    let mut worker_handles = Vec::with_capacity(workers);
+    for id in 0..workers {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        senders.push(tx);
+        let shared = Arc::clone(&shared);
+        let index = Arc::clone(&index);
+        let view_refresh = config.view_refresh.max(1);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("csv-serve-{id}"))
+                .spawn(move || worker_loop(index, shared, rx, view_refresh))
+                .expect("spawning a worker thread"),
+        );
+    }
+
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("csv-accept".into())
+        .spawn(move || {
+            let mut next = 0usize;
+            while !acceptor_shared.stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        acceptor_shared.connections.fetch_add(1, Ordering::Relaxed);
+                        // Round-robin deal; a worker whose channel died has
+                        // already panicked, and join() will surface that.
+                        if senders[next % senders.len()].send(stream).is_err() {
+                            break;
+                        }
+                        next = next.wrapping_add(1);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Dropping the senders lets idle workers notice the end.
+        })
+        .expect("spawning the acceptor thread");
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        acceptor,
+        workers: worker_handles,
+    })
+}

@@ -1,0 +1,304 @@
+//! The per-core worker: owns its connections, pins a `ReadView`, serves
+//! frames.
+//!
+//! A worker multiplexes its connections without an event loop: every
+//! stream gets a short read timeout, and the worker sweeps its connection
+//! set round-robin — a read that times out costs one syscall and moves on,
+//! a read that returns bytes feeds the incremental decoder. Point reads go
+//! through the worker's pinned [`ReadView`] (zero atomics per lookup on
+//! the RCU path); the view is re-pinned after every write the worker
+//! performs and every `view_refresh` reads, bounding how far it can lag
+//! writes made on other workers. Hostile bytes never panic the worker: a
+//! typed [`ProtocolError`](crate::errors::ProtocolError) closes that one
+//! connection and every other connection keeps being served.
+//!
+//! [`ReadView`]: csv_concurrent::ReadView
+
+use crate::codec::{decode_request, encode_response, Decoded};
+use crate::protocol::{Request, Response, ServerStats, WriteOp};
+use crate::server::Shared;
+use csv_common::traits::{RangeIndex, RemovableIndex, SnapshotIndex};
+use csv_concurrent::{ReadPath, ReadView, ShardedIndex};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a sweep blocks on one silent connection before moving to the
+/// next. Small enough that a 100-connection worker still visits everyone
+/// ~20×/second even if all are idle; on loopback a busy connection almost
+/// always has bytes ready and never pays it.
+const READ_TIMEOUT: Duration = Duration::from_micros(500);
+
+/// How long an idle worker (no connections at all) naps before polling
+/// its intake channel again.
+const IDLE_NAP: Duration = Duration::from_micros(200);
+
+/// What one worker counted, folded into the
+/// [`ServerReport`](crate::server::ServerReport).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerReport {
+    /// Connections this worker closed for sending malformed frames.
+    pub(crate) protocol_errors: u64,
+}
+
+/// One connection owned by a worker.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet decoded into a full frame.
+    inbox: Vec<u8>,
+    /// Encoded responses not yet flushed.
+    outbox: Vec<u8>,
+}
+
+/// The worker's view of the index: the pinned snapshot when the RCU path
+/// offers one, refreshed on writes and every `view_refresh` reads.
+struct Pinned<I> {
+    view: Option<ReadView<I>>,
+    reads_since_pin: usize,
+    view_refresh: usize,
+}
+
+impl<I: SnapshotIndex + RangeIndex> Pinned<I> {
+    fn new(index: &ShardedIndex<I>, view_refresh: usize) -> Self {
+        Self {
+            view: index.read_view(),
+            reads_since_pin: 0,
+            view_refresh,
+        }
+    }
+
+    fn repin(&mut self, index: &ShardedIndex<I>) {
+        self.view = index.read_view();
+        self.reads_since_pin = 0;
+    }
+
+    fn before_read(&mut self, index: &ShardedIndex<I>) {
+        self.reads_since_pin += 1;
+        if self.reads_since_pin >= self.view_refresh {
+            self.repin(index);
+        }
+    }
+}
+
+/// Serves one decoded request. Returns the response and whether this
+/// request asked the whole server to stop.
+fn handle_request<I>(
+    req: Request,
+    index: &ShardedIndex<I>,
+    pinned: &mut Pinned<I>,
+    shared: &Shared,
+) -> (Response, bool)
+where
+    I: SnapshotIndex + RangeIndex + RemovableIndex,
+{
+    let mut ops = 1u64;
+    let mut stop = false;
+    let response = match req {
+        Request::Get { key } => {
+            pinned.before_read(index);
+            let value = match &pinned.view {
+                Some(view) => view.get(key),
+                None => index.get(key),
+            };
+            Response::Value(value)
+        }
+        Request::MultiGet { keys } => {
+            ops = keys.len() as u64;
+            pinned.before_read(index);
+            let values = match &pinned.view {
+                Some(view) => view.multi_get(&keys),
+                None => index.multi_get(&keys),
+            };
+            Response::Values(values)
+        }
+        Request::Range { lo, hi, limit } => {
+            // Scans read the live index: a range is already a multi-shard
+            // operation and the pinned point-read view buys it nothing.
+            let mut records = index.range(lo, hi);
+            if limit != 0 {
+                records.truncate(limit as usize);
+            }
+            Response::Records(records)
+        }
+        Request::Insert { key, value } => {
+            let fresh = index.insert(key, value);
+            pinned.repin(index);
+            Response::Inserted(fresh)
+        }
+        Request::Remove { key } => {
+            let removed = index.remove(key);
+            pinned.repin(index);
+            Response::Removed(removed)
+        }
+        Request::WriteBatch { ops: batch } => {
+            ops = batch.len() as u64;
+            let mut fresh_inserts = 0u32;
+            let mut hits = 0u32;
+            for op in batch {
+                match op {
+                    WriteOp::Insert { key, value } => {
+                        fresh_inserts += u32::from(index.insert(key, value));
+                    }
+                    WriteOp::Remove { key } => {
+                        hits += u32::from(index.remove(key).is_some());
+                    }
+                }
+            }
+            pinned.repin(index);
+            Response::BatchApplied {
+                fresh_inserts,
+                hits,
+            }
+        }
+        Request::Stats => Response::Stats(ServerStats {
+            keys: index.len() as u64,
+            shards: index.num_shards() as u32,
+            workers: shared.workers as u32,
+            rcu: index.read_path() == ReadPath::Rcu,
+            connections: shared.connections.load(Ordering::Relaxed),
+            ops: shared.ops.load(Ordering::Relaxed),
+            engine_healthy: shared.engine_is_healthy(),
+            maintenance: shared.has_engine,
+        }),
+        Request::Shutdown => {
+            stop = true;
+            Response::ShuttingDown
+        }
+    };
+    shared.ops.fetch_add(ops, Ordering::Relaxed);
+    (response, stop)
+}
+
+/// Drains every full frame currently in `conn.inbox`, appending responses
+/// to `conn.outbox`. Returns `Err(())` when the connection must close
+/// (malformed bytes); `Ok(true)` when a `Shutdown` frame was served.
+fn drain_frames<I>(
+    conn: &mut Conn,
+    index: &ShardedIndex<I>,
+    pinned: &mut Pinned<I>,
+    shared: &Shared,
+    report: &mut WorkerReport,
+) -> Result<bool, ()>
+where
+    I: SnapshotIndex + RangeIndex + RemovableIndex,
+{
+    let mut consumed_total = 0usize;
+    let mut saw_shutdown = false;
+    loop {
+        match decode_request(&conn.inbox[consumed_total..]) {
+            Ok(Decoded::Incomplete) => break,
+            Ok(Decoded::Frame { value, consumed }) => {
+                consumed_total += consumed;
+                let (response, stop) = handle_request(value, index, pinned, shared);
+                encode_response(&response, &mut conn.outbox);
+                if stop {
+                    saw_shutdown = true;
+                    break;
+                }
+            }
+            Err(error) => {
+                // Typed rejection: answer with the error (best-effort),
+                // count it, and have the caller drop the connection. The
+                // stream is unsynchronized from here on, so nothing after
+                // the bad frame is trusted.
+                report.protocol_errors += 1;
+                encode_response(&Response::Error(error.to_string()), &mut conn.outbox);
+                conn.stream.write_all(&conn.outbox).ok();
+                return Err(());
+            }
+        }
+    }
+    conn.inbox.drain(..consumed_total);
+    Ok(saw_shutdown)
+}
+
+/// The worker thread body: adopt connections from the acceptor, sweep
+/// them, decode, serve, repeat until the stop flag rises.
+pub(crate) fn worker_loop<I>(
+    index: Arc<ShardedIndex<I>>,
+    shared: Arc<Shared>,
+    intake: Receiver<TcpStream>,
+    view_refresh: usize,
+) -> WorkerReport
+where
+    I: SnapshotIndex + RangeIndex + RemovableIndex + 'static,
+{
+    let mut report = WorkerReport::default();
+    let mut pinned = Pinned::new(&index, view_refresh);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = [0u8; 64 * 1024];
+    let mut intake_open = true;
+
+    while !shared.stop.load(Ordering::Relaxed) {
+        // Adopt whatever the acceptor dealt us since the last sweep.
+        while intake_open {
+            match intake.try_recv() {
+                Ok(stream) => {
+                    // The short timeout is what lets one thread multiplex
+                    // many blocking sockets; writes stay fully blocking.
+                    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_ok()
+                        && stream.set_nodelay(true).is_ok()
+                    {
+                        conns.push(Conn {
+                            stream,
+                            inbox: Vec::new(),
+                            outbox: Vec::new(),
+                        });
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    intake_open = false;
+                }
+            }
+        }
+        if conns.is_empty() {
+            if !intake_open {
+                break;
+            }
+            std::thread::sleep(IDLE_NAP);
+            continue;
+        }
+
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let mut close = false;
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => close = true, // orderly remote close
+                Ok(n) => {
+                    conn.inbox.extend_from_slice(&scratch[..n]);
+                    match drain_frames(conn, &index, &mut pinned, &shared, &mut report) {
+                        Ok(saw_shutdown) => {
+                            if !conn.outbox.is_empty() {
+                                if conn.stream.write_all(&conn.outbox).is_err() {
+                                    close = true;
+                                }
+                                conn.outbox.clear();
+                            }
+                            if saw_shutdown {
+                                shared.stop.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        Err(()) => close = true,
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => close = true,
+            }
+            if close {
+                conns.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    report
+}
