@@ -6,7 +6,8 @@ use csv_alex::AlexIndex;
 use csv_btree::BPlusTree;
 use csv_common::key::identity_records;
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
-use csv_concurrent::{OverlayRepr, ReadPath, ShardedIndex, ShardingConfig};
+use csv_common::KeyValue;
+use csv_concurrent::{OverlayRepr, ReadPath, ShardedIndex, ShardingConfig, WriteOp};
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{
     Dataset, MixedWorkload, MixedWorkloadSpec, Operation, OperationMix, Popularity,
@@ -51,6 +52,35 @@ fn replay_sharded(index: &ShardedIndex<LippIndex>, workload: &MixedWorkload) -> 
         }
     }
     touched
+}
+
+/// How many consecutive writes the batched replay groups into one
+/// `write_batch` call.
+const WRITE_BATCH: usize = 64;
+
+/// The replay a group-committing server performs: writes buffer until
+/// [`WRITE_BATCH`] accumulate and commit as one `write_batch` (one overlay
+/// update, one publication, one durability frame per touched shard); reads
+/// and scans meanwhile hit the published snapshot — exactly the bounded
+/// staleness a batching front-end exhibits between group commits.
+fn replay_sharded_batched(index: &ShardedIndex<LippIndex>, workload: &MixedWorkload) -> usize {
+    let mut touched = 0usize;
+    let mut buffer: Vec<WriteOp> = Vec::with_capacity(WRITE_BATCH);
+    for op in &workload.operations {
+        match *op {
+            Operation::Read(k) => touched += usize::from(index.get(k).is_some()),
+            Operation::Insert(k) => buffer.push(WriteOp::Insert { key: k, value: k }),
+            Operation::Remove(k) => buffer.push(WriteOp::Remove { key: k }),
+            Operation::Scan(lo, hi) => touched += index.range(lo, hi).len(),
+        }
+        if buffer.len() >= WRITE_BATCH {
+            let outcome = index.write_batch(&buffer);
+            touched += outcome.fresh_inserts + outcome.removed;
+            buffer.clear();
+        }
+    }
+    let outcome = index.write_batch(&buffer);
+    touched + outcome.fresh_inserts + outcome.removed
 }
 
 fn bench_mixed_workload(c: &mut Criterion) {
@@ -154,6 +184,28 @@ fn bench_mixed_workload(c: &mut Criterion) {
                 );
             });
         }
+        // The group-committed write path (PR 8): the default RCU/pmap row
+        // again, but writes grouped into `WRITE_BATCH`-op `write_batch`
+        // calls — one overlay update and one publication per touched shard
+        // per group instead of one of each per write.
+        group.bench_with_input(
+            BenchmarkId::new("lipp_sharded_rcu_pmap_batched", mix_name),
+            &workload,
+            |b, wl| {
+                b.iter_batched(
+                    || {
+                        ShardedIndex::<LippIndex>::bulk_load(
+                            &records,
+                            ShardingConfig::with_shards(16)
+                                .with_read_path(ReadPath::Rcu)
+                                .with_overlay(OverlayRepr::Persistent),
+                        )
+                    },
+                    |index| black_box(replay_sharded_batched(&index, wl)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
         // WAL-append overhead: the default RCU/pmap row again, but with
         // the per-shard checkpoint + WAL sink attached (fsync off, so the
         // delta is serialisation + page-cache appends, not disk stalls).
@@ -180,6 +232,36 @@ fn bench_mixed_workload(c: &mut Criterion) {
                         )
                     },
                     |index| black_box(replay_sharded(&index, wl)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        // The same durable configuration driven through the batched replay:
+        // each group commit is one checksummed WAL frame and one `write(2)`
+        // instead of `WRITE_BATCH` framed appends — repricing the PR 6
+        // per-record `write(2)` term under group commit.
+        group.bench_with_input(
+            BenchmarkId::new("lipp_sharded_rcu_pmap_wal_batched", mix_name),
+            &workload,
+            |b, wl| {
+                b.iter_batched(
+                    || {
+                        let dir = fresh_store_dir("mixed");
+                        let sink = Arc::new(
+                            FileSink::create(
+                                DurabilityConfig::new(&dir).with_fsync(FsyncPolicy::Never),
+                            )
+                            .expect("fresh bench store"),
+                        );
+                        ShardedIndex::<LippIndex>::bulk_load_durable(
+                            &records,
+                            ShardingConfig::with_shards(16)
+                                .with_read_path(ReadPath::Rcu)
+                                .with_overlay(OverlayRepr::Persistent),
+                            sink,
+                        )
+                    },
+                    |index| black_box(replay_sharded_batched(&index, wl)),
                     criterion::BatchSize::LargeInput,
                 );
             },
@@ -337,6 +419,53 @@ fn bench_overlay_write_cost(c: &mut Criterion) {
                 }
             });
         });
+    }
+    // The group-committed write path (PR 8) over the identical overwrite
+    // stream: the same `CAPACITY` writes per iteration, grouped into
+    // `insert_batch` calls of 1/16/64/256 ops. On the RCU path a group is
+    // one overlay pass and one publication, so the per-write amortised
+    // cost should fall toward the locked baseline as the batch grows; the
+    // batch-1 rows price the batch API's fixed overhead against the point
+    // rows above.
+    for (repr_name, config) in [
+        (
+            "vec_batched",
+            ShardingConfig::with_shards(1)
+                .with_read_path(ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Vec)
+                .with_overlay_capacity(CAPACITY),
+        ),
+        (
+            "persistent_batched",
+            ShardingConfig::with_shards(1)
+                .with_read_path(ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Persistent)
+                .with_overlay_capacity(CAPACITY),
+        ),
+        (
+            "locked_batched",
+            ShardingConfig::with_shards(1).with_read_path(ReadPath::Locked),
+        ),
+    ] {
+        let index = ShardedIndex::<LippIndex>::bulk_load(&records, config);
+        for i in 0..CAPACITY as u64 {
+            index.insert(fresh_base + i, i);
+        }
+        for batch in [1usize, 16, 64, 256] {
+            let mut bump = 0u64;
+            group.bench_with_input(BenchmarkId::new(repr_name, batch), &batch, |b, &batch| {
+                let mut buffer: Vec<KeyValue> = Vec::with_capacity(batch);
+                b.iter(|| {
+                    bump += 1;
+                    for start in (0..CAPACITY as u64).step_by(batch) {
+                        buffer.clear();
+                        let end = (start + batch as u64).min(CAPACITY as u64);
+                        buffer.extend((start..end).map(|i| KeyValue::new(fresh_base + i, bump)));
+                        black_box(index.insert_batch(&buffer));
+                    }
+                });
+            });
+        }
     }
     group.finish();
 }

@@ -66,6 +66,17 @@ pub struct ShardCheckpoint {
     pub absorbed: u64,
 }
 
+/// One acknowledged write of a group-committed batch, as reported to the
+/// sink by [`ShardedIndex::write_batch`](crate::ShardedIndex::write_batch):
+/// an upsert (`Some`) or a tombstone (`None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// The written key.
+    pub key: Key,
+    /// The written slot: `Some` upsert, `None` tombstone.
+    pub value: Option<Value>,
+}
+
 /// Where the sharded index reports writes and fold points. Implementations
 /// must be thread-safe: different shards checkpoint and log concurrently
 /// (each shard's own calls are serialized by its writer mutex).
@@ -80,6 +91,20 @@ pub trait DurabilitySink: Send + Sync {
     /// tombstone (`None`) — to the log of the shard whose lower bound is
     /// `shard`. Called before the write's snapshot is published.
     fn log_write(&self, shard: Key, key: Key, value: Option<Value>);
+
+    /// Appends a whole group-committed batch of writes to `shard`'s log.
+    /// Called before the batch's (single) snapshot publication, so the
+    /// write-ahead contract covers every record of the group at once; the
+    /// group must become durable all-or-nothing — recovery may not replay a
+    /// proper subset of it. The default loops [`DurabilitySink::log_write`]
+    /// (each record is its own durable unit, which trivially satisfies the
+    /// contract for in-memory sinks); file-backed sinks should override
+    /// this with a single framed append.
+    fn log_writes(&self, shard: Key, records: &[WriteRecord]) {
+        for record in records {
+            self.log_write(shard, record.key, record.value);
+        }
+    }
 
     /// Persists a shard's freshly folded base atomically and truncates its
     /// log. Called before the folded snapshot is published.

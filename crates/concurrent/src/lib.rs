@@ -48,7 +48,7 @@ pub mod rcu;
 pub mod sharded;
 pub mod throughput;
 
-pub use durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSeed};
+pub use durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSeed, WriteRecord};
 pub use maintenance::{
     EnginePanic, MaintenanceAction, MaintenanceConfig, MaintenanceEngine, MaintenanceHandle,
     MaintenanceStats,
@@ -56,6 +56,7 @@ pub use maintenance::{
 pub use pmap::PMap;
 pub use rcu::RcuCell;
 pub use sharded::{
-    MaintainProgress, OverlayRepr, ReadPath, ReadView, ShardStaleness, ShardedIndex, ShardingConfig,
+    BatchOutcome, MaintainProgress, OverlayRepr, ReadPath, ReadView, ShardStaleness, ShardedIndex,
+    ShardingConfig, WriteOp,
 };
 pub use throughput::{run_read_throughput, run_read_throughput_pinned, ThroughputReport};

@@ -132,6 +132,18 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
         }
     }
 
+    /// Looks up a whole sorted, de-duplicated batch of keys in one merged
+    /// descent — the group-commit analogue of [`PMap::get`]: routing work
+    /// is paid once per touched subtree instead of once per key, and each
+    /// leaf a batch key lands in is binary-probed in a single forward
+    /// sweep. Calls `hit(i, value)` for every `keys[i]` that is present,
+    /// in ascending key order; absent keys produce no call.
+    pub fn get_many(&self, keys: &[K], mut hit: impl FnMut(usize, &V)) {
+        if !keys.is_empty() {
+            get_from(&self.root, keys, 0, &mut hit);
+        }
+    }
+
     /// Returns a successor map with `key` bound to `value` plus the key's
     /// previous value. The successor shares every chunk the update did not
     /// touch with `self` — the per-call copy cost is one leaf chunk plus
@@ -183,6 +195,33 @@ impl<K: Ord + Clone, V: Clone> PMap<K, V> {
         )
     }
 
+    /// Applies a whole sorted, de-duplicated batch of upserts in one pass,
+    /// returning the successor map — the group-commit analogue of
+    /// [`PMap::insert`]: each touched chunk is copied exactly **once** for
+    /// the whole batch, however many batch keys land in it, and untouched
+    /// siblings stay shared. A batch of N keys spread over M leaves costs
+    /// M chunk copies instead of N root-to-leaf path copies.
+    pub fn insert_many(&self, batch: &[(K, V)]) -> Self {
+        if batch.is_empty() {
+            return self.clone();
+        }
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].0 < w[1].0),
+            "insert_many batches must be sorted and de-duplicated"
+        );
+        let mut displaced = 0usize;
+        let mut nodes = ingest(&self.root, batch, &mut displaced);
+        // A large batch can fan one node out into many replacements; stack
+        // routing levels on top until a single root remains.
+        while nodes.len() > 1 {
+            nodes = pack_inners(nodes);
+        }
+        Self {
+            root: nodes.pop().expect("ingest emits at least one node"),
+            len: self.len + batch.len() - displaced,
+        }
+    }
+
     /// Iterates every entry in ascending key order.
     pub fn iter(&self) -> Iter<'_, K, V> {
         let mut iter = Iter {
@@ -230,6 +269,50 @@ fn min_key<K, V>(node: &Node<K, V>) -> Option<&K> {
     match node {
         Node::Leaf(chunk) => chunk.first().map(|(k, _)| k),
         Node::Inner(inner) => inner.mins.first(),
+    }
+}
+
+/// Recursive worker behind [`PMap::get_many`]: slices the sorted key batch
+/// across the children exactly like `ingest` slices its write batch, so
+/// untouched subtrees are never entered. `offset` is `keys`' position in
+/// the original batch, letting `hit` report original indices.
+fn get_from<K: Ord, V>(
+    node: &Node<K, V>,
+    keys: &[K],
+    offset: usize,
+    hit: &mut impl FnMut(usize, &V),
+) {
+    match node {
+        Node::Leaf(chunk) => {
+            // Keys and chunk are both sorted: one forward sweep, each
+            // probe restricted to the suffix the previous key ended at.
+            let mut at = 0usize;
+            for (i, key) in keys.iter().enumerate() {
+                at += chunk[at..].partition_point(|(k, _)| k < key);
+                match chunk.get(at) {
+                    Some((k, v)) if k == key => hit(offset + i, v),
+                    _ => {}
+                }
+            }
+        }
+        Node::Inner(inner) => {
+            let mut start = 0usize;
+            for (idx, child) in inner.children.iter().enumerate() {
+                if start == keys.len() {
+                    break;
+                }
+                // This child's key slice: keys below the next child's min
+                // (the last child takes the rest), mirroring `route`.
+                let end = match inner.mins.get(idx + 1) {
+                    Some(next_min) => start + keys[start..].partition_point(|k| k < next_min),
+                    None => keys.len(),
+                };
+                if start < end {
+                    get_from(child, &keys[start..end], offset + start, hit);
+                }
+                start = end;
+            }
+        }
     }
 }
 
@@ -297,6 +380,96 @@ fn insert_into<K: Ord + Clone, V: Clone>(
             (outcome, previous)
         }
     }
+}
+
+/// Recursive worker behind [`PMap::insert_many`]: returns the replacement
+/// nodes for `node` (more than one when the batch overflowed it), counting
+/// overwritten keys into `displaced`. Children the batch does not touch are
+/// shared wholesale — only the chunks a batch key actually lands in are
+/// copied, and each exactly once.
+fn ingest<K: Ord + Clone, V: Clone>(
+    node: &Node<K, V>,
+    batch: &[(K, V)],
+    displaced: &mut usize,
+) -> Vec<Node<K, V>> {
+    if batch.is_empty() {
+        return vec![node.clone()];
+    }
+    match node {
+        Node::Leaf(chunk) => {
+            // One merge-join of the chunk with its batch slice (batch wins
+            // on ties): the single copy this leaf pays for the whole batch.
+            let mut merged: Vec<(K, V)> = Vec::with_capacity(chunk.len() + batch.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < chunk.len() && j < batch.len() {
+                match chunk[i].0.cmp(&batch[j].0) {
+                    std::cmp::Ordering::Less => {
+                        merged.push(chunk[i].clone());
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(batch[j].clone());
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(batch[j].clone());
+                        *displaced += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend(chunk[i..].iter().cloned());
+            merged.extend(batch[j..].iter().cloned());
+            // Re-chunk evenly so no emitted leaf exceeds `MAX_CHUNK` and
+            // none is pathologically small.
+            let leaves = merged.len().div_ceil(MAX_CHUNK);
+            let per_leaf = merged.len().div_ceil(leaves);
+            merged
+                .chunks(per_leaf)
+                .map(|entries| Node::Leaf(Arc::new(entries.to_vec())))
+                .collect()
+        }
+        Node::Inner(inner) => {
+            let mut children: Vec<Node<K, V>> = Vec::with_capacity(inner.children.len());
+            let mut start = 0usize;
+            for (idx, child) in inner.children.iter().enumerate() {
+                // This child's batch slice: keys below the next child's min
+                // (the last child takes the rest; child 0 also takes keys
+                // below its own min, exactly like `route`).
+                let end = match inner.mins.get(idx + 1) {
+                    Some(next_min) => start + batch[start..].partition_point(|(k, _)| k < next_min),
+                    None => batch.len(),
+                };
+                if start == end {
+                    children.push(child.clone());
+                } else {
+                    children.extend(ingest(child, &batch[start..end], displaced));
+                }
+                start = end;
+            }
+            pack_inners(children)
+        }
+    }
+}
+
+/// Packs replacement nodes into evenly sized inner nodes of at most
+/// [`MAX_FANOUT`] children each.
+fn pack_inners<K: Ord + Clone, V: Clone>(children: Vec<Node<K, V>>) -> Vec<Node<K, V>> {
+    let inners = children.len().div_ceil(MAX_FANOUT);
+    let per_inner = children.len().div_ceil(inners);
+    children
+        .chunks(per_inner)
+        .map(|group| {
+            Node::Inner(Arc::new(Inner {
+                mins: group
+                    .iter()
+                    .map(|n| min_key(n).expect("ingest emits no empty nodes").clone())
+                    .collect(),
+                children: group.to_vec(),
+            }))
+        })
+        .collect()
 }
 
 fn remove_from<K: Ord + Clone, V: Clone>(node: &Node<K, V>, key: &K) -> (Removed<K, V>, Option<V>) {
@@ -604,7 +777,99 @@ mod tests {
         assert_eq!(map.range(&0, &u64::MAX).count(), map.iter().count());
     }
 
+    /// `insert_many` must be observationally identical to the same keys
+    /// applied through repeated `insert` — contents, length and overwrite
+    /// accounting — across batch sizes that leave the tree untouched,
+    /// split single chunks and overflow whole subtrees.
+    #[test]
+    fn insert_many_matches_repeated_inserts() {
+        let mut rng = SplitMix64::new(41);
+        let mut map: PMap<u64, u64> = PMap::new();
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for round in 0..60u64 {
+            let size = [0usize, 1, 3, MAX_CHUNK, 4 * MAX_CHUNK, 400][(round % 6) as usize];
+            let mut batch: Vec<(u64, u64)> =
+                (0..size).map(|_| (rng.next_u64() % 4_096, round)).collect();
+            batch.sort_by_key(|&(k, _)| k);
+            batch.dedup_by_key(|&mut (k, _)| k);
+            let next = map.insert_many(&batch);
+            for &(k, v) in &batch {
+                oracle.insert(k, v);
+            }
+            assert_eq!(next.len(), oracle.len(), "round {round} length diverged");
+            map = next;
+        }
+        let got: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+        let expected: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, expected);
+    }
+
+    /// The group-commit guarantee: a batch confined to a few leaves copies
+    /// exactly those leaves once and shares every other chunk with the
+    /// predecessor — N keys into one chunk must not cost N path copies.
+    #[test]
+    fn insert_many_copies_each_touched_chunk_once() {
+        let mut map: PMap<u64, u64> = PMap::new();
+        for k in 0..4_096u64 {
+            map = map.insert(k, k).0;
+        }
+        let before = map.leaf_ptrs();
+
+        // Overwrite a contiguous run that fits in one or two chunks.
+        let batch: Vec<(u64, u64)> = (100..100 + MAX_CHUNK as u64 / 2).map(|k| (k, 0)).collect();
+        let updated = map.insert_many(&batch);
+        let after = updated.leaf_ptrs();
+        let fresh = after.iter().filter(|p| !before.contains(p)).count();
+        assert!(
+            fresh <= 2,
+            "a one-run batch must copy at most the chunks it spans, got {fresh} fresh chunks"
+        );
+        // Persistence: the predecessor is untouched.
+        assert_eq!(map.get(&100), Some(&100));
+        assert_eq!(updated.get(&100), Some(&0));
+
+        // An empty batch is a wholesale share.
+        let same = map.insert_many(&[]);
+        assert_eq!(same.leaf_ptrs(), before);
+    }
+
     /// Cloning is O(1) (an `Arc` bump), and clones diverge independently.
+    /// `get_many` must agree with per-key `get` for every key of a sorted
+    /// probe batch — hits and misses mixed, across a deep tree, including
+    /// keys below the minimum, above the maximum, and inside chunk gaps.
+    #[test]
+    fn get_many_matches_individual_gets() {
+        let mut rng = SplitMix64::new(0x6E7);
+        let mut map: PMap<u64, u64> = PMap::new();
+        for _ in 0..3_000 {
+            let k = rng.next_u64() % 8_192;
+            map = map.insert(k, k * 3).0;
+        }
+        assert!(map.depth() >= 3, "the probe must cross a real tree");
+        let mut probes: Vec<u64> = (0..512).map(|_| rng.next_u64() % 10_000).collect();
+        probes.push(0); // below every stored key (almost surely)
+        probes.push(u64::MAX); // above every stored key
+        probes.sort_unstable();
+        probes.dedup();
+
+        let mut hits: Vec<(usize, u64)> = Vec::new();
+        map.get_many(&probes, |i, v| hits.push((i, *v)));
+        let expected: Vec<(usize, u64)> = probes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| map.get(k).map(|&v| (i, v)))
+            .collect();
+        assert_eq!(hits, expected, "bulk lookup diverged from point lookups");
+        assert!(
+            hits.windows(2).all(|w| w[0].0 < w[1].0),
+            "hits must arrive in ascending batch order"
+        );
+
+        // Empty batches visit nothing and empty maps hit nothing.
+        map.get_many(&[], |_, _| panic!("no keys, no calls"));
+        PMap::<u64, u64>::new().get_many(&probes, |_, _| panic!("no entries, no hits"));
+    }
+
     #[test]
     fn clones_share_everything_until_they_diverge() {
         let mut map: PMap<u64, u64> = PMap::new();

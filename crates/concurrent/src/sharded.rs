@@ -32,7 +32,7 @@
 //! onto a clone, and swaps — the apply phase holds no lock any reader can
 //! observe.
 
-use crate::durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSeed};
+use crate::durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSeed, WriteRecord};
 use crate::pmap::PMap;
 use crate::rcu::RcuCell;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex, SnapshotIndex};
@@ -40,6 +40,7 @@ use csv_common::{Key, KeyValue, Value};
 use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
 use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -156,6 +157,56 @@ impl ShardingConfig {
     }
 }
 
+/// One operation of a [`ShardedIndex::write_batch`] group commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert or overwrite `key` with `value`.
+    Insert {
+        /// The key to upsert.
+        key: Key,
+        /// The value to store.
+        value: Value,
+    },
+    /// Remove `key` when present (a no-op otherwise, exactly like
+    /// [`ShardedIndex::remove`]).
+    Remove {
+        /// The key to remove.
+        key: Key,
+    },
+}
+
+impl WriteOp {
+    /// The key the operation targets.
+    pub fn key(self) -> Key {
+        match self {
+            Self::Insert { key, .. } | Self::Remove { key } => key,
+        }
+    }
+
+    /// The overlay slot the operation writes: `Some` upsert, `None`
+    /// tombstone.
+    fn slot(self) -> Option<Value> {
+        match self {
+            Self::Insert { value, .. } => Some(value),
+            Self::Remove { .. } => None,
+        }
+    }
+}
+
+/// What a [`ShardedIndex::write_batch`] call applied, equivalent to the
+/// point-wise return values summed: `fresh_inserts` counts the inserts
+/// [`ShardedIndex::insert`] would have returned `true` for, `removed` the
+/// removes [`ShardedIndex::remove`] would have returned `Some` for —
+/// evaluated sequentially in batch order (an insert followed by a remove of
+/// the same key counts once in each).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Inserts whose key was absent when the op applied.
+    pub fresh_inserts: usize,
+    /// Removes whose key was present when the op applied.
+    pub removed: usize,
+}
+
 /// Per-shard staleness bookkeeping shared by both read paths: structural
 /// writes since the last maintenance pass plus the mean-key-level baseline
 /// the drift heuristic compares against.
@@ -195,6 +246,17 @@ impl StaleCounters {
     fn record_if_structural(&self, was_present: bool, now_present: bool) {
         if was_present != now_present {
             self.record_write();
+        }
+    }
+
+    /// Group-commit variant of [`StaleCounters::record_if_structural`]:
+    /// records `n` structural writes with one atomic add. `n` must already
+    /// be the count of ops that individually satisfied the structural
+    /// predicate, so a batch lands the exact counter delta its ops applied
+    /// point-wise would.
+    fn record_structural(&self, n: usize) {
+        if n > 0 {
+            self.writes.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -380,28 +442,105 @@ impl Overlay {
         }
     }
 
+    /// Fills `slots[i]` with the overlay slot for `keys[i]` — a whole
+    /// sorted, de-duplicated probe batch in **one** merged pass, the
+    /// group-commit analogue of [`Overlay::get`]: the flat representation
+    /// sweeps its entries forward once, the tree descends each touched
+    /// chunk once via [`PMap::get_many`]. Absent keys leave their slot
+    /// untouched (callers pre-fill with `None`).
+    fn get_many(&self, keys: &[Key], slots: &mut [Option<Option<Value>>]) {
+        debug_assert_eq!(keys.len(), slots.len());
+        match self {
+            Self::Flat(entries) => {
+                let mut at = 0usize;
+                for (i, key) in keys.iter().enumerate() {
+                    at += entries[at..].partition_point(|e| e.key < *key);
+                    match entries.get(at) {
+                        Some(e) if e.key == *key => slots[i] = Some(e.value),
+                        _ => {}
+                    }
+                }
+            }
+            Self::Tree(map) => map.get_many(keys, |i, v| slots[i] = Some(*v)),
+        }
+    }
+
     /// A successor overlay with `key`'s slot set to `value`, plus the slot
     /// it displaced — both from a single traversal. This is the per-write
     /// copy the two representations trade on: flat clones every entry, the
-    /// tree path-copies O(log n + chunk).
-    fn with(&self, key: Key, value: Option<Value>) -> (Self, Option<Option<Value>>) {
+    /// tree path-copies O(log n + chunk). `spare` is a recycled entry
+    /// buffer (from a retired snapshot, see `RcuShard::spare`) the flat
+    /// representation builds its copy into instead of a fresh allocation;
+    /// the tree ignores it — its chunks recycle themselves structurally.
+    fn with(
+        &self,
+        key: Key,
+        value: Option<Value>,
+        spare: Vec<OverlayEntry>,
+    ) -> (Self, Option<Option<Value>>) {
         match self {
             Self::Flat(entries) => {
-                let mut entries = entries.clone();
+                let mut next = spare;
+                next.clear();
+                next.extend_from_slice(entries);
                 let entry = OverlayEntry { key, value };
-                let displaced = match entries.binary_search_by_key(&key, |e| e.key) {
-                    Ok(i) => Some(std::mem::replace(&mut entries[i], entry).value),
+                let displaced = match next.binary_search_by_key(&key, |e| e.key) {
+                    Ok(i) => Some(std::mem::replace(&mut next[i], entry).value),
                     Err(i) => {
-                        entries.insert(i, entry);
+                        next.insert(i, entry);
                         None
                     }
                 };
-                (Self::Flat(entries), displaced)
+                (Self::Flat(next), displaced)
             }
             Self::Tree(map) => {
                 let (next, displaced) = map.insert(key, value);
                 (Self::Tree(next), displaced)
             }
+        }
+    }
+
+    /// A successor overlay with a whole sorted, de-duplicated batch of slot
+    /// writes applied in **one** pass — the group-commit analogue of
+    /// [`Overlay::with`]: the flat representation pays one merge-join for
+    /// the batch instead of one full clone per write, the tree bulk-ingests
+    /// via [`PMap::insert_many`], copying each touched chunk once per
+    /// batch. `spare` as in [`Overlay::with`].
+    fn ingest(&self, batch: &[(Key, Option<Value>)], spare: Vec<OverlayEntry>) -> Self {
+        match self {
+            Self::Flat(entries) => {
+                let mut merged = spare;
+                merged.clear();
+                merged.reserve(entries.len() + batch.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < entries.len() && j < batch.len() {
+                    match entries[i].key.cmp(&batch[j].0) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(entries[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            let (key, value) = batch[j];
+                            merged.push(OverlayEntry { key, value });
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let (key, value) = batch[j];
+                            merged.push(OverlayEntry { key, value });
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&entries[i..]);
+                merged.extend(
+                    batch[j..]
+                        .iter()
+                        .map(|&(key, value)| OverlayEntry { key, value }),
+                );
+                Self::Flat(merged)
+            }
+            Self::Tree(map) => Self::Tree(map.insert_many(batch)),
         }
     }
 
@@ -565,6 +704,13 @@ struct RcuShard<I> {
     /// layout: writers that raced the re-layout re-route instead of
     /// publishing into an unreachable handle.
     retired: AtomicBool,
+    /// Retired-snapshot salvage: when a displaced snapshot comes back from
+    /// its grace period uniquely owned (no reader pinned it), its flat
+    /// overlay's entry buffer is parked here (under `writer`) and the next
+    /// write builds its successor overlay into that allocation instead of
+    /// a fresh one. Tree overlays need no slot — their chunks are
+    /// `Arc`-shared and recycle structurally.
+    spare: Mutex<Vec<OverlayEntry>>,
     stale: StaleCounters,
 }
 
@@ -576,7 +722,30 @@ impl<I: LearnedIndex> RcuShard<I> {
             snap: RcuCell::new(Arc::new(ShardSnapshot::clean(Arc::new(index), repr))),
             writer: Mutex::new(()),
             retired: AtomicBool::new(false),
+            spare: Mutex::new(Vec::new()),
             stale: StaleCounters::seeded(seed),
+        }
+    }
+
+    /// Takes the parked spare overlay buffer (empty when nothing was
+    /// salvaged). Called with `writer` held.
+    fn take_spare(&self) -> Vec<OverlayEntry> {
+        std::mem::take(&mut *self.spare.lock())
+    }
+
+    /// Publishes `next`, then salvages the displaced snapshot's overlay
+    /// buffer when the grace period hands it back uniquely owned — the
+    /// common case for write-heavy shards, where no reader pinned the
+    /// displaced generation. Called with `writer` held (the caller must
+    /// have dropped its own handle on the displaced snapshot first, or
+    /// `try_unwrap` can never succeed).
+    fn publish_salvaging(&self, next: Arc<ShardSnapshot<I>>) {
+        let displaced = self.snap.replace(next);
+        if let Ok(snapshot) = Arc::try_unwrap(displaced) {
+            if let Overlay::Flat(mut entries) = snapshot.overlay {
+                entries.clear();
+                *self.spare.lock() = entries;
+            }
         }
     }
 }
@@ -628,6 +797,37 @@ fn locked_shard_of<I>(shards: &[LockedShard<I>], key: Key) -> usize {
     shard_for_key(shards, key, |s| s.lower_bound)
 }
 
+thread_local! {
+    /// Per-thread routing scratch shared by every batched operation
+    /// (`multi_get`, `write_batch`): the per-shard position buckets
+    /// survive across calls, so a small batch no longer pays one fresh
+    /// `Vec` allocation per shard per call — that allocation was the whole
+    /// small-batch `multi_get` crossover (0.78× at batch 16 before it was
+    /// hoisted here).
+    static ROUTE_SCRATCH: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over `shards` cleared position buckets borrowed from the
+/// thread-local routing scratch. Falls back to fresh buckets when the
+/// scratch is already borrowed (a reentrant batched call from inside `f`),
+/// so nesting degrades to the old allocation behaviour instead of
+/// panicking.
+fn with_route_scratch<R>(shards: usize, f: impl FnOnce(&mut [Vec<u32>]) -> R) -> R {
+    ROUTE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buckets) => {
+            if buckets.len() < shards {
+                buckets.resize_with(shards, Vec::new);
+            }
+            let buckets = &mut buckets[..shards];
+            for bucket in buckets.iter_mut() {
+                bucket.clear();
+            }
+            f(buckets)
+        }
+        Err(_) => f(&mut vec![Vec::new(); shards]),
+    })
+}
+
 enum Repr<I> {
     Locked(LockedRepr<I>),
     Rcu(RcuRepr<I>),
@@ -674,18 +874,20 @@ impl<I: LearnedIndex> ReadView<I> {
             return out;
         }
         // Phase 1: the routing pass — one bucket of batch positions per
-        // shard (u32 positions: a batch is bounded far below 4G keys).
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
-        for (i, &key) in keys.iter().enumerate() {
-            let shard = shard_for_key(&self.shards, key, |(lower, _)| *lower);
-            buckets[shard].push(i as u32);
-        }
-        // Phase 2: per-shard resolution, batch positions in input order.
-        for ((_, snap), bucket) in self.shards.iter().zip(&buckets) {
-            for &i in bucket {
-                out[i as usize] = snap.get(keys[i as usize]);
+        // shard (u32 positions: a batch is bounded far below 4G keys),
+        // built in recycled per-thread scratch.
+        with_route_scratch(self.shards.len(), |buckets| {
+            for (i, &key) in keys.iter().enumerate() {
+                let shard = shard_for_key(&self.shards, key, |(lower, _)| *lower);
+                buckets[shard].push(i as u32);
             }
-        }
+            // Phase 2: per-shard resolution, batch positions in input order.
+            for ((_, snap), bucket) in self.shards.iter().zip(buckets.iter()) {
+                for &i in bucket {
+                    out[i as usize] = snap.get(keys[i as usize]);
+                }
+            }
+        });
         out
     }
 
@@ -824,19 +1026,20 @@ impl<I: LearnedIndex> ShardedIndex<I> {
             Repr::Locked(r) => {
                 let shards = r.shards.read();
                 let mut out = vec![None; keys.len()];
-                let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); shards.len()];
-                for (i, &key) in keys.iter().enumerate() {
-                    buckets[locked_shard_of(&shards, key)].push(i as u32);
-                }
-                for (shard, bucket) in shards.iter().zip(&buckets) {
-                    if bucket.is_empty() {
-                        continue;
+                with_route_scratch(shards.len(), |buckets| {
+                    for (i, &key) in keys.iter().enumerate() {
+                        buckets[locked_shard_of(&shards, key)].push(i as u32);
                     }
-                    let index = shard.index.read();
-                    for &i in bucket {
-                        out[i as usize] = index.get(keys[i as usize]);
+                    for (shard, bucket) in shards.iter().zip(buckets.iter()) {
+                        if bucket.is_empty() {
+                            continue;
+                        }
+                        let index = shard.index.read();
+                        for &i in bucket {
+                            out[i as usize] = index.get(keys[i as usize]);
+                        }
                     }
-                }
+                });
                 out
             }
             Repr::Rcu(_) => self
@@ -1070,7 +1273,7 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                 // it also builds no successor overlay).
                 return None;
             }
-            let (overlay, slot) = snap.overlay.with(key, value);
+            let (overlay, slot) = snap.overlay.with(key, value, shard.take_spare());
             let previous = slot.unwrap_or_else(|| snap.base.get(key));
             // A fresh tombstone adds one; overwriting an existing
             // tombstone slot removes the one it replaces.
@@ -1118,7 +1321,11 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                     len,
                 }
             };
-            shard.snap.publish(Arc::new(next));
+            // Drop our handle on the displaced snapshot before publishing
+            // so the grace period can hand it back uniquely owned and its
+            // overlay buffer gets recycled into the next write.
+            drop(snap);
+            shard.publish_salvaging(Arc::new(next));
             shard
                 .stale
                 .record_if_structural(previous.is_some(), value.is_some());
@@ -1602,6 +1809,307 @@ impl<I: SnapshotIndex + RangeIndex + RemovableIndex> ShardedIndex<I> {
             }
             Repr::Rcu(r) => self.rcu_write(r, key, None),
         }
+    }
+
+    /// Applies a whole batch of point writes as one group commit,
+    /// observationally identical to looping [`ShardedIndex::insert`] /
+    /// [`ShardedIndex::remove`] over `ops` in order — same final contents,
+    /// same staleness counters, same overlay fold boundaries (pinned by
+    /// tests) — but paying the per-publication costs once per touched
+    /// shard instead of once per write:
+    ///
+    /// * the batch is shard-partitioned with the same routing pass
+    ///   [`ShardedIndex::multi_get`] uses;
+    /// * each shard's slice lands on the overlay in a **single** pass (one
+    ///   merge for the flat representation, one bulk chunk-tree ingest for
+    ///   the persistent one);
+    /// * each touched shard publishes **one** successor snapshot — one
+    ///   `Arc` allocation and one RCU grace period for the whole slice;
+    /// * a durability sink receives **one** [`DurabilitySink::log_writes`]
+    ///   frame per touched shard (before that shard's publication, so the
+    ///   write-ahead contract covers the group), and any overlay folds the
+    ///   slice trips are checkpointed exactly where point-wise application
+    ///   would have folded.
+    ///
+    /// On the locked path the batch takes each touched shard's exclusive
+    /// lock once instead of once per write. Ops apply sequentially in
+    /// batch order (later ops of the batch observe earlier ones).
+    pub fn write_batch(&self, ops: &[WriteOp]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        if ops.is_empty() {
+            return outcome;
+        }
+        match &self.repr {
+            Repr::Locked(r) => {
+                let shards = r.shards.read();
+                with_route_scratch(shards.len(), |buckets| {
+                    for (i, op) in ops.iter().enumerate() {
+                        buckets[locked_shard_of(&shards, op.key())].push(i as u32);
+                    }
+                    for (shard, bucket) in shards.iter().zip(buckets.iter()) {
+                        if bucket.is_empty() {
+                            continue;
+                        }
+                        let mut structural = 0usize;
+                        {
+                            let mut index = shard.index.write();
+                            for &i in bucket {
+                                match ops[i as usize] {
+                                    WriteOp::Insert { key, value } => {
+                                        let fresh = index.insert(key, value);
+                                        outcome.fresh_inserts += usize::from(fresh);
+                                        structural += usize::from(fresh);
+                                    }
+                                    WriteOp::Remove { key } => {
+                                        let hit = index.remove(key).is_some();
+                                        outcome.removed += usize::from(hit);
+                                        structural += usize::from(hit);
+                                    }
+                                }
+                            }
+                        }
+                        shard.stale.record_structural(structural);
+                    }
+                });
+            }
+            Repr::Rcu(r) => self.rcu_write_batch(r, ops, &mut outcome),
+        }
+        outcome
+    }
+
+    /// Batched [`ShardedIndex::insert`]: upserts every record as one group
+    /// commit and returns how many keys were fresh.
+    pub fn insert_batch(&self, records: &[KeyValue]) -> usize {
+        let ops: Vec<WriteOp> = records
+            .iter()
+            .map(|r| WriteOp::Insert {
+                key: r.key,
+                value: r.value,
+            })
+            .collect();
+        self.write_batch(&ops).fresh_inserts
+    }
+
+    /// Batched [`ShardedIndex::remove`]: removes every key as one group
+    /// commit and returns how many were present.
+    pub fn remove_batch(&self, keys: &[Key]) -> usize {
+        let ops: Vec<WriteOp> = keys.iter().map(|&key| WriteOp::Remove { key }).collect();
+        self.write_batch(&ops).removed
+    }
+
+    /// The RCU group-commit path behind [`ShardedIndex::write_batch`]:
+    /// routes the batch per shard, applies each shard's slice under its
+    /// writer mutex and re-routes any slice whose shard a concurrent
+    /// split/merge retired — with the same bounded spin-then-yield backoff
+    /// as `rcu_write`, because retrying cannot succeed
+    /// before the racing layout writer publishes the successor layout.
+    fn rcu_write_batch(&self, repr: &RcuRepr<I>, ops: &[WriteOp], outcome: &mut BatchOutcome) {
+        const RETIRED_RETRY_SPINS: usize = 16;
+        // Positions not yet applied; re-routed against a fresh layout every
+        // pass (a single pass in the common, re-layout-free case).
+        let mut pending_ops: Vec<u32> = (0..ops.len() as u32).collect();
+        let mut retries = 0usize;
+        while !pending_ops.is_empty() {
+            let layout = repr.layout.load();
+            let mut parked: Vec<u32> = Vec::new();
+            with_route_scratch(layout.shards.len(), |buckets| {
+                for &i in &pending_ops {
+                    buckets[layout.shard_of(ops[i as usize].key())].push(i);
+                }
+                for (shard, bucket) in layout.shards.iter().zip(buckets.iter()) {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let writes = shard.writer.lock();
+                    if shard.retired.load(Ordering::SeqCst) {
+                        // This slice raced a re-layout; park it for the
+                        // next routing pass.
+                        drop(writes);
+                        parked.extend_from_slice(bucket);
+                        #[cfg(test)]
+                        RETIRED_RETRIES.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.rcu_apply_slice(repr, shard, ops, bucket, outcome);
+                }
+            });
+            pending_ops = parked;
+            if !pending_ops.is_empty() {
+                retries += 1;
+                if retries > RETIRED_RETRY_SPINS {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Applies one shard's slice of a write batch (positions `bucket` into
+    /// `ops`, batch order) under the shard's writer mutex, held by the
+    /// caller.
+    ///
+    /// The slice's overlay slots are prefetched in **one** bulk
+    /// [`Overlay::get_many`] pass (each overlay chunk is visited once for
+    /// the whole slice, not once per op), staged writes live in a flat
+    /// sorted key/slot pair of vectors, and every per-op scalar — previous
+    /// value, tombstone and length deltas, structural effect, projected
+    /// overlay length — is tracked exactly as sequential point-wise
+    /// application would have published it. When the projected overlay
+    /// crosses the capacity mid-slice, the staged writes are folded into a
+    /// fresh base *at that op* (same fold boundary, same checkpoint seed
+    /// as the point path, with `absorbed` covering every
+    /// staged-but-unlogged write), and the rest of the slice continues on
+    /// the folded state. Everything still staged at the end is logged as
+    /// one group frame and published as one successor snapshot.
+    fn rcu_apply_slice(
+        &self,
+        repr: &RcuRepr<I>,
+        shard: &RcuShard<I>,
+        ops: &[WriteOp],
+        bucket: &[u32],
+        outcome: &mut BatchOutcome,
+    ) {
+        /// One slice key's state: its prefetched overlay slot, or the
+        /// value this slice has staged over it (only staged slots feed
+        /// the final ingest).
+        #[derive(Clone, Copy)]
+        enum SlotState {
+            Fetched(Option<Option<Value>>),
+            Staged(Option<Value>),
+        }
+        let snap = shard.snap.load();
+        let empty = Overlay::empty(repr.overlay);
+        // Working state: `beneath` is the overlay below this batch's staged
+        // writes (the snapshot's until a mid-slice fold empties it).
+        let mut beneath: &Overlay = &snap.overlay;
+        let mut base = Arc::clone(&snap.base);
+        // Prefetch every slice key's overlay slot in one merged pass; the
+        // per-op loop then probes this flat sorted pair of vectors instead
+        // of descending the overlay once per op.
+        let mut keys: Vec<Key> = bucket.iter().map(|&i| ops[i as usize].key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut fetched: Vec<Option<Option<Value>>> = vec![None; keys.len()];
+        beneath.get_many(&keys, &mut fetched);
+        let mut slots: Vec<SlotState> = fetched.into_iter().map(SlotState::Fetched).collect();
+        let staged_of = |keys: &[Key], slots: &[SlotState]| -> Vec<(Key, Option<Value>)> {
+            keys.iter()
+                .zip(slots)
+                .filter_map(|(&k, s)| match s {
+                    SlotState::Staged(v) => Some((k, *v)),
+                    SlotState::Fetched(_) => None,
+                })
+                .collect()
+        };
+        let mut tail: Vec<WriteRecord> = Vec::new();
+        let mut tombstones = snap.tombstones;
+        let mut len = snap.len;
+        let mut projected = snap.overlay.len();
+        let mut structural = 0usize;
+        let mut folded = false;
+        for &i in bucket {
+            let op = ops[i as usize];
+            let key = op.key();
+            let value = op.slot();
+            let idx = keys
+                .binary_search(&key)
+                .expect("every slice key was prefetched");
+            // The op's view of the key: this slice's staged write, else the
+            // overlay slot, else the base — sequential semantics.
+            let slot = match slots[idx] {
+                SlotState::Staged(v) => Some(v),
+                SlotState::Fetched(s) => s,
+            };
+            let previous = slot.unwrap_or_else(|| base.get(key));
+            if value.is_none() && previous.is_none() {
+                // Removing an absent key publishes nothing, exactly like
+                // the point path's pre-probe.
+                continue;
+            }
+            match op {
+                WriteOp::Insert { .. } => {
+                    outcome.fresh_inserts += usize::from(previous.is_none());
+                }
+                WriteOp::Remove { .. } => outcome.removed += 1,
+            }
+            structural += usize::from(previous.is_some() != value.is_some());
+            tombstones =
+                tombstones + usize::from(value.is_none()) - usize::from(matches!(slot, Some(None)));
+            len = match (previous.is_some(), value.is_some()) {
+                (false, true) => len + 1,
+                (true, false) => len - 1,
+                _ => len,
+            };
+            // A key with no slot yet (neither staged nor in the overlay)
+            // grows the overlay by one — the same growth the point path's
+            // displaced-slot check observes.
+            projected += usize::from(slot.is_none());
+            slots[idx] = SlotState::Staged(value);
+            tail.push(WriteRecord { key, value });
+            if projected > repr.overlay_capacity {
+                // Fold exactly where point-wise application would have:
+                // the staged writes merge onto the overlay (one pass) and
+                // the result folds into a fresh base that this op — and
+                // every staged predecessor — lands in. The checkpoint
+                // absorbs all of them: none were individually logged.
+                let staged = staged_of(&keys, &slots);
+                let folded_base = ShardSnapshot {
+                    base,
+                    overlay: beneath.ingest(&staged, Vec::new()),
+                    tombstones,
+                    len,
+                }
+                .folded_base();
+                debug_assert_eq!(folded_base.len(), len);
+                if let Some(sink) = &self.sink {
+                    sink.checkpoint(&ShardCheckpoint {
+                        lower_bound: shard.lower_bound,
+                        records: folded_base.range(0, Key::MAX),
+                        stale: shard.stale.seed_snapshot(structural),
+                        absorbed: tail.len() as u64,
+                    });
+                }
+                base = Arc::new(folded_base);
+                beneath = &empty;
+                // Everything staged so far now lives in the base, and the
+                // overlay beneath is empty: later ops of the slice see no
+                // slot for any key until they stage one themselves.
+                slots.fill(SlotState::Fetched(None));
+                tail.clear();
+                tombstones = 0;
+                projected = 0;
+                folded = true;
+            }
+        }
+        if tail.is_empty() && !folded {
+            // Every op was a remove of an absent key: nothing to publish,
+            // log or count — as the point path.
+            return;
+        }
+        if let Some(sink) = &self.sink {
+            if !tail.is_empty() {
+                // Write-ahead for the whole group: one frame covering
+                // every unfolded write of the slice, durable before the
+                // (single) publication below.
+                sink.log_writes(shard.lower_bound, &tail);
+            }
+        }
+        let staged = staged_of(&keys, &slots);
+        let next = if staged.is_empty() {
+            debug_assert_eq!(base.len(), len);
+            ShardSnapshot::clean(base, repr.overlay)
+        } else {
+            ShardSnapshot {
+                overlay: beneath.ingest(&staged, shard.take_spare()),
+                base,
+                tombstones,
+                len,
+            }
+        };
+        drop(snap);
+        shard.publish_salvaging(Arc::new(next));
+        shard.stale.record_structural(structural);
     }
 }
 
@@ -2831,5 +3339,251 @@ mod tests {
         // The locked path has no snapshots to pin.
         let locked = ShardedIndex::<BPlusTree>::bulk_load(&records, config(4, ReadPath::Locked));
         assert!(locked.read_view().is_none());
+    }
+
+    /// Tentpole pin: `write_batch` is observationally identical to the same
+    /// ops applied point-wise — per-op outcome counts, gets, ranges,
+    /// lengths, staleness counters, and (on the RCU path) the published
+    /// overlay lengths, i.e. the exact fold boundaries — across both read
+    /// paths and both overlay representations. Batch sizes straddle the
+    /// fold boundary and exceed the whole overlay capacity (multiple folds
+    /// inside one slice), and batches contain intra-batch duplicates,
+    /// overwrites, tombstones and removes of absent keys.
+    #[test]
+    fn write_batch_matches_pointwise_application_everywhere() {
+        use csv_common::rng::SplitMix64;
+        let keys = Dataset::Genome.generate(3_000, 77);
+        let records = identity_records(&keys);
+        let top = *keys.last().unwrap();
+        let configs = [
+            config(4, ReadPath::Locked),
+            config(4, ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Vec)
+                .with_overlay_capacity(7),
+            config(4, ReadPath::Rcu)
+                .with_overlay(OverlayRepr::Persistent)
+                .with_overlay_capacity(7),
+        ];
+        for cfg in configs {
+            let batched = ShardedIndex::<BPlusTree>::bulk_load(&records, cfg);
+            let pointwise = ShardedIndex::<BPlusTree>::bulk_load(&records, cfg);
+            let mut oracle: BTreeMap<Key, Value> = keys.iter().map(|&k| (k, k)).collect();
+            let mut rng = SplitMix64::new(0xBA7C4 ^ cfg.read_path as u64);
+            // 1 and 2 exercise the degenerate sizes, 8 straddles the
+            // capacity-7 fold boundary, 64 folds several times per shard
+            // slice.
+            for (round, &size) in [1usize, 2, 7, 8, 16, 64]
+                .iter()
+                .cycle()
+                .take(120)
+                .enumerate()
+            {
+                let ops: Vec<WriteOp> = (0..size)
+                    .map(|_| {
+                        let pick = rng.next_u64();
+                        // A narrow fresh-key band keeps duplicates and
+                        // remove-then-reinsert sequences common, inside a
+                        // single batch included.
+                        let key = if pick.is_multiple_of(2) {
+                            keys[(pick / 2) as usize % keys.len()]
+                        } else {
+                            top + 1 + (pick / 2) % 256
+                        };
+                        if rng.next_u64().is_multiple_of(3) {
+                            WriteOp::Remove { key }
+                        } else {
+                            WriteOp::Insert {
+                                key,
+                                value: round as Value,
+                            }
+                        }
+                    })
+                    .collect();
+                let outcome = batched.write_batch(&ops);
+                let mut expected = BatchOutcome::default();
+                for &op in &ops {
+                    match op {
+                        WriteOp::Insert { key, value } => {
+                            let fresh = pointwise.insert(key, value);
+                            assert_eq!(fresh, oracle.insert(key, value).is_none());
+                            expected.fresh_inserts += usize::from(fresh);
+                        }
+                        WriteOp::Remove { key } => {
+                            let removed = pointwise.remove(key);
+                            assert_eq!(removed, oracle.remove(&key));
+                            expected.removed += usize::from(removed.is_some());
+                        }
+                    }
+                }
+                assert_eq!(outcome, expected, "outcome diverged in round {round}");
+                assert_eq!(batched.len(), oracle.len(), "len diverged in round {round}");
+                if cfg.read_path == ReadPath::Rcu {
+                    assert_eq!(
+                        batched.overlay_lens(),
+                        pointwise.overlay_lens(),
+                        "fold boundaries diverged in round {round}"
+                    );
+                }
+            }
+            for (&k, &v) in &oracle {
+                assert_eq!(batched.get(k), Some(v));
+            }
+            for probe in 0..64u64 {
+                let k = top + 1 + probe * 5;
+                assert_eq!(batched.get(k), oracle.get(&k).copied());
+            }
+            let expected: Vec<KeyValue> =
+                oracle.iter().map(|(&k, &v)| KeyValue::new(k, v)).collect();
+            assert_eq!(batched.range(0, Key::MAX), expected);
+            assert_eq!(
+                batched.write_counters(),
+                pointwise.write_counters(),
+                "staleness counters diverged for {cfg:?}"
+            );
+        }
+    }
+
+    /// The `insert_batch`/`remove_batch` conveniences report the same
+    /// counts their point-wise twins would, and an empty batch is a no-op.
+    #[test]
+    fn insert_and_remove_batches_count_like_their_pointwise_twins() {
+        let keys: Vec<Key> = (0..500).map(|i| i * 4).collect();
+        let records = identity_records(&keys);
+        for path in BOTH_PATHS {
+            let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config(3, path));
+            assert_eq!(sharded.write_batch(&[]), BatchOutcome::default());
+            assert_eq!(sharded.insert_batch(&[]), 0);
+            assert_eq!(sharded.remove_batch(&[]), 0);
+            // Loaded keys are the multiples of 4; the batch walks the even
+            // numbers, so half are overwrites and only the 10 fresh ones
+            // count.
+            let batch: Vec<KeyValue> = (0..20).map(|i| KeyValue::new(i * 2 + 990, i)).collect();
+            assert_eq!(sharded.insert_batch(&batch), 10);
+            for record in &batch {
+                assert_eq!(sharded.get(record.key), Some(record.value));
+            }
+            // 5 present keys + 5 absent ones: only the hits count.
+            let targets: Vec<Key> = (0..5)
+                .map(|i| i * 2 + 990)
+                .chain((0..5).map(|i| 100_000 + i))
+                .collect();
+            assert_eq!(sharded.remove_batch(&targets), 5);
+            assert_eq!(sharded.remove_batch(&targets), 0, "already removed");
+        }
+    }
+
+    /// Group commits racing shard splits/merges must back off and re-route
+    /// like point writes do: no write may land on a retired shard handle
+    /// and every acknowledged batch must be fully readable afterwards.
+    #[test]
+    fn write_batches_survive_concurrent_splits_and_merges() {
+        use std::time::Duration;
+
+        #[derive(Clone)]
+        struct SlowBulk(BPlusTree);
+
+        impl LearnedIndex for SlowBulk {
+            fn name(&self) -> &'static str {
+                "SlowBulkBTree"
+            }
+            fn bulk_load(records: &[KeyValue]) -> Self {
+                std::thread::sleep(Duration::from_millis(15));
+                Self(BPlusTree::bulk_load(records))
+            }
+            fn get(&self, key: Key) -> Option<Value> {
+                self.0.get(key)
+            }
+            fn get_counted(
+                &self,
+                key: Key,
+                counters: &mut csv_common::CostCounters,
+            ) -> Option<Value> {
+                self.0.get_counted(key, counters)
+            }
+            fn insert(&mut self, key: Key, value: Value) -> bool {
+                self.0.insert(key, value)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn stats(&self) -> IndexStats {
+                self.0.stats()
+            }
+            fn level_of_key(&self, key: Key) -> Option<usize> {
+                self.0.level_of_key(key)
+            }
+        }
+        impl RangeIndex for SlowBulk {
+            fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+                self.0.range(lo, hi)
+            }
+        }
+        impl SnapshotIndex for SlowBulk {}
+        impl RemovableIndex for SlowBulk {
+            fn remove(&mut self, key: Key) -> Option<Value> {
+                self.0.remove(key)
+            }
+        }
+
+        let keys = Dataset::Osm.generate(6_000, 47);
+        let records = identity_records(&keys);
+        let sharded = ShardedIndex::<SlowBulk>::bulk_load(&records, config(2, ReadPath::Rcu));
+        let retries_before = RETIRED_RETRIES.load(Ordering::Relaxed);
+        let fresh_base = *keys.last().unwrap() + 1;
+        const WRITERS: u64 = 3;
+        const BATCH: u64 = 16;
+        let stop = AtomicBool::new(false);
+        let written: Vec<AtomicUsize> = (0..WRITERS).map(|_| AtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|scope| {
+            for writer in 0..WRITERS {
+                let sharded = &sharded;
+                let stop = &stop;
+                let written = &written[writer as usize];
+                scope.spawn(move |_| {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let ops: Vec<WriteOp> = (0..BATCH)
+                            .map(|j| {
+                                let k = fresh_base + writer * 1_000_000 + i + j;
+                                WriteOp::Insert { key: k, value: k }
+                            })
+                            .collect();
+                        let outcome = sharded.write_batch(&ops);
+                        assert_eq!(
+                            outcome.fresh_inserts, BATCH as usize,
+                            "every batched key is fresh"
+                        );
+                        i += BATCH;
+                        written.store(i as usize, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Slow re-layout churn on the shard every batch routes to (all
+            // fresh keys are above the loaded range): each split retires
+            // the handle mid-storm, forcing the batch path's re-route.
+            for _ in 0..8 {
+                let last = sharded.num_shards() - 1;
+                if sharded.split_shard(last, 2) {
+                    assert!(sharded.merge_shards(last, usize::MAX));
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .expect("threads must not panic");
+        let mut total = 0usize;
+        for writer in 0..WRITERS {
+            let count = written[writer as usize].load(Ordering::Relaxed);
+            assert!(count > 0, "writer {writer} never completed a batch");
+            total += count;
+            for i in (0..count as u64).step_by(97) {
+                let k = fresh_base + writer * 1_000_000 + i;
+                assert_eq!(sharded.get(k), Some(k), "lost a batched write");
+            }
+        }
+        assert!(sharded.len() >= keys.len() + total);
+        assert!(
+            RETIRED_RETRIES.load(Ordering::Relaxed) > retries_before,
+            "the slow splits must force at least one retired-handle retry"
+        );
     }
 }

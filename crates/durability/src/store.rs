@@ -34,7 +34,7 @@ use crate::wal::{read_wal, WalEnd, WalWriter};
 use csv_common::{Key, KeyValue, LearnedIndex, RangeIndex, Value};
 use csv_concurrent::{
     DurabilitySink, ReadPath, RecoveredShard, ShardCheckpoint, ShardedIndex, ShardingConfig,
-    StaleSeed,
+    StaleSeed, WriteRecord,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -375,6 +375,32 @@ impl DurabilitySink for FileSink {
         log.seq = seq;
         log.backlog += 1;
         self.wal_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn log_writes(&self, shard: Key, records: &[WriteRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut state = self.lock();
+        let log = state
+            .shards
+            .get_mut(&shard)
+            .expect("log_writes for a shard the sink has never checkpointed");
+        let writer = log
+            .writer
+            .as_mut()
+            .expect("log_writes before the recovered shard was re-checkpointed");
+        let seq = fatal(
+            writer.append_batch(records),
+            "appending a group commit to the shard log",
+        );
+        if self.config.fsync == FsyncPolicy::Always {
+            fatal(writer.sync(), "syncing the shard log");
+        }
+        log.seq = seq;
+        log.backlog += records.len() as u64;
+        self.wal_records
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
     }
 
     fn checkpoint(&self, checkpoint: &ShardCheckpoint) {

@@ -6,11 +6,17 @@
 //! header:  "CSVWAL01" | start_seq u64 LE | crc32(start_seq bytes) u32 LE
 //! record:  len u32 LE | crc32(body) u32 LE | body
 //! body:    seq u64 LE | op u8 (0 tombstone, 1 upsert) | key u64 LE | [value u64 LE]
+//! batch:   seq u64 LE | op u8 (2) | count u32 LE | count × (op u8, key u64 LE, [value u64 LE])
 //! ```
 //!
 //! Records are length-prefixed and individually checksummed, and their
 //! sequence numbers continue monotonically from the header's `start_seq`
-//! (the owning checkpoint's last durable sequence). The reader
+//! (the owning checkpoint's last durable sequence). A batch frame (op 2,
+//! written by [`WalWriter::append_batch`]) carries a whole group commit
+//! under a *single* checksum: its `seq` names the first sub-record and the
+//! group occupies `count` consecutive sequence numbers, so a torn or
+//! corrupt batch frame drops the entire group — recovery sees all of a
+//! group commit or none of it, never a proper subset. The reader
 //! ([`read_wal`]) is the graceful-degradation half of the design: it
 //! replays the longest valid prefix and *stops* — never panics — at the
 //! first torn, truncated, corrupt or out-of-sequence record, reporting why
@@ -21,6 +27,7 @@
 use crate::crc::crc32;
 use crate::fault::{Fault, FaultFile};
 use csv_common::{Key, Value};
+use csv_concurrent::WriteRecord;
 use std::io::{self, Write};
 use std::path::Path;
 
@@ -30,6 +37,14 @@ const HEADER_LEN: usize = 8 + 8 + 4;
 const TOMBSTONE_BODY: usize = 8 + 1 + 8;
 /// Body length of an upsert record (`seq + op + key + value`).
 const UPSERT_BODY: usize = TOMBSTONE_BODY + 8;
+/// Op byte of a group-commit batch frame.
+const BATCH_OP: u8 = 2;
+/// Leading bytes of a batch frame body (`seq + op + count`).
+const BATCH_PREFIX: usize = 8 + 1 + 4;
+/// Bytes of a tombstone sub-record inside a batch body (`op + key`).
+const TOMBSTONE_SUB: usize = 1 + 8;
+/// Bytes of an upsert sub-record inside a batch body (`op + key + value`).
+const UPSERT_SUB: usize = TOMBSTONE_SUB + 8;
 
 /// One decoded log record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +157,36 @@ impl WalWriter {
         Ok(self.seq)
     }
 
+    /// Appends a whole group commit as one checksummed batch frame — a
+    /// single `write` — and returns the final sequence number. The group
+    /// occupies `records.len()` consecutive sequence numbers but shares one
+    /// checksum, so replay recovers it all-or-nothing. Appending an empty
+    /// batch writes nothing.
+    pub fn append_batch(&mut self, records: &[WriteRecord]) -> io::Result<u64> {
+        if records.is_empty() {
+            return Ok(self.seq);
+        }
+        let first = self.seq + 1;
+        let mut body = Vec::with_capacity(BATCH_PREFIX + records.len() * UPSERT_SUB);
+        body.extend_from_slice(&first.to_le_bytes());
+        body.push(BATCH_OP);
+        body.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        for record in records {
+            body.push(u8::from(record.value.is_some()));
+            body.extend_from_slice(&record.key.to_le_bytes());
+            if let Some(value) = record.value {
+                body.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame)?;
+        self.seq += records.len() as u64;
+        Ok(self.seq)
+    }
+
     /// Flushes the log to stable storage (`fsync`).
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync()
@@ -191,7 +236,7 @@ pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
         }
         let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
-        if len != TOMBSTONE_BODY && len != UPSERT_BODY {
+        if len < TOMBSTONE_BODY {
             break WalEnd::CorruptRecord;
         }
         if bytes.len() - at - 8 < len {
@@ -203,19 +248,29 @@ pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
         }
         let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
         let op = body[8];
-        let key = Key::from_le_bytes(body[9..17].try_into().expect("8 bytes"));
-        let value = match (op, len) {
-            (0, TOMBSTONE_BODY) => None,
-            (1, UPSERT_BODY) => Some(Value::from_le_bytes(
-                body[17..25].try_into().expect("8 bytes"),
-            )),
+        match (op, len) {
+            (0, TOMBSTONE_BODY) | (1, UPSERT_BODY) => {
+                if seq != expected_seq + 1 {
+                    break WalEnd::SequenceGap;
+                }
+                let key = Key::from_le_bytes(body[9..17].try_into().expect("8 bytes"));
+                let value = (op == 1)
+                    .then(|| Value::from_le_bytes(body[17..25].try_into().expect("8 bytes")));
+                expected_seq = seq;
+                records.push(WalRecord { seq, key, value });
+            }
+            (BATCH_OP, _) => {
+                let Some(group) = decode_batch(seq, body) else {
+                    break WalEnd::CorruptRecord;
+                };
+                if seq != expected_seq + 1 {
+                    break WalEnd::SequenceGap;
+                }
+                expected_seq = seq + group.len() as u64 - 1;
+                records.extend(group);
+            }
             _ => break WalEnd::CorruptRecord,
-        };
-        if seq != expected_seq + 1 {
-            break WalEnd::SequenceGap;
         }
-        expected_seq = seq;
-        records.push(WalRecord { seq, key, value });
         at += 8 + len;
     };
     Ok(WalReplay {
@@ -223,6 +278,45 @@ pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
         records,
         end,
     })
+}
+
+/// Decodes a batch frame body (op 2) into its sub-records, sequenced
+/// consecutively from `first_seq`, or `None` when the framing is
+/// inconsistent (bad count, bad sub-op, or trailing/missing bytes). The
+/// caller has already verified the checksum; a `None` here means the frame
+/// never round-trips through [`WalWriter::append_batch`] and is treated as
+/// corrupt — dropping the whole group.
+fn decode_batch(first_seq: u64, body: &[u8]) -> Option<Vec<WalRecord>> {
+    if body.len() < BATCH_PREFIX {
+        return None;
+    }
+    let count = u32::from_le_bytes(body[9..13].try_into().expect("4 bytes")) as usize;
+    if count == 0 {
+        return None;
+    }
+    let mut group = Vec::with_capacity(count);
+    let mut at = BATCH_PREFIX;
+    for i in 0..count {
+        let op = *body.get(at)?;
+        let sub = match op {
+            0 => TOMBSTONE_SUB,
+            1 => UPSERT_SUB,
+            _ => return None,
+        };
+        if body.len() - at < sub {
+            return None;
+        }
+        let key = Key::from_le_bytes(body[at + 1..at + 9].try_into().expect("8 bytes"));
+        let value = (op == 1)
+            .then(|| Value::from_le_bytes(body[at + 9..at + 17].try_into().expect("8 bytes")));
+        group.push(WalRecord {
+            seq: first_seq + i as u64,
+            key,
+            value,
+        });
+        at += sub;
+    }
+    (at == body.len()).then_some(group)
 }
 
 #[cfg(test)]
@@ -358,6 +452,99 @@ mod tests {
         let replay = read_wal(&dir.join("nope")).unwrap();
         assert_eq!(replay.end, WalEnd::Missing);
         assert!(replay.records.is_empty());
+    }
+
+    fn batch(records: &[(Key, Option<Value>)]) -> Vec<WriteRecord> {
+        records
+            .iter()
+            .map(|&(key, value)| WriteRecord { key, value })
+            .collect()
+    }
+
+    #[test]
+    fn batch_frames_roundtrip_interleaved_with_point_records() {
+        let dir = test_dir("wal-batch-roundtrip");
+        let path = dir.join("wal");
+        {
+            let mut writer = WalWriter::create(&path, 10, None).unwrap();
+            assert_eq!(writer.append(1, Some(11)).unwrap(), 11);
+            let group = batch(&[(2, Some(22)), (3, None), (4, Some(44))]);
+            assert_eq!(writer.append_batch(&group).unwrap(), 14);
+            assert_eq!(
+                writer.append_batch(&[]).unwrap(),
+                14,
+                "empty batch is a no-op"
+            );
+            assert_eq!(writer.append(5, None).unwrap(), 15);
+        }
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.end, WalEnd::Clean);
+        assert_eq!(replay.last_seq(), 15);
+        let decoded: Vec<(u64, Key, Option<Value>)> = replay
+            .records
+            .iter()
+            .map(|r| (r.seq, r.key, r.value))
+            .collect();
+        assert_eq!(
+            decoded,
+            vec![
+                (11, 1, Some(11)),
+                (12, 2, Some(22)),
+                (13, 3, None),
+                (14, 4, Some(44)),
+                (15, 5, None),
+            ]
+        );
+    }
+
+    /// Truncating or corrupting a batch frame must drop the *whole* group —
+    /// recovery sees all of a group commit or none of it, never a subset.
+    #[test]
+    fn batch_frames_recover_all_or_nothing() {
+        let dir = test_dir("wal-batch-atomic");
+        let full_path = dir.join("full");
+        {
+            let mut writer = WalWriter::create(&full_path, 0, None).unwrap();
+            writer.append(1, Some(1)).unwrap();
+            writer
+                .append_batch(&batch(&[(2, Some(2)), (3, None), (4, Some(4))]))
+                .unwrap();
+            writer.append(5, Some(5)).unwrap();
+        }
+        let full = std::fs::read(&full_path).unwrap();
+        let batch_body = BATCH_PREFIX + 2 * UPSERT_SUB + TOMBSTONE_SUB;
+        let expected_len = HEADER_LEN + (8 + UPSERT_BODY) * 2 + 8 + batch_body;
+        assert_eq!(full.len(), expected_len);
+        for cut in HEADER_LEN..=full.len() {
+            let path = dir.join("cut");
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let replay = read_wal(&path).unwrap();
+            assert!(
+                [0, 1, 4, 5].contains(&replay.records.len()),
+                "cut={cut} replayed a proper subset of the batch: {} records",
+                replay.records.len()
+            );
+        }
+        let batch_start = HEADER_LEN + 8 + UPSERT_BODY;
+        for offset in batch_start..batch_start + 8 + batch_body {
+            let path = dir.join("flipped");
+            std::fs::write(&path, &full).unwrap();
+            Fault::BitFlip {
+                offset: offset as u64,
+                bit: 3,
+            }
+            .apply_to(&path)
+            .unwrap();
+            let replay = read_wal(&path).unwrap();
+            assert!(
+                replay.end.is_torn(),
+                "flip at {offset} must end replay early"
+            );
+            assert!(
+                replay.records.len() <= 1,
+                "flip at {offset} replayed part of the batch"
+            );
+        }
     }
 
     /// A sequence gap (a record lost in the middle, not at the tail) stops

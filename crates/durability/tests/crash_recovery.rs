@@ -8,7 +8,7 @@ use csv_btree::BPlusTree;
 use csv_common::key::identity_records;
 use csv_common::{Key, KeyValue, Value};
 use csv_concurrent::{
-    MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig,
+    MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig, WriteOp,
 };
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_durability::{
@@ -339,5 +339,85 @@ fn recovered_index_rearms_maintenance() {
     for i in (0..200u64).step_by(17) {
         assert_eq!(index.get(i * 5 + 1), Some(i));
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite pin: a crash mid-group-commit recovers either *all* of a
+/// batch's WAL frame or *none* of it, never a proper subset. A point write
+/// then a `write_batch` land in one shard's WAL; cutting that WAL at every
+/// byte must recover exactly one of the three acknowledged states — bulk
+/// only, bulk + point write, or bulk + point write + whole batch — and both
+/// non-trivial states must actually occur across the cuts.
+#[test]
+fn group_commits_recover_all_or_nothing() {
+    let dir = test_dir("group-commit");
+    let initial: BTreeMap<Key, Value> = (0..40u64).map(|i| (i * 3, i)).collect();
+    // Fresh insert, tombstone, overwrite, fresh insert: every record shape
+    // a batch frame can carry.
+    let batch = [
+        WriteOp::Insert { key: 1, value: 100 },
+        WriteOp::Remove { key: 3 },
+        WriteOp::Insert { key: 6, value: 600 },
+        WriteOp::Insert {
+            key: 121,
+            value: 700,
+        },
+    ];
+    {
+        let sink = Arc::new(FileSink::create(DurabilityConfig::new(&dir)).unwrap());
+        let index: ShardedIndex<BPlusTree> =
+            ShardedIndex::bulk_load_durable(&as_records(&initial), sharding(1), sink);
+        index.insert(0, 50);
+        let outcome = index.write_batch(&batch);
+        assert_eq!(outcome.fresh_inserts, 2);
+        assert_eq!(outcome.removed, 1);
+        // Crash: five buffered writes stay well under the capacity-8 fold,
+        // so the WAL holds exactly one point record and one batch frame.
+    }
+    let mut pre = initial.clone();
+    pre.insert(0, 50);
+    let mut post = pre.clone();
+    post.insert(1, 100);
+    post.remove(&3);
+    post.insert(6, 600);
+    post.insert(121, 700);
+    let states = [as_records(&initial), as_records(&pre), as_records(&post)];
+
+    let entries = read_manifest(&dir.join(MANIFEST_NAME)).unwrap().unwrap();
+    let wal_name = format!("wal-{}.wal", entries[0].1);
+    let wal_len = std::fs::metadata(dir.join(&wal_name)).unwrap().len() as usize;
+    let (mut seen_pre, mut seen_post) = (false, false);
+    for cut in 0..=wal_len {
+        // Recovery re-checkpoints the store, so each cut replays against a
+        // fresh copy of the crashed directory.
+        let scratch = test_dir("group-commit-cut");
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), scratch.join(entry.file_name())).unwrap();
+        }
+        Fault::TruncateAt(cut as u64)
+            .apply_to(&scratch.join(&wal_name))
+            .unwrap();
+        let recovered: Recovered<BPlusTree> =
+            recover(DurabilityConfig::new(&scratch), sharding(1)).unwrap();
+        let got = recovered.index.range(0, Key::MAX);
+        if got == states[2] {
+            seen_post = true;
+        } else if got == states[1] {
+            seen_pre = true;
+        } else {
+            assert_eq!(
+                got, states[0],
+                "cut={cut} recovered a state no acknowledged prefix ever held \
+                 (a partial batch?)"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    assert!(
+        seen_pre,
+        "some cut must land between the point write and the batch"
+    );
+    assert!(seen_post, "the uncut tail must recover the whole batch");
     let _ = std::fs::remove_dir_all(&dir);
 }

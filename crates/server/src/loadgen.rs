@@ -14,6 +14,7 @@
 
 use crate::client::Client;
 use crate::errors::{ArgError, ClientError};
+use crate::protocol::WriteOp;
 use csv_common::key::Key;
 use csv_common::latency::LatencyHistogram;
 use csv_datasets::{
@@ -93,6 +94,9 @@ pub struct LoadgenConfig {
     /// Consecutive reads grouped into one `MultiGet` frame (1 = plain
     /// `Get` per read).
     pub batch: usize,
+    /// Consecutive writes grouped into one `WriteBatch` frame — the
+    /// group-committed server path (1 = plain `Insert`/`Remove` per write).
+    pub write_batch: usize,
     /// Operations pre-generated per connection, cycled until the deadline.
     pub ops_per_conn: usize,
     /// Send `Shutdown` to the server after the run.
@@ -110,6 +114,7 @@ impl Default for LoadgenConfig {
             size: 200_000,
             seed: 42,
             batch: 1,
+            write_batch: 1,
             ops_per_conn: 100_000,
             shutdown: false,
         }
@@ -186,6 +191,7 @@ fn drive_connection(
     let mut completed = 0u64;
     let mut errors = 0u64;
     let mut read_batch: Vec<Key> = Vec::with_capacity(config.batch);
+    let mut write_buffer: Vec<WriteOp> = Vec::with_capacity(config.write_batch);
     let mut op_cursor = 0usize;
 
     let issue_reads = |client: &mut Client,
@@ -215,12 +221,63 @@ fn drive_connection(
         Ok(())
     };
 
+    let issue_writes = |client: &mut Client,
+                        buffer: &mut Vec<WriteOp>,
+                        latency: &mut LatencyHistogram,
+                        completed: &mut u64,
+                        errors: &mut u64|
+     -> Result<(), ClientError> {
+        if buffer.is_empty() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let outcome = if buffer.len() == 1 {
+            match buffer[0] {
+                WriteOp::Insert { key, value } => client.insert(key, value).map(|_| ()),
+                WriteOp::Remove { key } => client.remove(key).map(|_| ()),
+            }
+        } else {
+            client.write_batch(buffer).map(|_| ())
+        };
+        match outcome {
+            Ok(()) => {
+                latency.record(started.elapsed());
+                *completed += buffer.len() as u64;
+            }
+            Err(ClientError::Server(_)) => *errors += 1,
+            Err(fatal) => return Err(fatal),
+        }
+        buffer.clear();
+        Ok(())
+    };
+
     while Instant::now() < deadline {
         let op = operations[op_cursor % operations.len()];
         op_cursor += 1;
-        if let Operation::Read(key) = op {
-            read_batch.push(key);
-            if read_batch.len() >= config.batch.max(1) {
+        // A read flushes buffered writes (so it observes them) and a write
+        // flushes buffered reads, keeping ordering close to the generated
+        // stream; only same-kind runs coalesce into one frame.
+        match op {
+            Operation::Read(key) => {
+                issue_writes(
+                    &mut client,
+                    &mut write_buffer,
+                    &mut latency,
+                    &mut completed,
+                    &mut errors,
+                )?;
+                read_batch.push(key);
+                if read_batch.len() >= config.batch.max(1) {
+                    issue_reads(
+                        &mut client,
+                        &mut read_batch,
+                        &mut latency,
+                        &mut completed,
+                        &mut errors,
+                    )?;
+                }
+            }
+            Operation::Insert(key) | Operation::Remove(key) => {
                 issue_reads(
                     &mut client,
                     &mut read_batch,
@@ -228,37 +285,57 @@ fn drive_connection(
                     &mut completed,
                     &mut errors,
                 )?;
+                write_buffer.push(match op {
+                    Operation::Insert(_) => WriteOp::Insert { key, value: key },
+                    _ => WriteOp::Remove { key },
+                });
+                if write_buffer.len() >= config.write_batch.max(1) {
+                    issue_writes(
+                        &mut client,
+                        &mut write_buffer,
+                        &mut latency,
+                        &mut completed,
+                        &mut errors,
+                    )?;
+                }
             }
-            continue;
-        }
-        // A non-read flushes any pending batch first so ordering stays
-        // close to the generated stream.
-        issue_reads(
-            &mut client,
-            &mut read_batch,
-            &mut latency,
-            &mut completed,
-            &mut errors,
-        )?;
-        let started = Instant::now();
-        let outcome = match op {
-            Operation::Insert(key) => client.insert(key, key).map(|_| ()),
-            Operation::Remove(key) => client.remove(key).map(|_| ()),
-            Operation::Scan(lo, hi) => client.range(lo, hi, 0).map(|_| ()),
-            Operation::Read(_) => unreachable!("handled above"),
-        };
-        match outcome {
-            Ok(()) => {
-                latency.record(started.elapsed());
-                completed += 1;
+            Operation::Scan(lo, hi) => {
+                issue_reads(
+                    &mut client,
+                    &mut read_batch,
+                    &mut latency,
+                    &mut completed,
+                    &mut errors,
+                )?;
+                issue_writes(
+                    &mut client,
+                    &mut write_buffer,
+                    &mut latency,
+                    &mut completed,
+                    &mut errors,
+                )?;
+                let started = Instant::now();
+                match client.range(lo, hi, 0) {
+                    Ok(_) => {
+                        latency.record(started.elapsed());
+                        completed += 1;
+                    }
+                    Err(ClientError::Server(_)) => errors += 1,
+                    Err(fatal) => return Err(fatal),
+                }
             }
-            Err(ClientError::Server(_)) => errors += 1,
-            Err(fatal) => return Err(fatal),
         }
     }
     issue_reads(
         &mut client,
         &mut read_batch,
+        &mut latency,
+        &mut completed,
+        &mut errors,
+    )?;
+    issue_writes(
+        &mut client,
+        &mut write_buffer,
         &mut latency,
         &mut completed,
         &mut errors,
@@ -314,7 +391,7 @@ impl LoadgenConfig {
     /// The usage string printed on `--help` or a parse error.
     pub fn usage() -> &'static str {
         "csv-loadgen [--addr HOST:PORT] [--connections N] [--duration SECS]\n\
-         \u{20}           [--mix ycsb-a|ycsb-b|ycsb-c|ycsb-e|churn] [--batch N]\n\
+         \u{20}           [--mix ycsb-a|ycsb-b|ycsb-c|ycsb-e|churn] [--batch N] [--write-batch N]\n\
          \u{20}           [--dataset facebook|covid|osm|genome] [--size N] [--seed S]\n\
          \u{20}           [--ops N] [--shutdown]\n\
          \n\
@@ -322,8 +399,9 @@ impl LoadgenConfig {
          through a YCSB-style mix for the given duration and reports throughput plus a\n\
          p50/p99/p99.9 latency histogram. --dataset/--size/--seed must match the serving\n\
          process so the generated key space lines up (the defaults match csv-index's).\n\
-         --batch groups consecutive reads into one MultiGet frame; --ops sets how many\n\
-         operations are pre-generated per connection (cycled until the deadline);\n\
+         --batch groups consecutive reads into one MultiGet frame; --write-batch groups\n\
+         consecutive writes into one group-committed WriteBatch frame; --ops sets how\n\
+         many operations are pre-generated per connection (cycled until the deadline);\n\
          --shutdown sends the server a clean Shutdown once the run completes."
     }
 
@@ -365,6 +443,12 @@ impl LoadgenConfig {
                     out.batch = parse_number(flag, value)? as usize;
                     if out.batch == 0 {
                         return Err(ArgError::new("--batch must be at least 1"));
+                    }
+                }
+                "--write-batch" => {
+                    out.write_batch = parse_number(flag, value)? as usize;
+                    if out.write_batch == 0 {
+                        return Err(ArgError::new("--write-batch must be at least 1"));
                     }
                 }
                 "--dataset" => {
@@ -443,6 +527,8 @@ mod tests {
             "ycsb-a",
             "--batch",
             "64",
+            "--write-batch",
+            "32",
             "--dataset",
             "osm",
             "--size",
@@ -459,6 +545,7 @@ mod tests {
         assert_eq!(config.duration, Duration::from_secs_f64(2.5));
         assert_eq!(config.mix, MixChoice::YcsbA);
         assert_eq!(config.batch, 64);
+        assert_eq!(config.write_batch, 32);
         assert_eq!(config.dataset, Dataset::Osm);
         assert_eq!(config.size, 50_000);
         assert_eq!(config.seed, 7);
@@ -488,6 +575,14 @@ mod tests {
             .unwrap_err()
             .message
             .contains("at least 1"));
+        assert!(parse(&["--write-batch", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert!(parse(&["--write-batch", "x"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
         assert!(parse(&["--size", "1"])
             .unwrap_err()
             .message

@@ -251,6 +251,7 @@ fn loadgen_completes_a_ycsb_b_run_and_shuts_the_server_down() {
         size,
         seed,
         batch: 16,
+        write_batch: 8,
         ops_per_conn: 5_000,
         shutdown: true,
     })
