@@ -5,6 +5,7 @@
 //! always non-decreasing and a plain exponential/binary search works on it
 //! directly — exactly the trick the original implementation uses.
 
+use core::ops::ControlFlow;
 use csv_common::metrics::CostCounters;
 use csv_common::search::{expected_search_iterations, exponential_search};
 use csv_common::{Key, KeyValue, LinearModel, Value};
@@ -288,23 +289,47 @@ impl DataNode {
 
     /// All records with keys in `[lo, hi]`, in ascending key order.
     pub fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+        let mut out = Vec::new();
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Streams records with keys in `[lo, hi]` to `f` in ascending key
+    /// order. Returns `Break` iff `f` broke; running past `hi` is natural
+    /// exhaustion and returns `Continue`.
+    pub fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if lo > hi || self.num_keys == 0 {
-            return Vec::new();
+            return ControlFlow::Continue(());
         }
         // The slot-key array is non-decreasing, so a partition point finds
         // the first slot that could hold `lo`; gap copies of smaller keys are
         // skipped by the occupancy check.
         let start = self.slot_keys.partition_point(|&k| k < lo);
-        let mut out = Vec::new();
         for slot in start..self.capacity() {
             if self.slot_keys[slot] > hi {
                 break;
             }
             if self.occupied[slot] {
-                out.push(KeyValue::new(self.slot_keys[slot], self.slot_values[slot]));
+                f(self.slot_keys[slot], self.slot_values[slot])?;
             }
         }
-        out
+        ControlFlow::Continue(())
+    }
+
+    /// Issues a cache prefetch for the slot the model predicts for `key`,
+    /// without resolving the lookup (the search itself starts at the same
+    /// predicted position, so this warms exactly the line it will touch).
+    pub fn prefetch(&self, key: Key) {
+        let hint = self.model.predict_clamped(key, self.capacity());
+        csv_common::prefetch_slice_at(&self.slot_keys, hint);
     }
 
     /// Smallest stored key, if any.

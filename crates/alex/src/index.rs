@@ -2,6 +2,7 @@
 //! plus the CSV (Algorithm 2) integration.
 
 use crate::data_node::DataNode;
+use core::ops::ControlFlow;
 use csv_common::metrics::CostCounters;
 use csv_common::traits::{
     IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
@@ -394,15 +395,40 @@ impl LearnedIndex for AlexIndex {
             Node::Internal { .. } => unreachable!(),
         }
     }
+
+    fn prefetch_key(&self, key: Key) {
+        // One root-model prediction, one prefetch: pull the routed child
+        // node header toward the cache ahead of the resolve. Descending
+        // further (as `find_data_node` does) would stall on the dependent
+        // loads this pass is meant to overlap with other keys' work.
+        match &self.nodes[self.root] {
+            Node::Internal {
+                model, children, ..
+            } => {
+                let child = children[model.predict_clamped(key, children.len())];
+                csv_common::prefetch_slice_at(&self.nodes, child);
+            }
+            // A root data node is hot anyway; prefetch its predicted slot.
+            Node::Data(dn) => dn.prefetch(key),
+        }
+    }
 }
 
 impl AlexIndex {
-    /// In-order range collection: children of an internal node cover
+    /// In-order streaming scan: children of an internal node cover
     /// contiguous, ascending key ranges (the bulk loader partitions sorted
     /// records by the monotone routing model), so the sub-trees that can
     /// overlap `[lo, hi]` are exactly those between the children routing `lo`
-    /// and `hi`.
-    fn range_into(&self, node_id: usize, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+    /// and `hi`. A `Break` can only originate from the visitor (data nodes
+    /// treat running past `hi` as natural exhaustion), so it propagates
+    /// unchanged through the recursion.
+    fn visit_node(
+        &self,
+        node_id: usize,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         match &self.nodes[node_id] {
             Node::Internal {
                 model, children, ..
@@ -410,10 +436,11 @@ impl AlexIndex {
                 let first = model.predict_clamped(lo, children.len());
                 let last = model.predict_clamped(hi, children.len()).max(first);
                 for &child in &children[first..=last] {
-                    self.range_into(child, lo, hi, out);
+                    self.visit_node(child, lo, hi, f)?;
                 }
+                ControlFlow::Continue(())
             }
-            Node::Data(dn) => out.extend(dn.range(lo, hi)),
+            Node::Data(dn) => dn.range_visit(lo, hi, f),
         }
     }
 }
@@ -421,11 +448,23 @@ impl AlexIndex {
 impl RangeIndex for AlexIndex {
     fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
         let mut out = Vec::new();
-        if lo > hi {
-            return out;
-        }
-        self.range_into(self.root, lo, hi, &mut out);
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
         out
+    }
+
+    fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if lo > hi {
+            return ControlFlow::Continue(());
+        }
+        self.visit_node(self.root, lo, hi, f)
     }
 }
 

@@ -93,6 +93,10 @@ fn bench_mixed_workload(c: &mut Criterion) {
 
     for (mix_name, mix) in [
         ("ycsb_b", OperationMix::ycsb_b()),
+        // YCSB-E: 95% short scans / 5% inserts, scans starting at
+        // Zipfian-popular keys — the scan-heavy row the streaming read
+        // path is priced on.
+        ("ycsb_e", OperationMix::ycsb_e()),
         ("churn", OperationMix::churn()),
     ] {
         let workload = MixedWorkload::generate(
@@ -470,9 +474,119 @@ fn bench_overlay_write_cost(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole A/B: what one scan costs materialised (`range`, allocate
+/// and fill a `Vec`) vs streamed (`range_visit`, fold records into an
+/// accumulator with no allocation), at widths from 64 records up. Runs
+/// against the RCU sharded index with overlays deliberately dirtied so
+/// the scan pays the real base+overlay merge, and against a plain LIPP
+/// index to isolate the single-index cost. The streamed row must be
+/// strictly cheaper at every width ≥ 64.
+fn bench_scan_cost(c: &mut Criterion) {
+    let keys = Dataset::Osm.generate(KEYS, 5);
+    let records = identity_records(&keys);
+    let mut group = c.benchmark_group("scan_cost");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let sharded = ShardedIndex::<LippIndex>::bulk_load(
+        &records,
+        ShardingConfig::with_shards(16)
+            .with_read_path(ReadPath::Rcu)
+            .with_overlay(OverlayRepr::Persistent),
+    );
+    // Dirty the overlays (upserts and tombstones) without triggering the
+    // fold, so scans run the merge-join rather than the base fast path.
+    for &k in keys.iter().step_by(61) {
+        sharded.insert(k, k ^ 0xF00D);
+    }
+    for &k in keys.iter().step_by(131) {
+        sharded.remove(k);
+    }
+    let plain = LippIndex::bulk_load(&records);
+
+    for width in [64usize, 256, 1024, 4096] {
+        // Deterministic start positions spread over the key space; each
+        // iteration scans the same 64 windows of `width` records.
+        let starts: Vec<u64> = (0..64)
+            .map(|i| keys[(i * 997) % (keys.len() - width)])
+            .collect();
+        let hi_for = |lo: u64, width: usize| {
+            let pos = keys.partition_point(|&k| k < lo);
+            keys[(pos + width - 1).min(keys.len() - 1)]
+        };
+        let windows: Vec<(u64, u64)> = starts.iter().map(|&lo| (lo, hi_for(lo, width))).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("sharded_materialised", width),
+            &windows,
+            |b, windows| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    for &(lo, hi) in windows {
+                        for rec in sharded.range(lo, hi) {
+                            sum = sum.wrapping_add(rec.value);
+                        }
+                    }
+                    black_box(sum)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded_streaming", width),
+            &windows,
+            |b, windows| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    for &(lo, hi) in windows {
+                        let _ = sharded.range_visit(lo, hi, &mut |_, value| {
+                            sum = sum.wrapping_add(value);
+                            core::ops::ControlFlow::Continue(())
+                        });
+                    }
+                    black_box(sum)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lipp_materialised", width),
+            &windows,
+            |b, windows| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    for &(lo, hi) in windows {
+                        for rec in plain.range(lo, hi) {
+                            sum = sum.wrapping_add(rec.value);
+                        }
+                    }
+                    black_box(sum)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lipp_streaming", width),
+            &windows,
+            |b, windows| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    for &(lo, hi) in windows {
+                        let _ = plain.range_visit(lo, hi, &mut |_, value| {
+                            sum = sum.wrapping_add(value);
+                            core::ops::ControlFlow::Continue(())
+                        });
+                    }
+                    black_box(sum)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mixed_workload,
+    bench_scan_cost,
     bench_overlay_write_cost,
     bench_recovery
 );

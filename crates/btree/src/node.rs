@@ -1,5 +1,6 @@
 //! B+-tree node layout and operations.
 
+use core::ops::ControlFlow;
 use csv_common::metrics::CostCounters;
 use csv_common::traits::{
     IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
@@ -301,16 +302,43 @@ impl LearnedIndex for BPlusTree {
             None
         }
     }
+
+    fn prefetch_key(&self, key: Key) {
+        // One root routing step (root separators are hot across a batch),
+        // one prefetch of the routed child's node header. A full `descend`
+        // here would stall on the same dependent loads the resolve pays —
+        // prefetching must stay non-blocking to overlap anything.
+        if let Node::Internal {
+            separators,
+            children,
+        } = &self.nodes[self.root]
+        {
+            let child = children[separators.partition_point(|&s| s <= key)];
+            csv_common::prefetch_slice_at(&self.nodes, child);
+        }
+    }
 }
 
 impl RangeIndex for BPlusTree {
     fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
         let mut out = Vec::new();
-        if lo > hi {
-            return out;
-        }
-        self.range_into(self.root, lo, hi, &mut out);
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
         out
+    }
+
+    fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if lo > hi {
+            return ControlFlow::Continue(());
+        }
+        self.visit_node(self.root, lo, hi, f)
     }
 }
 
@@ -344,9 +372,18 @@ impl RemovableIndex for BPlusTree {
 }
 
 impl BPlusTree {
-    /// Collects every record of `node_id`'s sub-tree whose key is in
-    /// `[lo, hi]`, pruning children whose separator ranges cannot overlap.
-    fn range_into(&self, node_id: usize, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+    /// Streams every record of `node_id`'s sub-tree whose key is in
+    /// `[lo, hi]` to `f`, pruning children whose separator ranges cannot
+    /// overlap. Candidate children and leaf slots are bounded by partition
+    /// points, so a `Break` can only originate from the visitor and
+    /// propagates unchanged.
+    fn visit_node(
+        &self,
+        node_id: usize,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         match &self.nodes[node_id] {
             Node::Internal {
                 separators,
@@ -356,17 +393,18 @@ impl BPlusTree {
                 let first = separators.partition_point(|&s| s <= lo);
                 let last = separators.partition_point(|&s| s <= hi);
                 for &child in &children[first..=last.min(children.len() - 1)] {
-                    self.range_into(child, lo, hi, out);
+                    self.visit_node(child, lo, hi, f)?;
                 }
             }
             Node::Leaf { keys, values } => {
                 let start = keys.partition_point(|&k| k < lo);
                 let end = keys.partition_point(|&k| k <= hi);
                 for i in start..end {
-                    out.push(KeyValue::new(keys[i], values[i]));
+                    f(keys[i], values[i])?;
                 }
             }
         }
+        ControlFlow::Continue(())
     }
 }
 

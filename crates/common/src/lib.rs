@@ -28,6 +28,7 @@ pub mod latency;
 pub mod linear;
 pub mod metrics;
 pub mod pla;
+pub mod prefetch;
 pub mod quadratic;
 pub mod rng;
 pub mod search;
@@ -39,6 +40,9 @@ pub use latency::LatencyHistogram;
 pub use linear::LinearModel;
 pub use metrics::{CostCounters, Summary};
 pub use pla::{Segment, SegmentationBuilder};
+pub use prefetch::{prefetch_read, prefetch_slice_at};
 pub use quadratic::{QuadFitStats, QuadraticModel};
 pub use search::{binary_search_bounded, exponential_search, SearchOutcome};
-pub use traits::{IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex};
+pub use traits::{
+    collect_range_visit, IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex,
+};

@@ -7,6 +7,7 @@
 
 use crate::key::{Key, KeyValue, Value};
 use crate::metrics::CostCounters;
+use core::ops::ControlFlow;
 use serde::{Deserialize, Serialize};
 
 /// Histogram of how many keys live at each level of a hierarchical index
@@ -145,6 +146,15 @@ pub trait LearnedIndex {
     /// The 1-based level at which `key` is stored, when present. Used to
     /// compute the paper's "promoted data" metric.
     fn level_of_key(&self, key: Key) -> Option<usize>;
+
+    /// Hints the CPU caches about where `key` would be found, without
+    /// resolving the lookup. Batched readers call this for a whole slice of
+    /// keys before resolving any of them, so the resolve loop overlaps its
+    /// cache misses (software pipelining). Purely advisory — the default
+    /// does nothing, and implementations must not change observable state.
+    fn prefetch_key(&self, key: Key) {
+        let _ = key;
+    }
 }
 
 /// Range scans over an index.
@@ -158,10 +168,52 @@ pub trait RangeIndex: LearnedIndex {
     /// Returns every record with `lo <= key <= hi`, in ascending key order.
     fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue>;
 
+    /// Streams every record with `lo <= key <= hi` to `f` in ascending key
+    /// order, without materialising an intermediate `Vec`.
+    ///
+    /// Returns [`ControlFlow::Break`] **iff `f` broke** (early termination,
+    /// e.g. a `limit` was reached mid-scan); exhausting the range naturally
+    /// returns [`ControlFlow::Continue`]. The default implementation walks
+    /// the materialised [`RangeIndex::range`] result; native implementations
+    /// override it to walk their nodes allocation-free and to stop
+    /// descending as soon as `f` breaks.
+    fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        for rec in self.range(lo, hi) {
+            f(rec.key, rec.value)?;
+        }
+        ControlFlow::Continue(())
+    }
+
     /// Number of records with `lo <= key <= hi`.
     fn count_range(&self, lo: Key, hi: Key) -> usize {
         self.range(lo, hi).len()
     }
+}
+
+/// Collects a [`RangeIndex::range_visit`] stream into a `Vec`, optionally
+/// stopping after `limit` records (`limit == 0` means unlimited). Shared by
+/// the `range ≡ collected range_visit` equivalence tests at every layer.
+pub fn collect_range_visit<I: RangeIndex + ?Sized>(
+    index: &I,
+    lo: Key,
+    hi: Key,
+    limit: usize,
+) -> Vec<KeyValue> {
+    let mut out = Vec::new();
+    let _ = index.range_visit(lo, hi, &mut |key, value| {
+        out.push(KeyValue { key, value });
+        if limit != 0 && out.len() >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    out
 }
 
 /// Point deletions from an index.

@@ -35,6 +35,7 @@
 use crate::durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSeed, WriteRecord};
 use crate::pmap::PMap;
 use crate::rcu::RcuCell;
+use core::ops::ControlFlow;
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex, SnapshotIndex};
 use csv_common::{Key, KeyValue, Value};
 use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
@@ -544,6 +545,18 @@ impl Overlay {
         }
     }
 
+    /// Hints the caches about `key`'s overlay slot ahead of a batched
+    /// resolve. The flat representation prefetches the midpoint of its
+    /// entry array — the first probe of `get`'s binary search; the chunk
+    /// tree's root is batch-hot already and deeper chunks cannot be
+    /// predicted without descending, so it declines the hint.
+    fn prefetch(&self, _key: Key) {
+        match self {
+            Self::Flat(entries) => csv_common::prefetch_slice_at(entries, entries.len() / 2),
+            Self::Tree(_) => {}
+        }
+    }
+
     /// Iterates the overlay slots with keys in `[lo, hi]`, ascending —
     /// allocation-free in both representations.
     fn range(&self, lo: Key, hi: Key) -> OverlayIter<'_> {
@@ -610,6 +623,17 @@ impl<I: LearnedIndex> ShardSnapshot<I> {
         }
     }
 
+    /// Predicts where `key` would resolve — the overlay slot candidate and
+    /// the base index's model-predicted position — and prefetches those
+    /// cache lines without resolving the lookup. The batched read path
+    /// calls this for a whole block of keys before resolving any of them.
+    pub(crate) fn prefetch(&self, key: Key) {
+        if !self.overlay.is_empty() {
+            self.overlay.prefetch(key);
+        }
+        self.base.prefetch_key(key);
+    }
+
     pub(crate) fn len(&self) -> usize {
         self.len
     }
@@ -634,41 +658,59 @@ impl<I: LearnedIndex + RangeIndex> ShardSnapshot<I> {
     /// Records in `[lo, hi]`: the base range merge-joined with the overlay
     /// slice (streamed, not copied), tombstones subtracted.
     fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
-        let base = self.base.range(lo, hi);
+        let mut out = Vec::new();
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Streams records in `[lo, hi]` to `f` in ascending key order without
+    /// materialising either side: the base index streams through its own
+    /// `range_visit` while the overlay slice is pulled lazily from
+    /// [`Overlay::range`]'s allocation-free iterator; overlay slots
+    /// supersede equal base keys and tombstones are dropped on the fly.
+    /// Returns `Break` iff `f` broke.
+    fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if self.overlay.is_empty() {
-            return base;
+            return self.base.range_visit(lo, hi, f);
         }
         let mut overlay = self.overlay.range(lo, hi).peekable();
-        if overlay.peek().is_none() {
-            return base;
-        }
-        let mut out = Vec::with_capacity(base.len());
-        let mut i = 0usize;
-        while i < base.len() || overlay.peek().is_some() {
-            let take_overlay = match (base.get(i), overlay.peek()) {
-                (Some(b), Some(&(key, _))) => {
-                    if b.key == key {
-                        i += 1; // the overlay entry supersedes the base one
-                        true
-                    } else {
-                        key < b.key
-                    }
+        self.base.range_visit(lo, hi, &mut |bk, bv| {
+            // Drain overlay entries at or before this base key, then decide
+            // whether the base record survives (no overlay slot for its key).
+            while let Some(&(ok, oslot)) = overlay.peek() {
+                if ok > bk {
+                    break;
                 }
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (None, None) => unreachable!("loop condition"),
-            };
-            if take_overlay {
-                let (key, slot) = overlay.next().expect("peeked above");
-                if let Some(value) = slot {
-                    out.push(KeyValue::new(key, value));
+                overlay.next();
+                if ok == bk {
+                    // The overlay slot supersedes the base record: an upsert
+                    // replaces it, a tombstone drops it.
+                    return match oslot {
+                        Some(v) => f(ok, v),
+                        None => ControlFlow::Continue(()),
+                    };
                 }
-            } else {
-                out.push(base[i]);
-                i += 1;
+                if let Some(v) = oslot {
+                    f(ok, v)?;
+                }
+            }
+            f(bk, bv)
+        })?;
+        // Overlay keys past the last base record.
+        for (ok, oslot) in overlay {
+            if let Some(v) = oslot {
+                f(ok, v)?;
             }
         }
-        out
+        ControlFlow::Continue(())
     }
 }
 
@@ -807,6 +849,37 @@ thread_local! {
     static ROUTE_SCRATCH: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Block size of the software-pipelined batched resolve: positions for a
+/// whole block are predicted and prefetched before any of them is
+/// resolved, so the block's cache misses overlap instead of serialising.
+/// Eight in-flight lines sit comfortably inside the load-miss queue of
+/// every x86-64 core this runs on; buckets smaller than one block skip
+/// the prediction pass (the prefetches could not run ahead of the
+/// resolves that follow immediately). This engages on the snapshot
+/// resolve ([`ReadView::multi_get`] and the RCU `multi_get` path), where
+/// the overlay + base indirection leaves misses worth hiding; the locked
+/// resolve measured faster as a plain loop and keeps one.
+const RESOLVE_PIPELINE: usize = 8;
+
+/// Software-pipelined resolve of one shard's batch positions: prefetch a
+/// block of predicted locations, then resolve the block.
+fn pipelined_resolve(bucket: &[u32], mut prefetch: impl FnMut(u32), mut resolve: impl FnMut(u32)) {
+    if bucket.len() < RESOLVE_PIPELINE {
+        for &i in bucket {
+            resolve(i);
+        }
+        return;
+    }
+    for block in bucket.chunks(RESOLVE_PIPELINE) {
+        for &i in block {
+            prefetch(i);
+        }
+        for &i in block {
+            resolve(i);
+        }
+    }
+}
+
 /// Runs `f` over `shards` cleared position buckets borrowed from the
 /// thread-local routing scratch. Falls back to fresh buckets when the
 /// scratch is already borrowed (a reentrant batched call from inside `f`),
@@ -868,8 +941,22 @@ impl<I: LearnedIndex> ReadView<I> {
         }
         if self.shards.len() == 1 {
             let snap = &self.shards[0].1;
-            for (slot, &key) in out.iter_mut().zip(keys) {
-                *slot = snap.get(key);
+            if keys.len() < RESOLVE_PIPELINE {
+                for (slot, &key) in out.iter_mut().zip(keys) {
+                    *slot = snap.get(key);
+                }
+                return out;
+            }
+            for (slots, block) in out
+                .chunks_mut(RESOLVE_PIPELINE)
+                .zip(keys.chunks(RESOLVE_PIPELINE))
+            {
+                for &key in block {
+                    snap.prefetch(key);
+                }
+                for (slot, &key) in slots.iter_mut().zip(block) {
+                    *slot = snap.get(key);
+                }
             }
             return out;
         }
@@ -881,11 +968,15 @@ impl<I: LearnedIndex> ReadView<I> {
                 let shard = shard_for_key(&self.shards, key, |(lower, _)| *lower);
                 buckets[shard].push(i as u32);
             }
-            // Phase 2: per-shard resolution, batch positions in input order.
+            // Phase 2: per-shard software-pipelined resolution, batch
+            // positions in input order — predict + prefetch a block of
+            // positions, then resolve it (see `RESOLVE_PIPELINE`).
             for ((_, snap), bucket) in self.shards.iter().zip(buckets.iter()) {
-                for &i in bucket {
-                    out[i as usize] = snap.get(keys[i as usize]);
-                }
+                pipelined_resolve(
+                    bucket,
+                    |i| snap.prefetch(keys[i as usize]),
+                    |i| out[i as usize] = snap.get(keys[i as usize]),
+                );
             }
         });
         out
@@ -899,6 +990,46 @@ impl<I: LearnedIndex> ReadView<I> {
     /// `true` when the pinned snapshots store no keys.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<I: LearnedIndex + RangeIndex> ReadView<I> {
+    /// Range scan `[lo, hi]` against the pinned snapshots, materialised.
+    /// Equivalent to collecting [`ReadView::range_visit`] (pinned by
+    /// tests).
+    pub fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+        let mut out = Vec::new();
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Streaming range scan `[lo, hi]` against the pinned snapshots:
+    /// overlapping shards are visited in key order (the shard vector is
+    /// key-ordered by construction) and every record streams to `f` in
+    /// ascending key order with no intermediate `Vec`. Unlike
+    /// [`ShardedIndex::range_visit`], every shard's snapshot was pinned
+    /// when the view was taken, so the whole scan observes one frozen
+    /// layout. Returns `Break` iff `f` broke.
+    pub fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if lo > hi || self.shards.is_empty() {
+            return ControlFlow::Continue(());
+        }
+        let first = shard_for_key(&self.shards, lo, |(lower, _)| *lower);
+        for (i, (lower, snap)) in self.shards.iter().enumerate().skip(first) {
+            if i > first && *lower > hi {
+                break;
+            }
+            snap.range_visit(lo, hi, f)?;
+        }
+        ControlFlow::Continue(())
     }
 }
 
@@ -1034,8 +1165,13 @@ impl<I: LearnedIndex> ShardedIndex<I> {
                         if bucket.is_empty() {
                             continue;
                         }
+                        // Plain loop, no prefetch pass: the locked resolve
+                        // has no overlay/snapshot indirection to hide, and
+                        // an interleaved A/B measured the pipelined variant
+                        // 4-8% *slower* here — the predict+prefetch pass
+                        // only pays for itself on the snapshot resolve.
                         let index = shard.index.read();
-                        for &i in bucket {
+                        for &i in bucket.iter() {
                             out[i as usize] = index.get(keys[i as usize]);
                         }
                     }
@@ -1591,8 +1727,27 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
     /// per-shard consistency the locked path provides).
     pub fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
         let mut out = Vec::new();
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Streaming range scan `[lo, hi]`: records are handed to `f` in
+    /// ascending key order as each overlapping shard is visited, without
+    /// materialising any per-shard `Vec`. Shards are visited in key order
+    /// under the same per-shard consistency as [`ShardedIndex::range`];
+    /// returns `Break` iff `f` broke, which also stops visiting further
+    /// shards.
+    pub fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if lo > hi {
-            return out;
+            return ControlFlow::Continue(());
         }
         match &self.repr {
             Repr::Locked(r) => {
@@ -1602,7 +1757,7 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
                     if i > first && shard.lower_bound > hi {
                         break;
                     }
-                    out.extend(shard.index.read().range(lo, hi));
+                    shard.index.read().range_visit(lo, hi, f)?;
                 }
             }
             Repr::Rcu(r) => {
@@ -1612,11 +1767,11 @@ impl<I: LearnedIndex + RangeIndex> ShardedIndex<I> {
                     if i > first && shard.lower_bound > hi {
                         break;
                     }
-                    out.extend(shard.snap.load().range(lo, hi));
+                    shard.snap.load().range_visit(lo, hi, f)?;
                 }
             }
         }
-        out
+        ControlFlow::Continue(())
     }
 
     /// Splits shard `shard` at its median key into two shards, fixing the

@@ -2,6 +2,7 @@
 //! conflict-driven child creation, and adjustment (sub-tree rebuilds).
 
 use crate::node::{LippNodeView, Node, Slot};
+use core::ops::ControlFlow;
 use csv_common::metrics::CostCounters;
 use csv_common::traits::{
     IndexStats, LearnedIndex, LevelHistogram, RangeIndex, RemovableIndex, SnapshotIndex,
@@ -415,43 +416,77 @@ impl LearnedIndex for LippIndex {
             }
         }
     }
+
+    fn prefetch_key(&self, key: Key) {
+        // Root-model arithmetic only, then one prefetch of the predicted
+        // root slot — the first cache line the lookup will touch. No
+        // descent: reading slot contents here would *stall* on the very
+        // misses the prefetch pass exists to overlap (a dependent-load
+        // walk is just the lookup run twice).
+        let node = &self.nodes[self.root];
+        csv_common::prefetch_slice_at(&node.slots, node.predict_slot(key));
+    }
 }
 
 impl LippIndex {
-    /// In-order range collection: slot order within a node is key order (the
+    /// In-order streaming scan: slot order within a node is key order (the
     /// routing model is monotone), so a depth-first left-to-right walk visits
-    /// records in ascending key order and can stop at the first key past
-    /// `hi`. Returns `true` while the scan should continue.
-    fn range_into(&self, node_id: usize, lo: Key, hi: Key, out: &mut Vec<KeyValue>) -> bool {
-        for slot in &self.nodes[node_id].slots {
+    /// records in ascending key order. Monotonicity also lets the walk start
+    /// at `predict_slot(lo)` — every key in an earlier slot predicts earlier,
+    /// hence is `< lo` — and stop at the first key past `hi`.
+    ///
+    /// `Break(true)` means the visitor stopped the scan; `Break(false)` means
+    /// the walk ran past `hi` (natural exhaustion).
+    fn visit_node(
+        &self,
+        node_id: usize,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<bool> {
+        let node = &self.nodes[node_id];
+        let start = node.predict_slot(lo);
+        for slot in &node.slots[start..] {
             match slot {
                 Slot::Empty => {}
                 Slot::Data(k, v) => {
                     if *k > hi {
-                        return false;
+                        return ControlFlow::Break(false);
                     }
-                    if *k >= lo {
-                        out.push(KeyValue::new(*k, *v));
-                    }
-                }
-                Slot::Child(c) => {
-                    if !self.range_into(*c, lo, hi, out) {
-                        return false;
+                    if *k >= lo && f(*k, *v).is_break() {
+                        return ControlFlow::Break(true);
                     }
                 }
+                Slot::Child(c) => self.visit_node(*c, lo, hi, f)?,
             }
         }
-        true
+        ControlFlow::Continue(())
     }
 }
 
 impl RangeIndex for LippIndex {
     fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
         let mut out = Vec::new();
-        if lo <= hi {
-            self.range_into(self.root, lo, hi, &mut out);
-        }
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
         out
+    }
+
+    fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if lo > hi {
+            return ControlFlow::Continue(());
+        }
+        match self.visit_node(self.root, lo, hi, f) {
+            ControlFlow::Break(true) => ControlFlow::Break(()),
+            _ => ControlFlow::Continue(()),
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! The PGM index implementation.
 
+use core::ops::ControlFlow;
 use csv_common::metrics::CostCounters;
 use csv_common::pla::{locate_segment, Segment, SegmentationBuilder};
 use csv_common::traits::{
@@ -315,16 +316,40 @@ impl LearnedIndex for PgmIndex {
             None
         }
     }
+
+    fn prefetch_key(&self, key: Key) {
+        // The recursive levels are small and hot; the cold miss is the data
+        // key array. Predict with the data-level segmentation directly and
+        // prefetch the centre of the ±ε window the lookup will search.
+        if let Some(level0) = self.levels.first() {
+            let predicted = locate_segment(level0, key).predict(key);
+            csv_common::prefetch_slice_at(&self.keys, predicted.min(self.keys.len()));
+        }
+    }
 }
 
 impl RangeIndex for PgmIndex {
     fn range(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
         let mut out = Vec::new();
+        let _ = self.range_visit(lo, hi, &mut |k, v| {
+            out.push(KeyValue::new(k, v));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if lo > hi {
-            return out;
+            return ControlFlow::Continue(());
         }
         // Merge the sorted static part (minus tombstones) with the sorted
-        // insert buffer, restricted to [lo, hi].
+        // insert buffer, restricted to [lo, hi], streaming each record to
+        // `f` as the two cursors advance.
         let mut i = self.keys.partition_point(|&k| k < lo);
         let mut j = self.buffer.partition_point(|&(k, _)| k < lo);
         while i < self.keys.len() || j < self.buffer.len() {
@@ -334,18 +359,18 @@ impl RangeIndex for PgmIndex {
                 (None, None) => break,
                 (Some(k), bk) if bk.is_none_or(|b| k < b) => {
                     if !self.is_tombstoned(k) {
-                        out.push(KeyValue::new(k, self.values[i]));
+                        f(k, self.values[i])?;
                     }
                     i += 1;
                 }
                 (_, Some(_)) => {
-                    out.push(KeyValue::new(self.buffer[j].0, self.buffer[j].1));
+                    f(self.buffer[j].0, self.buffer[j].1)?;
                     j += 1;
                 }
                 _ => break,
             }
         }
-        out
+        ControlFlow::Continue(())
     }
 }
 

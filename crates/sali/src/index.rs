@@ -1,6 +1,7 @@
 //! The SALI index: a LIPP base structure plus probability-driven flattening
 //! of hot sub-trees into ε-bounded segment regions.
 
+use core::ops::ControlFlow;
 use csv_common::metrics::CostCounters;
 use csv_common::pla::{locate_segment, Segment, SegmentationBuilder};
 use csv_common::traits::{
@@ -77,6 +78,13 @@ impl FlatRegion {
     /// Number of segments in the region's PLA.
     pub fn num_segments(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Issues a cache prefetch for the centre of the ±ε window `get` will
+    /// binary-search for `key`, without resolving the lookup.
+    fn prefetch(&self, key: Key) {
+        let predicted = locate_segment(&self.segments, key).predict(key);
+        csv_common::prefetch_slice_at(&self.keys, predicted.min(self.keys.len()));
     }
 
     fn get(&self, key: Key, counters: Option<&mut CostCounters>) -> Option<Value> {
@@ -331,6 +339,17 @@ impl LearnedIndex for SaliIndex {
         }
         self.lipp.level_of_key(key)
     }
+
+    fn prefetch_key(&self, key: Key) {
+        // Hot keys resolve inside a flattened region: prefetch the centre of
+        // the ±ε window its segmentation predicts. Cold keys go to the LIPP
+        // base, which prefetches its predicted slot.
+        if let Some(r) = self.region_for(key) {
+            self.regions[r].prefetch(key);
+        } else {
+            self.lipp.prefetch_key(key);
+        }
+    }
 }
 
 impl RangeIndex for SaliIndex {
@@ -338,6 +357,15 @@ impl RangeIndex for SaliIndex {
         // The LIPP base is authoritative for range scans: flattened regions
         // are read-optimised snapshots for point lookups only.
         self.lipp.range(lo, hi)
+    }
+
+    fn range_visit(
+        &self,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.lipp.range_visit(lo, hi, f)
     }
 }
 

@@ -12,6 +12,19 @@ use csv_common::key::{Key, KeyValue, Value};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+/// Result of a range scan: the records (ascending by key) plus whether
+/// the server cut the scan at the 1 MiB frame cap before the range (or
+/// the requested limit) was exhausted. Truncation is typed, not an error:
+/// the records are a complete prefix and the caller can continue from
+/// `records.last().key + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeScan {
+    /// The returned records, ascending by key.
+    pub records: Vec<KeyValue>,
+    /// `true` when the server stopped at the frame cap.
+    pub truncated: bool,
+}
+
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
     stream: TcpStream,
@@ -77,10 +90,12 @@ impl Client {
         }
     }
 
-    /// Range scan over `[lo, hi]`; `limit == 0` means unlimited.
-    pub fn range(&mut self, lo: Key, hi: Key, limit: u32) -> Result<Vec<KeyValue>, ClientError> {
+    /// Range scan over `[lo, hi]`; `limit == 0` means unlimited. The
+    /// server streams records into one response frame and reports (typed,
+    /// in [`RangeScan::truncated`]) when it had to stop at the frame cap.
+    pub fn range(&mut self, lo: Key, hi: Key, limit: u32) -> Result<RangeScan, ClientError> {
         match self.request(&Request::Range { lo, hi, limit })? {
-            Response::Records(r) => Ok(r),
+            Response::Records { records, truncated } => Ok(RangeScan { records, truncated }),
             _ => Err(ClientError::Unexpected("Records")),
         }
     }

@@ -144,13 +144,18 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
                 put_opt_value(buf, v);
             }
         }
-        Response::Records(records) => {
-            put_u8(buf, opcode::R_RECORDS);
-            put_u32(buf, records.len() as u32);
+        Response::Records { records, truncated } => {
+            let mut stream = RecordStream::begin(buf);
             for r in records {
-                put_u64(buf, r.key);
-                put_u64(buf, r.value);
+                if !stream.push(r.key, r.value) {
+                    break;
+                }
             }
+            if *truncated {
+                stream.mark_truncated();
+            }
+            stream.finish();
+            return;
         }
         Response::Inserted(fresh) => {
             put_u8(buf, opcode::R_INSERTED);
@@ -191,6 +196,80 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
         }
     }
     seal(buf, start);
+}
+
+/// Largest number of records a [`Response::Records`] frame can carry:
+/// `MAX_FRAME_LEN` minus the opcode, truncation flag and count, in 16-byte
+/// records.
+pub const MAX_RECORDS_PER_FRAME: usize = (MAX_FRAME_LEN - 6) / 16;
+
+/// Streaming encoder for a [`Response::Records`] frame: records are
+/// appended to the wire buffer as the index scan produces them — the
+/// server never materialises the result set. `push` refuses the record
+/// that would overflow [`MAX_FRAME_LEN`] and marks the frame truncated;
+/// `finish` backpatches the truncation flag and record count and seals
+/// the `[len][crc]` header. Dropping the stream without calling `finish`
+/// leaves a partial frame in the buffer — always finish it.
+pub struct RecordStream<'a> {
+    buf: &'a mut Vec<u8>,
+    /// Frame start in `buf` (where the header gets spliced).
+    start: usize,
+    count: u32,
+    truncated: bool,
+}
+
+impl<'a> RecordStream<'a> {
+    /// Starts a records frame at the current end of `buf`.
+    pub fn begin(buf: &'a mut Vec<u8>) -> Self {
+        let start = buf.len();
+        put_u8(buf, opcode::R_RECORDS);
+        put_u8(buf, 0); // truncation flag, backpatched by `finish`
+        put_u32(buf, 0); // record count, backpatched by `finish`
+        Self {
+            buf,
+            start,
+            count: 0,
+            truncated: false,
+        }
+    }
+
+    /// Appends one record. Returns `false` — and marks the frame truncated
+    /// — when the record would push the payload past [`MAX_FRAME_LEN`];
+    /// the caller must stop pushing.
+    pub fn push(&mut self, key: Key, value: Value) -> bool {
+        if self.buf.len() - self.start + 16 > MAX_FRAME_LEN {
+            self.truncated = true;
+            return false;
+        }
+        put_u64(self.buf, key);
+        put_u64(self.buf, value);
+        self.count += 1;
+        true
+    }
+
+    /// Records pushed so far.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// `true` while no record has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Flags the frame as truncated (also set automatically when `push`
+    /// hits the frame cap).
+    pub fn mark_truncated(&mut self) {
+        self.truncated = true;
+    }
+
+    /// Backpatches the truncation flag and record count, then seals the
+    /// frame header.
+    pub fn finish(self) {
+        self.buf[self.start + 1] = u8::from(self.truncated);
+        self.buf[self.start + 2..self.start + 6].copy_from_slice(&self.count.to_le_bytes());
+        seal(self.buf, self.start);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +442,11 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, ProtocolError> {
             Response::Values(values)
         }
         opcode::R_RECORDS => {
+            let truncated = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtocolError::Malformed("truncation flag must be 0 or 1")),
+            };
             let n = r.count(16)?;
             let mut records = Vec::with_capacity(n);
             for _ in 0..n {
@@ -370,7 +454,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, ProtocolError> {
                 let value: Value = r.u64()?;
                 records.push(KeyValue { key, value });
             }
-            Response::Records(records)
+            Response::Records { records, truncated }
         }
         opcode::R_INSERTED => match r.u8()? {
             0 => Response::Inserted(false),
@@ -468,7 +552,14 @@ mod tests {
         round_trip_response(Response::Value(Some(9)));
         round_trip_response(Response::Value(None));
         round_trip_response(Response::Values(vec![Some(1), None, Some(u64::MAX)]));
-        round_trip_response(Response::Records(vec![KeyValue { key: 1, value: 2 }]));
+        round_trip_response(Response::Records {
+            records: vec![KeyValue { key: 1, value: 2 }],
+            truncated: false,
+        });
+        round_trip_response(Response::Records {
+            records: vec![KeyValue { key: 3, value: 4 }],
+            truncated: true,
+        });
         round_trip_response(Response::Inserted(true));
         round_trip_response(Response::Removed(None));
         round_trip_response(Response::BatchApplied {
@@ -586,6 +677,78 @@ mod tests {
         buf.extend_from_slice(&crc32(&payload).to_le_bytes());
         buf.extend_from_slice(&payload);
         assert_eq!(decode_request(&buf), Err(ProtocolError::Truncated));
+    }
+
+    #[test]
+    fn record_stream_truncates_exactly_at_the_frame_cap() {
+        let mut buf = Vec::new();
+        let mut stream = RecordStream::begin(&mut buf);
+        // Every record below the cap is accepted, the cap-crossing one is
+        // refused and flags truncation — never a mid-frame error.
+        for i in 0..MAX_RECORDS_PER_FRAME {
+            assert!(stream.push(i as Key, i as Value), "record {i} fits");
+        }
+        assert!(!stream.push(u64::MAX, 0), "cap-crossing record refused");
+        assert_eq!(stream.len(), MAX_RECORDS_PER_FRAME);
+        stream.finish();
+        // The sealed frame respects the cap and decodes with the
+        // truncation reported typed.
+        assert!(buf.len() <= HEADER_LEN + MAX_FRAME_LEN);
+        match decode_response(&buf).unwrap() {
+            Decoded::Frame {
+                value: Response::Records { records, truncated },
+                consumed,
+            } => {
+                assert_eq!(consumed, buf.len());
+                assert!(truncated);
+                assert_eq!(records.len(), MAX_RECORDS_PER_FRAME);
+                assert_eq!(records[0], KeyValue { key: 0, value: 0 });
+            }
+            other => panic!("expected a Records frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_records_response_encodes_as_truncated_frame() {
+        // The materialising encoder is bounded by the same cap: a Vec too
+        // large for one frame encodes as a truncated (valid) frame rather
+        // than an oversized one.
+        let records: Vec<KeyValue> = (0..MAX_RECORDS_PER_FRAME as u64 + 500)
+            .map(|i| KeyValue { key: i, value: i })
+            .collect();
+        let mut buf = Vec::new();
+        encode_response(
+            &Response::Records {
+                records,
+                truncated: false,
+            },
+            &mut buf,
+        );
+        assert!(buf.len() <= HEADER_LEN + MAX_FRAME_LEN);
+        match decode_response(&buf).unwrap() {
+            Decoded::Frame {
+                value: Response::Records { records, truncated },
+                ..
+            } => {
+                assert!(truncated);
+                assert_eq!(records.len(), MAX_RECORDS_PER_FRAME);
+            }
+            other => panic!("expected a Records frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_truncation_flag_is_a_typed_error() {
+        let mut payload = vec![opcode::R_RECORDS, 2];
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            decode_response(&buf),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]

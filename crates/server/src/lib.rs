@@ -34,8 +34,11 @@ pub mod protocol;
 pub mod server;
 mod worker;
 
-pub use client::Client;
-pub use codec::{decode_request, decode_response, encode_request, encode_response, Decoded};
+pub use client::{Client, RangeScan};
+pub use codec::{
+    decode_request, decode_response, encode_request, encode_response, Decoded, RecordStream,
+    MAX_RECORDS_PER_FRAME,
+};
 pub use errors::{ArgError, ClientError, ProtocolError};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, MixChoice};
 pub use protocol::{Request, Response, ServerStats, WriteOp, MAX_FRAME_LEN};

@@ -68,7 +68,10 @@ impl MixChoice {
             Self::YcsbA => (OperationMix::ycsb_a(), Popularity::Zipfian(0.99)),
             Self::YcsbB => (OperationMix::ycsb_b(), Popularity::Zipfian(0.99)),
             Self::YcsbC => (OperationMix::ycsb_c(), Popularity::Zipfian(0.99)),
-            Self::YcsbE => (OperationMix::ycsb_e(), Popularity::Uniform),
+            // YCSB-E scans start from Zipfian-popular keys: the hot ranges
+            // get rescanned, which is what makes the scan path contend with
+            // the overlay/fold machinery instead of striding cold data.
+            Self::YcsbE => (OperationMix::ycsb_e(), Popularity::Zipfian(0.99)),
             Self::Churn => (OperationMix::churn(), Popularity::Uniform),
         }
     }
@@ -97,6 +100,10 @@ pub struct LoadgenConfig {
     /// Consecutive writes grouped into one `WriteBatch` frame — the
     /// group-committed server path (1 = plain `Insert`/`Remove` per write).
     pub write_batch: usize,
+    /// Records per generated scan *and* the `limit` sent on each `Range`
+    /// frame (0 = keep the mix's default width of 100 and send no limit).
+    /// Start keys stay deterministic — same dataset/seed, same scans.
+    pub range: u32,
     /// Operations pre-generated per connection, cycled until the deadline.
     pub ops_per_conn: usize,
     /// Send `Shutdown` to the server after the run.
@@ -115,6 +122,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             batch: 1,
             write_batch: 1,
+            range: 0,
             ops_per_conn: 100_000,
             shutdown: false,
         }
@@ -179,7 +187,11 @@ fn drive_connection(
             num_operations: config.ops_per_conn,
             mix,
             popularity,
-            scan_width: 100,
+            scan_width: if config.range > 0 {
+                config.range as usize
+            } else {
+                100
+            },
             // Distinct per connection so N connections don't replay N
             // identical streams in lockstep.
             seed: config.seed ^ 0x10ad ^ ((conn_id as u64) << 32),
@@ -315,7 +327,7 @@ fn drive_connection(
                     &mut errors,
                 )?;
                 let started = Instant::now();
-                match client.range(lo, hi, 0) {
+                match client.range(lo, hi, config.range) {
                     Ok(_) => {
                         latency.record(started.elapsed());
                         completed += 1;
@@ -392,7 +404,7 @@ impl LoadgenConfig {
     pub fn usage() -> &'static str {
         "csv-loadgen [--addr HOST:PORT] [--connections N] [--duration SECS]\n\
          \u{20}           [--mix ycsb-a|ycsb-b|ycsb-c|ycsb-e|churn] [--batch N] [--write-batch N]\n\
-         \u{20}           [--dataset facebook|covid|osm|genome] [--size N] [--seed S]\n\
+         \u{20}           [--range N] [--dataset facebook|covid|osm|genome] [--size N] [--seed S]\n\
          \u{20}           [--ops N] [--shutdown]\n\
          \n\
          Drives N concurrent connections against a running `csv-index --serve` instance\n\
@@ -400,7 +412,10 @@ impl LoadgenConfig {
          p50/p99/p99.9 latency histogram. --dataset/--size/--seed must match the serving\n\
          process so the generated key space lines up (the defaults match csv-index's).\n\
          --batch groups consecutive reads into one MultiGet frame; --write-batch groups\n\
-         consecutive writes into one group-committed WriteBatch frame; --ops sets how\n\
+         consecutive writes into one group-committed WriteBatch frame; --range N makes\n\
+         each generated scan N records wide and sends N as the Range frame's limit\n\
+         (0 = the mix's default width of 100, no limit — start keys are deterministic\n\
+         either way); --ops sets how\n\
          many operations are pre-generated per connection (cycled until the deadline);\n\
          --shutdown sends the server a clean Shutdown once the run completes."
     }
@@ -470,6 +485,16 @@ impl LoadgenConfig {
                         return Err(ArgError::new("--size must be at least 2"));
                     }
                 }
+                "--range" => {
+                    // 0 is valid (keep the mix default); anything
+                    // non-numeric or negative fails the u64 parse, and a
+                    // width beyond u32 could never fit a frame's limit
+                    // field anyway.
+                    let n = parse_number(flag, value)?;
+                    out.range = u32::try_from(n).map_err(|_| {
+                        ArgError::new(format!("--range must fit in a u32, got '{value}'"))
+                    })?;
+                }
                 "--seed" => out.seed = parse_number(flag, value)?,
                 "--ops" => {
                     out.ops_per_conn = parse_number(flag, value)? as usize;
@@ -529,6 +554,8 @@ mod tests {
             "64",
             "--write-batch",
             "32",
+            "--range",
+            "250",
             "--dataset",
             "osm",
             "--size",
@@ -546,6 +573,7 @@ mod tests {
         assert_eq!(config.mix, MixChoice::YcsbA);
         assert_eq!(config.batch, 64);
         assert_eq!(config.write_batch, 32);
+        assert_eq!(config.range, 250);
         assert_eq!(config.dataset, Dataset::Osm);
         assert_eq!(config.size, 50_000);
         assert_eq!(config.seed, 7);
@@ -591,6 +619,20 @@ mod tests {
             .unwrap_err()
             .message
             .contains("at least 1"));
+        assert!(parse(&["--range", "x"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
+        assert!(parse(&["--range", "-1"])
+            .unwrap_err()
+            .message
+            .contains("integer"));
+        assert!(parse(&["--range", "4294967296"])
+            .unwrap_err()
+            .message
+            .contains("u32"));
+        // 0 is valid: it means "keep the mix's default scan width".
+        assert_eq!(parse(&["--range", "0"]).unwrap().range, 0);
         assert!(parse(&["--mix", "ycsb-z"])
             .unwrap_err()
             .message

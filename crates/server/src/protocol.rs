@@ -158,7 +158,15 @@ pub enum Response {
     /// Answer to [`Request::MultiGet`], in request order.
     Values(Vec<Option<Value>>),
     /// Answer to [`Request::Range`].
-    Records(Vec<KeyValue>),
+    Records {
+        /// The records, ascending by key.
+        records: Vec<KeyValue>,
+        /// `true` when the server cut the scan at the frame cap
+        /// ([`MAX_FRAME_LEN`]) before the range (or the requested limit)
+        /// was exhausted; the returned records are a complete prefix.
+        /// Reaching the requested `limit` is *not* truncation.
+        truncated: bool,
+    },
     /// Answer to [`Request::Insert`]: `true` when the key was new.
     Inserted(bool),
     /// Answer to [`Request::Remove`]: the removed value, if any.

@@ -14,9 +14,11 @@
 //!
 //! [`ReadView`]: csv_concurrent::ReadView
 
-use crate::codec::{decode_request, encode_response, Decoded};
+use crate::codec::{decode_request, encode_response, Decoded, RecordStream};
 use crate::protocol::{Request, Response, ServerStats, WriteOp};
 use crate::server::Shared;
+use core::ops::ControlFlow;
+use csv_common::key::{Key, Value};
 use csv_common::traits::{RangeIndex, RemovableIndex, SnapshotIndex};
 use csv_concurrent::{ReadPath, ReadView, ShardedIndex};
 use std::io::{Read, Write};
@@ -83,14 +85,15 @@ impl<I: SnapshotIndex + RangeIndex> Pinned<I> {
     }
 }
 
-/// Serves one decoded request. Returns the response and whether this
-/// request asked the whole server to stop.
+/// Serves one decoded request, appending the encoded response frame to
+/// `outbox`. Returns whether this request asked the whole server to stop.
 fn handle_request<I>(
     req: Request,
     index: &ShardedIndex<I>,
     pinned: &mut Pinned<I>,
     shared: &Shared,
-) -> (Response, bool)
+    outbox: &mut Vec<u8>,
+) -> bool
 where
     I: SnapshotIndex + RangeIndex + RemovableIndex,
 {
@@ -115,13 +118,30 @@ where
             Response::Values(values)
         }
         Request::Range { lo, hi, limit } => {
-            // Scans read the live index: a range is already a multi-shard
-            // operation and the pinned point-read view buys it nothing.
-            let mut records = index.range(lo, hi);
-            if limit != 0 {
-                records.truncate(limit as usize);
-            }
-            Response::Records(records)
+            // Stream records straight into the response frame as the scan
+            // produces them — the full result set is never materialised.
+            // The scan runs under the pinned per-shard snapshots (RCU) or
+            // the live index (locked); `push` refuses the record that
+            // would overflow the frame cap and flags the truncation, and a
+            // satisfied `limit` stops the scan without flagging it.
+            pinned.before_read(index);
+            let mut stream = RecordStream::begin(outbox);
+            let mut emit = |key: Key, value: Value| {
+                if !stream.push(key, value) {
+                    return ControlFlow::Break(());
+                }
+                if limit != 0 && stream.len() >= limit as usize {
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            };
+            let _ = match &pinned.view {
+                Some(view) => view.range_visit(lo, hi, &mut emit),
+                None => index.range_visit(lo, hi, &mut emit),
+            };
+            stream.finish();
+            shared.ops.fetch_add(ops, Ordering::Relaxed);
+            return false;
         }
         Request::Insert { key, value } => {
             let fresh = index.insert(key, value);
@@ -169,7 +189,8 @@ where
         }
     };
     shared.ops.fetch_add(ops, Ordering::Relaxed);
-    (response, stop)
+    encode_response(&response, outbox);
+    stop
 }
 
 /// Drains every full frame currently in `conn.inbox`, appending responses
@@ -192,8 +213,7 @@ where
             Ok(Decoded::Incomplete) => break,
             Ok(Decoded::Frame { value, consumed }) => {
                 consumed_total += consumed;
-                let (response, stop) = handle_request(value, index, pinned, shared);
-                encode_response(&response, &mut conn.outbox);
+                let stop = handle_request(value, index, pinned, shared, &mut conn.outbox);
                 if stop {
                     saw_shutdown = true;
                     break;

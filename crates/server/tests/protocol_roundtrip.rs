@@ -58,15 +58,16 @@ fn response() -> impl Strategy<Value = Response> {
         .prop_map(|(kind, (a, b, flag), pairs, text)| match kind {
             0 => Response::Value(flag.then_some(a)),
             1 => Response::Values(pairs.iter().map(|&(some, v)| some.then_some(v)).collect()),
-            2 => Response::Records(
-                pairs
+            2 => Response::Records {
+                records: pairs
                     .iter()
                     .map(|&(_, v)| KeyValue {
                         key: v,
                         value: v ^ a,
                     })
                     .collect(),
-            ),
+                truncated: flag,
+            },
             3 => Response::Inserted(flag),
             4 => Response::Removed(flag.then_some(b)),
             5 => Response::BatchApplied {

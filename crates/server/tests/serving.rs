@@ -67,10 +67,13 @@ fn point_ops_round_trip_over_the_wire_on_both_read_paths() {
         // Range scans with and without a limit.
         let lo = keys[100];
         let hi = keys[160];
-        let records = client.range(lo, hi, 0).unwrap();
-        assert_eq!(records.len(), 61);
-        assert!(records.windows(2).all(|w| w[0].key < w[1].key));
-        assert_eq!(client.range(lo, hi, 10).unwrap().len(), 10);
+        let scan = client.range(lo, hi, 0).unwrap();
+        assert_eq!(scan.records.len(), 61);
+        assert!(!scan.truncated, "a 61-record scan is nowhere near the cap");
+        assert!(scan.records.windows(2).all(|w| w[0].key < w[1].key));
+        let limited = client.range(lo, hi, 10).unwrap();
+        assert_eq!(limited.records.len(), 10);
+        assert!(!limited.truncated, "a satisfied limit is not truncation");
 
         // Write batches report fresh inserts and remove hits.
         let (fresh, hits) = client
@@ -142,6 +145,62 @@ fn multi_get_over_the_wire_equals_n_individual_gets() {
 
     client.shutdown().unwrap();
     handle.join();
+}
+
+/// The streaming-scan acceptance pins, over the wire: a `Range` frame
+/// returns exactly what the index's materialised `range` returns (both
+/// read paths, overlays dirtied), and a scan wider than one frame's
+/// record capacity comes back truncated — a typed flag on a complete
+/// prefix, never a protocol error — and can be continued from the last
+/// key to cover the whole range.
+#[test]
+fn range_over_the_wire_streams_truncates_and_continues() {
+    // Dense sequential keys so a full-range scan comfortably exceeds the
+    // ~65k records one 1 MiB frame can carry.
+    let keys: Vec<u64> = (0..80_000u64).map(|i| i * 2).collect();
+    for read_path in [ReadPath::Rcu, ReadPath::Locked] {
+        let (handle, index) = serve_btree(&keys, read_path, 2);
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+
+        // Dirty the overlays so the scan merges base + upserts + tombstones.
+        for &k in keys.iter().step_by(97) {
+            client.insert(k, k ^ 0xBEEF).unwrap();
+        }
+        for &k in keys.iter().step_by(41) {
+            client.remove(k).unwrap();
+        }
+
+        // Interior scan: wire result ≡ the served index's materialised range.
+        let (lo, hi) = (keys[1_000], keys[2_000]);
+        let scan = client.range(lo, hi, 0).unwrap();
+        assert!(!scan.truncated);
+        assert_eq!(scan.records, index.range(lo, hi));
+
+        // Full-range scan: more records exist than fit one frame, so the
+        // server truncates at the cap and says so.
+        let expected = index.range(0, u64::MAX);
+        assert!(expected.len() > csv_server::MAX_RECORDS_PER_FRAME);
+        let first = client.range(0, u64::MAX, 0).unwrap();
+        assert!(first.truncated, "an over-cap scan must report truncation");
+        assert_eq!(first.records.len(), csv_server::MAX_RECORDS_PER_FRAME);
+        assert_eq!(first.records[..], expected[..first.records.len()]);
+
+        // The truncated prefix is resumable: continue from the last key + 1
+        // until the server stops truncating, then compare the whole set.
+        let mut all = first.records.clone();
+        let mut truncated = first.truncated;
+        while truncated {
+            let next = client
+                .range(all.last().unwrap().key + 1, u64::MAX, 0)
+                .unwrap();
+            all.extend_from_slice(&next.records);
+            truncated = next.truncated;
+        }
+        assert_eq!(all, expected);
+
+        client.shutdown().unwrap();
+        handle.join();
+    }
 }
 
 /// A hostile byte stream closes only its own connection: the worker
@@ -252,6 +311,7 @@ fn loadgen_completes_a_ycsb_b_run_and_shuts_the_server_down() {
         seed,
         batch: 16,
         write_batch: 8,
+        range: 0,
         ops_per_conn: 5_000,
         shutdown: true,
     })

@@ -67,9 +67,10 @@ fn main() {
     );
     let scan = client.range(keys[100], keys[160], 5).unwrap();
     println!(
-        "range(.., limit=5)  -> {} records, first key {}",
-        scan.len(),
-        scan[0].key
+        "range(.., limit=5)  -> {} records, first key {}, truncated={}",
+        scan.records.len(),
+        scan.records[0].key,
+        scan.truncated
     );
     let fresh = client.insert(keys.last().unwrap() + 7, 1234).unwrap();
     println!("insert(new key)     -> fresh={fresh}");
