@@ -21,6 +21,8 @@
 //! with: gapped-array leaves, exponential search whose cost tracks the model
 //! error, and a hierarchy whose depth grows with the key-space difficulty.
 
+#![forbid(unsafe_code)]
+
 mod data_node;
 mod index;
 

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csv_alex::AlexIndex;
 use csv_btree::BPlusTree;
 use csv_common::key::identity_records;
+use csv_common::sync::{AtomicUsize, Ordering};
 use csv_common::traits::{LearnedIndex, RangeIndex, RemovableIndex};
 use csv_common::KeyValue;
 use csv_concurrent::{OverlayRepr, ReadPath, ShardedIndex, ShardingConfig, WriteOp};
@@ -16,7 +17,6 @@ use csv_durability::{recover, DurabilityConfig, FileSink, FsyncPolicy};
 use csv_lipp::LippIndex;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -17,6 +17,7 @@
 //! timestamps, not aggregate iteration timing.
 
 use csv_common::key::identity_records;
+use csv_common::sync::{AtomicBool, Ordering};
 use csv_common::LatencyHistogram;
 use csv_concurrent::{
     MaintenanceConfig, MaintenanceEngine, OverlayRepr, ReadPath, ShardedIndex, ShardingConfig,
@@ -24,7 +25,6 @@ use csv_concurrent::{
 use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::{Dataset, ReadOnlyWorkload};
 use csv_lipp::LippIndex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 const KEYS: usize = 200_000;

@@ -18,6 +18,7 @@
 //! per-operation timestamps, not aggregate iteration timing.
 
 use csv_common::key::identity_records;
+use csv_common::sync::{AtomicBool, Ordering};
 use csv_common::LatencyHistogram;
 use csv_concurrent::{
     MaintenanceConfig, MaintenanceEngine, OverlayRepr, ReadPath, ShardedIndex, ShardingConfig,
@@ -26,7 +27,6 @@ use csv_core::{CsvConfig, CsvOptimizer};
 use csv_datasets::Dataset;
 use csv_lipp::LippIndex;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 const KEYS: usize = 200_000;

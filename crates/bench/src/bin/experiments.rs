@@ -11,6 +11,8 @@
 //! `<name>` is one of: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //! table1 table2 table3 table4 all (fig6/fig7/fig8 share one α sweep).
 
+#![forbid(unsafe_code)]
+
 use csv_bench::{run_experiment, ExperimentConfig, EXPERIMENT_NAMES};
 
 fn main() {

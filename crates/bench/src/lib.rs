@@ -8,6 +8,8 @@
 //! large server, the default here is a laptop-friendly subset (see
 //! DESIGN.md §3 for the substitution rationale).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 

@@ -7,6 +7,8 @@
 //! referenced by index, which keeps the structure cache-friendly and makes
 //! level-of-key queries trivial.
 
+#![forbid(unsafe_code)]
+
 mod node;
 
 pub use node::BPlusTree;

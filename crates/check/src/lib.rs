@@ -1,0 +1,279 @@
+//! A loom-lite deterministic concurrency checker.
+//!
+//! The workspace's correctness rests on a hand-rolled epoch-parity RCU cell
+//! and a copy-on-write publish protocol whose dangerous interleavings a
+//! normal multi-threaded stress test samples at the mercy of the OS
+//! scheduler — one interleaving per run, usually the boring one. This crate
+//! makes the schedule a *controlled input* instead: test threads run as
+//! real OS threads, but only one holds the run token at a time, and every
+//! touch of an instrumented synchronization primitive (the
+//! `csv_common::sync` shims, compiled against this crate under the `check`
+//! feature) is a *yield point* where a scheduler decides who runs next.
+//!
+//! Two exploration strategies are provided:
+//!
+//! * [`explore_exhaustive`] — depth-first enumeration of **every** distinct
+//!   schedule of the test body, for small thread/op counts (the 2-thread
+//!   publish-vs-read grace-period race fits comfortably). The DFS
+//!   backtracks over the recorded choice trace, so completion means the
+//!   whole schedule tree was visited.
+//! * [`explore_random`] — seeded PCT-style random scheduling for bodies
+//!   whose schedule tree is too big to enumerate; distinct schedules are
+//!   counted by hashing the choice trace, and the same seed always
+//!   reproduces the same schedule.
+//!
+//! A failing schedule panics with its choice trace; [`replay`] re-runs
+//! exactly that trace under a debugger or with extra logging.
+//!
+//! The checker explores interleavings at instrumented-operation
+//! granularity under *sequentially consistent* semantics (one thread runs
+//! at a time, every operation is globally ordered). It therefore validates
+//! protocol-level races — use-after-free windows, lost publications,
+//! ordering contracts — but cannot distinguish weak memory orderings; the
+//! ThreadSanitizer CI job covers that axis.
+
+#![forbid(unsafe_code)]
+
+mod rng;
+mod scheduler;
+
+pub use scheduler::{
+    explore_exhaustive, explore_random, is_controlled, parse_trace, replay, spawn, yield_now,
+    yield_point, Exhaustive, JoinHandle, Random, Report,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+    use std::sync::{Arc, Mutex};
+
+    /// Two threads, two instrumented steps each: the exhaustive driver
+    /// must visit every one of the C(4,2) = 6 interleavings of AABB.
+    #[test]
+    fn exhaustive_exploration_visits_every_interleaving() {
+        let observed: Arc<Mutex<HashSet<Vec<u8>>>> = Arc::new(Mutex::new(HashSet::new()));
+        let observed_in = Arc::clone(&observed);
+        let report = explore_exhaustive(Exhaustive::default(), move || {
+            let log: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+            let log_b = Arc::clone(&log);
+            let b = spawn(move || {
+                for _ in 0..2 {
+                    yield_point();
+                    log_b.lock().unwrap().push(b'B');
+                }
+            });
+            for _ in 0..2 {
+                yield_point();
+                log.lock().unwrap().push(b'A');
+            }
+            b.join();
+            let order = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+            observed_in.lock().unwrap().insert(order);
+        });
+        assert!(report.complete, "the schedule tree must be fully explored");
+        assert!(report.schedules >= 6, "at least one run per interleaving");
+        assert_eq!(report.schedules, report.distinct);
+        let observed = observed.lock().unwrap();
+        assert_eq!(
+            observed.len(),
+            6,
+            "all C(4,2) orderings of AABB must be observed, got {observed:?}"
+        );
+    }
+
+    /// A classic check-then-act race: both threads read the counter, then
+    /// both write back `read + 1`, and one increment is lost — but only on
+    /// the interleavings where the reads overlap. The exhaustive driver
+    /// must find such a schedule and fail.
+    #[test]
+    fn exhaustive_exploration_finds_a_seeded_race() {
+        let caught = std::panic::catch_unwind(|| {
+            explore_exhaustive(Exhaustive::default(), || {
+                let counter = Arc::new(AtomicUsize::new(0));
+                let c2 = Arc::clone(&counter);
+                let t = spawn(move || {
+                    yield_point();
+                    let seen = c2.load(SeqCst);
+                    yield_point();
+                    c2.store(seen + 1, SeqCst);
+                });
+                yield_point();
+                let seen = counter.load(SeqCst);
+                yield_point();
+                counter.store(seen + 1, SeqCst);
+                t.join();
+                assert_eq!(counter.load(SeqCst), 2, "an increment was lost");
+            });
+        });
+        assert!(
+            caught.is_err(),
+            "the checker must surface the lost-update interleaving"
+        );
+    }
+
+    /// The same racy body passes when the race window is closed (an RMW
+    /// instead of check-then-act): zero false positives over the whole
+    /// schedule tree.
+    #[test]
+    fn exhaustive_exploration_passes_a_correct_program() {
+        let report = explore_exhaustive(Exhaustive::default(), || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = spawn(move || {
+                yield_point();
+                c2.fetch_add(1, SeqCst);
+            });
+            yield_point();
+            counter.fetch_add(1, SeqCst);
+            t.join();
+            assert_eq!(counter.load(SeqCst), 2);
+        });
+        assert!(report.complete);
+        assert!(report.schedules >= 2);
+    }
+
+    /// A spin-until-flag loop must terminate under the scheduler:
+    /// `yield_now` deprioritizes the spinner until another thread has been
+    /// scheduled, so the flag-setter always gets through. This is the
+    /// termination property the RCU grace-period drain relies on.
+    #[test]
+    fn yielding_spin_loops_terminate() {
+        let report = explore_exhaustive(Exhaustive::default(), || {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = Arc::clone(&flag);
+            let t = spawn(move || {
+                yield_point();
+                f2.store(1, SeqCst);
+            });
+            loop {
+                yield_point();
+                if flag.load(SeqCst) == 1 {
+                    break;
+                }
+                yield_now();
+            }
+            t.join();
+        });
+        assert!(report.complete);
+        assert_eq!(report.schedules, report.distinct);
+    }
+
+    /// The random driver is deterministic in its seed: the same seed
+    /// explores the same schedules (same distinct count, same traces).
+    #[test]
+    fn random_exploration_is_seed_deterministic() {
+        let body = || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = spawn(move || {
+                for _ in 0..4 {
+                    yield_point();
+                    c2.fetch_add(1, SeqCst);
+                }
+            });
+            for _ in 0..4 {
+                yield_point();
+                counter.fetch_add(1, SeqCst);
+            }
+            t.join();
+            assert_eq!(counter.load(SeqCst), 8);
+        };
+        let opts = Random {
+            schedules: 64,
+            seed: 0xC5,
+            ..Random::default()
+        };
+        let a = explore_random(opts, body);
+        let b = explore_random(opts, body);
+        assert_eq!(a.schedules, 64);
+        assert_eq!(a.distinct, b.distinct);
+        assert!(a.distinct > 1, "64 seeds must reach more than one schedule");
+    }
+
+    /// `replay` reproduces a failing schedule from its printed trace: the
+    /// panic message of a failing exploration carries the choice vector,
+    /// and feeding it back fails deterministically.
+    #[test]
+    fn replay_reproduces_a_failing_trace() {
+        let body = || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = spawn(move || {
+                yield_point();
+                let seen = c2.load(SeqCst);
+                yield_point();
+                c2.store(seen + 1, SeqCst);
+            });
+            yield_point();
+            let seen = counter.load(SeqCst);
+            yield_point();
+            counter.store(seen + 1, SeqCst);
+            t.join();
+            assert_eq!(counter.load(SeqCst), 2);
+        };
+        let caught = std::panic::catch_unwind(|| explore_exhaustive(Exhaustive::default(), body));
+        let message = match caught {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic payload is a String"),
+            Ok(_) => panic!("the racy body must fail"),
+        };
+        let trace = scheduler::parse_trace(&message)
+            .expect("the failure message must embed a replayable trace");
+        let replayed = std::panic::catch_unwind(|| replay(&trace, body));
+        assert!(replayed.is_err(), "replaying the trace must fail again");
+    }
+
+    /// Outside a controlled run the hooks are no-ops, so instrumented code
+    /// keeps working in ordinary tests and binaries.
+    #[test]
+    fn hooks_are_noops_outside_a_run() {
+        assert!(!is_controlled());
+        yield_point();
+        yield_now();
+        let t = spawn(|| 7usize);
+        assert_eq!(t.join(), 7);
+    }
+
+    /// A deadlock (every live thread blocked on a join cycle via mutexes
+    /// is impossible here, so: joining a thread that never finishes
+    /// because it joins us back is the simplest cycle) is reported, not
+    /// hung. Built from two threads joining each other through a relay.
+    #[test]
+    fn livelock_budget_is_reported() {
+        let caught = std::panic::catch_unwind(|| {
+            explore_exhaustive(
+                Exhaustive {
+                    max_steps: 200,
+                    ..Exhaustive::default()
+                },
+                || {
+                    let stop = Arc::new(AtomicUsize::new(0));
+                    // Nobody ever sets the flag: the spin loop exhausts the
+                    // step budget and the run must fail loudly.
+                    loop {
+                        yield_point();
+                        if stop.load(SeqCst) == 1 {
+                            break;
+                        }
+                        yield_now();
+                    }
+                },
+            );
+        });
+        let message = match caught {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(_) => panic!("the unbounded spin must fail"),
+        };
+        assert!(
+            message.contains("step budget"),
+            "failure must name the step budget, got: {message}"
+        );
+    }
+}

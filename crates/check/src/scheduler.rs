@@ -1,0 +1,632 @@
+//! The controlled cooperative scheduler.
+//!
+//! One run executes the test body on real OS threads, but only the thread
+//! holding the *run token* (`Inner::current`) makes progress; everyone else
+//! waits on a condvar. At every yield point the running thread picks a
+//! successor among the eligible threads — the pick is the schedule's unit
+//! of choice, recorded as `(chosen index, eligible count)` so the driver
+//! can replay or enumerate schedules.
+//!
+//! Eligibility rules:
+//!
+//! * `Runnable` threads are always eligible.
+//! * A thread that called [`yield_now`] becomes `Yielded`: ineligible for
+//!   exactly one pick, so some *other* thread is guaranteed to execute at
+//!   least one operation before the yielder is reconsidered. This is what
+//!   bounds spin loops (`while x.load() != 0 { yield_now() }`) to at most
+//!   one iteration per step of the other threads — and therefore keeps the
+//!   exhaustive schedule tree finite for terminating programs.
+//! * `Joining(t)` threads are ineligible until `t` finishes.
+//!
+//! Failures (an assertion panic in any controlled thread, a deadlock, a
+//! blown step budget, replay divergence) poison the run: every thread
+//! unwinds at its next interaction with the scheduler, the run drains, and
+//! the driver panics with the choice trace for [`replay`].
+
+use crate::rng::SplitMix64;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Default per-run step budget: a run exceeding this many yield points is
+/// reported as a livelock instead of hanging the exploration.
+const DEFAULT_MAX_STEPS: usize = 1 << 20;
+
+/// Options for [`explore_exhaustive`].
+#[derive(Clone, Copy, Debug)]
+pub struct Exhaustive {
+    /// Stop (reporting `complete: false`) after this many schedules even
+    /// if the tree has unexplored branches.
+    pub max_schedules: usize,
+    /// Per-run step budget (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Exhaustive {
+    fn default() -> Self {
+        Self {
+            max_schedules: 1 << 20,
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+}
+
+/// Options for [`explore_random`].
+#[derive(Clone, Copy, Debug)]
+pub struct Random {
+    /// How many seeded schedules to run.
+    pub schedules: usize,
+    /// Base seed; schedule `i` runs under `seed + i`, so a failure report
+    /// names the exact seed to re-run.
+    pub seed: u64,
+    /// Per-run step budget (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Random {
+    fn default() -> Self {
+        Self {
+            schedules: 1024,
+            seed: 0x5EED,
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Distinct schedules among them (every exhaustive schedule is
+    /// distinct by construction; random schedules are deduplicated by
+    /// their choice-trace fingerprint).
+    pub distinct: usize,
+    /// Whether the whole schedule tree was enumerated (exhaustive mode
+    /// only; random exploration never claims completeness).
+    pub complete: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Runnable,
+    /// Deprioritized for one pick (see the module docs).
+    Yielded,
+    /// Blocked until the given thread finishes.
+    Joining(usize),
+    Finished,
+}
+
+enum Mode {
+    /// Follow the forced choice prefix, then always pick index 0. An empty
+    /// prefix is the DFS root; replay passes a full trace.
+    Replay { forced: Vec<u32> },
+    /// Pick uniformly among eligible threads from a seeded stream.
+    Random(SplitMix64),
+}
+
+struct Inner {
+    states: Vec<State>,
+    /// Which thread holds the run token.
+    current: usize,
+    /// The schedule so far: `(chosen index, eligible count)` per pick.
+    trace: Vec<(u32, u32)>,
+    mode: Mode,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+    finished: usize,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+thread_local! {
+    /// The controlled-thread identity of the current OS thread, if any.
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread runs under a controlled schedule. The
+/// `csv_common::sync` shims use this to stay no-ops in uncontrolled code
+/// (ordinary tests and binaries compiled with the `check` feature on).
+pub fn is_controlled() -> bool {
+    current_ctx().is_some()
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a>(shared: &'a Shared, guard: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+    shared
+        .cv
+        .wait(guard)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Records a failure (first one wins) together with the choice trace that
+/// reached it, formatted so [`parse_trace`] can extract it for [`replay`].
+fn fail_locked(inner: &mut Inner, message: String) {
+    if inner.failure.is_none() {
+        let choices: Vec<u32> = inner.trace.iter().map(|&(c, _)| c).collect();
+        inner.failure = Some(format!("{message}; schedule trace: {choices:?}"));
+    }
+}
+
+/// Extracts the choice vector embedded in a failure message, for feeding
+/// back into [`replay`].
+pub fn parse_trace(message: &str) -> Option<Vec<usize>> {
+    let marker = "schedule trace: [";
+    let start = message.rfind(marker)? + marker.len();
+    let end = start + message[start..].find(']')?;
+    let body = message[start..end].trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+/// Picks the next token holder and records the choice. `self_eligible` is
+/// false when the caller is finishing, yielding, or blocking.
+fn choose_next_locked(inner: &mut Inner, me: usize, self_eligible: bool) {
+    if inner.failure.is_some() {
+        return;
+    }
+    let mut eligible: Vec<usize> = (0..inner.states.len())
+        .filter(|&i| inner.states[i] == State::Runnable && (self_eligible || i != me))
+        .collect();
+    if eligible.is_empty() {
+        // Nothing plainly runnable: promote the yielders (their "let
+        // someone else run first" debt is unpayable) and pick among them.
+        eligible = (0..inner.states.len())
+            .filter(|&i| inner.states[i] == State::Yielded)
+            .collect();
+        for &i in &eligible {
+            inner.states[i] = State::Runnable;
+        }
+    }
+    if eligible.is_empty() {
+        let blocked: Vec<usize> = (0..inner.states.len())
+            .filter(|&i| matches!(inner.states[i], State::Joining(_)))
+            .collect();
+        fail_locked(
+            inner,
+            format!("deadlock: no eligible thread (threads blocked in join: {blocked:?})"),
+        );
+        return;
+    }
+    let n = eligible.len() as u32;
+    let pos = inner.trace.len();
+    let pick = match &mut inner.mode {
+        Mode::Random(rng) => Ok((rng.next_u64() % u64::from(n)) as u32),
+        Mode::Replay { forced } => {
+            if pos < forced.len() {
+                let c = forced[pos];
+                if c >= n {
+                    Err(format!(
+                        "non-deterministic replay: forced choice {c} of {n} eligible at step {pos} \
+                         (the body must be deterministic apart from the schedule)"
+                    ))
+                } else {
+                    Ok(c)
+                }
+            } else {
+                Ok(0)
+            }
+        }
+    };
+    let idx = match pick {
+        Ok(idx) => idx,
+        Err(message) => {
+            fail_locked(inner, message);
+            return;
+        }
+    };
+    inner.trace.push((idx, n));
+    inner.current = eligible[idx as usize];
+    // Scheduling anyone pays every yielder's debt: another thread is about
+    // to execute, so yielders become plainly runnable for the next pick.
+    for state in inner.states.iter_mut() {
+        if *state == State::Yielded {
+            *state = State::Runnable;
+        }
+    }
+}
+
+/// Panics out of the run with the recorded failure. Must be called with
+/// the guard held; consumes it so the condvar can be notified after.
+fn abort_run(shared: &Shared, inner: MutexGuard<'_, Inner>) -> ! {
+    let message = inner
+        .failure
+        .clone()
+        .unwrap_or_else(|| "run aborted".into());
+    drop(inner);
+    shared.cv.notify_all();
+    panic!("{message}");
+}
+
+/// Blocks until the token comes back to `ctx.id` (or the run fails).
+fn wait_for_turn<'a>(ctx: &'a Ctx, mut inner: MutexGuard<'a, Inner>) {
+    if inner.failure.is_some() {
+        abort_run(&ctx.shared, inner);
+    }
+    if inner.current == ctx.id {
+        return;
+    }
+    ctx.shared.cv.notify_all();
+    loop {
+        inner = wait(&ctx.shared, inner);
+        if inner.failure.is_some() {
+            abort_run(&ctx.shared, inner);
+        }
+        if inner.current == ctx.id {
+            return;
+        }
+    }
+}
+
+/// Charges one step against the run budget; fails the run when exhausted.
+fn charge_step(inner: &mut MutexGuard<'_, Inner>) -> bool {
+    inner.steps += 1;
+    if inner.steps > inner.max_steps {
+        let message = format!(
+            "step budget of {} exceeded (livelock or unbounded spin)",
+            inner.max_steps
+        );
+        fail_locked(inner, message);
+        return false;
+    }
+    true
+}
+
+/// A schedule point: the calling controlled thread offers the scheduler a
+/// chance to run someone else. No-op on uncontrolled threads and during
+/// unwinding (a panicking thread must not yield — its drop handlers would
+/// double-panic once the run is poisoned).
+pub fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    let mut inner = lock(&ctx.shared);
+    if inner.failure.is_some() {
+        abort_run(&ctx.shared, inner);
+    }
+    if !charge_step(&mut inner) {
+        abort_run(&ctx.shared, inner);
+    }
+    choose_next_locked(&mut inner, ctx.id, true);
+    wait_for_turn(&ctx, inner);
+}
+
+/// A deprioritizing schedule point: the caller is ineligible for the next
+/// pick, so another thread executes at least one operation first. Maps
+/// from spin hints (`std::hint::spin_loop`, `std::thread::yield_now`) in
+/// the shims; falls back to the real `yield_now` on uncontrolled threads.
+pub fn yield_now() {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else {
+        std::thread::yield_now();
+        return;
+    };
+    let mut inner = lock(&ctx.shared);
+    if inner.failure.is_some() {
+        abort_run(&ctx.shared, inner);
+    }
+    if !charge_step(&mut inner) {
+        abort_run(&ctx.shared, inner);
+    }
+    inner.states[ctx.id] = State::Yielded;
+    choose_next_locked(&mut inner, ctx.id, false);
+    wait_for_turn(&ctx, inner);
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Marks `me` finished, unblocks its joiners, and hands the token on.
+fn finish_locked(inner: &mut Inner, me: usize) {
+    inner.states[me] = State::Finished;
+    inner.finished += 1;
+    for state in inner.states.iter_mut() {
+        if *state == State::Joining(me) {
+            *state = State::Runnable;
+        }
+    }
+    if inner.failure.is_none() && inner.finished < inner.states.len() {
+        choose_next_locked(inner, me, false);
+    }
+}
+
+/// Body of every controlled OS thread: wait for the first turn, run, and
+/// hand the token on.
+fn run_controlled(shared: Arc<Shared>, id: usize, body: impl FnOnce() + Send) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: Arc::clone(&shared),
+            id,
+        })
+    });
+    let should_run = {
+        let mut inner = lock(&shared);
+        loop {
+            if inner.failure.is_some() {
+                break false;
+            }
+            if inner.current == id {
+                break true;
+            }
+            inner = wait(&shared, inner);
+        }
+    };
+    if should_run {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+            let mut inner = lock(&shared);
+            fail_locked(
+                &mut inner,
+                format!(
+                    "controlled thread {id} panicked: {}",
+                    payload_message(payload.as_ref())
+                ),
+            );
+        }
+    }
+    let mut inner = lock(&shared);
+    finish_locked(&mut inner, id);
+    drop(inner);
+    shared.cv.notify_all();
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// A handle to a thread started with [`spawn`].
+pub struct JoinHandle<T> {
+    imp: JoinImpl<T>,
+}
+
+enum JoinImpl<T> {
+    /// Spawned outside a controlled run: a plain OS thread.
+    Os(std::thread::JoinHandle<T>),
+    Controlled {
+        shared: Arc<Shared>,
+        id: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Panics if
+    /// the joined thread panicked (mirroring a `.join().unwrap()`).
+    pub fn join(self) -> T {
+        match self.imp {
+            JoinImpl::Os(handle) => handle.join().expect("joined thread panicked"),
+            JoinImpl::Controlled { shared, id, slot } => {
+                let me = current_ctx();
+                let mut inner = lock(&shared);
+                loop {
+                    if inner.states[id] == State::Finished {
+                        break;
+                    }
+                    match &me {
+                        Some(ctx) => {
+                            if inner.failure.is_some() {
+                                abort_run(&shared, inner);
+                            }
+                            inner.states[ctx.id] = State::Joining(id);
+                            choose_next_locked(&mut inner, ctx.id, false);
+                            wait_for_turn(ctx, inner);
+                            inner = lock(&shared);
+                        }
+                        // An uncontrolled thread (the harness) just waits
+                        // for the state change.
+                        None => inner = wait(&shared, inner),
+                    }
+                }
+                drop(inner);
+                let value = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+                value.expect("joined controlled thread panicked")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a controlled run the thread is registered with
+/// the scheduler (runnable, but it executes nothing until a pick hands it
+/// the token); outside one it degrades to `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let Some(ctx) = current_ctx() else {
+        return JoinHandle {
+            imp: JoinImpl::Os(std::thread::spawn(f)),
+        };
+    };
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let id = {
+        let mut inner = lock(&ctx.shared);
+        let id = inner.states.len();
+        inner.states.push(State::Runnable);
+        id
+    };
+    let shared = Arc::clone(&ctx.shared);
+    let out = Arc::clone(&slot);
+    std::thread::spawn(move || {
+        run_controlled(shared, id, move || {
+            let value = f();
+            *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+        });
+    });
+    JoinHandle {
+        imp: JoinImpl::Controlled {
+            shared: ctx.shared,
+            id,
+            slot,
+        },
+    }
+}
+
+struct RunOutcome {
+    trace: Vec<(u32, u32)>,
+    failure: Option<String>,
+}
+
+/// Executes one schedule of `f` and waits for every controlled thread —
+/// including any it spawned — to drain.
+fn run_schedule(mode: Mode, max_steps: usize, f: Arc<dyn Fn() + Send + Sync>) -> RunOutcome {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            states: vec![State::Runnable],
+            current: 0,
+            trace: Vec::new(),
+            mode,
+            steps: 0,
+            max_steps,
+            failure: None,
+            finished: 0,
+        }),
+        cv: Condvar::new(),
+    });
+    {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || run_controlled(shared, 0, move || f()));
+    }
+    let mut inner = lock(&shared);
+    while inner.finished < inner.states.len() {
+        inner = wait(&shared, inner);
+    }
+    RunOutcome {
+        trace: std::mem::take(&mut inner.trace),
+        failure: inner.failure.take(),
+    }
+}
+
+/// Enumerates the schedule tree of `f` depth-first: every distinct
+/// interleaving of its controlled threads' yield points, up to
+/// `opts.max_schedules`. Panics (with the choice trace) on the first
+/// failing schedule.
+pub fn explore_exhaustive<F>(opts: Exhaustive, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut forced: Vec<u32> = Vec::new();
+    let mut schedules = 0usize;
+    let mut complete = false;
+    loop {
+        let out = run_schedule(
+            Mode::Replay {
+                forced: forced.clone(),
+            },
+            opts.max_steps,
+            Arc::clone(&f),
+        );
+        schedules += 1;
+        if let Some(message) = out.failure {
+            panic!("csv_check: schedule {schedules} failed: {message}");
+        }
+        // Backtrack: bump the deepest choice that still has an unexplored
+        // sibling; everything above it replays, everything below runs
+        // fresh on the default (first-eligible) policy.
+        let mut trace = out.trace;
+        loop {
+            match trace.pop() {
+                None => {
+                    complete = true;
+                    break;
+                }
+                Some((chosen, count)) if chosen + 1 < count => {
+                    trace.push((chosen + 1, count));
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if complete || schedules >= opts.max_schedules {
+            break;
+        }
+        forced = trace.iter().map(|&(chosen, _)| chosen).collect();
+    }
+    Report {
+        schedules,
+        distinct: schedules,
+        complete,
+    }
+}
+
+/// FNV-1a over the choice trace: the schedule's identity for dedup.
+fn trace_fingerprint(trace: &[(u32, u32)]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &(chosen, count) in trace {
+        for byte in chosen.to_le_bytes().into_iter().chain(count.to_le_bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// Runs `opts.schedules` seeded random schedules of `f` (PCT-style: each
+/// pick is uniform over the eligible threads, from a per-schedule
+/// SplitMix64 stream). Panics (with seed and trace) on the first failing
+/// schedule; reports how many *distinct* schedules the seeds reached.
+pub fn explore_random<F>(opts: Random, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut distinct: HashSet<u64> = HashSet::new();
+    for i in 0..opts.schedules {
+        let seed = opts.seed.wrapping_add(i as u64);
+        let out = run_schedule(
+            Mode::Random(SplitMix64::new(seed)),
+            opts.max_steps,
+            Arc::clone(&f),
+        );
+        if let Some(message) = out.failure {
+            panic!("csv_check: random schedule under seed {seed} failed: {message}");
+        }
+        distinct.insert(trace_fingerprint(&out.trace));
+    }
+    Report {
+        schedules: opts.schedules,
+        distinct: distinct.len(),
+        complete: false,
+    }
+}
+
+/// Re-runs `f` under exactly the given choice trace (as printed in a
+/// failure message; see [`parse_trace`]). Panics if the schedule fails —
+/// which is the point: run it under a debugger or with logging added.
+pub fn replay<F>(trace: &[usize], f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let forced: Vec<u32> = trace.iter().map(|&c| c as u32).collect();
+    let out = run_schedule(Mode::Replay { forced }, DEFAULT_MAX_STEPS, Arc::new(f));
+    if let Some(message) = out.failure {
+        panic!("csv_check: replayed schedule failed: {message}");
+    }
+}

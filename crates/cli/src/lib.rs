@@ -10,6 +10,8 @@
 //! csv-index --index alex --dataset-file keys.sosd --alpha 0.2 --workload read-only
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod driver;
 

@@ -1,6 +1,8 @@
 //! `csv-index` — build a learned index over a synthetic or SOSD dataset,
 //! optionally apply CSV smoothing, replay a workload and print a report.
 
+#![forbid(unsafe_code)]
+
 use csv_cli::{run, CliArgs};
 use std::process::ExitCode;
 

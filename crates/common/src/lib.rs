@@ -20,7 +20,12 @@
 //! * [`quadratic`] — quadratic indexing functions used by the smoothing
 //!   extension to richer model classes,
 //! * [`rng`] — tiny deterministic RNG primitives (SplitMix64 / xorshift) so
-//!   dataset generation and property tests are reproducible.
+//!   dataset generation and property tests are reproducible,
+//! * [`sync`] — the workspace's synchronization shims: `std`/`parking_lot`
+//!   re-exports normally, instrumented model-checkable versions under the
+//!   `check` feature (driven by the `csv_check` controlled scheduler).
+
+#![deny(unsafe_code)]
 
 pub mod fenwick;
 pub mod key;
@@ -28,10 +33,14 @@ pub mod latency;
 pub mod linear;
 pub mod metrics;
 pub mod pla;
+// The audited unsafe exception: the prefetch intrinsic (hint-only, cannot
+// fault). `cargo xtask lint` enforces the allowlist.
+#[allow(unsafe_code)]
 pub mod prefetch;
 pub mod quadratic;
 pub mod rng;
 pub mod search;
+pub mod sync;
 pub mod traits;
 
 pub use fenwick::Fenwick;

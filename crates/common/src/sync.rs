@@ -1,0 +1,350 @@
+//! Synchronization shims: the workspace's single gateway to atomics and
+//! locks.
+//!
+//! Every crate in the workspace that synchronizes between threads imports
+//! its primitives from here instead of from `std::sync::atomic` /
+//! `parking_lot` directly (`cargo xtask lint` enforces this). The payoff is
+//! that the whole concurrency core can be re-compiled against the
+//! deterministic model checker:
+//!
+//! * **Normally** (no `check` feature) the module is pure re-exports —
+//!   `std` atomics and the `parking_lot` locks, zero added cost.
+//! * **Under the `check` feature** every type is an instrumented wrapper
+//!   that announces each operation to `csv_check`'s controlled scheduler
+//!   as a *yield point*. Inside a `csv_check::explore_*` run, the scheduler
+//!   then drives the interleaving of every atomic load/store/RMW and every
+//!   lock acquisition — deterministically, exhaustively for small tests.
+//!   Outside a controlled run the instrumented operations degrade to their
+//!   plain equivalents, so a `--features check` build still behaves
+//!   normally in ordinary tests and binaries.
+//!
+//! The lock API is `parking_lot`-shaped (no poisoning: `lock()`/`read()`/
+//! `write()` return guards directly). Blocking acquisitions in check mode
+//! are try-acquire loops that deprioritize the waiter via
+//! `csv_check::yield_now`, which keeps the exhaustive schedule tree
+//! finite (see the scheduler's fairness rule).
+//!
+//! [`yield_now`] and [`spin_loop`] are re-exported here so hand-rolled
+//! wait loops (the RCU grace-period drain, retired-handle retry backoff)
+//! route their hints through the same instrumentation.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "check"))]
+mod imp {
+    pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+    pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
+
+    /// Yields the CPU to another thread (`std::thread::yield_now`).
+    #[inline(always)]
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+
+    /// Spin-wait hint (`std::hint::spin_loop`).
+    #[inline(always)]
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+
+    /// Model-checker schedule point: a no-op outside check builds.
+    #[inline(always)]
+    pub fn yield_point() {}
+}
+
+#[cfg(feature = "check")]
+mod imp {
+    use super::Ordering;
+    use std::sync::{PoisonError, TryLockError};
+
+    pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+    /// Model-checker schedule point (see [`csv_check::yield_point`]).
+    #[inline]
+    pub fn yield_point() {
+        csv_check::yield_point();
+    }
+
+    /// Deprioritizing yield: under a controlled schedule another thread
+    /// executes at least one operation before the caller is reconsidered.
+    #[inline]
+    pub fn yield_now() {
+        csv_check::yield_now();
+    }
+
+    /// Spin hint. Under the checker a spin is only meaningful if it lets
+    /// someone else run, so it maps to the deprioritizing yield — this is
+    /// what keeps `while x.load() != 0 { spin_loop() }` loops bounded in
+    /// exhaustive exploration.
+    #[inline]
+    pub fn spin_loop() {
+        csv_check::yield_now();
+    }
+
+    macro_rules! checked_atomic {
+        ($name:ident, $std:ty, $t:ty) => {
+            /// Instrumented atomic: every operation is a scheduler yield
+            /// point; the operation itself runs while the thread holds the
+            /// run token, so it is globally ordered (sequentially
+            /// consistent regardless of the `Ordering` argument — the
+            /// checker validates protocols, TSan validates orderings).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic (const, so statics work).
+                pub const fn new(value: $t) -> Self {
+                    Self {
+                        inner: <$std>::new(value),
+                    }
+                }
+
+                /// Instrumented load.
+                pub fn load(&self, order: Ordering) -> $t {
+                    yield_point();
+                    self.inner.load(order)
+                }
+
+                /// Instrumented store.
+                pub fn store(&self, value: $t, order: Ordering) {
+                    yield_point();
+                    self.inner.store(value, order);
+                }
+
+                /// Instrumented swap.
+                pub fn swap(&self, value: $t, order: Ordering) -> $t {
+                    yield_point();
+                    self.inner.swap(value, order)
+                }
+
+                /// Consumes the atomic (no yield: exclusive access).
+                pub fn into_inner(self) -> $t {
+                    self.inner.into_inner()
+                }
+
+                /// Mutable access (no yield: exclusive access).
+                pub fn get_mut(&mut self) -> &mut $t {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    macro_rules! checked_atomic_arith {
+        ($name:ident, $t:ty) => {
+            impl $name {
+                /// Instrumented fetch-add.
+                pub fn fetch_add(&self, value: $t, order: Ordering) -> $t {
+                    yield_point();
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Instrumented fetch-sub.
+                pub fn fetch_sub(&self, value: $t, order: Ordering) -> $t {
+                    yield_point();
+                    self.inner.fetch_sub(value, order)
+                }
+            }
+        };
+    }
+
+    checked_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    checked_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    checked_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    checked_atomic_arith!(AtomicU64, u64);
+    checked_atomic_arith!(AtomicUsize, usize);
+
+    /// Instrumented raw-pointer atomic (the RCU publication word).
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer.
+        pub const fn new(ptr: *mut T) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicPtr::new(ptr),
+            }
+        }
+
+        /// Instrumented load.
+        pub fn load(&self, order: Ordering) -> *mut T {
+            yield_point();
+            self.inner.load(order)
+        }
+
+        /// Instrumented store.
+        pub fn store(&self, ptr: *mut T, order: Ordering) {
+            yield_point();
+            self.inner.store(ptr, order);
+        }
+
+        /// Instrumented swap.
+        pub fn swap(&self, ptr: *mut T, order: Ordering) -> *mut T {
+            yield_point();
+            self.inner.swap(ptr, order)
+        }
+
+        /// Mutable access (no yield: exclusive access).
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    /// Instrumented mutex with the `parking_lot` API. Blocking acquisition
+    /// under a controlled schedule is a try-lock loop whose misses
+    /// deprioritize the waiter, so lock handoffs are schedule choices.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex around `value`.
+        pub fn new(value: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the mutex and returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, blocking (cooperatively, under the checker)
+        /// until available.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            if csv_check::is_controlled() {
+                loop {
+                    yield_point();
+                    match self.inner.try_lock() {
+                        Ok(guard) => return guard,
+                        Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+                        Err(TryLockError::WouldBlock) => csv_check::yield_now(),
+                    }
+                }
+            } else {
+                self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+
+        /// Mutable access (no locking needed).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Instrumented reader–writer lock with the `parking_lot` API.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates a new lock around `value`.
+        pub fn new(value: T) -> Self {
+            Self {
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// Consumes the lock and returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires a shared read lock.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            if csv_check::is_controlled() {
+                loop {
+                    yield_point();
+                    match self.try_read() {
+                        Some(guard) => return guard,
+                        None => csv_check::yield_now(),
+                    }
+                }
+            } else {
+                self.inner.read().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+
+        /// Acquires an exclusive write lock.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            if csv_check::is_controlled() {
+                loop {
+                    yield_point();
+                    match self.try_write() {
+                        Some(guard) => return guard,
+                        None => csv_check::yield_now(),
+                    }
+                }
+            } else {
+                self.inner.write().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+
+        /// Attempts a shared read lock without blocking.
+        pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+            match self.inner.try_read() {
+                Ok(guard) => Some(guard),
+                Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Attempts an exclusive write lock without blocking.
+        pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+            match self.inner.try_write() {
+                Ok(guard) => Some(guard),
+                Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Mutable access (no locking needed).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+pub use imp::{
+    spin_loop, yield_now, yield_point, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Mutex,
+    MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomics_and_locks_work_uncontrolled() {
+        let n = AtomicUsize::new(1);
+        assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+        let flag = AtomicBool::new(false);
+        assert!(!flag.swap(true, Ordering::SeqCst));
+        let m = Mutex::new(5usize);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+        let rw = RwLock::new(7usize);
+        assert_eq!(*rw.read(), 7);
+        *rw.write() += 1;
+        assert_eq!(rw.into_inner(), 8);
+        yield_point();
+        spin_loop();
+        yield_now();
+    }
+}

@@ -19,7 +19,7 @@
 //!   (default) the structurally shared persistent map [`pmap::PMap`],
 //!   whose path-copying updates keep the per-write copy cost logarithmic
 //!   in the buffered state.
-//! * **Locked**: the classic per-shard [`parking_lot::RwLock`] layout, kept
+//! * **Locked**: the classic per-shard [`csv_common::sync::RwLock`] layout, kept
 //!   as the A/B baseline the benchmarks compare against.
 //!
 //! CSV-integrable indexes are re-optimised in place via
@@ -41,9 +41,15 @@
 //!
 //! [`LearnedIndex`]: csv_common::traits::LearnedIndex
 
+#![deny(unsafe_code)]
+
 pub mod durability;
 pub mod maintenance;
 pub mod pmap;
+// The audited unsafe core: raw-pointer publication + grace-period
+// reclamation. `cargo xtask lint` verifies every site carries a SAFETY
+// comment and that no other module contains `unsafe`.
+#[allow(unsafe_code)]
 pub mod rcu;
 pub mod sharded;
 pub mod throughput;

@@ -21,10 +21,10 @@
 //! overshoot over to the next tick.
 
 use crate::sharded::ShardedIndex;
+use csv_common::sync::{AtomicBool, Mutex, Ordering};
 use csv_common::traits::{RangeIndex, SnapshotIndex};
 use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of the maintenance engine.
@@ -213,7 +213,7 @@ impl MaintenanceEngine {
             Some(b) if !b.is_zero() => b,
             _ => return None,
         };
-        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut state = self.state.lock();
         if state.debt >= budget {
             state.debt -= budget;
             return Some(None);
@@ -228,7 +228,7 @@ impl MaintenanceEngine {
         if let Some(allowance) = allowance {
             let elapsed = started.elapsed();
             if elapsed > allowance {
-                let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+                let mut state = self.state.lock();
                 state.debt += elapsed - allowance;
             }
         }
@@ -253,19 +253,13 @@ impl MaintenanceEngine {
         let deadline = allowance.map(|d| started + d);
 
         // Resume an interrupted shard before considering anything else.
-        let cursor = self
-            .state
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .cursor
-            .take();
+        let cursor = self.state.lock().cursor.take();
         if let Some((shard, level)) = cursor {
             if let Some(progress) =
                 index.maintain_shard_budgeted(shard, &self.optimizer, Some(level), deadline)
             {
                 if let Some(next_level) = progress.resume_level {
-                    self.state.lock().unwrap_or_else(|p| p.into_inner()).cursor =
-                        Some((shard, next_level));
+                    self.state.lock().cursor = Some((shard, next_level));
                 }
                 self.settle(allowance, started);
                 return MaintenanceAction::Maintained {
@@ -379,8 +373,7 @@ impl MaintenanceEngine {
                     index.maintain_shard_budgeted(shard, &self.optimizer, None, deadline)
                 {
                     if let Some(next_level) = progress.resume_level {
-                        self.state.lock().unwrap_or_else(|p| p.into_inner()).cursor =
-                            Some((shard, next_level));
+                        self.state.lock().cursor = Some((shard, next_level));
                     }
                     self.settle(allowance, started);
                     return MaintenanceAction::Maintained {
@@ -453,8 +446,7 @@ impl MaintenanceEngine {
                     let action = match tick {
                         Ok(action) => action,
                         Err(payload) => {
-                            *panic_writer.lock().unwrap_or_else(|p| p.into_inner()) =
-                                Some(panic_message(payload.as_ref()));
+                            *panic_writer.lock() = Some(panic_message(payload.as_ref()));
                             break;
                         }
                     };
@@ -558,11 +550,7 @@ impl MaintenanceHandle {
     /// serving reads and writes, but no maintenance happens until a new
     /// engine is spawned.
     pub fn is_healthy(&self) -> bool {
-        self.panic
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .is_none()
-            && self.thread.as_ref().is_some_and(|t| !t.is_finished())
+        self.panic.lock().is_none() && self.thread.as_ref().is_some_and(|t| !t.is_finished())
     }
 
     /// Signals the thread to stop after its current tick and returns its
@@ -578,7 +566,7 @@ impl MaintenanceHandle {
             .map_err(|payload| EnginePanic {
                 message: panic_message(payload.as_ref()),
             })?;
-        if let Some(message) = self.panic.lock().unwrap_or_else(|p| p.into_inner()).take() {
+        if let Some(message) = self.panic.lock().take() {
             return Err(EnginePanic { message });
         }
         Ok(stats)
@@ -975,30 +963,27 @@ mod tests {
 
     impl DurabilitySink for CountingSink {
         fn log_write(&self, shard: Key, _key: Key, _value: Option<Value>) {
-            *self.backlogs.lock().unwrap().entry(shard).or_insert(0) += 1;
+            *self.backlogs.lock().entry(shard).or_insert(0) += 1;
         }
 
         fn checkpoint(&self, checkpoint: &ShardCheckpoint) {
-            self.backlogs
-                .lock()
-                .unwrap()
-                .insert(checkpoint.lower_bound, 0);
-            *self.checkpoints.lock().unwrap() += 1;
+            self.backlogs.lock().insert(checkpoint.lower_bound, 0);
+            *self.checkpoints.lock() += 1;
         }
 
         fn replace_shards(&self, retired: &[Key], created: &[ShardCheckpoint]) {
-            let mut backlogs = self.backlogs.lock().unwrap();
+            let mut backlogs = self.backlogs.lock();
             for checkpoint in created {
                 backlogs.insert(checkpoint.lower_bound, 0);
             }
             for lower in retired {
                 backlogs.remove(lower);
             }
-            *self.checkpoints.lock().unwrap() += created.len();
+            *self.checkpoints.lock() += created.len();
         }
 
         fn backlog(&self, shard: Key) -> u64 {
-            *self.backlogs.lock().unwrap().get(&shard).unwrap_or(&0)
+            *self.backlogs.lock().get(&shard).unwrap_or(&0)
         }
     }
 

@@ -3,7 +3,7 @@
 //! Two read paths are provided, selected by [`ShardingConfig::read_path`]:
 //!
 //! * [`ReadPath::Locked`] — the classic layout: every shard's index sits
-//!   behind a [`parking_lot::RwLock`], lookups take the shared lock, writes
+//!   behind a [`csv_common::sync::RwLock`], lookups take the shared lock, writes
 //!   the exclusive one. Readers stall whenever maintenance's apply phase or
 //!   a split holds an exclusive lock.
 //! * [`ReadPath::Rcu`] (the default) — the lock-free layout: both the shard
@@ -36,13 +36,14 @@ use crate::durability::{DurabilitySink, RecoveredShard, ShardCheckpoint, StaleSe
 use crate::pmap::PMap;
 use crate::rcu::RcuCell;
 use core::ops::ControlFlow;
+use csv_common::sync::{
+    spin_loop, yield_now, AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering, RwLock,
+};
 use csv_common::traits::{IndexStats, LearnedIndex, RangeIndex, RemovableIndex, SnapshotIndex};
 use csv_common::{Key, KeyValue, Value};
 use csv_core::{CsvIntegrable, CsvOptimizer, CsvReport};
-use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -1389,9 +1390,9 @@ impl<I: SnapshotIndex + RangeIndex> ShardedIndex<I> {
                 drop(writes);
                 retries += 1;
                 if retries > RETIRED_RETRY_SPINS {
-                    std::thread::yield_now();
+                    yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    spin_loop();
                 }
                 #[cfg(test)]
                 RETIRED_RETRIES.fetch_add(1, Ordering::Relaxed);
@@ -2092,9 +2093,9 @@ impl<I: SnapshotIndex + RangeIndex + RemovableIndex> ShardedIndex<I> {
             if !pending_ops.is_empty() {
                 retries += 1;
                 if retries > RETIRED_RETRY_SPINS {
-                    std::thread::yield_now();
+                    yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    spin_loop();
                 }
             }
         }
@@ -3095,7 +3096,7 @@ mod tests {
 
     #[test]
     fn with_shards_mut_applies_to_every_shard_on_both_paths() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use csv_common::sync::{AtomicUsize, Ordering};
         let keys = Dataset::Osm.generate(10_000, 21);
         for path in BOTH_PATHS {
             let sharded =
@@ -3139,7 +3140,7 @@ mod tests {
     /// deadlock here and trip the watchdog.
     #[test]
     fn rcu_reads_complete_while_every_writer_lock_is_held() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use csv_common::sync::{AtomicBool, Ordering};
         use std::time::Duration;
 
         let keys = Dataset::Osm.generate(20_000, 7);
@@ -3197,7 +3198,7 @@ mod tests {
     /// retirement re-route instead of losing their write.
     #[test]
     fn rcu_reads_and_writes_survive_concurrent_splits_and_merges() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use csv_common::sync::{AtomicBool, Ordering};
         let keys = Dataset::Osm.generate(30_000, 19);
         let records = identity_records(&keys);
         let sharded = ShardedIndex::<BPlusTree>::bulk_load(&records, config(4, ReadPath::Rcu));
@@ -3291,12 +3292,12 @@ mod tests {
     #[test]
     fn gets_proceed_during_the_plan_phase() {
         use csv_common::metrics::CostCounters;
+        use csv_common::sync::{AtomicBool, Ordering};
         use csv_common::traits::IndexStats;
         use csv_core::cost::SubtreeCostStats;
         use csv_core::csv::{RebuildRefusal, SubtreeRef};
         use csv_core::layout::SmoothedLayout;
         use csv_core::CsvConfig;
-        use std::sync::atomic::{AtomicBool, Ordering};
         use std::time::{Duration, Instant};
 
         static GATE_ARMED: AtomicBool = AtomicBool::new(false);

@@ -37,6 +37,8 @@
 //! * [`paper_example`] — the 10-key running example of Fig. 2/3/4 and
 //!   Table 2.
 
+#![forbid(unsafe_code)]
+
 pub mod candidates;
 pub mod competitors;
 pub mod cost;

@@ -21,6 +21,8 @@
 //!   removals / scans),
 //! * [`io`] — SOSD-format binary dataset files (save / load).
 
+#![forbid(unsafe_code)]
+
 pub mod cdf;
 pub mod downsample;
 pub mod generators;

@@ -16,6 +16,8 @@
 //! that tears, truncates and bit-flips on command, driving the
 //! crash-recovery property tests in `tests/crash_recovery.rs`.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod crc;
 pub mod fault;
@@ -35,7 +37,7 @@ pub use wal::{read_wal, WalEnd, WalRecord, WalReplay, WalWriter};
 /// A unique, empty temp directory for one test.
 #[cfg(test)]
 pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use csv_common::sync::{AtomicUsize, Ordering};
     static COUNTER: AtomicUsize = AtomicUsize::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!("csv-durability-{}-{tag}-{n}", std::process::id()));

@@ -31,6 +31,7 @@ use crate::checkpoint::{read_checkpoint, write_checkpoint_parts};
 use crate::fault::Fault;
 use crate::manifest::{read_manifest, write_manifest, ManifestEntries, MANIFEST_NAME};
 use crate::wal::{read_wal, WalEnd, WalWriter};
+use csv_common::sync::{AtomicU64, Mutex, MutexGuard, Ordering};
 use csv_common::{Key, KeyValue, LearnedIndex, RangeIndex, Value};
 use csv_concurrent::{
     DurabilitySink, ReadPath, RecoveredShard, ShardCheckpoint, ShardedIndex, ShardingConfig,
@@ -40,8 +41,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// When the write-ahead log is flushed to stable storage.
@@ -256,11 +256,7 @@ impl FileSink {
     }
 
     fn lock(&self) -> MutexGuard<'_, SinkState> {
-        // A poisoned lock means another shard's sink call panicked; this
-        // sink can no longer honour its durability promise either.
-        self.state
-            .lock()
-            .unwrap_or_else(|_| panic!("durability sink poisoned by an earlier failure"))
+        self.state.lock()
     }
 
     fn ckpt_path(&self, epoch: u64) -> PathBuf {

@@ -6,6 +6,7 @@
 
 use csv_btree::BPlusTree;
 use csv_common::key::identity_records;
+use csv_common::sync::{AtomicUsize, Ordering};
 use csv_common::{Key, KeyValue, Value};
 use csv_concurrent::{
     MaintenanceConfig, MaintenanceEngine, ReadPath, ShardedIndex, ShardingConfig, WriteOp,
@@ -19,7 +20,6 @@ use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A unique, empty temp directory per test case.

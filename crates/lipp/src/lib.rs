@@ -19,6 +19,8 @@
 //!   of inserts since its construction exceeds half its size, a simplified
 //!   form of LIPP's conflict/size-ratio trigger.
 
+#![forbid(unsafe_code)]
+
 mod csv_integration;
 mod index;
 mod node;

@@ -13,6 +13,8 @@
 //! structure once it exceeds a fraction of the indexed data), which is the
 //! standard way to dynamise a static learned index.
 
+#![forbid(unsafe_code)]
+
 mod index;
 
 pub use index::{PgmConfig, PgmIndex};

@@ -15,6 +15,8 @@
 //! insert-probability node layouts are out of scope (the CSV paper's
 //! evaluation is single-threaded and reports SALI behaving like LIPP).
 
+#![forbid(unsafe_code)]
+
 mod index;
 
 pub use index::{FlatRegion, SaliConfig, SaliIndex};

@@ -1,6 +1,8 @@
 //! `csv-loadgen` — drive YCSB-style load against a running `csv-index
 //! --serve` instance and report throughput plus p50/p99/p99.9 latency.
 
+#![forbid(unsafe_code)]
+
 use csv_server::{run_loadgen, LoadgenConfig};
 use std::process::ExitCode;
 

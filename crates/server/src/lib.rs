@@ -26,6 +26,8 @@
 //! YCSB-style measurement run. `csv-index --serve` and `csv-loadgen` wrap
 //! these for the command line.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod codec;
 pub mod errors;

@@ -12,13 +12,13 @@
 //! [`ReadView`]: csv_concurrent::ReadView
 
 use crate::worker::{worker_loop, WorkerReport};
+use csv_common::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use csv_common::traits::{RangeIndex, RemovableIndex, SnapshotIndex};
 use csv_concurrent::{MaintenanceHandle, MaintenanceStats, ShardedIndex};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -79,7 +79,7 @@ impl Shared {
         if !self.engine_healthy.load(Ordering::Relaxed) {
             return false;
         }
-        match self.engine.lock().unwrap().as_ref() {
+        match self.engine.lock().as_ref() {
             Some(handle) => handle.is_healthy(),
             None => true,
         }
@@ -150,7 +150,7 @@ impl ServerHandle {
         acceptor.join().ok();
         report.connections = shared.connections.load(Ordering::Relaxed);
         report.ops = shared.ops.load(Ordering::Relaxed);
-        if let Some(engine) = shared.engine.lock().unwrap().take() {
+        if let Some(engine) = shared.engine.lock().take() {
             match engine.shutdown() {
                 Ok(stats) => report.engine_stats = Some(stats),
                 Err(_panic) => report.engine_healthy = false,

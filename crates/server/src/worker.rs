@@ -19,11 +19,11 @@ use crate::protocol::{Request, Response, ServerStats, WriteOp};
 use crate::server::Shared;
 use core::ops::ControlFlow;
 use csv_common::key::{Key, Value};
+use csv_common::sync::Ordering;
 use csv_common::traits::{RangeIndex, RemovableIndex, SnapshotIndex};
 use csv_concurrent::{ReadPath, ReadView, ShardedIndex};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;

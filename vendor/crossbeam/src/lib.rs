@@ -6,12 +6,28 @@ pub mod thread {
     //! closure receives a `&Scope` argument (ignored by every caller in this
     //! workspace) and `scope` returns a `Result` instead of propagating child
     //! panics as a resumed unwind value.
+    //!
+    //! On top of the std scope, every spawned thread decrements a shared
+    //! completion counter as its final action, and `scope` re-reads that
+    //! counter (Acquire) after the std scope has joined everything. The std
+    //! join edge itself lives in non-generic `std::thread::ScopeData` code,
+    //! which a ThreadSanitizer build cannot instrument without
+    //! `-Zbuild-std`; the counter round-trip here is compiled into *this*
+    //! workspace, so TSan sees a release/acquire edge from everything a
+    //! scoped thread did to everything after the scope — eliminating the
+    //! false "race" between thread work and post-scope reads/drops. Outside
+    //! sanitizer builds it costs one relaxed RMW per thread and a handful
+    //! of already-drained loads per scope.
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     /// Handle passed to `scope`'s closure; wraps the std scope so nested
     /// spawns keep working.
-    #[derive(Clone, Copy)]
+    #[derive(Clone)]
     pub struct Scope<'scope, 'env: 'scope> {
         inner: &'scope std::thread::Scope<'scope, 'env>,
+        running: Arc<AtomicUsize>,
     }
 
     /// Join handle of a scoped thread.
@@ -25,6 +41,16 @@ pub mod thread {
         }
     }
 
+    /// Decrements the scope's completion counter when dropped — on normal
+    /// exit *and* when the thread unwinds, so the counter always drains.
+    struct Completion(Arc<AtomicUsize>);
+
+    impl Drop for Completion {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Release);
+        }
+    }
+
     impl<'scope, 'env> Scope<'scope, 'env> {
         /// Spawns a scoped thread. The closure receives this scope again so
         /// crossbeam-style `|_| ...` closures (and nested spawns) work.
@@ -33,8 +59,15 @@ pub mod thread {
             F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
-            let this = *self;
-            ScopedJoinHandle(self.inner.spawn(move || f(&this)))
+            self.running.fetch_add(1, Ordering::Relaxed);
+            let completion = Completion(Arc::clone(&self.running));
+            let this = self.clone();
+            ScopedJoinHandle(self.inner.spawn(move || {
+                // Declared first so it drops last: the decrement is the
+                // thread's final visible action.
+                let _completion = completion;
+                f(&this)
+            }))
         }
     }
 
@@ -48,7 +81,22 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+        let running = Arc::new(AtomicUsize::new(0));
+        let result = std::thread::scope(|s| {
+            let scope = Scope {
+                inner: s,
+                running: Arc::clone(&running),
+            };
+            f(&scope)
+        });
+        // The std scope has already joined every thread; this loop's
+        // Acquire load is the instrumented edge TSan pairs with each
+        // thread's Release decrement (it spins only if a sanitizer delays
+        // a decrement's visibility).
+        while running.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+        Ok(result)
     }
 }
 
@@ -66,5 +114,17 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let total: u64 = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u64).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 42);
     }
 }
